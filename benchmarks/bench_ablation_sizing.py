@@ -1,0 +1,49 @@
+"""Ablation — W/L tuning of the feedback pair (Sec. III-B).
+
+The paper: "The cell parameters, such as the W/L ratio ... are tuned to
+improve the temperature resilience of the cell."  This bench detunes M2's
+width around the calibrated value and shows the temperature fluctuation
+degrading away from the optimum — evidence the frozen sizing is a genuine
+optimum, not an arbitrary choice.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.cells import TwoTOneFeFETCell, cell_read_transient
+from repro.metrics.fluctuation import max_fluctuation
+
+TEMPS = np.array([0.0, 27.0, 85.0])
+
+
+def fluctuation_for(design):
+    levels = np.array([
+        cell_read_transient(design, float(t)).final_voltage("out")
+        for t in TEMPS
+    ])
+    return max_fluctuation(TEMPS, levels)
+
+
+def sweep_m2_sizing():
+    base = TwoTOneFeFETCell()
+    nominal_wl = base.m2_params.width_over_length
+    scales = (0.25, 0.5, 1.0, 2.0, 4.0)
+    rows = []
+    for scale in scales:
+        design = base.with_sizing(m2_wl=nominal_wl * scale)
+        rows.append((scale, fluctuation_for(design)))
+    return rows
+
+
+def test_ablation_m2_sizing(once):
+    rows = once(sweep_m2_sizing)
+    print("\n" + format_table(
+        ["M2 W/L scale", "max fluctuation"],
+        [(s, f"{f:.2%}") for s, f in rows],
+        title="Ablation - detuning the feedback device"))
+
+    by_scale = dict(rows)
+    # The calibrated sizing (scale 1.0) is the best of the sweep.
+    assert by_scale[1.0] == min(by_scale.values())
+    # Strong detuning costs at least 3x in resilience.
+    assert max(by_scale[0.25], by_scale[4.0]) > 3 * by_scale[1.0]

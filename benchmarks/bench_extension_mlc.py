@@ -1,0 +1,25 @@
+"""Extension — multi-level-cell weights on the 2T-1FeFET cell.
+
+The paper's related work ([23]) does multi-bit FeFET MACs; our Preisach
+ferroelectric supports partial-polarization states natively, so the
+proposed cell can store 4-level (2-bit) weights via pulse-width-controlled
+programming.  This bench characterizes the 4-level output transfer across
+temperature.
+"""
+
+from repro.analysis.experiments import mlc_transfer
+
+
+def test_extension_mlc_transfer(once):
+    result = once(mlc_transfer, n_levels=4)
+    print("\n" + result["report"])
+
+    levels = result["levels"]
+    # Levels must be strictly ordered at the reference temperature.
+    assert result["monotone_at_ref"]
+    # The top and bottom levels stay separated at every corner temperature.
+    for temp in (0.0, 27.0, 85.0):
+        assert levels[(3, temp)] > 3 * levels[(0, temp)]
+    # Ordering survives temperature for the outer level pairs.
+    for temp in (0.0, 85.0):
+        assert levels[(3, temp)] > levels[(2, temp)] > levels[(0, temp)]

@@ -1,0 +1,34 @@
+"""Fig. 1 — FeFET transfer characteristics across temperature.
+
+Regenerates the I_D-V_G curves of both programmed states at the corner
+temperatures and checks the device-level claims the figure illustrates:
+a wide memory window around the 0.35 V read point, a large ION/IOFF ratio,
+and the characteristic temperature crossing of the subthreshold branch.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import fig1_fefet_characteristics
+
+
+def test_fig1_fefet_characteristics(once):
+    result = once(fig1_fefet_characteristics)
+    print("\n" + result["report"])
+
+    vgs = result["vgs"]
+    curves = result["curves"]
+    read_idx = int(np.argmin(np.abs(vgs - result["read_voltage"])))
+
+    # The high-V_TH branch conducts orders of magnitude less at V_read.
+    i_low = curves[("low-vth", 27.0)][read_idx]
+    i_high = curves[("high-vth", 27.0)][read_idx]
+    assert i_low / max(i_high, 1e-30) > 1e4
+    assert result["ion_ioff_at_read"] > 1e4
+
+    # Subthreshold conduction of the low-V_TH branch rises with temperature
+    # (the drift the paper sets out to tame).
+    assert curves[("low-vth", 85.0)][read_idx] > curves[("low-vth", 0.0)][read_idx]
+
+    # Strong-inversion current falls with temperature (mobility-dominated).
+    top = -1
+    assert curves[("low-vth", 85.0)][top] < curves[("low-vth", 0.0)][top]

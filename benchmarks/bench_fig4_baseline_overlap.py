@@ -1,0 +1,17 @@
+"""Fig. 4 — subthreshold 1FeFET-1R array: MAC output ranges overlap.
+
+The paper shows the 8-cell 1FeFET-1R row at V_read = 0.35 V producing MAC
+output bands that overlap across 0-85 degC, i.e. NMR_min < 0 — temperature
+drift makes distinct MAC values indistinguishable.
+"""
+
+from repro.analysis.experiments import fig4_baseline_overlap
+
+
+def test_fig4_baseline_overlap(once):
+    result = once(fig4_baseline_overlap)
+    print("\n" + result["report"])
+    print(f"NMR_min = {result['nmr_min']:.3f} at MAC={result['nmr_argmin']}")
+
+    assert result["overlap"] is True
+    assert result["nmr_min"] < 0.0

@@ -1,0 +1,31 @@
+"""Fig. 7 — normalized output of the proposed 2T-1FeFET cell vs temperature.
+
+Paper: worst-case 26.6 % (at 0 degC), at most 12.4 % above 20 degC.  Our
+calibrated ring nulls the drift to below 1 % at the nominal corner (the
+idealized compact models let the null sit deeper than silicon would); the
+claim asserted here is the paper-shaped one: far inside the paper's bands,
+and dramatically better than the subthreshold baseline of Fig. 3.
+"""
+
+from repro.analysis.experiments import fig3_cell_fluctuation, fig7_proposed_cell
+
+
+def test_fig7_proposed_cell(once):
+    result = once(fig7_proposed_cell, num_temps=12)
+    print("\n" + result["report"])
+    print(f"max fluctuation: {result['max_fluctuation']:.2%} "
+          f"(paper 26.6 %); above 20 degC: "
+          f"{result['max_fluctuation_above_20c']:.2%} (paper 12.4 %)")
+
+    assert result["max_fluctuation"] < 0.266
+    assert result["max_fluctuation_above_20c"] < 0.124
+
+
+def test_fig7_vs_fig3_improvement(once):
+    """The proposed cell beats the subthreshold baseline by > 10x."""
+    proposed = once(fig7_proposed_cell, num_temps=8)
+    baseline = fig3_cell_fluctuation(num_temps=8)
+    ratio = (baseline["subthreshold"]["max_fluctuation"]
+             / max(proposed["max_fluctuation"], 1e-6))
+    print(f"\nfluctuation improvement vs subthreshold 1FeFET-1R: {ratio:.0f}x")
+    assert ratio > 10

@@ -1,0 +1,34 @@
+"""Fig. 8 — proposed 2T-1FeFET array: MAC bands, NMR, energy, TOPS/W.
+
+Paper numbers: all nine MAC bands separated over 0-85 degC with
+NMR_min = NMR_0 = 0.22 (rising to 2.3 over 20-85 degC); 3.14 fJ per MAC
+operation on average, 2866 TOPS/W.  Our array reproduces: non-overlapping
+bands with NMR_min at the same level (MAC = 0), fJ-decade energy and
+thousands of TOPS/W.
+"""
+
+from repro.analysis.experiments import fig8_proposed_array
+
+
+def test_fig8_proposed_array(once):
+    result = once(fig8_proposed_array)
+    print("\n" + result["report"])
+    print(f"\nNMR_min = {result['nmr_min']:.2f} at MAC={result['nmr_argmin']}"
+          f" (paper: 0.22 at MAC=0); 20-85 degC: "
+          f"{result['nmr_min_above_20c']:.2f} (paper: 2.3)")
+    print(f"avg energy: {result['avg_energy_fj']:.2f} fJ/MAC (paper: 3.14); "
+          f"{result['tops_per_watt']:.0f} TOPS/W (paper: 2866)")
+
+    # Fig. 8(a): no overlap anywhere in the window.
+    assert result["overlap"] is False
+    assert result["nmr_min"] > 0.0
+    # The binding level is the bottom of the ladder, as in the paper.
+    assert result["nmr_argmin"] <= 1
+    # The upper window is roomier than the full window (paper: 0.22 -> 2.3).
+    assert result["nmr_min_above_20c"] >= result["nmr_min"]
+    # Fig. 8(b): femtojoule-decade MACs, thousands of TOPS/W.
+    assert 0.1 < result["avg_energy_fj"] < 20.0
+    assert 500 < result["tops_per_watt"] < 50000
+    # Energy grows with MAC value (more cells conducting).
+    rows = result["energy_report"].rows()
+    assert rows[-1][1] > rows[0][1]

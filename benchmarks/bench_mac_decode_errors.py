@@ -1,0 +1,25 @@
+"""Decode-error rate vs temperature — the operational reading of Figs. 4/8.
+
+Overlapping bands (Fig. 4) mean the fixed 27 degC ADC thresholds misread
+drifted MAC levels; non-overlapping bands (Fig. 8) mean they never do.
+This bench quantifies exactly that: the fraction of random 8-wide binary
+MACs decoded wrongly at each temperature.
+"""
+
+from repro.analysis.experiments import mac_decode_errors
+
+
+def test_mac_decode_errors(once):
+    result = once(mac_decode_errors)
+    print("\n" + result["report"])
+
+    proposed = result["error_rates"]["2T-1FeFET"]
+    baseline = result["error_rates"]["1FeFET-1R sub"]
+
+    # The proposed array decodes perfectly everywhere in the window.
+    assert all(rate == 0.0 for rate in proposed.values())
+    # The baseline is fine at its calibration point...
+    assert baseline[27.0] == 0.0
+    # ... and collapses at the window edges (the Fig. 4 failure).
+    assert baseline[0.0] > 0.3
+    assert baseline[85.0] > 0.5

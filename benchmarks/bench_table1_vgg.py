@@ -1,0 +1,20 @@
+"""Table I — the VGG executed on CIFAR-10.
+
+Builds the exact Table-I network, prints the layer map, and checks the
+structural facts (7 convs at 64/128/256 channels, 3 FCs at 4096/4096/10,
+~300 M MACs per 32x32x3 inference).
+"""
+
+from repro.analysis.experiments import table1_vgg
+
+
+def test_table1_vgg(once):
+    result = once(table1_vgg)
+    print("\n" + result["report"])
+    print(f"\nMACs/inference: {result['macs_per_inference'] / 1e6:.1f} M; "
+          f"parameters: {result['num_parameters'] / 1e6:.2f} M")
+
+    assert result["output_shape"] == (1, 10)
+    assert 2.0e8 < result["macs_per_inference"] < 4.0e8
+    # FC1/FC2 dominate the parameter count (4096 x 4096 each).
+    assert result["num_parameters"] > 30e6

@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one figure/table of the paper, prints the same
+rows/series the paper reports (captured with ``pytest -s`` or in the
+benchmark logs) and asserts the paper-shaped claims.  Heavy experiments run
+with ``benchmark.pedantic(rounds=1)`` — the interesting output is the
+science, not a timing distribution over retrains.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment exactly once and return its result dict."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapping :func:`run_once` for one-shot experiments."""
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return _run

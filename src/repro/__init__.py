@@ -1,0 +1,39 @@
+"""repro: temperature-resilient subthreshold-FeFET compute-in-memory.
+
+A behavioral, laptop-scale reproduction of
+
+    Zhou et al., "Low Power and Temperature-Resilient Compute-In-Memory
+    Based on Subthreshold-FeFET", DATE 2024 (arXiv:2312.17442).
+
+Layer map (bottom-up):
+
+* :mod:`repro.devices`  - EKV MOSFET, Preisach FeFET, variation sampling.
+* :mod:`repro.circuit`  - MNA engine: DC Newton solve + transient (the
+  Spectre substitute).
+* :mod:`repro.cells`    - 1FeFET-1R / 1FeFET-1T baselines, proposed
+  2T-1FeFET cell; circuit-level and calibrated behavioral twins.
+* :mod:`repro.array`    - MAC rows, charge-sharing sensing, bit-serial MACs,
+  energy/latency accounting.
+* :mod:`repro.metrics`  - fluctuation, Noise-Margin-Rate, TOPS/W.
+* :mod:`repro.nn`       - numpy NN framework + VGG + CiM-lowered inference.
+* :mod:`repro.analysis` - one entry per paper figure/table.
+"""
+
+from repro.constants import (
+    REFERENCE_TEMP_C,
+    TEMP_WINDOW_C,
+    UPPER_TEMP_WINDOW_C,
+    temperature_grid,
+    thermal_voltage,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "REFERENCE_TEMP_C",
+    "TEMP_WINDOW_C",
+    "UPPER_TEMP_WINDOW_C",
+    "temperature_grid",
+    "thermal_voltage",
+    "__version__",
+]

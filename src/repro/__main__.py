@@ -1,0 +1,87 @@
+"""Command-line experiment runner: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    Show every registered experiment with its paper anchor.
+run NAME [NAME ...]
+    Run experiments by name and print their reports.
+all
+    Run the full (non-NN) experiment set.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro run fig8 fig9
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import experiments as E
+
+#: name -> (callable, description).  Kept explicit so `list` is greppable.
+REGISTRY = {
+    "fig1": (E.fig1_fefet_characteristics,
+             "FeFET I-V characteristics across temperature"),
+    "fig3": (E.fig3_cell_fluctuation,
+             "1FeFET-1R cell fluctuation, saturation vs subthreshold"),
+    "fig4": (E.fig4_baseline_overlap,
+             "baseline array: overlapping MAC bands"),
+    "fig7": (E.fig7_proposed_cell,
+             "proposed 2T-1FeFET cell fluctuation"),
+    "fig8": (E.fig8_proposed_array,
+             "proposed array: bands, NMR, energy, TOPS/W"),
+    "fig9": (E.fig9_process_variation,
+             "Monte-Carlo process variation (sigma_VT = 54 mV)"),
+    "table1": (E.table1_vgg, "Table-I VGG structure and MAC count"),
+    "table2": (E.table2_summary,
+               "cross-technology summary (trains the reduced VGG; slow)"),
+    "decode-errors": (E.mac_decode_errors,
+                      "row-MAC decode error rate vs temperature"),
+    "mlc": (E.mlc_transfer, "multi-level-cell extension transfer"),
+    "thermal-gradient": (E.thermal_gradient_study,
+                         "within-row thermal gradient study"),
+}
+
+#: Everything except the slow NN experiment.
+DEFAULT_SET = [name for name in REGISTRY if name != "table2"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction experiments for the subthreshold-FeFET "
+                    "CiM paper (DATE 2024).")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run experiments by name")
+    run.add_argument("names", nargs="+", choices=sorted(REGISTRY))
+    sub.add_parser("all", help="run the full non-NN experiment set")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(n) for n in REGISTRY)
+        for name, (_, description) in REGISTRY.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+
+    names = args.names if args.command == "run" else DEFAULT_SET
+    for name in names:
+        fn, description = REGISTRY[name]
+        print(f"\n=== {name}: {description} ===")
+        start = time.time()
+        result = fn()
+        print(result["report"])
+        print(f"[{name} done in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Experiment registry and analysis harnesses.
+
+One function per paper figure/table lives in
+:mod:`repro.analysis.experiments`; the Monte-Carlo machinery of Fig. 9 is in
+:mod:`repro.analysis.montecarlo`; the Table II cross-technology energy
+models are in :mod:`repro.analysis.comparisons`; ASCII rendering helpers in
+:mod:`repro.analysis.reporting`.
+"""
+
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.montecarlo import MonteCarloResult, run_process_variation_mc
+from repro.analysis.comparisons import TECHNOLOGIES, TechnologyModel, build_table2
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "MonteCarloResult",
+    "run_process_variation_mc",
+    "TechnologyModel",
+    "TECHNOLOGIES",
+    "build_table2",
+]

@@ -1,0 +1,45 @@
+"""ASCII table and series rendering for benchmark output.
+
+The benchmarks print the same rows/series the paper's figures and tables
+report; these helpers keep that formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title=None):
+    """Monospace table with column auto-sizing.
+
+    ``rows`` is an iterable of sequences; every cell is str()-ed.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x_label, y_label, xs, ys, title=None, fmt="{:.4g}"):
+    """Two-column series dump (one figure trace)."""
+    rows = [(fmt.format(float(x)), fmt.format(float(y)))
+            for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=title)
+
+
+def format_ranges(label, ranges, title=None):
+    """Render MAC output ranges (Figs. 4 / 8(a)) as a table."""
+    rows = [(r.mac_value, f"{r.low_v * 1e3:.3f}", f"{r.high_v * 1e3:.3f}",
+             f"{r.width * 1e3:.3f}") for r in ranges]
+    return format_table([label, "low (mV)", "high (mV)", "width (mV)"],
+                        rows, title=title)

@@ -1,0 +1,81 @@
+"""Energy accounting for array operations (Fig. 8(b), Table II).
+
+The circuit-level row already integrates per-source energy during its
+transient; this module aggregates those raw joules into the quantities the
+paper reports: energy per MAC operation (averaged over MAC values 0..8),
+energy per primitive op, TOPS/W, and energy per network inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.efficiency import (
+    energy_per_inference,
+    energy_per_primitive_op,
+    tops_per_watt,
+)
+
+
+@dataclass(frozen=True)
+class OperationEnergy:
+    """Energy of one row MAC operation at one MAC value."""
+
+    mac_value: int
+    energy_j: float
+    by_source: dict
+
+    @property
+    def energy_fj(self):
+        return self.energy_j * 1e15
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Aggregate of a MAC-value sweep (the paper's Fig. 8(b))."""
+
+    operations: tuple
+    cells_per_row: int = 8
+
+    @classmethod
+    def from_sweep(cls, results, cells_per_row=8):
+        """Build from :meth:`repro.array.row.MacRow.mac_sweep` results."""
+        ops = tuple(
+            OperationEnergy(res.mac_true, res.energy_j, res.energy_by_source)
+            for res in results
+        )
+        return cls(ops, cells_per_row)
+
+    @property
+    def average_energy_j(self):
+        """Mean energy per MAC operation over all MAC values."""
+        return float(np.mean([op.energy_j for op in self.operations]))
+
+    @property
+    def average_energy_fj(self):
+        return self.average_energy_j * 1e15
+
+    def energy_at(self, mac_value):
+        """Energy at a specific MAC value."""
+        for op in self.operations:
+            if op.mac_value == mac_value:
+                return op.energy_j
+        raise KeyError(f"no operation with MAC={mac_value}")
+
+    def tops_per_watt(self):
+        """Efficiency using the paper's 9-ops-per-MAC accounting."""
+        return tops_per_watt(self.average_energy_j, self.cells_per_row)
+
+    def energy_per_op_j(self):
+        return energy_per_primitive_op(self.average_energy_j, self.cells_per_row)
+
+    def inference_energy_j(self, total_macs):
+        """Energy for a full network inference of ``total_macs`` MACs."""
+        return energy_per_inference(self.average_energy_j, total_macs,
+                                    self.cells_per_row)
+
+    def rows(self):
+        """(mac_value, energy_fJ) pairs, the Fig. 8(b) series."""
+        return [(op.mac_value, op.energy_fj) for op in self.operations]

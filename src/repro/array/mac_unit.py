@@ -1,0 +1,232 @@
+"""Behavioral bit-serial MAC unit — the fast path for NN-scale simulation.
+
+Running the full MNA transient for every dot product of a CNN is hopeless
+(a single small image needs ~10^6 row operations), so the NN executor uses a
+*behavioral twin* of the circuit-level row:
+
+1. At construction, the unit runs the real circuit transient for the cell's
+   four (weight, input) states across a temperature grid and for perturbed
+   thresholds, yielding interpolated level functions ``V(state, T)`` and a
+   linearized process-variation sensitivity ``dV_on/dV_TH``.
+2. A MAC over a chunk of 8 operands is then: count the (1,1)/(1,0)/(0,1)/
+   (0,0) cells, combine level voltages via the eq. (1) charge-sharing gain,
+   add per-cell variation contributions, and decode against ADC thresholds
+   calibrated at 27 degC — all vectorized numpy.
+3. Multi-bit operands (the paper's 8-bit wordlength) are handled
+   bit-serially: every (weight-bit, input-bit) plane pair runs through the
+   binary array and the digital backend shifts-and-adds the decoded counts.
+
+The behavioral twin is validated against the circuit-level row in the test
+suite (levels match to < 1 mV), so NN-level conclusions inherit the circuit
+model's physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.array.sensing import ChargeSharingSensor, SensingSpec
+from repro.cells.base import cell_read_transient
+from repro.constants import REFERENCE_TEMP_C
+from repro.devices.variation import CellVariation
+
+#: (weight, input) cell states in a fixed order.
+CELL_STATES = ((1, 1), (1, 0), (0, 1), (0, 0))
+
+
+@dataclass(frozen=True)
+class BehavioralMacConfig:
+    """Configuration of the behavioral MAC unit."""
+
+    cells_per_row: int = 8
+    bits_x: int = 8              # activation wordlength (unsigned)
+    bits_w: int = 8              # weight wordlength (signed)
+    temp_grid_c: tuple = (0.0, 20.0, 27.0, 40.0, 60.0, 85.0)
+    sigma_vth_fefet: float = 0.0   # per-cell variation; 0 = nominal
+    sigma_vth_mosfet: float = 0.0
+    seed: int = 0
+    sensing: SensingSpec = field(default_factory=SensingSpec)
+
+
+class BitSerialMacUnit:
+    """Executes integer matmuls on the behavioral CiM array model."""
+
+    def __init__(self, design, config: BehavioralMacConfig | None = None):
+        self.design = design
+        self.config = config or BehavioralMacConfig()
+        if self.config.sensing.co_farads != design.co_farads:
+            # Keep the charge-sharing math consistent with the cell's C_o.
+            self.config = BehavioralMacConfig(
+                **{**self.config.__dict__,
+                   "sensing": SensingSpec(co_farads=design.co_farads,
+                                          cacc_farads=self.config.sensing.cacc_farads)},
+            )
+        self._levels = {}          # state -> np.ndarray over temp grid
+        self._von_sensitivity = None
+        self._calibrate_levels()
+        self._sensor = self._calibrate_sensor()
+
+    # ------------------------------------------------------------------
+    # calibration against the circuit-level cell
+    # ------------------------------------------------------------------
+    def _calibrate_levels(self):
+        temps = self.config.temp_grid_c
+        for state in CELL_STATES:
+            weight, inp = state
+            values = [
+                cell_read_transient(self.design, t, weight_bit=weight,
+                                    input_bit=inp).final_voltage("out")
+                for t in temps
+            ]
+            self._levels[state] = np.asarray(values)
+        # Linearized variation sensitivity of the on-level at 27 degC.
+        delta = 27e-3  # half the paper's sigma: stays in the linear region
+        base = self._level((1, 1), REFERENCE_TEMP_C)
+        sens = {}
+        for which in ("fefet_dvth", "m1_dvth", "m2_dvth"):
+            var = CellVariation(**{which: delta})
+            shifted = cell_read_transient(
+                self.design, REFERENCE_TEMP_C, variation=var).final_voltage("out")
+            sens[which] = (shifted - base) / delta
+        self._von_sensitivity = sens
+
+    def _level(self, state, temp_c):
+        """Interpolated cell output level for a (weight, input) state."""
+        return float(np.interp(temp_c, self.config.temp_grid_c,
+                               self._levels[state]))
+
+    def _calibrate_sensor(self):
+        """ADC thresholds from nominal 27 degC prefix-pattern levels."""
+        n = self.config.cells_per_row
+        gain = self.config.sensing.share_gain(n)
+        von = self._level((1, 1), REFERENCE_TEMP_C)
+        z10 = self._level((1, 0), REFERENCE_TEMP_C)
+        levels = gain * (np.arange(n + 1) * von
+                         + (n - np.arange(n + 1)) * z10)
+        sensor = ChargeSharingSensor(self.config.sensing)
+        return sensor.calibrate(levels)
+
+    @property
+    def sensor(self):
+        """The calibrated charge-sharing sensor (fixed 27 degC thresholds)."""
+        return self._sensor
+
+    def level_table(self, temp_c):
+        """Dict of cell level per (weight, input) state at ``temp_c``."""
+        return {state: self._level(state, temp_c) for state in CELL_STATES}
+
+    # ------------------------------------------------------------------
+    # binary matmul on the array
+    # ------------------------------------------------------------------
+    def _pad_to_chunks(self, k):
+        n = self.config.cells_per_row
+        return (k + n - 1) // n * n
+
+    def binary_matmul(self, x_bits, w_bits, *, temp_c, rng=None):
+        """MAC counts decoded from the analog array for binary operands.
+
+        Parameters
+        ----------
+        x_bits:
+            (M, K) array of 0/1 activations.
+        w_bits:
+            (K, N) array of 0/1 weights.
+        temp_c:
+            Operating temperature (drifts the analog levels; the ADC
+            thresholds stay at their 27 degC calibration).
+        rng:
+            Numpy generator used to draw per-cell threshold offsets when the
+            config's sigmas are nonzero.
+
+        Returns
+        -------
+        (M, N) array of integer dot products as *decoded by the hardware*
+        (ideal result would be ``x_bits @ w_bits``).
+        """
+        x_bits = np.asarray(x_bits)
+        w_bits = np.asarray(w_bits)
+        m, k = x_bits.shape
+        k2, n = w_bits.shape
+        if k != k2:
+            raise ValueError("inner dimensions differ")
+        cells = self.config.cells_per_row
+        k_pad = self._pad_to_chunks(k)
+        if k_pad != k:
+            x_bits = np.pad(x_bits, ((0, 0), (0, k_pad - k)))
+            w_bits = np.pad(w_bits, ((0, k_pad - k), (0, 0)))
+        chunks = k_pad // cells
+        xr = x_bits.reshape(m, chunks, cells).astype(np.float64)
+        wr = w_bits.reshape(chunks, cells, n).astype(np.float64)
+
+        n11 = np.einsum("mce,cen->mcn", xr, wr)            # (w=1, x=1) count
+        n_w1 = wr.sum(axis=1)                              # (chunks, n)
+        n_x1 = xr.sum(axis=2)                              # (m, chunks)
+        n10 = n_w1[None, :, :] - n11
+        n01 = n_x1[:, :, None] - n11
+        n00 = cells - n_w1[None, :, :] - n_x1[:, :, None] + n11
+
+        von = self._level((1, 1), temp_c)
+        z10 = self._level((1, 0), temp_c)
+        z01 = self._level((0, 1), temp_c)
+        z00 = self._level((0, 0), temp_c)
+        gain = self.config.sensing.share_gain(cells)
+        vacc = gain * (n11 * von + n10 * z10 + n01 * z01 + n00 * z00)
+
+        cfg = self.config
+        if cfg.sigma_vth_fefet > 0 or cfg.sigma_vth_mosfet > 0:
+            rng = rng or np.random.default_rng(cfg.seed)
+            s = self._von_sensitivity
+            sigma_cell = np.sqrt(
+                (s["fefet_dvth"] * cfg.sigma_vth_fefet) ** 2
+                + (s["m1_dvth"] * cfg.sigma_vth_mosfet) ** 2
+                + (s["m2_dvth"] * cfg.sigma_vth_mosfet) ** 2
+            )
+            # Per-physical-cell offsets: one draw per (chunk, cell, column).
+            dv = rng.normal(0.0, sigma_cell, size=wr.shape)
+            vacc = vacc + gain * np.einsum("mce,cen->mcn", xr, wr * dv)
+
+        decoded = self._sensor.decode(vacc)
+        return decoded.sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # multi-bit (bit-serial) matmul
+    # ------------------------------------------------------------------
+    def matmul(self, x_codes, w_codes, *, temp_c, rng=None):
+        """Bit-serial integer matmul: unsigned x codes, signed w codes.
+
+        Decomposes operands into bit planes, runs every plane pair through
+        :meth:`binary_matmul` and shift-adds the results — the paper's 8-bit
+        wordlength scheme on a binary crossbar.
+        """
+        x_codes = np.asarray(x_codes, dtype=np.int64)
+        w_codes = np.asarray(w_codes, dtype=np.int64)
+        if np.any(x_codes < 0):
+            raise ValueError("activation codes must be unsigned")
+        rng = rng or np.random.default_rng(self.config.seed)
+
+        result = np.zeros((x_codes.shape[0], w_codes.shape[1]))
+        w_mag = np.abs(w_codes)
+        for sign, w_part in ((1.0, np.where(w_codes > 0, w_mag, 0)),
+                             (-1.0, np.where(w_codes < 0, w_mag, 0))):
+            if not np.any(w_part):
+                continue
+            for bx in range(self.config.bits_x):
+                x_plane = (x_codes >> bx) & 1
+                if not np.any(x_plane):
+                    continue
+                for bw in range(self.config.bits_w - 1):  # magnitude bits
+                    w_plane = (w_part >> bw) & 1
+                    if not np.any(w_plane):
+                        continue
+                    counts = self.binary_matmul(x_plane, w_plane,
+                                                temp_c=temp_c, rng=rng)
+                    result += sign * (counts.astype(np.float64)
+                                      * 2.0 ** (bx + bw))
+        return result
+
+    def ideal_matmul(self, x_codes, w_codes):
+        """The digital reference the hardware is judged against."""
+        return np.asarray(x_codes, dtype=np.int64) @ np.asarray(
+            w_codes, dtype=np.int64)

@@ -1,0 +1,164 @@
+"""Circuit-level MAC row: n cells, per-cell C_o, EN switch, C_acc (Fig. 6).
+
+The row builder instantiates any :class:`repro.cells.base.CiMCellDesign`
+``n`` times, wires every cell between the shared BL/SL lines and its own
+output capacitor, and adds the sensing network.  One ``read`` call runs the
+full two-phase transient:
+
+1. **charge** (0 .. t_read): word lines carry the input bits, cells charge
+   their C_o's;
+2. **share** (t_read .. t_read + t_share): EN closes, all C_o's redistribute
+   onto C_acc (eq. 1).
+
+Energy is integrated per supply source over the whole operation, which is
+what Fig. 8(b) reports per MAC value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.array.sensing import SensingSpec
+from repro.cells.base import CellNodes
+from repro.circuit import Circuit, Step, VoltageSource, transient_simulation
+from repro.circuit.elements import Capacitor, Switch
+from repro.circuit.transient import TransientOptions
+from repro.devices.variation import CellVariation
+
+
+@dataclass
+class RowReadResult:
+    """Outcome of one row MAC operation."""
+
+    vacc: float                 # accumulated output voltage (V)
+    cell_voltages: np.ndarray   # per-cell C_o voltage just before sharing
+    energy_j: float             # total source energy over the operation
+    energy_by_source: dict      # per-source breakdown
+    mac_true: int               # the digital MAC value sum(w & x)
+    transient: object           # full TransientResult for inspection
+
+
+class MacRow:
+    """A single CiM row of ``n_cells`` cells of one design."""
+
+    def __init__(self, design, n_cells=8, sensing=None, t_share=0.9e-9,
+                 variations=None, temp_offsets=None):
+        if n_cells < 1:
+            raise ValueError("row needs at least one cell")
+        self.design = design
+        self.n_cells = n_cells
+        self.sensing = sensing or SensingSpec(co_farads=design.co_farads)
+        self.t_share = t_share
+        if variations is None:
+            variations = [CellVariation.nominal()] * n_cells
+        if len(variations) != n_cells:
+            raise ValueError("one CellVariation per cell required")
+        self.variations = list(variations)
+        if temp_offsets is None:
+            temp_offsets = [0.0] * n_cells
+        if len(temp_offsets) != n_cells:
+            raise ValueError("one temperature offset per cell required")
+        self.temp_offsets = [float(t) for t in temp_offsets]
+        self._weights = [1] * n_cells
+
+    # ------------------------------------------------------------------
+    # programming
+    # ------------------------------------------------------------------
+    def program_weights(self, weights):
+        """Store a binary weight vector (re-programmed on every read build)."""
+        weights = [int(bool(w)) for w in weights]
+        if len(weights) != self.n_cells:
+            raise ValueError(f"expected {self.n_cells} weights")
+        self._weights = weights
+        return self
+
+    @property
+    def weights(self):
+        return tuple(self._weights)
+
+    # ------------------------------------------------------------------
+    # read (MAC) operation
+    # ------------------------------------------------------------------
+    def _build(self, inputs, t_read):
+        bias = self.design.bias
+        circuit = Circuit(f"{self.design.name}-row{self.n_cells}")
+        circuit.add(VoltageSource("VBL", "bl", "0", bias.v_bl))
+        circuit.add(VoltageSource("VSL", "sl", "0", bias.v_sl))
+        aux_nodes = {}
+        for aux_name, aux_voltage in self.design.aux_supplies().items():
+            node = f"aux_{aux_name}"
+            circuit.add(VoltageSource(f"V{aux_name.upper()}", node, "0", aux_voltage))
+            aux_nodes[aux_name] = node
+
+        en_schedule = lambda t, t_on=t_read: t >= t_on
+        for i, (w, x) in enumerate(zip(self._weights, inputs)):
+            wl, out = f"wl{i}", f"o{i}"
+            # Word lines carry the input only during the charging window;
+            # they drop before EN closes so the charge share is passive.
+            wl_wave = Step(t_read, bias.wl_voltage(x), bias.v_wl_off)
+            circuit.add(VoltageSource(f"VWL{i}", wl, "0", wl_wave))
+            nodes = CellNodes(bl="bl", sl="sl", wl=wl, out=out, aux=aux_nodes)
+            first_new = len(circuit.elements)
+            self.design.attach(circuit, f"c{i}", nodes, w, self.variations[i])
+            if self.temp_offsets[i] != 0.0:
+                # Thermal gradient: this cell's devices run offset from the
+                # ambient (hot-spot modeling, see repro.devices.thermal).
+                from repro.devices.thermal import TemperatureShifted
+
+                for element in circuit.elements[first_new:]:
+                    if hasattr(element, "model"):
+                        element.model = TemperatureShifted(
+                            element.model, self.temp_offsets[i])
+            circuit.add(Capacitor(f"CO{i}", out, "0", self.sensing.co_farads))
+            circuit.add(Switch(f"SW{i}", out, "acc", en_schedule,
+                               g_on=1e-3, g_off=1e-15))
+        circuit.add(Capacitor("CACC", "acc", "0", self.sensing.cacc_farads))
+        return circuit
+
+    def read(self, inputs, *, temp_c, t_read=None, dt=0.1e-9, options=None):
+        """Run one MAC operation; returns a :class:`RowReadResult`."""
+        inputs = [int(bool(x)) for x in inputs]
+        if len(inputs) != self.n_cells:
+            raise ValueError(f"expected {self.n_cells} inputs")
+        window = self.design.t_read if t_read is None else t_read
+        circuit = self._build(inputs, window)
+        ics = {f"o{i}": 0.0 for i in range(self.n_cells)}
+        ics["acc"] = 0.0
+        result = transient_simulation(
+            circuit, t_stop=window + self.t_share, dt=dt, temp_c=temp_c,
+            initial_conditions=ics, options=options or TransientOptions(),
+        )
+        pre_share = result.at_time(window - dt)  # last sample before EN closes
+        cell_v = np.array([result.voltage(f"o{i}")[pre_share]
+                           for i in range(self.n_cells)])
+        energy = result.source_energy
+        return RowReadResult(
+            vacc=result.final_voltage("acc"),
+            cell_voltages=cell_v,
+            energy_j=float(sum(energy.values())),
+            energy_by_source=dict(energy),
+            mac_true=int(sum(w & x for w, x in zip(self._weights, inputs))),
+            transient=result,
+        )
+
+    def mac_sweep(self, temp_c, *, t_read=None, dt=0.1e-9, pattern="prefix"):
+        """V_acc for every MAC value 0..n at one temperature.
+
+        ``pattern='prefix'`` programs all-ones weights and activates the
+        first k inputs for MAC = k (the paper's Fig. 4/8 style sweep).
+        Returns ``(mac_values, vaccs, results)``.
+        """
+        if pattern != "prefix":
+            raise ValueError("only the 'prefix' sweep pattern is defined")
+        self.program_weights([1] * self.n_cells)
+        macs = np.arange(self.n_cells + 1)
+        vaccs = np.empty(macs.shape)
+        results = []
+        for k in macs:
+            inputs = [1] * k + [0] * (self.n_cells - k)
+            res = self.read(inputs, temp_c=temp_c, t_read=t_read, dt=dt)
+            vaccs[k] = res.vacc
+            results.append(res)
+        return macs, vaccs, results

@@ -1,0 +1,98 @@
+"""Charge-sharing sensing circuit and ADC threshold calibration (Fig. 6).
+
+After the read window the EN switch connects every cell capacitor C_o to
+the accumulation capacitor C_acc.  Charge conservation gives eq. (1) of the
+paper::
+
+    V_acc = (C_o * sum_i V_Oi) / (n * C_o + C_acc)
+
+The sensing chain then digitizes V_acc with thresholds placed midway
+between the MAC levels *calibrated at the reference temperature* — exactly
+how a real design would trim its flash ADC.  Temperature drift moves the
+levels while thresholds stay fixed, which is how overlapping bands (Fig. 4)
+turn into MAC errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SensingSpec:
+    """Capacitor sizes of the sensing network."""
+
+    co_farads: float = 4.0e-15
+    cacc_farads: float = 8.0e-15
+
+    def __post_init__(self):
+        if self.co_farads <= 0 or self.cacc_farads <= 0:
+            raise ValueError("capacitances must be positive")
+
+    def share_gain(self, n_cells):
+        """The eq. (1) prefactor ``C_o / (n C_o + C_acc)``."""
+        if n_cells < 1:
+            raise ValueError("need at least one cell")
+        return self.co_farads / (n_cells * self.co_farads + self.cacc_farads)
+
+
+def ideal_vacc(cell_voltages, spec, n_cells=None):
+    """Eq. (1): accumulated voltage from the per-cell C_o voltages."""
+    cell_voltages = np.asarray(cell_voltages, dtype=float)
+    n = n_cells if n_cells is not None else cell_voltages.shape[-1]
+    return spec.share_gain(n) * cell_voltages.sum(axis=-1)
+
+
+class ChargeSharingSensor:
+    """Digitizes V_acc against thresholds calibrated at 27 degC.
+
+    ``calibrate`` takes the nominal V_acc level for each MAC value (0..n) at
+    the reference temperature and places decision thresholds at adjacent
+    midpoints.  ``decode`` maps measured voltages to MAC codes with those
+    fixed thresholds.
+    """
+
+    def __init__(self, spec: SensingSpec | None = None):
+        self.spec = spec or SensingSpec()
+        self._levels = None
+        self._thresholds = None
+
+    @property
+    def is_calibrated(self):
+        return self._thresholds is not None
+
+    @property
+    def levels(self):
+        """Nominal per-MAC V_acc levels captured at calibration."""
+        if self._levels is None:
+            raise RuntimeError("sensor not calibrated")
+        return self._levels.copy()
+
+    @property
+    def thresholds(self):
+        if self._thresholds is None:
+            raise RuntimeError("sensor not calibrated")
+        return self._thresholds.copy()
+
+    def calibrate(self, nominal_levels):
+        """Set decision thresholds from reference-temperature MAC levels."""
+        levels = np.asarray(nominal_levels, dtype=float)
+        if levels.ndim != 1 or levels.size < 2:
+            raise ValueError("need nominal levels for at least MAC=0 and MAC=1")
+        if np.any(np.diff(levels) <= 0):
+            raise ValueError("nominal MAC levels must be strictly increasing")
+        self._levels = levels
+        self._thresholds = (levels[:-1] + levels[1:]) / 2.0
+        return self
+
+    def decode(self, vacc):
+        """MAC code(s) for measured V_acc value(s) under fixed thresholds."""
+        if self._thresholds is None:
+            raise RuntimeError("sensor not calibrated")
+        return np.searchsorted(self._thresholds, np.asarray(vacc, dtype=float))
+
+    def decode_scalar(self, vacc):
+        """Single-value convenience wrapper around :meth:`decode`."""
+        return int(self.decode(float(vacc)))

@@ -1,0 +1,43 @@
+"""Latency accounting: the paper's 6.9 ns MAC operation.
+
+The MAC latency decomposes into the C_o charging window (6 ns) and the
+EN charge-sharing phase (0.9 ns); writes use the programming pulses of
+Sec. III plus a small decoder overhead.  The paper attributes its (modest)
+latency disadvantage vs. 1FeFET-1R to the lower operating voltages and the
+accumulation capacitors — both visible in this breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.fefet import ERASE_PULSE, PROGRAM_PULSE
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """Timing of one row MAC and of weight updates."""
+
+    t_read_s: float = 6.0e-9
+    t_share_s: float = 0.9e-9
+    t_decode_s: float = 0.0
+
+    @property
+    def mac_latency_s(self):
+        """End-to-end latency of one MAC operation (the paper's 6.9 ns)."""
+        return self.t_read_s + self.t_share_s + self.t_decode_s
+
+    @property
+    def mac_throughput_per_s(self):
+        """Back-to-back MAC operations per second for one row."""
+        return 1.0 / self.mac_latency_s
+
+    def write_latency_s(self, bit):
+        """Programming latency for one stored bit (paper's pulse widths)."""
+        return PROGRAM_PULSE[1] if bit else ERASE_PULSE[1]
+
+    def macs_per_second(self, n_rows):
+        """Aggregate row-MAC rate for an array with ``n_rows`` rows."""
+        if n_rows < 1:
+            raise ValueError("need at least one row")
+        return n_rows * self.mac_throughput_per_s

@@ -1,0 +1,104 @@
+"""Weight-write path: pulse scheduling, energy and latency accounting.
+
+The paper programs FeFETs with -4 V / 200 ns (erase, logic '0') and
++4 V / 115 ns (program, logic '1') word-line pulses.  Because the FeFET
+write is *field-driven* — the gate is a capacitor, no DC current flows —
+the write energy is the gate-capacitance charging energy plus driver
+overhead, which is why FeFET NVM writes sit at femtojoules per bit while
+current-driven ReRAM/PCM writes cost picojoules (Sec. II-A's comparison).
+
+The row writer follows the usual two-phase scheme:
+
+1. **block erase**: one -4 V pulse on all word lines in parallel;
+2. **selective program**: +4 V pulses on the cells storing '1',
+   word-line-serial (one cell at a time avoids program disturb on the
+   shared bit line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.fefet import ERASE_PULSE, PROGRAM_PULSE
+
+
+@dataclass(frozen=True)
+class WriteDriverSpec:
+    """Electrical parameters of the write driver and FeFET gate stack."""
+
+    #: FeFET gate capacitance seen by the word-line driver, farads.
+    gate_capacitance_f: float = 0.15e-15
+    #: Driver efficiency: fraction of drawn energy delivered to the gate
+    #: (the rest burns in the level shifter / charge pump).
+    driver_efficiency: float = 0.35
+    #: Word-line wiring capacitance charged per pulse, farads.
+    wordline_capacitance_f: float = 0.30e-15
+
+    def __post_init__(self):
+        if not 0.0 < self.driver_efficiency <= 1.0:
+            raise ValueError("driver efficiency must be in (0, 1]")
+        if self.gate_capacitance_f <= 0 or self.wordline_capacitance_f < 0:
+            raise ValueError("capacitances must be positive")
+
+    def pulse_energy_j(self, voltage):
+        """Energy drawn from the supply for one write pulse."""
+        c_total = self.gate_capacitance_f + self.wordline_capacitance_f
+        return c_total * voltage ** 2 / self.driver_efficiency
+
+
+@dataclass(frozen=True)
+class WriteReport:
+    """Energy/latency of programming one weight row."""
+
+    n_cells: int
+    ones_written: int
+    energy_j: float
+    latency_s: float
+
+    @property
+    def energy_per_bit_j(self):
+        return self.energy_j / self.n_cells
+
+    @property
+    def energy_per_bit_fj(self):
+        return self.energy_per_bit_j * 1e15
+
+
+class RowWriter:
+    """Computes the write cost of weight updates on a MAC row."""
+
+    def __init__(self, spec: WriteDriverSpec | None = None):
+        self.spec = spec or WriteDriverSpec()
+
+    def erase_energy_j(self):
+        """Energy of one erase pulse on one cell."""
+        return self.spec.pulse_energy_j(abs(ERASE_PULSE[0]))
+
+    def program_energy_j(self):
+        """Energy of one program pulse on one cell."""
+        return self.spec.pulse_energy_j(PROGRAM_PULSE[0])
+
+    def write_row(self, weights):
+        """Block-erase + selective-program cost for a weight vector."""
+        weights = [int(bool(w)) for w in weights]
+        if not weights:
+            raise ValueError("empty weight vector")
+        ones = sum(weights)
+        energy = (len(weights) * self.erase_energy_j()
+                  + ones * self.program_energy_j())
+        # Erase is parallel across the row; programming is WL-serial.
+        latency = ERASE_PULSE[1] + ones * PROGRAM_PULSE[1]
+        return WriteReport(n_cells=len(weights), ones_written=ones,
+                           energy_j=energy, latency_s=latency)
+
+    def refresh_interval_energy(self, weights, interval_s, horizon_s):
+        """Total rewrite energy over a time horizon at a refresh cadence.
+
+        FeFETs are nonvolatile, so the paper's arrays never refresh — this
+        helper quantifies the energy that nonvolatility *saves* relative to
+        a DRAM-like substrate that must rewrite periodically.
+        """
+        if interval_s <= 0 or horizon_s < 0:
+            raise ValueError("interval must be positive, horizon non-negative")
+        rewrites = int(horizon_s // interval_s)
+        return rewrites * self.write_row(weights).energy_j

@@ -1,0 +1,37 @@
+"""CiM cell designs: baselines and the paper's proposed 2T-1FeFET cell.
+
+* :mod:`repro.cells.fefet_1r` — the 1FeFET-1R cell of Soliman et al. [17],
+  operated either at V_read = 1.3 V (saturation, its published operating
+  point) or scaled down to V_read = 0.35 V (subthreshold) as in the paper's
+  Sec. III-A analysis.
+* :mod:`repro.cells.fefet_1t` — the current-limiting cascode 1FeFET-1T cell
+  of Sk et al. [19], a second subthreshold-capable baseline.
+* :mod:`repro.cells.two_t_one_fefet` — the proposed temperature-compensated
+  2T-1FeFET cell (Sec. III-B).
+
+Cell-level measurement helpers (DC output current, read transients) live in
+:mod:`repro.cells.base`; fast calibrated behavioral twins for NN-scale
+simulation live in :mod:`repro.cells.behavioral`.
+"""
+
+from repro.cells.base import (
+    ArrayBias,
+    CellNodes,
+    CiMCellDesign,
+    cell_output_current,
+    cell_read_transient,
+)
+from repro.cells.fefet_1r import FeFET1RCell
+from repro.cells.fefet_1t import FeFET1TCell
+from repro.cells.two_t_one_fefet import TwoTOneFeFETCell
+
+__all__ = [
+    "ArrayBias",
+    "CellNodes",
+    "CiMCellDesign",
+    "cell_output_current",
+    "cell_read_transient",
+    "FeFET1RCell",
+    "FeFET1TCell",
+    "TwoTOneFeFETCell",
+]

@@ -1,0 +1,68 @@
+"""The 1FeFET-1R baseline cell (Soliman et al., IEDM 2020 [17]).
+
+Topology (Fig. 2 of the paper)::
+
+    BL (1.2 V) ---[ FeFET: gate = WL ]---+---[ R ]--- OUT  (C_o to ground)
+                                        mid
+
+The FeFET stores the weight; the word line carries the read voltage when the
+input bit is '1'.  The series resistor degenerates the FeFET source, which
+linearizes the cell current — and, at elevated temperature, clamps the
+runaway of the subthreshold exponential (the cold side is unprotected, which
+is why the subthreshold fluctuation in Fig. 3(b) is so much worse than the
+saturation one in Fig. 3(a)).
+
+Two factory classmethods configure the paper's two operating points:
+
+* :meth:`FeFET1RCell.saturation` — V_read = 1.3 V, [17]'s published bias;
+* :meth:`FeFET1RCell.subthreshold` — V_read = 0.35 V, the scaled-down bias
+  the paper analyzes in Sec. III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cells.base import ArrayBias, CiMCellDesign
+from repro.circuit.elements import FeFETElement, Resistor
+from repro.devices.fefet import FeFET, FeFETParams
+from repro.devices.resistor import ResistorModel
+from repro.devices.variation import CellVariation
+
+
+@dataclass(frozen=True)
+class FeFET1RCell(CiMCellDesign):
+    """1FeFET-1R cell design with configurable read region."""
+
+    fefet_params: FeFETParams = field(default_factory=FeFETParams)
+    resistor: ResistorModel = ResistorModel(r_ohm=1e3, tcr_per_k=0.0)
+    bias: ArrayBias = ArrayBias(v_bl=1.2, v_sl=0.2, v_wl_on=0.35)
+    co_farads: float = 0.5e-15
+    t_read: float = 6.0e-9
+    v_probe: float = 0.0
+
+    name = "1FeFET-1R"
+
+    @classmethod
+    def subthreshold(cls, **overrides):
+        """The paper's scaled-down V_read = 0.35 V configuration."""
+        return cls(bias=ArrayBias(v_wl_on=0.35), **overrides)
+
+    @classmethod
+    def saturation(cls, **overrides):
+        """[17]'s published V_read = 1.3 V configuration."""
+        return cls(bias=ArrayBias(v_wl_on=1.3), **overrides)
+
+    @property
+    def region_label(self):
+        """'saturation' or 'subthreshold' depending on the WL-on voltage."""
+        return "saturation" if self.bias.v_wl_on > 1.0 else "subthreshold"
+
+    def attach(self, circuit, prefix, nodes, weight_bit, variation=None):
+        variation = variation or CellVariation.nominal()
+        fefet = FeFET(self.fefet_params, delta_vth=variation.fefet_dvth)
+        fefet.write(weight_bit)
+        mid = f"{prefix}_mid"
+        circuit.add(FeFETElement(f"{prefix}_fe", nodes.bl, nodes.wl, mid, fefet))
+        circuit.add(Resistor(f"{prefix}_r", mid, nodes.out, self.resistor))
+        return fefet

@@ -1,0 +1,56 @@
+"""The 1FeFET-1T cascode baseline cell (Sk et al., IEEE TNANO 2023 [19]).
+
+Topology::
+
+    BL (1.2 V) ---[ FeFET: gate = WL ]---+---[ M_cas: gate = V_cas ]--- OUT
+                                        mid
+
+A current-limiting transistor is cascoded under the FeFET; its fixed gate
+bias ``V_cas`` caps the cell current, improving variation tolerance of the
+vector-matrix multiply.  The cascode gives *some* temperature protection
+(the limiting transistor and the FeFET drift together), but because both
+devices sit in the subthreshold region when V_read is scaled down, the cell
+still drifts strongly with temperature — the paper groups it with the
+designs whose NMR_min < 0 across 0-85 degC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cells.base import ArrayBias, CiMCellDesign
+from repro.circuit.elements import FeFETElement, MOSFETElement
+from repro.devices.fefet import FeFET, FeFETParams
+from repro.devices.mosfet import MOSFETParams, NMOSModel
+from repro.devices.variation import CellVariation
+
+
+@dataclass(frozen=True)
+class FeFET1TCell(CiMCellDesign):
+    """1FeFET-1T current-limiting cascode cell."""
+
+    fefet_params: FeFETParams = field(default_factory=lambda: FeFETParams().scaled(4.0))
+    cascode_params: MOSFETParams = field(
+        default_factory=lambda: MOSFETParams(name="mcas", width_over_length=6.0)
+    )
+    v_cascode: float = 0.62
+    bias: ArrayBias = ArrayBias(v_bl=1.2, v_sl=0.2, v_wl_on=0.35)
+    co_farads: float = 0.5e-15
+    t_read: float = 6.0e-9
+    v_probe: float = 0.0
+
+    name = "1FeFET-1T"
+
+    def aux_supplies(self):
+        return {"vcas": self.v_cascode}
+
+    def attach(self, circuit, prefix, nodes, weight_bit, variation=None):
+        variation = variation or CellVariation.nominal()
+        fefet = FeFET(self.fefet_params, delta_vth=variation.fefet_dvth)
+        fefet.write(weight_bit)
+        mid = f"{prefix}_mid"
+        vcas_node = nodes.aux["vcas"]
+        circuit.add(FeFETElement(f"{prefix}_fe", nodes.bl, nodes.wl, mid, fefet))
+        cas_model = NMOSModel(self.cascode_params.with_vth_offset(variation.m1_dvth))
+        circuit.add(MOSFETElement(f"{prefix}_mcas", mid, vcas_node, nodes.out, cas_model))
+        return fefet

@@ -1,0 +1,53 @@
+"""A small modified-nodal-analysis circuit engine (the Spectre substitute).
+
+The paper evaluates every circuit on Cadence Virtuoso Spectre.  The cells and
+arrays involved are tiny (tens of nodes), so a dense MNA engine with a damped
+Newton DC solver (gmin and source stepping fallbacks) and a backward-Euler
+transient integrator reproduces the same physics:
+
+* :mod:`repro.circuit.netlist` — circuit/netlist builder,
+* :mod:`repro.circuit.elements` — R, C, sources, switches, MOSFET/FeFET stamps,
+* :mod:`repro.circuit.dcop` — DC operating point,
+* :mod:`repro.circuit.transient` — transient simulation with per-source energy
+  accounting (how the fJ/op numbers of Fig. 8(b) are measured),
+* :mod:`repro.circuit.sweep` — temperature / parameter sweep drivers.
+"""
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    FeFETElement,
+    MOSFETElement,
+    Resistor,
+    Switch,
+    VoltageSource,
+)
+from repro.circuit.dcop import dc_operating_point, NewtonOptions
+from repro.circuit.transient import transient_simulation, TransientOptions
+from repro.circuit.results import OperatingPoint, TransientResult
+from repro.circuit.waveforms import Constant, Pulse, PiecewiseLinear, Step
+from repro.circuit.sweep import temperature_sweep, parameter_sweep
+
+__all__ = [
+    "Circuit",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "Switch",
+    "MOSFETElement",
+    "FeFETElement",
+    "dc_operating_point",
+    "NewtonOptions",
+    "transient_simulation",
+    "TransientOptions",
+    "OperatingPoint",
+    "TransientResult",
+    "Constant",
+    "Pulse",
+    "PiecewiseLinear",
+    "Step",
+    "temperature_sweep",
+    "parameter_sweep",
+]

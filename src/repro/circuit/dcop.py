@@ -1,0 +1,135 @@
+"""DC operating-point solver: damped Newton with gmin and source stepping.
+
+Subthreshold circuits are numerically nasty — currents span ten decades and
+the exponentials make naive Newton overshoot wildly.  Three standard SPICE
+techniques keep the solver robust:
+
+1. **Voltage-step damping**: the Newton update is scaled so no node moves
+   more than ``max_step_v`` per iteration.
+2. **gmin stepping**: if plain Newton fails, solve a sequence of problems
+   with a large artificial conductance to ground, relaxing it geometrically
+   down to the 1 pS floor while warm-starting each stage.
+3. **Source stepping**: as a last resort, ramp all independent sources from
+   zero to full value, tracking the solution along the homotopy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.mna import GMIN_FLOOR, assemble
+from repro.circuit.results import OperatingPoint
+from repro.errors import ConvergenceError
+
+
+@dataclass(frozen=True)
+class NewtonOptions:
+    """Tunables of the Newton iteration."""
+
+    max_iterations: int = 120
+    abstol: float = 1e-12       # residual (KCL current) tolerance, amperes
+    vtol: float = 1e-9          # voltage update tolerance, volts
+    max_step_v: float = 0.4     # damping clamp per Newton update, volts
+    gmin_steps: tuple = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11)
+    source_steps: int = 12
+
+
+def _newton(circuit, x0, *, t, dt, x_prev, temp_c, source_scale, mode, gmin, options):
+    """One damped-Newton solve; returns (x, iterations, residual) or raises."""
+    x = x0.copy()
+    num_nodes = circuit.num_nodes
+    residual = np.inf
+    for iteration in range(1, options.max_iterations + 1):
+        f, jac = assemble(
+            circuit, x, t=t, dt=dt, x_prev=x_prev, temp_c=temp_c,
+            source_scale=source_scale, mode=mode, gmin=gmin,
+        )
+        residual = float(np.max(np.abs(f))) if f.size else 0.0
+        try:
+            delta = np.linalg.solve(jac, -f)
+        except np.linalg.LinAlgError:
+            delta, *_ = np.linalg.lstsq(jac, -f, rcond=None)
+
+        # Damp: limit the largest node-voltage move per iteration.
+        max_move = float(np.max(np.abs(delta[:num_nodes]), initial=0.0))
+        if max_move > options.max_step_v:
+            delta *= options.max_step_v / max_move
+            max_move = options.max_step_v
+        x += delta
+
+        if max_move < options.vtol and residual < options.abstol:
+            return x, iteration, residual
+    raise ConvergenceError(
+        f"Newton failed after {options.max_iterations} iterations "
+        f"(residual {residual:.3e} A)",
+        residual=residual,
+        iterations=options.max_iterations,
+    )
+
+
+def newton_solve(circuit, x0, *, t=0.0, dt=None, x_prev=None, temp_c=27.0,
+                 source_scale=1.0, mode="dc", gmin=GMIN_FLOOR, options=None):
+    """Public single-stage Newton solve (used by the transient integrator)."""
+    options = options or NewtonOptions()
+    return _newton(
+        circuit, np.asarray(x0, dtype=float), t=t, dt=dt, x_prev=x_prev,
+        temp_c=temp_c, source_scale=source_scale, mode=mode, gmin=gmin,
+        options=options,
+    )
+
+
+def dc_operating_point(circuit, *, temp_c=27.0, t=0.0, x0=None, options=None):
+    """Find the DC operating point, escalating through fallback strategies."""
+    options = options or NewtonOptions()
+    n = circuit.system_size
+    x_init = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
+
+    # Strategy 1: plain damped Newton.
+    try:
+        x, iters, res = _newton(
+            circuit, x_init, t=t, dt=None, x_prev=None, temp_c=temp_c,
+            source_scale=1.0, mode="dc", gmin=GMIN_FLOOR, options=options,
+        )
+        return OperatingPoint(circuit, x, temp_c=temp_c, iterations=iters,
+                              residual=res, strategy="newton")
+    except ConvergenceError:
+        pass
+
+    # Strategy 2: gmin stepping.
+    x = x_init.copy()
+    try:
+        total_iters = 0
+        for gmin in (*options.gmin_steps, GMIN_FLOOR):
+            x, iters, res = _newton(
+                circuit, x, t=t, dt=None, x_prev=None, temp_c=temp_c,
+                source_scale=1.0, mode="dc", gmin=gmin, options=options,
+            )
+            total_iters += iters
+        return OperatingPoint(circuit, x, temp_c=temp_c, iterations=total_iters,
+                              residual=res, strategy="gmin-stepping")
+    except ConvergenceError:
+        pass
+
+    # Strategy 3: source stepping.
+    x = np.zeros(n)
+    total_iters = 0
+    scales = np.linspace(1.0 / options.source_steps, 1.0, options.source_steps)
+    try:
+        for scale in scales:
+            x, iters, res = _newton(
+                circuit, x, t=t, dt=None, x_prev=None, temp_c=temp_c,
+                source_scale=float(scale), mode="dc", gmin=GMIN_FLOOR,
+                options=options,
+            )
+            total_iters += iters
+        return OperatingPoint(circuit, x, temp_c=temp_c, iterations=total_iters,
+                              residual=res, strategy="source-stepping")
+    except ConvergenceError as err:
+        raise ConvergenceError(
+            f"DC operating point of {circuit.title!r} failed all strategies "
+            f"(newton, gmin, source stepping) at T={temp_c} degC: {err}",
+            residual=err.residual,
+            iterations=total_iters,
+        ) from err

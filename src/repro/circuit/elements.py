@@ -1,0 +1,340 @@
+"""Circuit elements and their MNA Newton stamps.
+
+Every element implements ``stamp(ctx)`` against a :class:`StampContext`,
+adding its contribution to the KCL residual vector ``f`` and the Jacobian
+``J`` at the current Newton iterate.  Sign convention: a positive residual
+contribution at a node is current *leaving* that node through the element.
+
+Nonlinear devices (MOSFET, FeFET) delegate their I-V math to the compact
+models in :mod:`repro.devices`, which supply analytic partial derivatives —
+no finite differencing anywhere in the Newton loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.waveforms import as_waveform
+from repro.errors import NetlistError
+
+
+class StampContext:
+    """Assembly context handed to every element's ``stamp`` method.
+
+    Attributes
+    ----------
+    x:
+        Current iterate of the MNA unknown vector.
+    f, jac:
+        Residual vector and Jacobian being accumulated.
+    t, dt:
+        Current time and timestep (``dt`` is None for DC).
+    x_prev:
+        Previous-timestep solution (None for DC).
+    temp_c:
+        Simulation temperature in Celsius.
+    source_scale:
+        Multiplier applied to all independent sources (source stepping).
+    mode:
+        ``"dc"`` or ``"tran"``.
+    """
+
+    def __init__(self, x, f, jac, t, dt, x_prev, temp_c, source_scale, mode, num_nodes):
+        self.x = x
+        self.f = f
+        self.jac = jac
+        self.t = t
+        self.dt = dt
+        self.x_prev = x_prev
+        self.temp_c = temp_c
+        self.source_scale = source_scale
+        self.mode = mode
+        self._num_nodes = num_nodes
+
+    def v(self, node_idx):
+        """Node voltage at the current iterate (0.0 for ground)."""
+        if node_idx < 0:
+            return 0.0
+        return self.x[node_idx]
+
+    def v_prev(self, node_idx):
+        """Node voltage at the previous timestep (0.0 for ground)."""
+        if node_idx < 0 or self.x_prev is None:
+            return 0.0
+        return self.x_prev[node_idx]
+
+    def branch_value(self, branch_idx):
+        """Branch current unknown at the current iterate."""
+        return self.x[self._num_nodes + branch_idx]
+
+    def add_f(self, row, value):
+        """Accumulate into the residual (row -1 = ground is dropped)."""
+        if row >= 0:
+            self.f[row] += value
+
+    def add_j(self, row, col, value):
+        """Accumulate into the Jacobian (ground rows/cols dropped)."""
+        if row >= 0 and col >= 0:
+            self.jac[row, col] += value
+
+    def branch_row(self, branch_idx):
+        """Matrix row/column index of a branch unknown."""
+        return self._num_nodes + branch_idx
+
+
+class Element:
+    """Base class: subclasses set ``ports`` and implement ``stamp``."""
+
+    n_branches = 0
+
+    def __init__(self, name, ports):
+        self.name = name
+        self.ports = tuple(ports)
+        self.port_indices = None   # set by Circuit.add
+        self.branch_index = None   # set by Circuit.add
+
+    def stamp(self, ctx):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name!r}, ports={self.ports})"
+
+
+class Resistor(Element):
+    """Linear (optionally temperature-dependent) resistor.
+
+    ``value`` is either a resistance in ohms or an object exposing
+    ``conductance(temp_c)`` (e.g. :class:`repro.devices.resistor.ResistorModel`).
+    """
+
+    def __init__(self, name, a, b, value):
+        super().__init__(name, (a, b))
+        self._value = value
+
+    def conductance(self, temp_c):
+        if hasattr(self._value, "conductance"):
+            return self._value.conductance(temp_c)
+        r = float(self._value)
+        if r <= 0:
+            raise NetlistError(f"resistor {self.name!r} must be positive")
+        return 1.0 / r
+
+    def stamp(self, ctx):
+        a, b = self.port_indices
+        g = self.conductance(ctx.temp_c)
+        va, vb = ctx.v(a), ctx.v(b)
+        i = g * (va - vb)
+        ctx.add_f(a, i)
+        ctx.add_f(b, -i)
+        ctx.add_j(a, a, g)
+        ctx.add_j(a, b, -g)
+        ctx.add_j(b, a, -g)
+        ctx.add_j(b, b, g)
+
+    def current(self, op, temp_c):
+        """Branch current a->b at a solved operating point."""
+        return self.conductance(temp_c) * (op.voltage_by_index(self.port_indices[0])
+                                           - op.voltage_by_index(self.port_indices[1]))
+
+
+class Capacitor(Element):
+    """Linear capacitor; open in DC, backward-Euler companion in transient."""
+
+    def __init__(self, name, a, b, farads):
+        super().__init__(name, (a, b))
+        if farads <= 0:
+            raise NetlistError(f"capacitor {name!r} must be positive")
+        self.farads = float(farads)
+
+    def stamp(self, ctx):
+        if ctx.mode == "dc":
+            return  # open circuit
+        a, b = self.port_indices
+        geq = self.farads / ctx.dt
+        v_now = ctx.v(a) - ctx.v(b)
+        v_old = ctx.v_prev(a) - ctx.v_prev(b)
+        i = geq * (v_now - v_old)
+        ctx.add_f(a, i)
+        ctx.add_f(b, -i)
+        ctx.add_j(a, a, geq)
+        ctx.add_j(a, b, -geq)
+        ctx.add_j(b, a, -geq)
+        ctx.add_j(b, b, geq)
+
+    def stored_energy(self, v_across):
+        """Energy stored at a given voltage across the plates."""
+        return 0.5 * self.farads * v_across ** 2
+
+
+class VoltageSource(Element):
+    """Independent voltage source with a branch-current unknown.
+
+    The branch current is defined flowing from the positive node *through the
+    source* to the negative node; a source delivering power therefore shows a
+    negative branch current, and ``delivered power = -i_branch * v_source``.
+    """
+
+    n_branches = 1
+
+    def __init__(self, name, pos, neg, value):
+        super().__init__(name, (pos, neg))
+        self.waveform = as_waveform(value)
+
+    def value_at(self, t, source_scale=1.0):
+        return self.waveform(t) * source_scale
+
+    def stamp(self, ctx):
+        pos, neg = self.port_indices
+        br = self.branch_index
+        row = ctx.branch_row(br)
+        i_br = ctx.branch_value(br)
+        # KCL: branch current leaves the positive node.
+        ctx.add_f(pos, i_br)
+        ctx.add_f(neg, -i_br)
+        ctx.add_j(pos, row, 1.0)
+        ctx.add_j(neg, row, -1.0)
+        # Branch equation: v(pos) - v(neg) = V(t).
+        v_target = self.value_at(ctx.t, ctx.source_scale)
+        ctx.f[row] += ctx.v(pos) - ctx.v(neg) - v_target
+        ctx.add_j(row, pos, 1.0)
+        ctx.add_j(row, neg, -1.0)
+
+
+class CurrentSource(Element):
+    """Independent current source, positive current from pos to neg port."""
+
+    def __init__(self, name, pos, neg, value):
+        super().__init__(name, (pos, neg))
+        self.waveform = as_waveform(value)
+
+    def stamp(self, ctx):
+        pos, neg = self.port_indices
+        i = self.waveform(ctx.t) * ctx.source_scale
+        ctx.add_f(pos, i)
+        ctx.add_f(neg, -i)
+
+
+class Switch(Element):
+    """Ideal voltage-independent switch driven by a time schedule.
+
+    ``schedule(t) -> bool`` selects between on/off conductances.  In DC the
+    schedule is evaluated at the DC time (default 0).  Used for the EN
+    charge-sharing switch of the sensing circuit (Fig. 6).
+    """
+
+    def __init__(self, name, a, b, schedule, g_on=1e3, g_off=1e-12):
+        super().__init__(name, (a, b))
+        if g_on <= g_off:
+            raise NetlistError("switch g_on must exceed g_off")
+        self.schedule = schedule
+        self.g_on = float(g_on)
+        self.g_off = float(g_off)
+
+    def conductance_at(self, t):
+        return self.g_on if self.schedule(t) else self.g_off
+
+    def stamp(self, ctx):
+        a, b = self.port_indices
+        g = self.conductance_at(ctx.t)
+        i = g * (ctx.v(a) - ctx.v(b))
+        ctx.add_f(a, i)
+        ctx.add_f(b, -i)
+        ctx.add_j(a, a, g)
+        ctx.add_j(a, b, -g)
+        ctx.add_j(b, a, -g)
+        ctx.add_j(b, b, g)
+
+
+class VCVS(Element):
+    """Voltage-controlled voltage source (SPICE 'E' element).
+
+    Enforces ``v(pos) - v(neg) = gain * (v(cpos) - v(cneg))`` through a
+    branch-current unknown.  Used to model ideal buffers/level shifters in
+    peripheral circuitry.
+    """
+
+    n_branches = 1
+
+    def __init__(self, name, pos, neg, cpos, cneg, gain):
+        super().__init__(name, (pos, neg, cpos, cneg))
+        self.gain = float(gain)
+
+    def stamp(self, ctx):
+        pos, neg, cpos, cneg = self.port_indices
+        br = self.branch_index
+        row = ctx.branch_row(br)
+        i_br = ctx.branch_value(br)
+        ctx.add_f(pos, i_br)
+        ctx.add_f(neg, -i_br)
+        ctx.add_j(pos, row, 1.0)
+        ctx.add_j(neg, row, -1.0)
+        ctx.f[row] += (ctx.v(pos) - ctx.v(neg)
+                       - self.gain * (ctx.v(cpos) - ctx.v(cneg)))
+        ctx.add_j(row, pos, 1.0)
+        ctx.add_j(row, neg, -1.0)
+        ctx.add_j(row, cpos, -self.gain)
+        ctx.add_j(row, cneg, self.gain)
+
+
+class VCCS(Element):
+    """Voltage-controlled current source (SPICE 'G' element).
+
+    Drives ``gm * (v(cpos) - v(cneg))`` from pos to neg.  Handy for
+    behavioral sense amplifiers and for testing the engine against textbook
+    two-port identities.
+    """
+
+    def __init__(self, name, pos, neg, cpos, cneg, gm):
+        super().__init__(name, (pos, neg, cpos, cneg))
+        self.gm = float(gm)
+
+    def stamp(self, ctx):
+        pos, neg, cpos, cneg = self.port_indices
+        i = self.gm * (ctx.v(cpos) - ctx.v(cneg))
+        ctx.add_f(pos, i)
+        ctx.add_f(neg, -i)
+        for row, sign in ((pos, 1.0), (neg, -1.0)):
+            ctx.add_j(row, cpos, sign * self.gm)
+            ctx.add_j(row, cneg, -sign * self.gm)
+
+
+class MOSFETElement(Element):
+    """Three-terminal nMOS stamp backed by any ``ids_and_derivs`` model.
+
+    Ports are ordered (drain, gate, source).  The gate is treated as
+    infinite-impedance (no DC gate current), which matches the compact models.
+    """
+
+    def __init__(self, name, drain, gate, source, model):
+        super().__init__(name, (drain, gate, source))
+        self.model = model
+
+    def stamp(self, ctx):
+        d, g, s = self.port_indices
+        vd, vg, vs = ctx.v(d), ctx.v(g), ctx.v(s)
+        ids, gds, gm, gms = self.model.ids_and_derivs(vd, vg, vs, ctx.temp_c)
+        # Drain current leaves the drain node and enters the source node.
+        ctx.add_f(d, ids)
+        ctx.add_f(s, -ids)
+        for row, sign in ((d, 1.0), (s, -1.0)):
+            ctx.add_j(row, d, sign * gds)
+            ctx.add_j(row, g, sign * gm)
+            ctx.add_j(row, s, sign * gms)
+
+    def current(self, op, temp_c):
+        """Drain current at a solved operating point."""
+        d, g, s = self.port_indices
+        return self.model.ids(
+            op.voltage_by_index(d), op.voltage_by_index(g), op.voltage_by_index(s), temp_c
+        )
+
+
+class FeFETElement(MOSFETElement):
+    """FeFET stamp: identical interface, model is a stateful FeFET instance."""
+
+    def __init__(self, name, drain, gate, source, fefet):
+        super().__init__(name, drain, gate, source, fefet)
+
+    @property
+    def fefet(self):
+        return self.model

@@ -1,0 +1,38 @@
+"""System assembly: residual vector and Jacobian for Newton iterations.
+
+``assemble`` walks the element list once per Newton iterate and returns the
+KCL residual ``f(x)`` and its Jacobian ``J(x)``.  A per-node ``gmin``
+conductance to ground is always included; the DC solver raises it temporarily
+during gmin stepping, and at its floor value (1 pS) it models the junction
+leakage that defines floating-node voltages in real silicon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.elements import StampContext
+
+#: Leakage conductance present at every node (siemens).
+GMIN_FLOOR = 1e-12
+
+
+def assemble(circuit, x, *, t=0.0, dt=None, x_prev=None, temp_c=27.0,
+             source_scale=1.0, mode="dc", gmin=GMIN_FLOOR):
+    """Build ``(f, J)`` at iterate ``x`` for the given analysis context."""
+    n = circuit.system_size
+    f = np.zeros(n)
+    jac = np.zeros((n, n))
+    ctx = StampContext(
+        x=x, f=f, jac=jac, t=t, dt=dt, x_prev=x_prev, temp_c=temp_c,
+        source_scale=source_scale, mode=mode, num_nodes=circuit.num_nodes,
+    )
+    for element in circuit.elements:
+        element.stamp(ctx)
+
+    # gmin to ground on every voltage node.
+    num_nodes = circuit.num_nodes
+    if gmin > 0.0:
+        f[:num_nodes] += gmin * x[:num_nodes]
+        jac[range(num_nodes), range(num_nodes)] += gmin
+    return f, jac

@@ -1,0 +1,110 @@
+"""Netlist container: named nodes, elements and index bookkeeping.
+
+Node names are free-form strings; ``"0"`` and ``"gnd"`` denote the ground
+reference.  The MNA unknown vector is laid out as::
+
+    x = [ v(node_0), ..., v(node_N-1), i(branch_0), ..., i(branch_B-1) ]
+
+where branches belong to elements that carry a current unknown (voltage
+sources).  Elements register themselves when added; duplicate element names
+are rejected so result lookups are unambiguous.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+
+GROUND_NAMES = frozenset({"0", "gnd", "GND"})
+
+
+class Circuit:
+    """A flat netlist of named nodes and circuit elements."""
+
+    def __init__(self, title="circuit"):
+        self.title = title
+        self._node_index = {}
+        self._node_names = []
+        self.elements = []
+        self._element_names = set()
+        self._branch_count = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def node(self, name):
+        """Intern a node name, returning its index (-1 for ground)."""
+        if not isinstance(name, str) or not name:
+            raise NetlistError(f"invalid node name {name!r}")
+        if name in GROUND_NAMES:
+            return -1
+        idx = self._node_index.get(name)
+        if idx is None:
+            idx = len(self._node_names)
+            self._node_index[name] = idx
+            self._node_names.append(name)
+        return idx
+
+    def add(self, element):
+        """Add an element, interning its port nodes; returns the element."""
+        if element.name in self._element_names:
+            raise NetlistError(f"duplicate element name {element.name!r}")
+        element.port_indices = tuple(self.node(p) for p in element.ports)
+        if element.n_branches:
+            element.branch_index = self._branch_count
+            self._branch_count += element.n_branches
+        else:
+            element.branch_index = None
+        self.elements.append(element)
+        self._element_names.add(element.name)
+        return element
+
+    def extend(self, elements):
+        """Add several elements in order."""
+        for el in elements:
+            self.add(el)
+        return self
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self):
+        """Number of non-ground nodes."""
+        return len(self._node_names)
+
+    @property
+    def num_branches(self):
+        """Number of branch-current unknowns."""
+        return self._branch_count
+
+    @property
+    def system_size(self):
+        """Total MNA unknown count."""
+        return self.num_nodes + self._branch_count
+
+    @property
+    def node_names(self):
+        """Tuple of non-ground node names in index order."""
+        return tuple(self._node_names)
+
+    def index_of(self, node_name):
+        """Index of an existing node (-1 for ground)."""
+        if node_name in GROUND_NAMES:
+            return -1
+        try:
+            return self._node_index[node_name]
+        except KeyError:
+            raise NetlistError(f"unknown node {node_name!r}") from None
+
+    def element(self, name):
+        """Look up an element by name."""
+        for el in self.elements:
+            if el.name == name:
+                return el
+        raise NetlistError(f"unknown element {name!r}")
+
+    def __repr__(self):
+        return (
+            f"Circuit({self.title!r}, nodes={self.num_nodes}, "
+            f"elements={len(self.elements)}, branches={self.num_branches})"
+        )

@@ -1,0 +1,110 @@
+"""Result containers for DC and transient analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NetlistError
+
+
+class OperatingPoint:
+    """A solved DC operating point.
+
+    Provides voltage lookups by node name and branch currents for voltage
+    sources, plus the solver diagnostics (iterations, residual, strategy).
+    """
+
+    def __init__(self, circuit, x, *, temp_c, iterations, residual, strategy):
+        self.circuit = circuit
+        self.x = np.asarray(x, dtype=float)
+        self.temp_c = temp_c
+        self.iterations = iterations
+        self.residual = residual
+        self.strategy = strategy
+
+    def voltage(self, node_name):
+        """Voltage of a node by name (0.0 for ground)."""
+        idx = self.circuit.index_of(node_name)
+        return self.voltage_by_index(idx)
+
+    def voltage_by_index(self, idx):
+        """Voltage of a node by MNA index (-1 = ground)."""
+        if idx < 0:
+            return 0.0
+        return float(self.x[idx])
+
+    def branch_current(self, source_name):
+        """Branch current of a voltage source (positive = absorbing)."""
+        el = self.circuit.element(source_name)
+        if el.branch_index is None:
+            raise NetlistError(f"element {source_name!r} has no branch current")
+        return float(self.x[self.circuit.num_nodes + el.branch_index])
+
+    def source_power(self, source_name, t=0.0):
+        """Power delivered *to the circuit* by a voltage source, in watts."""
+        el = self.circuit.element(source_name)
+        v = el.value_at(t)
+        return -self.branch_current(source_name) * v
+
+    def __repr__(self):
+        return (
+            f"OperatingPoint(T={self.temp_c} degC, iters={self.iterations}, "
+            f"residual={self.residual:.2e}, strategy={self.strategy!r})"
+        )
+
+
+class TransientResult:
+    """Time series produced by the transient integrator.
+
+    Attributes
+    ----------
+    times:
+        1-D array of time points (including t = 0).
+    states:
+        2-D array, one MNA solution vector per time point.
+    source_energy:
+        Mapping source name -> cumulative energy delivered to the circuit (J).
+    """
+
+    def __init__(self, circuit, times, states, source_energy, temp_c):
+        self.circuit = circuit
+        self.times = np.asarray(times, dtype=float)
+        self.states = np.asarray(states, dtype=float)
+        self.source_energy = dict(source_energy)
+        self.temp_c = temp_c
+
+    def voltage(self, node_name):
+        """Full voltage waveform of a node."""
+        idx = self.circuit.index_of(node_name)
+        if idx < 0:
+            return np.zeros_like(self.times)
+        return self.states[:, idx]
+
+    def final_voltage(self, node_name):
+        """Node voltage at the last time point."""
+        return float(self.voltage(node_name)[-1])
+
+    def branch_current(self, source_name):
+        """Branch-current waveform of a voltage source."""
+        el = self.circuit.element(source_name)
+        if el.branch_index is None:
+            raise NetlistError(f"element {source_name!r} has no branch current")
+        return self.states[:, self.circuit.num_nodes + el.branch_index]
+
+    def energy_of(self, source_name):
+        """Energy delivered to the circuit by one source (joules)."""
+        return self.source_energy[source_name]
+
+    def total_source_energy(self):
+        """Total energy delivered by all sources (joules)."""
+        return float(sum(self.source_energy.values()))
+
+    def at_time(self, t):
+        """Index of the sample closest to time ``t``."""
+        return int(np.argmin(np.abs(self.times - t)))
+
+    def __repr__(self):
+        return (
+            f"TransientResult(T={self.temp_c} degC, points={self.times.size}, "
+            f"t_end={self.times[-1]:.3e}s)"
+        )

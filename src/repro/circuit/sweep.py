@@ -1,0 +1,57 @@
+"""Sweep drivers: run an analysis across temperature or any parameter grid.
+
+The paper's figures are all sweeps — output current vs. temperature (Figs. 3
+and 7), MAC level vs. temperature (Figs. 4 and 8).  These helpers keep the
+sweep loops out of the experiment code and warm-start consecutive DC solves
+from the previous solution, which both speeds things up and keeps the solver
+on the same branch of a (potentially multi-stable) feedback circuit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.dcop import dc_operating_point
+
+
+def temperature_sweep(circuit_factory, temps_c, *, probe, options=None):
+    """DC-sweep a circuit across temperature.
+
+    Parameters
+    ----------
+    circuit_factory:
+        Callable ``() -> Circuit`` building a fresh netlist.  A factory (not
+        a shared instance) so that stateful devices (FeFETs) are re-programmed
+        identically for every point.
+    temps_c:
+        Iterable of temperatures in Celsius.
+    probe:
+        Callable ``(OperatingPoint) -> float`` extracting the quantity of
+        interest (a node voltage, an element current, ...).
+
+    Returns
+    -------
+    (temps, values):
+        numpy arrays of the sweep axis and the probed quantity.
+    """
+    temps = np.asarray(list(temps_c), dtype=float)
+    values = np.empty(temps.shape)
+    x_prev = None
+    for i, temp in enumerate(temps):
+        circuit = circuit_factory()
+        op = dc_operating_point(circuit, temp_c=float(temp), x0=x_prev,
+                                options=options)
+        values[i] = probe(op)
+        x_prev = op.x
+    return temps, values
+
+
+def parameter_sweep(values, runner):
+    """Evaluate ``runner(value)`` over a grid, returning (grid, results list).
+
+    A thin, explicit loop — no hidden parallelism — so failures point at the
+    exact parameter value that caused them.
+    """
+    grid = list(values)
+    results = [runner(v) for v in grid]
+    return grid, results

@@ -1,0 +1,86 @@
+"""Source waveforms: constants, steps, pulses and piecewise-linear ramps.
+
+A waveform is simply a callable ``value(t) -> float``; sources accept either a
+plain number (treated as constant) or one of these objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A time-invariant value."""
+
+    value: float
+
+    def __call__(self, t):
+        return self.value
+
+
+@dataclass(frozen=True)
+class Step:
+    """``v_before`` until ``t_step``, then ``v_after``."""
+
+    t_step: float
+    v_before: float
+    v_after: float
+
+    def __call__(self, t):
+        return self.v_after if t >= self.t_step else self.v_before
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """A single trapezoidal pulse (SPICE-like, no periodic repeat).
+
+    Rises from ``v_low`` to ``v_high`` starting at ``t_delay`` over
+    ``t_rise``, holds for ``t_width``, falls over ``t_fall``.
+    """
+
+    v_low: float
+    v_high: float
+    t_delay: float
+    t_width: float
+    t_rise: float = 1e-12
+    t_fall: float = 1e-12
+
+    def __call__(self, t):
+        t0 = self.t_delay
+        t1 = t0 + self.t_rise
+        t2 = t1 + self.t_width
+        t3 = t2 + self.t_fall
+        if t <= t0 or t >= t3:
+            return self.v_low
+        if t < t1:
+            return self.v_low + (self.v_high - self.v_low) * (t - t0) / self.t_rise
+        if t <= t2:
+            return self.v_high
+        return self.v_high - (self.v_high - self.v_low) * (t - t2) / self.t_fall
+
+
+class PiecewiseLinear:
+    """Linear interpolation through ``(time, value)`` breakpoints."""
+
+    def __init__(self, times, values):
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.ndim != 1 or times.shape != values.shape or times.size < 2:
+            raise ValueError("PWL needs matching 1-D time/value arrays (>= 2 points)")
+        if np.any(np.diff(times) <= 0):
+            raise ValueError("PWL times must be strictly increasing")
+        self._times = times
+        self._values = values
+
+    def __call__(self, t):
+        return float(np.interp(t, self._times, self._values))
+
+
+def as_waveform(value):
+    """Coerce a number or callable into a waveform callable."""
+    if callable(value):
+        return value
+    return Constant(float(value))

@@ -1,0 +1,60 @@
+"""Physical constants and temperature helpers.
+
+Every temperature-dependent equation in this package is written against
+absolute temperature in kelvin, but the paper (and therefore the public API)
+speaks in degrees Celsius: the evaluation window is 0 °C to 85 °C with a
+reference temperature of 27 °C.  The helpers here perform the conversions in
+one place so device models never hand-roll ``+ 273.15``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Boltzmann constant in joules per kelvin (exact, SI 2019).
+BOLTZMANN_J_PER_K = 1.380649e-23
+
+#: Elementary charge in coulombs (exact, SI 2019).
+ELEMENTARY_CHARGE_C = 1.602176634e-19
+
+#: Offset between the Celsius and Kelvin scales.
+ZERO_CELSIUS_IN_KELVIN = 273.15
+
+#: Reference temperature used throughout the paper's evaluation (27 °C).
+REFERENCE_TEMP_C = 27.0
+
+#: The paper's evaluation window: 0 °C to 85 °C.
+TEMP_WINDOW_C = (0.0, 85.0)
+
+#: The upper window the paper highlights as best optimized (20 °C to 85 °C).
+UPPER_TEMP_WINDOW_C = (20.0, 85.0)
+
+
+def celsius_to_kelvin(temp_c):
+    """Convert a temperature (scalar or array) from Celsius to kelvin."""
+    return np.asarray(temp_c, dtype=float) + ZERO_CELSIUS_IN_KELVIN
+
+
+def kelvin_to_celsius(temp_k):
+    """Convert a temperature (scalar or array) from kelvin to Celsius."""
+    return np.asarray(temp_k, dtype=float) - ZERO_CELSIUS_IN_KELVIN
+
+
+def thermal_voltage(temp_c):
+    """Thermal voltage kT/q in volts at a temperature given in Celsius.
+
+    At the paper's 27 °C reference this is ~25.9 mV; the growth of kT/q with
+    temperature is one of the two drivers (with V_TH drift) of the exponential
+    subthreshold current fluctuation the paper sets out to suppress.
+    """
+    temp_k = celsius_to_kelvin(temp_c)
+    if np.any(temp_k <= 0.0):
+        raise ValueError(f"temperature {temp_c!r} degC is at or below absolute zero")
+    return BOLTZMANN_J_PER_K * temp_k / ELEMENTARY_CHARGE_C
+
+
+def temperature_grid(start_c=TEMP_WINDOW_C[0], stop_c=TEMP_WINDOW_C[1], num=18):
+    """Evenly spaced Celsius grid spanning the paper's evaluation window."""
+    if num < 2:
+        raise ValueError("temperature grid needs at least two points")
+    return np.linspace(float(start_c), float(stop_c), int(num))

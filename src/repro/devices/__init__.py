@@ -1,0 +1,38 @@
+"""Device models: EKV MOSFET, Preisach FeFET, passives, process variation.
+
+The models are *behavioral compact models* in the SPICE sense: closed-form
+I-V equations with analytic derivatives so the circuit engine's Newton solver
+converges quickly, plus explicit temperature dependence in every term the
+paper's analysis relies on (kT/q, V_TH(T), mobility(T), coercive voltage(T)).
+"""
+
+from repro.devices.physics import (
+    mobility_scale,
+    subthreshold_swing_mv_per_dec,
+    vth_at_temperature,
+)
+from repro.devices.mosfet import MOSFETParams, NMOSModel
+from repro.devices.ferroelectric import PreisachFerroelectric, FerroelectricParams
+from repro.devices.switching import SwitchingDynamics, merz_switching_time
+from repro.devices.fefet import FeFET, FeFETParams, FeFETState
+from repro.devices.resistor import ResistorModel
+from repro.devices.variation import CellVariation, MonteCarloSampler, VariationSpec
+
+__all__ = [
+    "mobility_scale",
+    "subthreshold_swing_mv_per_dec",
+    "vth_at_temperature",
+    "MOSFETParams",
+    "NMOSModel",
+    "PreisachFerroelectric",
+    "FerroelectricParams",
+    "SwitchingDynamics",
+    "merz_switching_time",
+    "FeFET",
+    "FeFETParams",
+    "FeFETState",
+    "ResistorModel",
+    "VariationSpec",
+    "CellVariation",
+    "MonteCarloSampler",
+]

@@ -1,0 +1,238 @@
+"""FeFET compact model: Preisach ferroelectric stacked on an EKV transistor.
+
+The MFIS (metal-ferroelectric-insulator-semiconductor) gate stack couples the
+ferroelectric polarization to the transistor threshold: polarization "up"
+(``P = +1``) screens the channel and lowers V_TH, polarization "down" raises
+it.  We use the standard linear mapping
+
+    V_TH(P, T) = V_TH_center + tcv * (T - T_ref) - P(T) * MW / 2 + dVTH
+
+with ``MW`` the memory window (the paper's device reads at 0.35 V inside the
+window, fully in the subthreshold of the low-V_TH branch — Fig. 1) and
+``dVTH`` a per-instance process-variation offset (sigma = 54 mV in the
+paper's Monte-Carlo study).
+
+Write operations follow the paper's scheme exactly: +4 V / 115 ns to program
+low-V_TH (logic '1'), -4 V / 200 ns to program high-V_TH (logic '0'), with
+pulse-width-dependent partial switching handled by
+:class:`repro.devices.switching.SwitchingDynamics`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.constants import REFERENCE_TEMP_C, thermal_voltage
+from repro.devices.ferroelectric import FerroelectricParams, PreisachFerroelectric
+from repro.devices.mosfet import ekv_ids_and_derivs
+from repro.devices.physics import (
+    DEFAULT_MOBILITY_EXPONENT,
+    DEFAULT_TCV_V_PER_K,
+    mobility_scale,
+    softplus,
+    vth_at_temperature,
+)
+from repro.devices.switching import SwitchingDynamics
+
+
+class FeFETState(enum.Enum):
+    """Coarse classification of the stored polarization state."""
+
+    LOW_VTH = "low-vth"       # logic '1': conducts at V_read
+    HIGH_VTH = "high-vth"     # logic '0': off at V_read
+    INTERMEDIATE = "intermediate"
+
+
+#: Program pulse used by the paper to set the low-V_TH state (logic '1').
+PROGRAM_PULSE = (4.0, 115e-9)
+#: Erase pulse used by the paper to set the high-V_TH state (logic '0').
+ERASE_PULSE = (-4.0, 200e-9)
+
+
+@dataclass(frozen=True)
+class FeFETParams:
+    """FeFET parameter set (transistor core + gate-stack coupling).
+
+    The transistor-core fields mirror :class:`repro.devices.mosfet.MOSFETParams`;
+    ``vth_center`` and ``memory_window`` define the polarization-to-threshold
+    mapping.  Defaults put V_TH(low) = 0.45 V and V_TH(high) = 1.45 V so that the
+    paper's two read points — 0.35 V (subthreshold) and 1.3 V (saturation) —
+    land in the intended regions of the low-V_TH branch while the high-V_TH
+    branch stays off at both.
+    """
+
+    name: str = "fefet"
+    width_over_length: float = 2.0
+    vth_center: float = 0.95
+    memory_window: float = 1.0
+    slope_factor: float = 1.5
+    mu_cox: float = 180e-6
+    lambda_clm: float = 0.04
+    tcv: float = DEFAULT_TCV_V_PER_K
+    mobility_exponent: float = DEFAULT_MOBILITY_EXPONENT
+    temp_ref_c: float = REFERENCE_TEMP_C
+    ferroelectric: FerroelectricParams = field(default_factory=FerroelectricParams)
+    dynamics: SwitchingDynamics = field(default_factory=SwitchingDynamics)
+
+    def scaled(self, width_over_length):
+        """Copy of these parameters with a different W/L ratio."""
+        return replace(self, width_over_length=float(width_over_length))
+
+
+class FeFET:
+    """A single FeFET instance with mutable polarization state.
+
+    Parameters
+    ----------
+    params:
+        Device parameter set.
+    delta_vth:
+        Per-instance threshold offset in volts (process variation); the
+        paper's Monte-Carlo study uses Gaussian sigma = 54 mV.
+    """
+
+    def __init__(self, params: FeFETParams | None = None, delta_vth: float = 0.0):
+        self.params = params or FeFETParams()
+        self.delta_vth = float(delta_vth)
+        self.ferro = PreisachFerroelectric(self.params.ferroelectric)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def apply_gate_pulse(self, voltage, width_s, temp_c=REFERENCE_TEMP_C):
+        """Apply a programming pulse of the given amplitude and width."""
+        fraction = self.params.dynamics.switched_fraction(voltage, width_s)
+        self.ferro.apply_partial(voltage, fraction, temp_c)
+        return self.polarization
+
+    def program_low_vth(self, temp_c=REFERENCE_TEMP_C):
+        """Store logic '1' with the paper's +4 V / 115 ns pulse."""
+        return self.apply_gate_pulse(*PROGRAM_PULSE, temp_c=temp_c)
+
+    def program_high_vth(self, temp_c=REFERENCE_TEMP_C):
+        """Store logic '0' with the paper's -4 V / 200 ns pulse."""
+        return self.apply_gate_pulse(*ERASE_PULSE, temp_c=temp_c)
+
+    def write(self, bit, temp_c=REFERENCE_TEMP_C):
+        """Program a logic bit (truthy -> low-V_TH / '1')."""
+        if bit:
+            return self.program_low_vth(temp_c)
+        return self.program_high_vth(temp_c)
+
+    def program_partial(self, fraction, temp_c=REFERENCE_TEMP_C):
+        """Erase, then switch a controlled fraction of domains.
+
+        Pulse-width control of partial switching is the standard multi-level
+        programming scheme for FeFETs (cf. the multi-bit MAC of [23]):
+        ``fraction = 0`` leaves the device erased (high-V_TH),
+        ``fraction = 1`` is a full program (low-V_TH), and intermediate
+        values land the polarization near ``-1 + 2 * fraction``.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"program fraction {fraction} outside [0, 1]")
+        self.program_high_vth(temp_c)
+        if fraction == 0.0:
+            return self.polarization
+        voltage = PROGRAM_PULSE[0]
+        if fraction >= 1.0:
+            width = PROGRAM_PULSE[1]
+        else:
+            width = self.params.dynamics.width_for_fraction(voltage, fraction)
+        return self.apply_gate_pulse(voltage, width, temp_c)
+
+    def program_level(self, level, n_levels=4, temp_c=REFERENCE_TEMP_C):
+        """Store one of ``n_levels`` evenly spaced polarization levels.
+
+        Level 0 is the erased (high-V_TH) state, level ``n_levels - 1`` the
+        fully programmed one; thresholds are spaced by
+        ``memory_window / (n_levels - 1)``.
+        """
+        if n_levels < 2:
+            raise ValueError("need at least two levels")
+        if not 0 <= level < n_levels:
+            raise ValueError(f"level {level} outside [0, {n_levels})")
+        return self.program_partial(level / (n_levels - 1), temp_c)
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def polarization(self):
+        """Normalized remnant polarization in [-1, +1]."""
+        return self.ferro.polarization
+
+    @property
+    def state(self):
+        """Coarse stored state (low-V_TH / high-V_TH / intermediate)."""
+        p = self.polarization
+        if p > 0.5:
+            return FeFETState.LOW_VTH
+        if p < -0.5:
+            return FeFETState.HIGH_VTH
+        return FeFETState.INTERMEDIATE
+
+    def vth(self, temp_c):
+        """Effective threshold voltage at ``temp_c`` for the stored state."""
+        p = self.params
+        base = vth_at_temperature(p.vth_center, temp_c, p.temp_ref_c, p.tcv)
+        pol = self.ferro.polarization_at(temp_c)
+        return base - pol * p.memory_window / 2.0 + self.delta_vth
+
+    def memory_window_at(self, temp_c):
+        """Memory window (V_TH(high) - V_TH(low)) at ``temp_c``."""
+        return self.params.memory_window * self.ferro.ps_scale(temp_c)
+
+    # ------------------------------------------------------------------
+    # read path (EKV transistor with polarization-shifted threshold)
+    # ------------------------------------------------------------------
+    def ispec(self, temp_c):
+        """EKV specific current of the read transistor at ``temp_c``."""
+        p = self.params
+        ut = thermal_voltage(temp_c)
+        mu = p.mu_cox * mobility_scale(temp_c, p.temp_ref_c, p.mobility_exponent)
+        return 2.0 * p.slope_factor * mu * p.width_over_length * ut * ut
+
+    def ids(self, vd, vg, vs, temp_c):
+        """Drain current in amperes for the stored polarization state."""
+        return self.ids_and_derivs(vd, vg, vs, temp_c)[0]
+
+    def ids_and_derivs(self, vd, vg, vs, temp_c):
+        """Drain current and ``(gds, gm, gms)`` partials for Newton stamps."""
+        p = self.params
+        ut = thermal_voltage(temp_c)
+        return ekv_ids_and_derivs(
+            vd, vg, vs,
+            vth=self.vth(temp_c),
+            ut=ut,
+            ispec=self.ispec(temp_c),
+            slope_factor=p.slope_factor,
+            lambda_clm=p.lambda_clm,
+        )
+
+    def inversion_coefficient(self, vg, vs, temp_c):
+        """EKV inversion coefficient at the given bias (<0.1 = subthreshold)."""
+        p = self.params
+        ut = thermal_voltage(temp_c)
+        vp = (vg - self.vth(temp_c)) / p.slope_factor
+        q_f = softplus((vp - vs) / (2.0 * ut))
+        return float(q_f * q_f)
+
+    def ion_ioff_ratio(self, vread, vd, temp_c, vs=0.0):
+        """I_ON/I_OFF between the two programmed states at a read bias.
+
+        Evaluated non-destructively via hysteron snapshots.
+        """
+        saved = self.ferro.snapshot()
+        try:
+            self.program_low_vth(temp_c)
+            i_on = self.ids(vd, vread, vs, temp_c)
+            self.program_high_vth(temp_c)
+            i_off = self.ids(vd, vread, vs, temp_c)
+        finally:
+            self.ferro.restore(saved)
+        if i_off <= 0:
+            return np.inf
+        return float(i_on / i_off)

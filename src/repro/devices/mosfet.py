@@ -1,0 +1,224 @@
+"""EKV-style all-region MOSFET compact model.
+
+The 2T-1FeFET cell biases its two nMOS transistors *in the subthreshold
+region* (Sec. III-B), while the saturated 1FeFET-1R baseline needs a correct
+strong-inversion limit.  The EKV interpolation
+
+    I_D = I_spec * [ q_f**2 - q_r**2 ] * (1 + lambda * V_DS_eff)
+    q_x = ln(1 + exp((V_P - V_x) / (2 kT/q)))      x in {source, drain}
+    V_P = (V_G - V_TH) / n
+    I_spec = 2 n mu(T) Cox (W/L) (kT/q)**2
+
+reduces to the textbook exponential in weak inversion and to the square law in
+strong inversion, is C-infinity smooth (softplus), and is symmetric in
+drain/source, all of which keep the Newton DC solver well-behaved.
+
+All terminal voltages are referenced to a common ground (bulk); body effect is
+folded into the slope factor ``n`` as in the basic EKV formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.constants import REFERENCE_TEMP_C, thermal_voltage
+from repro.devices.physics import (
+    DEFAULT_MOBILITY_EXPONENT,
+    DEFAULT_TCV_V_PER_K,
+    mobility_scale,
+    sigmoid,
+    softplus,
+    vth_at_temperature,
+)
+
+
+@dataclass(frozen=True)
+class MOSFETParams:
+    """Parameter set for an n-channel EKV transistor.
+
+    Attributes
+    ----------
+    name:
+        Instance label used in netlists and diagnostics.
+    width_over_length:
+        Geometric W/L ratio; the paper tunes this per-device (Sec. III-B).
+    vth0:
+        Threshold voltage at the reference temperature, in volts.
+    slope_factor:
+        Subthreshold slope factor ``n`` (>= 1).
+    mu_cox:
+        Mobility-oxide-capacitance product ``mu0 * Cox`` in A/V^2 at the
+        reference temperature.
+    lambda_clm:
+        Channel-length-modulation coefficient in 1/V.
+    tcv:
+        Threshold-voltage temperature coefficient in V/K (negative).
+    mobility_exponent:
+        Power-law exponent for mobility degradation with temperature.
+    temp_ref_c:
+        Reference temperature in Celsius for ``vth0`` and ``mu_cox``.
+    """
+
+    name: str = "nmos"
+    width_over_length: float = 2.0
+    vth0: float = 0.45
+    slope_factor: float = 1.35
+    mu_cox: float = 250e-6
+    lambda_clm: float = 0.05
+    tcv: float = DEFAULT_TCV_V_PER_K
+    mobility_exponent: float = DEFAULT_MOBILITY_EXPONENT
+    temp_ref_c: float = REFERENCE_TEMP_C
+
+    def scaled(self, width_over_length):
+        """Copy of these parameters with a different W/L ratio."""
+        return replace(self, width_over_length=float(width_over_length))
+
+    def with_vth_offset(self, delta_vth):
+        """Copy with a process-variation threshold shift applied."""
+        return replace(self, vth0=self.vth0 + float(delta_vth))
+
+
+def ekv_ids_and_derivs(vd, vg, vs, vth, ut, ispec, slope_factor, lambda_clm):
+    """Core EKV drain current and its partial derivatives.
+
+    Returns ``(ids, gds, gm, gms)`` where ``gds = dI/dVd``, ``gm = dI/dVg``
+    and ``gms = dI/dVs`` (note ``gms`` is negative for an nMOS in normal
+    operation).  Shared between :class:`NMOSModel` and the FeFET read
+    transistor so both devices present identical Newton stamps.
+    """
+    vp = (vg - vth) / slope_factor
+
+    x_f = (vp - vs) / (2.0 * ut)
+    x_r = (vp - vd) / (2.0 * ut)
+    q_f = softplus(x_f)
+    q_r = softplus(x_r)
+    s_f = sigmoid(x_f)
+    s_r = sigmoid(x_r)
+
+    i_f = q_f * q_f
+    i_r = q_r * q_r
+
+    # Smooth channel-length modulation: ~1 + lambda*vds for vds >> kT/q,
+    # saturating to 1 for reverse bias, keeping the model C1-continuous.
+    x_ds = (vd - vs) / ut
+    clm = 1.0 + lambda_clm * ut * softplus(x_ds)
+    dclm_dvd = lambda_clm * sigmoid(x_ds)
+    dclm_dvs = -dclm_dvd
+
+    core = i_f - i_r
+    ids = ispec * core * clm
+
+    dif_dvg = q_f * s_f / (ut * slope_factor)
+    dif_dvs = -q_f * s_f / ut
+    dir_dvg = q_r * s_r / (ut * slope_factor)
+    dir_dvd = -q_r * s_r / ut
+
+    gds = ispec * (-dir_dvd * clm + core * dclm_dvd)
+    gm = ispec * (dif_dvg - dir_dvg) * clm
+    gms = ispec * (dif_dvs * clm + core * dclm_dvs)
+    return ids, gds, gm, gms
+
+
+class NMOSModel:
+    """An n-channel MOSFET evaluated from :class:`MOSFETParams`.
+
+    The model is stateless: every query takes the full terminal voltages and
+    the temperature, so one instance can be shared by vectorized sweeps.
+    """
+
+    def __init__(self, params: MOSFETParams):
+        self.params = params
+
+    def vth(self, temp_c):
+        """Threshold voltage at ``temp_c`` (Celsius)."""
+        p = self.params
+        return vth_at_temperature(p.vth0, temp_c, p.temp_ref_c, p.tcv)
+
+    def ispec(self, temp_c):
+        """EKV specific current ``2 n mu Cox (W/L) UT^2`` at ``temp_c``."""
+        p = self.params
+        ut = thermal_voltage(temp_c)
+        mu = p.mu_cox * mobility_scale(temp_c, p.temp_ref_c, p.mobility_exponent)
+        return 2.0 * p.slope_factor * mu * p.width_over_length * ut * ut
+
+    def ids(self, vd, vg, vs, temp_c):
+        """Drain current in amperes (positive into the drain)."""
+        return self.ids_and_derivs(vd, vg, vs, temp_c)[0]
+
+    def ids_and_derivs(self, vd, vg, vs, temp_c):
+        """Drain current and ``(gds, gm, gms)`` partials for Newton stamps."""
+        p = self.params
+        ut = thermal_voltage(temp_c)
+        return ekv_ids_and_derivs(
+            vd, vg, vs,
+            vth=self.vth(temp_c),
+            ut=ut,
+            ispec=self.ispec(temp_c),
+            slope_factor=p.slope_factor,
+            lambda_clm=p.lambda_clm,
+        )
+
+    def inversion_coefficient(self, vg, vs, temp_c):
+        """EKV inversion coefficient IC = i_f; <0.1 weak, >10 strong."""
+        p = self.params
+        ut = thermal_voltage(temp_c)
+        vp = (vg - self.vth(temp_c)) / p.slope_factor
+        q_f = softplus((vp - vs) / (2.0 * ut))
+        return float(q_f * q_f)
+
+    def region(self, vg, vs, temp_c):
+        """Classify the operating region at the given gate/source bias."""
+        ic = self.inversion_coefficient(vg, vs, temp_c)
+        if ic < 0.1:
+            return "subthreshold"
+        if ic > 10.0:
+            return "strong-inversion"
+        return "moderate-inversion"
+
+    def subthreshold_swing_mv_per_dec(self, temp_c):
+        """Subthreshold swing in mV/decade at ``temp_c``."""
+        ut = thermal_voltage(temp_c)
+        return float(self.params.slope_factor * ut * np.log(10.0) * 1e3)
+
+
+class PMOSModel:
+    """A p-channel MOSFET as the mirror image of :class:`NMOSModel`.
+
+    Parameters use n-channel conventions (``vth0`` is the magnitude of the
+    threshold).  The n-well is tied to the source — the overwhelmingly
+    common configuration for logic/peripheral PMOS — so the mirror identity
+    is source-referenced::
+
+        I_p(vd, vg, vs) = -I_n(vs - vd, vs - vg, 0)
+
+    Used by peripheral circuits (drivers, sense inverters); the CiM cells
+    themselves are all-nMOS as in the paper.
+    """
+
+    def __init__(self, params: MOSFETParams):
+        self.params = params
+        self._nmos = NMOSModel(params)
+
+    def vth(self, temp_c):
+        """Threshold magnitude at ``temp_c`` (source-referenced)."""
+        return self._nmos.vth(temp_c)
+
+    def ids(self, vd, vg, vs, temp_c):
+        """Drain current (negative into the drain in normal operation)."""
+        return -self._nmos.ids(vs - vd, vs - vg, 0.0, temp_c)
+
+    def ids_and_derivs(self, vd, vg, vs, temp_c):
+        """Drain current and partials for Newton stamps.
+
+        Chain rule on the mirror identity: the drain/gate partials carry
+        over directly; the source partial collects both mirrored arguments.
+        """
+        ids_n, gds_n, gm_n, _ = self._nmos.ids_and_derivs(
+            vs - vd, vs - vg, 0.0, temp_c)
+        return -ids_n, gds_n, gm_n, -(gds_n + gm_n)
+
+    def region(self, vg, vs, temp_c):
+        """Operating-region classification at the mirrored bias."""
+        return self._nmos.region(vs - vg, 0.0, temp_c)

@@ -1,0 +1,72 @@
+"""Shared temperature-dependence laws for transistor-like devices.
+
+Three effects dominate how a MOSFET or FeFET current moves with temperature,
+and the paper's whole motivation (Sec. II-B/II-C) is their interplay in the
+subthreshold region:
+
+1. the thermal voltage kT/q grows linearly with T, flattening the exponential
+   subthreshold characteristic (the swing ``S = n * kT/q * ln 10`` degrades);
+2. the threshold voltage drops roughly linearly with T (``tcv`` < 0), which in
+   subthreshold multiplies the current by ``exp(-tcv * dT / (n kT/q))``;
+3. carrier mobility degrades as a power law ``(T/T0)**mobility_exponent``.
+
+In the saturation region effects 2 and 3 oppose each other (the zero-
+temperature-coefficient bias point), which is why the saturated 1FeFET-1R
+baseline only fluctuates ~20 % while the subthreshold one fluctuates > 50 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import celsius_to_kelvin, thermal_voltage
+
+#: Default threshold-voltage temperature coefficient, volts per kelvin.
+#: -0.8 mV/K is typical of scaled FinFET nodes.
+DEFAULT_TCV_V_PER_K = -0.8e-3
+
+#: Default mobility power-law exponent (phonon-scattering dominated).
+DEFAULT_MOBILITY_EXPONENT = -1.5
+
+
+def mobility_scale(temp_c, temp_ref_c, exponent=DEFAULT_MOBILITY_EXPONENT):
+    """Multiplicative mobility factor ``(T/T_ref)**exponent`` (T in kelvin)."""
+    t = celsius_to_kelvin(temp_c)
+    t_ref = celsius_to_kelvin(temp_ref_c)
+    return (t / t_ref) ** exponent
+
+
+def vth_at_temperature(vth_ref, temp_c, temp_ref_c, tcv=DEFAULT_TCV_V_PER_K):
+    """Threshold voltage at ``temp_c`` given its value at ``temp_ref_c``."""
+    t = celsius_to_kelvin(temp_c)
+    t_ref = celsius_to_kelvin(temp_ref_c)
+    return vth_ref + tcv * (t - t_ref)
+
+
+def subthreshold_swing_mv_per_dec(temp_c, slope_factor):
+    """Subthreshold swing ``n * kT/q * ln(10)`` in mV/decade.
+
+    ~60 mV/dec at room temperature for an ideal (n = 1) device; the paper's
+    FeFET read path sits around 90-100 mV/dec, which is what makes the 0.35 V
+    read point so temperature sensitive.
+    """
+    return slope_factor * thermal_voltage(temp_c) * np.log(10.0) * 1e3
+
+
+def softplus(x):
+    """Numerically stable ``ln(1 + exp(x))`` for scalars or arrays."""
+    x = np.asarray(x, dtype=float)
+    return np.logaddexp(0.0, x)
+
+
+def sigmoid(x):
+    """Numerically stable logistic function, the derivative of softplus."""
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    if out.ndim == 0:
+        return float(out)
+    return out

@@ -1,0 +1,39 @@
+"""Temperature-dependent resistor model.
+
+The 1FeFET-1R baseline [17] relies on a series resistor to linearize the
+cell's output current; at elevated temperature the resistor also drifts (a
+first-order TCR law is plenty at the accuracy of a behavioral study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import REFERENCE_TEMP_C, celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class ResistorModel:
+    """First-order TCR resistor: ``R(T) = R0 * (1 + tcr * (T - T_ref))``."""
+
+    r_ohm: float
+    tcr_per_k: float = 0.0
+    temp_ref_c: float = REFERENCE_TEMP_C
+
+    def __post_init__(self):
+        if self.r_ohm <= 0:
+            raise ValueError("resistance must be positive")
+
+    def resistance(self, temp_c):
+        """Resistance in ohms at ``temp_c`` (Celsius)."""
+        dt = celsius_to_kelvin(temp_c) - celsius_to_kelvin(self.temp_ref_c)
+        r = self.r_ohm * (1.0 + self.tcr_per_k * dt)
+        if r <= 0:
+            raise ValueError(
+                f"TCR extrapolation produced non-physical resistance at {temp_c} degC"
+            )
+        return float(r)
+
+    def conductance(self, temp_c):
+        """Conductance in siemens at ``temp_c``."""
+        return 1.0 / self.resistance(temp_c)

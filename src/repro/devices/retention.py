@@ -1,0 +1,81 @@
+"""Polarization retention: thermally activated depolarization over time.
+
+HfO2 FeFETs lose remnant polarization slowly through thermally activated
+depolarization (the field from trapped charge and the depolarizing field of
+the stack).  The standard compact description is a stretched exponential
+with an Arrhenius time constant:
+
+    P(t) = P(0) * exp( -(t / tau(T))**beta )
+    tau(T) = tau0 * exp( E_a / (k T) )
+
+Defaults are calibrated to the usual embedded-NVM retention picture: ~85 %
+of the remnant polarization survives 10 years at 85 degC (and ~99.6 % at
+room temperature), while a one-hour 250 degC bake — approaching the film's
+depolarization regime — costs about half the state.  Tests exercise both
+the "retention is fine in the paper's window" and the "hot bake destroys
+state" regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import BOLTZMANN_J_PER_K, ELEMENTARY_CHARGE_C, celsius_to_kelvin
+
+#: Seconds in ten years — the usual NVM retention target.
+TEN_YEARS_S = 10 * 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Stretched-exponential retention with Arrhenius temperature scaling.
+
+    Attributes
+    ----------
+    tau0_s:
+        Attempt-time prefactor in seconds.
+    activation_ev:
+        Activation energy in electron-volts.
+    beta:
+        Stretching exponent (0 < beta <= 1).
+    """
+
+    tau0_s: float = 6.3e-11
+    activation_ev: float = 1.47
+    beta: float = 0.4
+
+    def __post_init__(self):
+        if not 0.0 < self.beta <= 1.0:
+            raise ValueError("stretching exponent must be in (0, 1]")
+        if self.tau0_s <= 0 or self.activation_ev <= 0:
+            raise ValueError("tau0 and activation energy must be positive")
+
+    def time_constant(self, temp_c):
+        """Arrhenius retention time constant at ``temp_c`` (seconds)."""
+        kt_ev = (BOLTZMANN_J_PER_K * celsius_to_kelvin(temp_c)
+                 / ELEMENTARY_CHARGE_C)
+        return self.tau0_s * np.exp(self.activation_ev / kt_ev)
+
+    def remaining_fraction(self, duration_s, temp_c):
+        """Fraction of polarization remaining after a bake."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        if duration_s == 0.0:
+            return 1.0
+        tau = self.time_constant(temp_c)
+        return float(np.exp(-((duration_s / tau) ** self.beta)))
+
+
+def age_fefet(fefet, duration_s, temp_c, model=None):
+    """Apply retention loss to a FeFET's stored polarization in place.
+
+    Every hysteron's state relaxes toward zero by the model's remaining
+    fraction; returns the new polarization.
+    """
+    model = model or RetentionModel()
+    fraction = model.remaining_fraction(duration_s, temp_c)
+    ferro = fefet.ferro
+    ferro.restore(ferro.snapshot() * fraction)
+    return fefet.polarization

@@ -1,0 +1,57 @@
+"""Per-device temperature offsets: modeling on-chip thermal gradients.
+
+The paper's introduction motivates temperature resilience partly with
+*self-heating*: "the increased computation density in a compact area leads
+to higher power density and temperature elevation" [24].  A real array
+therefore doesn't sit at one uniform temperature — cells near a hot spot
+run warmer than their neighbours.
+
+:class:`TemperatureShifted` wraps any compact model exposing
+``ids_and_derivs(vd, vg, vs, temp_c)`` and adds a fixed offset to the
+ambient temperature it sees, letting the row builder place a thermal
+gradient across the cells of one row while the solver still sweeps a single
+ambient temperature.
+"""
+
+from __future__ import annotations
+
+
+class TemperatureShifted:
+    """A compact-model wrapper that shifts the temperature it observes."""
+
+    def __init__(self, model, offset_c):
+        self._model = model
+        self.offset_c = float(offset_c)
+
+    @property
+    def inner(self):
+        """The wrapped model."""
+        return self._model
+
+    def ids(self, vd, vg, vs, temp_c):
+        return self._model.ids(vd, vg, vs, temp_c + self.offset_c)
+
+    def ids_and_derivs(self, vd, vg, vs, temp_c):
+        return self._model.ids_and_derivs(vd, vg, vs, temp_c + self.offset_c)
+
+    def __getattr__(self, name):
+        # Delegate everything else (vth, state, programming, ...).
+        return getattr(self._model, name)
+
+    def __repr__(self):
+        sign = "+" if self.offset_c >= 0 else ""
+        return f"TemperatureShifted({self._model!r}, {sign}{self.offset_c} K)"
+
+
+def linear_gradient(n_cells, span_c):
+    """Per-cell offsets for a linear thermal gradient across a row.
+
+    ``span_c`` is the total temperature difference between the first and
+    last cell; offsets are centered so the row average equals the ambient.
+    """
+    if n_cells < 1:
+        raise ValueError("need at least one cell")
+    if n_cells == 1:
+        return [0.0]
+    step = span_c / (n_cells - 1)
+    return [i * step - span_c / 2.0 for i in range(n_cells)]

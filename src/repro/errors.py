@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+Keeping a small, explicit hierarchy lets callers distinguish "your netlist is
+malformed" (programming error, :class:`NetlistError`) from "the solver did not
+converge" (numerical condition worth catching, :class:`ConvergenceError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all package-specific errors."""
+
+
+class NetlistError(ReproError):
+    """A circuit description is structurally invalid (unknown node, bad element)."""
+
+
+class ConvergenceError(ReproError):
+    """The nonlinear solver exhausted its strategies without converging."""
+
+    def __init__(self, message, residual=None, iterations=None):
+        super().__init__(message)
+        self.residual = residual
+        self.iterations = iterations
+
+
+class CalibrationError(ReproError):
+    """A calibration routine could not meet its target bands."""
+
+
+class QuantizationError(ReproError):
+    """Invalid quantization configuration (bit-width, scale, ...)."""

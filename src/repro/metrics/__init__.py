@@ -1,0 +1,33 @@
+"""Evaluation metrics defined or used by the paper.
+
+* :mod:`repro.metrics.fluctuation` — normalized output-current fluctuation
+  over temperature (Figs. 3 and 7).
+* :mod:`repro.metrics.nmr` — Noise Margin Rate, eqs. (2) and (3).
+* :mod:`repro.metrics.efficiency` — energy/op, TOPS/W, per-inference energy
+  (Fig. 8(b), Table II).
+* :mod:`repro.metrics.accuracy` — classification accuracy helpers for the
+  VGG/CIFAR-10 evaluation.
+"""
+
+from repro.metrics.fluctuation import fluctuation_profile, max_fluctuation
+from repro.metrics.nmr import MacOutputRange, nmr_min, nmr_values, ranges_overlap
+from repro.metrics.efficiency import (
+    OPS_PER_MAC,
+    energy_per_primitive_op,
+    tops_per_watt,
+)
+from repro.metrics.accuracy import classification_accuracy, confusion_matrix
+
+__all__ = [
+    "fluctuation_profile",
+    "max_fluctuation",
+    "MacOutputRange",
+    "nmr_values",
+    "nmr_min",
+    "ranges_overlap",
+    "OPS_PER_MAC",
+    "energy_per_primitive_op",
+    "tops_per_watt",
+    "classification_accuracy",
+    "confusion_matrix",
+]

@@ -1,0 +1,38 @@
+"""Classification accuracy helpers for the VGG / CIFAR-10 evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def classification_accuracy(predictions, labels):
+    """Fraction of correct top-1 predictions.
+
+    ``predictions`` may be class indices (1-D) or logits (2-D, argmaxed).
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predictions = np.argmax(predictions, axis=1)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must align")
+    if labels.size == 0:
+        raise ValueError("empty evaluation set")
+    return float(np.mean(predictions == labels))
+
+
+def confusion_matrix(predictions, labels, num_classes):
+    """Dense ``num_classes x num_classes`` confusion matrix (rows = truth)."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predictions = np.argmax(predictions, axis=1)
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    for truth, pred in zip(labels, predictions):
+        matrix[int(truth), int(pred)] += 1
+    return matrix
+
+
+def accuracy_drop(reference_accuracy, measured_accuracy):
+    """Accuracy degradation in percentage points (positive = worse)."""
+    return (reference_accuracy - measured_accuracy) * 100.0

@@ -1,0 +1,64 @@
+"""Normalized output fluctuation over temperature (paper Figs. 3 and 7).
+
+The paper quantifies temperature sensitivity as the deviation of the cell
+output (current or voltage) from its value at the 27 degC reference:
+
+    fluctuation(T) = output(T) / output(27 degC) - 1
+
+and reports the largest magnitude over the window of interest — e.g. 20.6 %
+for the saturated 1FeFET-1R cell, 52.1 % for the subthreshold one, and
+26.6 % (full window) / 12.4 % (20-85 degC) for the proposed 2T-1FeFET cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import REFERENCE_TEMP_C
+
+
+def fluctuation_profile(temps_c, outputs, *, temp_ref_c=REFERENCE_TEMP_C):
+    """Per-temperature normalized deviation from the reference output.
+
+    Parameters
+    ----------
+    temps_c, outputs:
+        Matching 1-D arrays; ``temps_c`` must contain a point close to the
+        reference temperature (the nearest sample is used, as a measured
+        sweep would).
+
+    Returns
+    -------
+    numpy array of ``output(T)/output(T_ref) - 1``.
+    """
+    temps_c = np.asarray(temps_c, dtype=float)
+    outputs = np.asarray(outputs, dtype=float)
+    if temps_c.shape != outputs.shape or temps_c.ndim != 1:
+        raise ValueError("temps and outputs must be matching 1-D arrays")
+    ref_idx = int(np.argmin(np.abs(temps_c - temp_ref_c)))
+    if abs(temps_c[ref_idx] - temp_ref_c) > 10.0:
+        raise ValueError(
+            f"no sweep point within 10 degC of the {temp_ref_c} degC reference"
+        )
+    ref = outputs[ref_idx]
+    if ref == 0.0:
+        raise ValueError("reference output is zero; fluctuation undefined")
+    return outputs / ref - 1.0
+
+
+def max_fluctuation(temps_c, outputs, *, window_c=None,
+                    temp_ref_c=REFERENCE_TEMP_C):
+    """Largest |fluctuation| over an optional temperature window.
+
+    ``window_c = (20, 85)`` reproduces the paper's "above 20 degC" numbers.
+    The reference stays at 27 degC regardless of the window.
+    """
+    temps_c = np.asarray(temps_c, dtype=float)
+    profile = fluctuation_profile(temps_c, outputs, temp_ref_c=temp_ref_c)
+    if window_c is not None:
+        lo, hi = window_c
+        mask = (temps_c >= lo) & (temps_c <= hi)
+        if not np.any(mask):
+            raise ValueError(f"no sweep points inside window {window_c}")
+        profile = profile[mask]
+    return float(np.max(np.abs(profile)))

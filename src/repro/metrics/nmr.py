@@ -1,0 +1,97 @@
+"""Noise Margin Rate (NMR) — the paper's array-level figure of merit.
+
+Equation (2) of the paper defines, for MAC value ``i``::
+
+    NMR_i = (LV_{i+1} - HV_i) / (HV_i - LV_i)
+
+where ``HV_i`` / ``LV_i`` are the highest / lowest output voltages observed
+for MAC output ``i`` across the temperature window.  The numerator is the
+gap to the next level, the denominator the width of the level's own band:
+NMR_i > 0 means the two levels never overlap, NMR_i < 0 means temperature
+drift can make MAC = i read as MAC = i+1 (or vice versa).
+
+Equation (3) takes the worst case over all levels::
+
+    NMR_min = min_i NMR_i
+
+The paper reports NMR_min = NMR_0 = 0.22 for the proposed 8-cell array over
+0-85 degC, improving to NMR_min = NMR_7 = 2.3 over 20-85 degC, while every
+baseline design has NMR_min < 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MacOutputRange:
+    """Observed output band for one MAC value across a temperature window."""
+
+    mac_value: int
+    low_v: float
+    high_v: float
+
+    def __post_init__(self):
+        if self.high_v < self.low_v:
+            raise ValueError(
+                f"MAC={self.mac_value}: high_v {self.high_v} below low_v {self.low_v}"
+            )
+
+    @property
+    def width(self):
+        """Band width HV_i - LV_i in volts."""
+        return self.high_v - self.low_v
+
+    @classmethod
+    def from_samples(cls, mac_value, samples):
+        """Build a range from raw output samples (e.g. a temperature sweep)."""
+        samples = np.asarray(list(samples), dtype=float)
+        if samples.size == 0:
+            raise ValueError(f"MAC={mac_value}: no samples")
+        return cls(mac_value, float(samples.min()), float(samples.max()))
+
+
+def _sorted_ranges(ranges):
+    ordered = sorted(ranges, key=lambda r: r.mac_value)
+    values = [r.mac_value for r in ordered]
+    if values != list(range(values[0], values[0] + len(values))):
+        raise ValueError(f"MAC values must be consecutive, got {values}")
+    return ordered
+
+
+def nmr_values(ranges):
+    """NMR_i for each adjacent pair of MAC output ranges (eq. 2).
+
+    Returns a dict ``mac_value i -> NMR_i`` with ``len(ranges) - 1`` entries.
+    A zero-width band (perfectly stable level) yields ``inf`` when separated
+    and ``-inf`` when overlapped, preserving the sign semantics.
+    """
+    ordered = _sorted_ranges(ranges)
+    if len(ordered) < 2:
+        raise ValueError("need at least two MAC levels to compute NMR")
+    out = {}
+    for lower, upper in zip(ordered, ordered[1:]):
+        gap = upper.low_v - lower.high_v
+        width = lower.width
+        if width == 0.0:
+            out[lower.mac_value] = float(np.inf) if gap > 0 else float(-np.inf)
+        else:
+            out[lower.mac_value] = gap / width
+    return out
+
+
+def nmr_min(ranges):
+    """Worst-case NMR over all levels (eq. 3): ``(argmin_i, NMR_min)``."""
+    values = nmr_values(ranges)
+    worst_i = min(values, key=values.get)
+    return worst_i, values[worst_i]
+
+
+def ranges_overlap(ranges):
+    """True if any two adjacent MAC bands overlap (the Fig. 4 failure)."""
+    ordered = _sorted_ranges(ranges)
+    return any(upper.low_v <= lower.high_v
+               for lower, upper in zip(ordered, ordered[1:]))

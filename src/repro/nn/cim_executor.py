@@ -1,0 +1,117 @@
+"""Run a trained network with every MAC lowered onto the CiM array model.
+
+Pipeline per layer (the paper's Sec. IV-B evaluation flow):
+
+1. quantize weights (signed) and activations (unsigned, post-ReLU) to the
+   configured wordlength (8 bits by default, Fig. 2);
+2. lower conv layers to matmul via im2col — a crossbar executes matmuls;
+3. execute the integer matmul bit-serially on the behavioral array model
+   (:class:`repro.array.mac_unit.BitSerialMacUnit`), which injects
+   temperature drift and per-cell process variation and decodes through the
+   27 degC-calibrated ADC;
+4. rescale to float and continue with exact pooling/ReLU (these are digital
+   peripherals in the paper's system too).
+
+``CimExecutor`` mirrors a ``Sequential`` model's layers; anything that is
+not a Conv2D/Dense passes through the layer's own float forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.array.mac_unit import BehavioralMacConfig, BitSerialMacUnit
+from repro.constants import REFERENCE_TEMP_C
+from repro.nn import functional as F
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.quantize import quantize_tensor
+
+
+@dataclass(frozen=True)
+class CimExecutionConfig:
+    """How to run a network on the array."""
+
+    temp_c: float = REFERENCE_TEMP_C
+    bits: int = 8
+    sigma_vth_fefet: float = 0.0
+    sigma_vth_mosfet: float = 0.0
+    seed: int = 0
+    #: Layers with fewer weights than this run in float (tiny first layers
+    #: dominate error but not energy; the paper keeps them analog, we allow
+    #: both for ablations).
+    min_macs_for_cim: int = 0
+
+
+class CimExecutor:
+    """Executes a Sequential model on the behavioral CiM array."""
+
+    def __init__(self, model, design, exec_config=None, mac_config=None):
+        self.model = model
+        self.design = design
+        self.config = exec_config or CimExecutionConfig()
+        cfg = self.config
+        base = mac_config or BehavioralMacConfig()
+        self.mac_unit = BitSerialMacUnit(design, BehavioralMacConfig(
+            cells_per_row=base.cells_per_row,
+            bits_x=cfg.bits,
+            bits_w=cfg.bits,
+            temp_grid_c=base.temp_grid_c,
+            sigma_vth_fefet=cfg.sigma_vth_fefet,
+            sigma_vth_mosfet=cfg.sigma_vth_mosfet,
+            seed=cfg.seed,
+            sensing=base.sensing,
+        ))
+        self._rng = np.random.default_rng(cfg.seed)
+
+    # ------------------------------------------------------------------
+    def _cim_matmul(self, x_float, w_float):
+        """Quantize, run on the array, dequantize."""
+        cfg = self.config
+        x_shift = np.minimum(x_float.min(), 0.0)
+        xq = quantize_tensor(x_float - x_shift, bits=cfg.bits, signed=False)
+        wq = quantize_tensor(w_float, bits=cfg.bits, signed=True)
+        counts = self.mac_unit.matmul(xq.values, wq.values,
+                                      temp_c=cfg.temp_c, rng=self._rng)
+        out = counts * (xq.scale * wq.scale)
+        if x_shift != 0.0:
+            # Undo the activation shift: x = (x - s) + s contributes s * sum(w).
+            out = out + x_shift * w_float.sum(axis=0)
+        return out
+
+    def _forward_conv(self, layer, x):
+        patches, out_h, out_w = F.im2col(x, layer.kernel, layer.kernel,
+                                         layer.stride, layer.pad)
+        w2d = layer.params["w"].reshape(-1, layer.c_out)
+        if w2d.size < self.config.min_macs_for_cim:
+            out = patches @ w2d
+        else:
+            out = self._cim_matmul(patches, w2d)
+        out = out + layer.params["b"]
+        return out.reshape(x.shape[0], out_h, out_w, layer.c_out)
+
+    def _forward_dense(self, layer, x):
+        w = layer.params["w"]
+        if w.size < self.config.min_macs_for_cim:
+            out = x @ w
+        else:
+            out = self._cim_matmul(x, w)
+        return out + layer.params["b"]
+
+    def forward(self, x):
+        """Full inference with CiM-lowered matmuls; returns logits."""
+        for layer in self.model.layers:
+            if isinstance(layer, Conv2D):
+                x = self._forward_conv(layer, x)
+            elif isinstance(layer, Dense):
+                x = self._forward_dense(layer, x)
+            else:
+                x = layer.forward(x, training=False)
+        return x
+
+    def predict(self, x, batch_size=32):
+        """Batched inference; returns logits for the whole set."""
+        outs = [self.forward(x[s:s + batch_size])
+                for s in range(0, x.shape[0], batch_size)]
+        return np.concatenate(outs, axis=0)

@@ -1,0 +1,120 @@
+"""Additional layers: batch normalization and average pooling.
+
+Not used by the paper's Table-I VGG, but standard companions for anyone
+adopting this framework for CiM studies (batch norm in particular matters
+for CiM because its scale/shift folds into the layer *after* the analog
+matmul, keeping the crossbar mapping unchanged).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the last axis (channels).
+
+    Works for both dense activations (N, C) and NHWC feature maps
+    (N, H, W, C).  Keeps running statistics for inference; ``fold_scale``
+    exposes the affine form ``y = x * scale + shift`` used when folding
+    into a following layer.
+    """
+
+    def __init__(self, channels, momentum=0.9, eps=1e-5):
+        super().__init__()
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.params = {"gamma": np.ones(channels), "beta": np.zeros(channels)}
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache = None
+
+    def _axes(self, x):
+        return tuple(range(x.ndim - 1))
+
+    def forward(self, x, training=False):
+        if x.shape[-1] != self.channels:
+            raise ValueError(f"expected {self.channels} channels, "
+                             f"got {x.shape[-1]}")
+        if training:
+            axes = self._axes(x)
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            m = self.momentum
+            self.running_mean = m * self.running_mean + (1 - m) * mean
+            self.running_var = m * self.running_var + (1 - m) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        x_hat = (x - mean) / np.sqrt(var + self.eps)
+        self._cache = (x_hat, var)
+        return x_hat * self.params["gamma"] + self.params["beta"]
+
+    def backward(self, grad_out):
+        x_hat, var = self._cache
+        axes = self._axes(grad_out)
+        self.grads["gamma"] = (grad_out * x_hat).sum(axis=axes)
+        self.grads["beta"] = grad_out.sum(axis=axes)
+        n = np.prod([grad_out.shape[a] for a in axes])
+        g = grad_out * self.params["gamma"]
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        # Standard batch-norm gradient (training-mode statistics).
+        return inv_std * (g - g.mean(axis=axes)
+                          - x_hat * (g * x_hat).mean(axis=axes)) \
+            if n > 1 else g * inv_std
+
+    def fold_scale(self):
+        """(scale, shift) of the inference-time affine transform."""
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        scale = self.params["gamma"] * inv_std
+        shift = self.params["beta"] - self.running_mean * scale
+        return scale, shift
+
+    def __repr__(self):
+        return f"BatchNorm({self.channels})"
+
+
+class AvgPool2D(Layer):
+    """Average pooling over non-overlapping windows."""
+
+    def __init__(self, size=2):
+        super().__init__()
+        self.size = size
+        self._in_shape = None
+
+    def forward(self, x, training=False):
+        n, h, w, c = x.shape
+        s = self.size
+        if h % s or w % s:
+            raise ValueError(f"spatial dims {h}x{w} not divisible by {s}")
+        self._in_shape = x.shape
+        return x.reshape(n, h // s, s, w // s, s, c).mean(axis=(2, 4))
+
+    def backward(self, grad_out):
+        n, h, w, c = self._in_shape
+        s = self.size
+        expanded = np.repeat(np.repeat(grad_out, s, axis=1), s, axis=2)
+        return expanded / (s * s)
+
+    def __repr__(self):
+        return f"AvgPool2D({self.size})"
+
+
+class GlobalAvgPool(Layer):
+    """Average over all spatial positions: (N, H, W, C) -> (N, C)."""
+
+    def __init__(self):
+        super().__init__()
+        self._in_shape = None
+
+    def forward(self, x, training=False):
+        self._in_shape = x.shape
+        return x.mean(axis=(1, 2))
+
+    def backward(self, grad_out):
+        n, h, w, c = self._in_shape
+        return np.broadcast_to(grad_out[:, None, None, :],
+                               self._in_shape) / (h * w)

@@ -1,0 +1,118 @@
+"""Functional kernels: im2col convolution, pooling, activations, softmax.
+
+Layout convention: activations are NHWC (batch, height, width, channels),
+convolution weights are (kh, kw, c_in, c_out).  The im2col transform turns
+convolution into one large matmul, which is both the fast path in numpy and
+exactly the shape the CiM executor needs — a crossbar executes matmuls, so
+the same patch matrix feeds either ``np.dot`` or the array model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pad_nhwc(x, pad):
+    """Zero-pad height/width of an NHWC tensor."""
+    if pad == 0:
+        return x
+    return np.pad(x, ((0, 0), (pad, pad), (pad, pad), (0, 0)))
+
+
+def im2col(x, kh, kw, stride=1, pad=0):
+    """Extract convolution patches as a matrix.
+
+    Returns ``(patches, out_h, out_w)`` where ``patches`` has shape
+    ``(batch * out_h * out_w, kh * kw * c_in)``.
+    """
+    x = pad_nhwc(x, pad)
+    n, h, w, c = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"kernel {kh}x{kw} larger than padded input {h}x{w}")
+    # Gather windows via stride tricks (no copy), then materialize once.
+    s = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, out_h, out_w, kh, kw, c),
+        strides=(s[0], s[1] * stride, s[2] * stride, s[1], s[2], s[3]),
+        writeable=False,
+    )
+    patches = windows.reshape(n * out_h * out_w, kh * kw * c)
+    return np.ascontiguousarray(patches), out_h, out_w
+
+
+def col2im(grad_patches, x_shape, kh, kw, stride=1, pad=0):
+    """Scatter patch gradients back to the (padded) input — im2col adjoint."""
+    n, h, w, c = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    out_h = (hp - kh) // stride + 1
+    out_w = (wp - kw) // stride + 1
+    grad = np.zeros((n, hp, wp, c))
+    cols = grad_patches.reshape(n, out_h, out_w, kh, kw, c)
+    for i in range(kh):
+        for j in range(kw):
+            grad[:, i:i + out_h * stride:stride, j:j + out_w * stride:stride, :] \
+                += cols[:, :, :, i, j, :]
+    if pad:
+        grad = grad[:, pad:-pad, pad:-pad, :]
+    return grad
+
+
+def conv2d(x, weights, bias=None, stride=1, pad=0):
+    """2-D convolution via im2col; returns NHWC output."""
+    kh, kw, c_in, c_out = weights.shape
+    if x.shape[3] != c_in:
+        raise ValueError(f"input channels {x.shape[3]} != kernel c_in {c_in}")
+    patches, out_h, out_w = im2col(x, kh, kw, stride, pad)
+    out = patches @ weights.reshape(-1, c_out)
+    if bias is not None:
+        out = out + bias
+    return out.reshape(x.shape[0], out_h, out_w, c_out)
+
+
+def maxpool2d(x, size=2, stride=None):
+    """Max pooling; returns ``(out, argmax_mask)`` for the backward pass."""
+    stride = stride or size
+    n, h, w, c = x.shape
+    out_h, out_w = (h - size) // stride + 1, (w - size) // stride + 1
+    s = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, out_h, out_w, size, size, c),
+        strides=(s[0], s[1] * stride, s[2] * stride, s[1], s[2], s[3]),
+        writeable=False,
+    )
+    flat = windows.reshape(n, out_h, out_w, size * size, c)
+    idx = np.argmax(flat, axis=3)
+    out = np.take_along_axis(flat, idx[:, :, :, None, :], axis=3)[:, :, :, 0, :]
+    return out, idx
+
+
+def maxpool2d_backward(grad_out, x_shape, argmax_idx, size=2, stride=None):
+    """Route gradients to the argmax positions of each pooling window."""
+    stride = stride or size
+    n, h, w, c = x_shape
+    out_h, out_w = argmax_idx.shape[1], argmax_idx.shape[2]
+    grad = np.zeros(x_shape)
+    rows, cols = np.divmod(argmax_idx, size)
+    for oh in range(out_h):
+        for ow in range(out_w):
+            r = oh * stride + rows[:, oh, ow, :]
+            cc = ow * stride + cols[:, oh, ow, :]
+            for ni in range(n):
+                grad[ni, r[ni], cc[ni], np.arange(c)] += grad_out[ni, oh, ow, :]
+    return grad
+
+
+def relu(x):
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def softmax(logits):
+    """Row-wise softmax with max subtraction for stability."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)

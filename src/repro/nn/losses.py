@@ -1,0 +1,25 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import softmax
+
+
+def softmax_cross_entropy(logits, labels):
+    """Mean cross-entropy over the batch and its gradient w.r.t. logits.
+
+    Returns ``(loss, grad)`` where ``grad`` is ready to feed into
+    ``model.backward`` (already divided by the batch size).
+    """
+    labels = np.asarray(labels, dtype=int)
+    n = logits.shape[0]
+    if labels.shape[0] != n:
+        raise ValueError("batch size mismatch between logits and labels")
+    probs = softmax(logits)
+    eps = 1e-12
+    loss = -np.mean(np.log(probs[np.arange(n), labels] + eps))
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n

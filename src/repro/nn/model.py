@@ -1,0 +1,63 @@
+"""Sequential model container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Sequential:
+    """A plain stack of layers with forward/backward traversal."""
+
+    def __init__(self, layers):
+        self.layers = list(layers)
+
+    def forward(self, x, training=False):
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad):
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x, batch_size=64):
+        """Inference in batches; returns logits."""
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start:start + batch_size],
+                                        training=False))
+        return np.concatenate(outputs, axis=0)
+
+    def parameters(self):
+        """Iterate ``(layer, name, value)`` over all trainable parameters."""
+        for layer in self.layers:
+            for name, value in layer.params.items():
+                yield layer, name, value
+
+    def num_parameters(self):
+        """Total trainable parameter count."""
+        return sum(v.size for _, _, v in self.parameters())
+
+    def state_dict(self):
+        """Copy of all parameters keyed by layer index and name."""
+        return {
+            f"{i}.{name}": value.copy()
+            for i, layer in enumerate(self.layers)
+            for name, value in layer.params.items()
+        }
+
+    def load_state_dict(self, state):
+        """Load parameters saved with :meth:`state_dict`."""
+        for i, layer in enumerate(self.layers):
+            for name in layer.params:
+                key = f"{i}.{name}"
+                if key not in state:
+                    raise KeyError(f"missing parameter {key}")
+                if state[key].shape != layer.params[name].shape:
+                    raise ValueError(f"shape mismatch for {key}")
+                layer.params[name] = state[key].copy()
+
+    def __repr__(self):
+        inner = ", ".join(repr(l) for l in self.layers)
+        return f"Sequential([{inner}])"

@@ -1,0 +1,70 @@
+"""Optimizers: SGD with momentum and Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer over a model's (layer, name) parameter slots."""
+
+    def __init__(self, model, lr):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.model = model
+        self.lr = lr
+
+    def step(self):
+        raise NotImplementedError
+
+    def _slots(self):
+        for layer in self.model.layers:
+            for name in layer.params:
+                yield layer, name
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum and optional weight decay."""
+
+    def __init__(self, model, lr=0.01, momentum=0.9, weight_decay=0.0):
+        super().__init__(model, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = {}
+
+    def step(self):
+        for layer, name in self._slots():
+            grad = layer.grads[name]
+            if self.weight_decay:
+                grad = grad + self.weight_decay * layer.params[name]
+            key = (id(layer), name)
+            vel = self._velocity.get(key)
+            vel = grad if vel is None else self.momentum * vel + grad
+            self._velocity[key] = vel
+            layer.params[name] = layer.params[name] - self.lr * vel
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(self, model, lr=1e-3, beta1=0.9, beta2=0.999, eps=1e-8):
+        super().__init__(model, lr)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m, self._v = {}, {}
+        self._t = 0
+
+    def step(self):
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for layer, name in self._slots():
+            grad = layer.grads[name]
+            key = (id(layer), name)
+            m = self._m.get(key, np.zeros_like(grad))
+            v = self._v.get(key, np.zeros_like(grad))
+            m = b1 * m + (1 - b1) * grad
+            v = b2 * v + (1 - b2) * grad * grad
+            self._m[key], self._v[key] = m, v
+            m_hat = m / (1 - b1 ** self._t)
+            v_hat = v / (1 - b2 ** self._t)
+            layer.params[name] = layer.params[name] - self.lr * m_hat / (
+                np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,80 @@
+"""8-bit uniform quantization — the paper's wordlength.
+
+The CiM array stores binary weights and consumes binary inputs; multi-bit
+operands are handled bit-serially (Fig. 2: "8-bit wordlength" structure).
+We use symmetric uniform quantization to signed integers for weights and
+unsigned integers for (post-ReLU) activations; the bit-planes of those
+integers are what the array model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+#: The paper's wordlength.
+DEFAULT_BITS = 8
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An integer tensor plus the scale mapping it back to real values."""
+
+    values: np.ndarray   # integer codes
+    scale: float         # real = values * scale
+    bits: int
+    signed: bool
+
+    def dequantize(self):
+        """Back to floating point."""
+        return self.values.astype(float) * self.scale
+
+    @property
+    def num_levels(self):
+        return 2 ** self.bits
+
+    def bit_planes(self):
+        """Split |values| into binary planes, LSB first.
+
+        Returns ``(planes, signs)`` where ``planes[k]`` is the k-th bit of
+        the magnitude and ``signs`` is +/-1 (all +1 for unsigned tensors).
+        Bit-serial MAC reassembles ``sum_k 2^k * plane_k * sign``.
+        """
+        mags = np.abs(self.values).astype(np.int64)
+        signs = np.sign(self.values).astype(np.int64)
+        signs[signs == 0] = 1
+        n_mag_bits = self.bits - 1 if self.signed else self.bits
+        planes = [(mags >> k) & 1 for k in range(n_mag_bits)]
+        return planes, signs
+
+
+def quantize_tensor(x, bits=DEFAULT_BITS, signed=True):
+    """Symmetric uniform quantization of a float tensor.
+
+    Scale is chosen from the max absolute value so zero maps to code zero
+    (required: a '0' weight must program high-V_TH, which conducts nothing).
+    """
+    if not 2 <= bits <= 16:
+        raise QuantizationError(f"unsupported bit-width {bits}")
+    x = np.asarray(x, dtype=float)
+    if signed:
+        qmax = 2 ** (bits - 1) - 1
+    else:
+        if np.any(x < 0):
+            raise QuantizationError("unsigned quantization of negative values")
+        qmax = 2 ** bits - 1
+    max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+    if max_abs == 0.0:
+        return QuantizedTensor(np.zeros_like(x, dtype=np.int64), 1.0, bits, signed)
+    scale = max_abs / qmax
+    codes = np.clip(np.round(x / scale), -qmax if signed else 0, qmax)
+    return QuantizedTensor(codes.astype(np.int64), scale, bits, signed)
+
+
+def quantization_error(x, bits=DEFAULT_BITS, signed=True):
+    """RMS error introduced by quantizing ``x`` (for wordlength studies)."""
+    q = quantize_tensor(x, bits=bits, signed=signed)
+    return float(np.sqrt(np.mean((q.dequantize() - np.asarray(x)) ** 2)))

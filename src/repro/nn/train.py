@@ -1,0 +1,61 @@
+"""Mini-batch training loop with shuffling and accuracy evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.accuracy import classification_accuracy
+from repro.nn.losses import softmax_cross_entropy
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of a training run."""
+
+    epochs: int = 5
+    batch_size: int = 64
+    shuffle: bool = True
+    seed: int = 0
+    log_every: int = 0  # batches between progress prints; 0 = silent
+    history: list = field(default_factory=list)
+
+
+def iterate_minibatches(x, y, batch_size, rng=None, shuffle=True):
+    """Yield ``(x_batch, y_batch)`` tuples covering the dataset once."""
+    n = x.shape[0]
+    order = np.arange(n)
+    if shuffle:
+        (rng or np.random.default_rng(0)).shuffle(order)
+    for start in range(0, n, batch_size):
+        idx = order[start:start + batch_size]
+        yield x[idx], y[idx]
+
+
+def train(model, optimizer, x_train, y_train, config=None):
+    """Train ``model`` in place; returns the per-epoch mean loss history."""
+    config = config or TrainConfig()
+    rng = np.random.default_rng(config.seed)
+    history = []
+    for epoch in range(config.epochs):
+        losses = []
+        for bx, by in iterate_minibatches(x_train, y_train,
+                                          config.batch_size, rng,
+                                          config.shuffle):
+            logits = model.forward(bx, training=True)
+            loss, grad = softmax_cross_entropy(logits, by)
+            model.backward(grad)
+            optimizer.step()
+            losses.append(loss)
+            if config.log_every and len(losses) % config.log_every == 0:
+                print(f"epoch {epoch} batch {len(losses)}: loss {loss:.4f}")
+        history.append(float(np.mean(losses)))
+        config.history.append(history[-1])
+    return history
+
+
+def evaluate_accuracy(model, x, y, batch_size=128):
+    """Top-1 accuracy of the model on a dataset."""
+    logits = model.predict(x, batch_size=batch_size)
+    return classification_accuracy(logits, y)

@@ -1,0 +1,102 @@
+"""VGG builders: the paper's exact Table-I network and a reduced variant.
+
+Table I of the paper (VGG executed on CIFAR-10):
+
+    64  3x3 Conv1    32x32x3   -> 32x32x64    ReLU, dropout(0.3)
+    64  3x3 Conv2    32x32x64  -> 32x32x64    ReLU
+    [2,2] MaxPool1   32x32x64  -> 16x16x64
+    128 3x3 Conv3    16x16x64  -> 16x16x128   ReLU, dropout(0.4)
+    128 3x3 Conv4    16x16x128 -> 16x16x128   ReLU
+    [2,2] MaxPool2   16x16x128 -> 8x8x128
+    256 3x3 Conv5    8x8x128   -> 8x8x256     ReLU, dropout(0.4)
+    256 3x3 Conv6    8x8x256   -> 8x8x256     ReLU, dropout(0.4)
+    256 3x3 Conv7    8x8x256   -> 8x8x256     ReLU
+    [2,2] MaxPool3   8x8x256   -> 4x4x256
+    FC1 4096 -> 4096                          ReLU, dropout(0.5)
+    FC2 4096 -> 4096                          ReLU, dropout(0.5)
+    FC3 4096 -> 10
+
+``build_table1_vgg`` reproduces this structure exactly (4*4*256 = 4096
+flattened features feed FC1).  Training it from scratch in numpy is not
+feasible in this sandbox, so accuracy experiments train ``build_vgg_nano`` —
+the same conv-conv-pool motif at reduced width — and run *both* networks
+through the identical CiM lowering (the hardware-noise pipeline does not
+care about layer width).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU
+from repro.nn.model import Sequential
+
+#: (channels, dropout-after-first-relu) per VGG block of Table I.
+TABLE1_BLOCKS = ((64, 0.3), (128, 0.4), (256, 0.4))
+
+
+def build_table1_vgg(num_classes=10, rng=None):
+    """The exact VGG of the paper's Table I."""
+    rng = rng or np.random.default_rng(0)
+    layers = [
+        Conv2D(3, 64, rng=rng), ReLU(), Dropout(0.3, rng=rng),
+        Conv2D(64, 64, rng=rng), ReLU(),
+        MaxPool2D(2),
+        Conv2D(64, 128, rng=rng), ReLU(), Dropout(0.4, rng=rng),
+        Conv2D(128, 128, rng=rng), ReLU(),
+        MaxPool2D(2),
+        Conv2D(128, 256, rng=rng), ReLU(), Dropout(0.4, rng=rng),
+        Conv2D(256, 256, rng=rng), ReLU(), Dropout(0.4, rng=rng),
+        Conv2D(256, 256, rng=rng), ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Dense(4 * 4 * 256, 4096, rng=rng), ReLU(), Dropout(0.5, rng=rng),
+        Dense(4096, 4096, rng=rng), ReLU(), Dropout(0.5, rng=rng),
+        Dense(4096, num_classes, rng=rng),
+    ]
+    return Sequential(layers)
+
+
+def build_vgg_nano(num_classes=10, width=8, image_size=16, rng=None):
+    """A reduced VGG with the same conv-conv-pool motif, trainable in numpy.
+
+    ``width`` scales all channel counts (Table I uses width 64); the default
+    trains on 16x16 synthetic images in a couple of minutes.
+    """
+    rng = rng or np.random.default_rng(0)
+    w1, w2 = width, 2 * width
+    feat = (image_size // 4) ** 2 * w2
+    layers = [
+        Conv2D(3, w1, rng=rng), ReLU(),
+        Conv2D(w1, w1, rng=rng), ReLU(),
+        MaxPool2D(2),
+        Conv2D(w1, w2, rng=rng), ReLU(),
+        Conv2D(w2, w2, rng=rng), ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Dense(feat, 4 * width, rng=rng), ReLU(), Dropout(0.3, rng=rng),
+        Dense(4 * width, num_classes, rng=rng),
+    ]
+    return Sequential(layers)
+
+
+def count_macs(model, input_shape):
+    """Count scalar multiply-accumulates of one inference pass.
+
+    Runs a single dummy forward to discover activation shapes, then applies
+    the standard formulas (conv: out_elems * kh*kw*c_in; dense: n_in*n_out).
+    Used for the Table II energy-per-inference estimate.
+    """
+    x = np.zeros((1, *input_shape))
+    total = 0
+    for layer in model.layers:
+        if isinstance(layer, Conv2D):
+            out = layer.forward(x)
+            total += out[0].size * layer.kernel * layer.kernel * layer.c_in
+            x = out
+        elif isinstance(layer, Dense):
+            total += layer.n_in * layer.n_out
+            x = layer.forward(x)
+        else:
+            x = layer.forward(x)
+    return total

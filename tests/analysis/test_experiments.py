@@ -1,0 +1,105 @@
+"""Integration tests for the experiment registry (fast configurations).
+
+The full-size experiments run in the benchmark suite; here every registry
+entry is exercised at reduced size so regressions in the experiment plumbing
+surface quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.montecarlo import run_process_variation_mc
+from repro.cells import TwoTOneFeFETCell
+from repro.devices.variation import VariationSpec
+
+
+class TestFig1:
+    def test_structure_and_claims(self):
+        result = E.fig1_fefet_characteristics(temps_c=(0.0, 27.0, 85.0),
+                                              points=12)
+        assert set(result["curves"]) == {
+            (s, t) for s in ("low-vth", "high-vth") for t in (0.0, 27.0, 85.0)
+        }
+        assert result["ion_ioff_at_read"] > 1e4
+        assert "V_G" in result["report"]
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return E.fig3_cell_fluctuation(num_temps=5)
+
+    def test_ordering(self, result):
+        assert (result["subthreshold"]["max_fluctuation"]
+                > result["saturation"]["max_fluctuation"])
+
+    def test_profiles_zero_at_reference(self, result):
+        for label in ("saturation", "subthreshold"):
+            profile = result[label]["profile"]
+            assert np.min(np.abs(profile)) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFig4AndFig8:
+    def test_fig4_baseline_overlaps(self):
+        result = E.fig4_baseline_overlap(temps_c=(0.0, 27.0, 85.0))
+        assert result["overlap"] is True
+        assert result["nmr_min"] < 0
+
+    def test_fig8_proposed_separated(self):
+        result = E.fig8_proposed_array(temps_c=(0.0, 27.0, 85.0))
+        assert result["overlap"] is False
+        assert result["nmr_min"] > 0
+        assert result["avg_energy_fj"] > 0
+        assert result["tops_per_watt"] > 500
+        assert len(result["nmr"]) == 8
+
+
+class TestFig7:
+    def test_within_paper_band(self):
+        result = E.fig7_proposed_cell(num_temps=5)
+        assert result["max_fluctuation"] < 0.266
+        assert result["max_fluctuation_above_20c"] <= result["max_fluctuation"] + 1e-9
+
+
+class TestFig9:
+    def test_small_mc(self):
+        result = E.fig9_process_variation(n_samples=8, seed=1)
+        assert result["mc8"].errors.shape == (8,)
+        assert 0.0 < result["max_error_8"] < 0.5
+        assert result["max_error_lsb_8"] > 0
+
+    def test_mc_seed_reproducible(self):
+        a = run_process_variation_mc(TwoTOneFeFETCell(), n_samples=4,
+                                     n_cells=4, seed=3)
+        b = run_process_variation_mc(TwoTOneFeFETCell(), n_samples=4,
+                                     n_cells=4, seed=3)
+        assert np.array_equal(a.errors, b.errors)
+
+    def test_mc_validates_mac_value(self):
+        with pytest.raises(ValueError):
+            run_process_variation_mc(TwoTOneFeFETCell(), n_samples=2,
+                                     n_cells=4, mac_value=9)
+
+    def test_zero_variation_zero_error(self):
+        mc = run_process_variation_mc(
+            TwoTOneFeFETCell(), n_samples=3, n_cells=4,
+            spec=VariationSpec(sigma_vth_fefet=0.0, sigma_vth_mosfet=0.0))
+        assert np.allclose(mc.errors, 0.0, atol=1e-9)
+
+
+class TestTable1:
+    def test_table1(self):
+        result = E.table1_vgg()
+        assert result["output_shape"] == (1, 10)
+        assert 2e8 < result["macs_per_inference"] < 4e8
+
+
+class TestDecodeErrors:
+    def test_proposed_clean_baseline_dirty(self):
+        result = E.mac_decode_errors(temps_c=(0.0, 27.0, 85.0), n_vectors=16)
+        proposed = result["error_rates"]["2T-1FeFET"]
+        baseline = result["error_rates"]["1FeFET-1R sub"]
+        assert proposed[27.0] == 0.0
+        assert proposed[85.0] == 0.0
+        assert baseline[85.0] > proposed[85.0]

@@ -1,0 +1,77 @@
+"""Tests for the energy report and latency accounting."""
+
+import numpy as np
+import pytest
+
+from repro.array.energy import EnergyReport, OperationEnergy
+from repro.array.timing import LatencySpec
+from repro.devices.fefet import ERASE_PULSE, PROGRAM_PULSE
+
+
+def make_report():
+    ops = tuple(
+        OperationEnergy(mac_value=k, energy_j=(0.5 + 0.1 * k) * 1e-15,
+                        by_source={"VBL": (0.5 + 0.1 * k) * 1e-15})
+        for k in range(9)
+    )
+    return EnergyReport(ops, cells_per_row=8)
+
+
+class TestEnergyReport:
+    def test_average(self):
+        rep = make_report()
+        assert rep.average_energy_fj == pytest.approx(0.9)
+
+    def test_energy_at(self):
+        rep = make_report()
+        assert rep.energy_at(3) == pytest.approx(0.8e-15)
+        with pytest.raises(KeyError):
+            rep.energy_at(42)
+
+    def test_tops_per_watt_accounting(self):
+        """9 ops per 8-cell MAC; 0.9 fJ/MAC -> 0.1 fJ/op -> 10000 TOPS/W."""
+        rep = make_report()
+        assert rep.tops_per_watt() == pytest.approx(1.0 / (0.1e-15) / 1e12,
+                                                    rel=1e-9)
+
+    def test_inference_energy_rounds_rows(self):
+        rep = make_report()
+        # 100 MACs on an 8-wide row -> 13 row operations.
+        assert rep.inference_energy_j(100) == pytest.approx(
+            13 * rep.average_energy_j)
+
+    def test_rows_series(self):
+        rows = make_report().rows()
+        assert rows[0] == (0, pytest.approx(0.5))
+        assert rows[-1] == (8, pytest.approx(1.3))
+
+    def test_operation_energy_fj_property(self):
+        op = OperationEnergy(2, 3.14e-15, {})
+        assert op.energy_fj == pytest.approx(3.14)
+
+
+class TestLatency:
+    def test_paper_mac_latency(self):
+        """6 ns charge + 0.9 ns share = the paper's 6.9 ns."""
+        spec = LatencySpec()
+        assert spec.mac_latency_s == pytest.approx(6.9e-9)
+
+    def test_throughput_inverse(self):
+        spec = LatencySpec()
+        assert spec.mac_throughput_per_s == pytest.approx(1.0 / 6.9e-9)
+
+    def test_write_latencies_follow_pulses(self):
+        spec = LatencySpec()
+        assert spec.write_latency_s(1) == PROGRAM_PULSE[1]
+        assert spec.write_latency_s(0) == ERASE_PULSE[1]
+
+    def test_array_rate_scales_with_rows(self):
+        spec = LatencySpec()
+        assert spec.macs_per_second(128) == pytest.approx(
+            128 * spec.mac_throughput_per_s)
+        with pytest.raises(ValueError):
+            spec.macs_per_second(0)
+
+    def test_decode_overhead_adds(self):
+        spec = LatencySpec(t_decode_s=0.1e-9)
+        assert spec.mac_latency_s == pytest.approx(7.0e-9)

@@ -1,0 +1,105 @@
+"""Tests for the behavioral bit-serial MAC unit.
+
+The behavioral model must (a) agree with the digital reference at the
+reference temperature for nominal devices, and (b) reproduce the circuit
+row's analog levels it was calibrated from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.array import BehavioralMacConfig, BitSerialMacUnit, MacRow
+from repro.cells import FeFET1RCell, TwoTOneFeFETCell
+
+
+@pytest.fixture(scope="module")
+def unit():
+    """A calibrated behavioral unit for the proposed cell (module-scoped:
+    calibration runs ~20 circuit transients)."""
+    return BitSerialMacUnit(TwoTOneFeFETCell(), BehavioralMacConfig(
+        bits_x=4, bits_w=4, temp_grid_c=(0.0, 27.0, 85.0)))
+
+
+class TestBinaryMatmul:
+    def test_exact_at_reference_temperature(self, unit):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, size=(6, 24))
+        w = rng.integers(0, 2, size=(24, 5))
+        got = unit.binary_matmul(x, w, temp_c=27.0)
+        assert np.array_equal(got, x @ w)
+
+    def test_exact_across_window_nominal(self, unit):
+        """The calibrated cell is resilient: decoded counts stay exact over
+        the full 0-85 degC window without variation."""
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 2, size=(4, 16))
+        w = rng.integers(0, 2, size=(16, 3))
+        for temp in (0.0, 55.0, 85.0):
+            assert np.array_equal(unit.binary_matmul(x, w, temp_c=temp), x @ w)
+
+    def test_padding_odd_k(self, unit):
+        x = np.ones((1, 11), dtype=int)
+        w = np.ones((11, 1), dtype=int)
+        assert unit.binary_matmul(x, w, temp_c=27.0)[0, 0] == 11
+
+    def test_dimension_mismatch(self, unit):
+        with pytest.raises(ValueError):
+            unit.binary_matmul(np.ones((1, 8)), np.ones((9, 1)), temp_c=27.0)
+
+    def test_levels_match_circuit_row(self, unit):
+        """Behavioral prefix-ladder levels vs. the real circuit row."""
+        row = MacRow(TwoTOneFeFETCell(), n_cells=8)
+        _, vaccs, _ = row.mac_sweep(27.0)
+        gain = unit.config.sensing.share_gain(8)
+        von = unit.level_table(27.0)[(1, 1)]
+        z10 = unit.level_table(27.0)[(1, 0)]
+        predicted = gain * (np.arange(9) * von + (8 - np.arange(9)) * z10)
+        # Same ladder within a millivolt (share-phase residuals allowed).
+        assert np.max(np.abs(predicted - vaccs)) < 1.5e-3
+
+
+class TestBitSerial:
+    def test_multibit_exact_at_reference(self, unit):
+        rng = np.random.default_rng(2)
+        x = rng.integers(0, 15, size=(3, 16))
+        w = rng.integers(-7, 8, size=(16, 4))
+        got = unit.matmul(x, w, temp_c=27.0)
+        assert np.array_equal(got, x @ w)
+
+    def test_signed_weights_split(self, unit):
+        x = np.array([[3, 1]])
+        w = np.array([[2], [-3]])
+        assert unit.matmul(x, w, temp_c=27.0)[0, 0] == 3
+
+    def test_rejects_negative_activations(self, unit):
+        with pytest.raises(ValueError):
+            unit.matmul(np.array([[-1]]), np.array([[1]]), temp_c=27.0)
+
+
+class TestVariationAndDrift:
+    def test_variation_injects_errors(self):
+        """With the paper's sigma_VT = 54 mV some decoded counts flip."""
+        noisy = BitSerialMacUnit(TwoTOneFeFETCell(), BehavioralMacConfig(
+            bits_x=2, bits_w=2, temp_grid_c=(0.0, 27.0, 85.0),
+            sigma_vth_fefet=54e-3, sigma_vth_mosfet=15e-3, seed=3))
+        rng = np.random.default_rng(4)
+        x = rng.integers(0, 2, size=(40, 64))
+        w = rng.integers(0, 2, size=(64, 8))
+        got = noisy.binary_matmul(x, w, temp_c=27.0)
+        ideal = x @ w
+        assert not np.array_equal(got, ideal)
+        # ... but errors are bounded (no catastrophic decode).
+        assert np.max(np.abs(got - ideal)) <= 16
+
+    def test_baseline_cell_drifts_into_errors(self):
+        """The subthreshold 1FeFET-1R behavioral unit misdecodes when hot —
+        the array-level translation of Fig. 4."""
+        base = BitSerialMacUnit(FeFET1RCell.subthreshold(), BehavioralMacConfig(
+            bits_x=2, bits_w=2, temp_grid_c=(0.0, 27.0, 85.0)))
+        rng = np.random.default_rng(5)
+        x = rng.integers(0, 2, size=(10, 32))
+        w = rng.integers(0, 2, size=(32, 4))
+        ideal = x @ w
+        assert np.array_equal(base.binary_matmul(x, w, temp_c=27.0), ideal)
+        hot = base.binary_matmul(x, w, temp_c=85.0)
+        assert not np.array_equal(hot, ideal)

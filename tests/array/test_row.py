@@ -1,0 +1,107 @@
+"""Integration tests: circuit-level MAC rows (Figs. 4 and 8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.array import EnergyReport, MacRow
+from repro.cells import FeFET1RCell, TwoTOneFeFETCell
+from repro.metrics import MacOutputRange, nmr_min, ranges_overlap
+
+
+@pytest.fixture(scope="module")
+def proposed_sweeps():
+    """MAC sweeps of the proposed array at three temperatures (shared)."""
+    sweeps = {}
+    for temp in (0.0, 27.0, 85.0):
+        row = MacRow(TwoTOneFeFETCell(), n_cells=8)
+        macs, vaccs, results = row.mac_sweep(temp)
+        sweeps[temp] = (vaccs, results)
+    return sweeps
+
+
+class TestRowMechanics:
+    def test_row_validates_weight_length(self):
+        row = MacRow(TwoTOneFeFETCell(), n_cells=4)
+        with pytest.raises(ValueError):
+            row.program_weights([1, 0])
+
+    def test_row_validates_input_length(self):
+        row = MacRow(TwoTOneFeFETCell(), n_cells=4)
+        with pytest.raises(ValueError):
+            row.read([1, 0], temp_c=27.0)
+
+    def test_mac_true_counts_and_weights(self):
+        row = MacRow(TwoTOneFeFETCell(), n_cells=4)
+        row.program_weights([1, 0, 1, 1])
+        res = row.read([1, 1, 0, 1], temp_c=27.0)
+        assert res.mac_true == 2
+        assert row.weights == (1, 0, 1, 1)
+
+    def test_vacc_monotone_in_mac(self, proposed_sweeps):
+        vaccs, _ = proposed_sweeps[27.0]
+        assert np.all(np.diff(vaccs) > 0)
+
+    def test_vacc_matches_charge_sharing(self, proposed_sweeps):
+        """V_acc must equal eq. (1) applied to the pre-share cell voltages
+        (plus a small residual leak during the share phase)."""
+        _, results = proposed_sweeps[27.0]
+        res = results[8]
+        spec = MacRow(TwoTOneFeFETCell(), n_cells=8).sensing
+        predicted = spec.share_gain(8) * res.cell_voltages.sum()
+        assert res.vacc == pytest.approx(predicted, rel=0.10)
+
+    def test_energy_increases_with_mac(self, proposed_sweeps):
+        """Fig. 8(b): more active cells draw more energy per operation."""
+        _, results = proposed_sweeps[27.0]
+        energies = [r.energy_j for r in results]
+        assert energies[-1] > energies[0]
+
+    def test_energy_in_fj_decade(self, proposed_sweeps):
+        """Average per-MAC energy lands in the femtojoule decade the paper
+        reports (3.14 fJ); our calibrated array measures the same order."""
+        _, results = proposed_sweeps[27.0]
+        rep = EnergyReport.from_sweep(results)
+        assert 0.1 < rep.average_energy_fj < 20.0
+
+    def test_efficiency_thousands_tops_per_watt(self, proposed_sweeps):
+        _, results = proposed_sweeps[27.0]
+        rep = EnergyReport.from_sweep(results)
+        assert 500 < rep.tops_per_watt() < 50000
+
+
+class TestPaperHeadlines:
+    def test_proposed_array_never_overlaps(self, proposed_sweeps):
+        """Fig. 8(a): all nine MAC bands separated from 0 to 85 degC."""
+        ranges = [
+            MacOutputRange.from_samples(
+                k, [proposed_sweeps[t][0][k] for t in proposed_sweeps])
+            for k in range(9)
+        ]
+        assert not ranges_overlap(ranges)
+        worst_i, worst = nmr_min(ranges)
+        assert worst > 0.0
+
+    def test_proposed_nmr_min_at_low_mac(self, proposed_sweeps):
+        """The paper's worst level is NMR_0 (0.22); ours is the same level."""
+        ranges = [
+            MacOutputRange.from_samples(
+                k, [proposed_sweeps[t][0][k] for t in proposed_sweeps])
+            for k in range(9)
+        ]
+        worst_i, _ = nmr_min(ranges)
+        assert worst_i <= 1
+
+    def test_baseline_array_overlaps(self):
+        """Fig. 4: the subthreshold 1FeFET-1R array overlaps badly."""
+        sweeps = {}
+        for temp in (0.0, 27.0, 85.0):
+            row = MacRow(FeFET1RCell.subthreshold(), n_cells=8)
+            _, vaccs, _ = row.mac_sweep(temp)
+            sweeps[temp] = vaccs
+        ranges = [
+            MacOutputRange.from_samples(k, [sweeps[t][k] for t in sweeps])
+            for k in range(9)
+        ]
+        assert ranges_overlap(ranges)
+        _, worst = nmr_min(ranges)
+        assert worst < 0.0

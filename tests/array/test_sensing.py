@@ -1,0 +1,81 @@
+"""Tests for the charge-sharing sensing network (eq. 1) and the ADC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.array.sensing import ChargeSharingSensor, SensingSpec, ideal_vacc
+
+
+class TestEquationOne:
+    def test_share_gain_formula(self):
+        spec = SensingSpec(co_farads=1e-15, cacc_farads=2e-15)
+        # C_o / (n C_o + C_acc) with n = 8.
+        assert spec.share_gain(8) == pytest.approx(1e-15 / (8e-15 + 2e-15))
+
+    def test_vacc_linear_in_cell_sum(self):
+        spec = SensingSpec(co_farads=1e-15, cacc_farads=2e-15)
+        v1 = ideal_vacc([0.1] * 8, spec)
+        v2 = ideal_vacc([0.2] * 8, spec)
+        assert v2 == pytest.approx(2 * v1)
+
+    def test_vacc_batched(self):
+        spec = SensingSpec()
+        cells = np.tile(np.linspace(0, 0.1, 8), (5, 1))
+        out = ideal_vacc(cells, spec)
+        assert out.shape == (5,)
+
+    def test_rejects_bad_caps(self):
+        with pytest.raises(ValueError):
+            SensingSpec(co_farads=0.0)
+        with pytest.raises(ValueError):
+            SensingSpec().share_gain(0)
+
+    @given(n=st.integers(min_value=1, max_value=64),
+           co=st.floats(min_value=0.1e-15, max_value=10e-15),
+           cacc=st.floats(min_value=0.1e-15, max_value=50e-15))
+    @settings(max_examples=50)
+    def test_gain_bounded_by_charge_conservation(self, n, co, cacc):
+        """The shared voltage can never exceed the mean cell voltage."""
+        gain = SensingSpec(co, cacc).share_gain(n)
+        assert 0 < gain * n < 1.0
+
+
+class TestSensor:
+    def make_calibrated(self, n=8, lsb=0.01):
+        levels = np.arange(n + 1) * lsb
+        return ChargeSharingSensor().calibrate(levels)
+
+    def test_decode_nominal_levels_exact(self):
+        sensor = self.make_calibrated()
+        for k in range(9):
+            assert sensor.decode_scalar(k * 0.01) == k
+
+    def test_decode_midpoint_boundary(self):
+        sensor = self.make_calibrated()
+        assert sensor.decode_scalar(0.0149) == 1
+        assert sensor.decode_scalar(0.0151) == 2
+
+    def test_decode_vectorized(self):
+        sensor = self.make_calibrated()
+        out = sensor.decode(np.array([0.0, 0.031, 0.082]))
+        assert list(out) == [0, 3, 8]
+
+    def test_decode_saturates_at_extremes(self):
+        sensor = self.make_calibrated()
+        assert sensor.decode_scalar(-1.0) == 0
+        assert sensor.decode_scalar(1.0) == 8
+
+    def test_uncalibrated_raises(self):
+        with pytest.raises(RuntimeError):
+            ChargeSharingSensor().decode(0.1)
+
+    def test_calibration_validates_monotonic(self):
+        with pytest.raises(ValueError):
+            ChargeSharingSensor().calibrate([0.0, 0.02, 0.01])
+
+    def test_drifted_level_misreads(self):
+        """The Fig. 4 failure mode: a drifted level crosses a threshold."""
+        sensor = self.make_calibrated()
+        # MAC=3's nominal level drifted up by a full LSB reads as 4.
+        assert sensor.decode_scalar(0.04) == 4

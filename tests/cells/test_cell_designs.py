@@ -1,0 +1,142 @@
+"""Cell-level tests: multiplication truth tables, temperature behaviour.
+
+The numeric bands assert the *paper-shaped* behaviour of the calibrated
+designs: the subthreshold 1FeFET-1R drifts by tens of percent (Fig. 3(b)),
+the saturated one by ~10-20 % (Fig. 3(a)), and the proposed 2T-1FeFET stays
+within a few percent (Fig. 7 reports <= 26.6 %).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells import (
+    FeFET1RCell,
+    FeFET1TCell,
+    TwoTOneFeFETCell,
+    cell_output_current,
+    cell_read_transient,
+)
+from repro.cells.base import multiplication_truth_table
+from repro.metrics.fluctuation import max_fluctuation
+
+TEMPS = np.array([0.0, 20.0, 27.0, 55.0, 85.0])
+
+
+def current_profile(design, **kwargs):
+    return np.array([cell_output_current(design, float(t), **kwargs)
+                     for t in TEMPS])
+
+
+class TestFeFET1R:
+    def test_region_labels(self):
+        assert FeFET1RCell.saturation().region_label == "saturation"
+        assert FeFET1RCell.subthreshold().region_label == "subthreshold"
+
+    def test_saturation_read_current_scale(self):
+        """Saturation read draws tens of microamps (vs nA subthreshold)."""
+        i_sat = cell_output_current(FeFET1RCell.saturation(), 27.0)
+        i_sub = cell_output_current(FeFET1RCell.subthreshold(), 27.0)
+        assert i_sat > 1e-5
+        assert 1e-9 < i_sub < 1e-7
+        assert i_sat / i_sub > 100
+
+    def test_saturation_fluctuation_moderate(self):
+        """Fig. 3(a): saturated cell fluctuates ~10-25 % over 0-85 degC."""
+        fluct = max_fluctuation(TEMPS, current_profile(FeFET1RCell.saturation()))
+        assert 0.05 < fluct < 0.30
+
+    def test_subthreshold_fluctuation_severe(self):
+        """Fig. 3(b): subthreshold cell fluctuates far worse (>= 50 %)."""
+        fluct = max_fluctuation(TEMPS, current_profile(FeFET1RCell.subthreshold()))
+        assert fluct > 0.5
+
+    def test_subthreshold_cold_side_band(self):
+        """The cold-side droop lands near the paper's 52.1 % number."""
+        profile = current_profile(FeFET1RCell.subthreshold())
+        cold_dev = abs(profile[0] / profile[2] - 1.0)
+        assert 0.35 < cold_dev < 0.65
+
+    def test_stored_zero_conducts_nothing(self):
+        i_off = cell_output_current(FeFET1RCell.subthreshold(), 85.0,
+                                    weight_bit=0)
+        i_on = cell_output_current(FeFET1RCell.subthreshold(), 85.0)
+        assert i_off < 1e-3 * i_on
+
+
+class TestFeFET1T:
+    def test_cascode_limits_current(self):
+        """The cascode caps the cell current below the bare FeFET's."""
+        i_1t = cell_output_current(FeFET1TCell(), 27.0)
+        assert 1e-9 < i_1t < 1e-6
+
+    def test_subthreshold_drift_remains(self):
+        """[19]'s cell still drifts strongly — it is grouped with the
+        NMR_min < 0 designs in the paper."""
+        fluct = max_fluctuation(TEMPS, current_profile(FeFET1TCell()))
+        assert fluct > 0.5
+
+    def test_aux_supply_declared(self):
+        assert "vcas" in FeFET1TCell().aux_supplies()
+
+
+class TestTwoTOneFeFET:
+    def test_output_level_band(self):
+        v = cell_read_transient(TwoTOneFeFETCell(), 27.0).final_voltage("out")
+        assert 0.08 < v < 0.16
+
+    def test_temperature_resilience(self):
+        """Fig. 7: the proposed cell's output stays within the paper's
+        26.6 % band — our calibration nulls it to a few percent."""
+        levels = np.array([
+            cell_read_transient(TwoTOneFeFETCell(), float(t)).final_voltage("out")
+            for t in TEMPS
+        ])
+        assert max_fluctuation(TEMPS, levels) < 0.1
+
+    def test_resilience_beats_subthreshold_baseline(self):
+        """The headline comparison of the paper, at equal read conditions."""
+        proposed = np.array([
+            cell_read_transient(TwoTOneFeFETCell(), float(t)).final_voltage("out")
+            for t in TEMPS
+        ])
+        baseline = np.array([
+            cell_read_transient(FeFET1RCell.subthreshold(), float(t)).final_voltage("out")
+            for t in TEMPS
+        ])
+        assert (max_fluctuation(TEMPS, proposed)
+                < 0.25 * max_fluctuation(TEMPS, baseline))
+
+    def test_multiplication_truth_table(self):
+        """Only (weight=1, input=1) produces a high output level."""
+        table = multiplication_truth_table(TwoTOneFeFETCell(), 27.0)
+        on = table[(1, 1)]
+        assert on > 0.08
+        assert table[(0, 1)] < 0.1 * on
+        assert table[(0, 0)] < 0.1 * on
+        assert table[(1, 0)] < 0.3 * on  # input-off leak, the NMR_0 driver
+
+    def test_off_state_leak_grows_with_temperature(self):
+        """The x=0 leak level is the paper's NMR_0 bottleneck; it must grow
+        with temperature but stay well under the on level."""
+        z_cold = cell_read_transient(TwoTOneFeFETCell(), 0.0,
+                                     input_bit=0).final_voltage("out")
+        z_hot = cell_read_transient(TwoTOneFeFETCell(), 85.0,
+                                    input_bit=0).final_voltage("out")
+        on_hot = cell_read_transient(TwoTOneFeFETCell(), 85.0).final_voltage("out")
+        assert z_hot > z_cold
+        assert z_hot < 0.3 * on_hot
+
+    def test_variation_offset_moves_output(self):
+        from repro.devices.variation import CellVariation
+
+        nominal = cell_read_transient(TwoTOneFeFETCell(), 27.0).final_voltage("out")
+        shifted = cell_read_transient(
+            TwoTOneFeFETCell(), 27.0,
+            variation=CellVariation(fefet_dvth=0.054)).final_voltage("out")
+        assert shifted != pytest.approx(nominal, rel=1e-3)
+
+    def test_with_sizing_returns_new_design(self):
+        base = TwoTOneFeFETCell()
+        scaled = base.with_sizing(m2_wl=10.0)
+        assert scaled.m2_params.width_over_length == pytest.approx(10.0)
+        assert base.m2_params.width_over_length == pytest.approx(119.4)

@@ -1,0 +1,127 @@
+"""DC operating-point tests: linear sanity, nonlinear devices, fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    CurrentSource,
+    MOSFETElement,
+    Resistor,
+    VoltageSource,
+    dc_operating_point,
+)
+from repro.devices import MOSFETParams, NMOSModel
+from repro.devices.resistor import ResistorModel
+from repro.errors import NetlistError
+
+
+def divider(r1=1e3, r2=1e3, v=1.0):
+    c = Circuit("divider")
+    c.add(VoltageSource("V1", "in", "0", v))
+    c.add(Resistor("R1", "in", "mid", r1))
+    c.add(Resistor("R2", "mid", "0", r2))
+    return c
+
+
+class TestLinear:
+    def test_resistor_divider(self):
+        op = dc_operating_point(divider())
+        assert op.voltage("mid") == pytest.approx(0.5, rel=1e-6)
+
+    def test_branch_current_sign(self):
+        """A delivering source shows negative branch current by convention."""
+        op = dc_operating_point(divider())
+        assert op.branch_current("V1") == pytest.approx(-0.5e-3, rel=1e-6)
+
+    def test_source_power_delivered(self):
+        op = dc_operating_point(divider())
+        assert op.source_power("V1") == pytest.approx(0.5e-3, rel=1e-6)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit("isrc")
+        c.add(CurrentSource("I1", "0", "out", 1e-3))  # 1 mA into 'out'
+        c.add(Resistor("R1", "out", "0", 2e3))
+        op = dc_operating_point(c)
+        assert op.voltage("out") == pytest.approx(2.0, rel=1e-5)
+
+    def test_ground_aliases(self):
+        c = Circuit("gnd")
+        c.add(VoltageSource("V1", "a", "gnd", 1.0))
+        c.add(Resistor("R1", "a", "0", 1e3))
+        op = dc_operating_point(c)
+        assert op.voltage("a") == pytest.approx(1.0)
+
+    def test_temperature_dependent_resistor(self):
+        c = Circuit("tcr")
+        c.add(VoltageSource("V1", "in", "0", 1.0))
+        c.add(Resistor("R1", "in", "mid", ResistorModel(1e3, tcr_per_k=1e-3)))
+        c.add(Resistor("R2", "mid", "0", 1e3))
+        hot = dc_operating_point(c, temp_c=85.0)
+        cold = dc_operating_point(c, temp_c=0.0)
+        assert hot.voltage("mid") < 0.5 < cold.voltage("mid")
+
+
+class TestNonlinear:
+    def test_diode_connected_nmos(self):
+        """Diode-connected device pulled up through a resistor: the solved
+        gate voltage must make KCL balance to machine precision."""
+        model = NMOSModel(MOSFETParams())
+        c = Circuit("diode")
+        c.add(VoltageSource("VDD", "vdd", "0", 1.2))
+        c.add(Resistor("R1", "vdd", "d", 100e3))
+        c.add(MOSFETElement("M1", "d", "d", "0", model))
+        op = dc_operating_point(c)
+        vd = op.voltage("d")
+        i_res = (1.2 - vd) / 100e3
+        i_mos = model.ids(vd, vd, 0.0, 27.0)
+        assert i_mos == pytest.approx(i_res, rel=1e-5)
+        assert 0.3 < vd < 0.8
+
+    def test_common_source_amplifier_bias(self):
+        model = NMOSModel(MOSFETParams())
+        c = Circuit("cs-amp")
+        c.add(VoltageSource("VDD", "vdd", "0", 1.2))
+        c.add(VoltageSource("VG", "g", "0", 0.55))
+        c.add(Resistor("RD", "vdd", "d", 200e3))
+        c.add(MOSFETElement("M1", "d", "g", "0", model))
+        op = dc_operating_point(c)
+        assert 0.0 < op.voltage("d") < 1.2
+
+    def test_subthreshold_stacked_pair_converges(self):
+        """Two stacked subthreshold devices (nA currents) still converge."""
+        model = NMOSModel(MOSFETParams())
+        c = Circuit("stack")
+        c.add(VoltageSource("VDD", "vdd", "0", 1.2))
+        c.add(VoltageSource("VG1", "g1", "0", 0.30))
+        c.add(VoltageSource("VG2", "g2", "0", 0.35))
+        c.add(MOSFETElement("M1", "vdd", "g1", "mid", model))
+        c.add(MOSFETElement("M2", "mid", "g2", "0", model))
+        op = dc_operating_point(c)
+        assert 0.0 < op.voltage("mid") < 1.2
+        assert op.residual < 1e-11
+
+    def test_warm_start_reuses_solution(self):
+        c1 = divider()
+        op1 = dc_operating_point(c1)
+        c2 = divider()
+        op2 = dc_operating_point(c2, x0=op1.x)
+        assert op2.iterations <= op1.iterations
+
+
+class TestValidation:
+    def test_unknown_node_lookup(self):
+        op = dc_operating_point(divider())
+        with pytest.raises(NetlistError):
+            op.voltage("nope")
+
+    def test_duplicate_element_rejected(self):
+        c = Circuit("dup")
+        c.add(Resistor("R1", "a", "0", 1e3))
+        with pytest.raises(NetlistError):
+            c.add(Resistor("R1", "b", "0", 1e3))
+
+    def test_branch_current_requires_source(self):
+        op = dc_operating_point(divider())
+        with pytest.raises(NetlistError):
+            op.branch_current("R1")

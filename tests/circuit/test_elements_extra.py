@@ -1,0 +1,136 @@
+"""Tests for controlled sources, waveforms, sweeps and failure handling."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    Constant,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    Step,
+    VoltageSource,
+    dc_operating_point,
+    parameter_sweep,
+    temperature_sweep,
+)
+from repro.circuit.elements import VCCS, VCVS
+from repro.errors import NetlistError
+
+
+class TestControlledSources:
+    def test_vcvs_ideal_amplifier(self):
+        c = Circuit("vcvs")
+        c.add(VoltageSource("VIN", "in", "0", 0.25))
+        c.add(VCVS("E1", "out", "0", "in", "0", gain=4.0))
+        c.add(Resistor("RL", "out", "0", 1e3))
+        op = dc_operating_point(c)
+        assert op.voltage("out") == pytest.approx(1.0, rel=1e-9)
+
+    def test_vcvs_differential_sensing(self):
+        c = Circuit("diff")
+        c.add(VoltageSource("VA", "a", "0", 0.8))
+        c.add(VoltageSource("VB", "b", "0", 0.3))
+        c.add(VCVS("E1", "out", "0", "a", "b", gain=2.0))
+        c.add(Resistor("RL", "out", "0", 1e3))
+        op = dc_operating_point(c)
+        assert op.voltage("out") == pytest.approx(1.0, rel=1e-9)
+
+    def test_vccs_transconductance(self):
+        c = Circuit("vccs")
+        c.add(VoltageSource("VIN", "in", "0", 0.5))
+        c.add(VCCS("G1", "0", "out", "in", "0", gm=1e-3))  # 0.5 mA into out
+        c.add(Resistor("RL", "out", "0", 2e3))
+        op = dc_operating_point(c)
+        assert op.voltage("out") == pytest.approx(1.0, rel=1e-6)
+
+    def test_vccs_as_resistor(self):
+        """A VCCS sensing its own port behaves as a conductance."""
+        c = Circuit("gres")
+        c.add(VoltageSource("V1", "n", "0", 1.0))
+        c.add(VCCS("G1", "n", "0", "n", "0", gm=1e-3))
+        op = dc_operating_point(c)
+        # The source must supply exactly 1 mA.
+        assert op.branch_current("V1") == pytest.approx(-1e-3, rel=1e-6)
+
+
+class TestWaveforms:
+    def test_constant(self):
+        assert Constant(2.5)(123.0) == 2.5
+
+    def test_step(self):
+        s = Step(1e-9, 0.0, 1.0)
+        assert s(0.5e-9) == 0.0
+        assert s(1e-9) == 1.0
+
+    def test_pulse_shape(self):
+        p = Pulse(v_low=0.0, v_high=1.0, t_delay=1e-9, t_width=2e-9,
+                  t_rise=1e-10, t_fall=1e-10)
+        assert p(0.0) == 0.0
+        assert p(2e-9) == 1.0
+        assert p(1.05e-9) == pytest.approx(0.5)
+        assert p(5e-9) == 0.0
+
+    def test_pwl_interpolates(self):
+        w = PiecewiseLinear([0.0, 1.0, 2.0], [0.0, 2.0, 0.0])
+        assert w(0.5) == pytest.approx(1.0)
+        assert w(1.5) == pytest.approx(1.0)
+        assert w(5.0) == pytest.approx(0.0)  # clamps to last value
+
+    def test_pwl_validates(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([0.0, 0.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            PiecewiseLinear([0.0], [1.0])
+
+
+class TestSweeps:
+    def test_temperature_sweep_warm_start(self):
+        from repro.devices.resistor import ResistorModel
+
+        def factory():
+            c = Circuit("sweep")
+            c.add(VoltageSource("V1", "in", "0", 1.0))
+            c.add(Resistor("R1", "in", "mid", ResistorModel(1e3, 1e-3)))
+            c.add(Resistor("R2", "mid", "0", 1e3))
+            return c
+
+        temps, values = temperature_sweep(factory, [0.0, 27.0, 85.0],
+                                          probe=lambda op: op.voltage("mid"))
+        assert values.shape == (3,)
+        assert values[0] > values[-1]  # hot top resistor divides lower
+
+    def test_parameter_sweep(self):
+        grid, results = parameter_sweep([1, 2, 3], lambda v: v * v)
+        assert grid == [1, 2, 3]
+        assert results == [1, 4, 9]
+
+
+class TestFailureHandling:
+    def test_unknown_element_lookup(self):
+        c = Circuit("x")
+        c.add(Resistor("R1", "a", "0", 1e3))
+        with pytest.raises(NetlistError):
+            c.element("R2")
+
+    def test_invalid_node_name(self):
+        c = Circuit("x")
+        with pytest.raises(NetlistError):
+            c.node("")
+
+    def test_nonpositive_resistor_stamped(self):
+        c = Circuit("bad")
+        c.add(VoltageSource("V1", "a", "0", 1.0))
+        c.add(Resistor("R1", "a", "0", -5.0))
+        with pytest.raises(NetlistError):
+            dc_operating_point(c)
+
+    def test_floating_node_defined_by_gmin(self):
+        """A node with no DC path still solves (gmin floor)."""
+        c = Circuit("float")
+        c.add(VoltageSource("V1", "a", "0", 1.0))
+        c.add(Resistor("R1", "a", "b", 1e6))
+        # 'b' connects only through R1; gmin to ground defines it.
+        op = dc_operating_point(c)
+        assert 0.0 < op.voltage("b") <= 1.0

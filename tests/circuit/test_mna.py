@@ -1,0 +1,66 @@
+"""Tests of the MNA assembly layer itself (residuals, gmin, Jacobians)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, Resistor, VoltageSource
+from repro.circuit.mna import GMIN_FLOOR, assemble
+
+
+def divider():
+    c = Circuit("div")
+    c.add(VoltageSource("V1", "in", "0", 1.0))
+    c.add(Resistor("R1", "in", "mid", 1e3))
+    c.add(Resistor("R2", "mid", "0", 1e3))
+    return c
+
+
+class TestAssemble:
+    def test_residual_zero_at_solution(self):
+        c = divider()
+        # Exact solution: v(in)=1, v(mid)=0.5, i_branch=-0.5 mA.
+        x = np.array([1.0, 0.5, -0.5e-3])
+        f, _ = assemble(c, x, gmin=0.0)
+        assert np.max(np.abs(f)) < 1e-12
+
+    def test_residual_nonzero_off_solution(self):
+        c = divider()
+        f, _ = assemble(c, np.zeros(3), gmin=0.0)
+        assert np.max(np.abs(f)) > 1e-3
+
+    def test_jacobian_matches_finite_difference(self):
+        c = divider()
+        x = np.array([0.7, 0.2, 1e-4])
+        f0, jac = assemble(c, x, gmin=GMIN_FLOOR)
+        h = 1e-8
+        for col in range(3):
+            xp = x.copy()
+            xp[col] += h
+            fp, _ = assemble(c, xp, gmin=GMIN_FLOOR)
+            fd = (fp - f0) / h
+            assert np.allclose(jac[:, col], fd, atol=1e-4)
+
+    def test_gmin_adds_diagonal_conductance(self):
+        c = divider()
+        x = np.zeros(3)
+        _, j_no = assemble(c, x, gmin=0.0)
+        _, j_yes = assemble(c, x, gmin=1e-3)
+        diff = j_yes - j_no
+        # Only the node-voltage diagonal changes, by exactly gmin.
+        assert diff[0, 0] == pytest.approx(1e-3)
+        assert diff[1, 1] == pytest.approx(1e-3)
+        assert diff[2, 2] == pytest.approx(0.0)  # branch row untouched
+
+    def test_source_scale_enters_branch_equation(self):
+        c = divider()
+        x = np.zeros(3)
+        f_full, _ = assemble(c, x, source_scale=1.0, gmin=0.0)
+        f_half, _ = assemble(c, x, source_scale=0.5, gmin=0.0)
+        # The branch equation's target halves; KCL rows are unchanged at 0.
+        assert f_half[2] == pytest.approx(f_full[2] + 0.5)
+
+    def test_system_size_bookkeeping(self):
+        c = divider()
+        assert c.num_nodes == 2
+        assert c.num_branches == 1
+        assert c.system_size == 3

@@ -1,0 +1,124 @@
+"""Property-based tests of the MNA engine (hypothesis).
+
+These pin down the physics invariants any correct solver must satisfy:
+linearity (superposition, scaling), passivity, charge conservation in
+charge sharing, and energy balance in transients.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    Resistor,
+    Step,
+    Switch,
+    VoltageSource,
+    dc_operating_point,
+    transient_simulation,
+)
+
+resistances = st.floats(min_value=1e2, max_value=1e6)
+voltages = st.floats(min_value=-2.0, max_value=2.0)
+
+
+def ladder(r_values, v1, v2):
+    """Two sources driving a resistor ladder with three internal nodes."""
+    c = Circuit("ladder")
+    c.add(VoltageSource("V1", "a", "0", v1))
+    c.add(VoltageSource("V2", "b", "0", v2))
+    r1, r2, r3, r4, r5 = r_values
+    c.add(Resistor("R1", "a", "n1", r1))
+    c.add(Resistor("R2", "n1", "n2", r2))
+    c.add(Resistor("R3", "n2", "b", r3))
+    c.add(Resistor("R4", "n1", "0", r4))
+    c.add(Resistor("R5", "n2", "0", r5))
+    return c
+
+
+class TestLinearity:
+    @given(rs=st.tuples(*([resistances] * 5)), v1=voltages, v2=voltages)
+    @settings(max_examples=40, deadline=None)
+    def test_superposition(self, rs, v1, v2):
+        """Response to (v1, v2) = response to (v1, 0) + response to (0, v2)."""
+        both = dc_operating_point(ladder(rs, v1, v2))
+        only1 = dc_operating_point(ladder(rs, v1, 0.0))
+        only2 = dc_operating_point(ladder(rs, 0.0, v2))
+        for node in ("n1", "n2"):
+            assert both.voltage(node) == pytest.approx(
+                only1.voltage(node) + only2.voltage(node), abs=1e-9)
+
+    @given(rs=st.tuples(*([resistances] * 5)), v1=voltages,
+           k=st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling(self, rs, v1, k):
+        """Scaling the only source scales every node voltage."""
+        base = dc_operating_point(ladder(rs, v1, 0.0))
+        scaled = dc_operating_point(ladder(rs, k * v1, 0.0))
+        for node in ("n1", "n2"):
+            assert scaled.voltage(node) == pytest.approx(
+                k * base.voltage(node), abs=1e-8)
+
+
+class TestPassivity:
+    @given(rs=st.tuples(*([resistances] * 5)), v1=voltages)
+    @settings(max_examples=40, deadline=None)
+    def test_single_source_delivers_nonnegative_power(self, rs, v1):
+        op = dc_operating_point(ladder(rs, v1, 0.0))
+        assert op.source_power("V1") >= -1e-12
+
+    @given(rs=st.tuples(*([resistances] * 5)), v1=voltages, v2=voltages)
+    @settings(max_examples=40, deadline=None)
+    def test_total_power_nonnegative(self, rs, v1, v2):
+        """The resistor network can only dissipate, never generate."""
+        op = dc_operating_point(ladder(rs, v1, v2))
+        total = op.source_power("V1") + op.source_power("V2")
+        assert total >= -1e-12
+
+
+class TestChargeConservation:
+    @given(
+        ca=st.floats(min_value=0.2e-15, max_value=10e-15),
+        cb=st.floats(min_value=0.2e-15, max_value=10e-15),
+        va=st.floats(min_value=0.0, max_value=1.0),
+        vb=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_two_cap_share(self, ca, cb, va, vb):
+        """Charge sharing lands exactly on (Ca*Va + Cb*Vb)/(Ca + Cb) —
+        the physics behind the paper's eq. (1)."""
+        c = Circuit("share")
+        c.add(Capacitor("Ca", "a", "0", ca))
+        c.add(Capacitor("Cb", "b", "0", cb))
+        c.add(Switch("S", "a", "b", schedule=lambda t: t > 0.5e-9,
+                     g_on=1e-2, g_off=1e-16))
+        res = transient_simulation(c, t_stop=5e-9, dt=0.02e-9,
+                                   initial_conditions={"a": va, "b": vb})
+        expected = (ca * va + cb * vb) / (ca + cb)
+        assert res.final_voltage("a") == pytest.approx(expected, abs=2e-3)
+        assert res.final_voltage("b") == pytest.approx(expected, abs=2e-3)
+
+
+class TestEnergyBalance:
+    @given(
+        r=st.floats(min_value=1e3, max_value=1e5),
+        cap=st.floats(min_value=1e-13, max_value=1e-11),
+        v=st.floats(min_value=0.2, max_value=1.5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_rc_charge_energy_split(self, r, cap, v):
+        """Charging C through R from V draws C*V^2: half stored, half lost
+        — independent of R (the classic result)."""
+        tau = r * cap
+        c = Circuit("rc")
+        c.add(VoltageSource("V1", "in", "0", Step(0.0, 0.0, v)))
+        c.add(Resistor("R1", "in", "out", r))
+        c.add(Capacitor("C1", "out", "0", cap))
+        res = transient_simulation(c, t_stop=12 * tau, dt=tau / 120,
+                                   initial_conditions={"out": 0.0})
+        drawn = res.energy_of("V1")
+        assert drawn == pytest.approx(cap * v * v, rel=0.03)
+        stored = 0.5 * cap * res.final_voltage("out") ** 2
+        assert stored == pytest.approx(0.5 * cap * v * v, rel=0.03)

@@ -1,0 +1,71 @@
+"""Tests for the result containers (OperatingPoint / TransientResult)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    Resistor,
+    Step,
+    VoltageSource,
+    dc_operating_point,
+    transient_simulation,
+)
+from repro.errors import ConvergenceError, NetlistError
+
+
+@pytest.fixture
+def rc_result():
+    c = Circuit("rc")
+    c.add(VoltageSource("V1", "in", "0", Step(0.0, 0.0, 1.0)))
+    c.add(Resistor("R1", "in", "out", 1e3))
+    c.add(Capacitor("C1", "out", "0", 1e-7))
+    return transient_simulation(c, t_stop=5e-4, dt=2e-6,
+                                initial_conditions={"out": 0.0})
+
+
+class TestTransientResult:
+    def test_at_time_nearest_sample(self, rc_result):
+        idx = rc_result.at_time(1e-4)
+        assert rc_result.times[idx] == pytest.approx(1e-4, abs=2e-6)
+
+    def test_ground_voltage_is_zero(self, rc_result):
+        assert np.all(rc_result.voltage("0") == 0.0)
+
+    def test_branch_current_waveform_decays(self, rc_result):
+        i = rc_result.branch_current("V1")
+        # Charging current magnitude decays monotonically after the step.
+        assert abs(i[-1]) < abs(i[2])
+
+    def test_branch_current_requires_source(self, rc_result):
+        with pytest.raises(NetlistError):
+            rc_result.branch_current("R1")
+
+    def test_total_source_energy(self, rc_result):
+        assert rc_result.total_source_energy() == pytest.approx(
+            rc_result.energy_of("V1"))
+
+    def test_repr_mentions_temp_and_points(self, rc_result):
+        text = repr(rc_result)
+        assert "points=" in text and "t_end=" in text
+
+
+class TestOperatingPointDiagnostics:
+    def test_strategy_and_iterations_recorded(self):
+        c = Circuit("div")
+        c.add(VoltageSource("V1", "a", "0", 1.0))
+        c.add(Resistor("R1", "a", "0", 1e3))
+        op = dc_operating_point(c)
+        assert op.strategy in ("newton", "gmin-stepping", "source-stepping")
+        assert op.iterations >= 1
+        assert op.residual < 1e-9
+        assert "OperatingPoint" in repr(op)
+
+
+class TestConvergenceError:
+    def test_carries_diagnostics(self):
+        err = ConvergenceError("failed", residual=1e-3, iterations=120)
+        assert err.residual == 1e-3
+        assert err.iterations == 120
+        assert "failed" in str(err)

@@ -1,0 +1,100 @@
+"""Transient integrator tests: RC analytics, switches, energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    Resistor,
+    Step,
+    Switch,
+    VoltageSource,
+    transient_simulation,
+)
+
+
+def rc_circuit(r=1e3, c=1e-6, v=1.0):
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("V1", "in", "0", Step(0.0, 0.0, v)))
+    ckt.add(Resistor("R1", "in", "out", r))
+    ckt.add(Capacitor("C1", "out", "0", c))
+    return ckt
+
+
+class TestRC:
+    def test_charging_curve_matches_analytic(self):
+        tau = 1e-3
+        res = transient_simulation(rc_circuit(), t_stop=5 * tau, dt=tau / 200,
+                                   initial_conditions={"out": 0.0})
+        v = res.voltage("out")
+        expected = 1.0 - np.exp(-res.times / tau)
+        assert np.max(np.abs(v - expected)) < 0.01
+
+    def test_final_value_five_tau(self):
+        res = transient_simulation(rc_circuit(), t_stop=5e-3, dt=5e-6,
+                                   initial_conditions={"out": 0.0})
+        assert res.final_voltage("out") == pytest.approx(1.0 - np.exp(-5), abs=5e-3)
+
+    def test_initial_condition_respected(self):
+        res = transient_simulation(rc_circuit(), t_stop=1e-4, dt=1e-6,
+                                   initial_conditions={"out": 0.25})
+        assert res.voltage("out")[0] == pytest.approx(0.25, abs=1e-6)
+
+    def test_source_energy_charging_cap(self):
+        """Charging a cap through a resistor draws ~C*V^2 from the source
+        (half stored, half dissipated)."""
+        res = transient_simulation(rc_circuit(), t_stop=10e-3, dt=5e-6,
+                                   initial_conditions={"out": 0.0})
+        assert res.energy_of("V1") == pytest.approx(1e-6, rel=0.02)
+
+    def test_energy_split_resistor_cap(self):
+        res = transient_simulation(rc_circuit(), t_stop=10e-3, dt=5e-6,
+                                   initial_conditions={"out": 0.0})
+        stored = 0.5 * 1e-6 * res.final_voltage("out") ** 2
+        assert stored == pytest.approx(0.5e-6, rel=0.02)
+        dissipated = res.energy_of("V1") - stored
+        assert dissipated == pytest.approx(0.5e-6, rel=0.05)
+
+
+class TestSwitch:
+    def test_charge_sharing_two_caps(self):
+        """Classic charge sharing: 1 fF at 1 V dumped onto 1 fF at 0 V
+        settles at 0.5 V on both — the mechanism behind eq. (1)."""
+        ckt = Circuit("share")
+        ckt.add(Capacitor("Ca", "a", "0", 1e-15))
+        ckt.add(Capacitor("Cb", "b", "0", 1e-15))
+        ckt.add(Switch("S1", "a", "b", schedule=lambda t: t > 1e-9,
+                       g_on=1e-3, g_off=1e-15))
+        res = transient_simulation(ckt, t_stop=10e-9, dt=0.02e-9,
+                                   initial_conditions={"a": 1.0, "b": 0.0})
+        assert res.final_voltage("a") == pytest.approx(0.5, abs=0.01)
+        assert res.final_voltage("b") == pytest.approx(0.5, abs=0.01)
+
+    def test_open_switch_blocks(self):
+        ckt = Circuit("open")
+        ckt.add(Capacitor("Ca", "a", "0", 1e-15))
+        ckt.add(Capacitor("Cb", "b", "0", 1e-15))
+        ckt.add(Switch("S1", "a", "b", schedule=lambda t: False,
+                       g_on=1e-3, g_off=1e-16))
+        res = transient_simulation(ckt, t_stop=5e-9, dt=0.05e-9,
+                                   initial_conditions={"a": 1.0, "b": 0.0})
+        assert res.final_voltage("a") > 0.95
+        assert res.final_voltage("b") < 0.05
+
+
+class TestValidation:
+    def test_rejects_bad_timestep(self):
+        with pytest.raises(ValueError):
+            transient_simulation(rc_circuit(), t_stop=1e-3, dt=0.0)
+
+    def test_rejects_bad_stop(self):
+        with pytest.raises(ValueError):
+            transient_simulation(rc_circuit(), t_stop=-1.0, dt=1e-6)
+
+    def test_result_metadata(self):
+        res = transient_simulation(rc_circuit(), t_stop=1e-4, dt=1e-6,
+                                   initial_conditions={"out": 0.0})
+        assert res.times[0] == 0.0
+        assert res.times[-1] == pytest.approx(1e-4)
+        assert res.states.shape[0] == res.times.size

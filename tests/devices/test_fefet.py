@@ -1,0 +1,125 @@
+"""Tests for the FeFET compact model (device-level claims of the paper)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import REFERENCE_TEMP_C
+from repro.devices.fefet import ERASE_PULSE, PROGRAM_PULSE, FeFET, FeFETParams, FeFETState
+
+
+@pytest.fixture
+def fefet():
+    return FeFET()
+
+
+class TestProgramming:
+    def test_fresh_device_high_vth(self, fefet):
+        assert fefet.state is FeFETState.HIGH_VTH
+
+    def test_program_low_vth(self, fefet):
+        fefet.program_low_vth()
+        assert fefet.state is FeFETState.LOW_VTH
+        assert fefet.polarization > 0.9
+
+    def test_program_cycles_are_repeatable(self, fefet):
+        """Cycling leaves at most a ~0.1 mV imprint (fractional switching)."""
+        fefet.program_low_vth()
+        v1 = fefet.vth(REFERENCE_TEMP_C)
+        fefet.program_high_vth()
+        fefet.program_low_vth()
+        assert fefet.vth(REFERENCE_TEMP_C) == pytest.approx(v1, abs=1e-3)
+
+    def test_write_bit_api(self, fefet):
+        fefet.write(1)
+        assert fefet.state is FeFETState.LOW_VTH
+        fefet.write(0)
+        assert fefet.state is FeFETState.HIGH_VTH
+
+    def test_short_pulse_gives_intermediate_state(self, fefet):
+        """A ~46 ns program pulse flips only about half the domains."""
+        fefet.apply_gate_pulse(PROGRAM_PULSE[0], PROGRAM_PULSE[1] * 0.4)
+        assert fefet.state is FeFETState.INTERMEDIATE
+
+    def test_paper_pulses_recorded(self):
+        assert PROGRAM_PULSE == (4.0, 115e-9)
+        assert ERASE_PULSE == (-4.0, 200e-9)
+
+
+class TestThreshold:
+    def test_memory_window(self, fefet):
+        fefet.program_low_vth()
+        v_low = fefet.vth(REFERENCE_TEMP_C)
+        fefet.program_high_vth()
+        v_high = fefet.vth(REFERENCE_TEMP_C)
+        window = v_high - v_low
+        assert window == pytest.approx(fefet.params.memory_window, rel=0.05)
+
+    def test_read_voltage_inside_window_subthreshold(self, fefet):
+        """Fig. 1: V_read = 0.35 V lies in the subthreshold of the low-V_TH
+        branch and far below the high-V_TH branch."""
+        fefet.program_low_vth()
+        ic = fefet.inversion_coefficient(0.35, 0.0, REFERENCE_TEMP_C)
+        assert ic < 0.1  # subthreshold
+        assert 0.35 < fefet.vth(REFERENCE_TEMP_C)
+
+    def test_saturation_read_voltage_strong_inversion(self, fefet):
+        fefet.program_low_vth()
+        ic = fefet.inversion_coefficient(1.3, 0.0, REFERENCE_TEMP_C)
+        assert ic > 10.0
+
+    def test_variation_offset_shifts_vth(self):
+        nominal = FeFET()
+        shifted = FeFET(delta_vth=0.054)
+        nominal.program_low_vth()
+        shifted.program_low_vth()
+        delta = shifted.vth(27.0) - nominal.vth(27.0)
+        assert delta == pytest.approx(0.054, abs=1e-9)
+
+
+class TestReadPath:
+    def test_ion_ioff_large(self, fefet):
+        """FeFET's high ION/IOFF is a headline device advantage (Sec. I)."""
+        assert fefet.ion_ioff_ratio(1.0, 0.35, REFERENCE_TEMP_C) > 1e5
+
+    def test_ion_ioff_preserves_state(self, fefet):
+        fefet.program_low_vth()
+        p_before = fefet.polarization
+        fefet.ion_ioff_ratio(1.0, 0.35, REFERENCE_TEMP_C)
+        assert fefet.polarization == pytest.approx(p_before)
+
+    def test_subthreshold_current_rises_with_temperature(self, fefet):
+        fefet.program_low_vth()
+        assert fefet.ids(1.0, 0.35, 0.0, 85.0) > fefet.ids(1.0, 0.35, 0.0, 0.0)
+
+    def test_saturation_current_falls_with_temperature(self, fefet):
+        fefet.program_low_vth()
+        assert fefet.ids(1.3, 1.3, 0.0, 85.0) < fefet.ids(1.3, 1.3, 0.0, 0.0)
+
+    def test_high_vth_state_stays_off_at_read(self, fefet):
+        fefet.program_high_vth()
+        for temp in (0.0, 27.0, 85.0):
+            assert fefet.ids(1.2, 0.35, 0.0, temp) < 1e-12
+
+    @pytest.mark.parametrize("bias", [(1.0, 0.35, 0.0), (1.3, 1.3, 0.0), (0.6, 0.9, 0.3)])
+    def test_derivatives_match_finite_difference(self, fefet, bias):
+        fefet.program_low_vth()
+        vd, vg, vs = bias
+        h = 1e-7
+        _, gds, gm, gms = fefet.ids_and_derivs(vd, vg, vs, 27.0)
+        fd_gds = (fefet.ids(vd + h, vg, vs, 27.0) - fefet.ids(vd - h, vg, vs, 27.0)) / (2 * h)
+        fd_gm = (fefet.ids(vd, vg + h, vs, 27.0) - fefet.ids(vd, vg - h, vs, 27.0)) / (2 * h)
+        fd_gms = (fefet.ids(vd, vg, vs + h, 27.0) - fefet.ids(vd, vg, vs - h, 27.0)) / (2 * h)
+        assert gds == pytest.approx(fd_gds, rel=1e-4, abs=1e-16)
+        assert gm == pytest.approx(fd_gm, rel=1e-4, abs=1e-16)
+        assert gms == pytest.approx(fd_gms, rel=1e-4, abs=1e-16)
+
+
+class TestTemperatureWindow:
+    @given(temp=st.floats(min_value=0.0, max_value=85.0))
+    @settings(max_examples=20)
+    def test_memory_window_positive_across_window(self, temp):
+        fefet = FeFET()
+        assert fefet.memory_window_at(temp) > 0.5
+
+    def test_memory_window_shrinks_when_hot(self, fefet):
+        assert fefet.memory_window_at(85.0) < fefet.memory_window_at(0.0)

@@ -1,0 +1,132 @@
+"""Unit and property tests for the Preisach ferroelectric model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.ferroelectric import FerroelectricParams, PreisachFerroelectric
+
+
+@pytest.fixture
+def ferro():
+    return PreisachFerroelectric()
+
+
+class TestSaturation:
+    def test_fresh_device_is_erased(self, ferro):
+        assert ferro.polarization == pytest.approx(-1.0, abs=1e-9)
+
+    def test_positive_saturation(self, ferro):
+        ferro.apply_voltage(6.0)
+        assert ferro.polarization == pytest.approx(1.0, abs=1e-9)
+
+    def test_negative_saturation(self, ferro):
+        ferro.apply_voltage(6.0)
+        ferro.apply_voltage(-6.0)
+        assert ferro.polarization == pytest.approx(-1.0, abs=1e-9)
+
+    def test_zero_volts_preserves_state(self, ferro):
+        ferro.apply_voltage(6.0)
+        p_before = ferro.polarization
+        ferro.apply_voltage(0.0)
+        assert ferro.polarization == pytest.approx(p_before)
+
+
+class TestHysteresis:
+    def test_major_loop_encloses_area(self, ferro):
+        volts, pols = ferro.major_loop(points=101)
+        half = len(volts) // 2
+        down, up = pols[:half], pols[half:]
+        # At zero crossing the two branches must be separated (remanence).
+        v_down, v_up = volts[:half], volts[half:]
+        p_down0 = np.interp(0.0, v_down[::-1], down[::-1])
+        p_up0 = np.interp(0.0, v_up, up)
+        assert p_down0 > 0.5
+        assert p_up0 < -0.5
+
+    def test_remnant_polarizations_symmetricish(self, ferro):
+        pr_plus, pr_minus = ferro.remnant_polarizations()
+        assert pr_plus > 0.8
+        assert pr_minus < -0.8
+        assert abs(pr_plus + pr_minus) < 0.2
+
+    def test_minor_loop_partial_polarization(self, ferro):
+        """A sub-coercive sweep flips only part of the hysteron population."""
+        ferro.apply_voltage(-6.0)
+        p_full = ferro.apply_voltage(6.0)
+        ferro.apply_voltage(-6.0)
+        p_minor = ferro.apply_voltage(ferro.params.coercive_voltage)
+        assert -1.0 < p_minor < p_full
+        assert p_minor > -1.0 + 1e-6
+
+    def test_loop_returns_to_start(self, ferro):
+        """Cycling the same extremes twice traces the identical loop."""
+        ferro.apply_voltage(6.0)
+        first = [ferro.apply_voltage(v) for v in (1.0, -1.0, -6.0, 6.0)]
+        second = [ferro.apply_voltage(v) for v in (1.0, -1.0, -6.0, 6.0)]
+        assert first == pytest.approx(second)
+
+
+class TestPartialSwitching:
+    def test_zero_fraction_is_identity(self, ferro):
+        p0 = ferro.polarization
+        ferro.apply_partial(6.0, 0.0)
+        assert ferro.polarization == pytest.approx(p0)
+
+    def test_full_fraction_matches_static(self, ferro):
+        other = PreisachFerroelectric()
+        ferro.apply_partial(6.0, 1.0)
+        other.apply_voltage(6.0)
+        assert ferro.polarization == pytest.approx(other.polarization)
+
+    @given(frac=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25)
+    def test_partial_moves_toward_target(self, frac):
+        ferro = PreisachFerroelectric()
+        p0 = ferro.polarization
+        p1 = ferro.apply_partial(6.0, frac)
+        assert p0 - 1e-12 <= p1 <= 1.0 + 1e-12
+
+    def test_rejects_out_of_range_fraction(self, ferro):
+        with pytest.raises(ValueError):
+            ferro.apply_partial(6.0, 1.5)
+
+
+class TestTemperature:
+    def test_coercive_voltage_shrinks_when_hot(self, ferro):
+        assert ferro.vc_scale(85.0) < 1.0 < ferro.vc_scale(0.0)
+
+    def test_ps_shrinks_when_hot(self, ferro):
+        assert ferro.ps_scale(85.0) < 1.0
+
+    def test_hot_switching_easier(self):
+        """The same moderate pulse flips more polarization when hot."""
+        cold = PreisachFerroelectric()
+        hot = PreisachFerroelectric()
+        v_partial = cold.params.coercive_voltage * 1.05
+        p_cold = cold.apply_voltage(v_partial, temp_c=0.0)
+        p_hot = hot.apply_voltage(v_partial, temp_c=85.0)
+        assert p_hot > p_cold
+
+
+class TestSnapshot:
+    def test_snapshot_restore_roundtrip(self, ferro):
+        ferro.apply_voltage(6.0)
+        snap = ferro.snapshot()
+        ferro.apply_voltage(-6.0)
+        ferro.restore(snap)
+        assert ferro.polarization == pytest.approx(1.0, abs=1e-9)
+
+    def test_restore_rejects_bad_shape(self, ferro):
+        with pytest.raises(ValueError):
+            ferro.restore(np.zeros(3))
+
+
+class TestValidation:
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            PreisachFerroelectric(FerroelectricParams(grid_points=2))
+
+    def test_rejects_nonpositive_coercive(self):
+        with pytest.raises(ValueError):
+            PreisachFerroelectric(FerroelectricParams(coercive_voltage=-1.0))

@@ -1,0 +1,101 @@
+"""Tests for multi-level FeFET programming and the PMOS mirror model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import FeFET, MOSFETParams, NMOSModel
+from repro.devices.mosfet import PMOSModel
+
+
+class TestMultiLevelProgramming:
+    def test_levels_monotone_in_vth(self):
+        """More programming -> lower threshold, strictly ordered levels."""
+        fefet = FeFET()
+        vths = []
+        for level in range(4):
+            fefet.program_level(level, n_levels=4)
+            vths.append(fefet.vth(27.0))
+        assert all(a > b for a, b in zip(vths, vths[1:]))
+
+    def test_extreme_levels_match_binary_states(self):
+        fefet = FeFET()
+        fefet.program_level(0, n_levels=4)
+        vth_l0 = fefet.vth(27.0)
+        fefet.program_high_vth()
+        assert vth_l0 == pytest.approx(fefet.vth(27.0), abs=1e-3)
+        fefet.program_level(3, n_levels=4)
+        vth_l3 = fefet.vth(27.0)
+        fefet.program_low_vth()
+        assert vth_l3 == pytest.approx(fefet.vth(27.0), abs=2e-2)
+
+    def test_levels_roughly_evenly_spaced(self):
+        fefet = FeFET()
+        vths = []
+        for level in range(4):
+            fefet.program_level(level, n_levels=4)
+            vths.append(fefet.vth(27.0))
+        gaps = -np.diff(vths)
+        assert gaps.max() / gaps.min() < 1.6
+
+    @given(frac=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_partial_program_bounded(self, frac):
+        fefet = FeFET()
+        p = fefet.program_partial(frac)
+        assert -1.0 - 1e-9 <= p <= 1.0 + 1e-9
+
+    def test_program_partial_monotone(self):
+        fefet = FeFET()
+        pols = [fefet.program_partial(f) for f in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert all(a < b for a, b in zip(pols, pols[1:]))
+
+    def test_validates_level(self):
+        fefet = FeFET()
+        with pytest.raises(ValueError):
+            fefet.program_level(4, n_levels=4)
+        with pytest.raises(ValueError):
+            fefet.program_level(0, n_levels=1)
+        with pytest.raises(ValueError):
+            fefet.program_partial(1.5)
+
+
+class TestPMOS:
+    @pytest.fixture
+    def pmos(self):
+        return PMOSModel(MOSFETParams())
+
+    @pytest.fixture
+    def nmos(self):
+        return NMOSModel(MOSFETParams())
+
+    def test_mirror_identity(self, pmos, nmos):
+        """I_p(vd, vg, vs) = -I_n(-vd, -vg, -vs)."""
+        assert pmos.ids(-0.5, -0.8, 0.0, 27.0) == pytest.approx(
+            -nmos.ids(0.5, 0.8, 0.0, 27.0))
+
+    def test_conducts_with_source_high(self, pmos):
+        """Classic PMOS bias: source at VDD, gate pulled low -> conducts."""
+        vdd = 1.2
+        i_on = pmos.ids(0.0, 0.0, vdd, 27.0)    # gate at 0: on
+        i_off = pmos.ids(0.0, vdd, vdd, 27.0)   # gate at VDD: off
+        assert i_on < 0                          # current out of the drain
+        assert abs(i_on) > 1e3 * abs(i_off)
+
+    def test_derivatives_match_finite_difference(self, pmos):
+        vd, vg, vs = 0.2, 0.1, 1.2
+        h = 1e-7
+        _, gds, gm, gms = pmos.ids_and_derivs(vd, vg, vs, 27.0)
+        fd_gds = (pmos.ids(vd + h, vg, vs, 27.0)
+                  - pmos.ids(vd - h, vg, vs, 27.0)) / (2 * h)
+        fd_gm = (pmos.ids(vd, vg + h, vs, 27.0)
+                 - pmos.ids(vd, vg - h, vs, 27.0)) / (2 * h)
+        fd_gms = (pmos.ids(vd, vg, vs + h, 27.0)
+                  - pmos.ids(vd, vg, vs - h, 27.0)) / (2 * h)
+        assert gds == pytest.approx(fd_gds, rel=1e-4, abs=1e-15)
+        assert gm == pytest.approx(fd_gm, rel=1e-4, abs=1e-15)
+        assert gms == pytest.approx(fd_gms, rel=1e-4, abs=1e-15)
+
+    def test_region_classification(self, pmos):
+        assert pmos.region(vg=0.0, vs=1.2, temp_c=27.0) == "strong-inversion"
+        assert pmos.region(vg=1.1, vs=1.2, temp_c=27.0) == "subthreshold"

@@ -1,0 +1,137 @@
+"""Unit and property tests for the EKV MOSFET model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.mosfet import MOSFETParams, NMOSModel, ekv_ids_and_derivs
+
+
+@pytest.fixture
+def nmos():
+    return NMOSModel(MOSFETParams())
+
+
+class TestRegions:
+    def test_subthreshold_classification(self, nmos):
+        assert nmos.region(vg=0.2, vs=0.0, temp_c=27.0) == "subthreshold"
+
+    def test_strong_inversion_classification(self, nmos):
+        assert nmos.region(vg=1.2, vs=0.0, temp_c=27.0) == "strong-inversion"
+
+    def test_weak_inversion_exponential_slope(self, nmos):
+        """In weak inversion, current decades follow n*UT*ln(10) per decade."""
+        i1 = nmos.ids(1.0, 0.10, 0.0, 27.0)
+        swing_v = nmos.subthreshold_swing_mv_per_dec(27.0) * 1e-3
+        i2 = nmos.ids(1.0, 0.10 + swing_v, 0.0, 27.0)
+        assert i2 / i1 == pytest.approx(10.0, rel=0.03)
+
+    def test_strong_inversion_square_law(self, nmos):
+        """Saturation current roughly quadruples when overdrive doubles."""
+        vth = nmos.vth(27.0)
+        n = nmos.params.slope_factor
+        i1 = nmos.ids(2.5, vth + n * 0.2, 0.0, 27.0)
+        i2 = nmos.ids(2.5, vth + n * 0.4, 0.0, 27.0)
+        assert i2 / i1 == pytest.approx(4.0, rel=0.15)
+
+
+class TestTemperature:
+    def test_subthreshold_current_rises_with_temperature(self, nmos):
+        cold = nmos.ids(1.0, 0.25, 0.0, 0.0)
+        hot = nmos.ids(1.0, 0.25, 0.0, 85.0)
+        assert hot > 3.0 * cold
+
+    def test_strong_inversion_current_falls_with_temperature(self, nmos):
+        """Mobility degradation wins far above threshold (beyond ZTC)."""
+        cold = nmos.ids(2.0, 1.6, 0.0, 0.0)
+        hot = nmos.ids(2.0, 1.6, 0.0, 85.0)
+        assert hot < cold
+
+    def test_vth_tempco_sign(self, nmos):
+        assert nmos.vth(85.0) < nmos.vth(0.0)
+
+
+class TestSymmetryAndLimits:
+    def test_zero_vds_zero_current(self, nmos):
+        assert nmos.ids(0.3, 0.8, 0.3, 27.0) == pytest.approx(0.0, abs=1e-18)
+
+    def test_reverse_vds_reverses_current(self, nmos):
+        fwd = nmos.ids(0.5, 0.8, 0.3, 27.0)
+        rev = nmos.ids(0.3, 0.8, 0.5, 27.0)
+        assert rev < 0
+        assert abs(rev) == pytest.approx(fwd, rel=0.15)  # CLM breaks exact symmetry
+
+    def test_off_device_leakage_small(self, nmos):
+        assert nmos.ids(1.0, 0.0, 0.0, 27.0) < 1e-10
+
+    def test_scaled_width(self):
+        narrow = NMOSModel(MOSFETParams(width_over_length=1.0))
+        wide = NMOSModel(MOSFETParams(width_over_length=10.0))
+        ratio = wide.ids(1.0, 0.5, 0.0, 27.0) / narrow.ids(1.0, 0.5, 0.0, 27.0)
+        assert ratio == pytest.approx(10.0, rel=1e-9)
+
+
+class TestDerivatives:
+    """Analytic partials must match finite differences — Newton depends on it."""
+
+    BIASES = [
+        (1.0, 0.3, 0.0),   # subthreshold saturation
+        (0.05, 0.3, 0.0),  # subthreshold triode
+        (1.0, 1.2, 0.0),   # strong inversion saturation
+        (0.1, 1.2, 0.0),   # strong inversion triode
+        (0.6, 0.9, 0.4),   # lifted source
+    ]
+
+    @pytest.mark.parametrize("vd,vg,vs", BIASES)
+    def test_partials_match_finite_difference(self, nmos, vd, vg, vs):
+        h = 1e-7
+        ids, gds, gm, gms = nmos.ids_and_derivs(vd, vg, vs, 27.0)
+        fd_gds = (nmos.ids(vd + h, vg, vs, 27.0) - nmos.ids(vd - h, vg, vs, 27.0)) / (2 * h)
+        fd_gm = (nmos.ids(vd, vg + h, vs, 27.0) - nmos.ids(vd, vg - h, vs, 27.0)) / (2 * h)
+        fd_gms = (nmos.ids(vd, vg, vs + h, 27.0) - nmos.ids(vd, vg, vs - h, 27.0)) / (2 * h)
+        assert gds == pytest.approx(fd_gds, rel=1e-4, abs=1e-15)
+        assert gm == pytest.approx(fd_gm, rel=1e-4, abs=1e-15)
+        assert gms == pytest.approx(fd_gms, rel=1e-4, abs=1e-15)
+
+    @settings(max_examples=60)
+    @given(
+        dv=st.floats(min_value=0.0, max_value=1.5),
+        vg=st.floats(min_value=0.0, max_value=2.0),
+        vs=st.floats(min_value=0.0, max_value=1.0),
+        temp=st.floats(min_value=0.0, max_value=85.0),
+    )
+    def test_gm_nonnegative_forward(self, dv, vg, vs, temp):
+        """In forward operation (vd >= vs) raising the gate never lowers
+        nMOS current.  (Reverse mode legitimately has negative gm.)"""
+        model = NMOSModel(MOSFETParams())
+        _, _, gm, _ = model.ids_and_derivs(vs + dv, vg, vs, temp)
+        assert gm >= -1e-18
+
+    @settings(max_examples=60)
+    @given(
+        vg=st.floats(min_value=0.0, max_value=2.0),
+        vs=st.floats(min_value=0.0, max_value=1.0),
+        temp=st.floats(min_value=0.0, max_value=85.0),
+    )
+    def test_gds_nonnegative(self, vg, vs, temp):
+        model = NMOSModel(MOSFETParams())
+        _, gds, _, _ = model.ids_and_derivs(1.0, vg, vs, temp)
+        assert gds >= -1e-18
+
+
+class TestEkvCore:
+    def test_vectorized_evaluation(self):
+        vd = np.linspace(0, 1.5, 7)
+        ids, gds, gm, gms = ekv_ids_and_derivs(
+            vd, 0.8, 0.0, vth=0.45, ut=0.0259, ispec=1e-6,
+            slope_factor=1.3, lambda_clm=0.05,
+        )
+        assert ids.shape == vd.shape
+        assert np.all(np.diff(ids) >= 0)  # monotone in vd
+
+    def test_params_with_offset(self):
+        base = MOSFETParams()
+        shifted = base.with_vth_offset(0.05)
+        assert shifted.vth0 == pytest.approx(base.vth0 + 0.05)
+        # The original is frozen and untouched.
+        assert base.vth0 == pytest.approx(0.45)

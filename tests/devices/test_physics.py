@@ -1,0 +1,77 @@
+"""Unit tests for the shared temperature-dependence laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices.physics import (
+    mobility_scale,
+    sigmoid,
+    softplus,
+    subthreshold_swing_mv_per_dec,
+    vth_at_temperature,
+)
+
+
+class TestMobility:
+    def test_unity_at_reference(self):
+        assert mobility_scale(27.0, 27.0) == pytest.approx(1.0)
+
+    def test_degrades_when_hot(self):
+        assert mobility_scale(85.0, 27.0) < 1.0
+
+    def test_improves_when_cold(self):
+        assert mobility_scale(0.0, 27.0) > 1.0
+
+    def test_power_law_exponent(self):
+        # Doubling absolute temperature with exponent -1.5 gives 2**-1.5.
+        t_ref = 27.0
+        t_double = 2 * (27.0 + 273.15) - 273.15
+        assert mobility_scale(t_double, t_ref) == pytest.approx(2 ** -1.5)
+
+
+class TestVth:
+    def test_no_shift_at_reference(self):
+        assert vth_at_temperature(0.45, 27.0, 27.0) == pytest.approx(0.45)
+
+    def test_drops_when_hot(self):
+        assert vth_at_temperature(0.45, 85.0, 27.0) < 0.45
+
+    def test_linear_in_dt(self):
+        shift_58 = vth_at_temperature(0.45, 85.0, 27.0, tcv=-1e-3) - 0.45
+        assert shift_58 == pytest.approx(-58e-3)
+
+
+class TestSwing:
+    def test_ideal_device_room_temp(self):
+        # n = 1 at room temperature: the textbook ~59.5 mV/dec floor.
+        assert subthreshold_swing_mv_per_dec(27.0, 1.0) == pytest.approx(59.6, rel=0.01)
+
+    def test_grows_with_temperature(self):
+        assert (subthreshold_swing_mv_per_dec(85.0, 1.5)
+                > subthreshold_swing_mv_per_dec(0.0, 1.5))
+
+
+class TestSoftplusSigmoid:
+    @given(st.floats(min_value=-500, max_value=500))
+    def test_softplus_positive(self, x):
+        assert softplus(x) >= 0.0
+
+    @given(st.floats(min_value=-500, max_value=500))
+    def test_sigmoid_bounded(self, x):
+        s = sigmoid(x)
+        assert 0.0 <= s <= 1.0
+
+    @given(st.floats(min_value=-30, max_value=30))
+    def test_sigmoid_is_softplus_derivative(self, x):
+        h = 1e-6
+        numeric = (softplus(x + h) - softplus(x - h)) / (2 * h)
+        assert sigmoid(x) == pytest.approx(float(numeric), abs=1e-5)
+
+    def test_softplus_no_overflow(self):
+        # Large arguments must not overflow (np.logaddexp path).
+        assert np.isfinite(softplus(1e4))
+        assert softplus(1e4) == pytest.approx(1e4)
+
+    def test_softplus_underflow_to_zero(self):
+        assert softplus(-1e4) == pytest.approx(0.0, abs=1e-300)

@@ -1,0 +1,70 @@
+"""Tests for the TCR resistor and the Monte-Carlo variation sampler."""
+
+import numpy as np
+import pytest
+
+from repro.devices.resistor import ResistorModel
+from repro.devices.variation import (
+    PAPER_SIGMA_VT_FEFET_V,
+    CellVariation,
+    MonteCarloSampler,
+    VariationSpec,
+)
+
+
+class TestResistor:
+    def test_nominal_at_reference(self):
+        r = ResistorModel(1e6, tcr_per_k=1e-3)
+        assert r.resistance(27.0) == pytest.approx(1e6)
+
+    def test_tcr_direction(self):
+        r = ResistorModel(1e6, tcr_per_k=1e-3)
+        assert r.resistance(85.0) > 1e6 > r.resistance(0.0)
+
+    def test_conductance_inverse(self):
+        r = ResistorModel(2e3)
+        assert r.conductance(27.0) == pytest.approx(5e-4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ResistorModel(0.0)
+
+    def test_rejects_nonphysical_extrapolation(self):
+        r = ResistorModel(1e3, tcr_per_k=-0.5)
+        with pytest.raises(ValueError):
+            r.resistance(85.0)
+
+
+class TestVariationSpec:
+    def test_paper_sigma_default(self):
+        assert VariationSpec().sigma_vth_fefet == pytest.approx(54e-3)
+        assert PAPER_SIGMA_VT_FEFET_V == pytest.approx(54e-3)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            VariationSpec(sigma_vth_fefet=-1.0)
+
+
+class TestSampler:
+    def test_seed_reproducibility(self):
+        a = MonteCarloSampler(seed=7).sample_cells(16)
+        b = MonteCarloSampler(seed=7).sample_cells(16)
+        assert [c.fefet_dvth for c in a] == [c.fefet_dvth for c in b]
+
+    def test_different_seeds_differ(self):
+        a = MonteCarloSampler(seed=1).sample_cells(8)
+        b = MonteCarloSampler(seed=2).sample_cells(8)
+        assert [c.fefet_dvth for c in a] != [c.fefet_dvth for c in b]
+
+    def test_sample_statistics(self):
+        offsets = MonteCarloSampler(seed=3).sample_fefet_offsets(20000)
+        assert np.mean(offsets) == pytest.approx(0.0, abs=2e-3)
+        assert np.std(offsets) == pytest.approx(PAPER_SIGMA_VT_FEFET_V, rel=0.05)
+
+    def test_nominal_cell_variation_is_zero(self):
+        v = CellVariation.nominal()
+        assert v.fefet_dvth == v.m1_dvth == v.m2_dvth == 0.0
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ValueError):
+            MonteCarloSampler().sample_cells(0)

@@ -1,0 +1,78 @@
+"""Tests for Merz-law pulse switching dynamics against the paper's write scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.switching import SwitchingDynamics, merz_switching_time
+
+
+@pytest.fixture
+def dyn():
+    return SwitchingDynamics()
+
+
+class TestPaperWriteScheme:
+    """The paper programs with +4 V / 115 ns and erases with -4 V / 200 ns."""
+
+    def test_program_pulse_completes(self, dyn):
+        assert dyn.switched_fraction(4.0, 115e-9) > 0.98
+
+    def test_erase_pulse_completes(self, dyn):
+        assert dyn.switched_fraction(-4.0, 200e-9) > 0.98
+
+    def test_erase_slower_than_program(self, dyn):
+        assert dyn.switching_time(-4.0) > dyn.switching_time(4.0)
+
+    def test_short_program_pulse_is_partial(self, dyn):
+        frac = dyn.switched_fraction(4.0, 115e-10)
+        assert 0.001 < frac < 0.9
+
+    def test_read_voltage_never_disturbs(self, dyn):
+        """A 0.35 V read bias applied for a full second flips nothing."""
+        assert dyn.switched_fraction(0.35, 1.0) < 1e-9
+
+
+class TestMerzLaw:
+    def test_time_decreases_with_voltage(self, dyn):
+        taus = [dyn.switching_time(v) for v in (2.0, 3.0, 4.0, 5.0)]
+        assert all(a > b for a, b in zip(taus, taus[1:]))
+
+    def test_zero_voltage_never_switches(self, dyn):
+        assert merz_switching_time(0.0, 1e-10, 24.0) == np.inf
+        assert dyn.switched_fraction(0.0, 1e3) == 0.0
+
+    def test_exponential_field_dependence(self):
+        tau0, vact = 1e-10, 24.0
+        ratio = merz_switching_time(3.0, tau0, vact) / merz_switching_time(4.0, tau0, vact)
+        assert ratio == pytest.approx(np.exp(vact / 3.0 - vact / 4.0))
+
+
+class TestFractionProperties:
+    @given(
+        v=st.floats(min_value=0.5, max_value=6.0),
+        width=st.floats(min_value=1e-12, max_value=1e-3),
+    )
+    @settings(max_examples=50)
+    def test_fraction_in_unit_interval(self, v, width):
+        dyn = SwitchingDynamics()
+        assert 0.0 <= dyn.switched_fraction(v, width) <= 1.0
+
+    @given(v=st.floats(min_value=2.0, max_value=6.0))
+    @settings(max_examples=25)
+    def test_fraction_monotone_in_width(self, v):
+        dyn = SwitchingDynamics()
+        fractions = [dyn.switched_fraction(v, w) for w in (1e-9, 1e-8, 1e-7, 1e-6)]
+        assert all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+    def test_width_for_fraction_inverts(self, dyn):
+        width = dyn.width_for_fraction(4.0, 0.5)
+        assert dyn.switched_fraction(4.0, width) == pytest.approx(0.5, rel=1e-6)
+
+    def test_width_for_fraction_validates(self, dyn):
+        with pytest.raises(ValueError):
+            dyn.width_for_fraction(4.0, 1.0)
+
+    def test_negative_width_rejected(self, dyn):
+        with pytest.raises(ValueError):
+            dyn.switched_fraction(4.0, -1e-9)

@@ -1,0 +1,106 @@
+"""Tests for thermal-gradient wrappers and polarization retention."""
+
+import numpy as np
+import pytest
+
+from repro.devices import FeFET, MOSFETParams, NMOSModel
+from repro.devices.retention import TEN_YEARS_S, RetentionModel, age_fefet
+from repro.devices.thermal import TemperatureShifted, linear_gradient
+
+
+class TestTemperatureShifted:
+    def test_shift_equivalence(self):
+        model = NMOSModel(MOSFETParams())
+        shifted = TemperatureShifted(model, 10.0)
+        assert shifted.ids(1.0, 0.3, 0.0, 27.0) == pytest.approx(
+            model.ids(1.0, 0.3, 0.0, 37.0))
+
+    def test_derivs_shifted(self):
+        model = NMOSModel(MOSFETParams())
+        shifted = TemperatureShifted(model, -15.0)
+        got = shifted.ids_and_derivs(0.8, 0.4, 0.0, 27.0)
+        want = model.ids_and_derivs(0.8, 0.4, 0.0, 12.0)
+        assert got == pytest.approx(want)
+
+    def test_delegates_other_attributes(self):
+        model = NMOSModel(MOSFETParams())
+        shifted = TemperatureShifted(model, 5.0)
+        assert shifted.params is model.params
+
+    def test_wraps_fefet(self):
+        fefet = FeFET()
+        fefet.program_low_vth()
+        shifted = TemperatureShifted(fefet, 20.0)
+        assert shifted.ids(1.0, 0.35, 0.0, 27.0) == pytest.approx(
+            fefet.ids(1.0, 0.35, 0.0, 47.0))
+        # State-changing calls pass through to the wrapped device.
+        shifted.program_high_vth()
+        assert fefet.polarization < -0.5
+
+
+class TestLinearGradient:
+    def test_centered_offsets(self):
+        offsets = linear_gradient(8, 10.0)
+        assert len(offsets) == 8
+        assert np.mean(offsets) == pytest.approx(0.0, abs=1e-12)
+        assert offsets[-1] - offsets[0] == pytest.approx(10.0)
+
+    def test_single_cell(self):
+        assert linear_gradient(1, 10.0) == [0.0]
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            linear_gradient(0, 5.0)
+
+
+class TestRetention:
+    def test_ten_year_retention_at_85c(self):
+        """Embedded-NVM spec: > 80 % polarization after 10 years at 85 degC."""
+        model = RetentionModel()
+        assert model.remaining_fraction(TEN_YEARS_S, 85.0) > 0.8
+
+    def test_room_temperature_negligible_loss(self):
+        model = RetentionModel()
+        assert model.remaining_fraction(TEN_YEARS_S, 27.0) > 0.97
+
+    def test_hot_bake_degrades(self):
+        """A 250 degC bake destroys state far faster than 85 degC."""
+        model = RetentionModel()
+        hot = model.remaining_fraction(3600.0, 250.0)
+        warm = model.remaining_fraction(3600.0, 85.0)
+        assert hot < warm
+        assert hot < 0.8
+
+    def test_arrhenius_monotone_in_temperature(self):
+        model = RetentionModel()
+        taus = [model.time_constant(t) for t in (27.0, 85.0, 150.0, 250.0)]
+        assert all(a > b for a, b in zip(taus, taus[1:]))
+
+    def test_zero_duration_identity(self):
+        assert RetentionModel().remaining_fraction(0.0, 85.0) == 1.0
+
+    def test_age_fefet_in_place(self):
+        fefet = FeFET()
+        fefet.program_low_vth()
+        p0 = fefet.polarization
+        p1 = age_fefet(fefet, TEN_YEARS_S, 85.0)
+        assert 0.8 * p0 < p1 < p0
+
+    def test_aged_cell_still_reads_correctly(self):
+        """After a 10-year 85 degC bake the memory window must survive."""
+        fefet = FeFET()
+        fefet.program_low_vth()
+        age_fefet(fefet, TEN_YEARS_S, 85.0)
+        vth_low_aged = fefet.vth(27.0)
+        fefet.program_high_vth()
+        age_fefet(fefet, TEN_YEARS_S, 85.0)
+        vth_high_aged = fefet.vth(27.0)
+        assert vth_high_aged - vth_low_aged > 0.5  # window still wide open
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            RetentionModel(beta=0.0)
+        with pytest.raises(ValueError):
+            RetentionModel(tau0_s=-1.0)
+        with pytest.raises(ValueError):
+            RetentionModel().remaining_fraction(-1.0, 27.0)

@@ -1,0 +1,99 @@
+"""Tests for fluctuation and efficiency metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import accuracy_drop, classification_accuracy, confusion_matrix
+from repro.metrics.efficiency import (
+    OPS_PER_MAC,
+    average_power,
+    energy_per_inference,
+    energy_per_primitive_op,
+    primitive_ops_per_mac,
+    tops_per_watt,
+)
+from repro.metrics.fluctuation import fluctuation_profile, max_fluctuation
+
+
+class TestFluctuation:
+    def test_reference_point_zero(self):
+        temps = np.array([0.0, 27.0, 85.0])
+        out = np.array([0.8, 1.0, 1.5])
+        profile = fluctuation_profile(temps, out)
+        assert profile[1] == pytest.approx(0.0)
+        assert profile[0] == pytest.approx(-0.2)
+        assert profile[2] == pytest.approx(0.5)
+
+    def test_max_fluctuation_full_window(self):
+        temps = np.array([0.0, 27.0, 85.0])
+        out = np.array([0.8, 1.0, 1.5])
+        assert max_fluctuation(temps, out) == pytest.approx(0.5)
+
+    def test_windowed_fluctuation_excludes_cold(self):
+        """The paper's 'above 20 degC' metric keeps the 27 degC reference."""
+        temps = np.array([0.0, 27.0, 85.0])
+        out = np.array([0.5, 1.0, 1.12])
+        assert max_fluctuation(temps, out, window_c=(20, 85)) == pytest.approx(0.12)
+
+    def test_requires_reference_nearby(self):
+        with pytest.raises(ValueError):
+            fluctuation_profile(np.array([0.0, 85.0]), np.array([1.0, 2.0]))
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            fluctuation_profile(np.array([0.0, 27.0]), np.array([1.0, 0.0]))
+
+    def test_rejects_empty_window(self):
+        temps = np.array([0.0, 27.0, 85.0])
+        with pytest.raises(ValueError):
+            max_fluctuation(temps, np.ones(3), window_c=(200, 300))
+
+
+class TestEfficiency:
+    def test_paper_ops_accounting(self):
+        """8 multiplications + 1 accumulation = 9 ops per row MAC."""
+        assert primitive_ops_per_mac(8) == OPS_PER_MAC == 9
+
+    def test_paper_headline_numbers_consistent(self):
+        """3.14 fJ/MAC over 9 ops should give ~2866 TOPS/W, as published."""
+        assert tops_per_watt(3.14e-15, cells_per_row=8) == pytest.approx(2866, rel=0.01)
+
+    def test_energy_per_primitive_op(self):
+        assert energy_per_primitive_op(9e-15, 8) == pytest.approx(1e-15)
+
+    def test_energy_per_inference_rounds_rows_up(self):
+        # 10 MACs on an 8-wide row needs 2 row operations.
+        assert energy_per_inference(1e-15, total_macs=10, cells_per_row=8) \
+            == pytest.approx(2e-15)
+
+    def test_average_power(self):
+        assert average_power(6.9e-15, 6.9e-9) == pytest.approx(1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            primitive_ops_per_mac(0)
+        with pytest.raises(ValueError):
+            energy_per_inference(1e-15, -1)
+        with pytest.raises(ValueError):
+            average_power(1e-15, 0.0)
+
+
+class TestAccuracy:
+    def test_from_indices(self):
+        assert classification_accuracy([1, 2, 3], [1, 2, 0]) == pytest.approx(2 / 3)
+
+    def test_from_logits(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert classification_accuracy(logits, [1, 0]) == 1.0
+
+    def test_confusion_matrix_totals(self):
+        m = confusion_matrix([0, 1, 1, 0], [0, 1, 0, 1], num_classes=2)
+        assert m.sum() == 4
+        assert m[0, 0] == 1 and m[1, 1] == 1
+
+    def test_accuracy_drop_points(self):
+        assert accuracy_drop(0.8945, 0.85) == pytest.approx(4.45)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classification_accuracy([], [])

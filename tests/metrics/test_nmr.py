@@ -1,0 +1,106 @@
+"""Tests for the Noise Margin Rate metric (paper eqs. 2 and 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.nmr import MacOutputRange, nmr_min, nmr_values, ranges_overlap
+
+
+def make_ranges(bands):
+    return [MacOutputRange(i, lo, hi) for i, (lo, hi) in enumerate(bands)]
+
+
+class TestNmrValues:
+    def test_paper_equation_by_hand(self):
+        """NMR_0 = (LV_1 - HV_0) / (HV_0 - LV_0)."""
+        ranges = make_ranges([(0.00, 0.10), (0.15, 0.30)])
+        values = nmr_values(ranges)
+        assert values[0] == pytest.approx((0.15 - 0.10) / (0.10 - 0.00))
+
+    def test_overlapping_levels_negative(self):
+        ranges = make_ranges([(0.00, 0.20), (0.15, 0.30)])
+        assert nmr_values(ranges)[0] < 0
+
+    def test_touching_levels_zero(self):
+        ranges = make_ranges([(0.00, 0.10), (0.10, 0.30)])
+        assert nmr_values(ranges)[0] == pytest.approx(0.0)
+
+    def test_zero_width_band_separated(self):
+        ranges = make_ranges([(0.10, 0.10), (0.20, 0.30)])
+        assert nmr_values(ranges)[0] == np.inf
+
+    def test_zero_width_band_overlapped(self):
+        ranges = make_ranges([(0.30, 0.30), (0.20, 0.30)])
+        assert nmr_values(ranges)[0] == -np.inf
+
+    def test_number_of_pairs(self):
+        ranges = make_ranges([(0, 1), (2, 3), (4, 5), (6, 7)])
+        assert len(nmr_values(ranges)) == 3
+
+
+class TestNmrMin:
+    def test_identifies_worst_level(self):
+        ranges = make_ranges([(0.00, 0.10), (0.12, 0.20), (0.21, 0.30)])
+        worst_i, worst = nmr_min(ranges)
+        # level 1 -> 2 gap is 0.01 over width 0.08; level 0 -> 1 gap 0.02/0.1.
+        assert worst_i == 1
+        assert worst == pytest.approx(0.01 / 0.08)
+
+    def test_needs_two_levels(self):
+        with pytest.raises(ValueError):
+            nmr_min(make_ranges([(0.0, 0.1)]))
+
+    def test_nonconsecutive_rejected(self):
+        ranges = [MacOutputRange(0, 0.0, 0.1), MacOutputRange(2, 0.2, 0.3)]
+        with pytest.raises(ValueError):
+            nmr_min(ranges)
+
+
+class TestOverlap:
+    def test_detects_overlap(self):
+        assert ranges_overlap(make_ranges([(0.0, 0.2), (0.15, 0.3)]))
+
+    def test_no_overlap(self):
+        assert not ranges_overlap(make_ranges([(0.0, 0.1), (0.15, 0.3)]))
+
+    def test_overlap_iff_nmr_min_nonpositive(self):
+        separated = make_ranges([(0.0, 0.1), (0.15, 0.3)])
+        overlapped = make_ranges([(0.0, 0.16), (0.15, 0.3)])
+        assert nmr_min(separated)[1] > 0 and not ranges_overlap(separated)
+        assert nmr_min(overlapped)[1] < 0 and ranges_overlap(overlapped)
+
+
+class TestFromSamples:
+    def test_from_sweep_samples(self):
+        r = MacOutputRange.from_samples(3, [0.31, 0.29, 0.33, 0.30])
+        assert r.low_v == pytest.approx(0.29)
+        assert r.high_v == pytest.approx(0.33)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            MacOutputRange.from_samples(0, [])
+
+    def test_inverted_band_rejected(self):
+        with pytest.raises(ValueError):
+            MacOutputRange(0, 1.0, 0.5)
+
+
+class TestProperties:
+    @given(
+        levels=st.lists(
+            st.tuples(st.floats(0, 1), st.floats(0.001, 0.2)),
+            min_size=2, max_size=9,
+        )
+    )
+    @settings(max_examples=50)
+    def test_widening_bands_never_raises_nmr(self, levels):
+        """Widening every band (same centers) can only lower each NMR_i."""
+        centers = np.cumsum([0.5 + c for c, _ in levels])
+        widths = np.array([w for _, w in levels])
+        narrow = [MacOutputRange(i, c - w / 2, c + w / 2)
+                  for i, (c, w) in enumerate(zip(centers, widths))]
+        wide = [MacOutputRange(i, c - w, c + w)
+                for i, (c, w) in enumerate(zip(centers, widths))]
+        for i, v in nmr_values(narrow).items():
+            assert nmr_values(wide)[i] <= v + 1e-12

@@ -1,0 +1,96 @@
+"""Tests for the CiM-lowered NN executor."""
+
+import numpy as np
+import pytest
+
+from repro.cells import TwoTOneFeFETCell
+from repro.metrics import classification_accuracy
+from repro.nn import Dense, ReLU, Sequential, build_vgg_nano
+from repro.nn.cim_executor import CimExecutionConfig, CimExecutor
+from repro.nn.layers import Conv2D
+
+
+@pytest.fixture(scope="module")
+def design():
+    return TwoTOneFeFETCell()
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    rng = np.random.default_rng(0)
+    return Sequential([Dense(6, 8, rng=rng), ReLU(), Dense(8, 3, rng=rng)])
+
+
+class TestLoweringFidelity:
+    def test_dense_matches_float_at_reference(self, design, tiny_model):
+        """8-bit CiM inference at 27 degC tracks the float forward pass to
+        quantization accuracy."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 6))
+        float_out = tiny_model.forward(x)
+        executor = CimExecutor(tiny_model, design,
+                               CimExecutionConfig(temp_c=27.0, bits=8))
+        cim_out = executor.forward(x)
+        scale = np.max(np.abs(float_out))
+        assert np.max(np.abs(cim_out - float_out)) < 0.08 * scale
+
+    def test_conv_model_runs(self, design):
+        rng = np.random.default_rng(2)
+        model = Sequential([Conv2D(1, 2, rng=rng), ReLU()])
+        x = rng.normal(size=(1, 5, 5, 1))
+        executor = CimExecutor(model, design,
+                               CimExecutionConfig(temp_c=27.0, bits=6))
+        out = executor.forward(x)
+        assert out.shape == model.forward(x).shape
+
+    def test_predictions_preserved_at_reference(self, design):
+        """Argmax predictions survive the lowering on a small test batch."""
+        rng = np.random.default_rng(3)
+        model = build_vgg_nano(width=4, image_size=8,
+                               rng=np.random.default_rng(5))
+        x = rng.normal(size=(6, 8, 8, 3))
+        float_pred = np.argmax(model.predict(x), axis=1)
+        executor = CimExecutor(model, design,
+                               CimExecutionConfig(temp_c=27.0, bits=8))
+        cim_pred = np.argmax(executor.predict(x), axis=1)
+        assert classification_accuracy(cim_pred, float_pred) >= 0.8
+
+    def test_min_macs_threshold_bypasses_array(self, design, tiny_model):
+        """Layers below the threshold run in exact float arithmetic."""
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(2, 6))
+        executor = CimExecutor(tiny_model, design, CimExecutionConfig(
+            temp_c=27.0, bits=8, min_macs_for_cim=10**9))
+        assert np.allclose(executor.forward(x), tiny_model.forward(x))
+
+
+class TestNoiseInjection:
+    def test_variation_changes_outputs(self, design, tiny_model):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(3, 6))
+        clean = CimExecutor(tiny_model, design, CimExecutionConfig(
+            temp_c=27.0, bits=8)).forward(x)
+        noisy = CimExecutor(tiny_model, design, CimExecutionConfig(
+            temp_c=27.0, bits=8, sigma_vth_fefet=54e-3,
+            sigma_vth_mosfet=15e-3, seed=7)).forward(x)
+        assert not np.allclose(clean, noisy)
+
+    def test_seeded_noise_reproducible(self, design, tiny_model):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(2, 6))
+        cfg = CimExecutionConfig(temp_c=27.0, bits=8,
+                                 sigma_vth_fefet=54e-3, seed=9)
+        a = CimExecutor(tiny_model, design, cfg).forward(x)
+        b = CimExecutor(tiny_model, design, cfg).forward(x)
+        assert np.allclose(a, b)
+
+    def test_temperature_resilience_of_proposed(self, design, tiny_model):
+        """Outputs at 85 degC match 27 degC for the proposed cell."""
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(3, 6))
+        cold = CimExecutor(tiny_model, design, CimExecutionConfig(
+            temp_c=27.0, bits=8)).forward(x)
+        hot = CimExecutor(tiny_model, design, CimExecutionConfig(
+            temp_c=85.0, bits=8)).forward(x)
+        scale = np.max(np.abs(cold))
+        assert np.max(np.abs(hot - cold)) < 0.05 * scale

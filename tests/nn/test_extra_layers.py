@@ -1,0 +1,100 @@
+"""Tests for BatchNorm, AvgPool2D and GlobalAvgPool."""
+
+import numpy as np
+import pytest
+
+from repro.nn.extra_layers import AvgPool2D, BatchNorm, GlobalAvgPool
+
+
+class TestBatchNorm:
+    def test_normalizes_training_batch(self):
+        rng = np.random.default_rng(0)
+        bn = BatchNorm(4)
+        x = rng.normal(3.0, 2.0, size=(256, 4))
+        out = bn.forward(x, training=True)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_converge(self):
+        rng = np.random.default_rng(1)
+        bn = BatchNorm(2, momentum=0.5)
+        for _ in range(40):
+            bn.forward(rng.normal(5.0, 1.0, size=(64, 2)), training=True)
+        assert np.allclose(bn.running_mean, 5.0, atol=0.2)
+
+    def test_inference_uses_running_stats(self):
+        bn = BatchNorm(2)
+        bn.running_mean = np.array([1.0, 2.0])
+        bn.running_var = np.array([4.0, 9.0])
+        out = bn.forward(np.array([[1.0, 2.0]]), training=False)
+        assert np.allclose(out, 0.0, atol=1e-3)
+
+    def test_nhwc_input(self):
+        rng = np.random.default_rng(2)
+        bn = BatchNorm(3)
+        x = rng.normal(size=(4, 5, 5, 3))
+        out = bn.forward(x, training=True)
+        assert out.shape == x.shape
+        assert np.allclose(out.mean(axis=(0, 1, 2)), 0.0, atol=1e-7)
+
+    def test_fold_scale_matches_inference(self):
+        rng = np.random.default_rng(3)
+        bn = BatchNorm(3)
+        bn.forward(rng.normal(2.0, 1.5, size=(128, 3)), training=True)
+        x = rng.normal(size=(8, 3))
+        scale, shift = bn.fold_scale()
+        assert np.allclose(bn.forward(x, training=False), x * scale + shift)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchNorm(4).forward(np.zeros((2, 3)))
+
+    def test_backward_gradient_numeric(self):
+        rng = np.random.default_rng(4)
+        bn = BatchNorm(2)
+        x = rng.normal(size=(16, 2))
+
+        def loss(x_in):
+            return bn.forward(x_in, training=True).sum()
+
+        loss(x)
+        grad = bn.backward(np.ones((16, 2)))
+        eps = 1e-6
+        idx = (3, 1)
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        numeric = (loss(xp) - loss(xm)) / (2 * eps)
+        assert grad[idx] == pytest.approx(numeric, abs=1e-4)
+
+
+class TestAvgPool:
+    def test_averages_windows(self):
+        x = np.arange(16.0).reshape(1, 4, 4, 1)
+        out = AvgPool2D(2).forward(x)
+        assert out[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_backward_spreads_uniformly(self):
+        pool = AvgPool2D(2)
+        x = np.zeros((1, 4, 4, 1))
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 2, 2, 1)))
+        assert np.allclose(grad, 0.25)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            AvgPool2D(2).forward(np.zeros((1, 5, 5, 1)))
+
+    def test_global_avg_pool(self):
+        x = np.arange(8.0).reshape(1, 2, 2, 2)
+        out = GlobalAvgPool().forward(x)
+        assert out.shape == (1, 2)
+        assert out[0, 0] == pytest.approx(x[0, :, :, 0].mean())
+
+    def test_global_backward_conserves(self):
+        gp = GlobalAvgPool()
+        x = np.zeros((2, 3, 3, 4))
+        gp.forward(x)
+        grad = gp.backward(np.ones((2, 4)))
+        assert grad.shape == x.shape
+        assert grad.sum() == pytest.approx(2 * 4)  # each channel sums to 1

@@ -1,0 +1,102 @@
+"""Tests for the functional kernels (conv/pool/softmax) against references."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def reference_conv2d(x, w, stride=1, pad=0):
+    """Naive quadruple-loop convolution for cross-checking im2col."""
+    x = F.pad_nhwc(x, pad)
+    n, h, ww, c_in = x.shape
+    kh, kw, _, c_out = w.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (ww - kw) // stride + 1
+    out = np.zeros((n, out_h, out_w, c_out))
+    for ni in range(n):
+        for oh in range(out_h):
+            for ow in range(out_w):
+                patch = x[ni, oh * stride:oh * stride + kh,
+                          ow * stride:ow * stride + kw, :]
+                for co in range(c_out):
+                    out[ni, oh, ow, co] = np.sum(patch * w[:, :, :, co])
+    return out
+
+
+class TestConv2D:
+    def test_matches_naive_reference(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 6, 6, 3))
+        w = rng.normal(size=(3, 3, 3, 4))
+        fast = F.conv2d(x, w, pad=1)
+        slow = reference_conv2d(x, w, pad=1)
+        assert np.allclose(fast, slow, atol=1e-10)
+
+    def test_stride_two(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 8, 8, 2))
+        w = rng.normal(size=(3, 3, 2, 5))
+        fast = F.conv2d(x, w, stride=2, pad=1)
+        slow = reference_conv2d(x, w, stride=2, pad=1)
+        assert fast.shape == (1, 4, 4, 5)
+        assert np.allclose(fast, slow, atol=1e-10)
+
+    def test_bias_applied(self):
+        x = np.zeros((1, 4, 4, 1))
+        w = np.zeros((3, 3, 1, 2))
+        out = F.conv2d(x, w, bias=np.array([1.0, -2.0]), pad=1)
+        assert np.allclose(out[..., 0], 1.0)
+        assert np.allclose(out[..., 1], -2.0)
+
+    def test_kernel_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            F.im2col(np.zeros((1, 2, 2, 1)), 5, 5)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            F.conv2d(np.zeros((1, 4, 4, 3)), np.zeros((3, 3, 2, 4)))
+
+
+class TestCol2Im:
+    def test_adjointness(self):
+        """col2im must be the exact adjoint of im2col: <Ax, y> = <x, A'y>."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 5, 5, 3))
+        patches, _, _ = F.im2col(x, 3, 3, stride=1, pad=1)
+        y = rng.normal(size=patches.shape)
+        lhs = np.sum(patches * y)
+        back = F.col2im(y, x.shape, 3, 3, stride=1, pad=1)
+        rhs = np.sum(x * back)
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestMaxPool:
+    def test_reduces_spatial_dims(self):
+        x = np.arange(16.0).reshape(1, 4, 4, 1)
+        out, _ = F.maxpool2d(x, 2)
+        assert out.shape == (1, 2, 2, 1)
+        assert out[0, 0, 0, 0] == 5.0  # max of the top-left window
+
+    def test_backward_routes_to_argmax(self):
+        x = np.arange(16.0).reshape(1, 4, 4, 1)
+        out, idx = F.maxpool2d(x, 2)
+        grad = F.maxpool2d_backward(np.ones_like(out), x.shape, idx, 2)
+        # Each window's max position receives exactly 1.
+        assert grad.sum() == pytest.approx(4.0)
+        assert grad[0, 1, 1, 0] == 1.0
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(3)
+        p = F.softmax(rng.normal(size=(7, 10)))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        p = F.softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(p, 0.5)
+
+    def test_relu(self):
+        assert np.array_equal(F.relu(np.array([-1.0, 0.0, 2.0])),
+                              np.array([0.0, 0.0, 2.0]))

@@ -1,0 +1,178 @@
+"""Gradient checks for every layer and an end-to-end training test."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    SGD,
+    Sequential,
+    TrainConfig,
+    evaluate_accuracy,
+    softmax_cross_entropy,
+    train,
+)
+
+
+def numeric_param_grad(layer, x, param_name, eps=1e-6):
+    """Central-difference gradient of sum(forward) w.r.t. one parameter."""
+    p = layer.params[param_name]
+    grad = np.zeros_like(p)
+    it = np.nditer(p, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = p[idx]
+        p[idx] = orig + eps
+        up = layer.forward(x).sum()
+        p[idx] = orig - eps
+        down = layer.forward(x).sum()
+        p[idx] = orig
+        grad[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestGradients:
+    def test_dense_param_gradients(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        for name in ("w", "b"):
+            numeric = numeric_param_grad(layer, x, name)
+            assert np.allclose(layer.grads[name], numeric, atol=1e-5)
+
+    def test_dense_input_gradient(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4))
+        layer.forward(x)
+        grad_in = layer.backward(np.ones((2, 3)))
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for i in np.ndindex(*x.shape):
+            xp, xm = x.copy(), x.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            numeric[i] = (layer.forward(xp).sum() - layer.forward(xm).sum()) / (2 * eps)
+        assert np.allclose(grad_in, numeric, atol=1e-5)
+
+    def test_conv_param_gradients(self):
+        rng = np.random.default_rng(2)
+        layer = Conv2D(2, 3, kernel=3, pad=1, rng=rng)
+        x = rng.normal(size=(2, 4, 4, 2))
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        numeric = numeric_param_grad(layer, x, "b")
+        assert np.allclose(layer.grads["b"], numeric, atol=1e-4)
+        # Spot-check a handful of weight entries (full check is slow).
+        numeric_w = numeric_param_grad(layer, x, "w")
+        assert np.allclose(layer.grads["w"], numeric_w, atol=1e-4)
+
+    def test_conv_input_gradient_via_loss(self):
+        rng = np.random.default_rng(3)
+        layer = Conv2D(1, 2, kernel=3, pad=1, rng=rng)
+        x = rng.normal(size=(1, 4, 4, 1))
+        out = layer.forward(x)
+        grad_in = layer.backward(np.ones_like(out))
+        eps = 1e-6
+        i = (0, 2, 1, 0)
+        xp, xm = x.copy(), x.copy()
+        xp[i] += eps
+        xm[i] -= eps
+        numeric = (layer.forward(xp).sum() - layer.forward(xm).sum()) / (2 * eps)
+        assert grad_in[i] == pytest.approx(numeric, abs=1e-5)
+
+    def test_relu_gradient_mask(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 2.0, -3.0, 4.0]])
+        layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad, [[0.0, 1.0, 0.0, 1.0]])
+
+    def test_cross_entropy_gradient(self):
+        rng = np.random.default_rng(4)
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([0, 2, 4])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in np.ndindex(*logits.shape):
+            lp, lm = logits.copy(), logits.copy()
+            lp[i] += eps
+            lm[i] -= eps
+            numeric[i] = (softmax_cross_entropy(lp, labels)[0]
+                          - softmax_cross_entropy(lm, labels)[0]) / (2 * eps)
+        assert np.allclose(grad, numeric, atol=1e-5)
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        layer = Dropout(0.5)
+        x = np.ones((4, 4))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_scales_at_training(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((1000, 10))
+        out = layer.forward(x, training=True)
+        # Inverted dropout preserves the expectation.
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestTraining:
+    def make_blobs(self, n=240, seed=0):
+        """Three linearly separable 2-D blobs."""
+        rng = np.random.default_rng(seed)
+        centers = np.array([[2, 0], [-2, 2], [0, -3]], dtype=float)
+        labels = np.arange(n) % 3
+        x = centers[labels] + rng.normal(0, 0.5, size=(n, 2))
+        return x, labels
+
+    def test_sgd_learns_blobs(self):
+        x, y = self.make_blobs()
+        model = Sequential([Dense(2, 16, rng=np.random.default_rng(1)), ReLU(),
+                            Dense(16, 3, rng=np.random.default_rng(2))])
+        history = train(model, SGD(model, lr=0.05), x, y,
+                        TrainConfig(epochs=30, batch_size=32))
+        assert history[-1] < history[0]
+        assert evaluate_accuracy(model, x, y) > 0.95
+
+    def test_adam_learns_blobs(self):
+        x, y = self.make_blobs(seed=5)
+        model = Sequential([Dense(2, 16, rng=np.random.default_rng(3)), ReLU(),
+                            Dense(16, 3, rng=np.random.default_rng(4))])
+        train(model, Adam(model, lr=0.01), x, y,
+              TrainConfig(epochs=20, batch_size=32))
+        assert evaluate_accuracy(model, x, y) > 0.95
+
+    def test_state_dict_roundtrip(self):
+        model = Sequential([Dense(2, 4), ReLU(), Dense(4, 2)])
+        state = model.state_dict()
+        model.layers[0].params["w"] += 1.0
+        model.load_state_dict(state)
+        assert np.array_equal(model.layers[0].params["w"], state["0.w"])
+
+    def test_small_cnn_trains(self):
+        """A conv net reduces loss on a toy image task."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(60, 8, 8, 1))
+        y = (x.mean(axis=(1, 2, 3)) > 0).astype(int)
+        model = Sequential([
+            Conv2D(1, 4, rng=rng), ReLU(), MaxPool2D(2), Flatten(),
+            Dense(4 * 4 * 4, 2, rng=rng),
+        ])
+        history = train(model, SGD(model, lr=0.02), x, y,
+                        TrainConfig(epochs=10, batch_size=16))
+        assert history[-1] < history[0]

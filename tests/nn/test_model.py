@@ -1,0 +1,76 @@
+"""Tests for the Sequential container and training utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, ReLU, Sequential
+from repro.nn.train import iterate_minibatches
+
+
+class TestSequential:
+    def make(self):
+        rng = np.random.default_rng(0)
+        return Sequential([Dense(3, 5, rng=rng), ReLU(), Dense(5, 2, rng=rng)])
+
+    def test_predict_matches_forward(self):
+        model = self.make()
+        x = np.random.default_rng(1).normal(size=(10, 3))
+        assert np.allclose(model.predict(x, batch_size=3),
+                           model.forward(x))
+
+    def test_num_parameters(self):
+        model = self.make()
+        # (3*5 + 5) + (5*2 + 2)
+        assert model.num_parameters() == 20 + 12
+
+    def test_parameters_iterator(self):
+        names = [(type(l).__name__, n) for l, n, _ in self.make().parameters()]
+        assert ("Dense", "w") in names and ("Dense", "b") in names
+
+    def test_state_dict_keys(self):
+        state = self.make().state_dict()
+        assert set(state) == {"0.w", "0.b", "2.w", "2.b"}
+
+    def test_load_rejects_missing_key(self):
+        model = self.make()
+        state = model.state_dict()
+        del state["0.w"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_wrong_shape(self):
+        model = self.make()
+        state = model.state_dict()
+        state["0.w"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_repr_lists_layers(self):
+        assert "Dense(3->5)" in repr(self.make())
+
+
+class TestMinibatches:
+    def test_covers_dataset_once(self):
+        x = np.arange(10)[:, None].astype(float)
+        y = np.arange(10)
+        seen = []
+        for bx, by in iterate_minibatches(x, y, batch_size=3, shuffle=False):
+            seen.extend(by.tolist())
+        assert seen == list(range(10))
+
+    def test_shuffle_permutes(self):
+        x = np.arange(32)[:, None].astype(float)
+        y = np.arange(32)
+        rng = np.random.default_rng(0)
+        order = []
+        for _, by in iterate_minibatches(x, y, batch_size=8, rng=rng):
+            order.extend(by.tolist())
+        assert sorted(order) == list(range(32))
+        assert order != list(range(32))
+
+    def test_batch_sizes(self):
+        x = np.zeros((10, 1))
+        y = np.zeros(10, dtype=int)
+        sizes = [bx.shape[0]
+                 for bx, _ in iterate_minibatches(x, y, 4, shuffle=False)]
+        assert sizes == [4, 4, 2]

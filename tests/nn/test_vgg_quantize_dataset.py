@@ -1,0 +1,130 @@
+"""Tests for the VGG builders (Table I), quantization and the dataset."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    QuantizedTensor,
+    build_table1_vgg,
+    build_vgg_nano,
+    count_macs,
+    load_synthetic_cifar10,
+    quantize_tensor,
+)
+from repro.nn.layers import Conv2D, Dense, Dropout, MaxPool2D
+from repro.nn.quantize import quantization_error
+from repro.errors import QuantizationError
+
+
+class TestTable1VGG:
+    @pytest.fixture(scope="class")
+    def vgg(self):
+        return build_table1_vgg()
+
+    def test_layer_counts(self, vgg):
+        convs = [l for l in vgg.layers if isinstance(l, Conv2D)]
+        denses = [l for l in vgg.layers if isinstance(l, Dense)]
+        pools = [l for l in vgg.layers if isinstance(l, MaxPool2D)]
+        drops = [l for l in vgg.layers if isinstance(l, Dropout)]
+        assert len(convs) == 7          # Conv1..Conv7 of Table I
+        assert len(denses) == 3         # FC1..FC3
+        assert len(pools) == 3          # MaxPool1..3
+        assert len(drops) == 6          # Table I's six dropout entries
+
+    def test_channel_progression(self, vgg):
+        convs = [l for l in vgg.layers if isinstance(l, Conv2D)]
+        assert [c.c_out for c in convs] == [64, 64, 128, 128, 256, 256, 256]
+
+    def test_fc_dimensions(self, vgg):
+        denses = [l for l in vgg.layers if isinstance(l, Dense)]
+        assert (denses[0].n_in, denses[0].n_out) == (4096, 4096)
+        assert (denses[1].n_in, denses[1].n_out) == (4096, 4096)
+        assert (denses[2].n_in, denses[2].n_out) == (4096, 10)
+
+    def test_forward_shape_on_cifar_input(self, vgg):
+        logits = vgg.forward(np.zeros((1, 32, 32, 3)))
+        assert logits.shape == (1, 10)
+
+    def test_dropout_rates_match_table(self, vgg):
+        rates = [l.rate for l in vgg.layers if isinstance(l, Dropout)]
+        assert rates == [0.3, 0.4, 0.4, 0.4, 0.5, 0.5]
+
+    def test_mac_count_scale(self, vgg):
+        """Table-I VGG runs ~250-350 M MACs on a 32x32x3 input."""
+        macs = count_macs(vgg, (32, 32, 3))
+        assert 2.0e8 < macs < 4.0e8
+
+
+class TestVGGNano:
+    def test_forward_shape(self):
+        model = build_vgg_nano(width=4, image_size=16)
+        assert model.forward(np.zeros((2, 16, 16, 3))).shape == (2, 10)
+
+    def test_parameter_count_reasonable(self):
+        model = build_vgg_nano(width=8, image_size=16)
+        assert 1e3 < model.num_parameters() < 1e6
+
+
+class TestQuantize:
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1000)
+        q = quantize_tensor(x, bits=8)
+        # Max error is half an LSB.
+        assert np.max(np.abs(q.dequantize() - x)) <= q.scale / 2 + 1e-12
+
+    def test_zero_maps_to_zero(self):
+        q = quantize_tensor(np.array([-1.0, 0.0, 1.0]), bits=8)
+        assert q.values[1] == 0
+
+    def test_unsigned_rejects_negative(self):
+        with pytest.raises(QuantizationError):
+            quantize_tensor(np.array([-1.0]), signed=False)
+
+    def test_invalid_bits(self):
+        with pytest.raises(QuantizationError):
+            quantize_tensor(np.ones(3), bits=1)
+
+    def test_all_zero_tensor(self):
+        q = quantize_tensor(np.zeros(5))
+        assert np.array_equal(q.values, np.zeros(5))
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=500)
+        assert quantization_error(x, bits=8) < quantization_error(x, bits=4)
+
+    def test_bit_planes_reassemble(self):
+        x = np.array([-5.0, 3.0, 7.0, 0.0])
+        q = quantize_tensor(x, bits=4)
+        planes, signs = q.bit_planes()
+        reassembled = sum(p * 2 ** k for k, p in enumerate(planes)) * signs
+        assert np.array_equal(reassembled, q.values)
+
+
+class TestDataset:
+    def test_shapes_and_classes(self):
+        data = load_synthetic_cifar10(n_train=100, n_test=40, image_size=16)
+        assert data.x_train.shape == (100, 16, 16, 3)
+        assert data.x_test.shape == (40, 16, 16, 3)
+        assert set(np.unique(data.y_train)) <= set(range(10))
+
+    def test_deterministic_by_seed(self):
+        a = load_synthetic_cifar10(n_train=50, n_test=10, seed=7)
+        b = load_synthetic_cifar10(n_train=50, n_test=10, seed=7)
+        assert np.array_equal(a.x_train, b.x_train)
+
+    def test_different_seeds_differ(self):
+        a = load_synthetic_cifar10(n_train=50, n_test=10, seed=7)
+        b = load_synthetic_cifar10(n_train=50, n_test=10, seed=8)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_normalized_statistics(self):
+        data = load_synthetic_cifar10(n_train=400, n_test=50)
+        assert abs(float(data.x_train.mean())) < 0.05
+        assert float(data.x_train.std()) == pytest.approx(1.0, abs=0.05)
+
+    def test_classes_balanced(self):
+        data = load_synthetic_cifar10(n_train=200, n_test=50)
+        counts = np.bincount(data.y_train, minlength=10)
+        assert counts.min() >= 15

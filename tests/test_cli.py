@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` experiment runner."""
+
+import pytest
+
+from repro.__main__ import DEFAULT_SET, REGISTRY, main
+
+
+class TestRegistry:
+    def test_all_paper_anchors_present(self):
+        for name in ("fig1", "fig3", "fig4", "fig7", "fig8", "fig9",
+                     "table1", "table2"):
+            assert name in REGISTRY
+
+    def test_default_set_excludes_slow_nn(self):
+        assert "table2" not in DEFAULT_SET
+        assert "fig8" in DEFAULT_SET
+
+    def test_registry_entries_callable(self):
+        for fn, description in REGISTRY.values():
+            assert callable(fn)
+            assert description
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "table2" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "done in" in out
+
+    def test_run_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

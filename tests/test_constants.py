@@ -1,0 +1,58 @@
+"""Unit tests for physical constants and temperature helpers."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    REFERENCE_TEMP_C,
+    TEMP_WINDOW_C,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    temperature_grid,
+    thermal_voltage,
+)
+
+
+class TestConversions:
+    def test_celsius_to_kelvin_roundtrip(self):
+        assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+        assert kelvin_to_celsius(celsius_to_kelvin(42.0)) == pytest.approx(42.0)
+
+    def test_array_input(self):
+        temps = np.array([0.0, 27.0, 85.0])
+        kelvins = celsius_to_kelvin(temps)
+        assert kelvins.shape == temps.shape
+        assert kelvins[1] == pytest.approx(300.15)
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        # kT/q at 27 degC is the textbook ~25.85 mV.
+        assert thermal_voltage(REFERENCE_TEMP_C) == pytest.approx(25.85e-3, rel=1e-2)
+
+    def test_monotonic_in_temperature(self):
+        temps = temperature_grid(num=10)
+        uts = thermal_voltage(temps)
+        assert np.all(np.diff(uts) > 0)
+
+    def test_rejects_below_absolute_zero(self):
+        with pytest.raises(ValueError):
+            thermal_voltage(-300.0)
+
+    def test_paper_window_span(self):
+        # Across the paper's 0-85 degC window kT/q grows by ~31 %,
+        # the root cause of the subthreshold drift problem.
+        lo, hi = TEMP_WINDOW_C
+        growth = thermal_voltage(hi) / thermal_voltage(lo)
+        assert growth == pytest.approx(358.15 / 273.15, rel=1e-6)
+
+
+class TestTemperatureGrid:
+    def test_default_covers_paper_window(self):
+        grid = temperature_grid()
+        assert grid[0] == pytest.approx(0.0)
+        assert grid[-1] == pytest.approx(85.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            temperature_grid(num=1)
