@@ -5,13 +5,25 @@ rows/series the paper reports (captured with ``pytest -s`` or in the
 benchmark logs) and asserts the paper-shaped claims.  Heavy experiments run
 with ``benchmark.pedantic(rounds=1)`` — the interesting output is the
 science, not a timing distribution over retrains.
+
+Experiments may be passed either as callables (the legacy style used by the
+existing benches) or by registry name (resolved through
+:mod:`repro.runtime.registry`), so benches exercise exactly what the CLI
+runs.
 """
 
 import pytest
 
+from repro.runtime.registry import get_experiment
+
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Benchmark an experiment exactly once and return its result dict."""
+    """Benchmark an experiment exactly once and return its result dict.
+
+    ``fn`` may be a callable or a registry name (e.g. ``"fig8"``).
+    """
+    if isinstance(fn, str):
+        fn = get_experiment(fn).fn
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
 

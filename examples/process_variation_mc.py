@@ -5,27 +5,36 @@ full read transients) for 8- and 4-cell rows and prints the error
 histogram plus both error normalizations (see repro.analysis.montecarlo
 for why the unit matters).
 
-Run:  python examples/process_variation_mc.py [--samples N]
+The seed is threaded explicitly (same seed and job count -> bit-identical
+run), and ``--jobs`` fans the samples out as independently seeded shards
+over a process pool via :func:`repro.runtime.executor.run_mc_sharded`
+(sharded streams intentionally differ from the single-stream serial run).
+
+Run:  python examples/process_variation_mc.py [--samples N] [--seed S] [--jobs J]
 """
 
 import argparse
 
-import numpy as np
-
 from repro.analysis.montecarlo import run_process_variation_mc
 from repro.analysis.reporting import format_table
 from repro.cells import TwoTOneFeFETCell
+from repro.runtime.executor import run_mc_sharded
 
 
-def main(n_samples=100):
+def main(n_samples=100, seed=0, jobs=1):
     design = TwoTOneFeFETCell()
     print(f"running {n_samples}-sample Monte Carlo "
-          f"(sigma_VT = 54 mV, 27 degC) ...")
-    results = {
-        n_cells: run_process_variation_mc(design, n_samples=n_samples,
-                                          n_cells=n_cells, seed=0)
-        for n_cells in (8, 4)
-    }
+          f"(sigma_VT = 54 mV, 27 degC, seed {seed}, {jobs} job(s)) ...")
+    results = {}
+    shards = min(jobs, n_samples)
+    for n_cells in (8, 4):
+        if shards > 1:
+            results[n_cells] = run_mc_sharded(
+                design, n_samples=n_samples, n_cells=n_cells,
+                seed=seed, shards=shards, parallel=shards)
+        else:
+            results[n_cells] = run_process_variation_mc(
+                design, n_samples=n_samples, n_cells=n_cells, seed=seed)
 
     for n_cells, mc in results.items():
         counts, edges = mc.histogram(bins=10)
@@ -45,4 +54,10 @@ def main(n_samples=100):
 if __name__ == "__main__":
     parser = argparse.ArgumentParser()
     parser.add_argument("--samples", type=int, default=100)
-    main(parser.parse_args().samples)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed (same seed and jobs -> bit-identical "
+                             "run; the shard streams depend on the job count)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sharded Monte Carlo")
+    args = parser.parse_args()
+    main(args.samples, seed=args.seed, jobs=args.jobs)

@@ -1,11 +1,47 @@
-"""Legacy setup shim.
+"""Package metadata and console entry point.
 
 The sandbox this project ships in has setuptools but no ``wheel`` package,
-so PEP 660 editable installs fail; this shim lets ``pip install -e .`` fall
-back to the classic ``setup.py develop`` path.  All metadata lives in
-pyproject.toml.
+so PEP 660 editable installs fail; the classic ``setup.py`` path keeps
+``pip install -e .`` working.  The version is sourced from
+``repro.__version__`` (parsed, not imported, so installation never needs
+the package's runtime dependencies importable first).
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def read_version():
+    init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+    match = re.search(r'^__version__ = "([^"]+)"', init.read_text(),
+                      re.MULTILINE)
+    if not match:
+        raise RuntimeError("repro.__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-subthreshold-fefet-cim",
+    version=read_version(),
+    description="Behavioral reproduction of 'Low Power and Temperature-"
+                "Resilient Compute-In-Memory Based on Subthreshold-FeFET' "
+                "(DATE 2024)",
+    long_description=(Path(__file__).parent / "README.md").read_text()
+    if (Path(__file__).parent / "README.md").exists() else "",
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.__main__:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Electronic Design Automation (EDA)",
+    ],
+)

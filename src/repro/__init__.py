@@ -16,7 +16,16 @@ Layer map (bottom-up):
   energy/latency accounting.
 * :mod:`repro.metrics`  - fluctuation, Noise-Margin-Rate, TOPS/W.
 * :mod:`repro.nn`       - numpy NN framework + VGG + CiM-lowered inference.
-* :mod:`repro.analysis` - one entry per paper figure/table.
+* :mod:`repro.analysis` - experiment implementations (one per paper
+  figure/table) plus Monte-Carlo and Table-II machinery.
+* :mod:`repro.runtime`  - the unified experiment runtime: ``@experiment``
+  registry, typed :class:`~repro.runtime.context.RunContext`,
+  :class:`~repro.runtime.results.ExperimentResult` with JSON export,
+  content-addressed result cache, and the cache-aware process-pool
+  executor with Monte-Carlo/temperature sharding.
+
+The CLI (``python -m repro`` / the ``repro`` console script) sits on top of
+:mod:`repro.runtime`; see README.md for the run/cache/JSON workflow.
 """
 
 from repro.constants import (

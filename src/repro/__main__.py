@@ -1,86 +1,184 @@
-"""Command-line experiment runner: ``python -m repro <command>``.
+"""Command-line experiment runner: ``python -m repro <command>`` (also
+installed as the ``repro`` console script).
 
 Commands
 --------
-list
-    Show every registered experiment with its paper anchor.
-run NAME [NAME ...]
-    Run experiments by name and print their reports.
-all
-    Run the full (non-NN) experiment set.
+list [--tag TAG]
+    Show registered experiments with paper anchor, tags, and description.
+run NAME [NAME ...] [options]
+    Run experiments by name (and/or select them by ``--tag``).
+all [options]
+    Run the default experiment set (everything not tagged ``slow``).
+
+Options (run / all)
+-------------------
+--parallel N     fan independent experiments over N worker processes
+--seed S         master RNG seed threaded into seeded experiments
+--temps T [T..]  override the temperature grid (degC) where accepted
+--json           emit one JSON array of result documents on stdout (status
+                 lines move to stderr, so the output pipes cleanly into jq)
+--out DIR        write one ``<name>.json`` per experiment into DIR
+--no-cache       bypass the on-disk result cache
+--cache-dir DIR  cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)
+--tag TAG        add every experiment carrying TAG to the run set
 
 Examples
 --------
 ::
 
     python -m repro list
-    python -m repro run fig8 fig9
-    python -m repro all
+    python -m repro run fig8 fig9 --seed 7
+    python -m repro run fig1 fig3 --parallel 2 --json --out /tmp/r
+    python -m repro all --tag slow       # default set plus the slow ones
+    python -m repro --version
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
+from pathlib import Path
 
-from repro.analysis import experiments as E
+from repro import __version__
+from repro.runtime import (
+    RunContext,
+    default_set,
+    list_experiments,
+    names_by_tag,
+    registry_names,
+    run_many,
+)
 
-#: name -> (callable, description).  Kept explicit so `list` is greppable.
-REGISTRY = {
-    "fig1": (E.fig1_fefet_characteristics,
-             "FeFET I-V characteristics across temperature"),
-    "fig3": (E.fig3_cell_fluctuation,
-             "1FeFET-1R cell fluctuation, saturation vs subthreshold"),
-    "fig4": (E.fig4_baseline_overlap,
-             "baseline array: overlapping MAC bands"),
-    "fig7": (E.fig7_proposed_cell,
-             "proposed 2T-1FeFET cell fluctuation"),
-    "fig8": (E.fig8_proposed_array,
-             "proposed array: bands, NMR, energy, TOPS/W"),
-    "fig9": (E.fig9_process_variation,
-             "Monte-Carlo process variation (sigma_VT = 54 mV)"),
-    "table1": (E.table1_vgg, "Table-I VGG structure and MAC count"),
-    "table2": (E.table2_summary,
-               "cross-technology summary (trains the reduced VGG; slow)"),
-    "decode-errors": (E.mac_decode_errors,
-                      "row-MAC decode error rate vs temperature"),
-    "mlc": (E.mlc_transfer, "multi-level-cell extension transfer"),
-    "thermal-gradient": (E.thermal_gradient_study,
-                         "within-row thermal gradient study"),
-}
+#: Backward-compatible view of the registry: name -> (callable, description).
+#: Derived from the decorator-based runtime registry; kept so legacy callers
+#: (tests, scripts) that did ``REGISTRY[name]`` keep working.
+REGISTRY = {spec.name: (spec.fn, spec.description)
+            for spec in list_experiments()}
 
-#: Everything except the slow NN experiment.
-DEFAULT_SET = [name for name in REGISTRY if name != "table2"]
+#: The default run set, derived from registry tags (everything not ``slow``)
+#: rather than a hardcoded name comparison.
+DEFAULT_SET = default_set()
 
 
-def main(argv=None):
+def _build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduction experiments for the subthreshold-FeFET "
                     "CiM paper (DATE 2024).")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available experiments")
-    run = sub.add_parser("run", help="run experiments by name")
-    run.add_argument("names", nargs="+", choices=sorted(REGISTRY))
-    sub.add_parser("all", help="run the full non-NN experiment set")
-    args = parser.parse_args(argv)
 
-    if args.command == "list":
-        width = max(len(n) for n in REGISTRY)
-        for name, (_, description) in REGISTRY.items():
-            print(f"{name:<{width}}  {description}")
-        return 0
+    list_p = sub.add_parser("list", help="list available experiments")
+    list_p.add_argument("--tag", action="append", default=None,
+                        help="only show experiments carrying this tag")
 
-    names = args.names if args.command == "run" else DEFAULT_SET
-    for name in names:
-        fn, description = REGISTRY[name]
-        print(f"\n=== {name}: {description} ===")
-        start = time.time()
-        result = fn()
-        print(result["report"])
-        print(f"[{name} done in {time.time() - start:.1f}s]")
+    def add_run_options(p):
+        p.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="worker processes (default: serial)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="master RNG seed (default: 0)")
+        p.add_argument("--temps", type=float, nargs="+", default=None,
+                       metavar="T", help="temperature grid override (degC)")
+        p.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit a JSON array of result documents on stdout "
+                            "(status lines go to stderr)")
+        p.add_argument("--out", type=Path, default=None, metavar="DIR",
+                       help="write per-experiment JSON files into DIR")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+        p.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                       help="result cache directory")
+        p.add_argument("--tag", action="append", default=None,
+                       help="also run every experiment carrying this tag")
+
+    run_p = sub.add_parser("run", help="run experiments by name")
+    run_p.add_argument("names", nargs="*", metavar="NAME",
+                       help="experiment names (see `list`)")
+    add_run_options(run_p)
+
+    all_p = sub.add_parser("all", help="run the default experiment set")
+    add_run_options(all_p)
+    return parser
+
+
+def _select_names(args, parser):
+    if args.command == "all":
+        names = list(DEFAULT_SET)
+    else:
+        names = list(args.names)
+        unknown = [n for n in names if n not in REGISTRY]
+        if unknown:
+            parser.error(f"unknown experiment(s) {unknown}; "
+                         f"choices: {sorted(REGISTRY)}")
+    for tag in args.tag or ():
+        tagged = names_by_tag(tag)
+        if not tagged:
+            parser.error(f"no experiment carries tag {tag!r}")
+        names.extend(n for n in tagged if n not in names)
+    if not names:
+        parser.error("nothing to run: give experiment names or --tag")
+    return names
+
+
+def _cmd_list(args):
+    specs = list_experiments()
+    for tag in args.tag or ():
+        specs = [s for s in specs if tag in s.tags]
+    if not specs:
+        print("no experiments match", file=sys.stderr)
+        return 1
+    width = max(len(s.name) for s in specs)
+    awidth = max(len(s.anchor) for s in specs)
+    for spec in specs:
+        tags = ",".join(spec.tags)
+        print(f"{spec.name:<{width}}  {spec.anchor:<{awidth}}  "
+              f"{spec.description}  [{tags}]")
     return 0
+
+
+def _cmd_run(args, parser):
+    names = _select_names(args, parser)
+    ctx = RunContext(
+        seed=args.seed,
+        temps_c=tuple(args.temps) if args.temps else None,
+        cache_dir=str(args.cache_dir) if args.cache_dir else None,
+        use_cache=not args.no_cache)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    # With --json, stdout carries exactly one parseable JSON array; all
+    # human-facing chatter moves to stderr so piping into jq etc. works.
+    chatter = sys.stderr if args.as_json else sys.stdout
+
+    results = run_many(names, ctx, parallel=args.parallel)
+    for result in results:
+        description = REGISTRY[result.name][1]
+        print(f"\n=== {result.name}: {description} ===", file=chatter)
+        if not args.as_json:
+            print(result.report)
+        if args.out is not None:
+            path = result.save(args.out / f"{result.name}.json")
+            print(f"[{result.name} json -> {path}]", file=chatter)
+        status = (f"cache hit (first run took {result.duration_s:.1f}s)"
+                  if result.cached else "fresh run")
+        print(f"[{result.name} done in {result.duration_s:.1f}s - {status}]",
+              file=chatter)
+    if args.as_json:
+        print(json.dumps([r.to_dict() for r in results], indent=2,
+                         sort_keys=True))
+    hits = sum(1 for r in results if r.cached)
+    print(f"\n{len(results)} experiment(s): {len(results) - hits} run, "
+          f"{hits} cache hit(s); seed={ctx.seed}", file=chatter)
+    return 0
+
+
+def main(argv=None):
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    return _cmd_run(args, parser)
 
 
 if __name__ == "__main__":

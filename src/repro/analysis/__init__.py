@@ -1,9 +1,11 @@
-"""Experiment registry and analysis harnesses.
+"""Experiment implementations and analysis harnesses.
 
 One function per paper figure/table lives in
-:mod:`repro.analysis.experiments`; the Monte-Carlo machinery of Fig. 9 is in
-:mod:`repro.analysis.montecarlo`; the Table II cross-technology energy
-models are in :mod:`repro.analysis.comparisons`; ASCII rendering helpers in
+:mod:`repro.analysis.experiments` (each self-registers with the
+:mod:`repro.runtime` registry via the ``@experiment`` decorator); the
+Monte-Carlo machinery of Fig. 9 is in :mod:`repro.analysis.montecarlo`; the
+Table II cross-technology energy models are in
+:mod:`repro.analysis.comparisons`; ASCII rendering helpers in
 :mod:`repro.analysis.reporting`.
 """
 

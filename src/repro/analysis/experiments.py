@@ -1,9 +1,17 @@
-"""Experiment registry: one function per figure/table of the paper.
+"""Experiment implementations: one function per figure/table of the paper.
 
 Every function is self-contained, deterministic (seeded), and returns a
 plain dict of measured quantities plus a preformatted ``report`` string.
 The benchmark suite calls these and prints the reports; EXPERIMENTS.md
 records the measured values against the paper's.
+
+Each function self-registers with the unified runtime via the
+``@experiment`` decorator (name, paper anchor, tags); the decorator leaves
+the function untouched, so direct calls keep these legacy signatures and
+plain-dict returns.  Typed configuration (seed, temperature grid,
+cell/array overrides) arrives through
+:class:`repro.runtime.context.RunContext`, which maps onto the ``seed`` /
+``temps_c`` / ``n_cells`` / ``design`` keyword parameters declared below.
 
 Index (see DESIGN.md section 4):
 
@@ -46,6 +54,7 @@ from repro.metrics import (
     ranges_overlap,
 )
 from repro.metrics.fluctuation import fluctuation_profile
+from repro.runtime.registry import experiment
 
 #: The three-point temperature set used by array experiments (extremes +
 #: reference); cell experiments use denser grids.
@@ -55,6 +64,8 @@ CORNER_TEMPS_C = (0.0, REFERENCE_TEMP_C, 85.0)
 # ----------------------------------------------------------------------
 # Fig. 1 — device characteristics
 # ----------------------------------------------------------------------
+@experiment("fig1", anchor="Fig. 1", tags=("device", "temperature", "fast"),
+            description="FeFET I-V characteristics across temperature")
 def fig1_fefet_characteristics(temps_c=CORNER_TEMPS_C, points=40):
     """FeFET I_D-V_G curves for both programmed states across temperature."""
     vgs = np.linspace(0.0, 1.8, points)
@@ -85,6 +96,9 @@ def fig1_fefet_characteristics(temps_c=CORNER_TEMPS_C, points=40):
 # ----------------------------------------------------------------------
 # Fig. 3 — baseline cell fluctuation
 # ----------------------------------------------------------------------
+@experiment("fig3", anchor="Fig. 3", tags=("cell", "baseline"),
+            description="1FeFET-1R cell fluctuation, saturation vs "
+                        "subthreshold")
 def fig3_cell_fluctuation(num_temps=12):
     """Output-current fluctuation of the 1FeFET-1R cell in both regions.
 
@@ -129,6 +143,8 @@ def _array_bands(design, temps_c, n_cells=8):
     return sweeps, ranges, energy_reports
 
 
+@experiment("fig4", anchor="Fig. 4", tags=("array", "baseline"),
+            description="baseline array: overlapping MAC bands")
 def fig4_baseline_overlap(temps_c=CORNER_TEMPS_C):
     """Fig. 4: the subthreshold 1FeFET-1R array's bands overlap."""
     design = FeFET1RCell.subthreshold()
@@ -146,6 +162,8 @@ def fig4_baseline_overlap(temps_c=CORNER_TEMPS_C):
     }
 
 
+@experiment("fig7", anchor="Fig. 7", tags=("cell", "proposed"),
+            description="proposed 2T-1FeFET cell fluctuation")
 def fig7_proposed_cell(num_temps=12):
     """Fig. 7: normalized output of the 2T-1FeFET cell vs. temperature.
 
@@ -169,6 +187,8 @@ def fig7_proposed_cell(num_temps=12):
     }
 
 
+@experiment("fig8", anchor="Fig. 8", tags=("array", "proposed"),
+            description="proposed array: bands, NMR, energy, TOPS/W")
 def fig8_proposed_array(temps_c=CORNER_TEMPS_C):
     """Fig. 8 + NMR numbers: bands, per-MAC energy, TOPS/W.
 
@@ -212,12 +232,18 @@ def fig8_proposed_array(temps_c=CORNER_TEMPS_C):
 # ----------------------------------------------------------------------
 # Fig. 9 — Monte-Carlo process variation
 # ----------------------------------------------------------------------
-def fig9_process_variation(n_samples=100, seed=0):
+@experiment("fig9", anchor="Fig. 9", tags=("montecarlo", "proposed"),
+            description="Monte-Carlo process variation (sigma_VT = 54 mV)")
+def fig9_process_variation(n_samples=100, seed=0, design=None):
     """Fig. 9: 100-sample MC with sigma_VT = 54 mV at 27 degC.
 
     Paper: max error ~25 % for 8 cells/row, < 10 % when reduced to 4.
+
+    The RNG stream is fully determined by ``seed`` (threaded from
+    :class:`~repro.runtime.context.RunContext` when run via the runtime), so
+    two runs with the same context are bit-identical.
     """
-    design = TwoTOneFeFETCell()
+    design = design or TwoTOneFeFETCell()
     mc8 = run_process_variation_mc(design, n_samples=n_samples, n_cells=8,
                                    seed=seed)
     mc4 = run_process_variation_mc(design, n_samples=n_samples, n_cells=4,
@@ -240,6 +266,8 @@ def fig9_process_variation(n_samples=100, seed=0):
 # ----------------------------------------------------------------------
 # Table I — the VGG
 # ----------------------------------------------------------------------
+@experiment("table1", anchor="Table I", tags=("nn", "fast"),
+            description="Table-I VGG structure and MAC count")
 def table1_vgg():
     """Build the Table-I VGG, verify the structure, count MACs."""
     from repro.nn import build_table1_vgg, count_macs
@@ -267,6 +295,9 @@ def table1_vgg():
 # ----------------------------------------------------------------------
 # decode-error rate (supports the Fig. 4 vs Fig. 8 narrative)
 # ----------------------------------------------------------------------
+@experiment("decode-errors", anchor="Fig. 4 vs Fig. 8",
+            tags=("array", "extension"),
+            description="row-MAC decode error rate vs temperature")
 def mac_decode_errors(temps_c=(0.0, 27.0, 55.0, 85.0), seed=0, n_vectors=64):
     """Fraction of row MACs decoded wrongly, per design and temperature.
 
@@ -299,6 +330,8 @@ def mac_decode_errors(temps_c=(0.0, 27.0, 55.0, 85.0), seed=0, n_vectors=64):
 # ----------------------------------------------------------------------
 # Extensions beyond the paper's figures
 # ----------------------------------------------------------------------
+@experiment("mlc", anchor="extension", tags=("cell", "extension"),
+            description="multi-level-cell extension transfer")
 def mlc_transfer(n_levels=4, temps_c=CORNER_TEMPS_C):
     """Multi-level-cell extension: output level vs stored polarization.
 
@@ -344,6 +377,8 @@ def mlc_transfer(n_levels=4, temps_c=CORNER_TEMPS_C):
     }
 
 
+@experiment("thermal-gradient", anchor="Sec. I", tags=("array", "extension"),
+            description="within-row thermal gradient study")
 def thermal_gradient_study(spans_c=(0.0, 5.0, 10.0, 20.0)):
     """Within-row thermal gradients (self-heating / hot spots, Sec. I).
 
@@ -374,6 +409,9 @@ def thermal_gradient_study(spans_c=(0.0, 5.0, 10.0, 20.0)):
 # ----------------------------------------------------------------------
 # Table II — full summary with measured This-Work row
 # ----------------------------------------------------------------------
+@experiment("table2", anchor="Table II", tags=("nn", "slow"),
+            description="cross-technology summary (trains the reduced VGG; "
+                        "slow)")
 def table2_summary(*, quick=True, seed=0):
     """Cross-technology Table II with a measured "This Work" row.
 

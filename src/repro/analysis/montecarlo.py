@@ -67,6 +67,33 @@ class MonteCarloResult:
         """(counts, bin_edges) of the error distribution, Fig. 9 style."""
         return np.histogram(self.errors, bins=bins)
 
+    @classmethod
+    def merge(cls, parts):
+        """Concatenate independently seeded shards of the same experiment.
+
+        All shards must describe the same row configuration (nominal output,
+        LSB, MAC pattern, width, temperature); used by
+        :func:`repro.runtime.executor.run_mc_sharded`.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("cannot merge zero MonteCarloResult shards")
+        first = parts[0]
+        for part in parts[1:]:
+            same = (part.nominal_vacc == first.nominal_vacc
+                    and part.lsb_v == first.lsb_v
+                    and part.mac_value == first.mac_value
+                    and part.n_cells == first.n_cells
+                    and part.temp_c == first.temp_c)
+            if not same:
+                raise ValueError("MonteCarloResult shards describe different "
+                                 "row configurations; refusing to merge")
+        return cls(errors=np.concatenate([p.errors for p in parts]),
+                   errors_lsb=np.concatenate([p.errors_lsb for p in parts]),
+                   nominal_vacc=first.nominal_vacc, lsb_v=first.lsb_v,
+                   mac_value=first.mac_value, n_cells=first.n_cells,
+                   temp_c=first.temp_c)
+
 
 def run_process_variation_mc(design, *, n_samples=100, n_cells=8,
                              mac_value=None, temp_c=REFERENCE_TEMP_C,

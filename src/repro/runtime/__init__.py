@@ -1,0 +1,72 @@
+"""Unified experiment runtime.
+
+This package turns the one-function-per-figure reproduction into a real
+experiment API that every scaling PR (sharding, multi-backend, serving)
+builds on:
+
+* :mod:`repro.runtime.registry` - the ``@experiment`` decorator and the
+  process-wide experiment registry (name, paper anchor, tags).
+* :mod:`repro.runtime.context`  - :class:`RunContext`, the typed, hashable
+  run configuration (seed, temperature grid, cell/array overrides,
+  cache directory) with a stable fingerprint for cache keys.
+* :mod:`repro.runtime.results`  - :class:`ExperimentResult`, the uniform
+  result object (values + metadata + report + ``to_json``/``to_dict``).
+* :mod:`repro.runtime.cache`    - content-addressed on-disk result cache
+  keyed by (experiment, context, code version).
+* :mod:`repro.runtime.executor` - cache-aware serial/process-pool runner
+  plus Monte-Carlo and temperature shard helpers.
+
+Quick tour::
+
+    from repro.runtime import RunContext, load_builtin_experiments, run_many
+
+    load_builtin_experiments()
+    ctx = RunContext(seed=7)
+    for result in run_many(["fig1", "fig9"], ctx, parallel=2):
+        print(result.summary())
+        print(result.to_json()[:200])
+"""
+
+from repro.runtime.cache import ResultCache, cache_key, default_cache_dir
+from repro.runtime.context import RunContext, resolve_cell
+from repro.runtime.executor import (
+    pmap,
+    run_mc_sharded,
+    run_many,
+    run_one,
+    run_temperature_shards,
+)
+from repro.runtime.registry import (
+    ExperimentSpec,
+    default_set,
+    experiment,
+    get_experiment,
+    list_experiments,
+    load_builtin_experiments,
+    names_by_tag,
+    registry_names,
+)
+from repro.runtime.results import ExperimentResult, sanitize
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ResultCache",
+    "RunContext",
+    "cache_key",
+    "default_cache_dir",
+    "default_set",
+    "experiment",
+    "get_experiment",
+    "list_experiments",
+    "load_builtin_experiments",
+    "names_by_tag",
+    "pmap",
+    "registry_names",
+    "resolve_cell",
+    "run_many",
+    "run_mc_sharded",
+    "run_one",
+    "run_temperature_shards",
+    "sanitize",
+]

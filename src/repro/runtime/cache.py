@@ -1,0 +1,105 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A result is stored as one JSON document (the ``ExperimentResult.to_dict``
+schema) under ``<cache_dir>/<key>.json`` where ``key`` is the SHA-256 of
+
+* the experiment name,
+* the :meth:`RunContext.fingerprint_data` (seed, temperature grid,
+  cell/array overrides, experiment params), and
+* the experiment's ``code_version`` (a hash of its source).
+
+Any change to the configuration *or the experiment's code* therefore misses
+cleanly; nothing is ever invalidated in place.  Cached loads come back as
+the JSON-safe view of the values (lists instead of arrays, tagged dicts
+instead of dataclasses) with ``cached=True`` set, which is what the CLI and
+batch runners consume.
+
+The default location is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.runtime.results import ExperimentResult
+
+
+def default_cache_dir():
+    """Resolve the cache directory from the environment or XDG-ish default."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def cache_key(spec, ctx):
+    """Content address for (experiment, context, code version)."""
+    payload = json.dumps({
+        "experiment": spec.name,
+        "context": ctx.fingerprint_data(),
+        "code_version": spec.code_version,
+    }, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed result store addressed by :func:`cache_key`."""
+
+    def __init__(self, cache_dir=None):
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+
+    def path_for(self, key):
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key):
+        """The cached :class:`ExperimentResult` for ``key``, or ``None``.
+
+        Unreadable/corrupt entries count as misses (and are removed) rather
+        than failing the run.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+            return ExperimentResult.from_dict(data, cached=True)
+        except (json.JSONDecodeError, KeyError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key, result):
+        """Store ``result`` under ``key`` (atomic rename); returns the path."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            fh.write(result.to_json())
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, key):
+        return self.path_for(key).exists()
+
+    def entries(self):
+        """Paths of every cached result (no particular order)."""
+        if not self.cache_dir.is_dir():
+            return []
+        return sorted(self.cache_dir.glob("*.json"))
+
+    def clear(self):
+        """Delete all cached results; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

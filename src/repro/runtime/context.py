@@ -1,0 +1,160 @@
+"""Typed run configuration shared by every experiment.
+
+:class:`RunContext` replaces the seed's implicit conventions (module-level
+defaults, per-function keyword arguments) with one immutable object that
+
+* carries the run seed, so two runs with the same context are bit-identical;
+* optionally overrides the temperature grid, cell design, and row width for
+  every experiment that accepts them;
+* knows which on-disk cache it targets; and
+* produces a stable *fingerprint* - the part of the cache key that captures
+  everything result-affecting (cache location and toggles are excluded).
+
+Experiments keep their plain keyword signatures; :meth:`RunContext.kwargs_for`
+maps context fields onto whatever subset of ``seed`` / ``temps_c`` /
+``n_cells`` / ``design`` a given function accepts, then applies the
+experiment-specific ``params`` overrides the same way.  Unknown ``params``
+keys are dropped silently so one context can drive a heterogeneous batch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional, Tuple
+
+#: Names of cell designs a context may select via ``cell=``.  Resolution is
+#: lazy (factories import repro.cells on first use) to keep this module light.
+CELL_FACTORIES = {
+    "2t-1fefet": ("repro.cells", "TwoTOneFeFETCell", None),
+    "1fefet-1r-sub": ("repro.cells", "FeFET1RCell", "subthreshold"),
+    "1fefet-1r-sat": ("repro.cells", "FeFET1RCell", "saturation"),
+}
+
+
+def resolve_cell(name):
+    """Instantiate the cell design registered under ``name``.
+
+    Raises ``KeyError`` with the valid choices for unknown names.
+    """
+    try:
+        module_name, cls_name, method = CELL_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell {name!r}; choices: {sorted(CELL_FACTORIES)}"
+        ) from None
+    import importlib
+
+    cls = getattr(importlib.import_module(module_name), cls_name)
+    return getattr(cls, method)() if method else cls()
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Immutable configuration for one experiment run (or batch).
+
+    Parameters
+    ----------
+    seed:
+        Master RNG seed threaded into every experiment that accepts one.
+    temps_c:
+        Optional temperature grid override (tuple of Celsius points) for
+        experiments with a ``temps_c`` parameter; ``None`` keeps each
+        experiment's paper default.
+    cell:
+        Optional cell-design override by name (see ``CELL_FACTORIES``) for
+        experiments with a ``design`` parameter.
+    n_cells:
+        Optional row-width override for experiments with an ``n_cells``
+        parameter.
+    params:
+        Experiment-specific keyword overrides, applied after the typed
+        fields; keys a function does not accept are ignored.
+    cache_dir:
+        Result-cache directory; ``None`` means the package default.  Not
+        part of the fingerprint.
+    use_cache:
+        Whether the executor may serve/store cached results.  Not part of
+        the fingerprint.
+    """
+
+    seed: int = 0
+    temps_c: Optional[Tuple[float, ...]] = None
+    cell: Optional[str] = None
+    n_cells: Optional[int] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+
+    def __post_init__(self):
+        if self.temps_c is not None:
+            object.__setattr__(self, "temps_c",
+                               tuple(float(t) for t in self.temps_c))
+        if self.cell is not None and self.cell not in CELL_FACTORIES:
+            raise KeyError(
+                f"unknown cell {self.cell!r}; choices: {sorted(CELL_FACTORIES)}")
+        if self.n_cells is not None and self.n_cells < 1:
+            raise ValueError(f"n_cells must be positive, got {self.n_cells}")
+        # Freeze params into a plain dict copy so callers can't mutate later.
+        object.__setattr__(self, "params", dict(self.params))
+
+    # -- derived values -------------------------------------------------
+    def kwargs_for(self, fn):
+        """Keyword arguments for ``fn`` implied by this context.
+
+        Only parameters ``fn`` actually declares are produced; ``**kwargs``
+        catch-alls are intentionally not fed (experiments are expected to
+        declare what they consume).
+        """
+        accepted = set(inspect.signature(fn).parameters)
+        kwargs = {}
+        typed = {"seed": self.seed, "temps_c": self.temps_c,
+                 "n_cells": self.n_cells,
+                 "design": resolve_cell(self.cell) if self.cell else None}
+        for key, value in typed.items():
+            if key in accepted and value is not None:
+                kwargs[key] = value
+        kwargs.update({k: v for k, v in self.params.items() if k in accepted})
+        return kwargs
+
+    def fingerprint_data(self):
+        """The result-affecting fields, in canonical JSON-ready form."""
+        return {
+            "seed": self.seed,
+            "temps_c": list(self.temps_c) if self.temps_c is not None else None,
+            "cell": self.cell,
+            "n_cells": self.n_cells,
+            "params": {str(k): self.params[k] for k in sorted(self.params)},
+        }
+
+    def fingerprint(self):
+        """Stable hex digest of the result-affecting configuration."""
+        payload = json.dumps(self.fingerprint_data(), sort_keys=True,
+                             default=str)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # -- (de)serialization ----------------------------------------------
+    def to_dict(self):
+        """JSON-safe dict, including the non-fingerprinted fields."""
+        data = self.fingerprint_data()
+        data["cache_dir"] = self.cache_dir
+        data["use_cache"] = self.use_cache
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a context from :meth:`to_dict` output (e.g. in a worker)."""
+        temps = data.get("temps_c")
+        return cls(seed=data.get("seed", 0),
+                   temps_c=tuple(temps) if temps is not None else None,
+                   cell=data.get("cell"),
+                   n_cells=data.get("n_cells"),
+                   params=data.get("params", {}),
+                   cache_dir=data.get("cache_dir"),
+                   use_cache=data.get("use_cache", True))
+
+    def with_overrides(self, **changes):
+        """A copy with ``changes`` applied (dataclasses.replace wrapper)."""
+        return replace(self, **changes)

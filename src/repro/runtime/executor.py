@@ -1,0 +1,188 @@
+"""Cache-aware serial and process-pool execution of experiments.
+
+Three layers of fan-out, all deterministic given a :class:`RunContext`:
+
+* :func:`run_one` / :func:`run_many` - run registered experiments by name,
+  serving cache hits from disk and fanning misses over a process pool
+  (``parallel > 1``).  Results come back in request order, and a worker
+  crossing the process boundary returns the same JSON-safe document the
+  cache stores, so parallel and serial runs are equivalent documents.
+* :func:`run_temperature_shards` - map an experiment function over a
+  temperature grid, one process per temperature point.
+* :func:`run_mc_sharded` - split a Monte-Carlo run into independent shards
+  with seeds derived from one master seed (``SeedSequence``), run them in
+  parallel, and merge the per-shard distributions.  The merged stream is
+  deterministic for a given (seed, shards) pair but intentionally distinct
+  from the serial single-stream run.
+
+Workers re-import the registry on spawn, so the pool works under both fork
+and spawn start methods.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.runtime.cache import ResultCache, cache_key
+from repro.runtime.context import RunContext
+from repro.runtime.registry import get_experiment, load_builtin_experiments
+from repro.runtime.results import ExperimentResult
+
+
+def run_one(name, ctx: Optional[RunContext] = None,
+            cache: Optional[ResultCache] = None) -> ExperimentResult:
+    """Run one experiment through the cache.
+
+    Cache hits return the stored document (``cached=True``); misses run the
+    experiment and populate the cache (when ``ctx.use_cache``).
+    """
+    ctx = ctx or RunContext()
+    spec = get_experiment(name)
+    if not ctx.use_cache:
+        return spec.run(ctx)
+    cache = cache or ResultCache(ctx.cache_dir)
+    key = cache_key(spec, ctx)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    result = spec.run(ctx)
+    cache.put(key, result)
+    return result
+
+
+def _pool_worker(payload):
+    """Process-pool entry: run one named experiment from a context dict."""
+    name, ctx_data = payload
+    load_builtin_experiments()
+    ctx = RunContext.from_dict(ctx_data)
+    return get_experiment(name).run(ctx).to_dict()
+
+
+def run_many(names: Iterable[str], ctx: Optional[RunContext] = None,
+             parallel: int = 1) -> List[ExperimentResult]:
+    """Run experiments by name; results in request order.
+
+    Cache hits are resolved up front in the parent (no pool slot spent);
+    misses run serially for ``parallel <= 1``, otherwise fan out over a
+    process pool of ``parallel`` workers.  Fresh results are written to the
+    cache by the parent.
+    """
+    ctx = ctx or RunContext()
+    names = list(names)
+    for name in names:
+        get_experiment(name)  # fail fast on unknown names
+    cache = ResultCache(ctx.cache_dir)
+
+    results: List[Optional[ExperimentResult]] = [None] * len(names)
+    pending = []  # (index, name)
+    for i, name in enumerate(names):
+        if ctx.use_cache:
+            hit = cache.get(cache_key(get_experiment(name), ctx))
+            if hit is not None:
+                results[i] = hit
+                continue
+        pending.append((i, name))
+
+    if parallel <= 1 or len(pending) <= 1:
+        for i, name in enumerate(names):
+            if results[i] is None:
+                results[i] = run_one(name, ctx, cache)
+        return results
+
+    ctx_data = ctx.to_dict()
+    with ProcessPoolExecutor(max_workers=min(parallel, len(pending))) as pool:
+        docs = pool.map(_pool_worker, [(name, ctx_data) for _, name in pending])
+        for (i, name), doc in zip(pending, docs):
+            result = ExperimentResult.from_dict(doc, cached=False)
+            if ctx.use_cache:
+                cache.put(cache_key(get_experiment(name), ctx), result)
+            results[i] = result
+    return results
+
+
+def pmap(fn, items, parallel: int = 1):
+    """Map a picklable top-level function over items, optionally in a pool.
+
+    Serial fallback for ``parallel <= 1`` keeps single-process debugging
+    trivial; results preserve item order either way.
+    """
+    items = list(items)
+    if parallel <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(parallel, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+# ----------------------------------------------------------------------
+# Temperature sharding
+# ----------------------------------------------------------------------
+def _temp_worker(payload):
+    fn, temp, kwargs = payload
+    return fn(temps_c=(temp,), **kwargs)
+
+
+def run_temperature_shards(fn, temps_c, parallel: int = 1, **kwargs):
+    """Evaluate ``fn`` one temperature point per process.
+
+    ``fn`` must be a picklable top-level callable accepting a ``temps_c``
+    tuple (the experiment convention); returns ``{temp: fn result}``.
+    Temperature points are independent by construction, so the sharded run
+    is exactly equivalent to a single call over the full grid.
+    """
+    temps = [float(t) for t in temps_c]
+    payloads = [(fn, t, kwargs) for t in temps]
+    outputs = pmap(_temp_worker, payloads, parallel=parallel)
+    return dict(zip(temps, outputs))
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo sharding
+# ----------------------------------------------------------------------
+def shard_seeds(seed, shards):
+    """Independent child seeds derived from one master seed.
+
+    Uses ``numpy.random.SeedSequence`` so shard streams are statistically
+    independent and reproducible for a given (seed, shards) pair.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    return [int(s) for s in
+            np.random.SeedSequence(int(seed)).generate_state(shards)]
+
+
+def shard_sizes(total, shards):
+    """Split ``total`` samples into ``shards`` near-equal positive chunks."""
+    if total < shards:
+        raise ValueError(f"cannot split {total} samples into {shards} shards")
+    base, extra = divmod(total, shards)
+    return [base + (1 if i < extra else 0) for i in range(shards)]
+
+
+def _mc_shard_worker(payload):
+    from repro.analysis.montecarlo import run_process_variation_mc
+
+    design, n_samples, seed, kwargs = payload
+    return run_process_variation_mc(design, n_samples=n_samples, seed=seed,
+                                    **kwargs)
+
+
+def run_mc_sharded(design, *, n_samples=100, shards=4, parallel=1, seed=0,
+                   **kwargs):
+    """Monte-Carlo process variation split over independent seeded shards.
+
+    Extra keyword arguments pass through to
+    :func:`repro.analysis.montecarlo.run_process_variation_mc`.  Returns a
+    merged :class:`~repro.analysis.montecarlo.MonteCarloResult` whose sample
+    count equals ``n_samples``.
+    """
+    from repro.analysis.montecarlo import MonteCarloResult
+
+    sizes = shard_sizes(n_samples, shards)
+    seeds = shard_seeds(seed, shards)
+    payloads = [(design, size, shard_seed, kwargs)
+                for size, shard_seed in zip(sizes, seeds)]
+    parts = pmap(_mc_shard_worker, payloads, parallel=parallel)
+    return MonteCarloResult.merge(parts)

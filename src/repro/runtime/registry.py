@@ -1,0 +1,173 @@
+"""The ``@experiment`` decorator and the process-wide experiment registry.
+
+The seed wired experiments into a hand-maintained table in
+``repro/__main__.py``; here each experiment self-registers at import time::
+
+    @experiment("fig9", anchor="Fig. 9", tags=("montecarlo",))
+    def fig9_process_variation(n_samples=100, seed=0):
+        ...
+
+The decorator returns the function *unchanged*, so direct calls keep their
+legacy signatures and plain-dict returns; the registry entry
+(:class:`ExperimentSpec`) is the typed face: :meth:`ExperimentSpec.run`
+takes a :class:`~repro.runtime.context.RunContext`, maps its fields onto
+the function's keyword parameters, and wraps the return in an
+:class:`~repro.runtime.results.ExperimentResult`.
+
+``code_version`` hashes the function's own source *and* a fingerprint of
+every ``repro`` source file, so editing an experiment — or any helper it
+calls anywhere in the package — automatically invalidates its cached
+results.  Stale science is worse than a cold cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.runtime.context import RunContext
+from repro.runtime.results import ExperimentResult
+
+#: Tag used (and excluded from the default set) for long-running experiments.
+SLOW_TAG = "slow"
+
+_REGISTRY: Dict[str, "ExperimentSpec"] = {}
+_BUILTIN_LOADED = False
+_PACKAGE_FINGERPRINT = None
+
+
+def package_fingerprint():
+    """Hash of every ``repro`` source file, computed once per process.
+
+    Experiments call helpers across the whole package (array, circuit,
+    montecarlo, ...), so cache validity must track the package source, not
+    just the experiment function's own body.
+    """
+    global _PACKAGE_FINGERPRINT
+    if _PACKAGE_FINGERPRINT is None:
+        import repro
+        from pathlib import Path
+
+        digest = hashlib.sha1()
+        root = Path(repro.__file__).parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _PACKAGE_FINGERPRINT = digest.hexdigest()[:12]
+    return _PACKAGE_FINGERPRINT
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: callable plus registry metadata."""
+
+    name: str
+    fn: Callable[..., dict]
+    anchor: str = ""
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+
+    @property
+    def code_version(self):
+        """Short hash of the function source plus the package fingerprint.
+
+        Changes when the experiment body changes *or* when any ``repro``
+        source file does (experiments lean on helpers package-wide), so
+        cached results can never outlive the code that produced them.
+        """
+        try:
+            source = inspect.getsource(self.fn)
+        except (OSError, TypeError):
+            from repro import __version__
+            source = f"pkg-{__version__}"
+        digest = hashlib.sha1(source.encode())
+        digest.update(package_fingerprint().encode())
+        return digest.hexdigest()[:12]
+
+    def run(self, ctx: RunContext = None) -> ExperimentResult:
+        """Execute with ``ctx`` applied; always a fresh (uncached) run."""
+        ctx = ctx or RunContext()
+        kwargs = ctx.kwargs_for(self.fn)
+        start = time.perf_counter()
+        raw = self.fn(**kwargs)
+        duration = time.perf_counter() - start
+        if not isinstance(raw, dict):
+            raise TypeError(
+                f"experiment {self.name!r} returned {type(raw).__name__}, "
+                "expected dict")
+        return ExperimentResult.from_raw(
+            self.name, raw, anchor=self.anchor, tags=self.tags,
+            context=ctx.fingerprint_data(), duration_s=duration,
+            code_version=self.code_version)
+
+
+def experiment(name, *, anchor="", tags=(), description=None):
+    """Register the decorated function as experiment ``name``.
+
+    ``description`` defaults to the first line of the docstring.  The
+    function itself is returned untouched (legacy call sites unaffected).
+    """
+
+    def decorator(fn):
+        if name in _REGISTRY and _REGISTRY[name].fn is not fn:
+            raise ValueError(f"experiment {name!r} already registered")
+        doc = description
+        if doc is None:
+            doc = (fn.__doc__ or "").strip().splitlines()
+            doc = doc[0].rstrip(".") if doc else name
+        _REGISTRY[name] = ExperimentSpec(
+            name=name, fn=fn, anchor=anchor, description=doc,
+            tags=tuple(tags))
+        return fn
+
+    return decorator
+
+
+def load_builtin_experiments():
+    """Import the built-in experiment module (idempotent) and return names.
+
+    Registration happens at import time; worker processes call this before
+    resolving names received from the parent.
+    """
+    global _BUILTIN_LOADED
+    if not _BUILTIN_LOADED:
+        import repro.analysis.experiments  # noqa: F401  (registers on import)
+        _BUILTIN_LOADED = True
+    return list(_REGISTRY)
+
+
+def get_experiment(name) -> ExperimentSpec:
+    """Look up a spec by name; KeyError lists valid names."""
+    load_builtin_experiments()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choices: {registry_names()}"
+        ) from None
+
+
+def registry_names():
+    """All registered names, in registration order."""
+    load_builtin_experiments()
+    return list(_REGISTRY)
+
+
+def list_experiments():
+    """All specs, in registration order."""
+    load_builtin_experiments()
+    return list(_REGISTRY.values())
+
+
+def names_by_tag(tag):
+    """Names of experiments carrying ``tag``."""
+    return [spec.name for spec in list_experiments() if tag in spec.tags]
+
+
+def default_set():
+    """The default run set: everything not tagged ``slow``."""
+    return [spec.name for spec in list_experiments()
+            if SLOW_TAG not in spec.tags]

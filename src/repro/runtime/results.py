@@ -1,0 +1,159 @@
+"""Uniform result objects for every experiment.
+
+The seed returned an ad-hoc dict per experiment (values + a preformatted
+``report`` string).  :class:`ExperimentResult` keeps those values verbatim
+but wraps them with run metadata (experiment name, paper anchor, context
+fingerprint, seed, duration, code version, timestamp) and machine-readable
+export: ``to_dict()`` / ``to_json()`` produce a stable, JSON-safe document
+(schema ``SCHEMA_VERSION``) that the on-disk cache and the CLI ``--json``
+flag both reuse.
+
+:func:`sanitize` is the single conversion point from "whatever an experiment
+returned" (numpy arrays and scalars, frozen dataclasses like
+``MonteCarloResult`` / ``EnergyReport`` / ``MacOutputRange``, tuple-keyed
+dicts) to plain JSON types, so every exporter agrees on the representation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+#: Bump when the to_dict()/to_json() document layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def sanitize(obj):
+    """Recursively convert ``obj`` into plain JSON-serializable types.
+
+    Rules (first match wins):
+
+    * ``None`` / ``bool`` / ``int`` / ``float`` / ``str`` pass through
+      (non-finite floats become ``None``, matching JSON);
+    * numpy scalars -> Python scalars; numpy arrays -> nested lists;
+    * dataclass instances -> ``{"__type__": <class name>, ...fields...}``;
+    * mappings -> dict with stringified keys (tuple keys join with ``","``);
+    * sequences/sets -> lists;
+    * anything else -> ``repr(obj)`` so exports never fail.
+    """
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        return value if np.isfinite(value) else None
+    if isinstance(obj, np.ndarray):
+        return sanitize(obj.tolist())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = sanitize(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        return {_key(k): sanitize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [sanitize(item) for item in obj]
+    return repr(obj)
+
+
+def _key(key):
+    """Render a dict key as a string; tuples flatten to comma-joined parts."""
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return ",".join(_key(part) for part in key)
+    if isinstance(key, (float, np.floating)):
+        return repr(float(key))
+    if isinstance(key, (int, np.integer)):
+        return str(int(key))
+    return str(key)
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment run: values, report, and run metadata.
+
+    ``values`` holds the experiment's native return dict minus ``report``
+    (arrays and dataclasses intact when fresh; the JSON-safe view when the
+    result came from cache or crossed a process boundary).
+    """
+
+    name: str
+    values: Dict[str, Any]
+    report: str = ""
+    anchor: str = ""
+    tags: tuple = ()
+    context: Dict[str, Any] = field(default_factory=dict)
+    duration_s: float = 0.0
+    code_version: str = ""
+    created_unix: float = field(default_factory=time.time)
+    cached: bool = False
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def from_raw(cls, name, raw, *, anchor="", tags=(), context=None,
+                 duration_s=0.0, code_version=""):
+        """Wrap a legacy experiment return dict (``report`` key split off)."""
+        values = {k: v for k, v in raw.items() if k != "report"}
+        return cls(name=name, values=values, report=raw.get("report", ""),
+                   anchor=anchor, tags=tuple(tags),
+                   context=dict(context or {}), duration_s=duration_s,
+                   code_version=code_version)
+
+    def __getitem__(self, key):
+        """Dict-style access to values (``report`` included) for ergonomics."""
+        if key == "report":
+            return self.report
+        return self.values[key]
+
+    def summary(self):
+        """One status line: name, anchor, timing, cache provenance."""
+        origin = "cached" if self.cached else f"{self.duration_s:.1f}s"
+        anchor = f" [{self.anchor}]" if self.anchor else ""
+        return f"{self.name}{anchor}: {origin}"
+
+    def to_dict(self):
+        """Stable JSON-safe document (see ``SCHEMA_VERSION``)."""
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "anchor": self.anchor,
+            "tags": list(self.tags),
+            "context": sanitize(self.context),
+            "duration_s": float(self.duration_s),
+            "code_version": self.code_version,
+            "created_unix": float(self.created_unix),
+            "cached": bool(self.cached),
+            "values": sanitize(self.values),
+            "report": self.report,
+        }
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path):
+        """Write the JSON document to ``path`` and return the path."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+        return path
+
+    @classmethod
+    def from_dict(cls, data, *, cached: Optional[bool] = None):
+        """Rebuild from :meth:`to_dict` output (cache load / worker return)."""
+        return cls(name=data["name"],
+                   values=data.get("values", {}),
+                   report=data.get("report", ""),
+                   anchor=data.get("anchor", ""),
+                   tags=tuple(data.get("tags", ())),
+                   context=data.get("context", {}),
+                   duration_s=data.get("duration_s", 0.0),
+                   code_version=data.get("code_version", ""),
+                   created_unix=data.get("created_unix", 0.0),
+                   cached=data.get("cached", False) if cached is None else cached,
+                   schema_version=data.get("schema_version", SCHEMA_VERSION))

@@ -1,0 +1,12 @@
+"""Shared test fixtures.
+
+The result cache defaults to a per-user directory; tests must never read
+or pollute it, so every test gets a private cache via ``REPRO_CACHE_DIR``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

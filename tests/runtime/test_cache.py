@@ -1,0 +1,94 @@
+"""Result cache: hit/miss behaviour and content-addressed invalidation."""
+
+from repro.runtime.cache import ResultCache, cache_key, default_cache_dir
+from repro.runtime.context import RunContext
+from repro.runtime.executor import run_one
+from repro.runtime.registry import ExperimentSpec, get_experiment
+
+FAST = {"temps_c": (0.0, 85.0), "points": 4}
+
+
+def fast_ctx(tmp_path, **changes):
+    base = dict(params=FAST, cache_dir=str(tmp_path / "cache"))
+    base.update(changes)
+    return RunContext(**base)
+
+
+class TestKeying:
+    def test_same_config_same_key(self):
+        spec = get_experiment("fig1")
+        assert (cache_key(spec, RunContext(seed=1))
+                == cache_key(spec, RunContext(seed=1)))
+
+    def test_seed_changes_key(self):
+        spec = get_experiment("fig1")
+        assert (cache_key(spec, RunContext(seed=1))
+                != cache_key(spec, RunContext(seed=2)))
+
+    def test_experiment_changes_key(self):
+        ctx = RunContext()
+        assert (cache_key(get_experiment("fig1"), ctx)
+                != cache_key(get_experiment("fig3"), ctx))
+
+    def test_code_version_changes_key(self):
+        def impl_a():
+            return {"v": 1}
+
+        def impl_b():
+            return {"v": 2}
+
+        ctx = RunContext()
+        spec_a = ExperimentSpec(name="probe", fn=impl_a)
+        spec_b = ExperimentSpec(name="probe", fn=impl_b)
+        assert spec_a.code_version != spec_b.code_version
+        assert cache_key(spec_a, ctx) != cache_key(spec_b, ctx)
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, tmp_path):
+        ctx = fast_ctx(tmp_path)
+        first = run_one("fig1", ctx)
+        assert not first.cached
+        second = run_one("fig1", ctx)
+        assert second.cached
+        assert second.values["ion_ioff_at_read"] == first["ion_ioff_at_read"]
+
+    def test_no_cache_context_never_stores(self, tmp_path):
+        ctx = fast_ctx(tmp_path, use_cache=False)
+        run_one("fig1", ctx)
+        assert not run_one("fig1", ctx).cached
+        assert ResultCache(ctx.cache_dir).entries() == []
+
+    def test_different_seed_misses(self, tmp_path):
+        run_one("fig9", fast_ctx(tmp_path, seed=0,
+                                 params={"n_samples": 2}))
+        later = run_one("fig9", fast_ctx(tmp_path, seed=1,
+                                         params={"n_samples": 2}))
+        assert not later.cached
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        ctx = fast_ctx(tmp_path)
+        run_one("fig1", ctx)
+        cache = ResultCache(ctx.cache_dir)
+        [path] = cache.entries()
+        path.write_text("{not json")
+        key = cache_key(get_experiment("fig1"), ctx)
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_clear(self, tmp_path):
+        ctx = fast_ctx(tmp_path)
+        run_one("fig1", ctx)
+        cache = ResultCache(ctx.cache_dir)
+        assert cache.clear() == 1
+        assert cache.entries() == []
+
+
+class TestDefaultLocation:
+    def test_env_var_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert default_cache_dir() == tmp_path / "env-cache"
+
+    def test_fallback_under_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == "repro"

@@ -1,0 +1,96 @@
+"""RunContext: typed configuration, kwargs mapping, fingerprint stability."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    fig1_fefet_characteristics,
+    fig9_process_variation,
+)
+from repro.cells import FeFET1RCell, TwoTOneFeFETCell
+from repro.runtime.context import RunContext, resolve_cell
+
+
+class TestConstruction:
+    def test_defaults(self):
+        ctx = RunContext()
+        assert ctx.seed == 0
+        assert ctx.temps_c is None
+        assert ctx.use_cache is True
+
+    def test_temps_coerced_to_float_tuple(self):
+        ctx = RunContext(temps_c=[0, 27, 85])
+        assert ctx.temps_c == (0.0, 27.0, 85.0)
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(KeyError, match="choices"):
+            RunContext(cell="3t-sram")
+
+    def test_bad_n_cells_rejected(self):
+        with pytest.raises(ValueError):
+            RunContext(n_cells=0)
+
+    def test_with_overrides(self):
+        ctx = RunContext(seed=1).with_overrides(seed=9)
+        assert ctx.seed == 9
+
+
+class TestResolveCell:
+    def test_all_registered_cells_instantiate(self):
+        assert isinstance(resolve_cell("2t-1fefet"), TwoTOneFeFETCell)
+        assert isinstance(resolve_cell("1fefet-1r-sub"), FeFET1RCell)
+        assert isinstance(resolve_cell("1fefet-1r-sat"), FeFET1RCell)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            resolve_cell("nope")
+
+
+class TestKwargsMapping:
+    def test_seed_threads_into_seeded_experiment(self):
+        kwargs = RunContext(seed=42).kwargs_for(fig9_process_variation)
+        assert kwargs["seed"] == 42
+
+    def test_cell_override_maps_to_design(self):
+        kwargs = RunContext(cell="2t-1fefet").kwargs_for(fig9_process_variation)
+        assert isinstance(kwargs["design"], TwoTOneFeFETCell)
+
+    def test_unaccepted_fields_dropped(self):
+        # fig1 takes temps_c + points but no seed/design/n_cells.
+        ctx = RunContext(seed=3, temps_c=(0.0, 85.0), cell="2t-1fefet",
+                         n_cells=4, params={"points": 8, "bogus": 1})
+        kwargs = ctx.kwargs_for(fig1_fefet_characteristics)
+        assert kwargs == {"temps_c": (0.0, 85.0), "points": 8}
+
+    def test_params_override_typed_fields(self):
+        ctx = RunContext(seed=3, params={"seed": 11})
+        assert ctx.kwargs_for(fig9_process_variation)["seed"] == 11
+
+
+class TestFingerprint:
+    def test_stable_for_equal_contexts(self):
+        a = RunContext(seed=1, params={"x": 1, "y": 2})
+        b = RunContext(seed=1, params={"y": 2, "x": 1})
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize("changes", [
+        {"seed": 2},
+        {"temps_c": (0.0, 85.0)},
+        {"cell": "2t-1fefet"},
+        {"n_cells": 4},
+        {"params": {"n_samples": 5}},
+    ])
+    def test_result_affecting_fields_change_it(self, changes):
+        assert (RunContext().fingerprint()
+                != RunContext(**changes).fingerprint())
+
+    def test_cache_location_not_fingerprinted(self):
+        assert (RunContext(cache_dir="/tmp/a", use_cache=False).fingerprint()
+                == RunContext().fingerprint())
+
+    def test_roundtrip_through_dict(self):
+        ctx = RunContext(seed=5, temps_c=(0.0, 27.0), cell="2t-1fefet",
+                         n_cells=4, params={"points": 8},
+                         cache_dir="/tmp/c", use_cache=False)
+        back = RunContext.from_dict(ctx.to_dict())
+        assert back == ctx
+        assert back.fingerprint() == ctx.fingerprint()

@@ -1,0 +1,129 @@
+"""Executor: parallel-vs-serial equivalence, ordering, shard helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import MonteCarloResult
+from repro.cells import TwoTOneFeFETCell
+from repro.runtime.context import RunContext
+from repro.runtime.executor import (
+    pmap,
+    run_many,
+    run_mc_sharded,
+    run_temperature_shards,
+    shard_seeds,
+    shard_sizes,
+)
+
+#: Two fast experiments exercised throughout (reduced sizes).
+FAST_NAMES = ["fig1", "fig3"]
+FAST_PARAMS = {"temps_c": (0.0, 85.0), "points": 4, "num_temps": 5}
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestRunMany:
+    def test_order_preserved(self, tmp_path):
+        ctx = RunContext(params=FAST_PARAMS, cache_dir=str(tmp_path))
+        results = run_many(list(reversed(FAST_NAMES)), ctx)
+        assert [r.name for r in results] == list(reversed(FAST_NAMES))
+
+    def test_unknown_name_fails_fast(self, tmp_path):
+        with pytest.raises(KeyError, match="choices"):
+            run_many(["fig1", "fig99"],
+                     RunContext(cache_dir=str(tmp_path)))
+
+    def test_parallel_equals_serial(self, tmp_path):
+        serial_ctx = RunContext(seed=3, params=FAST_PARAMS,
+                                cache_dir=str(tmp_path / "a"),
+                                use_cache=False)
+        parallel_ctx = RunContext(seed=3, params=FAST_PARAMS,
+                                  cache_dir=str(tmp_path / "b"),
+                                  use_cache=False)
+        serial = run_many(FAST_NAMES, serial_ctx, parallel=1)
+        parallel = run_many(FAST_NAMES, parallel_ctx, parallel=2)
+        for s, p in zip(serial, parallel):
+            ds, dp = s.to_dict(), p.to_dict()
+            for key in ("name", "values", "report", "context",
+                        "code_version", "tags"):
+                assert ds[key] == dp[key], key
+
+    def test_parallel_run_populates_cache(self, tmp_path):
+        ctx = RunContext(params=FAST_PARAMS, cache_dir=str(tmp_path))
+        fresh = run_many(FAST_NAMES, ctx, parallel=2)
+        assert not any(r.cached for r in fresh)
+        again = run_many(FAST_NAMES, ctx, parallel=2)
+        assert all(r.cached for r in again)
+        for a, b in zip(fresh, again):
+            assert a.to_dict()["values"] == b.to_dict()["values"]
+
+    def test_mixed_hits_and_misses(self, tmp_path):
+        ctx = RunContext(params=FAST_PARAMS, cache_dir=str(tmp_path))
+        run_many(["fig1"], ctx)
+        results = run_many(FAST_NAMES, ctx, parallel=2)
+        assert [r.cached for r in results] == [True, False]
+
+
+class TestPmap:
+    def test_serial_and_parallel_agree(self):
+        items = list(range(5))
+        assert pmap(_double, items) == pmap(_double, items, parallel=3)
+
+    def test_empty(self):
+        assert pmap(_double, []) == []
+
+
+class TestShardHelpers:
+    def test_shard_sizes_sum_and_balance(self):
+        sizes = shard_sizes(10, 3)
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shard_sizes_rejects_empty_shards(self):
+        with pytest.raises(ValueError):
+            shard_sizes(2, 3)
+
+    def test_shard_seeds_deterministic_and_distinct(self):
+        seeds = shard_seeds(7, 4)
+        assert seeds == shard_seeds(7, 4)
+        assert len(set(seeds)) == 4
+        assert seeds != shard_seeds(8, 4)
+
+
+class TestMonteCarloSharding:
+    def test_sample_count_and_determinism(self):
+        design = TwoTOneFeFETCell()
+        kwargs = dict(n_samples=6, shards=3, seed=5, n_cells=4)
+        serial = run_mc_sharded(design, parallel=1, **kwargs)
+        parallel = run_mc_sharded(design, parallel=3, **kwargs)
+        assert len(serial.errors) == 6
+        np.testing.assert_array_equal(serial.errors, parallel.errors)
+
+    def test_merge_rejects_mismatched_shards(self):
+        base = dict(errors=np.zeros(2), errors_lsb=np.zeros(2),
+                    nominal_vacc=1.0, lsb_v=0.1, mac_value=4, n_cells=4,
+                    temp_c=27.0)
+        other = dict(base, n_cells=8)
+        with pytest.raises(ValueError, match="different"):
+            MonteCarloResult.merge([MonteCarloResult(**base),
+                                    MonteCarloResult(**other)])
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MonteCarloResult.merge([])
+
+
+class TestTemperatureSharding:
+    def test_matches_single_grid_call(self):
+        from repro.analysis.experiments import fig1_fefet_characteristics
+
+        grid = (0.0, 85.0)
+        whole = fig1_fefet_characteristics(temps_c=grid, points=4)
+        sharded = run_temperature_shards(fig1_fefet_characteristics, grid,
+                                         parallel=2, points=4)
+        for temp in grid:
+            np.testing.assert_allclose(
+                sharded[temp]["curves"][("low-vth", temp)],
+                whole["curves"][("low-vth", temp)])

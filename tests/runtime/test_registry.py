@@ -1,0 +1,124 @@
+"""Registry round-trip: every CLI name resolves, fast configs actually run."""
+
+import pytest
+
+from repro.runtime.context import RunContext
+from repro.runtime.registry import (
+    ExperimentSpec,
+    default_set,
+    experiment,
+    get_experiment,
+    list_experiments,
+    names_by_tag,
+    registry_names,
+)
+from repro.runtime.results import ExperimentResult
+
+#: The full CLI surface expected from the built-in experiment module.
+EXPECTED_NAMES = [
+    "fig1", "fig3", "fig4", "fig7", "fig8", "fig9",
+    "table1", "table2", "decode-errors", "mlc", "thermal-gradient",
+]
+
+#: Reduced-size overrides so the round-trip run stays fast; ``None`` marks
+#: experiments too heavy to run here (still resolved + validated).
+FAST_PARAMS = {
+    "fig1": {"temps_c": (0.0, 85.0), "points": 6},
+    "fig3": {"num_temps": 5},
+    "fig4": {"temps_c": (0.0, 85.0)},
+    "fig7": {"num_temps": 5},
+    "fig8": {"temps_c": (27.0, 85.0)},
+    "fig9": {"n_samples": 2},
+    "table1": {},
+    "table2": None,
+    "decode-errors": {"temps_c": (27.0,), "n_vectors": 4},
+    "mlc": {"n_levels": 2, "temps_c": (27.0,)},
+    "thermal-gradient": {"spans_c": (0.0, 10.0)},
+}
+
+
+class TestResolution:
+    def test_every_expected_name_registered(self):
+        names = registry_names()
+        for name in EXPECTED_NAMES:
+            assert name in names
+
+    def test_every_spec_well_formed(self):
+        for spec in list_experiments():
+            assert callable(spec.fn)
+            assert spec.description
+            assert spec.anchor
+            assert spec.tags
+            assert spec.code_version
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="choices"):
+            get_experiment("fig99")
+
+    def test_fast_params_cover_registry(self):
+        assert set(FAST_PARAMS) == set(registry_names())
+
+
+class TestDefaultSet:
+    def test_derived_from_slow_tag(self):
+        names = default_set()
+        assert "table2" not in names
+        assert "fig8" in names and "fig9" in names
+        slow = set(names_by_tag("slow"))
+        assert slow == set(registry_names()) - set(names)
+
+    def test_tag_lookup(self):
+        assert "decode-errors" in names_by_tag("extension")
+        assert names_by_tag("no-such-tag") == []
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", [n for n, p in FAST_PARAMS.items()
+                                      if p is not None])
+    def test_cli_name_runs_through_runtime(self, name):
+        ctx = RunContext(seed=0, params=FAST_PARAMS[name], use_cache=False)
+        result = get_experiment(name).run(ctx)
+        assert isinstance(result, ExperimentResult)
+        assert result.name == name
+        assert result.report
+        assert result.values
+        assert result.duration_s > 0
+        assert result.context["seed"] == 0
+        assert not result.cached
+
+
+class TestDecorator:
+    def test_returns_function_unchanged(self):
+        def probe():
+            """Probe experiment."""
+            return {"report": "ok"}
+
+        registered = experiment("probe-unchanged", anchor="n/a",
+                                tags=("test",))(probe)
+        try:
+            assert registered is probe
+        finally:
+            from repro.runtime import registry
+            registry._REGISTRY.pop("probe-unchanged", None)
+
+    def test_duplicate_name_rejected(self):
+        def probe2():
+            return {}
+
+        experiment("probe-dup", tags=("test",))(probe2)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                experiment("probe-dup", tags=("test",))(lambda: {})
+        finally:
+            from repro.runtime import registry
+            registry._REGISTRY.pop("probe-dup", None)
+
+    def test_non_dict_return_rejected(self):
+        spec = ExperimentSpec(name="bad", fn=lambda: 42)
+        with pytest.raises(TypeError, match="expected dict"):
+            spec.run(RunContext())
+
+    def test_code_version_tracks_source(self):
+        spec_a = get_experiment("fig1")
+        spec_b = get_experiment("fig3")
+        assert spec_a.code_version != spec_b.code_version

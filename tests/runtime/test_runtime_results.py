@@ -1,0 +1,113 @@
+"""ExperimentResult: sanitization rules and JSON schema stability."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.results import (
+    SCHEMA_VERSION,
+    ExperimentResult,
+    sanitize,
+)
+
+#: The exported document's top-level contract.  Extending the schema means
+#: bumping SCHEMA_VERSION; this test pins the current layout.
+EXPECTED_TOP_LEVEL_KEYS = {
+    "schema_version", "name", "anchor", "tags", "context", "duration_s",
+    "code_version", "created_unix", "cached", "values", "report",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class _Point:
+    x: float
+    label: str
+
+
+class TestSanitize:
+    def test_scalars_pass_through(self):
+        assert sanitize(None) is None
+        assert sanitize(True) is True
+        assert sanitize(3) == 3
+        assert sanitize("s") == "s"
+
+    def test_numpy_scalars_and_arrays(self):
+        assert sanitize(np.int64(7)) == 7
+        assert isinstance(sanitize(np.int64(7)), int)
+        assert sanitize(np.float64(2.5)) == 2.5
+        assert sanitize(np.arange(3)) == [0, 1, 2]
+        assert sanitize(np.ones((2, 2))) == [[1.0, 1.0], [1.0, 1.0]]
+
+    def test_non_finite_floats_become_none(self):
+        assert sanitize(float("nan")) is None
+        assert sanitize(np.inf) is None
+
+    def test_tuple_keys_flatten(self):
+        out = sanitize({("low-vth", 27.0): np.arange(2)})
+        assert out == {"low-vth,27.0": [0, 1]}
+
+    def test_dataclasses_tagged(self):
+        out = sanitize(_Point(1.0, "a"))
+        assert out == {"__type__": "_Point", "x": 1.0, "label": "a"}
+
+    def test_sequences_and_sets(self):
+        assert sanitize((1, 2)) == [1, 2]
+        assert sanitize({3}) == [3]
+
+    def test_fallback_repr(self):
+        assert sanitize(object).startswith("<class")
+
+    def test_everything_json_dumps(self):
+        blob = {
+            ("a", 1): np.linspace(0, 1, 3),
+            "point": _Point(np.float64(2.0), "b"),
+            "nested": [{"k": np.int32(1)}],
+        }
+        json.dumps(sanitize(blob))  # must not raise
+
+
+class TestSchema:
+    @pytest.fixture()
+    def result(self):
+        return ExperimentResult.from_raw(
+            "fig1",
+            {"vgs": np.arange(3), "ion": np.float64(1e5), "report": "body"},
+            anchor="Fig. 1", tags=("device",), context={"seed": 0},
+            duration_s=1.25, code_version="abc123")
+
+    def test_top_level_keys_pinned(self, result):
+        doc = result.to_dict()
+        assert set(doc) == EXPECTED_TOP_LEVEL_KEYS
+        assert doc["schema_version"] == SCHEMA_VERSION
+
+    def test_report_split_from_values(self, result):
+        assert result.report == "body"
+        assert "report" not in result.values
+        assert result["report"] == "body"
+        assert result["ion"] == pytest.approx(1e5)
+
+    def test_json_roundtrip(self, result):
+        back = ExperimentResult.from_dict(json.loads(result.to_json()))
+        assert back.name == result.name
+        assert back.anchor == result.anchor
+        assert back.values["vgs"] == [0, 1, 2]
+        assert back.to_dict() == result.to_dict()
+
+    def test_json_deterministic(self, result):
+        assert result.to_json() == result.to_json()
+
+    def test_cached_flag_override_on_load(self, result):
+        data = result.to_dict()
+        assert ExperimentResult.from_dict(data, cached=True).cached is True
+        assert ExperimentResult.from_dict(data).cached is False
+
+    def test_save(self, result, tmp_path):
+        path = result.save(tmp_path / "fig1.json")
+        assert json.loads(path.read_text())["name"] == "fig1"
+
+    def test_summary_mentions_provenance(self, result):
+        assert "1.2s" in result.summary()
+        result.cached = True
+        assert "cached" in result.summary()

@@ -40,3 +40,72 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestDefaultSetDerivation:
+    def test_matches_registry_tags(self):
+        from repro.runtime.registry import SLOW_TAG, list_experiments
+
+        slow = {s.name for s in list_experiments() if SLOW_TAG in s.tags}
+        assert set(DEFAULT_SET) == set(REGISTRY) - slow
+        assert slow  # table2 carries the tag
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestRunOptions:
+    def test_json_out_writes_documents(self, tmp_path, capsys):
+        import json as _json
+
+        assert main(["run", "fig1", "--json", "--out", str(tmp_path),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        captured = capsys.readouterr()
+        assert (tmp_path / "fig1.json").exists()
+        # stdout is exactly one parseable JSON array; chatter is on stderr.
+        [doc] = _json.loads(captured.out)
+        assert doc["name"] == "fig1"
+        assert "fresh run" in captured.err
+
+    def test_second_invocation_reports_cache_hit(self, tmp_path, capsys):
+        argv = ["run", "fig1", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "- fresh run" in out and "0 cache hit(s)" in out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "- cache hit (first run took" in out
+        assert "1 cache hit(s)" in out
+
+    def test_no_cache_flag_bypasses(self, tmp_path, capsys):
+        argv = ["run", "fig1", "--no-cache",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert "cache hit (first" not in capsys.readouterr().out
+
+    def test_tag_selection(self, tmp_path, capsys):
+        assert main(["run", "--tag", "fast", "--cache-dir",
+                     str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig1:" in out and "=== table1:" in out
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--tag", "no-such-tag"])
+
+    def test_run_without_names_or_tag_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_list_tag_filter(self, capsys):
+        assert main(["list", "--tag", "extension"]) == 0
+        out = capsys.readouterr().out
+        assert "mlc" in out and "fig8" not in out
