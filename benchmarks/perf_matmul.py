@@ -1,0 +1,167 @@
+"""Array-backend matmul perf harness: dense vs fused on a VGG-shaped MAC.
+
+Times three execution strategies on the same 8-bit bit-serial matmul (the
+workload shape of one Table-I VGG conv layer lowered via im2col):
+
+``legacy``
+    ``BitSerialMacUnit.matmul`` — programs the weights again on every
+    call, the seed's behavior before the backend split.
+``dense``
+    Weight-stationary :class:`~repro.array.backend.DenseNumpyBackend`:
+    program once, run the reference per-plane-pair kernel per batch.
+``fused``
+    Weight-stationary :class:`~repro.array.backend.FusedBitPlaneBackend`:
+    program once, batched BLAS plane counts + cached per-temperature
+    LUT decode per batch.
+
+All three must produce bit-identical decoded outputs (the harness exits
+nonzero if they do not), so the timing comparison is apples-to-apples.
+Results land in ``BENCH_matmul.json`` — the repo's matmul perf trajectory.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_matmul.py            # full shape
+    PYTHONPATH=src python benchmarks/perf_matmul.py --smoke    # CI-sized
+
+This is a standalone script, not a pytest benchmark: it measures kernel
+strategies against each other, not experiment wall-times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.array import BehavioralMacConfig, BitSerialMacUnit, make_backend
+from repro.cells import TwoTOneFeFETCell
+
+
+def time_batches(fn, batches):
+    """Wall time of ``fn`` over every batch; returns (seconds, outputs)."""
+    outs = []
+    start = time.perf_counter()
+    for x in batches:
+        outs.append(fn(x))
+    return time.perf_counter() - start, outs
+
+
+def run(args):
+    rng = np.random.default_rng(args.seed)
+    wmax = 2 ** (args.bits - 1) - 1
+    w = rng.integers(-wmax, wmax + 1, size=(args.k, args.cols))
+    batches = [rng.integers(0, 2 ** args.bits, size=(args.rows, args.k))
+               for _ in range(args.batches)]
+
+    print(f"workload: {args.batches} batches of "
+          f"({args.rows} x {args.k}) @ ({args.k} x {args.cols}), "
+          f"{args.bits}-bit, T={args.temp_c} degC", flush=True)
+
+    start = time.perf_counter()
+    unit = BitSerialMacUnit(TwoTOneFeFETCell(), BehavioralMacConfig(
+        bits_x=args.bits, bits_w=args.bits, temp_grid_c=(0.0, 27.0, 85.0)))
+    calibration_s = time.perf_counter() - start
+    print(f"circuit calibration: {calibration_s:.2f}s", flush=True)
+
+    dense = make_backend("dense", unit)
+    fused = make_backend("fused", unit)
+
+    program_s = {}
+    programmed = {}
+    for backend in (dense, fused):
+        start = time.perf_counter()
+        programmed[backend.name] = backend.program(w)
+        program_s[backend.name] = time.perf_counter() - start
+
+    variants = {
+        "legacy": lambda x: unit.matmul(x, w, temp_c=args.temp_c),
+        "dense": lambda x: dense.matmul(programmed["dense"], x,
+                                        temp_c=args.temp_c),
+        "fused": lambda x: fused.matmul(programmed["fused"], x,
+                                        temp_c=args.temp_c),
+    }
+
+    per_batch_s, outputs = {}, {}
+    warmup = batches[0][: max(1, args.rows // 8)]
+    for name, fn in variants.items():
+        fn(warmup)   # warm level caches / fused plane stacks off the clock
+        elapsed, outs = time_batches(fn, batches)
+        per_batch_s[name] = elapsed / len(batches)
+        outputs[name] = outs
+        print(f"{name:>6}: {per_batch_s[name] * 1e3:9.1f} ms/batch",
+              flush=True)
+
+    identical = all(
+        np.array_equal(outputs["legacy"][i], outputs[name][i])
+        for name in ("dense", "fused") for i in range(len(batches)))
+
+    ideal = [x @ w for x in batches]
+    exact_vs_ideal = all(np.array_equal(outputs["fused"][i], ideal[i])
+                         for i in range(len(batches)))
+
+    speedup = {
+        "fused_vs_dense": per_batch_s["dense"] / per_batch_s["fused"],
+        "fused_vs_legacy": per_batch_s["legacy"] / per_batch_s["fused"],
+        "dense_ws_vs_legacy": per_batch_s["legacy"] / per_batch_s["dense"],
+    }
+    doc = {
+        "workload": {
+            "rows": args.rows, "k": args.k, "cols": args.cols,
+            "bits": args.bits, "batches": args.batches,
+            "temp_c": args.temp_c, "seed": args.seed,
+            "cells_per_row": unit.config.cells_per_row,
+        },
+        "calibration_s": round(calibration_s, 4),
+        "program_s": {k: round(v, 6) for k, v in program_s.items()},
+        "per_batch_s": {k: round(v, 6) for k, v in per_batch_s.items()},
+        "speedup": {k: round(v, 2) for k, v in speedup.items()},
+        "outputs_bit_identical": identical,
+        "fused_exact_at_reference": exact_vs_ideal,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"\nfused vs dense:  {speedup['fused_vs_dense']:.2f}x\n"
+          f"fused vs legacy: {speedup['fused_vs_legacy']:.2f}x\n"
+          f"bit-identical outputs: {identical}\n"
+          f"wrote {out_path}")
+
+    if not identical:
+        print("ERROR: backends disagree on decoded outputs", file=sys.stderr)
+        return 1
+    if args.min_speedup and speedup["fused_vs_dense"] < args.min_speedup:
+        print(f"ERROR: fused_vs_dense {speedup['fused_vs_dense']:.2f}x "
+              f"below required {args.min_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="dense-vs-fused array backend matmul timing")
+    parser.add_argument("--rows", type=int, default=64,
+                        help="activation rows per batch (im2col patches)")
+    parser.add_argument("--k", type=int, default=1152,
+                        help="inner dimension (3x3x128 VGG conv)")
+    parser.add_argument("--cols", type=int, default=128,
+                        help="output channels")
+    parser.add_argument("--bits", type=int, default=8)
+    parser.add_argument("--batches", type=int, default=3)
+    parser.add_argument("--temp-c", type=float, default=27.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit nonzero if fused/dense is below this")
+    parser.add_argument("--out", default="BENCH_matmul.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized workload")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.rows, args.k, args.cols, args.batches = 16, 144, 16, 2
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ Options (run / all)
 --parallel N     fan independent experiments over N worker processes
 --seed S         master RNG seed threaded into seeded experiments
 --temps T [T..]  override the temperature grid (degC) where accepted
+--backend B      array backend (dense|fused) for experiments that accept one
 --json           emit one JSON array of result documents on stdout (status
                  lines move to stderr, so the output pipes cleanly into jq)
 --out DIR        write one ``<name>.json`` per experiment into DIR
@@ -49,6 +50,7 @@ from repro.runtime import (
     registry_names,
     run_many,
 )
+from repro.runtime.context import BACKEND_CHOICES
 
 #: Backward-compatible view of the registry: name -> (callable, description).
 #: Derived from the decorator-based runtime registry; kept so legacy callers
@@ -81,6 +83,11 @@ def _build_parser():
                        help="master RNG seed (default: 0)")
         p.add_argument("--temps", type=float, nargs="+", default=None,
                        metavar="T", help="temperature grid override (degC)")
+        p.add_argument("--backend", choices=sorted(BACKEND_CHOICES),
+                       default=None,
+                       help="array backend for experiments that accept one "
+                            "(fused: batched bit-plane kernel, bit-identical "
+                            "to dense)")
         p.add_argument("--json", action="store_true", dest="as_json",
                        help="emit a JSON array of result documents on stdout "
                             "(status lines go to stderr)")
@@ -143,6 +150,7 @@ def _cmd_run(args, parser):
     ctx = RunContext(
         seed=args.seed,
         temps_c=tuple(args.temps) if args.temps else None,
+        backend=args.backend,
         cache_dir=str(args.cache_dir) if args.cache_dir else None,
         use_cache=not args.no_cache)
     if args.out is not None:

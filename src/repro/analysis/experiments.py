@@ -412,7 +412,7 @@ def thermal_gradient_study(spans_c=(0.0, 5.0, 10.0, 20.0)):
 @experiment("table2", anchor="Table II", tags=("nn", "slow"),
             description="cross-technology summary (trains the reduced VGG; "
                         "slow)")
-def table2_summary(*, quick=True, seed=0):
+def table2_summary(*, quick=True, seed=0, backend="fused"):
     """Cross-technology Table II with a measured "This Work" row.
 
     Trains the reduced VGG on the synthetic dataset, evaluates it with the
@@ -420,7 +420,9 @@ def table2_summary(*, quick=True, seed=0):
     at 27 degC, measures array energy, and renders the table.
 
     ``quick`` trims dataset/epochs so the whole experiment runs in a couple
-    of minutes; the full setting roughly doubles sizes.
+    of minutes; the full setting roughly doubles sizes.  ``backend``
+    selects the array kernel (``fused``/``dense``; decoded outputs are
+    bit-identical, fused is several times faster).
     """
     from repro.nn import (Adam, TrainConfig, build_vgg_nano, count_macs,
                           evaluate_accuracy, load_synthetic_cifar10, train)
@@ -437,7 +439,8 @@ def table2_summary(*, quick=True, seed=0):
 
     executor = CimExecutor(model, TwoTOneFeFETCell(), CimExecutionConfig(
         temp_c=REFERENCE_TEMP_C, bits=8,
-        sigma_vth_fefet=54e-3, sigma_vth_mosfet=15e-3, seed=seed))
+        sigma_vth_fefet=54e-3, sigma_vth_mosfet=15e-3, seed=seed,
+        backend=backend))
     cim_acc = classification_accuracy(
         executor.predict(data.x_test), data.y_test)
 
@@ -459,6 +462,7 @@ def table2_summary(*, quick=True, seed=0):
     return {
         "float_accuracy": float_acc,
         "cim_accuracy": cim_acc,
+        "backend": backend,
         "avg_energy_fj": fig8["avg_energy_fj"],
         "tops_per_watt": fig8["tops_per_watt"],
         "macs_per_inference": macs,

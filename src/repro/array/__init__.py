@@ -10,6 +10,9 @@ charge onto the accumulation capacitor C_acc, realizing eq. (1):
 * :mod:`repro.array.sensing` — eq. (1) analytics + ADC threshold calibration.
 * :mod:`repro.array.mac_unit` — behavioral bit-serial 8-bit MAC unit used by
   the NN executor.
+* :mod:`repro.array.backend` — pluggable array backends splitting the MAC
+  into weight-stationary programming and per-batch compute (reference
+  ``dense`` kernel + batched ``fused`` bit-plane kernel).
 * :mod:`repro.array.energy` / :mod:`repro.array.timing` — energy and latency
   accounting behind Fig. 8(b) and Table II.
 """
@@ -17,6 +20,14 @@ charge onto the accumulation capacitor C_acc, realizing eq. (1):
 from repro.array.row import MacRow, RowReadResult
 from repro.array.sensing import ChargeSharingSensor, SensingSpec, ideal_vacc
 from repro.array.mac_unit import BehavioralMacConfig, BitSerialMacUnit
+from repro.array.backend import (
+    BACKENDS,
+    ArrayBackend,
+    DenseNumpyBackend,
+    FusedBitPlaneBackend,
+    ProgrammedArray,
+    make_backend,
+)
 from repro.array.energy import EnergyReport, OperationEnergy
 from repro.array.timing import LatencySpec
 
@@ -28,6 +39,12 @@ __all__ = [
     "ideal_vacc",
     "BitSerialMacUnit",
     "BehavioralMacConfig",
+    "ArrayBackend",
+    "BACKENDS",
+    "DenseNumpyBackend",
+    "FusedBitPlaneBackend",
+    "ProgrammedArray",
+    "make_backend",
     "EnergyReport",
     "OperationEnergy",
     "LatencySpec",

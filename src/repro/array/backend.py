@@ -1,0 +1,508 @@
+"""Pluggable array backends: weight-stationary programming + MAC kernels.
+
+The behavioral bit-serial matmul has two physically distinct halves that the
+original :class:`~repro.array.mac_unit.BitSerialMacUnit.matmul` fused into
+one call:
+
+*programming* (write path, happens once per weight matrix)
+    Decompose signed weight codes into (sign, bit) binary planes, map each
+    plane onto 8-cell row chunks, and — when process variation is enabled —
+    draw one threshold offset per *physical cell*.  On a nonvolatile FeFET
+    array the weights are written once and stay put, so all of this work is
+    batch-, temperature- and shot-independent.
+
+*compute* (read path, happens per activation batch)
+    Decompose activations into bit planes, run every (weight-plane,
+    activation-plane) pair through the analog row model (charge sharing at
+    the operating temperature, fixed 27 degC ADC thresholds), and
+    shift-add the decoded counts.
+
+:class:`ArrayBackend` captures that split: :meth:`ArrayBackend.program`
+returns an immutable :class:`ProgrammedArray` and
+:meth:`ArrayBackend.matmul` performs activation-side work only.  Two
+implementations ship:
+
+:class:`DenseNumpyBackend`
+    The reference kernel — the seed's per-plane-pair loop moved here
+    verbatim.  Every plane pair materializes its own count tensors and
+    decodes separately.
+
+:class:`FusedBitPlaneBackend`
+    Stacks all weight planes along a plane axis and computes every
+    (activation-bit, weight-plane) pair in one batched BLAS matmul.  For
+    nominal (zero-variation) arrays the whole analog-decode chain collapses
+    into a cached per-temperature integer lookup table indexed by the
+    ``(n11, weight-count, activation-count)`` triple, because the eq. (1)
+    accumulation voltage is affine in those three integers.  Decoded
+    outputs are bit-identical to the dense backend (the equivalence suite
+    enforces this), typically several times faster, and the LUT caches make
+    repeated temperature sweeps nearly free.
+
+Both backends share :meth:`ArrayBackend.program`, so identical RNGs yield
+identical per-cell variation draws — the foundation of the dense-vs-fused
+bit-exactness guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "BACKENDS",
+    "DenseNumpyBackend",
+    "FusedBitPlaneBackend",
+    "ProgrammedArray",
+    "make_backend",
+]
+
+
+def _validate_w_codes(w_codes, bits_w):
+    """Signed weight codes must fit in ``bits_w - 1`` magnitude bits."""
+    wmax = 2 ** (bits_w - 1) - 1
+    lo, hi = int(w_codes.min(initial=0)), int(w_codes.max(initial=0))
+    if lo < -wmax or hi > wmax:
+        raise ValueError(
+            f"weight codes span [{lo}, {hi}] which exceeds the signed "
+            f"{bits_w}-bit range [{-wmax}, {wmax}]")
+
+
+def _validate_x_codes(x_codes, bits_x):
+    """Activation codes must be unsigned and fit in ``bits_x`` bits."""
+    lo = int(x_codes.min(initial=0))
+    if lo < 0:
+        raise ValueError(
+            f"activation codes must be unsigned, found minimum {lo}")
+    xmax = 2 ** bits_x - 1
+    hi = int(x_codes.max(initial=0))
+    if hi > xmax:
+        raise ValueError(
+            f"activation codes reach {hi} which exceeds the unsigned "
+            f"{bits_x}-bit range [0, {xmax}]")
+
+
+@dataclass(eq=False)
+class ProgrammedArray:
+    """A weight matrix written onto the array: planes, counts, variation.
+
+    Produced by :meth:`ArrayBackend.program`; treat as immutable.  All
+    arrays are organized per (plane, chunk, cell, column) exactly as the
+    physical array stores them: plane ``p`` holds one (sign, bit) slice of
+    the weights, each chunk is one 8-cell row segment.
+
+    ``w_dv`` carries the *programmed-in* per-cell threshold-variation
+    voltage offsets (already masked by the stored bit: only conducting
+    cells perturb the accumulation voltage).  It is ``None`` for nominal
+    arrays.  ``cache`` is backend-private precompute storage (e.g. the
+    fused backend's transposed float32 plane stack).
+    """
+
+    k: int                    # logical rows of the weight matrix
+    n: int                    # columns
+    cells: int                # cells per row chunk
+    chunks: int               # row chunks after padding k
+    bits_x: int               # activation wordlength the array expects
+    signs: np.ndarray         # (P,) +/-1.0 per plane
+    plane_bits: np.ndarray    # (P,) magnitude-bit index per plane
+    w_planes: np.ndarray      # (P, chunks, cells, n) 0/1 float64
+    w_counts: np.ndarray      # (P, chunks, n) conducting-cell counts
+    w_dv: Optional[np.ndarray] = None   # (P, chunks, cells, n) V offsets
+    cache: Dict[str, object] = field(default_factory=dict, repr=False)
+
+    @property
+    def n_planes(self):
+        return int(self.signs.shape[0])
+
+    def __repr__(self):  # keep huge arrays out of tracebacks
+        return (f"ProgrammedArray(k={self.k}, n={self.n}, "
+                f"planes={self.n_planes}, chunks={self.chunks}, "
+                f"cells={self.cells}, "
+                f"variation={self.w_dv is not None})")
+
+
+class ArrayBackend:
+    """Base class: owns the weight-stationary programming step.
+
+    A backend wraps a calibrated
+    :class:`~repro.array.mac_unit.BitSerialMacUnit` (the source of analog
+    levels, ADC thresholds, and variation sensitivities) and implements the
+    activation-side compute in :meth:`matmul`.
+    """
+
+    name = "abstract"
+
+    def __init__(self, unit):
+        self.unit = unit
+
+    # -- programming (shared by every backend) --------------------------
+    def program(self, w_codes, rng=None) -> ProgrammedArray:
+        """Write signed weight codes onto the array, once.
+
+        Decomposes the magnitudes into (sign, bit) binary planes (only
+        planes holding at least one '1' occupy array area, mirroring the
+        seed's plane-skip rule), pads to whole 8-cell chunks, precomputes
+        per-plane conducting-cell counts, and — for configs with nonzero
+        sigma — draws one threshold offset per physical cell.  The draws
+        happen here and only here, so the array's error pattern is frozen
+        at write time exactly like real nonvolatile hardware.
+        """
+        cfg = self.unit.config
+        w_codes = np.asarray(w_codes, dtype=np.int64)
+        if w_codes.ndim != 2:
+            raise ValueError(f"w_codes must be 2-D, got shape {w_codes.shape}")
+        _validate_w_codes(w_codes, cfg.bits_w)
+        k, n = w_codes.shape
+        cells = cfg.cells_per_row
+        k_pad = (k + cells - 1) // cells * cells
+        chunks = k_pad // cells
+
+        w_mag = np.abs(w_codes)
+        signs, plane_bits, planes = [], [], []
+        for sign, w_part in ((1.0, np.where(w_codes > 0, w_mag, 0)),
+                             (-1.0, np.where(w_codes < 0, w_mag, 0))):
+            for bw in range(cfg.bits_w - 1):        # magnitude bits
+                plane = (w_part >> bw) & 1
+                if not np.any(plane):
+                    continue
+                signs.append(sign)
+                plane_bits.append(bw)
+                planes.append(plane)
+
+        if planes:
+            stacked = np.stack(planes).astype(np.float64)
+            if k_pad != k:
+                stacked = np.pad(stacked, ((0, 0), (0, k_pad - k), (0, 0)))
+            w_planes = stacked.reshape(len(planes), chunks, cells, n)
+        else:
+            w_planes = np.zeros((0, chunks, cells, n))
+        w_counts = w_planes.sum(axis=2)
+
+        w_dv = None
+        sigma_cell = self.unit.sigma_cell
+        if sigma_cell > 0 and w_planes.shape[0]:
+            rng = rng or np.random.default_rng(cfg.seed)
+            dv = rng.normal(0.0, sigma_cell, size=w_planes.shape)
+            w_dv = w_planes * dv
+
+        return ProgrammedArray(
+            k=k, n=n, cells=cells, chunks=chunks, bits_x=cfg.bits_x,
+            signs=np.asarray(signs, dtype=np.float64),
+            plane_bits=np.asarray(plane_bits, dtype=np.int64),
+            w_planes=w_planes, w_counts=w_counts, w_dv=w_dv)
+
+    def reprogram_variation(self, programmed: ProgrammedArray,
+                            rng=None) -> ProgrammedArray:
+        """Fresh per-cell variation draws on an already-programmed array.
+
+        Reuses the (expensive) bit-plane decomposition and only redraws the
+        threshold offsets — the Monte-Carlo shard primitive: each shard is
+        "the same weights written into a different die".
+        """
+        sigma_cell = self.unit.sigma_cell
+        if sigma_cell <= 0 or not programmed.n_planes:
+            return programmed
+        rng = rng or np.random.default_rng(self.unit.config.seed)
+        dv = rng.normal(0.0, sigma_cell, size=programmed.w_planes.shape)
+        return ProgrammedArray(
+            k=programmed.k, n=programmed.n, cells=programmed.cells,
+            chunks=programmed.chunks, bits_x=programmed.bits_x,
+            signs=programmed.signs, plane_bits=programmed.plane_bits,
+            w_planes=programmed.w_planes, w_counts=programmed.w_counts,
+            w_dv=programmed.w_planes * dv,
+            # The plane decomposition is shared, so backend precompute
+            # derived from it (e.g. the fused plane stack) stays valid.
+            cache=programmed.cache)
+
+    # -- activation-side helpers ----------------------------------------
+    def _x_padded(self, programmed, x_codes):
+        """Validated activation codes padded to the programmed chunk grid."""
+        x_codes = np.asarray(x_codes, dtype=np.int64)
+        if x_codes.ndim != 2:
+            raise ValueError(f"x_codes must be 2-D, got shape {x_codes.shape}")
+        if x_codes.shape[1] != programmed.k:
+            raise ValueError(
+                f"x_codes has {x_codes.shape[1]} columns but the array was "
+                f"programmed for k={programmed.k}")
+        _validate_x_codes(x_codes, programmed.bits_x)
+        k_pad = programmed.chunks * programmed.cells
+        if k_pad != programmed.k:
+            x_codes = np.pad(x_codes, ((0, 0), (0, k_pad - programmed.k)))
+        return x_codes
+
+    # -- compute ---------------------------------------------------------
+    def matmul(self, programmed: ProgrammedArray, x_codes, *, temp_c):
+        """Bit-serial matmul of unsigned activation codes against the
+        programmed array at ``temp_c``; decoded through the 27 degC ADC."""
+        raise NotImplementedError
+
+
+class DenseNumpyBackend(ArrayBackend):
+    """Reference kernel: one plane pair at a time (the seed's semantics).
+
+    Each (activation-bit, weight-plane) pair materializes its own
+    ``(M, chunks, N)`` count tensors, assembles the eq. (1) accumulation
+    voltage, decodes, and shift-adds — exactly the loop that previously
+    lived inside ``BitSerialMacUnit.matmul``, minus the per-call variation
+    draws (variation now rides on the :class:`ProgrammedArray`).
+    """
+
+    name = "dense"
+
+    def matmul(self, programmed, x_codes, *, temp_c):
+        x_codes = self._x_padded(programmed, x_codes)
+        m = x_codes.shape[0]
+        chunks, cells, n = (programmed.chunks, programmed.cells,
+                            programmed.n)
+        result = np.zeros((m, n))
+        if not programmed.n_planes:
+            return result
+
+        unit = self.unit
+        von, z10, z01, z00 = unit.levels_at(temp_c)
+        gain = unit.config.sensing.share_gain(cells)
+        sensor = unit.sensor
+
+        for bx in range(programmed.bits_x):
+            x_plane = (x_codes >> bx) & 1
+            if not np.any(x_plane):
+                continue
+            xr = x_plane.reshape(m, chunks, cells).astype(np.float64)
+            n_x1 = xr.sum(axis=2)                       # (m, chunks)
+            for p in range(programmed.n_planes):
+                wr = programmed.w_planes[p]             # (chunks, cells, n)
+                n_w1 = programmed.w_counts[p]           # (chunks, n)
+                n11 = np.einsum("mce,cen->mcn", xr, wr)
+                n10 = n_w1[None, :, :] - n11
+                n01 = n_x1[:, :, None] - n11
+                n00 = cells - n_w1[None, :, :] - n_x1[:, :, None] + n11
+                vacc = gain * (n11 * von + n10 * z10 + n01 * z01 + n00 * z00)
+                if programmed.w_dv is not None:
+                    vacc = vacc + gain * np.einsum(
+                        "mce,cen->mcn", xr, programmed.w_dv[p])
+                counts = sensor.decode(vacc).sum(axis=1)
+                result += (programmed.signs[p] * counts.astype(np.float64)
+                           * 2.0 ** (bx + programmed.plane_bits[p]))
+        return result
+
+
+class FusedBitPlaneBackend(ArrayBackend):
+    """Fused kernel: all plane pairs in one batched matmul + one decode.
+
+    Exploits two structural facts of the bit-serial pipeline:
+
+    1. The only inter-cell coupling is the ``n11`` conducting-cell count
+       per (activation-plane, weight-plane, chunk, column).  Stacking the
+       activation planes along the row axis and the weight planes along the
+       column axis turns *all* pair counts into one chunk-batched BLAS
+       matmul (float32 is exact: every product and partial sum is a small
+       integer).
+    2. Without per-cell variation the eq. (1) accumulation voltage is an
+       affine function of the integer triple ``(n11, weight-count,
+       activation-count)``, each bounded by the 8-cell row — so the whole
+       level-combine + ADC-decode chain is a ``(cells+1)^3`` lookup table,
+       built once per temperature with exactly the dense backend's float
+       expression (hence bit-identical decodes) and cached.
+
+    Arrays with programmed-in variation carry a continuous offset, so the
+    LUT shortcut does not apply; the fused path then still batches the
+    count matmul and the decode but assembles voltages explicitly, matching
+    the dense expression operation-for-operation.
+
+    Work is blocked over activation rows to bound peak memory
+    (``block_budget`` intermediate elements per block).
+    """
+
+    name = "fused"
+
+    #: Max elements of the (bits_x, M_block, P, chunks, n) intermediate.
+    #: The variation path materializes several float64 tensors of that
+    #: shape at once, so it gets a proportionally smaller budget.
+    block_budget = 16 * 2 ** 20
+    block_budget_variation = 4 * 2 ** 20
+
+    def __init__(self, unit):
+        super().__init__(unit)
+        self._lut_cache = {}     # float(temp_c) -> flat (cells+1)^3 int16
+
+    # -- cached per-temperature decode table -----------------------------
+    def decode_lut(self, temp_c):
+        """Decoded MAC count for every ``(n11, n_w1, n_x1)`` triple.
+
+        Built with the same float expression the dense backend evaluates
+        per element, so a LUT lookup and a dense decode can never disagree.
+        """
+        key = float(temp_c)
+        lut = self._lut_cache.get(key)
+        if lut is None:
+            cells = self.unit.config.cells_per_row
+            von, z10, z01, z00 = self.unit.levels_at(temp_c)
+            gain = self.unit.config.sensing.share_gain(cells)
+            grid = np.arange(cells + 1, dtype=np.float64)
+            n11 = grid[:, None, None]
+            n_w1 = grid[None, :, None]
+            n_x1 = grid[None, None, :]
+            n10 = n_w1 - n11
+            n01 = n_x1 - n11
+            n00 = cells - n_w1 - n_x1 + n11
+            vacc = gain * (n11 * von + n10 * z10 + n01 * z01 + n00 * z00)
+            lut = self.unit.sensor.decode(vacc).astype(np.int16).ravel()
+            self._lut_cache[key] = lut
+        return lut
+
+    # -- fused plane stacks ----------------------------------------------
+    @staticmethod
+    def _index_dtype(cells):
+        """Smallest int dtype holding every LUT address (cells+1)^3 - 1."""
+        return (np.int16 if (cells + 1) ** 3 - 1 <= np.iinfo(np.int16).max
+                else np.int32)
+
+    def _weight_stack(self, programmed):
+        """Backend-private precompute on the programmed array (cached)."""
+        stack = programmed.cache.get("fused")
+        if stack is None:
+            p, chunks, cells, n = programmed.w_planes.shape
+            dtype = self._index_dtype(cells)
+            # (chunks, cells, P*n) float32 for the chunk-batched matmul.
+            w32 = np.ascontiguousarray(
+                programmed.w_planes.transpose(1, 2, 0, 3)
+                .reshape(chunks, cells, p * n), dtype=np.float32)
+            # Weight-count index term of the LUT address, premultiplied.
+            wc9 = (programmed.w_counts.astype(dtype)
+                   * dtype(programmed.cells + 1))
+            stack = {"w32": w32, "wc9": wc9, "idx_dtype": dtype}
+            programmed.cache["fused"] = stack
+        return stack
+
+    def _x_stack(self, programmed, x_codes):
+        """Activation bit planes for a row block: (bits_x, Mb, chunks, cells).
+
+        Called per row block (not on the whole batch) so the int64 plane
+        intermediate stays inside the block memory budget.
+        """
+        bits_x = programmed.bits_x
+        m = x_codes.shape[0]
+        shifts = np.arange(bits_x, dtype=np.int64)
+        planes = ((x_codes[:, :, None] >> shifts) & 1)      # (Mb, k_pad, Bx)
+        planes = planes.reshape(m, programmed.chunks, programmed.cells,
+                                bits_x)
+        x32 = np.ascontiguousarray(planes.transpose(3, 0, 1, 2),
+                                   dtype=np.float32)
+        n_x1 = np.ascontiguousarray(
+            planes.sum(axis=2).transpose(2, 0, 1))          # (Bx, Mb, chunks)
+        return x32, n_x1
+
+    def _pair_counts(self, programmed, x32_block, w32):
+        """``n11`` for every plane pair via one chunk-batched matmul.
+
+        Returns float32 of shape (Bx, Mb, P, chunks, n); every value is an
+        exactly-representable small integer.
+        """
+        bx, mb, chunks, cells = x32_block.shape
+        p, n = programmed.n_planes, programmed.n
+        xt = np.ascontiguousarray(
+            x32_block.transpose(2, 0, 1, 3)).reshape(chunks, bx * mb, cells)
+        prod = np.matmul(xt, w32)                   # (chunks, Bx*Mb, P*n)
+        return (prod.reshape(chunks, bx, mb, p, n)
+                .transpose(1, 2, 3, 0, 4))
+
+    # -- compute ---------------------------------------------------------
+    def matmul(self, programmed, x_codes, *, temp_c):
+        x_codes = self._x_padded(programmed, x_codes)
+        m = x_codes.shape[0]
+        result = np.zeros((m, programmed.n))
+        if not programmed.n_planes or m == 0:
+            return result
+
+        stack = self._weight_stack(programmed)
+        bits_x = programmed.bits_x
+        # Seed semantics: an activation bit absent from the *whole batch*
+        # never cycles through the array, so its pairs contribute nothing.
+        # One bitwise-or over the codes finds the populated bits without
+        # materializing any plane stack.
+        ored = int(np.bitwise_or.reduce(x_codes, axis=None))
+        active_x = ((ored >> np.arange(bits_x)) & 1).astype(bool)
+        if not active_x.any():
+            return result
+
+        # Shift-add weights for the final plane reduction; inactive
+        # activation bits are zeroed rather than branched over.
+        xw = np.where(active_x, 2.0 ** np.arange(bits_x), 0.0)
+        pw = programmed.signs * 2.0 ** programmed.plane_bits
+        scale = xw[:, None] * pw[None, :]            # (Bx, P)
+
+        per_row = (bits_x * programmed.n_planes * programmed.chunks
+                   * programmed.n)
+        budget = (self.block_budget if programmed.w_dv is None
+                  else self.block_budget_variation)
+        block = max(1, int(budget // max(per_row, 1)))
+        for m0 in range(0, m, block):
+            m1 = min(m0 + block, m)
+            x32, n_x1 = self._x_stack(programmed, x_codes[m0:m1])
+            if programmed.w_dv is None:
+                counts = self._decode_nominal(
+                    programmed, stack, x32, n_x1, temp_c)
+            else:
+                counts = self._decode_variation(
+                    programmed, stack, x32, n_x1, temp_c)
+            # counts: (Bx, Mb, P, n) exact integers -> shift-add reduction.
+            result[m0:m1] = np.tensordot(scale, counts, axes=([0, 1], [0, 2]))
+        return result
+
+    def _decode_nominal(self, programmed, stack, x32_block, n_x1_block,
+                        temp_c):
+        """Integer LUT decode: no float arithmetic in the hot path."""
+        lut = self.decode_lut(temp_c)
+        dtype = stack["idx_dtype"]
+        n11 = self._pair_counts(programmed, x32_block, stack["w32"])
+        idx = n11.astype(dtype)
+        idx *= dtype((programmed.cells + 1) ** 2)
+        idx += stack["wc9"][None, None, :, :, :]
+        idx += n_x1_block.astype(dtype)[:, :, None, :, None]
+        decoded = lut[idx]
+        return decoded.sum(axis=3, dtype=np.int64)
+
+    def _decode_variation(self, programmed, stack, x32_block, n_x1_block,
+                          temp_c):
+        """Explicit-voltage decode for arrays with programmed-in variation.
+
+        Operation-for-operation the dense backend's expression, evaluated
+        over the full plane-pair stack at once.
+        """
+        unit = self.unit
+        von, z10, z01, z00 = unit.levels_at(temp_c)
+        cells = programmed.cells
+        gain = unit.config.sensing.share_gain(cells)
+
+        n11 = self._pair_counts(programmed, x32_block,
+                                stack["w32"]).astype(np.float64)
+        n_w1 = programmed.w_counts[None, None, :, :, :]     # (1,1,P,c,n)
+        n_x1 = n_x1_block.astype(np.float64)[:, :, None, :, None]
+        n10 = n_w1 - n11
+        n01 = n_x1 - n11
+        n00 = cells - n_w1 - n_x1 + n11
+        vacc = gain * (n11 * von + n10 * z10 + n01 * z01 + n00 * z00)
+        vacc = vacc + gain * np.einsum(
+            "xmce,pcen->xmpcn", x32_block.astype(np.float64),
+            programmed.w_dv)
+        return unit.sensor.decode(vacc).sum(axis=3, dtype=np.int64)
+
+
+#: Registry of selectable backends, keyed by CLI/config name.
+BACKENDS = {
+    DenseNumpyBackend.name: DenseNumpyBackend,
+    FusedBitPlaneBackend.name: FusedBitPlaneBackend,
+}
+
+
+def make_backend(name, unit) -> ArrayBackend:
+    """Instantiate the backend registered under ``name`` for ``unit``."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown array backend {name!r}; choices: {sorted(BACKENDS)}"
+        ) from None
+    return cls(unit)

@@ -19,6 +19,14 @@ Running the full MNA transient for every dot product of a CNN is hopeless
 The behavioral twin is validated against the circuit-level row in the test
 suite (levels match to < 1 mV), so NN-level conclusions inherit the circuit
 model's physics.
+
+Multi-bit matmuls are executed by a pluggable *array backend*
+(:mod:`repro.array.backend`): :meth:`BitSerialMacUnit.matmul` is a one-shot
+convenience that programs the weights and computes in a single call, while
+callers that reuse a weight matrix (the NN executor, Monte-Carlo sweeps)
+program once via ``unit.backend.program`` and run
+``unit.backend.matmul`` per activation batch — the weight-stationary flow
+of real nonvolatile hardware.
 """
 
 from __future__ import annotations
@@ -48,6 +56,8 @@ class BehavioralMacConfig:
     sigma_vth_mosfet: float = 0.0
     seed: int = 0
     sensing: SensingSpec = field(default_factory=SensingSpec)
+    #: Array backend executing multi-bit matmuls (see repro.array.backend).
+    backend: str = "dense"
 
 
 class BitSerialMacUnit:
@@ -65,6 +75,8 @@ class BitSerialMacUnit:
             )
         self._levels = {}          # state -> np.ndarray over temp grid
         self._von_sensitivity = None
+        self._level_cache = {}     # float(temp_c) -> {state: level}
+        self._backend = None       # lazily built from config.backend
         self._calibrate_levels()
         self._sensor = self._calibrate_sensor()
 
@@ -92,10 +104,35 @@ class BitSerialMacUnit:
             sens[which] = (shifted - base) / delta
         self._von_sensitivity = sens
 
+    def _level_table(self, temp_c):
+        """All four state levels at ``temp_c``, interpolated once and cached.
+
+        The MAC hot path asks for levels on every call but NN workloads use
+        a handful of distinct temperatures, so the ``np.interp`` work is
+        memoized per temperature instead of re-run per state per call.
+        """
+        key = float(temp_c)
+        table = self._level_cache.get(key)
+        if table is None:
+            table = {
+                state: float(np.interp(key, self.config.temp_grid_c,
+                                       self._levels[state]))
+                for state in CELL_STATES
+            }
+            self._level_cache[key] = table
+        return table
+
     def _level(self, state, temp_c):
         """Interpolated cell output level for a (weight, input) state."""
-        return float(np.interp(temp_c, self.config.temp_grid_c,
-                               self._levels[state]))
+        return self._level_table(temp_c)[state]
+
+    def levels_at(self, temp_c):
+        """The ``(V_11, V_10, V_01, V_00)`` level tuple at ``temp_c``.
+
+        Cached per temperature; this is what the array backends consume.
+        """
+        table = self._level_table(temp_c)
+        return tuple(table[state] for state in CELL_STATES)
 
     def _calibrate_sensor(self):
         """ADC thresholds from nominal 27 degC prefix-pattern levels."""
@@ -113,9 +150,35 @@ class BitSerialMacUnit:
         """The calibrated charge-sharing sensor (fixed 27 degC thresholds)."""
         return self._sensor
 
+    @property
+    def sigma_cell(self):
+        """Effective per-cell on-level voltage sigma implied by the config.
+
+        Combines the linearized FeFET/MOSFET threshold sensitivities with
+        the configured threshold sigmas; zero for nominal configs.
+        """
+        cfg = self.config
+        if cfg.sigma_vth_fefet <= 0 and cfg.sigma_vth_mosfet <= 0:
+            return 0.0
+        s = self._von_sensitivity
+        return float(np.sqrt(
+            (s["fefet_dvth"] * cfg.sigma_vth_fefet) ** 2
+            + (s["m1_dvth"] * cfg.sigma_vth_mosfet) ** 2
+            + (s["m2_dvth"] * cfg.sigma_vth_mosfet) ** 2
+        ))
+
+    @property
+    def backend(self):
+        """The array backend selected by ``config.backend`` (lazy)."""
+        if self._backend is None:
+            from repro.array.backend import make_backend
+
+            self._backend = make_backend(self.config.backend, self)
+        return self._backend
+
     def level_table(self, temp_c):
         """Dict of cell level per (weight, input) state at ``temp_c``."""
-        return {state: self._level(state, temp_c) for state in CELL_STATES}
+        return dict(self._level_table(temp_c))
 
     # ------------------------------------------------------------------
     # binary matmul on the array
@@ -167,22 +230,13 @@ class BitSerialMacUnit:
         n01 = n_x1[:, :, None] - n11
         n00 = cells - n_w1[None, :, :] - n_x1[:, :, None] + n11
 
-        von = self._level((1, 1), temp_c)
-        z10 = self._level((1, 0), temp_c)
-        z01 = self._level((0, 1), temp_c)
-        z00 = self._level((0, 0), temp_c)
+        von, z10, z01, z00 = self.levels_at(temp_c)
         gain = self.config.sensing.share_gain(cells)
         vacc = gain * (n11 * von + n10 * z10 + n01 * z01 + n00 * z00)
 
-        cfg = self.config
-        if cfg.sigma_vth_fefet > 0 or cfg.sigma_vth_mosfet > 0:
-            rng = rng or np.random.default_rng(cfg.seed)
-            s = self._von_sensitivity
-            sigma_cell = np.sqrt(
-                (s["fefet_dvth"] * cfg.sigma_vth_fefet) ** 2
-                + (s["m1_dvth"] * cfg.sigma_vth_mosfet) ** 2
-                + (s["m2_dvth"] * cfg.sigma_vth_mosfet) ** 2
-            )
+        sigma_cell = self.sigma_cell
+        if sigma_cell > 0:
+            rng = rng or np.random.default_rng(self.config.seed)
             # Per-physical-cell offsets: one draw per (chunk, cell, column).
             dv = rng.normal(0.0, sigma_cell, size=wr.shape)
             vacc = vacc + gain * np.einsum("mce,cen->mcn", xr, wr * dv)
@@ -196,35 +250,21 @@ class BitSerialMacUnit:
     def matmul(self, x_codes, w_codes, *, temp_c, rng=None):
         """Bit-serial integer matmul: unsigned x codes, signed w codes.
 
-        Decomposes operands into bit planes, runs every plane pair through
-        :meth:`binary_matmul` and shift-adds the results — the paper's 8-bit
-        wordlength scheme on a binary crossbar.
-        """
-        x_codes = np.asarray(x_codes, dtype=np.int64)
-        w_codes = np.asarray(w_codes, dtype=np.int64)
-        if np.any(x_codes < 0):
-            raise ValueError("activation codes must be unsigned")
-        rng = rng or np.random.default_rng(self.config.seed)
+        One-shot convenience over the array backend: programs ``w_codes``
+        (bit-plane decomposition plus, for noisy configs, per-physical-cell
+        variation draws from ``rng``) and immediately computes — the
+        paper's 8-bit wordlength scheme on a binary crossbar.  Operands
+        whose magnitude exceeds the configured wordlength raise
+        ``ValueError`` (they would silently truncate on real hardware
+        drivers; here we treat it as a caller bug).
 
-        result = np.zeros((x_codes.shape[0], w_codes.shape[1]))
-        w_mag = np.abs(w_codes)
-        for sign, w_part in ((1.0, np.where(w_codes > 0, w_mag, 0)),
-                             (-1.0, np.where(w_codes < 0, w_mag, 0))):
-            if not np.any(w_part):
-                continue
-            for bx in range(self.config.bits_x):
-                x_plane = (x_codes >> bx) & 1
-                if not np.any(x_plane):
-                    continue
-                for bw in range(self.config.bits_w - 1):  # magnitude bits
-                    w_plane = (w_part >> bw) & 1
-                    if not np.any(w_plane):
-                        continue
-                    counts = self.binary_matmul(x_plane, w_plane,
-                                                temp_c=temp_c, rng=rng)
-                    result += sign * (counts.astype(np.float64)
-                                      * 2.0 ** (bx + bw))
-        return result
+        Callers reusing one weight matrix across batches, temperatures, or
+        Monte-Carlo shards should instead ``program`` once through
+        :attr:`backend` and call ``backend.matmul`` per batch.
+        """
+        rng = rng or np.random.default_rng(self.config.seed)
+        programmed = self.backend.program(w_codes, rng=rng)
+        return self.backend.matmul(programmed, x_codes, temp_c=temp_c)
 
     def ideal_matmul(self, x_codes, w_codes):
         """The digital reference the hardware is judged against."""

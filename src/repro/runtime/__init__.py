@@ -28,7 +28,7 @@ Quick tour::
 """
 
 from repro.runtime.cache import ResultCache, cache_key, default_cache_dir
-from repro.runtime.context import RunContext, resolve_cell
+from repro.runtime.context import BACKEND_CHOICES, RunContext, resolve_cell
 from repro.runtime.executor import (
     pmap,
     run_mc_sharded,
@@ -49,6 +49,7 @@ from repro.runtime.registry import (
 from repro.runtime.results import ExperimentResult, sanitize
 
 __all__ = [
+    "BACKEND_CHOICES",
     "ExperimentResult",
     "ExperimentSpec",
     "ResultCache",

@@ -4,15 +4,15 @@
 defaults, per-function keyword arguments) with one immutable object that
 
 * carries the run seed, so two runs with the same context are bit-identical;
-* optionally overrides the temperature grid, cell design, and row width for
-  every experiment that accepts them;
+* optionally overrides the temperature grid, cell design, row width, and
+  array backend for every experiment that accepts them;
 * knows which on-disk cache it targets; and
 * produces a stable *fingerprint* - the part of the cache key that captures
   everything result-affecting (cache location and toggles are excluded).
 
 Experiments keep their plain keyword signatures; :meth:`RunContext.kwargs_for`
 maps context fields onto whatever subset of ``seed`` / ``temps_c`` /
-``n_cells`` / ``design`` a given function accepts, then applies the
+``n_cells`` / ``design`` / ``backend`` a given function accepts, then applies the
 experiment-specific ``params`` overrides the same way.  Unknown ``params``
 keys are dropped silently so one context can drive a heterogeneous batch.
 """
@@ -32,6 +32,11 @@ CELL_FACTORIES = {
     "1fefet-1r-sub": ("repro.cells", "FeFET1RCell", "subthreshold"),
     "1fefet-1r-sat": ("repro.cells", "FeFET1RCell", "saturation"),
 }
+
+#: Array-backend names a context may select via ``backend=``.  Mirrors
+#: ``repro.array.backend.BACKENDS`` (kept as a literal so this module stays
+#: import-light; the registry is the source of truth at execution time).
+BACKEND_CHOICES = ("dense", "fused")
 
 
 def resolve_cell(name):
@@ -69,6 +74,10 @@ class RunContext:
     n_cells:
         Optional row-width override for experiments with an ``n_cells``
         parameter.
+    backend:
+        Optional array-backend override by name (see ``BACKEND_CHOICES``)
+        for experiments with a ``backend`` parameter; ``None`` keeps each
+        experiment's default kernel.
     params:
         Experiment-specific keyword overrides, applied after the typed
         fields; keys a function does not accept are ignored.
@@ -84,6 +93,7 @@ class RunContext:
     temps_c: Optional[Tuple[float, ...]] = None
     cell: Optional[str] = None
     n_cells: Optional[int] = None
+    backend: Optional[str] = None
     params: Mapping[str, Any] = field(default_factory=dict)
     cache_dir: Optional[str] = None
     use_cache: bool = True
@@ -97,6 +107,10 @@ class RunContext:
                 f"unknown cell {self.cell!r}; choices: {sorted(CELL_FACTORIES)}")
         if self.n_cells is not None and self.n_cells < 1:
             raise ValueError(f"n_cells must be positive, got {self.n_cells}")
+        if self.backend is not None and self.backend not in BACKEND_CHOICES:
+            raise KeyError(
+                f"unknown backend {self.backend!r}; "
+                f"choices: {sorted(BACKEND_CHOICES)}")
         # Freeze params into a plain dict copy so callers can't mutate later.
         object.__setattr__(self, "params", dict(self.params))
 
@@ -111,7 +125,7 @@ class RunContext:
         accepted = set(inspect.signature(fn).parameters)
         kwargs = {}
         typed = {"seed": self.seed, "temps_c": self.temps_c,
-                 "n_cells": self.n_cells,
+                 "n_cells": self.n_cells, "backend": self.backend,
                  "design": resolve_cell(self.cell) if self.cell else None}
         for key, value in typed.items():
             if key in accepted and value is not None:
@@ -126,6 +140,7 @@ class RunContext:
             "temps_c": list(self.temps_c) if self.temps_c is not None else None,
             "cell": self.cell,
             "n_cells": self.n_cells,
+            "backend": self.backend,
             "params": {str(k): self.params[k] for k in sorted(self.params)},
         }
 
@@ -151,6 +166,7 @@ class RunContext:
                    temps_c=tuple(temps) if temps is not None else None,
                    cell=data.get("cell"),
                    n_cells=data.get("n_cells"),
+                   backend=data.get("backend"),
                    params=data.get("params", {}),
                    cache_dir=data.get("cache_dir"),
                    use_cache=data.get("use_cache", True))

@@ -1,0 +1,227 @@
+"""Tests for the pluggable array backends (repro.array.backend).
+
+The safety rail of the backend split: ``FusedBitPlaneBackend`` must be
+*bit-identical* to ``DenseNumpyBackend`` — same programmed array, same
+activations, same temperature => exactly the same decoded integers, across
+nominal and variation-programmed arrays.  Plus weight-stationary semantics
+(programming happens once; variation is frozen at write time) and operand
+range validation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.array import (
+    BehavioralMacConfig,
+    BitSerialMacUnit,
+    DenseNumpyBackend,
+    FusedBitPlaneBackend,
+    make_backend,
+)
+from repro.cells import TwoTOneFeFETCell
+
+#: (rows, k, cols) operand shapes exercising padding, single chunks,
+#: multi-chunk rows, and single-column edge cases.
+SHAPES = ((3, 24, 5), (2, 7, 1), (1, 8, 4), (5, 40, 9), (4, 17, 3))
+TEMPS = (0.0, 27.0, 63.5, 85.0)
+
+
+@pytest.fixture(scope="module")
+def unit():
+    """Nominal calibrated unit (module-scoped: calibration runs circuit
+    transients)."""
+    return BitSerialMacUnit(TwoTOneFeFETCell(), BehavioralMacConfig(
+        bits_x=4, bits_w=4, temp_grid_c=(0.0, 27.0, 85.0)))
+
+
+@pytest.fixture(scope="module")
+def noisy_unit():
+    """Unit with the paper's process variation enabled."""
+    return BitSerialMacUnit(TwoTOneFeFETCell(), BehavioralMacConfig(
+        bits_x=4, bits_w=4, temp_grid_c=(0.0, 27.0, 85.0),
+        sigma_vth_fefet=54e-3, sigma_vth_mosfet=15e-3, seed=3))
+
+
+def _operands(rng, shape, bits=4):
+    m, k, n = shape
+    x = rng.integers(0, 2 ** bits, size=(m, k))
+    w = rng.integers(-(2 ** (bits - 1) - 1), 2 ** (bits - 1), size=(k, n))
+    return x, w
+
+
+class TestDenseFusedEquivalence:
+    def test_bit_exact_nominal_across_shapes_and_temps(self, unit):
+        """Property battery: fused == dense exactly, nominal arrays."""
+        dense, fused = DenseNumpyBackend(unit), FusedBitPlaneBackend(unit)
+        rng = np.random.default_rng(0)
+        for shape in SHAPES:
+            x, w = _operands(rng, shape)
+            pd, pf = dense.program(w), fused.program(w)
+            for temp in TEMPS:
+                a = dense.matmul(pd, x, temp_c=temp)
+                b = fused.matmul(pf, x, temp_c=temp)
+                assert np.array_equal(a, b), (shape, temp)
+
+    def test_bit_exact_with_variation(self, noisy_unit):
+        """Same RNG => same programmed variation => identical outputs."""
+        dense = DenseNumpyBackend(noisy_unit)
+        fused = FusedBitPlaneBackend(noisy_unit)
+        rng = np.random.default_rng(1)
+        for shape in SHAPES:
+            x, w = _operands(rng, shape)
+            pd = dense.program(w, rng=np.random.default_rng(11))
+            pf = fused.program(w, rng=np.random.default_rng(11))
+            assert pd.w_dv is not None
+            for temp in TEMPS:
+                a = dense.matmul(pd, x, temp_c=temp)
+                b = fused.matmul(pf, x, temp_c=temp)
+                assert np.array_equal(a, b), (shape, temp)
+
+    def test_bit_exact_for_wide_rows(self):
+        """cells_per_row >= 32 overflows an int16 LUT address — the index
+        dtype must widen so wide-row configs stay bit-exact."""
+        wide = BitSerialMacUnit(TwoTOneFeFETCell(), BehavioralMacConfig(
+            cells_per_row=32, bits_x=4, bits_w=4,
+            temp_grid_c=(0.0, 27.0, 85.0)))
+        dense, fused = DenseNumpyBackend(wide), FusedBitPlaneBackend(wide)
+        x = np.full((2, 32), 15)
+        w = np.full((32, 3), 7)
+        a = dense.matmul(dense.program(w), x, temp_c=27.0)
+        b = fused.matmul(fused.program(w), x, temp_c=27.0)
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, x @ w)
+
+    def test_fused_row_blocking_is_exact(self, unit):
+        """Tiny block budget (many M-blocks) changes nothing."""
+        fused = FusedBitPlaneBackend(unit)
+        fused.block_budget = 1      # forces one-row blocks
+        dense = DenseNumpyBackend(unit)
+        rng = np.random.default_rng(2)
+        x, w = _operands(rng, (6, 24, 4))
+        assert np.array_equal(
+            fused.matmul(fused.program(w), x, temp_c=85.0),
+            dense.matmul(dense.program(w), x, temp_c=85.0))
+
+
+class TestDecodedVsIdeal:
+    def test_matches_ideal_at_reference_small_rows(self, unit):
+        """At 27 degC with zero variation the array decodes exactly."""
+        rng = np.random.default_rng(3)
+        for backend in (DenseNumpyBackend(unit), FusedBitPlaneBackend(unit)):
+            for shape in SHAPES:
+                x, w = _operands(rng, shape)
+                got = backend.matmul(backend.program(w), x, temp_c=27.0)
+                assert np.array_equal(got, x @ w), (backend.name, shape)
+
+
+class TestWeightStationary:
+    def test_program_once_reuse_across_batches(self, unit):
+        """One programmed array serves many activation batches."""
+        fused = FusedBitPlaneBackend(unit)
+        rng = np.random.default_rng(4)
+        _, w = _operands(rng, (1, 24, 5))
+        programmed = fused.program(w)
+        for _ in range(3):
+            x = rng.integers(0, 16, size=(4, 24))
+            assert np.array_equal(
+                fused.matmul(programmed, x, temp_c=27.0), x @ w)
+
+    def test_variation_frozen_at_program_time(self, noisy_unit):
+        """Two matmuls on one programmed array are identical — the error
+        pattern is a property of the written die, not of the read."""
+        dense = DenseNumpyBackend(noisy_unit)
+        rng = np.random.default_rng(5)
+        x, w = _operands(rng, (6, 32, 4))
+        programmed = dense.program(w, rng=np.random.default_rng(7))
+        a = dense.matmul(programmed, x, temp_c=27.0)
+        b = dense.matmul(programmed, x, temp_c=27.0)
+        assert np.array_equal(a, b)
+
+    def test_reprogram_variation_redraws(self, noisy_unit):
+        """reprogram_variation keeps the planes, redraws the offsets."""
+        dense = DenseNumpyBackend(noisy_unit)
+        rng = np.random.default_rng(6)
+        x, w = _operands(rng, (8, 40, 6))
+        p1 = dense.program(w, rng=np.random.default_rng(0))
+        p2 = dense.reprogram_variation(p1, rng=np.random.default_rng(1))
+        assert p2.w_planes is p1.w_planes          # decomposition reused
+        assert not np.array_equal(p2.w_dv, p1.w_dv)
+        # Different die, same weights: outputs may (and here do) differ.
+        a = dense.matmul(p1, x, temp_c=85.0)
+        b = dense.matmul(p2, x, temp_c=85.0)
+        assert a.shape == b.shape
+
+    def test_reprogram_variation_noop_for_nominal(self, unit):
+        dense = DenseNumpyBackend(unit)
+        programmed = dense.program(np.ones((8, 2), dtype=int))
+        assert dense.reprogram_variation(programmed) is programmed
+
+
+class TestValidation:
+    def test_oversized_weights_raise_with_range(self, unit):
+        dense = DenseNumpyBackend(unit)
+        with pytest.raises(ValueError, match=r"\[-7, 7\]"):
+            dense.program(np.array([[8]]))        # bits_w=4 -> |w| <= 7
+        with pytest.raises(ValueError, match=r"\[-7, 7\]"):
+            dense.program(np.array([[-9]]))
+
+    def test_oversized_activations_raise_with_range(self, unit):
+        dense = DenseNumpyBackend(unit)
+        programmed = dense.program(np.array([[1]]))
+        with pytest.raises(ValueError, match=r"\[0, 15\]"):
+            dense.matmul(programmed, np.array([[16]]), temp_c=27.0)
+
+    def test_negative_activations_raise(self, unit):
+        fused = FusedBitPlaneBackend(unit)
+        programmed = fused.program(np.array([[1]]))
+        with pytest.raises(ValueError, match="unsigned"):
+            fused.matmul(programmed, np.array([[-1]]), temp_c=27.0)
+
+    def test_k_mismatch_raises(self, unit):
+        dense = DenseNumpyBackend(unit)
+        programmed = dense.program(np.ones((8, 2), dtype=int))
+        with pytest.raises(ValueError, match="programmed for k=8"):
+            dense.matmul(programmed, np.ones((1, 9), dtype=int), temp_c=27.0)
+
+    def test_unit_matmul_validates_too(self, unit):
+        """The one-shot convenience inherits the backend validation."""
+        with pytest.raises(ValueError, match="exceeds"):
+            unit.matmul(np.array([[99]]), np.array([[1]]), temp_c=27.0)
+        with pytest.raises(ValueError, match="exceeds"):
+            unit.matmul(np.array([[1]]), np.array([[99]]), temp_c=27.0)
+
+
+class TestRegistry:
+    def test_make_backend_resolves_names(self, unit):
+        assert isinstance(make_backend("dense", unit), DenseNumpyBackend)
+        assert isinstance(make_backend("fused", unit), FusedBitPlaneBackend)
+
+    def test_make_backend_rejects_unknown(self, unit):
+        with pytest.raises(ValueError, match="unknown array backend"):
+            make_backend("quantum", unit)
+
+    def test_unit_backend_property_follows_config(self):
+        unit = BitSerialMacUnit(TwoTOneFeFETCell(), BehavioralMacConfig(
+            bits_x=2, bits_w=2, temp_grid_c=(0.0, 27.0, 85.0),
+            backend="fused"))
+        assert isinstance(unit.backend, FusedBitPlaneBackend)
+
+
+class TestProgrammedArray:
+    def test_zero_weights_program_no_planes(self, unit):
+        dense = DenseNumpyBackend(unit)
+        programmed = dense.program(np.zeros((8, 3), dtype=int))
+        assert programmed.n_planes == 0
+        out = dense.matmul(programmed, np.ones((2, 8), dtype=int),
+                           temp_c=27.0)
+        assert np.array_equal(out, np.zeros((2, 3)))
+
+    def test_level_table_cached_per_temperature(self, unit):
+        """Satellite perf fix: np.interp runs once per temperature."""
+        unit.level_table(33.0)
+        assert 33.0 in unit._level_cache
+        first = unit.level_table(33.0)
+        assert first == unit.level_table(33.0)
+        # Returned dicts are copies; mutating one must not poison the cache.
+        first[(1, 1)] = -1.0
+        assert unit.level_table(33.0)[(1, 1)] != -1.0

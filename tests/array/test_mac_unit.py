@@ -75,6 +75,18 @@ class TestBitSerial:
         with pytest.raises(ValueError):
             unit.matmul(np.array([[-1]]), np.array([[1]]), temp_c=27.0)
 
+    def test_rejects_out_of_range_activations(self, unit):
+        """Codes above 2**bits_x - 1 no longer silently truncate."""
+        with pytest.raises(ValueError, match=r"\[0, 15\]"):
+            unit.matmul(np.array([[16]]), np.array([[1]]), temp_c=27.0)
+
+    def test_rejects_out_of_range_weights(self, unit):
+        """|w| above the bits_w magnitude range raises, not truncates."""
+        with pytest.raises(ValueError, match=r"\[-7, 7\]"):
+            unit.matmul(np.array([[1]]), np.array([[8]]), temp_c=27.0)
+        with pytest.raises(ValueError, match=r"\[-7, 7\]"):
+            unit.matmul(np.array([[1]]), np.array([[-8]]), temp_c=27.0)
+
 
 class TestVariationAndDrift:
     def test_variation_injects_errors(self):

@@ -64,6 +64,69 @@ class TestLoweringFidelity:
         assert np.allclose(executor.forward(x), tiny_model.forward(x))
 
 
+class TestBackends:
+    def test_dense_and_fused_executors_bit_identical(self, design, tiny_model):
+        """Backend choice is a perf knob, never a results knob."""
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=(3, 6))
+        for sigma in (0.0, 54e-3):
+            outs = [
+                CimExecutor(tiny_model, design, CimExecutionConfig(
+                    temp_c=85.0, bits=8, sigma_vth_fefet=sigma,
+                    seed=4, backend=backend)).forward(x)
+                for backend in ("dense", "fused")
+            ]
+            assert np.array_equal(outs[0], outs[1])
+
+    def test_temp_override_reuses_programmed_weights(self, design, tiny_model):
+        """One executor sweeps temperatures on its programmed arrays."""
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(2, 6))
+        executor = CimExecutor(tiny_model, design,
+                               CimExecutionConfig(temp_c=27.0, bits=8))
+        hot_cfg = CimExecutor(tiny_model, design,
+                              CimExecutionConfig(temp_c=85.0, bits=8))
+        assert np.array_equal(executor.forward(x, temp_c=85.0),
+                              hot_cfg.forward(x))
+        assert np.array_equal(executor.predict(x, temp_c=85.0),
+                              hot_cfg.predict(x))
+
+    def test_redraw_variation_changes_outputs(self, design, tiny_model):
+        """MC-shard primitive: same weights, fresh die, new error pattern."""
+        rng = np.random.default_rng(12)
+        x = rng.normal(size=(3, 6))
+        executor = CimExecutor(tiny_model, design, CimExecutionConfig(
+            temp_c=27.0, bits=8, sigma_vth_fefet=54e-3,
+            sigma_vth_mosfet=15e-3, seed=13))
+        first = executor.forward(x)
+        executor.redraw_variation(seed=99)
+        second = executor.forward(x)
+        assert not np.allclose(first, second)
+
+    def test_reprogram_tracks_weight_updates(self, design, tiny_model):
+        """The array is nonvolatile: weight edits need an explicit rewrite."""
+        rng = np.random.default_rng(13)
+        x = rng.normal(size=(2, 6))
+        executor = CimExecutor(tiny_model, design,
+                               CimExecutionConfig(temp_c=27.0, bits=8))
+        before = executor.forward(x)
+        layer = tiny_model.layers[0]
+        original = layer.params["w"].copy()
+        try:
+            layer.params["w"] = original * 0.5
+            assert np.array_equal(executor.forward(x), before)  # stale
+            executor.reprogram()
+            assert not np.array_equal(executor.forward(x), before)
+        finally:
+            layer.params["w"] = original
+            executor.reprogram()
+
+    def test_rejects_unknown_backend(self, design, tiny_model):
+        with pytest.raises(ValueError, match="unknown array backend"):
+            CimExecutor(tiny_model, design,
+                        CimExecutionConfig(backend="systolic"))
+
+
 class TestNoiseInjection:
     def test_variation_changes_outputs(self, design, tiny_model):
         rng = np.random.default_rng(5)

@@ -33,6 +33,20 @@ class TestConstruction:
         ctx = RunContext(seed=1).with_overrides(seed=9)
         assert ctx.seed == 9
 
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="choices"):
+            RunContext(backend="systolic")
+
+    def test_backend_default_is_none(self):
+        assert RunContext().backend is None
+
+    def test_backend_choices_track_registry(self):
+        """The import-light literal must not drift from the registry."""
+        from repro.array.backend import BACKENDS
+        from repro.runtime.context import BACKEND_CHOICES
+
+        assert sorted(BACKEND_CHOICES) == sorted(BACKENDS)
+
 
 class TestResolveCell:
     def test_all_registered_cells_instantiate(self):
@@ -77,6 +91,7 @@ class TestFingerprint:
         {"temps_c": (0.0, 85.0)},
         {"cell": "2t-1fefet"},
         {"n_cells": 4},
+        {"backend": "fused"},
         {"params": {"n_samples": 5}},
     ])
     def test_result_affecting_fields_change_it(self, changes):
@@ -89,8 +104,21 @@ class TestFingerprint:
 
     def test_roundtrip_through_dict(self):
         ctx = RunContext(seed=5, temps_c=(0.0, 27.0), cell="2t-1fefet",
-                         n_cells=4, params={"points": 8},
+                         n_cells=4, backend="fused", params={"points": 8},
                          cache_dir="/tmp/c", use_cache=False)
         back = RunContext.from_dict(ctx.to_dict())
         assert back == ctx
         assert back.fingerprint() == ctx.fingerprint()
+
+
+class TestBackendMapping:
+    def test_backend_threads_into_accepting_experiment(self):
+        from repro.analysis.experiments import table2_summary
+
+        kwargs = RunContext(backend="dense").kwargs_for(table2_summary)
+        assert kwargs["backend"] == "dense"
+
+    def test_backend_dropped_for_non_accepting_experiment(self):
+        kwargs = RunContext(backend="fused").kwargs_for(
+            fig1_fefet_characteristics)
+        assert "backend" not in kwargs

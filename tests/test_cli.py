@@ -109,3 +109,20 @@ class TestRunOptions:
         assert main(["list", "--tag", "extension"]) == 0
         out = capsys.readouterr().out
         assert "mlc" in out and "fig8" not in out
+
+    def test_backend_flag_accepted(self, tmp_path, capsys):
+        assert main(["run", "table1", "--backend", "fused",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_backend_flag_distinguishes_cache_entries(self, tmp_path, capsys):
+        """dense/fused are separate cache keys (fingerprinted)."""
+        base = ["run", "table1", "--cache-dir", str(tmp_path / "cache")]
+        assert main(base + ["--backend", "dense"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--backend", "fused"]) == 0
+        assert "fresh run" in capsys.readouterr().out
+
+    def test_backend_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--backend", "systolic"])
