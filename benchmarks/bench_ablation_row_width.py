@@ -4,10 +4,15 @@ More cells per row amortize the accumulation (higher throughput per sense)
 but pack the MAC levels closer for a fixed output range, shrinking noise
 margins — which is why the paper's variation study drops below 10 % error
 only at 4 cells/row.
+
+Each width's full temperature x MAC-level grid is one batched ensemble
+solve (widths change the topology, so they batch separately).
 """
 
+import numpy as np
+
 from repro.analysis.reporting import format_table
-from repro.array import MacRow
+from repro.array.row import run_mac_ladders
 from repro.cells import TwoTOneFeFETCell
 from repro.metrics import MacOutputRange, nmr_min
 
@@ -18,11 +23,9 @@ def sweep_row_width():
     design = TwoTOneFeFETCell()
     rows = []
     for n_cells in (4, 8, 12):
-        sweeps = {}
-        for temp in TEMPS:
-            row = MacRow(design, n_cells=n_cells)
-            _, vaccs, _ = row.mac_sweep(float(temp))
-            sweeps[temp] = vaccs
+        ladders = run_mac_ladders(design, TEMPS, n_cells=n_cells)
+        sweeps = {temp: np.array([r.vacc for r in results])
+                  for temp, results in ladders.items()}
         ranges = [MacOutputRange.from_samples(
             k, [sweeps[t][k] for t in TEMPS]) for k in range(n_cells + 1)]
         lsb = sweeps[27.0][1] - sweeps[27.0][0]

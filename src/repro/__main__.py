@@ -16,8 +16,13 @@ Options (run / all)
 --seed S         master RNG seed threaded into seeded experiments
 --temps T [T..]  override the temperature grid (degC) where accepted
 --backend B      array backend (dense|fused) for experiments that accept one
+--engine E       circuit engine (batched|scalar) for experiments that accept
+                 one; batched stacks whole ensembles into one solve
 --json           emit one JSON array of result documents on stdout (status
                  lines move to stderr, so the output pipes cleanly into jq)
+--profile        append a per-experiment profile (wall time + cache-hit
+                 flag); with --json the stdout document becomes
+                 ``{"results": [...], "profile": [...]}``
 --out DIR        write one ``<name>.json`` per experiment into DIR
 --no-cache       bypass the on-disk result cache
 --cache-dir DIR  cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)
@@ -50,7 +55,7 @@ from repro.runtime import (
     registry_names,
     run_many,
 )
-from repro.runtime.context import BACKEND_CHOICES
+from repro.runtime.context import BACKEND_CHOICES, ENGINE_CHOICES
 
 #: Backward-compatible view of the registry: name -> (callable, description).
 #: Derived from the decorator-based runtime registry; kept so legacy callers
@@ -88,9 +93,18 @@ def _build_parser():
                        help="array backend for experiments that accept one "
                             "(fused: batched bit-plane kernel, bit-identical "
                             "to dense)")
+        p.add_argument("--engine", choices=sorted(ENGINE_CHOICES),
+                       default=None,
+                       help="circuit engine for experiments that accept one "
+                            "(batched: whole ensembles in one stacked solve; "
+                            "scalar: reference per-member path)")
         p.add_argument("--json", action="store_true", dest="as_json",
                        help="emit a JSON array of result documents on stdout "
                             "(status lines go to stderr)")
+        p.add_argument("--profile", action="store_true",
+                       help="report per-experiment wall time and cache-hit "
+                            "flag (with --json, stdout becomes an object "
+                            "with 'results' and 'profile' keys)")
         p.add_argument("--out", type=Path, default=None, metavar="DIR",
                        help="write per-experiment JSON files into DIR")
         p.add_argument("--no-cache", action="store_true",
@@ -151,6 +165,7 @@ def _cmd_run(args, parser):
         seed=args.seed,
         temps_c=tuple(args.temps) if args.temps else None,
         backend=args.backend,
+        engine=args.engine,
         cache_dir=str(args.cache_dir) if args.cache_dir else None,
         use_cache=not args.no_cache)
     if args.out is not None:
@@ -172,9 +187,21 @@ def _cmd_run(args, parser):
                   if result.cached else "fresh run")
         print(f"[{result.name} done in {result.duration_s:.1f}s - {status}]",
               file=chatter)
+    # Per-experiment cost profile: what BENCH trajectories track over PRs.
+    profile = [{"name": r.name, "duration_s": round(float(r.duration_s), 3),
+                "cached": bool(r.cached)} for r in results]
     if args.as_json:
-        print(json.dumps([r.to_dict() for r in results], indent=2,
-                         sort_keys=True))
+        docs = [r.to_dict() for r in results]
+        payload = {"results": docs, "profile": profile} if args.profile \
+            else docs
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.profile:
+        width = max(len(p["name"]) for p in profile)
+        print("\nprofile:", file=chatter)
+        for p in profile:
+            origin = "cache hit" if p["cached"] else "fresh"
+            print(f"  {p['name']:<{width}}  {p['duration_s']:8.2f}s  {origin}",
+                  file=chatter)
     hits = sum(1 for r in results if r.cached)
     print(f"\n{len(results)} experiment(s): {len(results) - hits} run, "
           f"{hits} cache hit(s); seed={ctx.seed}", file=chatter)

@@ -128,27 +128,45 @@ def fig3_cell_fluctuation(num_temps=12):
 # ----------------------------------------------------------------------
 # Figs. 4 and 8(a) — array MAC bands
 # ----------------------------------------------------------------------
-def _array_bands(design, temps_c, n_cells=8):
+def _array_bands(design, temps_c, n_cells=8, engine="batched"):
+    """MAC ladders for every temperature, on the selected circuit engine.
+
+    ``engine="batched"`` (default) queues the full temperature x MAC-level
+    grid as one :class:`~repro.array.row.RowEnsemble` and issues a single
+    batched transient; ``"scalar"`` runs the reference per-read loops.
+    Returns ``(sweeps, ranges, energy_reports, singular_solves)``.
+    """
     sweeps = {}
     energy_reports = {}
-    for temp in temps_c:
-        row = MacRow(design, n_cells=n_cells)
-        _, vaccs, results = row.mac_sweep(float(temp))
-        sweeps[temp] = vaccs
-        energy_reports[temp] = EnergyReport.from_sweep(results, n_cells)
+    singular = 0
+    if engine == "batched":
+        from repro.array.row import run_mac_ladders
+
+        ladders = run_mac_ladders(design, temps_c, n_cells=n_cells)
+        for temp, results in zip(temps_c, ladders.values()):
+            singular += sum(r.transient.singular_solves for r in results)
+            sweeps[temp] = np.array([r.vacc for r in results])
+            energy_reports[temp] = EnergyReport.from_sweep(results, n_cells)
+    else:
+        for temp in temps_c:
+            row = MacRow(design, n_cells=n_cells)
+            _, vaccs, results = row.mac_sweep(float(temp), engine="scalar")
+            sweeps[temp] = vaccs
+            singular += sum(r.transient.singular_solves for r in results)
+            energy_reports[temp] = EnergyReport.from_sweep(results, n_cells)
     ranges = [
         MacOutputRange.from_samples(k, [sweeps[t][k] for t in temps_c])
         for k in range(n_cells + 1)
     ]
-    return sweeps, ranges, energy_reports
+    return sweeps, ranges, energy_reports, singular
 
 
 @experiment("fig4", anchor="Fig. 4", tags=("array", "baseline"),
             description="baseline array: overlapping MAC bands")
-def fig4_baseline_overlap(temps_c=CORNER_TEMPS_C):
+def fig4_baseline_overlap(temps_c=CORNER_TEMPS_C, engine="batched"):
     """Fig. 4: the subthreshold 1FeFET-1R array's bands overlap."""
     design = FeFET1RCell.subthreshold()
-    sweeps, ranges, _ = _array_bands(design, temps_c)
+    sweeps, ranges, _, singular = _array_bands(design, temps_c, engine=engine)
     worst_i, worst = nmr_min(ranges)
     return {
         "sweeps": sweeps,
@@ -156,6 +174,8 @@ def fig4_baseline_overlap(temps_c=CORNER_TEMPS_C):
         "overlap": ranges_overlap(ranges),
         "nmr_min": worst,
         "nmr_argmin": worst_i,
+        "engine": engine,
+        "diagnostics": {"engine": engine, "singular_solves": singular},
         "report": format_ranges("MAC", ranges,
                                 title="Fig. 4 - 1FeFET-1R (subthreshold) "
                                       "MAC bands over temperature"),
@@ -189,14 +209,15 @@ def fig7_proposed_cell(num_temps=12):
 
 @experiment("fig8", anchor="Fig. 8", tags=("array", "proposed"),
             description="proposed array: bands, NMR, energy, TOPS/W")
-def fig8_proposed_array(temps_c=CORNER_TEMPS_C):
+def fig8_proposed_array(temps_c=CORNER_TEMPS_C, engine="batched"):
     """Fig. 8 + NMR numbers: bands, per-MAC energy, TOPS/W.
 
     Paper: non-overlapping bands 0-85 degC, NMR_min = NMR_0 = 0.22
     (2.3 over 20-85 degC), 3.14 fJ per MAC, 2866 TOPS/W.
     """
     design = TwoTOneFeFETCell()
-    sweeps, ranges, energy_reports = _array_bands(design, temps_c)
+    sweeps, ranges, energy_reports, singular = _array_bands(
+        design, temps_c, engine=engine)
     worst_i, worst = nmr_min(ranges)
     # Upper-window NMR (paper: 20-85 degC).
     upper_temps = [t for t in temps_c if t >= 20.0] or list(temps_c)
@@ -225,6 +246,8 @@ def fig8_proposed_array(temps_c=CORNER_TEMPS_C):
         "energy_report": rep,
         "avg_energy_fj": rep.average_energy_fj,
         "tops_per_watt": rep.tops_per_watt(),
+        "engine": engine,
+        "diagnostics": {"engine": engine, "singular_solves": singular},
         "report": report,
     }
 
@@ -234,20 +257,23 @@ def fig8_proposed_array(temps_c=CORNER_TEMPS_C):
 # ----------------------------------------------------------------------
 @experiment("fig9", anchor="Fig. 9", tags=("montecarlo", "proposed"),
             description="Monte-Carlo process variation (sigma_VT = 54 mV)")
-def fig9_process_variation(n_samples=100, seed=0, design=None):
+def fig9_process_variation(n_samples=100, seed=0, design=None,
+                           engine="batched"):
     """Fig. 9: 100-sample MC with sigma_VT = 54 mV at 27 degC.
 
     Paper: max error ~25 % for 8 cells/row, < 10 % when reduced to 4.
 
     The RNG stream is fully determined by ``seed`` (threaded from
     :class:`~repro.runtime.context.RunContext` when run via the runtime), so
-    two runs with the same context are bit-identical.
+    two runs with the same context are bit-identical.  ``engine`` selects
+    the circuit engine (``batched`` solves each row's whole sample set as
+    one stacked transient; ``scalar`` is the reference loop).
     """
     design = design or TwoTOneFeFETCell()
     mc8 = run_process_variation_mc(design, n_samples=n_samples, n_cells=8,
-                                   seed=seed)
+                                   seed=seed, engine=engine)
     mc4 = run_process_variation_mc(design, n_samples=n_samples, n_cells=4,
-                                   seed=seed)
+                                   seed=seed, engine=engine)
     counts, edges = mc8.histogram(bins=10)
     rows = [(f"{edges[i]:+.3f}..{edges[i + 1]:+.3f}", counts[i])
             for i in range(len(counts))]
@@ -258,6 +284,11 @@ def fig9_process_variation(n_samples=100, seed=0, design=None):
         "max_error_4": mc4.max_error,
         "max_error_lsb_8": mc8.max_error_lsb,
         "max_error_lsb_4": mc4.max_error_lsb,
+        "engine": engine,
+        "diagnostics": {
+            "engine": engine,
+            "singular_solves": mc8.singular_solves + mc4.singular_solves,
+        },
         "report": format_table(["error bin", "samples"], rows,
                                title="Fig. 9 - MC error histogram (8 cells)"),
     }
@@ -379,26 +410,31 @@ def mlc_transfer(n_levels=4, temps_c=CORNER_TEMPS_C):
 
 @experiment("thermal-gradient", anchor="Sec. I", tags=("array", "extension"),
             description="within-row thermal gradient study")
-def thermal_gradient_study(spans_c=(0.0, 5.0, 10.0, 20.0)):
+def thermal_gradient_study(spans_c=(0.0, 5.0, 10.0, 20.0), engine="batched"):
     """Within-row thermal gradients (self-heating / hot spots, Sec. I).
 
     Places a linear temperature gradient across the 8 cells of a row at the
     27 degC ambient and measures how the MAC ladder's worst-case margin
-    degrades with gradient span.
+    degrades with gradient span.  Each span's ladder runs as one batched
+    ensemble by default (``engine="scalar"`` for the reference loop).
     """
     from repro.devices.thermal import linear_gradient
 
     design = TwoTOneFeFETCell()
     rows = []
+    singular = 0
     for span in spans_c:
         offsets = linear_gradient(8, span)
         row = MacRow(design, n_cells=8, temp_offsets=offsets)
-        _, vaccs, _ = row.mac_sweep(REFERENCE_TEMP_C)
+        _, vaccs, results = row.mac_sweep(REFERENCE_TEMP_C, engine=engine)
+        singular += sum(r.transient.singular_solves for r in results)
         spacing = np.diff(vaccs)
         rows.append((span, float(spacing.min()), float(spacing.max())))
     return {
         "spans": spans_c,
         "rows": rows,
+        "engine": engine,
+        "diagnostics": {"engine": engine, "singular_solves": singular},
         "report": format_table(
             ["gradient span (K)", "min spacing (V)", "max spacing (V)"],
             [(s, f"{lo:.2e}", f"{hi:.2e}") for s, lo, hi in rows],

@@ -8,18 +8,29 @@ the distribution of CiM output error, with a maximum around 25 % (and below
 ``run_process_variation_mc`` repeats that experiment at circuit level: every
 sample draws fresh per-cell threshold offsets, rebuilds the row, runs the
 full read transient at a fixed MAC pattern, and measures the output error
-relative to the nominal (offset-free) output.
+relative to the nominal (offset-free) output.  With ``engine="batched"``
+(the default) the nominal, LSB and all sample reads share one topology and
+are solved as a single batched transient through
+:class:`repro.array.row.RowEnsemble`; ``engine="scalar"`` keeps the
+reference one-read-per-sample loop.  The two engines agree within the
+batched engine's documented tolerance (see :mod:`repro.circuit.batched`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.array.row import MacRow
+from repro.array.row import ROW_ENGINES, MacRow, RowEnsemble
 from repro.constants import REFERENCE_TEMP_C
 from repro.devices.variation import MonteCarloSampler, VariationSpec
+
+#: Relative tolerance for merging float metadata of shards produced by
+#: different engines (batched vs scalar agree to solver precision).
+MERGE_REL_TOL = 1e-6
+MERGE_ABS_TOL = 1e-12
 
 
 @dataclass(frozen=True)
@@ -35,6 +46,10 @@ class MonteCarloResult:
       unit, wider rows accumulate variation and look *worse*, which matches
       the paper's statement that a 4-cell row stays below the 8-cell row's
       error.
+
+    ``engine`` records which circuit engine produced the samples and
+    ``singular_solves`` the number of singular-Jacobian least-squares
+    fallbacks encountered across every solve (0 for a healthy run).
     """
 
     errors: np.ndarray          # relative errors, one per sample
@@ -44,6 +59,8 @@ class MonteCarloResult:
     mac_value: int
     n_cells: int
     temp_c: float
+    engine: str = "scalar"
+    singular_solves: int = 0
 
     @property
     def max_error(self):
@@ -73,31 +90,52 @@ class MonteCarloResult:
 
         All shards must describe the same row configuration (nominal output,
         LSB, MAC pattern, width, temperature); used by
-        :func:`repro.runtime.executor.run_mc_sharded`.
+        :func:`repro.runtime.executor.run_mc_sharded`.  Float metadata is
+        compared with a tolerance (``MERGE_REL_TOL``/``MERGE_ABS_TOL``)
+        rather than ``==`` so shards computed by the batched and scalar
+        engines — identical to solver precision, not bitwise — still merge;
+        the merged result keeps the first shard's values and marks
+        ``engine="mixed"`` when shards disagree.
         """
+
+        def close(a, b):
+            return math.isclose(a, b, rel_tol=MERGE_REL_TOL,
+                                abs_tol=MERGE_ABS_TOL)
+
         parts = list(parts)
         if not parts:
             raise ValueError("cannot merge zero MonteCarloResult shards")
         first = parts[0]
         for part in parts[1:]:
-            same = (part.nominal_vacc == first.nominal_vacc
-                    and part.lsb_v == first.lsb_v
+            same = (close(part.nominal_vacc, first.nominal_vacc)
+                    and close(part.lsb_v, first.lsb_v)
                     and part.mac_value == first.mac_value
                     and part.n_cells == first.n_cells
-                    and part.temp_c == first.temp_c)
+                    and close(part.temp_c, first.temp_c))
             if not same:
                 raise ValueError("MonteCarloResult shards describe different "
                                  "row configurations; refusing to merge")
+        engines = {part.engine for part in parts}
         return cls(errors=np.concatenate([p.errors for p in parts]),
                    errors_lsb=np.concatenate([p.errors_lsb for p in parts]),
                    nominal_vacc=first.nominal_vacc, lsb_v=first.lsb_v,
                    mac_value=first.mac_value, n_cells=first.n_cells,
-                   temp_c=first.temp_c)
+                   temp_c=first.temp_c,
+                   engine=first.engine if len(engines) == 1 else "mixed",
+                   singular_solves=sum(p.singular_solves for p in parts))
+
+
+def _validate_levels(nominal, lsb):
+    """Reject degenerate configurations where relative error is undefined."""
+    if nominal == 0.0:
+        raise ValueError("nominal output is zero; relative error undefined")
+    if lsb <= 0:
+        raise ValueError("non-positive MAC level spacing")
 
 
 def run_process_variation_mc(design, *, n_samples=100, n_cells=8,
                              mac_value=None, temp_c=REFERENCE_TEMP_C,
-                             spec=None, seed=0, dt=0.1e-9):
+                             spec=None, seed=0, dt=0.1e-9, engine="batched"):
     """Circuit-level Monte-Carlo of one MAC row under threshold variation.
 
     Parameters
@@ -113,7 +151,12 @@ def run_process_variation_mc(design, *, n_samples=100, n_cells=8,
         variation-sensitive case since every cell contributes).
     spec:
         Variation sigmas; defaults to the paper's 54 mV FeFET sigma.
+    engine:
+        ``"batched"`` (default) solves nominal + LSB + all samples as one
+        batched ensemble; ``"scalar"`` runs the reference per-read loop.
     """
+    if engine not in ROW_ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choices: {ROW_ENGINES}")
     if mac_value is None:
         mac_value = n_cells
     if not 0 <= mac_value <= n_cells:
@@ -121,31 +164,51 @@ def run_process_variation_mc(design, *, n_samples=100, n_cells=8,
     spec = spec or VariationSpec()
     sampler = MonteCarloSampler(spec, seed=seed)
     inputs = [1] * mac_value + [0] * (n_cells - mac_value)
-
-    nominal_row = MacRow(design, n_cells=n_cells)
-    nominal_row.program_weights([1] * n_cells)
-    nominal = nominal_row.read(inputs, temp_c=temp_c, dt=dt).vacc
-    if nominal == 0.0:
-        raise ValueError("nominal output is zero; relative error undefined")
-    # One MAC-level spacing (LSB) around the exercised level.
     below = [1] * (mac_value - 1) + [0] * (n_cells - mac_value + 1) \
         if mac_value >= 1 else None
-    if below is not None:
-        lsb = nominal - nominal_row.read(below, temp_c=temp_c, dt=dt).vacc
-    else:
-        lsb = nominal
-    if lsb <= 0:
-        raise ValueError("non-positive MAC level spacing")
 
-    errors = np.empty(n_samples)
-    for i in range(n_samples):
-        variations = sampler.sample_cells(n_cells)
-        row = MacRow(design, n_cells=n_cells, variations=variations)
-        row.program_weights([1] * n_cells)
-        vacc = row.read(inputs, temp_c=temp_c, dt=dt).vacc
-        errors[i] = (vacc - nominal) / nominal
+    if engine == "batched":
+        ensemble = RowEnsemble(design, n_cells=n_cells)
+        ensemble.add(inputs, temp_c=temp_c)                       # nominal
+        if below is not None:
+            ensemble.add(below, temp_c=temp_c)                    # LSB ref
+        for _ in range(n_samples):
+            ensemble.add(inputs, temp_c=temp_c,
+                         variations=sampler.sample_cells(n_cells))
+        reads = ensemble.run(dt=dt)
+        nominal = reads[0].vacc
+        sample_reads = reads[1:] if below is None else reads[2:]
+        lsb = nominal - reads[1].vacc if below is not None else nominal
+        _validate_levels(nominal, lsb)
+        singular = sum(r.transient.singular_solves for r in reads)
+        vaccs = np.array([r.vacc for r in sample_reads])
+    else:
+        nominal_row = MacRow(design, n_cells=n_cells)
+        nominal_row.program_weights([1] * n_cells)
+        nominal_read = nominal_row.read(inputs, temp_c=temp_c, dt=dt)
+        nominal = nominal_read.vacc
+        singular = nominal_read.transient.singular_solves
+        if below is not None:
+            below_read = nominal_row.read(below, temp_c=temp_c, dt=dt)
+            lsb = nominal - below_read.vacc
+            singular += below_read.transient.singular_solves
+        else:
+            lsb = nominal
+        # Fail fast: before the sample loop, not after it.
+        _validate_levels(nominal, lsb)
+        vaccs = np.empty(n_samples)
+        for i in range(n_samples):
+            variations = sampler.sample_cells(n_cells)
+            row = MacRow(design, n_cells=n_cells, variations=variations)
+            row.program_weights([1] * n_cells)
+            read = row.read(inputs, temp_c=temp_c, dt=dt)
+            vaccs[i] = read.vacc
+            singular += read.transient.singular_solves
+
+    errors = (vaccs - nominal) / nominal
     return MonteCarloResult(errors=errors,
                             errors_lsb=errors * nominal / lsb,
                             nominal_vacc=nominal, lsb_v=float(lsb),
                             mac_value=mac_value, n_cells=n_cells,
-                            temp_c=temp_c)
+                            temp_c=temp_c, engine=engine,
+                            singular_solves=int(singular))

@@ -17,7 +17,7 @@ charge onto the accumulation capacitor C_acc, realizing eq. (1):
   accounting behind Fig. 8(b) and Table II.
 """
 
-from repro.array.row import MacRow, RowReadResult
+from repro.array.row import MacRow, RowEnsemble, RowReadResult
 from repro.array.sensing import ChargeSharingSensor, SensingSpec, ideal_vacc
 from repro.array.mac_unit import BehavioralMacConfig, BitSerialMacUnit
 from repro.array.backend import (
@@ -33,6 +33,7 @@ from repro.array.timing import LatencySpec
 
 __all__ = [
     "MacRow",
+    "RowEnsemble",
     "RowReadResult",
     "ChargeSharingSensor",
     "SensingSpec",

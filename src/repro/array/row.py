@@ -12,6 +12,12 @@ full two-phase transient:
 
 Energy is integrated per supply source over the whole operation, which is
 what Fig. 8(b) reports per MAC value.
+
+Ensembles of reads — every MAC level of a ladder, every die of a
+Monte-Carlo study, every point of a temperature grid — share one topology,
+so :class:`RowEnsemble` (and the :meth:`MacRow.read_ensemble` shortcut)
+solves them in a single batched transient through
+:mod:`repro.circuit.batched` instead of one scalar solve per read.
 """
 
 from __future__ import annotations
@@ -23,9 +29,13 @@ import numpy as np
 from repro.array.sensing import SensingSpec
 from repro.cells.base import CellNodes
 from repro.circuit import Circuit, Step, VoltageSource, transient_simulation
+from repro.circuit.batched import transient_simulation_batched
 from repro.circuit.elements import Capacitor, Switch
 from repro.circuit.transient import TransientOptions
 from repro.devices.variation import CellVariation
+
+#: Engines a row read may run on; "batched" is the default for ensembles.
+ROW_ENGINES = ("scalar", "batched")
 
 
 @dataclass
@@ -143,22 +153,174 @@ class MacRow:
             transient=result,
         )
 
-    def mac_sweep(self, temp_c, *, t_read=None, dt=0.1e-9, pattern="prefix"):
+    def read_ensemble(self, inputs_list, temps_c, *, t_read=None, dt=0.1e-9,
+                      options=None):
+        """Batch several reads of this row into one batched transient.
+
+        ``inputs_list`` holds one input vector per member; ``temps_c`` is a
+        scalar (shared) or one temperature per member.  Weights, variations
+        and thermal offsets are this row's.  Returns one
+        :class:`RowReadResult` per member, in order, numerically matching a
+        loop of :meth:`read` calls within the batched engine's documented
+        tolerance.
+        """
+        ensemble = RowEnsemble(self.design, n_cells=self.n_cells,
+                               sensing=self.sensing, t_share=self.t_share)
+        temps = np.broadcast_to(np.asarray(temps_c, dtype=float),
+                                (len(inputs_list),))
+        for inputs, temp in zip(inputs_list, temps):
+            ensemble.add(inputs, temp_c=float(temp), weights=self._weights,
+                         variations=self.variations,
+                         temp_offsets=self.temp_offsets)
+        return ensemble.run(t_read=t_read, dt=dt, options=options)
+
+    def mac_sweep(self, temp_c, *, t_read=None, dt=0.1e-9, pattern="prefix",
+                  engine="batched"):
         """V_acc for every MAC value 0..n at one temperature.
 
         ``pattern='prefix'`` programs all-ones weights and activates the
         first k inputs for MAC = k (the paper's Fig. 4/8 style sweep).
+        ``engine='batched'`` (default) solves the whole ladder as one
+        ensemble; ``'scalar'`` keeps the reference one-read-per-level loop.
         Returns ``(mac_values, vaccs, results)``.
         """
         if pattern != "prefix":
             raise ValueError("only the 'prefix' sweep pattern is defined")
+        if engine not in ROW_ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"choices: {ROW_ENGINES}")
         self.program_weights([1] * self.n_cells)
         macs = np.arange(self.n_cells + 1)
-        vaccs = np.empty(macs.shape)
-        results = []
-        for k in macs:
-            inputs = [1] * k + [0] * (self.n_cells - k)
-            res = self.read(inputs, temp_c=temp_c, t_read=t_read, dt=dt)
-            vaccs[k] = res.vacc
-            results.append(res)
+        inputs_list = [[1] * k + [0] * (self.n_cells - k) for k in macs]
+        if engine == "batched":
+            results = self.read_ensemble(inputs_list, temp_c, t_read=t_read,
+                                         dt=dt)
+        else:
+            results = [self.read(inputs, temp_c=temp_c, t_read=t_read, dt=dt)
+                       for inputs in inputs_list]
+        vaccs = np.array([res.vacc for res in results])
         return macs, vaccs, results
+
+
+def run_mac_ladders(design, temps_c, n_cells=8, *, t_read=None, dt=0.1e-9,
+                    sensing=None, t_share=0.9e-9, options=None):
+    """Prefix MAC ladders (0..n_cells) at every temperature, one batched solve.
+
+    The Fig. 4/8-style grid: all-ones weights, the first k inputs active for
+    MAC = k, repeated for each temperature.  Returns an ordered mapping
+    ``{temp: [RowReadResult for MAC 0..n_cells]}`` — the single place that
+    owns the enqueue order / result-slicing arithmetic for ladder grids.
+    """
+    ensemble = RowEnsemble(design, n_cells=n_cells, sensing=sensing,
+                           t_share=t_share)
+    temps = [float(t) for t in temps_c]
+    for temp in temps:
+        for k in range(n_cells + 1):
+            ensemble.add([1] * k + [0] * (n_cells - k), temp_c=temp)
+    results = ensemble.run(t_read=t_read, dt=dt, options=options)
+    stride = n_cells + 1
+    return {temp: results[i * stride:(i + 1) * stride]
+            for i, temp in enumerate(temps)}
+
+
+@dataclass
+class _RowSpec:
+    """One member of a :class:`RowEnsemble`: a fully specified row read."""
+
+    inputs: tuple
+    temp_c: float
+    weights: tuple
+    variations: list = None
+    temp_offsets: list = None
+
+
+class RowEnsemble:
+    """A batch of structurally identical row reads solved together.
+
+    Members share the cell design, row width, sensing network and share
+    window (one topology); they may differ in inputs, stored weights,
+    ambient temperature, per-cell variations and thermal offsets.  ``run``
+    builds one netlist per member and hands the stack to
+    :func:`repro.circuit.batched.transient_simulation_batched` — one
+    batched Newton/backward-Euler loop instead of B scalar solves.
+    """
+
+    def __init__(self, design, n_cells=8, sensing=None, t_share=0.9e-9):
+        if n_cells < 1:
+            raise ValueError("row needs at least one cell")
+        self.design = design
+        self.n_cells = n_cells
+        self.sensing = sensing or SensingSpec(co_farads=design.co_farads)
+        self.t_share = t_share
+        self._specs = []
+
+    def __len__(self):
+        return len(self._specs)
+
+    def add(self, inputs, *, temp_c, weights=None, variations=None,
+            temp_offsets=None):
+        """Queue one read; returns the member index.
+
+        ``weights`` defaults to all ones (the ladder/MC convention);
+        ``variations`` / ``temp_offsets`` default to nominal.
+        """
+        inputs = tuple(int(bool(x)) for x in inputs)
+        if len(inputs) != self.n_cells:
+            raise ValueError(f"expected {self.n_cells} inputs")
+        if weights is None:
+            weights = (1,) * self.n_cells
+        weights = tuple(int(bool(w)) for w in weights)
+        if len(weights) != self.n_cells:
+            raise ValueError(f"expected {self.n_cells} weights")
+        self._specs.append(_RowSpec(
+            inputs=inputs, temp_c=float(temp_c), weights=weights,
+            variations=list(variations) if variations is not None else None,
+            temp_offsets=(list(temp_offsets)
+                          if temp_offsets is not None else None)))
+        return len(self._specs) - 1
+
+    def run(self, *, t_read=None, dt=0.1e-9, options=None):
+        """Solve every queued read in one batched transient.
+
+        Returns a list of :class:`RowReadResult`, one per :meth:`add` call
+        in order; each result's ``transient`` is a per-member view into the
+        shared :class:`~repro.circuit.batched.EnsembleTransientResult`.
+        """
+        if not self._specs:
+            raise ValueError("ensemble has no queued reads")
+        window = self.design.t_read if t_read is None else t_read
+        circuits = []
+        temps = []
+        for spec in self._specs:
+            row = MacRow(self.design, n_cells=self.n_cells,
+                         sensing=self.sensing, t_share=self.t_share,
+                         variations=spec.variations,
+                         temp_offsets=spec.temp_offsets)
+            row.program_weights(spec.weights)
+            circuits.append(row._build(list(spec.inputs), window))
+            temps.append(spec.temp_c)
+
+        ics = {f"o{i}": 0.0 for i in range(self.n_cells)}
+        ics["acc"] = 0.0
+        ensemble = transient_simulation_batched(
+            circuits, t_stop=window + self.t_share, dt=dt, temps_c=temps,
+            initial_conditions=ics, options=options or TransientOptions(),
+        )
+        pre_share = ensemble.at_time(window - dt)
+        cell_v = np.stack([ensemble.voltage(f"o{i}")[:, pre_share]
+                           for i in range(self.n_cells)], axis=1)
+        vaccs = ensemble.final_voltage("acc")
+        results = []
+        for b, spec in enumerate(self._specs):
+            member = ensemble.member(b)
+            energy = member.source_energy
+            results.append(RowReadResult(
+                vacc=float(vaccs[b]),
+                cell_voltages=cell_v[b].copy(),
+                energy_j=float(sum(energy.values())),
+                energy_by_source=dict(energy),
+                mac_true=int(sum(w & x for w, x in zip(spec.weights,
+                                                       spec.inputs))),
+                transient=member,
+            ))
+        return results

@@ -20,6 +20,7 @@ from repro.cells.base import (
     CiMCellDesign,
     cell_output_current,
     cell_read_transient,
+    cell_read_transient_batch,
 )
 from repro.cells.fefet_1r import FeFET1RCell
 from repro.cells.fefet_1t import FeFET1TCell
@@ -31,6 +32,7 @@ __all__ = [
     "CiMCellDesign",
     "cell_output_current",
     "cell_read_transient",
+    "cell_read_transient_batch",
     "FeFET1RCell",
     "FeFET1TCell",
     "TwoTOneFeFETCell",

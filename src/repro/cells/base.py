@@ -150,6 +150,46 @@ def cell_read_transient(design, temp_c, *, weight_bit=1, input_bit=1,
                                 initial_conditions={"out": 0.0})
 
 
+def cell_read_transient_batch(cases, *, weight_bit=1, input_bit=1,
+                              variation=None, co_farads=None, t_read=None,
+                              dt=0.05e-9):
+    """Batched :func:`cell_read_transient` over a ``(design, temp_c)`` grid.
+
+    ``cases`` is an iterable of ``(design, temp_c)`` pairs sharing one cell
+    topology (e.g. the same design at several W/L sizings and temperatures,
+    as the ablation benchmarks sweep).  All members are solved in a single
+    batched transient; the returned list holds one
+    :class:`~repro.circuit.results.TransientResult` view per case, in
+    order, matching scalar calls within the batched engine's tolerance.
+    """
+    from repro.circuit.batched import transient_simulation_batched
+
+    cases = list(cases)
+    if not cases:
+        raise ValueError("cell_read_transient_batch needs at least one case")
+    variation = variation or CellVariation.nominal()
+    windows = {design.t_read for design, _ in cases} if t_read is None \
+        else {t_read}
+    if len(windows) > 1:
+        raise ValueError("designs disagree on t_read; pass t_read explicitly")
+    (window,) = windows
+
+    circuits = []
+    temps = []
+    for design, temp_c in cases:
+        circuit = _build_standalone(design, weight_bit, input_bit,
+                                    variation, None)
+        circuit.add(Capacitor("CO", "out", "0",
+                              design.co_farads if co_farads is None
+                              else co_farads))
+        circuits.append(circuit)
+        temps.append(float(temp_c))
+    ensemble = transient_simulation_batched(
+        circuits, t_stop=window, dt=dt, temps_c=temps,
+        initial_conditions={"out": 0.0})
+    return [ensemble.member(b) for b in range(len(cases))]
+
+
 def multiplication_truth_table(design, temp_c, threshold_ratio=0.1):
     """Evaluate the cell's binary multiply: output level for all 4 cases.
 

@@ -10,7 +10,11 @@ transient integrator reproduces the same physics:
 * :mod:`repro.circuit.dcop` — DC operating point,
 * :mod:`repro.circuit.transient` — transient simulation with per-source energy
   accounting (how the fJ/op numbers of Fig. 8(b) are measured),
-* :mod:`repro.circuit.sweep` — temperature / parameter sweep drivers.
+* :mod:`repro.circuit.sweep` — temperature / parameter sweep drivers,
+* :mod:`repro.circuit.batched` — batched ensemble engine: one damped-Newton /
+  backward-Euler loop over ``(B, n, n)`` Jacobian stacks for B structurally
+  identical parameterizations (Monte-Carlo dies, temperature grids, MAC
+  ladders), bit-close to the scalar reference path.
 """
 
 from repro.circuit.netlist import Circuit
@@ -26,8 +30,19 @@ from repro.circuit.elements import (
 from repro.circuit.dcop import dc_operating_point, NewtonOptions
 from repro.circuit.transient import transient_simulation, TransientOptions
 from repro.circuit.results import OperatingPoint, TransientResult
+from repro.circuit.batched import (
+    CompiledEnsemble,
+    EnsembleOperatingPoint,
+    EnsembleTransientResult,
+    dc_operating_point_batched,
+    transient_simulation_batched,
+)
 from repro.circuit.waveforms import Constant, Pulse, PiecewiseLinear, Step
-from repro.circuit.sweep import temperature_sweep, parameter_sweep
+from repro.circuit.sweep import (
+    temperature_sweep,
+    temperature_sweep_batched,
+    parameter_sweep,
+)
 
 __all__ = [
     "Circuit",
@@ -44,10 +59,16 @@ __all__ = [
     "TransientOptions",
     "OperatingPoint",
     "TransientResult",
+    "CompiledEnsemble",
+    "EnsembleOperatingPoint",
+    "EnsembleTransientResult",
+    "dc_operating_point_batched",
+    "transient_simulation_batched",
     "Constant",
     "Pulse",
     "PiecewiseLinear",
     "Step",
     "temperature_sweep",
+    "temperature_sweep_batched",
     "parameter_sweep",
 ]

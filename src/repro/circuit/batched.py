@@ -1,0 +1,441 @@
+"""Batched ensemble circuit engine: one topology, B parameterizations.
+
+Every paper figure is an ensemble of structurally identical circuit solves —
+temperature sweeps, MAC-level ladders, 100 Monte-Carlo dies — so instead of
+solving them one at a time, this module stacks an ensemble of B member
+circuits (same topology, different thresholds / temperatures / source
+levels / switch schedules) into ``(B, n)`` residual and ``(B, n, n)``
+Jacobian arrays and drives them through one damped-Newton loop:
+
+* element contributions come from the vectorized batch stamps compiled by
+  :meth:`repro.circuit.elements.Element.compile_batch` (per-member
+  temperature-dependent constants frozen at compile time);
+* the linear step is one batched ``numpy.linalg.solve`` over the stack;
+* damping and convergence are tracked per member — converged members are
+  frozen (their iterate stops moving) so each member follows *exactly* the
+  trajectory the scalar solver would, and
+* members that plain Newton cannot crack fall back individually to the
+  scalar gmin-/source-stepping chain (:func:`repro.circuit.dcop._dc_fallback`).
+
+**Equivalence tolerance.**  Because trajectories are identical and numpy's
+batched LAPACK solve factorizes each member matrix independently, batched
+results track the scalar engine to solver precision; the documented (and
+test-asserted) tolerance is ``|dV| <= 1e-9 V + 1e-7 * |V|`` on every state
+entry, and the same bound on per-source energies scaled by the total.
+The scalar path in :mod:`repro.circuit.dcop` / :mod:`~repro.circuit.transient`
+remains the reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.elements import BatchStampContext, VoltageSource
+from repro.circuit.dcop import NewtonOptions, _dc_fallback
+from repro.circuit.mna import GMIN_FLOOR
+from repro.circuit.results import OperatingPoint, TransientResult
+from repro.circuit.transient import (
+    TransientOptions,
+    _attach_pins,
+    _detach_pins,
+)
+from repro.errors import ConvergenceError, NetlistError
+
+
+class CompiledEnsemble:
+    """B structurally identical circuits compiled into batched stamps.
+
+    Construction verifies the members share one topology (node names,
+    element classes, port wiring, branch layout) and freezes every
+    temperature-dependent per-member constant, so each Newton iteration is
+    pure array arithmetic.
+    """
+
+    def __init__(self, circuits, temps_c):
+        circuits = list(circuits)
+        if not circuits:
+            raise NetlistError("ensemble needs at least one member circuit")
+        self.circuits = circuits
+        self.temps_c = np.broadcast_to(
+            np.asarray(temps_c, dtype=float), (len(circuits),)).copy()
+        self.reference = circuits[0]
+        self._verify_topology()
+        self.num_nodes = self.reference.num_nodes
+        self.system_size = self.reference.system_size
+        self.n_members = len(circuits)
+        self.stamps = [
+            element.compile_batch(
+                [c.elements[i] for c in circuits], self.temps_c)
+            for i, element in enumerate(self.reference.elements)
+        ]
+        # Reused assembly buffers (refilled, not reallocated, per iteration).
+        self._f = np.zeros((self.n_members, self.system_size))
+        self._jac = np.zeros((self.n_members, self.system_size,
+                              self.system_size))
+        self._diag = np.arange(self.num_nodes)
+
+    def _verify_topology(self):
+        ref = self.reference
+        for b, circuit in enumerate(self.circuits[1:], start=1):
+            if (circuit.num_nodes != ref.num_nodes
+                    or circuit.num_branches != ref.num_branches
+                    or circuit.node_names != ref.node_names
+                    or len(circuit.elements) != len(ref.elements)):
+                raise NetlistError(
+                    f"ensemble member {b} ({circuit.title!r}) does not share "
+                    f"the reference topology ({ref.title!r})")
+            for i, (el, ref_el) in enumerate(zip(circuit.elements,
+                                                 ref.elements)):
+                if (type(el) is not type(ref_el)
+                        or el.port_indices != ref_el.port_indices
+                        or el.branch_index != ref_el.branch_index):
+                    raise NetlistError(
+                        f"ensemble member {b}: element {i} "
+                        f"({el!r}) differs structurally from {ref_el!r}")
+
+    def assemble(self, x, *, t=0.0, dt=None, x_prev=None, source_scale=1.0,
+                 mode="dc", gmin=GMIN_FLOOR):
+        """Stacked ``(f, J)`` at the ``(B, n)`` iterate ``x``.
+
+        The returned arrays are internal buffers, overwritten by the next
+        call — consume (or copy) them before reassembling.
+        """
+        f, jac = self._f, self._jac
+        f.fill(0.0)
+        jac.fill(0.0)
+        scale = np.broadcast_to(np.asarray(source_scale, dtype=float),
+                                (self.n_members,))
+        bctx = BatchStampContext(
+            x=x, f=f, jac=jac, t=t, dt=dt, x_prev=x_prev,
+            temps_c=self.temps_c, source_scale=scale, mode=mode,
+            num_nodes=self.num_nodes,
+        )
+        for stamp in self.stamps:
+            stamp.stamp(bctx)
+        if gmin > 0.0 and self.num_nodes:
+            f[:, :self.num_nodes] += gmin * x[:, :self.num_nodes]
+            jac[:, self._diag, self._diag] += gmin
+        return f, jac
+
+    def index_of(self, node_name):
+        return self.reference.index_of(node_name)
+
+
+def _batched_newton(plan, x0, *, t, dt, x_prev, source_scale, mode, gmin,
+                    options):
+    """Damped Newton over the whole stack with per-member convergence masks.
+
+    Never raises on non-convergence: returns
+    ``(x, iterations, residuals, converged, singular)`` with per-member
+    arrays and leaves straggler handling to the caller.  Converged members
+    are frozen, so each member reproduces the scalar solver's trajectory.
+    """
+    x = np.array(x0, dtype=float)
+    n_members, _ = x.shape
+    nn = plan.num_nodes
+    converged = np.zeros(n_members, dtype=bool)
+    iterations = np.full(n_members, options.max_iterations, dtype=int)
+    residuals = np.full(n_members, np.inf)
+    singular = np.zeros(n_members, dtype=int)
+
+    for iteration in range(1, options.max_iterations + 1):
+        f, jac = plan.assemble(
+            x, t=t, dt=dt, x_prev=x_prev, source_scale=source_scale,
+            mode=mode, gmin=gmin)
+        # Factorize only the still-active members: frozen members' deltas
+        # would be discarded anyway, and on large MC ensembles the LU stack
+        # is the dominant per-iteration cost.
+        active = np.flatnonzero(~converged)
+        f_a = f[active]
+        res_a = (np.max(np.abs(f_a), axis=1) if f_a.shape[1]
+                 else np.zeros(active.size))
+        try:
+            delta = np.linalg.solve(jac[active], -f_a[..., None])[..., 0]
+        except np.linalg.LinAlgError:
+            # At least one active member is singular; fall back per member
+            # so the healthy ones keep their exact LU step.
+            delta = np.empty_like(f_a)
+            for i, b in enumerate(active):
+                try:
+                    delta[i] = np.linalg.solve(jac[b], -f[b])
+                except np.linalg.LinAlgError:
+                    delta[i], *_ = np.linalg.lstsq(jac[b], -f[b], rcond=None)
+                    singular[b] += 1
+
+        # Per-member damping, identical to the scalar clamp.
+        if nn:
+            max_move = np.max(np.abs(delta[:, :nn]), axis=1, initial=0.0)
+        else:
+            max_move = np.zeros(active.size)
+        over = max_move > options.max_step_v
+        if np.any(over):
+            delta[over] *= (options.max_step_v / max_move[over])[:, None]
+            max_move = np.minimum(max_move, options.max_step_v)
+
+        x[active] += delta
+        residuals[active] = res_a
+        newly = active[(max_move < options.vtol) & (res_a < options.abstol)]
+        iterations[newly] = iteration
+        converged[newly] = True
+        if converged.all():
+            break
+    return x, iterations, residuals, converged, singular
+
+
+class EnsembleOperatingPoint:
+    """Solved DC operating points of a whole ensemble.
+
+    Vectorized lookups return ``(B,)`` arrays; :meth:`member` materializes
+    one member as a plain :class:`~repro.circuit.results.OperatingPoint`.
+    """
+
+    def __init__(self, circuits, x, *, temps_c, iterations, residuals,
+                 strategies, singular_solves):
+        self.circuits = list(circuits)
+        self.x = np.asarray(x, dtype=float)
+        self.temps_c = np.asarray(temps_c, dtype=float)
+        self.iterations = np.asarray(iterations, dtype=int)
+        self.residuals = np.asarray(residuals, dtype=float)
+        self.strategies = list(strategies)
+        self.singular_solves = np.asarray(singular_solves, dtype=int)
+
+    @property
+    def n_members(self):
+        return len(self.circuits)
+
+    def voltage(self, node_name):
+        """Per-member voltages of a node, shape ``(B,)``."""
+        idx = self.circuits[0].index_of(node_name)
+        if idx < 0:
+            return np.zeros(self.n_members)
+        return self.x[:, idx]
+
+    def branch_current(self, source_name):
+        """Per-member branch currents of a voltage source, shape ``(B,)``."""
+        el = self.circuits[0].element(source_name)
+        if el.branch_index is None:
+            raise NetlistError(f"element {source_name!r} has no branch current")
+        return self.x[:, self.circuits[0].num_nodes + el.branch_index]
+
+    def member(self, b):
+        """Member ``b`` as a scalar :class:`OperatingPoint` (shared storage)."""
+        return OperatingPoint(
+            self.circuits[b], self.x[b], temp_c=float(self.temps_c[b]),
+            iterations=int(self.iterations[b]),
+            residual=float(self.residuals[b]), strategy=self.strategies[b],
+            singular_solves=int(self.singular_solves[b]))
+
+    def __repr__(self):
+        fallbacks = sum(s != "newton" for s in self.strategies)
+        return (f"EnsembleOperatingPoint(members={self.n_members}, "
+                f"fallbacks={fallbacks})")
+
+
+def dc_operating_point_batched(circuits, *, temps_c=27.0, t=0.0, x0=None,
+                               options=None):
+    """Batched DC operating point of an ensemble of identical topologies.
+
+    All members run plain damped Newton together; any that fail to converge
+    fall back — individually — to the scalar gmin-/source-stepping chain,
+    so robustness matches the scalar solver member for member.
+    """
+    options = options or NewtonOptions()
+    plan = CompiledEnsemble(circuits, temps_c)
+    shape = (plan.n_members, plan.system_size)
+    if x0 is None:
+        x_init = np.zeros(shape)
+    else:
+        x_init = np.broadcast_to(np.asarray(x0, dtype=float), shape).copy()
+
+    x, iterations, residuals, converged, singular = _batched_newton(
+        plan, x_init, t=t, dt=None, x_prev=None, source_scale=1.0,
+        mode="dc", gmin=GMIN_FLOOR, options=options)
+    strategies = ["newton"] * plan.n_members
+    for b in np.flatnonzero(~converged):
+        op = _dc_fallback(plan.circuits[b], x_init[b].copy(),
+                          temp_c=float(plan.temps_c[b]), t=t, options=options)
+        x[b] = op.x
+        iterations[b] = op.iterations
+        residuals[b] = op.residual
+        strategies[b] = op.strategy
+        singular[b] += op.singular_solves
+    return EnsembleOperatingPoint(
+        plan.circuits, x, temps_c=plan.temps_c, iterations=iterations,
+        residuals=residuals, strategies=strategies, singular_solves=singular)
+
+
+class EnsembleTransientResult:
+    """Stacked time series of a batched transient run.
+
+    ``states`` has shape ``(B, T, n)``; vectorized accessors return
+    per-member arrays, and :meth:`member` yields a scalar
+    :class:`~repro.circuit.results.TransientResult` view (shared storage).
+    """
+
+    def __init__(self, circuits, times, states, source_energy, temps_c,
+                 singular_solves):
+        self.circuits = list(circuits)
+        self.times = np.asarray(times, dtype=float)
+        self.states = np.asarray(states, dtype=float)
+        self.source_energy = {k: np.asarray(v, dtype=float)
+                              for k, v in source_energy.items()}
+        self.temps_c = np.asarray(temps_c, dtype=float)
+        self.singular_solves = np.asarray(singular_solves, dtype=int)
+
+    @property
+    def n_members(self):
+        return len(self.circuits)
+
+    def voltage(self, node_name):
+        """Per-member waveforms of a node, shape ``(B, T)``."""
+        idx = self.circuits[0].index_of(node_name)
+        if idx < 0:
+            return np.zeros((self.n_members, self.times.size))
+        return self.states[:, :, idx]
+
+    def final_voltage(self, node_name):
+        """Node voltage of every member at the last time point, ``(B,)``."""
+        return self.voltage(node_name)[:, -1].copy()
+
+    def branch_current(self, source_name):
+        """Per-member branch-current waveforms, shape ``(B, T)``."""
+        el = self.circuits[0].element(source_name)
+        if el.branch_index is None:
+            raise NetlistError(f"element {source_name!r} has no branch current")
+        return self.states[:, :, self.circuits[0].num_nodes + el.branch_index]
+
+    def energy_of(self, source_name):
+        """Per-member energies delivered by one source, ``(B,)``."""
+        return self.source_energy[source_name]
+
+    def total_source_energy(self):
+        """Per-member total source energy, ``(B,)``."""
+        return sum(self.source_energy.values(),
+                   np.zeros(self.n_members))
+
+    def at_time(self, t):
+        """Index of the sample closest to time ``t``."""
+        return int(np.argmin(np.abs(self.times - t)))
+
+    def member(self, b):
+        """Member ``b`` as a scalar :class:`TransientResult` view."""
+        return TransientResult(
+            self.circuits[b], self.times, self.states[b],
+            {name: float(e[b]) for name, e in self.source_energy.items()},
+            float(self.temps_c[b]),
+            singular_solves=int(self.singular_solves[b]))
+
+    def __repr__(self):
+        return (f"EnsembleTransientResult(members={self.n_members}, "
+                f"points={self.times.size}, t_end={self.times[-1]:.3e}s)")
+
+
+def _initial_state_batched(circuits, temps_c, initial_conditions, options):
+    """Batched t=0 solve with per-member initial-condition pins.
+
+    ``initial_conditions`` is one mapping shared by the batch or a list of
+    per-member mappings over the same node set.  Returns
+    ``(x0, singular)`` with shapes ``(B, n)`` / ``(B,)``.
+    """
+    n_members = len(circuits)
+    if isinstance(initial_conditions, dict) or initial_conditions is None:
+        ics_list = [initial_conditions or {}] * n_members
+    else:
+        ics_list = [dict(ics) for ics in initial_conditions]
+        if len(ics_list) != n_members:
+            raise NetlistError("one initial-condition mapping per member "
+                               "required")
+        keys = {tuple(sorted(ics)) for ics in ics_list}
+        if len(keys) > 1:
+            raise NetlistError("per-member initial conditions must pin the "
+                               "same node set (topology must match)")
+
+    if not any(ics_list):
+        op = dc_operating_point_batched(circuits, temps_c=temps_c,
+                                        options=options.newton)
+        return op.x, op.singular_solves.copy()
+
+    pins = [_attach_pins(circuit, ics, options)
+            for circuit, ics in zip(circuits, ics_list)]
+    try:
+        op = dc_operating_point_batched(circuits, temps_c=temps_c,
+                                        options=options.newton)
+    finally:
+        for circuit, circuit_pins in zip(circuits, pins):
+            _detach_pins(circuit, circuit_pins)
+    x = op.x.copy()
+    for b, (circuit, ics) in enumerate(zip(circuits, ics_list)):
+        for node, v_target in ics.items():
+            idx = circuit.index_of(node)
+            if idx >= 0:
+                x[b, idx] = float(v_target)
+    return x, op.singular_solves.copy()
+
+
+def transient_simulation_batched(circuits, *, t_stop, dt, temps_c=27.0,
+                                 initial_conditions=None, options=None):
+    """Fixed-step backward-Euler transient over a whole ensemble.
+
+    The mirror of :func:`repro.circuit.transient.transient_simulation` for B
+    member circuits sharing one topology: every timestep runs one batched
+    Newton solve, and per-source energy is integrated per member with the
+    same trapezoidal rule.  Members whose Newton iteration stalls raise
+    :class:`ConvergenceError` exactly as the scalar integrator would.
+    """
+    if t_stop <= 0 or dt <= 0:
+        raise ValueError("t_stop and dt must be positive")
+    options = options or TransientOptions()
+
+    n_steps = int(round(t_stop / dt))
+    times = np.linspace(0.0, n_steps * dt, n_steps + 1)
+
+    x0, singular = _initial_state_batched(
+        circuits, temps_c, initial_conditions, options)
+    plan = CompiledEnsemble(circuits, temps_c)
+    n_members = plan.n_members
+    states = np.empty((n_members, n_steps + 1, plan.system_size))
+    states[:, 0] = x0
+
+    src_indices = [i for i, el in enumerate(plan.reference.elements)
+                   if isinstance(el, VoltageSource)]
+    src_members = {
+        plan.reference.elements[i].name: [c.elements[i] for c in circuits]
+        for i in src_indices
+    }
+    energy = {name: np.zeros(n_members) for name in src_members}
+
+    def delivered_power(state, t):
+        powers = {}
+        for name, members in src_members.items():
+            i_br = state[:, plan.num_nodes + members[0].branch_index]
+            values = np.array([el.value_at(t) for el in members])
+            powers[name] = -i_br * values
+        return powers
+
+    p_prev = delivered_power(x0, 0.0)
+    x_prev = x0
+    for step in range(1, n_steps + 1):
+        t = times[step]
+        x_new, _, residuals, converged, sing = _batched_newton(
+            plan, x_prev, t=t, dt=dt, x_prev=x_prev, source_scale=1.0,
+            mode="tran", gmin=GMIN_FLOOR, options=options.newton)
+        if not converged.all():
+            bad = np.flatnonzero(~converged)
+            raise ConvergenceError(
+                f"batched transient step at t={t:.3e}s failed to converge "
+                f"for member(s) {bad.tolist()} of {plan.reference.title!r} "
+                f"(worst residual {float(np.max(residuals[bad])):.3e} A)",
+                residual=float(np.max(residuals[bad])),
+                iterations=options.newton.max_iterations,
+            )
+        singular += sing
+        states[:, step] = x_new
+        p_now = delivered_power(x_new, t)
+        for name in energy:
+            energy[name] += 0.5 * (p_prev[name] + p_now[name]) * dt
+        p_prev = p_now
+        x_prev = x_new
+
+    return EnsembleTransientResult(
+        circuits, times, states, energy, plan.temps_c,
+        singular_solves=singular)

@@ -11,6 +11,11 @@ techniques keep the solver robust:
    down to the 1 pS floor while warm-starting each stage.
 3. **Source stepping**: as a last resort, ramp all independent sources from
    zero to full value, tracking the solution along the homotopy.
+
+Singular-Jacobian iterations fall back to a least-squares step; that
+fallback is *counted* (``singular_solves`` on the returned
+:class:`~repro.circuit.results.OperatingPoint`) rather than hidden, so
+experiments can surface ill-conditioned netlists in their diagnostics.
 """
 
 from __future__ import annotations
@@ -37,10 +42,16 @@ class NewtonOptions:
 
 
 def _newton(circuit, x0, *, t, dt, x_prev, temp_c, source_scale, mode, gmin, options):
-    """One damped-Newton solve; returns (x, iterations, residual) or raises."""
+    """One damped-Newton solve.
+
+    Returns ``(x, iterations, residual, singular_solves)`` or raises
+    :class:`ConvergenceError`; ``singular_solves`` counts iterations whose
+    Jacobian was singular and fell back to a least-squares step.
+    """
     x = x0.copy()
     num_nodes = circuit.num_nodes
     residual = np.inf
+    singular = 0
     for iteration in range(1, options.max_iterations + 1):
         f, jac = assemble(
             circuit, x, t=t, dt=dt, x_prev=x_prev, temp_c=temp_c,
@@ -51,6 +62,7 @@ def _newton(circuit, x0, *, t, dt, x_prev, temp_c, source_scale, mode, gmin, opt
             delta = np.linalg.solve(jac, -f)
         except np.linalg.LinAlgError:
             delta, *_ = np.linalg.lstsq(jac, -f, rcond=None)
+            singular += 1
 
         # Damp: limit the largest node-voltage move per iteration.
         max_move = float(np.max(np.abs(delta[:num_nodes]), initial=0.0))
@@ -60,7 +72,7 @@ def _newton(circuit, x0, *, t, dt, x_prev, temp_c, source_scale, mode, gmin, opt
         x += delta
 
         if max_move < options.vtol and residual < options.abstol:
-            return x, iteration, residual
+            return x, iteration, residual, singular
     raise ConvergenceError(
         f"Newton failed after {options.max_iterations} iterations "
         f"(residual {residual:.3e} A)",
@@ -71,13 +83,67 @@ def _newton(circuit, x0, *, t, dt, x_prev, temp_c, source_scale, mode, gmin, opt
 
 def newton_solve(circuit, x0, *, t=0.0, dt=None, x_prev=None, temp_c=27.0,
                  source_scale=1.0, mode="dc", gmin=GMIN_FLOOR, options=None):
-    """Public single-stage Newton solve (used by the transient integrator)."""
+    """Public single-stage Newton solve (used by the transient integrator).
+
+    Returns ``(x, iterations, residual, singular_solves)``.
+    """
     options = options or NewtonOptions()
     return _newton(
         circuit, np.asarray(x0, dtype=float), t=t, dt=dt, x_prev=x_prev,
         temp_c=temp_c, source_scale=source_scale, mode=mode, gmin=gmin,
         options=options,
     )
+
+
+def _dc_fallback(circuit, x_init, *, temp_c, t, options):
+    """Fallback chain after plain Newton failed: gmin, then source stepping.
+
+    Shared by the scalar solver and the batched engine (which retries only
+    its non-converged stragglers through here).  Raises
+    :class:`ConvergenceError` when every strategy is exhausted.
+    """
+    # Strategy 2: gmin stepping.
+    x = x_init.copy()
+    try:
+        total_iters = 0
+        singular = 0
+        for gmin in (*options.gmin_steps, GMIN_FLOOR):
+            x, iters, res, sing = _newton(
+                circuit, x, t=t, dt=None, x_prev=None, temp_c=temp_c,
+                source_scale=1.0, mode="dc", gmin=gmin, options=options,
+            )
+            total_iters += iters
+            singular += sing
+        return OperatingPoint(circuit, x, temp_c=temp_c, iterations=total_iters,
+                              residual=res, strategy="gmin-stepping",
+                              singular_solves=singular)
+    except ConvergenceError:
+        pass
+
+    # Strategy 3: source stepping.
+    x = np.zeros(circuit.system_size)
+    total_iters = 0
+    singular = 0
+    scales = np.linspace(1.0 / options.source_steps, 1.0, options.source_steps)
+    try:
+        for scale in scales:
+            x, iters, res, sing = _newton(
+                circuit, x, t=t, dt=None, x_prev=None, temp_c=temp_c,
+                source_scale=float(scale), mode="dc", gmin=GMIN_FLOOR,
+                options=options,
+            )
+            total_iters += iters
+            singular += sing
+        return OperatingPoint(circuit, x, temp_c=temp_c, iterations=total_iters,
+                              residual=res, strategy="source-stepping",
+                              singular_solves=singular)
+    except ConvergenceError as err:
+        raise ConvergenceError(
+            f"DC operating point of {circuit.title!r} failed all strategies "
+            f"(newton, gmin, source stepping) at T={temp_c} degC: {err}",
+            residual=err.residual,
+            iterations=total_iters,
+        ) from err
 
 
 def dc_operating_point(circuit, *, temp_c=27.0, t=0.0, x0=None, options=None):
@@ -88,48 +154,14 @@ def dc_operating_point(circuit, *, temp_c=27.0, t=0.0, x0=None, options=None):
 
     # Strategy 1: plain damped Newton.
     try:
-        x, iters, res = _newton(
+        x, iters, res, singular = _newton(
             circuit, x_init, t=t, dt=None, x_prev=None, temp_c=temp_c,
             source_scale=1.0, mode="dc", gmin=GMIN_FLOOR, options=options,
         )
         return OperatingPoint(circuit, x, temp_c=temp_c, iterations=iters,
-                              residual=res, strategy="newton")
+                              residual=res, strategy="newton",
+                              singular_solves=singular)
     except ConvergenceError:
         pass
 
-    # Strategy 2: gmin stepping.
-    x = x_init.copy()
-    try:
-        total_iters = 0
-        for gmin in (*options.gmin_steps, GMIN_FLOOR):
-            x, iters, res = _newton(
-                circuit, x, t=t, dt=None, x_prev=None, temp_c=temp_c,
-                source_scale=1.0, mode="dc", gmin=gmin, options=options,
-            )
-            total_iters += iters
-        return OperatingPoint(circuit, x, temp_c=temp_c, iterations=total_iters,
-                              residual=res, strategy="gmin-stepping")
-    except ConvergenceError:
-        pass
-
-    # Strategy 3: source stepping.
-    x = np.zeros(n)
-    total_iters = 0
-    scales = np.linspace(1.0 / options.source_steps, 1.0, options.source_steps)
-    try:
-        for scale in scales:
-            x, iters, res = _newton(
-                circuit, x, t=t, dt=None, x_prev=None, temp_c=temp_c,
-                source_scale=float(scale), mode="dc", gmin=GMIN_FLOOR,
-                options=options,
-            )
-            total_iters += iters
-        return OperatingPoint(circuit, x, temp_c=temp_c, iterations=total_iters,
-                              residual=res, strategy="source-stepping")
-    except ConvergenceError as err:
-        raise ConvergenceError(
-            f"DC operating point of {circuit.title!r} failed all strategies "
-            f"(newton, gmin, source stepping) at T={temp_c} degC: {err}",
-            residual=err.residual,
-            iterations=total_iters,
-        ) from err
+    return _dc_fallback(circuit, x_init, temp_c=temp_c, t=t, options=options)

@@ -1,4 +1,4 @@
-"""Circuit elements and their MNA Newton stamps.
+"""Circuit elements and their MNA Newton stamps — scalar and batched.
 
 Every element implements ``stamp(ctx)`` against a :class:`StampContext`,
 adding its contribution to the KCL residual vector ``f`` and the Jacobian
@@ -8,6 +8,20 @@ contribution at a node is current *leaving* that node through the element.
 Nonlinear devices (MOSFET, FeFET) delegate their I-V math to the compact
 models in :mod:`repro.devices`, which supply analytic partial derivatives —
 no finite differencing anywhere in the Newton loop.
+
+Every element additionally knows how to *compile* an ensemble of B
+structurally identical instances into one vectorized stamp
+(:meth:`Element.compile_batch`): the returned object writes into stacked
+``(B, n)`` residual and ``(B, n, n)`` Jacobian buffers through a
+:class:`BatchStampContext`, so the batched solvers in
+:mod:`repro.circuit.batched` evaluate a whole Monte-Carlo / temperature /
+MAC-level ensemble with a handful of numpy calls per element instead of a
+Python loop per member.  Per-member temperature-dependent quantities
+(thresholds, specific currents, conductances) are frozen at compile time —
+member temperatures are constant through a solve — so the per-iteration
+work is pure array arithmetic.  Elements without a vectorized stamp fall
+back to looping their scalar ``stamp`` over per-member views, which keeps
+custom elements correct, just not fast.
 """
 
 from __future__ import annotations
@@ -82,6 +96,91 @@ class StampContext:
         return self._num_nodes + branch_idx
 
 
+class BatchStampContext:
+    """Batched analog of :class:`StampContext`.
+
+    ``x`` and ``f`` are ``(B, n)`` stacks, ``jac`` a ``(B, n, n)`` stack —
+    one ensemble member per leading index.  Time, timestep and mode are
+    shared across the batch; temperature and source scale are per-member
+    ``(B,)`` arrays.  All accessors return ``(B,)`` views/arrays.
+    """
+
+    def __init__(self, x, f, jac, t, dt, x_prev, temps_c, source_scale,
+                 mode, num_nodes):
+        self.x = x
+        self.f = f
+        self.jac = jac
+        self.t = t
+        self.dt = dt
+        self.x_prev = x_prev
+        self.temps_c = temps_c
+        self.source_scale = source_scale
+        self.mode = mode
+        self._num_nodes = num_nodes
+        self._zeros = np.zeros(x.shape[0])
+
+    @property
+    def n_members(self):
+        return self.x.shape[0]
+
+    def v(self, node_idx):
+        """Per-member node voltages at the current iterate (0 for ground)."""
+        if node_idx < 0:
+            return self._zeros
+        return self.x[:, node_idx]
+
+    def v_prev(self, node_idx):
+        """Per-member node voltages at the previous timestep."""
+        if node_idx < 0 or self.x_prev is None:
+            return self._zeros
+        return self.x_prev[:, node_idx]
+
+    def branch_value(self, branch_idx):
+        """Per-member branch currents at the current iterate."""
+        return self.x[:, self._num_nodes + branch_idx]
+
+    def add_f(self, row, values):
+        """Accumulate ``(B,)`` values into the residual stack."""
+        if row >= 0:
+            self.f[:, row] += values
+
+    def add_j(self, row, col, values):
+        """Accumulate ``(B,)`` values into the Jacobian stack."""
+        if row >= 0 and col >= 0:
+            self.jac[:, row, col] += values
+
+    def branch_row(self, branch_idx):
+        """Matrix row/column index of a branch unknown."""
+        return self._num_nodes + branch_idx
+
+    def scalar_view(self, b):
+        """A scalar :class:`StampContext` over member ``b``'s buffers.
+
+        The slices are numpy views, so a scalar ``stamp`` writes straight
+        into the stacked arrays — the generic fallback path.
+        """
+        return StampContext(
+            x=self.x[b], f=self.f[b], jac=self.jac[b], t=self.t, dt=self.dt,
+            x_prev=None if self.x_prev is None else self.x_prev[b],
+            temp_c=float(self.temps_c[b]),
+            source_scale=float(self.source_scale[b]),
+            mode=self.mode, num_nodes=self._num_nodes,
+        )
+
+
+class _GenericBatchStamp:
+    """Correct-for-anything fallback: loop the scalar stamp per member."""
+
+    vectorized = False
+
+    def __init__(self, members):
+        self.members = members
+
+    def stamp(self, bctx):
+        for b, element in enumerate(self.members):
+            element.stamp(bctx.scalar_view(b))
+
+
 class Element:
     """Base class: subclasses set ``ports`` and implement ``stamp``."""
 
@@ -95,6 +194,17 @@ class Element:
 
     def stamp(self, ctx):
         raise NotImplementedError
+
+    def compile_batch(self, members, temps_c):
+        """Compile ``members`` (one instance per ensemble member, identical
+        topology) into a batched stamp object with a ``stamp(bctx)`` method.
+
+        ``temps_c`` is the per-member ambient temperature array; anything
+        that depends only on it is precomputed here, once per solve, rather
+        than per Newton iteration.  The base implementation loops the
+        scalar stamp, so custom elements are always supported.
+        """
+        return _GenericBatchStamp(members)
 
     def __repr__(self):
         return f"{type(self).__name__}({self.name!r}, ports={self.ports})"
@@ -131,6 +241,12 @@ class Resistor(Element):
         ctx.add_j(b, a, -g)
         ctx.add_j(b, b, g)
 
+    def compile_batch(self, members, temps_c):
+        # Conductance depends only on the (frozen) member temperature.
+        g = np.array([m.conductance(float(t))
+                      for m, t in zip(members, temps_c)])
+        return _BatchConductanceStamp(self.port_indices, g=g)
+
     def current(self, op, temp_c):
         """Branch current a->b at a solved operating point."""
         return self.conductance(temp_c) * (op.voltage_by_index(self.port_indices[0])
@@ -160,6 +276,10 @@ class Capacitor(Element):
         ctx.add_j(a, b, -geq)
         ctx.add_j(b, a, -geq)
         ctx.add_j(b, b, geq)
+
+    def compile_batch(self, members, temps_c):
+        farads = np.array([m.farads for m in members])
+        return _BatchCapacitorStamp(self.port_indices, farads)
 
     def stored_energy(self, v_across):
         """Energy stored at a given voltage across the plates."""
@@ -199,6 +319,11 @@ class VoltageSource(Element):
         ctx.add_j(row, pos, 1.0)
         ctx.add_j(row, neg, -1.0)
 
+    def compile_batch(self, members, temps_c):
+        return _BatchVoltageSourceStamp(
+            self.port_indices, self.branch_index,
+            [m.waveform for m in members])
+
 
 class CurrentSource(Element):
     """Independent current source, positive current from pos to neg port."""
@@ -212,6 +337,10 @@ class CurrentSource(Element):
         i = self.waveform(ctx.t) * ctx.source_scale
         ctx.add_f(pos, i)
         ctx.add_f(neg, -i)
+
+    def compile_batch(self, members, temps_c):
+        return _BatchCurrentSourceStamp(
+            self.port_indices, [m.waveform for m in members])
 
 
 class Switch(Element):
@@ -244,6 +373,14 @@ class Switch(Element):
         ctx.add_j(b, a, -g)
         ctx.add_j(b, b, g)
 
+    def compile_batch(self, members, temps_c):
+        # Per-member schedules may differ; conductances are re-evaluated
+        # (and memoized) per time point, not per Newton iteration.
+        def g_at(t):
+            return np.array([m.conductance_at(t) for m in members])
+
+        return _BatchConductanceStamp(self.port_indices, g_at=g_at)
+
 
 class VCVS(Element):
     """Voltage-controlled voltage source (SPICE 'E' element).
@@ -275,6 +412,10 @@ class VCVS(Element):
         ctx.add_j(row, cpos, -self.gain)
         ctx.add_j(row, cneg, self.gain)
 
+    def compile_batch(self, members, temps_c):
+        gains = np.array([m.gain for m in members])
+        return _BatchVCVSStamp(self.port_indices, self.branch_index, gains)
+
 
 class VCCS(Element):
     """Voltage-controlled current source (SPICE 'G' element).
@@ -296,6 +437,10 @@ class VCCS(Element):
         for row, sign in ((pos, 1.0), (neg, -1.0)):
             ctx.add_j(row, cpos, sign * self.gm)
             ctx.add_j(row, cneg, -sign * self.gm)
+
+    def compile_batch(self, members, temps_c):
+        gms = np.array([m.gm for m in members])
+        return _BatchVCCSStamp(self.port_indices, gms)
 
 
 class MOSFETElement(Element):
@@ -321,6 +466,13 @@ class MOSFETElement(Element):
             ctx.add_j(row, g, sign * gm)
             ctx.add_j(row, s, sign * gms)
 
+    def compile_batch(self, members, temps_c):
+        stacked = _stack_channel_models([m.model for m in members], temps_c)
+        if stacked is None:
+            # Unknown compact model: stay correct via the scalar loop.
+            return _GenericBatchStamp(members)
+        return _BatchMOSFETStamp(self.port_indices, *stacked)
+
     def current(self, op, temp_c):
         """Drain current at a solved operating point."""
         d, g, s = self.port_indices
@@ -338,3 +490,250 @@ class FeFETElement(MOSFETElement):
     @property
     def fefet(self):
         return self.model
+
+
+# ----------------------------------------------------------------------
+# Vectorized batch stamps (see the module docstring and circuit.batched)
+# ----------------------------------------------------------------------
+class _BatchConductanceStamp:
+    """G-stamp for two-terminal conductances (resistors, switches).
+
+    ``g`` is a frozen per-member conductance array; alternatively ``g_at``
+    is a callable re-evaluated (and memoized) whenever the time point
+    changes — Newton iterations within one solve share it.
+    """
+
+    vectorized = True
+
+    def __init__(self, ports, g=None, g_at=None):
+        self.a, self.b = ports
+        self._g = g
+        self._g_at = g_at
+        self._t = None
+
+    def stamp(self, bctx):
+        if self._g_at is not None and self._t != bctx.t:
+            self._g = self._g_at(bctx.t)
+            self._t = bctx.t
+        g = self._g
+        i = g * (bctx.v(self.a) - bctx.v(self.b))
+        bctx.add_f(self.a, i)
+        bctx.add_f(self.b, -i)
+        bctx.add_j(self.a, self.a, g)
+        bctx.add_j(self.a, self.b, -g)
+        bctx.add_j(self.b, self.a, -g)
+        bctx.add_j(self.b, self.b, g)
+
+
+class _BatchCapacitorStamp:
+    """Backward-Euler companion stamp over a capacitance stack."""
+
+    vectorized = True
+
+    def __init__(self, ports, farads):
+        self.a, self.b = ports
+        self.farads = farads
+
+    def stamp(self, bctx):
+        if bctx.mode == "dc":
+            return
+        geq = self.farads / bctx.dt
+        v_now = bctx.v(self.a) - bctx.v(self.b)
+        v_old = bctx.v_prev(self.a) - bctx.v_prev(self.b)
+        i = geq * (v_now - v_old)
+        bctx.add_f(self.a, i)
+        bctx.add_f(self.b, -i)
+        bctx.add_j(self.a, self.a, geq)
+        bctx.add_j(self.a, self.b, -geq)
+        bctx.add_j(self.b, self.a, -geq)
+        bctx.add_j(self.b, self.b, geq)
+
+
+class _BatchVoltageSourceStamp:
+    """Branch-equation stamp with per-member waveforms.
+
+    Raw waveform values are memoized per time point; the source-stepping
+    scale is applied per call so homotopy solves stay correct.
+    """
+
+    vectorized = True
+
+    def __init__(self, ports, branch_index, waveforms):
+        self.pos, self.neg = ports
+        self.branch_index = branch_index
+        self.waveforms = waveforms
+        self._t = None
+        self._raw = None
+
+    def values_at(self, t):
+        """Per-member source values at ``t`` (unscaled)."""
+        if self._t != t:
+            self._raw = np.array([wf(t) for wf in self.waveforms],
+                                 dtype=float)
+            self._t = t
+        return self._raw
+
+    def stamp(self, bctx):
+        row = bctx.branch_row(self.branch_index)
+        i_br = bctx.branch_value(self.branch_index)
+        bctx.add_f(self.pos, i_br)
+        bctx.add_f(self.neg, -i_br)
+        bctx.add_j(self.pos, row, 1.0)
+        bctx.add_j(self.neg, row, -1.0)
+        v_target = self.values_at(bctx.t) * bctx.source_scale
+        bctx.f[:, row] += bctx.v(self.pos) - bctx.v(self.neg) - v_target
+        bctx.add_j(row, self.pos, 1.0)
+        bctx.add_j(row, self.neg, -1.0)
+
+
+class _BatchCurrentSourceStamp:
+    """Independent current source over per-member waveforms."""
+
+    vectorized = True
+
+    def __init__(self, ports, waveforms):
+        self.pos, self.neg = ports
+        self.waveforms = waveforms
+        self._t = None
+        self._raw = None
+
+    def stamp(self, bctx):
+        if self._t != bctx.t:
+            self._raw = np.array([wf(bctx.t) for wf in self.waveforms],
+                                 dtype=float)
+            self._t = bctx.t
+        i = self._raw * bctx.source_scale
+        bctx.add_f(self.pos, i)
+        bctx.add_f(self.neg, -i)
+
+
+class _BatchVCVSStamp:
+    """Voltage-controlled voltage source over a gain stack."""
+
+    vectorized = True
+
+    def __init__(self, ports, branch_index, gains):
+        self.pos, self.neg, self.cpos, self.cneg = ports
+        self.branch_index = branch_index
+        self.gains = gains
+
+    def stamp(self, bctx):
+        row = bctx.branch_row(self.branch_index)
+        i_br = bctx.branch_value(self.branch_index)
+        bctx.add_f(self.pos, i_br)
+        bctx.add_f(self.neg, -i_br)
+        bctx.add_j(self.pos, row, 1.0)
+        bctx.add_j(self.neg, row, -1.0)
+        bctx.f[:, row] += (bctx.v(self.pos) - bctx.v(self.neg)
+                           - self.gains * (bctx.v(self.cpos)
+                                           - bctx.v(self.cneg)))
+        bctx.add_j(row, self.pos, 1.0)
+        bctx.add_j(row, self.neg, -1.0)
+        bctx.add_j(row, self.cpos, -self.gains)
+        bctx.add_j(row, self.cneg, self.gains)
+
+
+class _BatchVCCSStamp:
+    """Voltage-controlled current source over a transconductance stack."""
+
+    vectorized = True
+
+    def __init__(self, ports, gms):
+        self.pos, self.neg, self.cpos, self.cneg = ports
+        self.gms = gms
+
+    def stamp(self, bctx):
+        i = self.gms * (bctx.v(self.cpos) - bctx.v(self.cneg))
+        bctx.add_f(self.pos, i)
+        bctx.add_f(self.neg, -i)
+        for row, sign in ((self.pos, 1.0), (self.neg, -1.0)):
+            bctx.add_j(row, self.cpos, sign * self.gms)
+            bctx.add_j(row, self.cneg, -sign * self.gms)
+
+
+def _stack_channel_models(models, temps_c):
+    """Stack per-member EKV channel models into parameter arrays.
+
+    Supports ``NMOSModel``, ``FeFET`` (identical EKV core, polarization
+    folded into the stacked threshold) and ``PMOSModel`` (mirror identity),
+    each optionally wrapped in ``TemperatureShifted`` layers whose offsets
+    are folded into the member's effective temperature.  Member temperatures
+    are constant through a solve, so thresholds, thermal voltages and
+    specific currents are frozen here.  Returns ``None`` when a model class
+    is not recognized (the caller falls back to scalar stamping) or when
+    members mix polarities.
+    """
+    from repro.constants import thermal_voltage
+    from repro.devices.fefet import FeFET
+    from repro.devices.mosfet import NMOSModel, PMOSModel, ekv_ids_and_derivs
+    from repro.devices.thermal import TemperatureShifted
+
+    n = len(models)
+    vth = np.empty(n)
+    ut = np.empty(n)
+    ispec = np.empty(n)
+    slope = np.empty(n)
+    lam = np.empty(n)
+    polarity = 0
+    for b, (model, temp) in enumerate(zip(models, temps_c)):
+        t_eff = float(temp)
+        while isinstance(model, TemperatureShifted):
+            t_eff = t_eff + model.offset_c
+            model = model.inner
+        if isinstance(model, PMOSModel):
+            pol, core = -1, model._nmos
+        elif isinstance(model, (NMOSModel, FeFET)):
+            pol, core = 1, model
+        else:
+            return None
+        if polarity == 0:
+            polarity = pol
+        elif polarity != pol:
+            return None
+        vth[b] = core.vth(t_eff)
+        ut[b] = thermal_voltage(t_eff)
+        ispec[b] = core.ispec(t_eff)
+        slope[b] = core.params.slope_factor
+        lam[b] = core.params.lambda_clm
+    return ekv_ids_and_derivs, polarity, vth, ut, ispec, slope, lam
+
+
+class _BatchMOSFETStamp:
+    """Vectorized EKV stamp: one ufunc sweep evaluates every member.
+
+    Covers nMOS, FeFET (threshold stacked from the frozen polarization
+    state) and pMOS (mirror identity, matching ``PMOSModel.ids_and_derivs``).
+    """
+
+    vectorized = True
+
+    def __init__(self, ports, ekv, polarity, vth, ut, ispec, slope, lam):
+        self.d, self.g, self.s = ports
+        self._ekv = ekv
+        self.polarity = polarity
+        self.vth = vth
+        self.ut = ut
+        self.ispec = ispec
+        self.slope = slope
+        self.lam = lam
+
+    def stamp(self, bctx):
+        vd, vg, vs = bctx.v(self.d), bctx.v(self.g), bctx.v(self.s)
+        if self.polarity > 0:
+            ids, gds, gm, gms = self._ekv(
+                vd, vg, vs, vth=self.vth, ut=self.ut, ispec=self.ispec,
+                slope_factor=self.slope, lambda_clm=self.lam)
+        else:
+            # pMOS mirror identity (source-referenced n-well), chain-ruled
+            # exactly as in PMOSModel.ids_and_derivs.
+            ids_n, gds_n, gm_n, _ = self._ekv(
+                vs - vd, vs - vg, 0.0, vth=self.vth, ut=self.ut,
+                ispec=self.ispec, slope_factor=self.slope,
+                lambda_clm=self.lam)
+            ids, gds, gm, gms = -ids_n, gds_n, gm_n, -(gds_n + gm_n)
+        bctx.add_f(self.d, ids)
+        bctx.add_f(self.s, -ids)
+        for row, sign in ((self.d, 1.0), (self.s, -1.0)):
+            bctx.add_j(row, self.d, sign * gds)
+            bctx.add_j(row, self.g, sign * gm)
+            bctx.add_j(row, self.s, sign * gms)

@@ -11,16 +11,20 @@ class OperatingPoint:
     """A solved DC operating point.
 
     Provides voltage lookups by node name and branch currents for voltage
-    sources, plus the solver diagnostics (iterations, residual, strategy).
+    sources, plus the solver diagnostics (iterations, residual, strategy,
+    and ``singular_solves`` — the number of Newton iterations that hit a
+    singular Jacobian and fell back to a least-squares step).
     """
 
-    def __init__(self, circuit, x, *, temp_c, iterations, residual, strategy):
+    def __init__(self, circuit, x, *, temp_c, iterations, residual, strategy,
+                 singular_solves=0):
         self.circuit = circuit
         self.x = np.asarray(x, dtype=float)
         self.temp_c = temp_c
         self.iterations = iterations
         self.residual = residual
         self.strategy = strategy
+        self.singular_solves = int(singular_solves)
 
     def voltage(self, node_name):
         """Voltage of a node by name (0.0 for ground)."""
@@ -64,14 +68,19 @@ class TransientResult:
         2-D array, one MNA solution vector per time point.
     source_energy:
         Mapping source name -> cumulative energy delivered to the circuit (J).
+    singular_solves:
+        Total singular-Jacobian least-squares fallbacks over the whole run
+        (initial state plus every timestep).
     """
 
-    def __init__(self, circuit, times, states, source_energy, temp_c):
+    def __init__(self, circuit, times, states, source_energy, temp_c,
+                 singular_solves=0):
         self.circuit = circuit
         self.times = np.asarray(times, dtype=float)
         self.states = np.asarray(states, dtype=float)
         self.source_energy = dict(source_energy)
         self.temp_c = temp_c
+        self.singular_solves = int(singular_solves)
 
     def voltage(self, node_name):
         """Full voltage waveform of a node."""

@@ -46,6 +46,29 @@ def temperature_sweep(circuit_factory, temps_c, *, probe, options=None):
     return temps, values
 
 
+def temperature_sweep_batched(circuit_factory, temps_c, *, probe,
+                              options=None):
+    """Batched counterpart of :func:`temperature_sweep`.
+
+    Builds one netlist per temperature point and solves the whole grid as a
+    single ensemble through
+    :func:`repro.circuit.batched.dc_operating_point_batched`.  Unlike the
+    scalar sweep there is no sequential warm start — every point starts
+    from zero and stragglers fall back to gmin/source stepping — so on a
+    multi-stable circuit the two drivers may legitimately land on
+    different branches; on the paper's (mono-stable) cells they agree to
+    solver precision.
+    """
+    from repro.circuit.batched import dc_operating_point_batched
+
+    temps = np.asarray(list(temps_c), dtype=float)
+    circuits = [circuit_factory() for _ in temps]
+    ops = dc_operating_point_batched(circuits, temps_c=temps,
+                                     options=options)
+    values = np.array([probe(ops.member(i)) for i in range(temps.size)])
+    return temps, values
+
+
 def parameter_sweep(values, runner):
     """Evaluate ``runner(value)`` over a grid, returning (grid, results list).
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.circuit.dcop import NewtonOptions, dc_operating_point, newton_solve
-from repro.circuit.elements import VoltageSource
+from repro.circuit.elements import Element, VoltageSource
 from repro.circuit.results import TransientResult
 
 
@@ -31,52 +31,68 @@ class TransientOptions:
     ic_pin_conductance: float = 10.0
 
 
+class _Pin(Element):
+    """Norton pin: large conductance toward a target voltage.
+
+    Used only during the t=0 solve to enforce user initial conditions; the
+    batched engine stamps it through the generic per-member fallback.
+    """
+
+    def __init__(self, name, node, target, g):
+        Element.__init__(self, name, (node,))
+        self.target = target
+        self.g = g
+
+    def stamp(self, ctx):
+        (a,) = self.port_indices
+        ctx.add_f(a, self.g * (ctx.v(a) - self.target))
+        ctx.add_j(a, a, self.g)
+
+
+def _attach_pins(circuit, initial_conditions, options):
+    """Add one pin element per initial condition; returns the pin list."""
+    pins = []
+    for i, (node, v_target) in enumerate(sorted(initial_conditions.items())):
+        pin = _Pin(f"__ic_pin_{i}", node, float(v_target),
+                   options.ic_pin_conductance)
+        circuit.add(pin)
+        pins.append(pin)
+    return pins
+
+
+def _detach_pins(circuit, pins):
+    """Remove pin elements added by :func:`_attach_pins`."""
+    for pin in pins:
+        circuit.elements.remove(pin)
+        circuit._element_names.discard(pin.name)
+
+
 def _initial_state(circuit, initial_conditions, temp_c, options):
     """Solve a consistent t=0 state honouring user initial conditions.
 
     Nodes listed in ``initial_conditions`` are pinned with a strong
     conductance to their target voltage during a DC solve (capacitors open),
     then the pin is removed; every other node settles self-consistently.
+    Returns ``(x0, singular_solves)``.
     """
     if not initial_conditions:
         op = dc_operating_point(circuit, temp_c=temp_c, t=0.0,
                                 options=options.newton)
-        return op.x
+        return op.x, op.singular_solves
 
-    from repro.circuit.elements import CurrentSource, Element
-
-    class _Pin(Element):
-        """Norton pin: large conductance toward a target voltage."""
-
-        def __init__(self, name, node, target, g):
-            Element.__init__(self, name, (node,))
-            self.target = target
-            self.g = g
-
-        def stamp(self, ctx):
-            (a,) = self.port_indices
-            ctx.add_f(a, self.g * (ctx.v(a) - self.target))
-            ctx.add_j(a, a, self.g)
-
-    pins = []
-    for i, (node, v_target) in enumerate(sorted(initial_conditions.items())):
-        pin = _Pin(f"__ic_pin_{i}", node, float(v_target), options.ic_pin_conductance)
-        circuit.add(pin)
-        pins.append(pin)
+    pins = _attach_pins(circuit, initial_conditions, options)
     try:
         op = dc_operating_point(circuit, temp_c=temp_c, t=0.0,
                                 options=options.newton)
     finally:
-        for pin in pins:
-            circuit.elements.remove(pin)
-            circuit._element_names.discard(pin.name)
+        _detach_pins(circuit, pins)
     x = op.x.copy()
     # Snap the pinned nodes exactly onto their initial condition.
     for node, v_target in initial_conditions.items():
         idx = circuit.index_of(node)
         if idx >= 0:
             x[idx] = float(v_target)
-    return x
+    return x, op.singular_solves
 
 
 def transient_simulation(circuit, *, t_stop, dt, temp_c=27.0,
@@ -102,7 +118,8 @@ def transient_simulation(circuit, *, t_stop, dt, temp_c=27.0,
     n_steps = int(round(t_stop / dt))
     times = np.linspace(0.0, n_steps * dt, n_steps + 1)
 
-    x = _initial_state(circuit, initial_conditions or {}, temp_c, options)
+    x, singular = _initial_state(circuit, initial_conditions or {}, temp_c,
+                                 options)
     states = np.empty((n_steps + 1, circuit.system_size))
     states[0] = x
 
@@ -120,10 +137,11 @@ def transient_simulation(circuit, *, t_stop, dt, temp_c=27.0,
     x_prev = x
     for step in range(1, n_steps + 1):
         t = times[step]
-        x_new, _, _ = newton_solve(
+        x_new, _, _, sing = newton_solve(
             circuit, x_prev, t=t, dt=dt, x_prev=x_prev, temp_c=temp_c,
             mode="tran", options=options.newton,
         )
+        singular += sing
         states[step] = x_new
         p_now = delivered_power(x_new, t)
         for name in energy:
@@ -131,4 +149,5 @@ def transient_simulation(circuit, *, t_stop, dt, temp_c=27.0,
         p_prev = p_now
         x_prev = x_new
 
-    return TransientResult(circuit, times, states, energy, temp_c)
+    return TransientResult(circuit, times, states, energy, temp_c,
+                           singular_solves=singular)

@@ -38,6 +38,11 @@ CELL_FACTORIES = {
 #: import-light; the registry is the source of truth at execution time).
 BACKEND_CHOICES = ("dense", "fused")
 
+#: Circuit-engine names a context may select via ``engine=``.  Mirrors
+#: ``repro.array.row.ROW_ENGINES``: ``batched`` stacks ensembles into one
+#: Newton/transient solve, ``scalar`` is the reference per-member path.
+ENGINE_CHOICES = ("batched", "scalar")
+
 
 def resolve_cell(name):
     """Instantiate the cell design registered under ``name``.
@@ -78,6 +83,12 @@ class RunContext:
         Optional array-backend override by name (see ``BACKEND_CHOICES``)
         for experiments with a ``backend`` parameter; ``None`` keeps each
         experiment's default kernel.
+    engine:
+        Optional circuit-engine override by name (see ``ENGINE_CHOICES``)
+        for experiments with an ``engine`` parameter; ``None`` keeps each
+        experiment's default (the batched ensemble engine).  Part of the
+        fingerprint: results produced by different engines are cached under
+        different keys.
     params:
         Experiment-specific keyword overrides, applied after the typed
         fields; keys a function does not accept are ignored.
@@ -94,6 +105,7 @@ class RunContext:
     cell: Optional[str] = None
     n_cells: Optional[int] = None
     backend: Optional[str] = None
+    engine: Optional[str] = None
     params: Mapping[str, Any] = field(default_factory=dict)
     cache_dir: Optional[str] = None
     use_cache: bool = True
@@ -111,6 +123,10 @@ class RunContext:
             raise KeyError(
                 f"unknown backend {self.backend!r}; "
                 f"choices: {sorted(BACKEND_CHOICES)}")
+        if self.engine is not None and self.engine not in ENGINE_CHOICES:
+            raise KeyError(
+                f"unknown engine {self.engine!r}; "
+                f"choices: {sorted(ENGINE_CHOICES)}")
         # Freeze params into a plain dict copy so callers can't mutate later.
         object.__setattr__(self, "params", dict(self.params))
 
@@ -126,6 +142,7 @@ class RunContext:
         kwargs = {}
         typed = {"seed": self.seed, "temps_c": self.temps_c,
                  "n_cells": self.n_cells, "backend": self.backend,
+                 "engine": self.engine,
                  "design": resolve_cell(self.cell) if self.cell else None}
         for key, value in typed.items():
             if key in accepted and value is not None:
@@ -141,6 +158,7 @@ class RunContext:
             "cell": self.cell,
             "n_cells": self.n_cells,
             "backend": self.backend,
+            "engine": self.engine,
             "params": {str(k): self.params[k] for k in sorted(self.params)},
         }
 
@@ -167,6 +185,7 @@ class RunContext:
                    cell=data.get("cell"),
                    n_cells=data.get("n_cells"),
                    backend=data.get("backend"),
+                   engine=data.get("engine"),
                    params=data.get("params", {}),
                    cache_dir=data.get("cache_dir"),
                    use_cache=data.get("use_cache", True))

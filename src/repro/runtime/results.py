@@ -25,7 +25,8 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 #: Bump when the to_dict()/to_json() document layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: added the top-level ``diagnostics`` object (solver health metadata).
+SCHEMA_VERSION = 2
 
 
 def sanitize(obj):
@@ -77,11 +78,14 @@ def _key(key):
 
 @dataclass
 class ExperimentResult:
-    """One experiment run: values, report, and run metadata.
+    """One experiment run: values, report, diagnostics, and run metadata.
 
     ``values`` holds the experiment's native return dict minus ``report``
-    (arrays and dataclasses intact when fresh; the JSON-safe view when the
-    result came from cache or crossed a process boundary).
+    and ``diagnostics`` (arrays and dataclasses intact when fresh; the
+    JSON-safe view when the result came from cache or crossed a process
+    boundary).  ``diagnostics`` carries solver health metadata — e.g. the
+    circuit engine used and its ``singular_solves`` count — kept separate
+    from the science values so dashboards can alert on it.
     """
 
     name: str
@@ -90,6 +94,7 @@ class ExperimentResult:
     anchor: str = ""
     tags: tuple = ()
     context: Dict[str, Any] = field(default_factory=dict)
+    diagnostics: Dict[str, Any] = field(default_factory=dict)
     duration_s: float = 0.0
     code_version: str = ""
     created_unix: float = field(default_factory=time.time)
@@ -99,17 +104,27 @@ class ExperimentResult:
     @classmethod
     def from_raw(cls, name, raw, *, anchor="", tags=(), context=None,
                  duration_s=0.0, code_version=""):
-        """Wrap a legacy experiment return dict (``report`` key split off)."""
-        values = {k: v for k, v in raw.items() if k != "report"}
+        """Wrap a legacy experiment return dict.
+
+        The ``report`` and (optional) ``diagnostics`` keys are split off
+        into their dedicated fields.
+        """
+        values = {k: v for k, v in raw.items()
+                  if k not in ("report", "diagnostics")}
+        diagnostics = raw.get("diagnostics")
+        if not isinstance(diagnostics, dict):
+            diagnostics = {}
         return cls(name=name, values=values, report=raw.get("report", ""),
                    anchor=anchor, tags=tuple(tags),
-                   context=dict(context or {}), duration_s=duration_s,
-                   code_version=code_version)
+                   context=dict(context or {}), diagnostics=dict(diagnostics),
+                   duration_s=duration_s, code_version=code_version)
 
     def __getitem__(self, key):
-        """Dict-style access to values (``report`` included) for ergonomics."""
+        """Dict-style access to values (``report``/``diagnostics`` included)."""
         if key == "report":
             return self.report
+        if key == "diagnostics":
+            return self.diagnostics
         return self.values[key]
 
     def summary(self):
@@ -126,6 +141,7 @@ class ExperimentResult:
             "anchor": self.anchor,
             "tags": list(self.tags),
             "context": sanitize(self.context),
+            "diagnostics": sanitize(self.diagnostics),
             "duration_s": float(self.duration_s),
             "code_version": self.code_version,
             "created_unix": float(self.created_unix),
@@ -152,6 +168,7 @@ class ExperimentResult:
                    anchor=data.get("anchor", ""),
                    tags=tuple(data.get("tags", ())),
                    context=data.get("context", {}),
+                   diagnostics=data.get("diagnostics", {}),
                    duration_s=data.get("duration_s", 0.0),
                    code_version=data.get("code_version", ""),
                    created_unix=data.get("created_unix", 0.0),

@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import experiments as E
-from repro.analysis.montecarlo import run_process_variation_mc
+from repro.analysis.montecarlo import MonteCarloResult, run_process_variation_mc
 from repro.cells import TwoTOneFeFETCell
 from repro.devices.variation import VariationSpec
 
@@ -86,6 +86,80 @@ class TestFig9:
             TwoTOneFeFETCell(), n_samples=3, n_cells=4,
             spec=VariationSpec(sigma_vth_fefet=0.0, sigma_vth_mosfet=0.0))
         assert np.allclose(mc.errors, 0.0, atol=1e-9)
+
+
+class TestEngines:
+    """Batched vs scalar circuit engine on the hot consumers."""
+
+    def test_mc_engines_agree_within_tolerance(self):
+        kwargs = dict(n_samples=3, n_cells=2, seed=5, dt=0.2e-9)
+        batched = run_process_variation_mc(TwoTOneFeFETCell(),
+                                           engine="batched", **kwargs)
+        scalar = run_process_variation_mc(TwoTOneFeFETCell(),
+                                          engine="scalar", **kwargs)
+        np.testing.assert_allclose(batched.errors, scalar.errors,
+                                   rtol=1e-6, atol=1e-9)
+        assert batched.nominal_vacc == pytest.approx(scalar.nominal_vacc,
+                                                     rel=1e-7)
+        assert batched.lsb_v == pytest.approx(scalar.lsb_v, rel=1e-6)
+        assert batched.engine == "batched"
+        assert scalar.engine == "scalar"
+
+    def test_mc_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            run_process_variation_mc(TwoTOneFeFETCell(), n_samples=1,
+                                     n_cells=2, engine="spice")
+
+    def test_array_bands_engines_agree(self):
+        design = TwoTOneFeFETCell()
+        sweeps_b, ranges_b, energy_b, sing_b = E._array_bands(
+            design, (27.0,), n_cells=2, engine="batched")
+        sweeps_s, ranges_s, energy_s, sing_s = E._array_bands(
+            design, (27.0,), n_cells=2, engine="scalar")
+        np.testing.assert_allclose(sweeps_b[27.0], sweeps_s[27.0],
+                                   rtol=1e-7, atol=1e-9)
+        assert energy_b[27.0].average_energy_fj == pytest.approx(
+            energy_s[27.0].average_energy_fj, rel=1e-6)
+        assert sing_b == sing_s == 0
+
+    def test_fig9_reports_engine_diagnostics(self):
+        result = E.fig9_process_variation(n_samples=2, seed=2)
+        assert result["engine"] == "batched"
+        assert result["diagnostics"]["engine"] == "batched"
+        assert result["diagnostics"]["singular_solves"] == 0
+
+
+class TestMonteCarloMerge:
+    def _mc(self, **overrides):
+        base = dict(errors=np.array([0.01]), errors_lsb=np.array([0.08]),
+                    nominal_vacc=0.1, lsb_v=0.0125, mac_value=2, n_cells=2,
+                    temp_c=27.0, engine="scalar", singular_solves=0)
+        base.update(overrides)
+        return MonteCarloResult(**base)
+
+    def test_merges_engine_variants_with_float_tolerance(self):
+        a = self._mc(engine="scalar")
+        # A batched shard agrees to solver precision, not bitwise.
+        b = self._mc(engine="batched",
+                     nominal_vacc=0.1 * (1 + 1e-9), lsb_v=0.0125 * (1 - 1e-9),
+                     singular_solves=1)
+        merged = MonteCarloResult.merge([a, b])
+        assert merged.errors.shape == (2,)
+        assert merged.engine == "mixed"
+        assert merged.singular_solves == 1
+
+    def test_same_engine_is_preserved(self):
+        merged = MonteCarloResult.merge([self._mc(), self._mc()])
+        assert merged.engine == "scalar"
+
+    def test_genuinely_different_configs_refused(self):
+        with pytest.raises(ValueError):
+            MonteCarloResult.merge([self._mc(),
+                                    self._mc(nominal_vacc=0.2)])
+        with pytest.raises(ValueError):
+            MonteCarloResult.merge([self._mc(), self._mc(n_cells=4)])
+        with pytest.raises(ValueError):
+            MonteCarloResult.merge([])
 
 
 class TestTable1:

@@ -1,0 +1,89 @@
+"""RowEnsemble / MacRow.read_ensemble: batched row reads vs the scalar path.
+
+Small rows and coarse timesteps keep these fast; the full-size Fig. 9
+workload is exercised (and timed) by ``benchmarks/perf_circuit.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.array import MacRow, RowEnsemble
+from repro.cells import TwoTOneFeFETCell
+from repro.devices.variation import MonteCarloSampler
+
+RTOL = 1e-7
+ATOL = 1e-9
+DT = 0.2e-9
+
+
+@pytest.fixture(scope="module")
+def design():
+    return TwoTOneFeFETCell()
+
+
+class TestReadEnsemble:
+    def test_matches_scalar_reads_across_inputs_and_temps(self, design):
+        row = MacRow(design, n_cells=2)
+        row.program_weights([1, 1])
+        grid = [((1, 1), 0.0), ((1, 0), 27.0), ((0, 0), 85.0)]
+        batched = row.read_ensemble([inputs for inputs, _ in grid],
+                                    [temp for _, temp in grid], dt=DT)
+        for (inputs, temp), got in zip(grid, batched):
+            ref = row.read(list(inputs), temp_c=temp, dt=DT)
+            assert got.vacc == pytest.approx(ref.vacc, rel=RTOL, abs=ATOL)
+            np.testing.assert_allclose(got.cell_voltages, ref.cell_voltages,
+                                       rtol=RTOL, atol=ATOL)
+            assert got.energy_j == pytest.approx(ref.energy_j, rel=RTOL,
+                                                 abs=1e-20)
+            assert got.mac_true == ref.mac_true
+            assert set(got.energy_by_source) == set(ref.energy_by_source)
+
+    def test_mac_sweep_engines_agree(self, design):
+        row = MacRow(design, n_cells=2)
+        macs_b, vaccs_b, res_b = row.mac_sweep(27.0, dt=DT, engine="batched")
+        macs_s, vaccs_s, res_s = row.mac_sweep(27.0, dt=DT, engine="scalar")
+        np.testing.assert_array_equal(macs_b, macs_s)
+        np.testing.assert_allclose(vaccs_b, vaccs_s, rtol=RTOL, atol=ATOL)
+        assert [r.mac_true for r in res_b] == [r.mac_true for r in res_s]
+        # The ladder is monotone either way.
+        assert np.all(np.diff(vaccs_b) > 0)
+
+    def test_mac_sweep_rejects_unknown_engine(self, design):
+        with pytest.raises(ValueError):
+            MacRow(design, n_cells=2).mac_sweep(27.0, engine="spice")
+
+
+class TestRowEnsemble:
+    def test_per_member_weights_and_variations(self, design):
+        sampler = MonteCarloSampler(seed=7)
+        variations = sampler.sample_cells(2)
+        ensemble = RowEnsemble(design, n_cells=2)
+        ensemble.add((1, 1), temp_c=27.0, weights=(1, 0))
+        ensemble.add((1, 1), temp_c=27.0, variations=variations)
+        results = ensemble.run(dt=DT)
+        assert results[0].mac_true == 1
+        assert results[1].mac_true == 2
+
+        ref_row = MacRow(design, n_cells=2, variations=variations)
+        ref_row.program_weights([1, 1])
+        ref = ref_row.read([1, 1], temp_c=27.0, dt=DT)
+        assert results[1].vacc == pytest.approx(ref.vacc, rel=RTOL, abs=ATOL)
+
+    def test_transient_views_expose_waveforms(self, design):
+        ensemble = RowEnsemble(design, n_cells=2)
+        ensemble.add((1, 1), temp_c=27.0)
+        (result,) = ensemble.run(dt=DT)
+        acc = result.transient.voltage("acc")
+        assert acc[0] == pytest.approx(0.0, abs=1e-12)
+        assert acc[-1] == pytest.approx(result.vacc)
+
+    def test_validation(self, design):
+        ensemble = RowEnsemble(design, n_cells=2)
+        with pytest.raises(ValueError):
+            ensemble.add((1, 1, 1), temp_c=27.0)       # wrong width
+        with pytest.raises(ValueError):
+            ensemble.add((1, 1), temp_c=27.0, weights=(1,))
+        with pytest.raises(ValueError):
+            ensemble.run()                              # nothing queued
+        with pytest.raises(ValueError):
+            RowEnsemble(design, n_cells=0)

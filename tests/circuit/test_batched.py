@@ -1,0 +1,317 @@
+"""Batched ensemble engine tests: scalar equivalence, fallbacks, API.
+
+The documented equivalence tolerance of the batched engine (see
+:mod:`repro.circuit.batched`) is ``|dV| <= ATOL + RTOL * |V|`` per state
+entry; in practice the trajectories are identical and the differences are
+exactly zero, but the asserted bound is the contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    CompiledEnsemble,
+    CurrentSource,
+    MOSFETElement,
+    NewtonOptions,
+    Resistor,
+    Step,
+    Switch,
+    VoltageSource,
+    dc_operating_point,
+    dc_operating_point_batched,
+    temperature_sweep,
+    temperature_sweep_batched,
+    transient_simulation,
+    transient_simulation_batched,
+)
+from repro.circuit.batched import _batched_newton
+from repro.circuit.dcop import newton_solve
+from repro.circuit.elements import Element, VCCS, VCVS
+from repro.devices import MOSFETParams, NMOSModel
+from repro.devices.mosfet import PMOSModel
+from repro.devices.thermal import TemperatureShifted
+from repro.errors import NetlistError
+
+#: The engine's documented equivalence tolerance vs the scalar path.
+RTOL = 1e-7
+ATOL = 1e-9
+
+
+def divider(v=1.0, r1=1e3, r2=1e3):
+    c = Circuit("divider")
+    c.add(VoltageSource("V1", "in", "0", v))
+    c.add(Resistor("R1", "in", "mid", r1))
+    c.add(Resistor("R2", "mid", "0", r2))
+    return c
+
+
+def diode_nmos(vth_offset=0.0):
+    model = NMOSModel(MOSFETParams().with_vth_offset(vth_offset))
+    c = Circuit("diode")
+    c.add(VoltageSource("VDD", "vdd", "0", 1.2))
+    c.add(Resistor("R1", "vdd", "d", 100e3))
+    c.add(MOSFETElement("M1", "d", "d", "0", model))
+    return c
+
+
+class TestBatchedDC:
+    def test_linear_ensemble_matches_scalar(self):
+        vs = [0.5, 1.0, 2.0]
+        circuits = [divider(v) for v in vs]
+        ens = dc_operating_point_batched(circuits, temps_c=27.0)
+        for b, v in enumerate(vs):
+            op = dc_operating_point(divider(v))
+            assert ens.member(b).voltage("mid") == pytest.approx(
+                op.voltage("mid"), rel=RTOL, abs=ATOL)
+            assert ens.branch_current("V1")[b] == pytest.approx(
+                op.branch_current("V1"), rel=RTOL, abs=ATOL)
+
+    def test_nonlinear_vth_and_temperature_stack(self):
+        offsets = [0.0, 0.054, -0.032, 0.01]
+        temps = [0.0, 27.0, 55.0, 85.0]
+        ens = dc_operating_point_batched(
+            [diode_nmos(o) for o in offsets], temps_c=temps)
+        for b, (off, temp) in enumerate(zip(offsets, temps)):
+            op = dc_operating_point(diode_nmos(off), temp_c=temp)
+            np.testing.assert_allclose(ens.x[b], op.x, rtol=RTOL, atol=ATOL)
+            assert ens.strategies[b] == op.strategy
+            assert ens.iterations[b] == op.iterations
+
+    def test_temperature_shifted_members(self):
+        def shifted(offset):
+            c = diode_nmos()
+            m1 = c.element("M1")
+            m1.model = TemperatureShifted(m1.model, offset)
+            return c
+
+        ens = dc_operating_point_batched([shifted(0.0), shifted(30.0)],
+                                         temps_c=27.0)
+        hot = dc_operating_point(diode_nmos(), temp_c=57.0)
+        assert ens.member(1).voltage("d") == pytest.approx(
+            hot.voltage("d"), rel=RTOL, abs=ATOL)
+
+    def test_pmos_vectorized_stamp(self):
+        def pmos_follower():
+            c = Circuit("pmos")
+            c.add(VoltageSource("VDD", "vdd", "0", 1.2))
+            c.add(VoltageSource("VG", "g", "0", 0.4))
+            c.add(Resistor("RD", "d", "0", 200e3))
+            c.add(MOSFETElement("M1", "d", "g", "vdd",
+                                PMOSModel(MOSFETParams())))
+            return c
+
+        ens = dc_operating_point_batched(
+            [pmos_follower(), pmos_follower()], temps_c=[0.0, 85.0])
+        stamps = CompiledEnsemble([pmos_follower(), pmos_follower()],
+                                  [0.0, 85.0]).stamps
+        assert all(getattr(s, "vectorized", False) for s in stamps)
+        for b, temp in enumerate([0.0, 85.0]):
+            op = dc_operating_point(pmos_follower(), temp_c=temp)
+            np.testing.assert_allclose(ens.x[b], op.x, rtol=RTOL, atol=ATOL)
+
+    def test_controlled_sources_match_scalar(self):
+        def two_port(gain, gm):
+            c = Circuit("ctl")
+            c.add(VoltageSource("VIN", "in", "0", 0.3))
+            c.add(VCVS("E1", "buf", "0", "in", "0", gain))
+            c.add(Resistor("RL", "buf", "o", 1e4))
+            c.add(VCCS("G1", "o", "0", "in", "0", gm))
+            c.add(Resistor("RO", "o", "0", 5e4))
+            return c
+
+        params = [(2.0, 1e-5), (3.0, -2e-5)]
+        ens = dc_operating_point_batched(
+            [two_port(*p) for p in params], temps_c=27.0)
+        for b, p in enumerate(params):
+            op = dc_operating_point(two_port(*p))
+            np.testing.assert_allclose(ens.x[b], op.x, rtol=RTOL, atol=ATOL)
+
+    def test_custom_element_generic_fallback(self):
+        class Shunt(Element):
+            """Scalar-only element: fixed conductance to ground."""
+
+            def __init__(self, name, node, g):
+                Element.__init__(self, name, (node,))
+                self.g = g
+
+            def stamp(self, ctx):
+                (a,) = self.port_indices
+                ctx.add_f(a, self.g * ctx.v(a))
+                ctx.add_j(a, a, self.g)
+
+        def make(g):
+            c = divider()
+            c.add(Shunt("X1", "mid", g))
+            return c
+
+        gs = [1e-4, 5e-4]
+        ens = dc_operating_point_batched([make(g) for g in gs], temps_c=27.0)
+        for b, g in enumerate(gs):
+            op = dc_operating_point(make(g))
+            assert ens.member(b).voltage("mid") == pytest.approx(
+                op.voltage("mid"), rel=RTOL, abs=ATOL)
+
+    def test_straggler_falls_back_to_scalar_chain(self, monkeypatch):
+        import repro.circuit.batched as batched
+
+        real = batched._batched_newton
+
+        def sabotaged(plan, x0, **kwargs):
+            x, iters, res, conv, sing = real(plan, x0, **kwargs)
+            conv = conv.copy()
+            conv[0] = False  # pretend member 0 never converged
+            return x, iters, res, conv, sing
+
+        monkeypatch.setattr(batched, "_batched_newton", sabotaged)
+        ens = batched.dc_operating_point_batched(
+            [divider(), divider()], temps_c=27.0)
+        assert ens.strategies[0] == "gmin-stepping"
+        assert ens.strategies[1] == "newton"
+        np.testing.assert_allclose(ens.voltage("mid"), 0.5,
+                                   rtol=1e-6, atol=ATOL)
+
+    def test_topology_mismatch_rejected(self):
+        other = Circuit("other")
+        other.add(VoltageSource("V1", "in", "0", 1.0))
+        other.add(Resistor("R1", "in", "0", 1e3))
+        with pytest.raises(NetlistError):
+            CompiledEnsemble([divider(), other], 27.0)
+        swapped = Circuit("divider")
+        swapped.add(VoltageSource("V1", "in", "0", 1.0))
+        swapped.add(Resistor("R1", "mid", "in", 1e3))  # ports reversed
+        swapped.add(Resistor("R2", "mid", "0", 1e3))
+        with pytest.raises(NetlistError):
+            CompiledEnsemble([divider(), swapped], 27.0)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(NetlistError):
+            CompiledEnsemble([], 27.0)
+
+
+class TestSingularCounting:
+    def _floating(self):
+        c = Circuit("floating")
+        c.add(CurrentSource("I1", "0", "out", 0.0))
+        return c
+
+    def test_scalar_newton_counts_lstsq_fallback(self):
+        # With gmin disabled the lone node has an all-zero Jacobian row:
+        # the solver must fall back to lstsq and say so.
+        x, iters, res, singular = newton_solve(
+            self._floating(), np.zeros(1), gmin=0.0)
+        assert singular >= 1
+
+    def test_operating_point_counts_default_zero(self):
+        op = dc_operating_point(divider())
+        assert op.singular_solves == 0
+
+    def test_batched_newton_counts_per_member(self):
+        plan = CompiledEnsemble([self._floating(), self._floating()], 27.0)
+        x, iters, res, conv, singular = _batched_newton(
+            plan, np.zeros((2, 1)), t=0.0, dt=None, x_prev=None,
+            source_scale=1.0, mode="dc", gmin=0.0, options=NewtonOptions())
+        assert conv.all()
+        assert (singular >= 1).all()
+
+    def test_transient_result_carries_zero_for_healthy_run(self):
+        c = divider()
+        c.add(Capacitor("C1", "mid", "0", 1e-9))
+        res = transient_simulation(c, t_stop=1e-6, dt=1e-8)
+        assert res.singular_solves == 0
+
+
+class TestBatchedTransient:
+    def rc(self, v=1.0):
+        c = Circuit("rc")
+        c.add(VoltageSource("V1", "in", "0", Step(0.0, 0.0, v)))
+        c.add(Resistor("R1", "in", "out", 1e3))
+        c.add(Capacitor("C1", "out", "0", 1e-6))
+        return c
+
+    def test_rc_ensemble_matches_scalar(self):
+        vs = [0.5, 1.0, 1.5]
+        ens = transient_simulation_batched(
+            [self.rc(v) for v in vs], t_stop=5e-3, dt=5e-6, temps_c=27.0,
+            initial_conditions={"out": 0.0})
+        for b, v in enumerate(vs):
+            ref = transient_simulation(self.rc(v), t_stop=5e-3, dt=5e-6,
+                                       initial_conditions={"out": 0.0})
+            np.testing.assert_allclose(ens.voltage("out")[b],
+                                       ref.voltage("out"),
+                                       rtol=RTOL, atol=ATOL)
+            assert ens.energy_of("V1")[b] == pytest.approx(
+                ref.energy_of("V1"), rel=RTOL, abs=1e-15)
+
+    def test_per_member_initial_conditions(self):
+        def share():
+            c = Circuit("share")
+            c.add(Capacitor("Ca", "a", "0", 1e-15))
+            c.add(Capacitor("Cb", "b", "0", 1e-15))
+            c.add(Switch("S1", "a", "b", schedule=lambda t: t > 1e-9,
+                         g_on=1e-3, g_off=1e-15))
+            return c
+
+        ics = [{"a": 1.0, "b": 0.0}, {"a": 0.5, "b": 0.5}]
+        ens = transient_simulation_batched(
+            [share(), share()], t_stop=10e-9, dt=0.02e-9, temps_c=27.0,
+            initial_conditions=ics)
+        assert ens.final_voltage("a")[0] == pytest.approx(0.5, abs=0.01)
+        assert ens.final_voltage("a")[1] == pytest.approx(0.5, abs=0.01)
+
+    def test_mismatched_ic_node_sets_rejected(self):
+        with pytest.raises(NetlistError):
+            transient_simulation_batched(
+                [self.rc(), self.rc()], t_stop=1e-5, dt=1e-6, temps_c=27.0,
+                initial_conditions=[{"out": 0.0}, {}])
+
+    def test_member_view_is_transient_result(self):
+        ens = transient_simulation_batched(
+            [self.rc(), self.rc(2.0)], t_stop=1e-4, dt=1e-6, temps_c=27.0,
+            initial_conditions={"out": 0.0})
+        member = ens.member(1)
+        assert member.final_voltage("out") == pytest.approx(
+            ens.final_voltage("out")[1])
+        assert member.energy_of("V1") == pytest.approx(ens.energy_of("V1")[1])
+        assert ens.total_source_energy().shape == (2,)
+
+    def test_rejects_bad_timestep(self):
+        with pytest.raises(ValueError):
+            transient_simulation_batched([self.rc()], t_stop=1e-3, dt=0.0,
+                                         temps_c=27.0)
+
+
+class TestBatchedSweep:
+    def test_matches_scalar_sweep(self):
+        temps = [0.0, 27.0, 85.0]
+        probe = lambda op: op.voltage("d")
+        t_s, v_s = temperature_sweep(diode_nmos, temps, probe=probe)
+        t_b, v_b = temperature_sweep_batched(diode_nmos, temps, probe=probe)
+        np.testing.assert_allclose(v_b, v_s, rtol=1e-6, atol=ATOL)
+
+
+class TestMonteCarloWorkloadEquivalence:
+    """A scaled-down Fig. 9 workload: the documented tolerance, end to end.
+
+    The full-size run (100 samples, 8 cells) is asserted and timed by
+    ``benchmarks/perf_circuit.py``; this keeps the same scalar-vs-batched
+    contract under test at pytest cost.
+    """
+
+    def test_mc_errors_match_scalar_within_documented_tolerance(self):
+        from repro.analysis.montecarlo import run_process_variation_mc
+        from repro.cells import TwoTOneFeFETCell
+
+        kwargs = dict(n_samples=4, n_cells=2, seed=9, dt=0.2e-9)
+        batched = run_process_variation_mc(TwoTOneFeFETCell(),
+                                           engine="batched", **kwargs)
+        scalar = run_process_variation_mc(TwoTOneFeFETCell(),
+                                          engine="scalar", **kwargs)
+        np.testing.assert_allclose(batched.errors, scalar.errors,
+                                   rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(batched.errors_lsb, scalar.errors_lsb,
+                                   rtol=1e-6, atol=ATOL)
+        assert batched.nominal_vacc == pytest.approx(
+            scalar.nominal_vacc, rel=RTOL, abs=ATOL)

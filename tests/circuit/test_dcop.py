@@ -11,9 +11,10 @@ from repro.circuit import (
     VoltageSource,
     dc_operating_point,
 )
+from repro.circuit import dcop
 from repro.devices import MOSFETParams, NMOSModel
 from repro.devices.resistor import ResistorModel
-from repro.errors import NetlistError
+from repro.errors import ConvergenceError, NetlistError
 
 
 def divider(r1=1e3, r2=1e3, v=1.0):
@@ -107,6 +108,63 @@ class TestNonlinear:
         c2 = divider()
         op2 = dc_operating_point(c2, x0=op1.x)
         assert op2.iterations <= op1.iterations
+
+
+class TestFallbackStrategies:
+    """Force plain-Newton failures and assert the escalation chain.
+
+    ``_newton`` is wrapped so its first N calls raise; the call sequence is
+    deterministic — call 1 is plain Newton, calls 2..11 are the gmin stages
+    (nine steps plus the floor), calls 12.. are the source-stepping ramp —
+    so each strategy can be exercised in isolation on a well-posed circuit.
+    """
+
+    def _sabotage(self, monkeypatch, fail_calls):
+        real = dcop._newton
+        seen = {"calls": 0}
+
+        def wrapped(circuit, x0, **kwargs):
+            seen["calls"] += 1
+            if seen["calls"] <= fail_calls:
+                raise ConvergenceError(
+                    "forced failure", residual=1.0,
+                    iterations=kwargs["options"].max_iterations)
+            return real(circuit, x0, **kwargs)
+
+        monkeypatch.setattr(dcop, "_newton", wrapped)
+        return seen
+
+    def test_gmin_stepping_recovers(self, monkeypatch):
+        self._sabotage(monkeypatch, fail_calls=1)  # only plain Newton fails
+        op = dc_operating_point(divider())
+        assert op.strategy == "gmin-stepping"
+        assert op.voltage("mid") == pytest.approx(0.5, rel=1e-6)
+        assert op.iterations >= 1
+
+    def test_source_stepping_recovers(self, monkeypatch):
+        # Plain Newton and the first gmin stage fail -> gmin chain aborts,
+        # source stepping carries the homotopy to the same solution.
+        self._sabotage(monkeypatch, fail_calls=2)
+        op = dc_operating_point(divider())
+        assert op.strategy == "source-stepping"
+        assert op.voltage("mid") == pytest.approx(0.5, rel=1e-6)
+
+    def test_total_failure_raises_with_diagnostics(self, monkeypatch):
+        self._sabotage(monkeypatch, fail_calls=10 ** 6)
+        with pytest.raises(ConvergenceError) as excinfo:
+            dc_operating_point(divider())
+        err = excinfo.value
+        assert "all strategies" in str(err)
+        assert err.residual == 1.0
+        assert err.iterations is not None
+
+    def test_fallback_counts_every_stage_iteration(self, monkeypatch):
+        self._sabotage(monkeypatch, fail_calls=1)
+        direct = dc_operating_point(divider())
+        # gmin stepping runs ten warm-started stages; the recorded
+        # iteration count must cover all of them.
+        plain = dc_operating_point(divider())
+        assert direct.iterations >= plain.iterations
 
 
 class TestValidation:

@@ -47,6 +47,19 @@ class TestConstruction:
 
         assert sorted(BACKEND_CHOICES) == sorted(BACKENDS)
 
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(KeyError, match="choices"):
+            RunContext(engine="spice")
+
+    def test_engine_default_is_none(self):
+        assert RunContext().engine is None
+
+    def test_engine_choices_track_row_engines(self):
+        from repro.array.row import ROW_ENGINES
+        from repro.runtime.context import ENGINE_CHOICES
+
+        assert sorted(ENGINE_CHOICES) == sorted(ROW_ENGINES)
+
 
 class TestResolveCell:
     def test_all_registered_cells_instantiate(self):
@@ -92,6 +105,7 @@ class TestFingerprint:
         {"cell": "2t-1fefet"},
         {"n_cells": 4},
         {"backend": "fused"},
+        {"engine": "scalar"},
         {"params": {"n_samples": 5}},
     ])
     def test_result_affecting_fields_change_it(self, changes):
@@ -104,7 +118,8 @@ class TestFingerprint:
 
     def test_roundtrip_through_dict(self):
         ctx = RunContext(seed=5, temps_c=(0.0, 27.0), cell="2t-1fefet",
-                         n_cells=4, backend="fused", params={"points": 8},
+                         n_cells=4, backend="fused", engine="scalar",
+                         params={"points": 8},
                          cache_dir="/tmp/c", use_cache=False)
         back = RunContext.from_dict(ctx.to_dict())
         assert back == ctx
@@ -122,3 +137,15 @@ class TestBackendMapping:
         kwargs = RunContext(backend="fused").kwargs_for(
             fig1_fefet_characteristics)
         assert "backend" not in kwargs
+
+
+class TestEngineMapping:
+    def test_engine_threads_into_accepting_experiment(self):
+        kwargs = RunContext(engine="scalar").kwargs_for(
+            fig9_process_variation)
+        assert kwargs["engine"] == "scalar"
+
+    def test_engine_dropped_for_non_accepting_experiment(self):
+        kwargs = RunContext(engine="batched").kwargs_for(
+            fig1_fefet_characteristics)
+        assert "engine" not in kwargs

@@ -15,8 +15,9 @@ from repro.runtime.results import (
 #: The exported document's top-level contract.  Extending the schema means
 #: bumping SCHEMA_VERSION; this test pins the current layout.
 EXPECTED_TOP_LEVEL_KEYS = {
-    "schema_version", "name", "anchor", "tags", "context", "duration_s",
-    "code_version", "created_unix", "cached", "values", "report",
+    "schema_version", "name", "anchor", "tags", "context", "diagnostics",
+    "duration_s", "code_version", "created_unix", "cached", "values",
+    "report",
 }
 
 

@@ -126,3 +126,39 @@ class TestRunOptions:
     def test_backend_flag_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["run", "table1", "--backend", "systolic"])
+
+    def test_engine_flag_distinguishes_cache_entries(self, tmp_path, capsys):
+        """batched/scalar are separate cache keys (fingerprinted)."""
+        base = ["run", "table1", "--cache-dir", str(tmp_path / "cache")]
+        assert main(base + ["--engine", "batched"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--engine", "scalar"]) == 0
+        assert "fresh run" in capsys.readouterr().out
+
+    def test_engine_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--engine", "spice"])
+
+    def test_profile_json_reports_walltime_and_cache_flag(self, tmp_path,
+                                                          capsys):
+        import json as _json
+
+        argv = ["run", "fig1", "table1", "--json", "--profile",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert set(doc) == {"results", "profile"}
+        assert [r["name"] for r in doc["results"]] == ["fig1", "table1"]
+        by_name = {p["name"]: p for p in doc["profile"]}
+        assert by_name["fig1"]["cached"] is False
+        assert by_name["fig1"]["duration_s"] >= 0.0
+        # Second run: same profile shape, now flagged as cache hits.
+        assert main(argv) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert all(p["cached"] for p in doc["profile"])
+
+    def test_profile_without_json_prints_table(self, tmp_path, capsys):
+        assert main(["run", "table1", "--profile",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out and "fresh" in out
