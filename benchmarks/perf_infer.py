@@ -1,0 +1,83 @@
+"""Serving perf harness: batched InferenceSession vs per-request loop.
+
+Times two strategies answering the same request stream on the VGG-shaped
+serving workload (reduced VGG, every Conv/Dense matmul lowered onto tiled
+subthreshold-FeFET arrays):
+
+``per-request``
+    One ``chip.forward`` per request — the pre-serving behavior.
+``batched``
+    An ``InferenceSession`` micro-batching the stream (request-local
+    activation quantization keeps the logits bit-identical to serving
+    each request alone; the harness exits nonzero if they are not).
+
+Results land in ``BENCH_infer.json`` — the repo's serving-throughput
+trajectory.  The core measurement lives in
+:func:`repro.serve.bench.serving_benchmark`, shared with the
+``repro serve-bench`` CLI subcommand.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_infer.py             # full stream
+    PYTHONPATH=src python benchmarks/perf_infer.py --smoke     # CI-sized
+
+This is a standalone script, not a pytest benchmark: it measures serving
+strategies against each other, not experiment wall-times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.compiler import MappingConfig
+from repro.serve import report_benchmark, serving_benchmark
+
+
+def run(args):
+    mapping = MappingConfig(tile_rows=args.tile_rows,
+                            tile_cols=args.tile_cols,
+                            backend=args.backend, seed=args.seed)
+    print(f"reduced VGG (width {args.width}, "
+          f"{args.image_size}x{args.image_size} images), measuring ...",
+          flush=True)
+    doc = serving_benchmark(
+        args.requests, args.images_per_request, mapping=mapping,
+        max_batch_size=args.max_batch_size, temp_c=args.temp_c,
+        width=args.width, image_size=args.image_size, seed=args.seed)
+    return report_benchmark(doc, min_speedup=args.min_speedup,
+                            out=args.out)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="batched-session vs per-request serving timing")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests in the stream (default 64, or 16 "
+                             "with --smoke)")
+    parser.add_argument("--images-per-request", type=int, default=1)
+    parser.add_argument("--max-batch-size", type=int, default=8,
+                        help="session micro-batch budget (default 8)")
+    parser.add_argument("--tile-rows", type=int, default=32)
+    parser.add_argument("--tile-cols", type=int, default=16)
+    parser.add_argument("--backend", default="fused")
+    parser.add_argument("--width", type=int, default=4,
+                        help="reduced-VGG channel width")
+    parser.add_argument("--image-size", type=int, default=8)
+    parser.add_argument("--temp-c", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit nonzero if batched/per-request is "
+                             "below this")
+    parser.add_argument("--out", default="BENCH_infer.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized workload (only shrinks the "
+                             "defaults; explicit flags win)")
+    args = parser.parse_args(argv)
+    if args.requests is None:
+        args.requests = 16 if args.smoke else 64
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

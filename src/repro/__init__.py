@@ -16,6 +16,14 @@ Layer map (bottom-up):
   energy/latency accounting.
 * :mod:`repro.metrics`  - fluctuation, Noise-Margin-Rate, TOPS/W.
 * :mod:`repro.nn`       - numpy NN framework + VGG + CiM-lowered inference.
+* :mod:`repro.compiler` - compile-and-serve front half: ``compile()``
+  lowers networks onto fixed-geometry tiled arrays
+  (:class:`~repro.compiler.mapping.MappingConfig`), emitting immutable
+  :class:`~repro.compiler.program.CompiledProgram` objects that
+  :class:`~repro.compiler.chip.Chip` programs and meters.
+* :mod:`repro.serve`    - batched serving surface:
+  :class:`~repro.serve.session.InferenceSession` micro-batching with
+  per-request temperature overrides and telemetry.
 * :mod:`repro.analysis` - experiment implementations (one per paper
   figure/table) plus Monte-Carlo and Table-II machinery.
 * :mod:`repro.runtime`  - the unified experiment runtime: ``@experiment``
@@ -36,7 +44,7 @@ from repro.constants import (
     thermal_voltage,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "REFERENCE_TEMP_C",

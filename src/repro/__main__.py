@@ -9,6 +9,17 @@ run NAME [NAME ...] [options]
     Run experiments by name (and/or select them by ``--tag``).
 all [options]
     Run the default experiment set (everything not tagged ``slow``).
+infer [options]
+    Compile a reduced VGG onto tiled arrays and serve a request stream
+    through a micro-batched InferenceSession; reports per-temperature
+    fidelity and energy/latency telemetry.  A front end over the
+    ``infer`` experiment, so mapping knobs are fingerprinted into the
+    result cache like any other run.
+serve-bench [options]
+    Time the batched InferenceSession against a naive per-request loop
+    on the VGG-shaped serving workload (the ``BENCH_infer.json``
+    harness); exits nonzero if outputs diverge or the speedup falls
+    below ``--min-speedup``.
 
 Options (run / all)
 -------------------
@@ -121,6 +132,43 @@ def _build_parser():
 
     all_p = sub.add_parser("all", help="run the default experiment set")
     add_run_options(all_p)
+
+    infer_p = sub.add_parser(
+        "infer", help="compile-and-serve a reduced VGG with telemetry")
+    infer_p.add_argument("--images", type=int, default=32,
+                         help="images in the request stream (default 32)")
+    infer_p.add_argument("--tile-rows", type=int, default=32,
+                         help="physical tile rows (K dim, default 32)")
+    infer_p.add_argument("--tile-cols", type=int, default=16,
+                         help="physical tile columns (N dim, default 16)")
+    infer_p.add_argument("--batch-size", type=int, default=8,
+                         help="session micro-batch budget (default 8)")
+    infer_p.add_argument("--sigma-vth-fefet", type=float, default=0.0,
+                         metavar="V", help="per-cell FeFET V_TH sigma")
+    add_run_options(infer_p)
+
+    bench_p = sub.add_parser(
+        "serve-bench",
+        help="batched session vs per-request loop (BENCH_infer harness)")
+    bench_p.add_argument("--requests", type=int, default=None,
+                         help="requests in the stream (default 64, "
+                              "or 8 with --smoke)")
+    bench_p.add_argument("--images-per-request", type=int, default=1)
+    bench_p.add_argument("--max-batch-size", type=int, default=8)
+    bench_p.add_argument("--tile-rows", type=int, default=32)
+    bench_p.add_argument("--tile-cols", type=int, default=16)
+    bench_p.add_argument("--backend", choices=sorted(BACKEND_CHOICES),
+                         default="fused")
+    bench_p.add_argument("--temp-c", type=float, default=None,
+                         help="serve every request at this temperature")
+    bench_p.add_argument("--seed", type=int, default=0)
+    bench_p.add_argument("--min-speedup", type=float, default=None,
+                         help="exit nonzero if batched/per-request falls "
+                              "below this")
+    bench_p.add_argument("--out", type=Path, default=None, metavar="FILE",
+                         help="write the benchmark document to FILE")
+    bench_p.add_argument("--smoke", action="store_true",
+                         help="small CI-sized workload")
     return parser
 
 
@@ -159,13 +207,14 @@ def _cmd_list(args):
     return 0
 
 
-def _cmd_run(args, parser):
-    names = _select_names(args, parser)
+def _cmd_run(args, parser, names=None, params=None):
+    names = names if names is not None else _select_names(args, parser)
     ctx = RunContext(
         seed=args.seed,
         temps_c=tuple(args.temps) if args.temps else None,
         backend=args.backend,
         engine=args.engine,
+        params=params or {},
         cache_dir=str(args.cache_dir) if args.cache_dir else None,
         use_cache=not args.no_cache)
     if args.out is not None:
@@ -208,11 +257,48 @@ def _cmd_run(args, parser):
     return 0
 
 
+def _cmd_infer(args, parser):
+    """Front end over the ``infer`` experiment: the mapping knobs travel
+    through ``RunContext.params`` so the compiled program's configuration
+    is fingerprinted into the result cache like any other run."""
+    params = {
+        "n_images": args.images,
+        "tile_rows": args.tile_rows,
+        "tile_cols": args.tile_cols,
+        "batch_size": args.batch_size,
+        "sigma_vth_fefet": args.sigma_vth_fefet,
+    }
+    return _cmd_run(args, parser, names=["infer"], params=params)
+
+
+def _cmd_serve_bench(args):
+    from repro.compiler import MappingConfig
+    from repro.serve import report_benchmark, serving_benchmark
+
+    # --smoke only shrinks the *default* workload; an explicit --requests
+    # always wins.
+    requests = args.requests if args.requests is not None \
+        else (8 if args.smoke else 64)
+    mapping = MappingConfig(tile_rows=args.tile_rows,
+                            tile_cols=args.tile_cols,
+                            backend=args.backend, seed=args.seed)
+    doc = serving_benchmark(
+        requests, args.images_per_request, mapping=mapping,
+        max_batch_size=args.max_batch_size, temp_c=args.temp_c,
+        seed=args.seed)
+    return report_benchmark(doc, min_speedup=args.min_speedup,
+                            out=args.out)
+
+
 def main(argv=None):
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
+    if args.command == "infer":
+        return _cmd_infer(args, parser)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     return _cmd_run(args, parser)
 
 

@@ -21,7 +21,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.reporting import format_table
-from repro.metrics.efficiency import tops_per_watt as _tops_per_watt
+from repro.metrics.efficiency import (
+    energy_per_inference,
+    energy_per_primitive_op,
+    tops_per_watt as _tops_per_watt,
+)
 
 
 @dataclass(frozen=True)
@@ -153,8 +157,12 @@ def build_table2(this_work):
 
     e_mac = this_work["energy_per_mac_j"]
     cells = this_work.get("cells_per_row", 8)
-    e_op = e_mac / (cells + 1)
-    e_inf = e_mac * np.ceil(this_work["macs_per_inference"] / cells)
+    # One accounting for the measured row: the shared helpers in
+    # repro.metrics.efficiency (also behind EnergyReport), so the table
+    # can never drift from the per-MAC -> per-op / per-inference math.
+    e_op = energy_per_primitive_op(e_mac, cells)
+    e_inf = energy_per_inference(e_mac, this_work["macs_per_inference"],
+                                 cells)
     rows.append({
         "work": "This Work",
         "device": "FeFET",

@@ -491,10 +491,13 @@ def table2_summary(*, quick=True, seed=0, backend="fused"):
         "network": "VGG-nano",
     }
     table, rows = build_table2(this_work)
-    # Full Table-I VGG inference energy on this array (paper: 85.08 nJ).
+    # Full Table-I VGG inference energy on this array (paper: 85.08 nJ),
+    # through the shared per-inference accounting.
+    from repro.metrics.efficiency import energy_per_inference
+
     table1_macs = table1_vgg()["macs_per_inference"]
-    vgg_inference_nj = (fig8["avg_energy_fj"] * 1e-15
-                        * np.ceil(table1_macs / 8) * 1e9)
+    vgg_inference_nj = energy_per_inference(
+        fig8["avg_energy_fj"] * 1e-15, table1_macs, cells_per_row=8) * 1e9
     return {
         "float_accuracy": float_acc,
         "cim_accuracy": cim_acc,

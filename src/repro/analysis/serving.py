@@ -1,0 +1,101 @@
+"""Serving experiments: the compile-and-serve flow under the runtime.
+
+Registers the ``infer`` experiment behind ``repro infer`` / ``repro run
+infer``: compile a reduced VGG onto tiled arrays, serve a request stream
+through a micro-batched :class:`~repro.serve.InferenceSession`, and report
+per-temperature fidelity plus the session's energy/latency telemetry.
+
+Because it runs under the unified runtime, every mapping knob
+(``tile_rows``, ``tile_cols``, ``batch_size``, sigmas) travels through
+``RunContext.params`` into the content-addressed result cache — the
+compiled program's configuration is fingerprinted into the cache key, and
+the result document records the program fingerprint itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.compiler import Chip, MappingConfig, compile_model
+from repro.constants import REFERENCE_TEMP_C
+from repro.runtime.registry import experiment
+from repro.serve import InferenceSession
+
+#: Serving-experiment temperature corners (paper window extremes + ref).
+SERVE_TEMPS_C = (0.0, REFERENCE_TEMP_C, 85.0)
+
+
+@experiment("infer", anchor="Sec. IV-B", tags=("nn", "serve", "fast"),
+            description="compile-and-serve session: tiled VGG inference "
+                        "with telemetry")
+def infer_session(n_images=32, temps_c=SERVE_TEMPS_C, seed=0,
+                  backend="fused", tile_rows=32, tile_cols=16,
+                  batch_size=8, sigma_vth_fefet=0.0,
+                  sigma_vth_mosfet=0.0, width=4, image_size=8,
+                  design=None):
+    """Serve a reduced-VGG request stream on a compiled chip.
+
+    Each image arrives as its own request; the session micro-batches up
+    to ``batch_size`` images per tiled forward pass.  Fidelity is argmax
+    agreement with the float model (the lowering metric of Sec. IV-B);
+    telemetry is the chip meter's modeled array energy/latency plus
+    measured wall-clock throughput.
+    """
+    from repro.cells import TwoTOneFeFETCell
+    from repro.nn import build_vgg_nano
+
+    design = design or TwoTOneFeFETCell()
+    model = build_vgg_nano(width=width, image_size=image_size,
+                           rng=np.random.default_rng(seed + 1))
+    rng = np.random.default_rng(seed)
+    images = rng.normal(size=(n_images, image_size, image_size, 3))
+    float_pred = np.argmax(model.predict(images), axis=1)
+
+    mapping = MappingConfig(
+        tile_rows=tile_rows, tile_cols=tile_cols, backend=backend,
+        seed=seed, sigma_vth_fefet=sigma_vth_fefet,
+        sigma_vth_mosfet=sigma_vth_mosfet)
+    program = compile_model(model, design, mapping)
+    chip = Chip(program, design)
+
+    rows, per_temp = [], {}
+    with InferenceSession(chip, max_batch_size=batch_size,
+                          autostart=False) as session:
+        for temp in temps_c:
+            tickets = [session.submit(images[i:i + 1], temp_c=float(temp))
+                       for i in range(n_images)]
+            while session.step():
+                pass
+            results = [t.result(timeout=60.0) for t in tickets]
+            pred = np.argmax(
+                np.concatenate([r.logits for r in results]), axis=1)
+            agreement = float(np.mean(pred == float_pred))
+            energy = sum(r.telemetry.energy_j for r in results)
+            latency = sum(r.telemetry.latency_s for r in results)
+            per_temp[float(temp)] = {
+                "agreement_with_float": agreement,
+                "energy_j_per_image": energy / n_images,
+                "latency_s_per_image": latency / n_images,
+            }
+            rows.append((f"{temp:.0f}", f"{agreement:.3f}",
+                         f"{energy / n_images * 1e9:.3f}",
+                         f"{latency / n_images * 1e6:.2f}"))
+        stats = session.stats()
+
+    return {
+        "program_fingerprint": program.fingerprint,
+        "mapping": mapping.fingerprint_data(),
+        "n_tiles": program.n_tiles,
+        "n_images": n_images,
+        "per_temp": per_temp,
+        "session": stats,
+        "throughput_img_per_s": stats["throughput_img_per_s"],
+        "mean_batch_images": stats["mean_batch_images"],
+        "report": format_table(
+            ["T (degC)", "agreement", "nJ/image", "modeled us/image"],
+            rows,
+            title=f"Compile-and-serve telemetry "
+                  f"({program.n_tiles} tiles, backend={backend}, "
+                  f"batch<={batch_size})"),
+    }

@@ -26,7 +26,11 @@ from repro.array.backend import (
     DenseNumpyBackend,
     FusedBitPlaneBackend,
     ProgrammedArray,
+    backend_names,
+    engine_names,
     make_backend,
+    plane_schedule,
+    validate_backend_name,
 )
 from repro.array.energy import EnergyReport, OperationEnergy
 from repro.array.timing import LatencySpec
@@ -45,7 +49,11 @@ __all__ = [
     "DenseNumpyBackend",
     "FusedBitPlaneBackend",
     "ProgrammedArray",
+    "backend_names",
+    "engine_names",
     "make_backend",
+    "plane_schedule",
+    "validate_backend_name",
     "EnergyReport",
     "OperationEnergy",
     "LatencySpec",

@@ -56,7 +56,11 @@ __all__ = [
     "DenseNumpyBackend",
     "FusedBitPlaneBackend",
     "ProgrammedArray",
+    "backend_names",
+    "engine_names",
     "make_backend",
+    "plane_schedule",
+    "validate_backend_name",
 ]
 
 
@@ -82,6 +86,27 @@ def _validate_x_codes(x_codes, bits_x):
         raise ValueError(
             f"activation codes reach {hi} which exceeds the unsigned "
             f"{bits_x}-bit range [0, {xmax}]")
+
+
+def plane_schedule(w_codes, bits_w):
+    """The ``(sign, bit)`` plane pairs ``w_codes`` occupies, in write order.
+
+    This is the plane-skip rule of :meth:`ArrayBackend.program` factored
+    out so callers that split one weight matrix across several physical
+    tiles (the compiler) can pin a *shared* bit-serial schedule: a plane
+    empty in one tile but stored in another must still cycle through every
+    tile, because an activation-only pattern on real hardware disturbs the
+    accumulation voltage even over a blank row chunk.
+    """
+    w_codes = np.asarray(w_codes, dtype=np.int64)
+    w_mag = np.abs(w_codes)
+    schedule = []
+    for sign, w_part in ((1.0, np.where(w_codes > 0, w_mag, 0)),
+                         (-1.0, np.where(w_codes < 0, w_mag, 0))):
+        for bw in range(bits_w - 1):        # magnitude bits
+            if np.any((w_part >> bw) & 1):
+                schedule.append((sign, bw))
+    return tuple(schedule)
 
 
 @dataclass(eq=False)
@@ -138,7 +163,7 @@ class ArrayBackend:
         self.unit = unit
 
     # -- programming (shared by every backend) --------------------------
-    def program(self, w_codes, rng=None) -> ProgrammedArray:
+    def program(self, w_codes, rng=None, keep_planes=None) -> ProgrammedArray:
         """Write signed weight codes onto the array, once.
 
         Decomposes the magnitudes into (sign, bit) binary planes (only
@@ -148,6 +173,14 @@ class ArrayBackend:
         sigma — draws one threshold offset per physical cell.  The draws
         happen here and only here, so the array's error pattern is frozen
         at write time exactly like real nonvolatile hardware.
+
+        ``keep_planes`` pins the plane set to an explicit ``(sign, bit)``
+        sequence (see :func:`plane_schedule`) instead of deriving it from
+        ``w_codes``: the compiler uses this to keep every tile of one
+        weight matrix on the matrix-wide bit-serial schedule, so a plane
+        that is blank in this tile still occupies rows and still cycles —
+        which is what makes a tiled program bit-identical to the same
+        matrix on one spanning array.
         """
         cfg = self.unit.config
         w_codes = np.asarray(w_codes, dtype=np.int64)
@@ -160,16 +193,19 @@ class ArrayBackend:
         chunks = k_pad // cells
 
         w_mag = np.abs(w_codes)
+        parts = {1.0: np.where(w_codes > 0, w_mag, 0),
+                 -1.0: np.where(w_codes < 0, w_mag, 0)}
+        if keep_planes is None:
+            keep_planes = plane_schedule(w_codes, cfg.bits_w)
         signs, plane_bits, planes = [], [], []
-        for sign, w_part in ((1.0, np.where(w_codes > 0, w_mag, 0)),
-                             (-1.0, np.where(w_codes < 0, w_mag, 0))):
-            for bw in range(cfg.bits_w - 1):        # magnitude bits
-                plane = (w_part >> bw) & 1
-                if not np.any(plane):
-                    continue
-                signs.append(sign)
-                plane_bits.append(bw)
-                planes.append(plane)
+        for sign, bw in keep_planes:
+            if not 0 <= bw < cfg.bits_w - 1:
+                raise ValueError(
+                    f"plane bit {bw} outside the signed {cfg.bits_w}-bit "
+                    f"magnitude range [0, {cfg.bits_w - 2}]")
+            signs.append(float(sign))
+            plane_bits.append(int(bw))
+            planes.append((parts[float(sign)] >> bw) & 1)
 
         if planes:
             stacked = np.stack(planes).astype(np.float64)
@@ -232,10 +268,38 @@ class ArrayBackend:
             x_codes = np.pad(x_codes, ((0, 0), (0, k_pad - programmed.k)))
         return x_codes
 
+    @staticmethod
+    def _active_x_bits(programmed, x_codes, active_bits):
+        """Boolean mask of activation bits that cycle through the array.
+
+        Defaults to the seed semantics — a bit absent from the whole batch
+        never cycles, found with one bitwise-or over the codes.  Callers
+        splitting one logical matmul across tiles (the compiler's chip)
+        pass ``active_bits`` computed over the *full* activation matrix so
+        every tile runs the same bit-serial schedule: a bit that is zero in
+        this tile's row slice but driven elsewhere still pulses the word
+        lines here, and an activation-only pulse can disturb the decode.
+        """
+        bits_x = programmed.bits_x
+        if active_bits is not None:
+            active = np.asarray(active_bits, dtype=bool)
+            if active.shape != (bits_x,):
+                raise ValueError(
+                    f"active_bits must have shape ({bits_x},), "
+                    f"got {active.shape}")
+            return active
+        ored = int(np.bitwise_or.reduce(x_codes, axis=None)) if x_codes.size \
+            else 0
+        return ((ored >> np.arange(bits_x)) & 1).astype(bool)
+
     # -- compute ---------------------------------------------------------
-    def matmul(self, programmed: ProgrammedArray, x_codes, *, temp_c):
+    def matmul(self, programmed: ProgrammedArray, x_codes, *, temp_c,
+               active_bits=None):
         """Bit-serial matmul of unsigned activation codes against the
-        programmed array at ``temp_c``; decoded through the 27 degC ADC."""
+        programmed array at ``temp_c``; decoded through the 27 degC ADC.
+
+        ``active_bits`` optionally pins the activation-bit schedule (see
+        :meth:`_active_x_bits`)."""
         raise NotImplementedError
 
 
@@ -251,7 +315,7 @@ class DenseNumpyBackend(ArrayBackend):
 
     name = "dense"
 
-    def matmul(self, programmed, x_codes, *, temp_c):
+    def matmul(self, programmed, x_codes, *, temp_c, active_bits=None):
         x_codes = self._x_padded(programmed, x_codes)
         m = x_codes.shape[0]
         chunks, cells, n = (programmed.chunks, programmed.cells,
@@ -259,6 +323,7 @@ class DenseNumpyBackend(ArrayBackend):
         result = np.zeros((m, n))
         if not programmed.n_planes:
             return result
+        active_x = self._active_x_bits(programmed, x_codes, active_bits)
 
         unit = self.unit
         von, z10, z01, z00 = unit.levels_at(temp_c)
@@ -266,9 +331,9 @@ class DenseNumpyBackend(ArrayBackend):
         sensor = unit.sensor
 
         for bx in range(programmed.bits_x):
-            x_plane = (x_codes >> bx) & 1
-            if not np.any(x_plane):
+            if not active_x[bx]:
                 continue
+            x_plane = (x_codes >> bx) & 1
             xr = x_plane.reshape(m, chunks, cells).astype(np.float64)
             n_x1 = xr.sum(axis=2)                       # (m, chunks)
             for p in range(programmed.n_planes):
@@ -409,7 +474,7 @@ class FusedBitPlaneBackend(ArrayBackend):
                 .transpose(1, 2, 3, 0, 4))
 
     # -- compute ---------------------------------------------------------
-    def matmul(self, programmed, x_codes, *, temp_c):
+    def matmul(self, programmed, x_codes, *, temp_c, active_bits=None):
         x_codes = self._x_padded(programmed, x_codes)
         m = x_codes.shape[0]
         result = np.zeros((m, programmed.n))
@@ -418,12 +483,7 @@ class FusedBitPlaneBackend(ArrayBackend):
 
         stack = self._weight_stack(programmed)
         bits_x = programmed.bits_x
-        # Seed semantics: an activation bit absent from the *whole batch*
-        # never cycles through the array, so its pairs contribute nothing.
-        # One bitwise-or over the codes finds the populated bits without
-        # materializing any plane stack.
-        ored = int(np.bitwise_or.reduce(x_codes, axis=None))
-        active_x = ((ored >> np.arange(bits_x)) & 1).astype(bool)
+        active_x = self._active_x_bits(programmed, x_codes, active_bits)
         if not active_x.any():
             return result
 
@@ -490,19 +550,46 @@ class FusedBitPlaneBackend(ArrayBackend):
         return unit.sensor.decode(vacc).sum(axis=3, dtype=np.int64)
 
 
-#: Registry of selectable backends, keyed by CLI/config name.
+#: Registry of selectable backends, keyed by CLI/config name.  This dict is
+#: the single source of truth for backend names: the CLI ``--backend``
+#: choices, :class:`~repro.runtime.context.RunContext` validation, and the
+#: executor/compiler configs all derive from it via :func:`backend_names` /
+#: :func:`validate_backend_name` instead of carrying their own string tables.
 BACKENDS = {
     DenseNumpyBackend.name: DenseNumpyBackend,
     FusedBitPlaneBackend.name: FusedBitPlaneBackend,
 }
 
 
+def backend_names():
+    """Registered backend names, sorted — what CLIs/configs offer."""
+    return tuple(sorted(BACKENDS))
+
+
+def validate_backend_name(name):
+    """Return ``name`` if registered, else raise ``ValueError`` listing
+    the valid choices.  Shared by every config that stores a backend name,
+    so the error message (and the choice set) can never drift."""
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown array backend {name!r}; choices: {sorted(BACKENDS)}")
+    return name
+
+
+#: Canonical circuit-engine name table.  It lives here (not in
+#: ``repro.array.row``, which owns the dispatch) because this module is
+#: import-light: the CLI and ``RunContext`` can derive their choices
+#: without pulling in the whole circuit stack.  ``row.ROW_ENGINES`` is
+#: this same tuple, so dispatch and choices cannot drift.
+ENGINE_NAMES = ("scalar", "batched")
+
+
+def engine_names():
+    """Registered circuit-engine names, sorted — what CLIs/configs offer."""
+    return tuple(sorted(ENGINE_NAMES))
+
+
 def make_backend(name, unit) -> ArrayBackend:
     """Instantiate the backend registered under ``name`` for ``unit``."""
-    try:
-        cls = BACKENDS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown array backend {name!r}; choices: {sorted(BACKENDS)}"
-        ) from None
-    return cls(unit)
+    validate_backend_name(name)
+    return BACKENDS[name](unit)

@@ -18,6 +18,11 @@ from repro.metrics.efficiency import (
     tops_per_watt,
 )
 
+#: The paper's measured average energy of one 8-cell row MAC operation
+#: (3.14 fJ, Fig. 8(b) / Table II).  Default per-row-op energy for chip
+#: telemetry when no measured :class:`EnergyReport` is supplied.
+PAPER_AVG_MAC_ENERGY_J = 3.14e-15
+
 
 @dataclass(frozen=True)
 class OperationEnergy:

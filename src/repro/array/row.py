@@ -32,10 +32,13 @@ from repro.circuit import Circuit, Step, VoltageSource, transient_simulation
 from repro.circuit.batched import transient_simulation_batched
 from repro.circuit.elements import Capacitor, Switch
 from repro.circuit.transient import TransientOptions
+from repro.array.backend import ENGINE_NAMES
 from repro.devices.variation import CellVariation
 
-#: Engines a row read may run on; "batched" is the default for ensembles.
-ROW_ENGINES = ("scalar", "batched")
+#: Engines a row read may run on ("batched" is the default for ensembles);
+#: the canonical table lives in the import-light backend module so CLI and
+#: config choices derive from the same tuple as this dispatch.
+ROW_ENGINES = ENGINE_NAMES
 
 
 @dataclass

@@ -1,0 +1,369 @@
+"""``Chip`` — a compiled program written onto physical arrays.
+
+Binding a :class:`~repro.compiler.program.CompiledProgram` to a chip is
+the moment the design stops being data and becomes (modeled) hardware:
+
+* every tile is programmed onto the configured
+  :class:`~repro.array.backend.ArrayBackend` (one
+  :class:`~repro.array.backend.ProgrammedArray` per tile), drawing
+  per-tile process variation from one seeded RNG in tile order — each tile
+  is its own die region, and two chips built from the same program with
+  the same seed are bit-identical;
+* execution walks the model: Conv2D lowers to im2col + tiled matmul,
+  Dense to tiled matmul, everything else runs the float layer (digital
+  peripherals); partial sums accumulate across row-block tiles per the
+  program's plan;
+* a :class:`ChipMeter` counts physical row operations and bit-serial
+  cycles per tile, pricing them through :mod:`repro.array.energy`
+  (per-row-op energy, the paper's 3.14 fJ by default or a measured
+  :class:`~repro.array.energy.EnergyReport`) and
+  :mod:`repro.array.timing` (:class:`~repro.array.timing.LatencySpec`).
+
+Bit-exactness across tilings
+----------------------------
+The chip forces the *layer-global* bit-serial schedule onto every tile:
+the plane set pinned at compile time (``LayerPlan.planes``) and the
+activation-bit mask computed over the full activation matrix per call
+(``active_bits``).  Because the ADC decodes per 8-cell chunk and tiles
+split only on chunk boundaries, every decode input is then identical to
+the same matrix programmed onto one spanning array — so any chunk-aligned
+tiling is bit-identical to the legacy single-array path (enforced by
+``tests/compiler/test_tiling.py``).
+
+Timing/energy model: weight planes, chunks, and tiles are spatially
+parallel (each row has its own ADC and accumulation capacitor);
+activation rows and activation bit planes are time-multiplexed.  One
+matmul over ``M`` activation rows with ``B`` active bits therefore takes
+``M * B`` MAC windows of latency, and costs
+``M * B * planes * chunks * cols`` row operations of energy per tile.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.array.energy import PAPER_AVG_MAC_ENERGY_J
+from repro.array.mac_unit import BehavioralMacConfig, BitSerialMacUnit
+from repro.array.timing import LatencySpec
+from repro.compiler.lowering import layer_matmul_weights
+from repro.nn import functional as F
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.quantize import quantize_tensor
+
+
+@dataclass
+class TileCounters:
+    """Physical-operation counters for one programmed tile."""
+
+    row_ops: int = 0
+    matmuls: int = 0
+
+    def as_dict(self):
+        return {"row_ops": self.row_ops, "matmuls": self.matmuls}
+
+
+class ChipMeter:
+    """Per-tile energy/latency accounting for one chip.
+
+    Counts are *physical*: one row op is one 8-cell analog MAC (one
+    (activation-bit, weight-plane, chunk, column) firing for one
+    activation row).  Energy prices row ops at ``energy_per_mac_j``;
+    latency prices the serial bit cycles at
+    ``latency.mac_latency_s``.  Thread-safe — sessions meter concurrent
+    requests against one chip.
+    """
+
+    def __init__(self, latency=None, energy_per_mac_j=None,
+                 energy_report=None):
+        if energy_per_mac_j is None:
+            energy_per_mac_j = (energy_report.average_energy_j
+                                if energy_report is not None
+                                else PAPER_AVG_MAC_ENERGY_J)
+        self.latency = latency or LatencySpec()
+        self.energy_per_mac_j = float(energy_per_mac_j)
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self):
+        with self._lock:
+            self.tiles: Dict[Tuple[int, int, int], TileCounters] = {}
+            self.row_ops = 0
+            self.bit_cycles = 0
+            self.matmuls = 0
+
+    def record(self, tile_key, *, rows, active_bits, n_planes, chunks,
+               cols):
+        """Account one tile matmul of ``rows`` activation rows."""
+        ops = rows * active_bits * n_planes * chunks * cols
+        with self._lock:
+            counters = self.tiles.setdefault(tile_key, TileCounters())
+            counters.row_ops += ops
+            counters.matmuls += 1
+            self.row_ops += ops
+            self.matmuls += 1
+
+    def record_cycles(self, *, rows, active_bits):
+        """Account the serial schedule of one *layer* matmul (all tiles of
+        a layer fire in parallel, so cycles accrue once per layer)."""
+        with self._lock:
+            self.bit_cycles += rows * active_bits
+
+    # -- derived quantities ---------------------------------------------
+    @property
+    def energy_j(self):
+        """Modeled array energy spent since the last reset."""
+        return self.row_ops * self.energy_per_mac_j
+
+    @property
+    def latency_s(self):
+        """Modeled wall time of the serial MAC schedule since reset."""
+        return self.bit_cycles * self.latency.mac_latency_s
+
+    def snapshot(self):
+        """JSON-safe accounting snapshot (totals + per-tile row ops)."""
+        with self._lock:
+            return {
+                "row_ops": self.row_ops,
+                "bit_cycles": self.bit_cycles,
+                "matmuls": self.matmuls,
+                "energy_j": self.row_ops * self.energy_per_mac_j,
+                "latency_s": self.bit_cycles * self.latency.mac_latency_s,
+                "energy_per_mac_j": self.energy_per_mac_j,
+                "tiles": {
+                    f"L{layer}T{r}.{c}": counters.as_dict()
+                    for (layer, r, c), counters in sorted(self.tiles.items())
+                },
+            }
+
+
+class Chip:
+    """A :class:`CompiledProgram` written onto a physical array backend."""
+
+    def __init__(self, program, design, *, mac_config=None, meter=None,
+                 latency=None, energy_report=None, unit=None):
+        self.program = program
+        self.design = design
+        mapping = program.mapping
+        base = mac_config or BehavioralMacConfig()
+        # ``unit`` reuses an already-calibrated MAC unit (circuit-level
+        # calibration is the expensive part of chip bring-up); the caller
+        # guarantees it matches the mapping's bits/sigma/backend.
+        self.unit = unit or BitSerialMacUnit(design, BehavioralMacConfig(
+            cells_per_row=mapping.cells_per_row,
+            bits_x=mapping.bits,
+            bits_w=mapping.bits,
+            temp_grid_c=base.temp_grid_c,
+            sigma_vth_fefet=mapping.sigma_vth_fefet,
+            sigma_vth_mosfet=mapping.sigma_vth_mosfet,
+            seed=mapping.seed,
+            sensing=base.sensing,
+            backend=mapping.backend,
+        ))
+        # One backend instance (the unit's own) so per-temperature decode
+        # caches are shared with any direct mac_unit callers; a reused
+        # unit configured for a different backend gets a fresh instance of
+        # the mapping's choice over the same calibration.
+        if self.unit.config.backend == mapping.backend:
+            self.backend = self.unit.backend
+        else:
+            from repro.array.backend import make_backend
+
+            self.backend = make_backend(mapping.backend, self.unit)
+        self.meter = meter or ChipMeter(latency=latency,
+                                        energy_report=energy_report)
+        self._programmed = {}
+        self._write_tiles()
+
+    @property
+    def mapping(self):
+        return self.program.mapping
+
+    # ------------------------------------------------------------------
+    # weight-stationary programming
+    # ------------------------------------------------------------------
+    def _write_tiles(self):
+        """Program every tile, drawing variation in tile write order.
+
+        One seeded RNG serves the whole chip, consumed layer by layer,
+        row block outer, column block inner — for a spanning (single-tile)
+        mapping this is exactly the legacy executor's per-layer draw
+        sequence, which is what keeps the compatibility shim bit-identical.
+        """
+        rng = np.random.default_rng(self.mapping.seed)
+        self._programmed.clear()
+        for plan in self.program.layers:
+            for tile in plan.tiles:
+                key = (tile.layer_index, tile.row_block, tile.col_block)
+                self._programmed[key] = self.backend.program(
+                    tile.w_codes, rng=rng, keep_planes=plan.planes)
+
+    def redraw_variation(self, seed):
+        """Fresh per-cell variation on every tile: a new Monte-Carlo die.
+
+        Reuses each tile's bit-plane decomposition; a no-op for nominal
+        (zero-sigma) mappings.
+        """
+        rng = np.random.default_rng(seed)
+        for key, programmed in self._programmed.items():
+            self._programmed[key] = self.backend.reprogram_variation(
+                programmed, rng=rng)
+
+    def programmed_tile(self, layer_index, row_block=0, col_block=0):
+        """The :class:`ProgrammedArray` bound to one tile (for tests)."""
+        return self._programmed[(layer_index, row_block, col_block)]
+
+    # ------------------------------------------------------------------
+    # tiled matmul with partial-sum accumulation
+    # ------------------------------------------------------------------
+    def matmul_codes(self, plan, x_codes, *, temp_c):
+        """Decoded integer matmul of unsigned activation codes against one
+        layer's tile grid at ``temp_c``.
+
+        Computes the activation-bit schedule over the **full** activation
+        matrix and forces it onto every tile, then accumulates partial
+        sums across row-block tiles per the compiled plan.  Every decoded
+        count is an exact small integer times a power of two, so the
+        accumulation order cannot introduce float error.
+        """
+        x_codes = np.asarray(x_codes, dtype=np.int64)
+        if x_codes.ndim != 2 or x_codes.shape[1] != plan.k:
+            raise ValueError(
+                f"x_codes must be (M, {plan.k}) for layer {plan.index}, "
+                f"got {x_codes.shape}")
+        m = x_codes.shape[0]
+        bits_x = self.mapping.bits
+        ored = (int(np.bitwise_or.reduce(x_codes, axis=None))
+                if x_codes.size else 0)
+        active = ((ored >> np.arange(bits_x)) & 1).astype(bool)
+        n_active = int(active.sum())
+        self.meter.record_cycles(rows=m, active_bits=n_active)
+
+        out = np.zeros((m, plan.n))
+        for tile_ids in plan.psum_plan:
+            for t in tile_ids:
+                tile = plan.tiles[t]
+                key = (tile.layer_index, tile.row_block, tile.col_block)
+                programmed = self._programmed[key]
+                counts = self.backend.matmul(
+                    programmed, x_codes[:, tile.k0:tile.k1],
+                    temp_c=temp_c, active_bits=active)
+                out[:, tile.n0:tile.n1] += counts
+                self.meter.record(
+                    key, rows=m, active_bits=n_active,
+                    n_planes=programmed.n_planes,
+                    chunks=programmed.chunks, cols=programmed.n)
+        return out
+
+    @staticmethod
+    def _row_segments(m, segments, rows_per_image):
+        """Half-open activation-row ranges, one per request segment."""
+        if segments is None:
+            return [(0, m)]
+        edges = np.concatenate(
+            ([0], np.cumsum(np.asarray(segments) * rows_per_image)))
+        if edges[-1] != m:
+            raise ValueError(
+                f"segments cover {edges[-1]} rows but the batch has {m}")
+        return list(zip(edges[:-1], edges[1:]))
+
+    def _cim_matmul(self, plan, x_float, temp_c, row_ranges=None):
+        """Quantize activations, run the tile grid, dequantize.
+
+        ``row_ranges`` splits the activation rows into per-request
+        segments that quantize *independently* (own shift, own scale) but
+        share one tiled integer matmul — this is what makes a micro-batched
+        session bit-identical to serving each request alone: dynamic
+        activation quantization never sees its batch neighbors, while the
+        expensive bit-serial work still runs once over the whole batch.
+        """
+        if row_ranges is None:
+            row_ranges = [(0, x_float.shape[0])]
+        shifts, scales = [], []
+        codes = np.empty(x_float.shape, dtype=np.int64)
+        for r0, r1 in row_ranges:
+            seg = x_float[r0:r1]
+            shift = np.minimum(seg.min(), 0.0)
+            xq = quantize_tensor(seg - shift, bits=self.mapping.bits,
+                                 signed=False)
+            codes[r0:r1] = xq.values
+            shifts.append(shift)
+            scales.append(xq.scale)
+
+        counts = self.matmul_codes(plan, codes, temp_c=temp_c)
+
+        out = np.empty((x_float.shape[0], plan.n))
+        for (r0, r1), shift, scale in zip(row_ranges, shifts, scales):
+            seg = counts[r0:r1] * (scale * plan.w_scale)
+            if shift != 0.0:
+                # Undo the activation shift: x = (x - s) + s contributes
+                # s * sum(w) per output column.
+                seg = seg + shift * plan.w_colsum
+            out[r0:r1] = seg
+        return out
+
+    # ------------------------------------------------------------------
+    # network execution
+    # ------------------------------------------------------------------
+    def _forward_conv(self, layer, x, plan, temp_c, segments):
+        patches, out_h, out_w = F.im2col(x, layer.kernel, layer.kernel,
+                                         layer.stride, layer.pad)
+        if plan is None:
+            out = patches @ layer_matmul_weights(layer)
+            out = out + layer.params["b"]
+        else:
+            # im2col is image-major, so request segments stay contiguous:
+            # each image contributes out_h * out_w patch rows.
+            ranges = self._row_segments(patches.shape[0], segments,
+                                        out_h * out_w)
+            out = self._cim_matmul(plan, patches, temp_c, ranges) + plan.bias
+        return out.reshape(x.shape[0], out_h, out_w, layer.c_out)
+
+    def _forward_dense(self, layer, x, plan, temp_c, segments):
+        if plan is None:
+            return x @ layer.params["w"] + layer.params["b"]
+        ranges = self._row_segments(x.shape[0], segments, 1)
+        return self._cim_matmul(plan, x, temp_c, ranges) + plan.bias
+
+    def forward(self, x, temp_c=None, segments=None):
+        """Full inference with tiled CiM matmuls; returns logits.
+
+        ``temp_c`` overrides the mapping's operating temperature for this
+        call only — programmed tiles are reused as-is, mirroring hardware
+        whose stored weights do not change with temperature.
+
+        ``segments`` (per-request image counts summing to ``x.shape[0]``)
+        makes one call serve several concatenated requests with
+        *independent* dynamic activation quantization: the logits are
+        bit-identical to calling :meth:`forward` once per segment, while
+        the bit-serial matmuls run batched.  This is the micro-batching
+        primitive :class:`repro.serve.InferenceSession` builds on.
+        """
+        if segments is not None and sum(segments) != x.shape[0]:
+            raise ValueError(
+                f"segments {list(segments)} sum to {sum(segments)} but "
+                f"the batch has {x.shape[0]} images")
+        temp = (self.mapping.temp_c if temp_c is None else float(temp_c))
+        for index, layer in enumerate(self.program.model.layers):
+            plan = self.program.plan_for(index)
+            if isinstance(layer, Conv2D):
+                x = self._forward_conv(layer, x, plan, temp, segments)
+            elif isinstance(layer, Dense):
+                x = self._forward_dense(layer, x, plan, temp, segments)
+            else:
+                x = layer.forward(x, training=False)
+        return x
+
+    def predict(self, x, batch_size=32, temp_c=None):
+        """Batched inference; returns logits for the whole set."""
+        outs = [self.forward(x[s:s + batch_size], temp_c=temp_c)
+                for s in range(0, x.shape[0], batch_size)]
+        return np.concatenate(outs, axis=0)
+
+    def __repr__(self):
+        return (f"Chip({self.program.design_name}, "
+                f"backend={self.mapping.backend!r}, "
+                f"tiles={len(self._programmed)})")

@@ -1,0 +1,170 @@
+"""Immutable compiled-program structures: tile grids + accumulation plans.
+
+A :class:`CompiledProgram` is what :func:`repro.compiler.compile` emits —
+the complete, backend-independent description of a network lowered onto
+fixed-geometry CiM arrays:
+
+* per CiM layer, a :class:`LayerPlan` holding the quantization scales, the
+  matrix-wide bit-serial plane schedule, the tile grid, and the
+  partial-sum accumulation plan;
+* per tile, a :class:`TileSpec` holding the signed weight codes of its
+  (row-block, col-block) slice.
+
+The program is pure data: no RNG has been consumed and no array has been
+written.  Binding to physical hardware — programming tiles onto an
+:class:`~repro.array.backend.ArrayBackend`, drawing per-tile process
+variation, metering energy/latency — is the job of
+:class:`repro.compiler.chip.Chip`.  The split mirrors compile-once /
+serve-many: one program can be written onto many chips (Monte-Carlo dies),
+and one chip serves many requests.
+
+All arrays carried here are marked read-only; treat every structure as
+frozen.  ``fingerprint`` hashes the mapping, the design, and every tile's
+weight codes, so it identifies the program for caching (it feeds the
+runtime cache through ``RunContext.params`` fingerprinting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """One physical array's share of a layer's weight matrix."""
+
+    layer_index: int
+    #: Grid position: row block (K direction) and column block (N).
+    row_block: int
+    col_block: int
+    #: Half-open slices into the layer's (K, N) weight matrix.
+    k0: int
+    k1: int
+    n0: int
+    n1: int
+    #: Signed integer weight codes of the slice, shape (k1-k0, n1-n0).
+    w_codes: np.ndarray = field(repr=False)
+
+    @property
+    def shape(self):
+        return (self.k1 - self.k0, self.n1 - self.n0)
+
+    def __repr__(self):
+        return (f"TileSpec(layer={self.layer_index}, "
+                f"grid=({self.row_block},{self.col_block}), "
+                f"rows={self.k0}:{self.k1}, cols={self.n0}:{self.n1})")
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """One Conv2D/Dense layer lowered onto a grid of tiles."""
+
+    #: Position of the layer in the model's layer list.
+    index: int
+    #: "conv" or "dense".
+    kind: str
+    #: Logical matmul shape: (K, N) weight matrix.
+    k: int
+    n: int
+    #: Quantization scale mapping weight codes back to floats.
+    w_scale: float
+    #: ``sum_k w_float[k, :]`` — the activation-shift correction term.
+    w_colsum: np.ndarray = field(repr=False)
+    #: Bias snapshot (applied digitally after the array matmul).
+    bias: np.ndarray = field(repr=False)
+    #: Matrix-wide (sign, bit) plane schedule every tile materializes
+    #: (see :func:`repro.array.backend.plane_schedule`).
+    planes: Tuple[Tuple[float, int], ...] = ()
+    #: Tile-grid shape: (row blocks, col blocks).
+    grid: Tuple[int, int] = (1, 1)
+    #: Tiles in write order (row block outer, col block inner).
+    tiles: Tuple[TileSpec, ...] = ()
+    #: Partial-sum accumulation plan: for every col block, the indices
+    #: into ``tiles`` whose decoded counts sum to that output slice, in
+    #: accumulation order (row block ascending).
+    psum_plan: Tuple[Tuple[int, ...], ...] = ()
+    #: Conv geometry (None for dense layers).
+    kernel: Optional[int] = None
+    stride: Optional[int] = None
+    pad: Optional[int] = None
+    c_out: Optional[int] = None
+
+    @property
+    def n_tiles(self):
+        return len(self.tiles)
+
+    @property
+    def macs_per_row(self):
+        """Scalar multiply-accumulates per activation row (K x N)."""
+        return self.k * self.n
+
+    def __repr__(self):
+        return (f"LayerPlan(index={self.index}, kind={self.kind!r}, "
+                f"k={self.k}, n={self.n}, grid={self.grid}, "
+                f"tiles={self.n_tiles}, planes={len(self.planes)})")
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A network lowered onto fixed-geometry arrays — compile once, then
+    bind to as many :class:`~repro.compiler.chip.Chip` instances as you
+    need.
+
+    ``model`` is referenced for its *digital* layers (pooling, ReLU,
+    flatten run exactly as peripherals in the paper's system); every
+    CiM-mapped layer's weights are snapshotted into tile codes at compile
+    time, so later edits to the float model do not leak into the program
+    (the array is nonvolatile — recompile to rewrite it).
+    """
+
+    model: object = field(repr=False)
+    design_name: str = ""
+    mapping: object = None        # MappingConfig
+    layers: Tuple[LayerPlan, ...] = ()
+    fingerprint: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "_by_index", {plan.index: plan for plan in self.layers})
+
+    # -- lookups ---------------------------------------------------------
+    def plan_for(self, layer_index) -> Optional[LayerPlan]:
+        """The layer's plan, or ``None`` for digital/float layers."""
+        return self._by_index.get(layer_index)
+
+    @property
+    def n_tiles(self):
+        return sum(plan.n_tiles for plan in self.layers)
+
+    @property
+    def total_macs_per_row(self):
+        """MACs one activation row costs across all compiled layers."""
+        return sum(plan.macs_per_row for plan in self.layers)
+
+    def describe(self):
+        """Human-readable mapping summary (one line per compiled layer)."""
+        lines = [f"CompiledProgram {self.fingerprint[:12]} "
+                 f"({self.design_name}, backend={self.mapping.backend}, "
+                 f"{len(self.layers)} layers, {self.n_tiles} tiles)"]
+        for plan in self.layers:
+            gr, gc = plan.grid
+            lines.append(
+                f"  layer {plan.index:>2} {plan.kind:<5} "
+                f"K={plan.k:>5} N={plan.n:>4}  grid {gr}x{gc} "
+                f"({plan.n_tiles} tiles, {len(plan.planes)} planes)")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"CompiledProgram(design={self.design_name!r}, "
+                f"layers={len(self.layers)}, tiles={self.n_tiles}, "
+                f"fingerprint={self.fingerprint[:12]!r})")
+
+
+def freeze_array(arr):
+    """Return ``arr`` with the writeable flag dropped (views stay safe)."""
+    arr = np.asarray(arr)
+    arr.setflags(write=False)
+    return arr

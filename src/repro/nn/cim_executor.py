@@ -1,46 +1,43 @@
-"""Run a trained network with every MAC lowered onto the CiM array model.
+"""Legacy-compatible executor: a thin shim over compile + Chip.
 
-Pipeline per layer (the paper's Sec. IV-B evaluation flow):
+``CimExecutor`` used to be the monolithic owner of quantization, array
+programming, and inference.  That machinery now lives in the
+compile-and-serve stack — :func:`repro.compiler.compile` lowers the model
+onto tiled arrays, :class:`repro.compiler.chip.Chip` programs and executes
+them, :class:`repro.serve.InferenceSession` serves them — and this module
+keeps the old surface alive on top of it:
 
-1. quantize weights (signed) and activations (unsigned, post-ReLU) to the
-   configured wordlength (8 bits by default, Fig. 2);
-2. lower conv layers to matmul via im2col — a crossbar executes matmuls;
-3. execute the integer matmul bit-serially on a pluggable array backend
-   (:mod:`repro.array.backend`), which injects temperature drift and
-   per-cell process variation and decodes through the 27 degC-calibrated
-   ADC;
-4. rescale to float and continue with exact pooling/ReLU (these are digital
-   peripherals in the paper's system too).
+* construction compiles the model with a *spanning* mapping (one
+  unbounded tile per layer, ``tile_rows=tile_cols=None``), which consumes
+  the variation RNG exactly like the pre-redesign per-layer programming
+  loop, so outputs are **bit-identical** to the old executor (enforced
+  against a frozen copy of the old implementation in
+  ``tests/nn/test_executor_shim.py``);
+* ``forward`` / ``predict`` / ``redraw_variation`` / ``reprogram`` keep
+  their signatures and semantics (weight-stationary arrays, per-call
+  ``temp_c`` overrides, seeded Monte-Carlo redraws, explicit rewrites
+  after weight edits).
 
-The executor is *weight-stationary*, like the nonvolatile array it models:
-every Conv2D/Dense layer is quantized and programmed onto the array
-**once, at construction** (bit-plane decomposition plus per-physical-cell
-variation draws), and the programmed arrays are reused across ``predict``
-batches, across operating temperatures (``forward``/``predict`` accept a
-``temp_c`` override — levels drift, the stored weights do not), and across
-Monte-Carlo shards (:meth:`CimExecutor.redraw_variation` redraws only the
-per-cell offsets, modeling the same weights written into a different die).
-
-``CimExecutor`` mirrors a ``Sequential`` model's layers; anything that is
-not a Conv2D/Dense passes through the layer's own float forward.
+New code should target the compiled API directly — it adds finite-tile
+geometry, partial-sum plans, per-tile telemetry, and batched serving; see
+the README's "Compile & serve" section.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.array.mac_unit import BehavioralMacConfig, BitSerialMacUnit
+from repro.array.mac_unit import BehavioralMacConfig
+from repro.compiler import Chip, MappingConfig, compile_model
 from repro.constants import REFERENCE_TEMP_C
-from repro.nn import functional as F
-from repro.nn.layers import Conv2D, Dense
-from repro.nn.quantize import quantize_tensor
 
 
 @dataclass(frozen=True)
 class CimExecutionConfig:
-    """How to run a network on the array."""
+    """How to run a network on the array (legacy surface).
+
+    The same knobs, minus geometry, as :class:`repro.compiler.MappingConfig`
+    — :meth:`to_mapping` is the translation."""
 
     temp_c: float = REFERENCE_TEMP_C
     bits: int = 8
@@ -55,79 +52,50 @@ class CimExecutionConfig:
     #: bit-identical to "dense" and several times faster).
     backend: str = "fused"
 
-
-class _ProgrammedLayer:
-    """One layer's weights as the array holds them: programmed, with scale.
-
-    ``w_colsum`` caches ``sum_k w[k, :]`` of the float weights for the
-    activation-shift correction in :meth:`CimExecutor._cim_matmul`.
-    """
-
-    __slots__ = ("programmed", "w_scale", "w_colsum")
-
-    def __init__(self, programmed, w_scale, w_colsum):
-        self.programmed = programmed
-        self.w_scale = w_scale
-        self.w_colsum = w_colsum
+    def to_mapping(self, cells_per_row=8):
+        """The spanning :class:`MappingConfig` equivalent to this config."""
+        return MappingConfig(
+            tile_rows=None, tile_cols=None, bits=self.bits,
+            temp_c=self.temp_c,
+            sigma_vth_fefet=self.sigma_vth_fefet,
+            sigma_vth_mosfet=self.sigma_vth_mosfet,
+            seed=self.seed, min_macs_for_cim=self.min_macs_for_cim,
+            backend=self.backend, cells_per_row=cells_per_row)
 
 
 class CimExecutor:
-    """Executes a Sequential model on the behavioral CiM array."""
+    """Executes a Sequential model on the behavioral CiM array.
+
+    Compatibility shim: compiles the model once at construction (spanning
+    tiles) and delegates execution to the resulting
+    :class:`~repro.compiler.chip.Chip`."""
 
     def __init__(self, model, design, exec_config=None, mac_config=None):
         self.model = model
         self.design = design
         self.config = exec_config or CimExecutionConfig()
-        cfg = self.config
-        base = mac_config or BehavioralMacConfig()
-        self.mac_unit = BitSerialMacUnit(design, BehavioralMacConfig(
-            cells_per_row=base.cells_per_row,
-            bits_x=cfg.bits,
-            bits_w=cfg.bits,
-            temp_grid_c=base.temp_grid_c,
-            sigma_vth_fefet=cfg.sigma_vth_fefet,
-            sigma_vth_mosfet=cfg.sigma_vth_mosfet,
-            seed=cfg.seed,
-            sensing=base.sensing,
-            backend=cfg.backend,
-        ))
-        # One backend instance (the unit's own) so per-temperature decode
-        # caches are shared with any direct mac_unit.matmul callers.
-        self.backend = self.mac_unit.backend
-        self._programmed = {}
+        self._mac_config = mac_config or BehavioralMacConfig()
+        self._unit = None
         self.reprogram()
 
     # ------------------------------------------------------------------
     # weight-stationary programming
     # ------------------------------------------------------------------
-    @staticmethod
-    def _layer_weights_2d(layer):
-        """The layer's weights as the (K, N) matmul operand, or ``None``."""
-        if isinstance(layer, Conv2D):
-            return layer.params["w"].reshape(-1, layer.c_out)
-        if isinstance(layer, Dense):
-            return layer.params["w"]
-        return None
-
     def reprogram(self):
-        """(Re)program every CiM-mapped layer from the model's weights.
+        """(Re)compile and (re)program every CiM-mapped layer.
 
         Runs once at construction; call again if the model's weights were
         modified afterwards (the array is nonvolatile — it does not track
         the float model by itself).  Variation draws consume one seeded RNG
         in layer order, so two executors with identical configs program
-        identical arrays.
+        identical arrays.  The expensive circuit-level calibration is done
+        once and reused across reprograms.
         """
-        rng = np.random.default_rng(self.config.seed)
-        self._programmed.clear()
-        for index, layer in enumerate(self.model.layers):
-            w2d = self._layer_weights_2d(layer)
-            if w2d is None or w2d.size < self.config.min_macs_for_cim:
-                continue
-            wq = quantize_tensor(w2d, bits=self.config.bits, signed=True)
-            programmed = self.backend.program(wq.values, rng=rng)
-            self._programmed[index] = _ProgrammedLayer(
-                programmed, wq.scale, w2d.sum(axis=0))
+        mapping = self.config.to_mapping(self._mac_config.cells_per_row)
+        self.program = compile_model(self.model, self.design, mapping)
+        self.chip = Chip(self.program, self.design,
+                         mac_config=self._mac_config, unit=self._unit)
+        self._unit = self.chip.unit
 
     def redraw_variation(self, seed):
         """Redraw every programmed layer's per-cell variation offsets.
@@ -136,42 +104,11 @@ class CimExecutor:
         process variation.  The expensive bit-plane decomposition is
         reused; a no-op for nominal (zero-sigma) configs.
         """
-        rng = np.random.default_rng(seed)
-        for entry in self._programmed.values():
-            entry.programmed = self.backend.reprogram_variation(
-                entry.programmed, rng=rng)
+        self.chip.redraw_variation(seed)
 
     # ------------------------------------------------------------------
-    def _cim_matmul(self, x_float, entry, temp_c):
-        """Quantize activations, run on the programmed array, dequantize."""
-        x_shift = np.minimum(x_float.min(), 0.0)
-        xq = quantize_tensor(x_float - x_shift, bits=self.config.bits,
-                             signed=False)
-        counts = self.backend.matmul(entry.programmed, xq.values,
-                                     temp_c=temp_c)
-        out = counts * (xq.scale * entry.w_scale)
-        if x_shift != 0.0:
-            # Undo the activation shift: x = (x - s) + s contributes s * sum(w).
-            out = out + x_shift * entry.w_colsum
-        return out
-
-    def _forward_conv(self, layer, x, entry, temp_c):
-        patches, out_h, out_w = F.im2col(x, layer.kernel, layer.kernel,
-                                         layer.stride, layer.pad)
-        if entry is None:
-            out = patches @ layer.params["w"].reshape(-1, layer.c_out)
-        else:
-            out = self._cim_matmul(patches, entry, temp_c)
-        out = out + layer.params["b"]
-        return out.reshape(x.shape[0], out_h, out_w, layer.c_out)
-
-    def _forward_dense(self, layer, x, entry, temp_c):
-        if entry is None:
-            out = x @ layer.params["w"]
-        else:
-            out = self._cim_matmul(x, entry, temp_c)
-        return out + layer.params["b"]
-
+    # inference
+    # ------------------------------------------------------------------
     def forward(self, x, temp_c=None):
         """Full inference with CiM-lowered matmuls; returns logits.
 
@@ -179,19 +116,19 @@ class CimExecutor:
         call only — the programmed arrays are reused as-is, mirroring
         hardware whose stored weights do not change with temperature.
         """
-        temp = self.config.temp_c if temp_c is None else float(temp_c)
-        for index, layer in enumerate(self.model.layers):
-            entry = self._programmed.get(index)
-            if isinstance(layer, Conv2D):
-                x = self._forward_conv(layer, x, entry, temp)
-            elif isinstance(layer, Dense):
-                x = self._forward_dense(layer, x, entry, temp)
-            else:
-                x = layer.forward(x, training=False)
-        return x
+        return self.chip.forward(x, temp_c=temp_c)
 
     def predict(self, x, batch_size=32, temp_c=None):
         """Batched inference; returns logits for the whole set."""
-        outs = [self.forward(x[s:s + batch_size], temp_c=temp_c)
-                for s in range(0, x.shape[0], batch_size)]
-        return np.concatenate(outs, axis=0)
+        return self.chip.predict(x, batch_size=batch_size, temp_c=temp_c)
+
+    # -- legacy attribute surface ---------------------------------------
+    @property
+    def mac_unit(self):
+        """The calibrated behavioral MAC unit backing the chip."""
+        return self.chip.unit
+
+    @property
+    def backend(self):
+        """The array backend instance (shared decode caches)."""
+        return self.chip.backend

@@ -28,7 +28,7 @@ Quick tour::
 """
 
 from repro.runtime.cache import ResultCache, cache_key, default_cache_dir
-from repro.runtime.context import BACKEND_CHOICES, RunContext, resolve_cell
+from repro.runtime.context import RunContext, resolve_cell
 from repro.runtime.executor import (
     pmap,
     run_mc_sharded,
@@ -47,6 +47,18 @@ from repro.runtime.registry import (
     registry_names,
 )
 from repro.runtime.results import ExperimentResult, sanitize
+
+
+def __getattr__(name):
+    """``BACKEND_CHOICES`` / ``ENGINE_CHOICES`` re-export lazily from
+    :mod:`repro.runtime.context` (their resolution imports the array
+    stack, which most runtime consumers never need)."""
+    if name in ("BACKEND_CHOICES", "ENGINE_CHOICES"):
+        from repro.runtime import context
+
+        return getattr(context, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "BACKEND_CHOICES",

@@ -33,15 +33,42 @@ CELL_FACTORIES = {
     "1fefet-1r-sat": ("repro.cells", "FeFET1RCell", "saturation"),
 }
 
-#: Array-backend names a context may select via ``backend=``.  Mirrors
-#: ``repro.array.backend.BACKENDS`` (kept as a literal so this module stays
-#: import-light; the registry is the source of truth at execution time).
-BACKEND_CHOICES = ("dense", "fused")
+def backend_choices():
+    """Array-backend names a context may select via ``backend=``.
 
-#: Circuit-engine names a context may select via ``engine=``.  Mirrors
-#: ``repro.array.row.ROW_ENGINES``: ``batched`` stacks ensembles into one
-#: Newton/transient solve, ``scalar`` is the reference per-member path.
-ENGINE_CHOICES = ("batched", "scalar")
+    Derived from the ``repro.array.backend.BACKENDS`` registry — the
+    single string table shared with the CLI and the executor/compiler
+    configs.  Imported lazily: pulling in ``repro.array`` loads the whole
+    cells/circuit stack, which a context that sets no override never
+    needs.
+    """
+    from repro.array.backend import backend_names
+
+    return backend_names()
+
+
+def engine_choices():
+    """Circuit-engine names a context may select via ``engine=``.
+
+    Derived from ``repro.array.backend.ENGINE_NAMES`` (the same tuple
+    ``repro.array.row.ROW_ENGINES`` dispatches on): ``batched`` stacks
+    ensembles into one Newton/transient solve, ``scalar`` is the
+    reference per-member path.  Imported lazily like
+    :func:`backend_choices`.
+    """
+    from repro.array.backend import engine_names
+
+    return engine_names()
+
+
+def __getattr__(name):
+    """Module-level ``BACKEND_CHOICES`` / ``ENGINE_CHOICES`` resolve on
+    first access so importing this module stays light."""
+    if name == "BACKEND_CHOICES":
+        return backend_choices()
+    if name == "ENGINE_CHOICES":
+        return engine_choices()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def resolve_cell(name):
@@ -119,14 +146,14 @@ class RunContext:
                 f"unknown cell {self.cell!r}; choices: {sorted(CELL_FACTORIES)}")
         if self.n_cells is not None and self.n_cells < 1:
             raise ValueError(f"n_cells must be positive, got {self.n_cells}")
-        if self.backend is not None and self.backend not in BACKEND_CHOICES:
+        if self.backend is not None and self.backend not in backend_choices():
             raise KeyError(
                 f"unknown backend {self.backend!r}; "
-                f"choices: {sorted(BACKEND_CHOICES)}")
-        if self.engine is not None and self.engine not in ENGINE_CHOICES:
+                f"choices: {sorted(backend_choices())}")
+        if self.engine is not None and self.engine not in engine_choices():
             raise KeyError(
                 f"unknown engine {self.engine!r}; "
-                f"choices: {sorted(ENGINE_CHOICES)}")
+                f"choices: {sorted(engine_choices())}")
         # Freeze params into a plain dict copy so callers can't mutate later.
         object.__setattr__(self, "params", dict(self.params))
 

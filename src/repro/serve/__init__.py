@@ -1,0 +1,45 @@
+"""Serving surface: batched inference sessions over programmed chips.
+
+The back half of the compile-and-serve split (see :mod:`repro.compiler`):
+
+* :class:`InferenceSession` — thread-safe request micro-batching over one
+  :class:`~repro.compiler.chip.Chip`, with per-request ``temp_c``
+  overrides on the weight-stationary tiles and per-request
+  energy/latency/queueing telemetry;
+* :func:`serving_benchmark` — the batched-vs-per-request comparison
+  behind ``repro serve-bench`` and ``BENCH_infer.json``.
+
+Quick tour::
+
+    from repro.compiler import MappingConfig, Chip, compile
+    from repro.serve import InferenceSession
+
+    chip = Chip(compile(model, design, MappingConfig()), design)
+    with InferenceSession(chip, max_batch_size=64) as session:
+        hot = session.submit(images_a, temp_c=85.0)
+        cold = session.submit(images_b, temp_c=0.0)
+        print(hot.result().telemetry.energy_j)
+        print(session.stats()["throughput_img_per_s"])
+"""
+
+from repro.serve.bench import (
+    build_serving_workload,
+    report_benchmark,
+    serving_benchmark,
+)
+from repro.serve.session import (
+    InferenceResult,
+    InferenceSession,
+    InferenceTicket,
+    RequestTelemetry,
+)
+
+__all__ = [
+    "InferenceResult",
+    "InferenceSession",
+    "InferenceTicket",
+    "RequestTelemetry",
+    "build_serving_workload",
+    "report_benchmark",
+    "serving_benchmark",
+]

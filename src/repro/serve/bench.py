@@ -1,0 +1,155 @@
+"""Serving benchmark core: batched session vs a naive per-request loop.
+
+Shared by the ``repro serve-bench`` CLI subcommand and
+``benchmarks/perf_infer.py`` so the gate CI runs and the numbers recorded
+in ``BENCH_infer.json`` come from exactly one implementation.
+
+The workload is the VGG-shaped serving scenario: a reduced VGG on
+synthetic CIFAR-10-sized images, every Conv/Dense matmul lowered onto
+tiled arrays.  Two strategies answer the same request stream:
+
+``per-request``
+    Each request runs its own ``chip.forward`` — one tiled forward pass
+    per request, the pre-serving behavior.
+``batched``
+    An :class:`~repro.serve.InferenceSession` micro-batches the stream up
+    to ``max_batch_size`` images per chip pass.
+
+Both must produce bit-identical logits per request (asserted), so the
+timing comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.compiler import Chip, MappingConfig, compile_model
+from repro.serve.session import InferenceSession
+
+
+def build_serving_workload(n_requests=32, images_per_request=1, *,
+                           width=4, image_size=8, seed=0):
+    """A reduced-VGG model plus a deterministic request stream."""
+    from repro.nn import build_vgg_nano
+
+    rng = np.random.default_rng(seed)
+    model = build_vgg_nano(width=width, image_size=image_size,
+                           rng=np.random.default_rng(seed + 1))
+    requests = [rng.normal(size=(images_per_request, image_size,
+                                 image_size, 3))
+                for _ in range(n_requests)]
+    return model, requests
+
+
+def serving_benchmark(n_requests=32, images_per_request=1, *, design=None,
+                      mapping=None, max_batch_size=32, temp_c=None,
+                      width=4, image_size=8, seed=0):
+    """Time per-request vs micro-batched serving; returns a JSON-safe doc.
+
+    ``mapping`` defaults to the paper-scale tiled
+    :class:`~repro.compiler.mapping.MappingConfig`; ``temp_c`` optionally
+    serves every request at an overridden operating temperature.
+    """
+    from repro.cells import TwoTOneFeFETCell
+
+    design = design or TwoTOneFeFETCell()
+    mapping = mapping or MappingConfig()
+    model, requests = build_serving_workload(
+        n_requests, images_per_request, width=width,
+        image_size=image_size, seed=seed)
+
+    start = time.perf_counter()
+    program = compile_model(model, design, mapping)
+    chip = Chip(program, design)
+    compile_s = time.perf_counter() - start
+
+    # Warm the decode caches off the clock so neither strategy pays them.
+    chip.forward(requests[0], temp_c=temp_c)
+
+    chip.meter.reset()
+    start = time.perf_counter()
+    naive_logits = [chip.forward(x, temp_c=temp_c) for x in requests]
+    naive_s = time.perf_counter() - start
+
+    chip.meter.reset()
+    session = InferenceSession(chip, max_batch_size=max_batch_size,
+                               autostart=False)
+    start = time.perf_counter()
+    tickets = [session.submit(x, temp_c=temp_c) for x in requests]
+    while session.step():
+        pass
+    results = [t.result(timeout=60.0) for t in tickets]
+    batched_s = time.perf_counter() - start
+    session.close()
+    stats = session.stats()
+
+    identical = all(np.array_equal(results[i].logits, naive_logits[i])
+                    for i in range(n_requests))
+    total_images = n_requests * images_per_request
+    return {
+        "workload": {
+            "n_requests": n_requests,
+            "images_per_request": images_per_request,
+            "width": width, "image_size": image_size, "seed": seed,
+            "temp_c": temp_c,
+            "tile_rows": mapping.tile_rows, "tile_cols": mapping.tile_cols,
+            "backend": mapping.backend,
+            "max_batch_size": max_batch_size,
+            "tiles": program.n_tiles,
+            "program_fingerprint": program.fingerprint,
+        },
+        "compile_s": round(compile_s, 4),
+        "per_request_s": round(naive_s, 6),
+        "batched_s": round(batched_s, 6),
+        "speedup": round(naive_s / batched_s, 2) if batched_s else None,
+        "per_request_img_per_s": round(total_images / naive_s, 2),
+        "batched_img_per_s": round(total_images / batched_s, 2),
+        "mean_batch_images": stats["mean_batch_images"],
+        "modeled_energy_j_per_image": (stats["modeled_energy_j"]
+                                       / max(stats["images"], 1)),
+        "modeled_latency_s_per_image": (stats["modeled_latency_s"]
+                                        / max(stats["images"], 1)),
+        "outputs_bit_identical": identical,
+    }
+
+
+def report_benchmark(doc, *, min_speedup=None, out=None):
+    """Print a benchmark document, optionally persist it, and gate it.
+
+    The one report/gate implementation shared by ``repro serve-bench``
+    and ``benchmarks/perf_infer.py``: prints the per-request vs batched
+    comparison, writes ``out`` (a path) when given, and returns a process
+    exit code — 1 if the strategies' outputs diverged or the speedup
+    fell below ``min_speedup``, else 0.
+    """
+    w = doc["workload"]
+    print(f"workload: {w['n_requests']} requests x "
+          f"{w['images_per_request']} image(s), tiles "
+          f"{w['tile_rows']}x{w['tile_cols']}, backend={w['backend']}, "
+          f"micro-batch<={w['max_batch_size']}")
+    print(f"compile + chip bring-up: {doc['compile_s']:.2f}s "
+          f"({w['tiles']} tiles)")
+    print(f"per-request loop: {doc['per_request_img_per_s']:8.1f} img/s "
+          f"({doc['per_request_s'] * 1e3:.0f} ms)")
+    print(f"batched session:  {doc['batched_img_per_s']:8.1f} img/s "
+          f"({doc['batched_s'] * 1e3:.0f} ms, mean batch "
+          f"{doc['mean_batch_images']:.1f})")
+    print(f"speedup: {doc['speedup']:.2f}x | bit-identical outputs: "
+          f"{doc['outputs_bit_identical']}")
+    if out is not None:
+        with open(out, "w") as fh:
+            fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    if not doc["outputs_bit_identical"]:
+        print("ERROR: batched session diverged from the per-request loop",
+              file=sys.stderr)
+        return 1
+    if min_speedup and doc["speedup"] < min_speedup:
+        print(f"ERROR: speedup {doc['speedup']:.2f}x below required "
+              f"{min_speedup}x", file=sys.stderr)
+        return 1
+    return 0

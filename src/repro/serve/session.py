@@ -1,0 +1,327 @@
+"""``InferenceSession`` — the serving surface over a programmed chip.
+
+The compile-once / serve-many split ends here: a session owns one
+:class:`~repro.compiler.chip.Chip` and turns it into a thread-safe
+request-oriented service.
+
+* **Micro-batching.**  Requests enqueue; a worker thread drains them in
+  micro-batches of up to ``max_batch_size`` images, concatenating the
+  image tensors so one tiled forward pass serves many requests — the
+  whole point of batched serving on this workload, where the bit-serial
+  kernels amortize their per-call plane/LUT work across activation rows.
+* **Per-request temperature.**  A request may override ``temp_c``; the
+  batcher groups only requests at the same operating temperature
+  (programmed tiles are weight-stationary — levels drift with the
+  override, the stored weights do not).
+* **Telemetry.**  Every result carries a :class:`RequestTelemetry`
+  (queueing delay, batch wall time, its share of the chip meter's modeled
+  array energy/latency, the micro-batch it rode in); the session
+  aggregates totals via :meth:`InferenceSession.stats`.
+
+Threading model: any number of producer threads call :meth:`submit` /
+:meth:`infer`; exactly one worker thread executes the chip, so chip state
+(decode caches, meter) sees no concurrent execution.  ``autostart=False``
+switches to a synchronous mode where the caller pumps micro-batches with
+:meth:`step` — used by the benchmarks for deterministic batch shapes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RequestTelemetry:
+    """Accounting for one served request."""
+
+    request_id: int
+    images: int
+    temp_c: float
+    #: Images in the micro-batch this request was served with.
+    batch_images: int
+    #: Time from submit to execution start (batch formation + queueing).
+    queue_s: float
+    #: Wall time of the micro-batch's forward pass.
+    wall_s: float
+    #: This request's share of the batch's modeled array latency/energy.
+    latency_s: float
+    energy_j: float
+
+    def as_dict(self):
+        return {
+            "request_id": self.request_id, "images": self.images,
+            "temp_c": self.temp_c, "batch_images": self.batch_images,
+            "queue_s": self.queue_s, "wall_s": self.wall_s,
+            "latency_s": self.latency_s, "energy_j": self.energy_j,
+        }
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Logits plus telemetry for one request."""
+
+    logits: np.ndarray
+    telemetry: RequestTelemetry
+
+
+class InferenceTicket:
+    """Handle for a submitted request; ``result()`` blocks until served."""
+
+    def __init__(self, request_id):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._result = None
+        self._error = None
+
+    def _resolve(self, result=None, error=None):
+        self._result, self._error = result, error
+        self._event.set()
+
+    def done(self):
+        return self._event.is_set()
+
+    def result(self, timeout=None) -> InferenceResult:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not served within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class _Pending:
+    """One queued request (internal)."""
+
+    __slots__ = ("x", "temp_c", "ticket", "enqueued_at")
+
+    def __init__(self, x, temp_c, ticket, enqueued_at):
+        self.x = x
+        self.temp_c = temp_c
+        self.ticket = ticket
+        self.enqueued_at = enqueued_at
+
+
+class InferenceSession:
+    """Thread-safe micro-batched inference over one programmed chip."""
+
+    def __init__(self, chip, *, max_batch_size=64, linger_s=0.002,
+                 autostart=True):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if linger_s < 0:
+            raise ValueError("linger_s must be non-negative")
+        self.chip = chip
+        self.max_batch_size = int(max_batch_size)
+        self.linger_s = float(linger_s)
+        self._cond = threading.Condition()
+        self._queue = deque()
+        self._closed = False
+        self._next_id = 0
+        self._totals = {
+            "requests": 0, "images": 0, "batches": 0, "batch_images": 0,
+            "queue_s": 0.0, "busy_s": 0.0, "energy_j": 0.0,
+            "latency_s": 0.0,
+        }
+        self._worker = None
+        if autostart:
+            self._worker = threading.Thread(
+                target=self._serve_loop, name="repro-serve", daemon=True)
+            self._worker.start()
+
+    # ------------------------------------------------------------------
+    # request surface
+    # ------------------------------------------------------------------
+    def submit(self, x, temp_c=None) -> InferenceTicket:
+        """Enqueue a request; returns a ticket resolving to its result.
+
+        ``x`` is one request's image tensor (N, H, W, C) or feature matrix
+        (N, F); ``temp_c`` overrides the mapping's operating temperature
+        for this request only.
+        """
+        x = np.asarray(x)
+        if x.shape[0] < 1:
+            raise ValueError("a request needs at least one image")
+        temp = (self.chip.mapping.temp_c if temp_c is None
+                else float(temp_c))
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            ticket = InferenceTicket(self._next_id)
+            self._next_id += 1
+            self._queue.append(
+                _Pending(x, temp, ticket, time.perf_counter()))
+            self._cond.notify_all()
+        return ticket
+
+    def infer(self, x, temp_c=None) -> InferenceResult:
+        """Synchronous request: submit and wait for the result.
+
+        In ``autostart=False`` mode the caller's thread pumps the queue
+        itself, so ``infer`` stays usable without a worker.
+        """
+        ticket = self.submit(x, temp_c=temp_c)
+        if self._worker is None:
+            while not ticket.done():
+                if not self.step():
+                    break
+        return ticket.result()
+
+    # ------------------------------------------------------------------
+    # batch formation + execution
+    # ------------------------------------------------------------------
+    def _take_batch_locked(self):
+        """Pop the next micro-batch: head-of-line request plus every queued
+        request at the same temperature, up to ``max_batch_size`` images.
+        (A request larger than the budget still runs whole — requests are
+        never split.)"""
+        if not self._queue:
+            return []
+        head = self._queue.popleft()
+        batch, images = [head], head.x.shape[0]
+        remaining = deque()
+        while self._queue:
+            pending = self._queue.popleft()
+            if (pending.temp_c == head.temp_c
+                    and images + pending.x.shape[0] <= self.max_batch_size):
+                batch.append(pending)
+                images += pending.x.shape[0]
+            else:
+                remaining.append(pending)
+        self._queue = remaining
+        return batch
+
+    def _execute(self, batch):
+        """Run one micro-batch on the chip and resolve its tickets."""
+        start = time.perf_counter()
+        meter = self.chip.meter
+        before = meter.snapshot()
+        x = (batch[0].x if len(batch) == 1
+             else np.concatenate([p.x for p in batch], axis=0))
+        # Per-request segments keep dynamic activation quantization
+        # request-local, so micro-batching never changes any request's
+        # logits (bit-identical to serving it alone).
+        segments = [p.x.shape[0] for p in batch]
+        try:
+            logits = self.chip.forward(x, temp_c=batch[0].temp_c,
+                                       segments=segments)
+        except Exception as error:       # propagate to every waiter
+            for pending in batch:
+                pending.ticket._resolve(error=error)
+            return
+        wall = time.perf_counter() - start
+        after = meter.snapshot()
+        batch_images = x.shape[0]
+        batch_energy = after["energy_j"] - before["energy_j"]
+        batch_latency = after["latency_s"] - before["latency_s"]
+
+        offset = 0
+        for pending in batch:
+            images = pending.x.shape[0]
+            share = images / batch_images
+            telemetry = RequestTelemetry(
+                request_id=pending.ticket.request_id, images=images,
+                temp_c=batch[0].temp_c, batch_images=batch_images,
+                queue_s=start - pending.enqueued_at, wall_s=wall,
+                latency_s=batch_latency * share,
+                energy_j=batch_energy * share)
+            pending.ticket._resolve(InferenceResult(
+                logits=logits[offset:offset + images],
+                telemetry=telemetry))
+            offset += images
+            with self._cond:
+                self._totals["requests"] += 1
+                self._totals["images"] += images
+                self._totals["queue_s"] += telemetry.queue_s
+                self._totals["energy_j"] += telemetry.energy_j
+                self._totals["latency_s"] += telemetry.latency_s
+        with self._cond:
+            self._totals["batches"] += 1
+            self._totals["batch_images"] += batch_images
+            self._totals["busy_s"] += wall
+
+    def step(self):
+        """Synchronously serve one micro-batch; returns the number of
+        requests served (0 when the queue is empty).  The manual pump for
+        ``autostart=False`` sessions."""
+        with self._cond:
+            batch = self._take_batch_locked()
+        if not batch:
+            return 0
+        self._execute(batch)
+        return len(batch)
+
+    def _serve_loop(self):
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._queue:
+                    return
+            # Linger briefly so a burst of submitters lands in one batch.
+            if self.linger_s:
+                deadline = time.perf_counter() + self.linger_s
+                with self._cond:
+                    while (time.perf_counter() < deadline
+                           and not self._closed
+                           and sum(p.x.shape[0] for p in self._queue)
+                           < self.max_batch_size):
+                        remaining = deadline - time.perf_counter()
+                        if remaining > 0:
+                            self._cond.wait(timeout=remaining)
+            with self._cond:
+                batch = self._take_batch_locked()
+            if batch:
+                self._execute(batch)
+
+    # ------------------------------------------------------------------
+    # lifecycle + aggregate telemetry
+    # ------------------------------------------------------------------
+    def close(self):
+        """Stop accepting requests; the worker drains the queue first."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join()
+        else:
+            while self.step():
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def stats(self):
+        """Aggregate session telemetry (JSON-safe)."""
+        with self._cond:
+            totals = dict(self._totals)
+        batches = max(totals["batches"], 1)
+        busy = totals["busy_s"]
+        return {
+            "requests": totals["requests"],
+            "images": totals["images"],
+            "batches": totals["batches"],
+            "mean_batch_images": totals["batch_images"] / batches,
+            "mean_queue_s": (totals["queue_s"]
+                             / max(totals["requests"], 1)),
+            "busy_s": busy,
+            "throughput_img_per_s": (totals["images"] / busy
+                                     if busy > 0 else 0.0),
+            "modeled_energy_j": totals["energy_j"],
+            "modeled_latency_s": totals["latency_s"],
+        }
+
+    def __repr__(self):
+        return (f"InferenceSession({self.chip!r}, "
+                f"max_batch_size={self.max_batch_size}, "
+                f"closed={self._closed})")

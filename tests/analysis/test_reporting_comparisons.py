@@ -94,3 +94,51 @@ class TestBuildTable2:
             "macs_per_inference": 2.1e8,
         })
         assert "2866" in rows[-1]["efficiency"]
+
+
+class TestInferenceEnergyConsolidation:
+    """One formula for per-inference energy: metrics.efficiency is the
+    source of truth for EnergyReport, build_table2, and table2's VGG
+    figure alike."""
+
+    def test_energy_report_routes_through_shared_helper(self):
+        from repro.array.energy import EnergyReport, OperationEnergy
+        from repro.metrics.efficiency import energy_per_inference
+
+        report = EnergyReport(
+            tuple(OperationEnergy(k, 3.14e-15, {}) for k in range(9)))
+        for macs in (1, 100, 2.1e8):
+            assert report.inference_energy_j(macs) == pytest.approx(
+                energy_per_inference(report.average_energy_j, macs,
+                                     cells_per_row=8))
+
+    def test_this_work_row_uses_shared_helpers(self):
+        from repro.metrics.efficiency import (
+            energy_per_inference,
+            energy_per_primitive_op,
+        )
+
+        e_mac, macs = 3.14e-15, 2.1e8
+        _, rows = build_table2({
+            "energy_per_mac_j": e_mac,
+            "cells_per_row": 8,
+            "accuracy": 0.8945,
+            "macs_per_inference": macs,
+        })
+        e_op = energy_per_primitive_op(e_mac, 8)
+        e_inf = energy_per_inference(e_mac, macs, 8)
+        assert f"{e_op * 1e15:.2f}fJ/op" in rows[-1]["energy"]
+        assert f"{e_inf * 1e9:.2f}nJ/inf" in rows[-1]["energy"]
+
+    def test_row_rounding_matches_ceil_accounting(self):
+        """ceil(total_macs / cells) row ops — the accounting every caller
+        now inherits from the one helper."""
+        from repro.metrics.efficiency import energy_per_inference
+
+        assert energy_per_inference(1e-15, 10, cells_per_row=8) \
+            == pytest.approx(2e-15)
+        _, rows = build_table2({
+            "energy_per_mac_j": 1e-15, "cells_per_row": 8,
+            "accuracy": 0.5, "macs_per_inference": 10,
+        })
+        assert "0.00nJ/inf" in rows[-1]["energy"]

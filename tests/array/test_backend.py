@@ -225,3 +225,98 @@ class TestProgrammedArray:
         # Returned dicts are copies; mutating one must not poison the cache.
         first[(1, 1)] = -1.0
         assert unit.level_table(33.0)[(1, 1)] != -1.0
+
+
+class TestPinnedSchedules:
+    """keep_planes / active_bits: the tile-splitting hooks the compiler
+    uses to keep every tile on the matrix-wide bit-serial schedule."""
+
+    def test_plane_schedule_matches_natural_program_order(self, unit):
+        from repro.array import plane_schedule
+
+        rng = np.random.default_rng(10)
+        _, w = _operands(rng, (1, 24, 5))
+        backend = DenseNumpyBackend(unit)
+        programmed = backend.program(w)
+        natural = list(zip(programmed.signs, programmed.plane_bits))
+        assert [(s, b) for s, b in plane_schedule(w, 4)] == natural
+
+    def test_keep_planes_materializes_blank_planes(self, unit):
+        """A pinned plane empty in this slice still occupies array rows."""
+        backend = DenseNumpyBackend(unit)
+        w = np.array([[1], [0]])          # only plane (+1, bit 0) natural
+        schedule = ((1.0, 0), (1.0, 2), (-1.0, 1))
+        programmed = backend.program(w, keep_planes=schedule)
+        assert programmed.n_planes == 3
+        assert np.array_equal(programmed.signs, [1.0, 1.0, -1.0])
+        assert np.array_equal(programmed.plane_bits, [0, 2, 1])
+        assert not programmed.w_planes[1].any()      # blank but present
+
+    def test_keep_planes_equal_natural_when_complete(self, unit):
+        from repro.array import plane_schedule
+
+        backend = FusedBitPlaneBackend(unit)
+        rng = np.random.default_rng(11)
+        x, w = _operands(rng, (3, 16, 4))
+        natural = backend.program(w)
+        pinned = backend.program(w, keep_planes=plane_schedule(w, 4))
+        for temp in (27.0, 85.0):
+            assert np.array_equal(
+                backend.matmul(natural, x, temp_c=temp),
+                backend.matmul(pinned, x, temp_c=temp))
+
+    def test_keep_planes_rejects_out_of_range_bit(self, unit):
+        backend = DenseNumpyBackend(unit)
+        with pytest.raises(ValueError, match="plane bit"):
+            backend.program(np.ones((2, 2), dtype=int),
+                            keep_planes=((1.0, 3),))   # bits_w=4 -> max 2
+
+    @pytest.mark.parametrize("backend_name", ["dense", "fused"])
+    def test_forced_active_bits_noop_on_populated_bits(self, unit,
+                                                       backend_name):
+        """Forcing exactly the populated bits changes nothing."""
+        backend = make_backend(backend_name, unit)
+        rng = np.random.default_rng(12)
+        x, w = _operands(rng, (4, 24, 3))
+        programmed = backend.program(w)
+        ored = int(np.bitwise_or.reduce(x, axis=None))
+        active = ((ored >> np.arange(4)) & 1).astype(bool)
+        for temp in (27.0, 85.0):
+            assert np.array_equal(
+                backend.matmul(programmed, x, temp_c=temp),
+                backend.matmul(programmed, x, temp_c=temp,
+                               active_bits=active))
+
+    @pytest.mark.parametrize("backend_name", ["dense", "fused"])
+    def test_forced_schedule_equals_spanning_array(self, unit,
+                                                   backend_name):
+        """The tiling identity at backend level: K-splitting a matrix into
+        chunk-aligned slices with pinned planes and forced activation bits
+        reproduces the spanning array's decode exactly."""
+        from repro.array import plane_schedule
+
+        backend = make_backend(backend_name, unit)
+        rng = np.random.default_rng(13)
+        x, w = _operands(rng, (4, 40, 6))
+        whole = backend.program(w)
+        schedule = plane_schedule(w, 4)
+        active = np.ones(4, dtype=bool)
+        for temp in (27.0, 85.0, 0.0):
+            reference = backend.matmul(whole, x, temp_c=temp,
+                                       active_bits=active)
+            split = np.zeros_like(reference)
+            for k0 in range(0, 40, 16):          # 16, 16, 8: ragged edge
+                k1 = min(k0 + 16, 40)
+                tile = backend.program(w[k0:k1], keep_planes=schedule)
+                split += backend.matmul(tile, x[:, k0:k1], temp_c=temp,
+                                        active_bits=active)
+            assert np.array_equal(split, reference), temp
+
+    def test_active_bits_shape_validated(self, unit):
+        backend = DenseNumpyBackend(unit)
+        rng = np.random.default_rng(14)
+        x, w = _operands(rng, (2, 8, 2))
+        programmed = backend.program(w)
+        with pytest.raises(ValueError, match="active_bits"):
+            backend.matmul(programmed, x, temp_c=27.0,
+                           active_bits=np.ones(7, dtype=bool))

@@ -1,0 +1,150 @@
+"""Tests for Chip: metering, segmented forwards, and binding semantics."""
+
+import numpy as np
+import pytest
+
+from repro.array.timing import LatencySpec
+from repro.cells import FeFET1RCell, TwoTOneFeFETCell
+from repro.compiler import Chip, MappingConfig, compile_model
+from repro.nn import Dense, ReLU, Sequential
+
+
+@pytest.fixture(scope="module")
+def design():
+    return TwoTOneFeFETCell()
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(0)
+    return Sequential([Dense(40, 10, rng=rng), ReLU(),
+                       Dense(10, 6, rng=rng)])
+
+
+@pytest.fixture(scope="module")
+def chip(model, design):
+    program = compile_model(model, design, MappingConfig(tile_rows=16,
+                                                         tile_cols=4))
+    return Chip(program, design)
+
+
+class TestMeter:
+    def test_row_ops_follow_physical_count(self, chip, model):
+        """row_ops = rows x active bits x planes x chunks x cols per tile."""
+        chip.meter.reset()
+        x = np.random.default_rng(1).normal(size=(3, 40))
+        chip.forward(x)
+        snap = chip.meter.snapshot()
+        assert snap["matmuls"] == chip.program.n_tiles
+        expected = 0
+        for plan in chip.program.layers:
+            for tile in plan.tiles:
+                programmed = chip.programmed_tile(
+                    plan.index, tile.row_block, tile.col_block)
+                # All 8 activation bits are populated by a normal batch.
+                expected += (3 * 8 * programmed.n_planes
+                             * programmed.chunks * programmed.n)
+        assert snap["row_ops"] == expected
+        assert snap["energy_j"] == pytest.approx(
+            expected * chip.meter.energy_per_mac_j)
+
+    def test_energy_scales_with_batch(self, chip):
+        chip.meter.reset()
+        x = np.random.default_rng(2).normal(size=(2, 40))
+        chip.forward(x)
+        one = chip.meter.snapshot()["energy_j"]
+        chip.forward(np.concatenate([x, x, x]))
+        assert chip.meter.snapshot()["energy_j"] == pytest.approx(4 * one)
+
+    def test_latency_prices_serial_bit_cycles(self, chip, model):
+        chip.meter.reset()
+        x = np.random.default_rng(3).normal(size=(4, 40))
+        chip.forward(x)
+        snap = chip.meter.snapshot()
+        # Two dense layers, 4 rows each, 8 active bits: 64 serial cycles.
+        assert snap["bit_cycles"] == 2 * 4 * 8
+        assert snap["latency_s"] == pytest.approx(
+            snap["bit_cycles"] * LatencySpec().mac_latency_s)
+
+    def test_per_tile_breakdown_covers_grid(self, chip):
+        chip.meter.reset()
+        chip.forward(np.random.default_rng(4).normal(size=(2, 40)))
+        tiles = chip.meter.snapshot()["tiles"]
+        assert len(tiles) == chip.program.n_tiles
+        assert all(c["row_ops"] > 0 for c in tiles.values())
+
+    def test_measured_energy_report_overrides_default(self, model, design,
+                                                      chip):
+        from repro.array.energy import EnergyReport, OperationEnergy
+
+        report = EnergyReport(
+            tuple(OperationEnergy(k, 2e-15, {}) for k in range(9)))
+        metered = Chip(chip.program, design, unit=chip.unit,
+                       energy_report=report)
+        assert metered.meter.energy_per_mac_j == pytest.approx(2e-15)
+
+
+class TestSegmentedForward:
+    """segments= batches many requests with request-local quantization."""
+
+    @pytest.mark.parametrize("temp", [None, 85.0])
+    def test_segments_match_per_request_forwards(self, chip, temp):
+        rng = np.random.default_rng(5)
+        requests = [rng.normal(size=(n, 40)) * scale
+                    for n, scale in ((1, 1.0), (3, 10.0), (2, 0.2))]
+        batched = chip.forward(np.concatenate(requests),
+                               temp_c=temp,
+                               segments=[r.shape[0] for r in requests])
+        offset = 0
+        for request in requests:
+            alone = chip.forward(request, temp_c=temp)
+            assert np.array_equal(
+                batched[offset:offset + request.shape[0]], alone)
+            offset += request.shape[0]
+
+    def test_segments_match_on_saturation_design(self):
+        """The union bit schedule relies on blank-activation chunks
+        decoding to zero; assert it on the least forgiving design."""
+        design = FeFET1RCell.saturation()
+        rng = np.random.default_rng(6)
+        model = Sequential([Dense(24, 5, rng=rng)])
+        program = compile_model(model, design, MappingConfig(tile_rows=8,
+                                                             tile_cols=3))
+        chip = Chip(program, design)
+        # Disjoint magnitudes: segment codes populate different bit planes.
+        a = np.abs(rng.normal(size=(2, 24))) * 100.0
+        b = np.abs(rng.normal(size=(3, 24))) * 0.01
+        batched = chip.forward(np.concatenate([a, b]), temp_c=85.0,
+                               segments=[2, 3])
+        assert np.array_equal(batched[:2], chip.forward(a, temp_c=85.0))
+        assert np.array_equal(batched[2:], chip.forward(b, temp_c=85.0))
+
+    def test_segments_must_cover_batch(self, chip):
+        x = np.random.default_rng(7).normal(size=(4, 40))
+        with pytest.raises(ValueError, match="segments"):
+            chip.forward(x, segments=[1, 2])
+
+
+class TestBinding:
+    def test_shared_unit_skips_recalibration(self, chip, model, design):
+        other = Chip(chip.program, design, unit=chip.unit)
+        assert other.unit is chip.unit
+        x = np.random.default_rng(8).normal(size=(2, 40))
+        assert np.array_equal(other.forward(x), chip.forward(x))
+
+    def test_backend_override_on_shared_unit(self, chip, model, design):
+        """A dense-mapping chip over a fused-configured unit gets its own
+        dense backend instance but identical outputs."""
+        program = compile_model(model, design, MappingConfig(
+            tile_rows=16, tile_cols=4, backend="dense"))
+        dense_chip = Chip(program, design, unit=chip.unit)
+        assert dense_chip.backend is not chip.backend
+        assert dense_chip.backend.name == "dense"
+        x = np.random.default_rng(9).normal(size=(2, 40))
+        assert np.array_equal(dense_chip.forward(x), chip.forward(x))
+
+    def test_matmul_codes_validates_shape(self, chip):
+        plan = chip.program.layers[0]
+        with pytest.raises(ValueError, match="x_codes"):
+            chip.matmul_codes(plan, np.zeros((2, 7), dtype=np.int64),
+                              temp_c=27.0)

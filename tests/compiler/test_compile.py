@@ -1,0 +1,120 @@
+"""Tests for compile(): program structure, plans, fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.cells import TwoTOneFeFETCell
+from repro.compiler import MappingConfig, compile, compile_model
+from repro.nn import Conv2D, Dense, ReLU, Sequential
+
+
+@pytest.fixture(scope="module")
+def design():
+    return TwoTOneFeFETCell()
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(0)
+    return Sequential([
+        Conv2D(2, 5, kernel=3, rng=rng),     # K = 18, N = 5
+        ReLU(),
+        Dense(40, 10, rng=rng),              # K = 40, N = 10
+    ])
+
+
+class TestProgramStructure:
+    def test_compile_is_compile_model(self):
+        assert compile is compile_model
+
+    def test_spanning_mapping_single_tiles(self, model, design):
+        program = compile(model, design, MappingConfig(
+            tile_rows=None, tile_cols=None))
+        assert [p.grid for p in program.layers] == [(1, 1), (1, 1)]
+        assert program.n_tiles == 2
+        conv, dense = program.layers
+        assert (conv.kind, conv.k, conv.n) == ("conv", 18, 5)
+        assert (dense.kind, dense.k, dense.n) == ("dense", 40, 10)
+        assert conv.kernel == 3 and dense.kernel is None
+
+    def test_tile_grid_exact_and_ragged(self, model, design):
+        program = compile(model, design, MappingConfig(tile_rows=8,
+                                                       tile_cols=5))
+        conv, dense = program.layers
+        assert conv.grid == (3, 1)           # 18 rows -> 8 + 8 + 2
+        assert dense.grid == (5, 2)          # 40 rows, 10 cols exact
+        edge = conv.tiles[-1]
+        assert (edge.k0, edge.k1) == (16, 18)
+        assert edge.w_codes.shape == (2, 5)
+
+    def test_psum_plan_covers_grid_in_row_order(self, model, design):
+        program = compile(model, design, MappingConfig(tile_rows=16,
+                                                       tile_cols=4))
+        dense = program.layers[1]            # 40 x 10 -> 3 x 3 grid
+        assert dense.grid == (3, 3)
+        assert len(dense.psum_plan) == 3
+        for c, tile_ids in enumerate(dense.psum_plan):
+            assert [dense.tiles[t].col_block for t in tile_ids] == [c] * 3
+            assert [dense.tiles[t].row_block for t in tile_ids] == [0, 1, 2]
+        covered = {t for ids in dense.psum_plan for t in ids}
+        assert covered == set(range(dense.n_tiles))
+
+    def test_tiles_partition_weight_matrix(self, model, design):
+        program = compile(model, design, MappingConfig(tile_rows=8,
+                                                       tile_cols=3))
+        for plan in program.layers:
+            rebuilt = np.zeros((plan.k, plan.n), dtype=np.int64)
+            for tile in plan.tiles:
+                rebuilt[tile.k0:tile.k1, tile.n0:tile.n1] = tile.w_codes
+            spanning = compile_model(model, design, MappingConfig(
+                tile_rows=None, tile_cols=None))
+            full = [p for p in spanning.layers if p.index == plan.index][0]
+            assert np.array_equal(rebuilt, full.tiles[0].w_codes)
+
+    def test_plane_schedule_shared_by_all_tiles(self, model, design):
+        tiled = compile(model, design, MappingConfig(tile_rows=8,
+                                                     tile_cols=3))
+        spanning = compile(model, design, MappingConfig(tile_rows=None,
+                                                        tile_cols=None))
+        for tp, sp in zip(tiled.layers, spanning.layers):
+            assert tp.planes == sp.planes    # matrix-wide schedule
+
+    def test_min_macs_threshold_skips_layers(self, model, design):
+        program = compile(model, design, MappingConfig(
+            min_macs_for_cim=10 ** 9))
+        assert program.layers == ()
+        assert program.plan_for(0) is None
+
+    def test_weight_codes_are_read_only(self, model, design):
+        program = compile(model, design, MappingConfig())
+        tile = program.layers[0].tiles[0]
+        with pytest.raises(ValueError):
+            tile.w_codes[0, 0] = 1
+
+
+class TestFingerprint:
+    def test_deterministic(self, model, design):
+        a = compile(model, design, MappingConfig(seed=2))
+        b = compile(model, design, MappingConfig(seed=2))
+        assert a.fingerprint == b.fingerprint
+
+    def test_sensitive_to_mapping_and_weights(self, model, design):
+        base = compile(model, design, MappingConfig())
+        assert base.fingerprint != compile(
+            model, design, MappingConfig(tile_rows=64)).fingerprint
+
+        layer = model.layers[0]
+        original = layer.params["w"].copy()
+        try:
+            layer.params["w"] = original * 0.5
+            assert compile(model, design,
+                           MappingConfig()).fingerprint != base.fingerprint
+        finally:
+            layer.params["w"] = original
+
+    def test_describe_mentions_every_layer(self, model, design):
+        program = compile(model, design, MappingConfig(tile_rows=8,
+                                                       tile_cols=5))
+        text = program.describe()
+        assert "conv" in text and "dense" in text
+        assert program.fingerprint[:12] in text

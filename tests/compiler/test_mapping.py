@@ -1,0 +1,84 @@
+"""Tests for MappingConfig validation, geometry, and fingerprinting."""
+
+import pytest
+
+from repro.compiler import DEFAULT_TILE_COLS, DEFAULT_TILE_ROWS, MappingConfig
+
+
+class TestValidation:
+    def test_defaults_are_paper_scale(self):
+        mapping = MappingConfig()
+        assert mapping.tile_rows == DEFAULT_TILE_ROWS
+        assert mapping.tile_cols == DEFAULT_TILE_COLS
+        assert mapping.bits == 8
+        assert mapping.cells_per_row == 8
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown array backend"):
+            MappingConfig(backend="systolic")
+
+    def test_rejects_chunk_misaligned_tile_rows(self):
+        with pytest.raises(ValueError, match="row chunks"):
+            MappingConfig(tile_rows=12)       # not a multiple of 8
+
+    def test_tile_rows_multiple_of_custom_cells(self):
+        assert MappingConfig(tile_rows=12, cells_per_row=4).tile_rows == 12
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError, match="tile_cols"):
+            MappingConfig(tile_cols=0)
+        with pytest.raises(ValueError, match="tile_rows"):
+            MappingConfig(tile_rows=-8)
+
+    def test_rejects_bad_wordlength(self):
+        with pytest.raises(ValueError, match="wordlength"):
+            MappingConfig(bits=1)
+
+    def test_spanning_mapping(self):
+        assert MappingConfig(tile_rows=None, tile_cols=None).spans_layers
+        assert not MappingConfig().spans_layers
+
+
+class TestGeometry:
+    def test_grid_exact_division(self):
+        assert MappingConfig(tile_rows=16, tile_cols=8).grid_for(32, 16) \
+            == (2, 2)
+
+    def test_grid_ragged_edges(self):
+        assert MappingConfig(tile_rows=16, tile_cols=8).grid_for(40, 10) \
+            == (3, 2)
+
+    def test_grid_spanning(self):
+        assert MappingConfig(tile_rows=None, tile_cols=None).grid_for(
+            1000, 500) == (1, 1)
+
+    def test_grid_smaller_matrix_than_tile(self):
+        assert MappingConfig(tile_rows=128, tile_cols=128).grid_for(
+            27, 4) == (1, 1)
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert MappingConfig(seed=3).fingerprint() \
+            == MappingConfig(seed=3).fingerprint()
+
+    def test_sensitive_to_every_knob(self):
+        base = MappingConfig()
+        variants = [
+            MappingConfig(tile_rows=64),
+            MappingConfig(tile_cols=64),
+            MappingConfig(bits=6),
+            MappingConfig(temp_c=85.0),
+            MappingConfig(sigma_vth_fefet=54e-3),
+            MappingConfig(seed=1),
+            MappingConfig(backend="dense"),
+            MappingConfig(min_macs_for_cim=100),
+        ]
+        prints = {m.fingerprint() for m in variants}
+        assert base.fingerprint() not in prints
+        assert len(prints) == len(variants)
+
+    def test_with_overrides(self):
+        hot = MappingConfig().with_overrides(temp_c=85.0)
+        assert hot.temp_c == 85.0
+        assert hot.tile_rows == DEFAULT_TILE_ROWS

@@ -1,0 +1,153 @@
+"""Property tests: tiled compiled programs are bit-identical to the legacy
+single-array path.
+
+The redesign's core promise: splitting a layer's weight matrix onto a grid
+of fixed-geometry tiles (with the matrix-wide plane schedule pinned and
+the activation-bit schedule forced per call) changes *nothing* about the
+decoded outputs — for tile dims that divide the K/N dimensions exactly and
+for ragged edge tiles, across both backends, at the reference temperature
+and under drifted-temperature overrides, on both cell designs (including
+the saturation-mode baseline whose blank-weight chunks decode nonzero —
+the case that breaks naive per-tile plane skipping).
+
+The comparator is the frozen pre-redesign ``CimExecutor`` copy
+(``tests/nn/_legacy_executor.py``), loaded via the ``legacy_cim`` fixture.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells import FeFET1RCell, TwoTOneFeFETCell
+from repro.compiler import Chip, MappingConfig, compile_model
+from repro.nn import Conv2D, Dense, ReLU, Sequential
+
+#: (tile_rows, tile_cols): exact division, ragged K/N edges, mixed spans.
+TILE_CASES = [(8, 5), (16, 4), (None, 3), (16, None)]
+
+
+def dense_model():
+    rng = np.random.default_rng(0)
+    return Sequential([Dense(40, 10, rng=rng), ReLU(),
+                       Dense(10, 6, rng=rng)])
+
+
+def conv_model():
+    rng = np.random.default_rng(1)
+    return Sequential([Conv2D(2, 5, kernel=3, rng=rng), ReLU()])
+
+
+@pytest.fixture(scope="module")
+def legacy_dense(legacy_cim):
+    """Legacy executor on the dense model (2T cell, nominal)."""
+    return legacy_cim.CimExecutor(
+        dense_model(), TwoTOneFeFETCell(),
+        legacy_cim.CimExecutionConfig(temp_c=27.0, bits=8))
+
+
+@pytest.fixture(scope="module")
+def legacy_conv(legacy_cim):
+    return legacy_cim.CimExecutor(
+        conv_model(), TwoTOneFeFETCell(),
+        legacy_cim.CimExecutionConfig(temp_c=27.0, bits=8))
+
+
+def tiled_chip(executor, model, tile_rows, tile_cols, backend):
+    """A chip over ``model`` reusing the legacy executor's calibrated
+    unit (same design, same wordlength — no recalibration)."""
+    mapping = MappingConfig(tile_rows=tile_rows, tile_cols=tile_cols,
+                            backend=backend)
+    program = compile_model(model, executor.design, mapping)
+    return Chip(program, executor.design, unit=executor.mac_unit)
+
+
+class TestTiledEqualsLegacy:
+    @pytest.mark.parametrize("tile_rows,tile_cols", TILE_CASES)
+    @pytest.mark.parametrize("backend", ["dense", "fused"])
+    def test_dense_layers_all_tilings(self, legacy_dense, tile_rows,
+                                      tile_cols, backend):
+        x = np.random.default_rng(2).normal(size=(5, 40))
+        chip = tiled_chip(legacy_dense, legacy_dense.model, tile_rows,
+                          tile_cols, backend)
+        for temp in (None, 85.0, 0.0):
+            assert np.array_equal(chip.forward(x, temp_c=temp),
+                                  legacy_dense.forward(x, temp_c=temp))
+
+    @pytest.mark.parametrize("tile_rows,tile_cols", [(8, 4), (16, 3)])
+    @pytest.mark.parametrize("backend", ["dense", "fused"])
+    def test_conv_layers_ragged_tiles(self, legacy_conv, tile_rows,
+                                      tile_cols, backend):
+        """Conv K = 18 splits ragged for both tile_rows choices."""
+        x = np.random.default_rng(3).normal(size=(2, 6, 6, 2))
+        chip = tiled_chip(legacy_conv, legacy_conv.model, tile_rows,
+                          tile_cols, backend)
+        for temp in (None, 85.0):
+            assert np.array_equal(chip.forward(x, temp_c=temp),
+                                  legacy_conv.forward(x, temp_c=temp))
+
+    def test_saturation_design_blank_plane_tiles(self, legacy_cim):
+        """The hard case: saturation-mode cells decode blank-weight chunks
+        nonzero, so tiles must keep the matrix-wide plane schedule."""
+        model = dense_model()
+        design = FeFET1RCell.saturation()
+        legacy = legacy_cim.CimExecutor(
+            model, design, legacy_cim.CimExecutionConfig(temp_c=27.0,
+                                                         bits=8))
+        x = np.random.default_rng(4).normal(size=(4, 40))
+        for backend in ("dense", "fused"):
+            chip = tiled_chip(legacy, model, 8, 4, backend)
+            for temp in (None, 60.0, 85.0):
+                assert np.array_equal(chip.forward(x, temp_c=temp),
+                                      legacy.forward(x, temp_c=temp))
+
+
+class TestVariationAcrossTilings:
+    @pytest.fixture(scope="class")
+    def legacy_sigma(self, legacy_cim):
+        return legacy_cim.CimExecutor(
+            dense_model(), TwoTOneFeFETCell(),
+            legacy_cim.CimExecutionConfig(
+                temp_c=27.0, bits=8, sigma_vth_fefet=54e-3,
+                sigma_vth_mosfet=15e-3, seed=7))
+
+    def spanning_chip(self, legacy):
+        mapping = MappingConfig(
+            tile_rows=None, tile_cols=None, sigma_vth_fefet=54e-3,
+            sigma_vth_mosfet=15e-3, seed=7)
+        program = compile_model(legacy.model, legacy.design, mapping)
+        return Chip(program, legacy.design, unit=legacy.mac_unit)
+
+    def test_spanning_tiles_match_legacy_draws(self, legacy_sigma):
+        """Single-tile programs consume the variation RNG exactly like the
+        legacy per-layer loop — bit-identical including redraws."""
+        x = np.random.default_rng(5).normal(size=(4, 40))
+        chip = self.spanning_chip(legacy_sigma)
+        assert np.array_equal(chip.forward(x), legacy_sigma.forward(x))
+        chip.redraw_variation(99)
+        legacy_sigma.redraw_variation(99)
+        assert np.array_equal(chip.forward(x), legacy_sigma.forward(x))
+        legacy_sigma.redraw_variation(7)   # restore class-fixture state
+
+    def test_tiled_variation_deterministic_per_seed(self, legacy_sigma):
+        """Multi-tile draws differ from the spanning array (each tile is
+        its own die region) but are fully determined by the seed."""
+        model, design = legacy_sigma.model, legacy_sigma.design
+        mapping = MappingConfig(tile_rows=16, tile_cols=4,
+                                sigma_vth_fefet=54e-3,
+                                sigma_vth_mosfet=15e-3, seed=7)
+        program = compile_model(model, design, mapping)
+        x = np.random.default_rng(6).normal(size=(4, 40))
+        a = Chip(program, design, unit=legacy_sigma.mac_unit).forward(x)
+        b = Chip(program, design, unit=legacy_sigma.mac_unit).forward(x)
+        assert np.array_equal(a, b)
+        spanning = self.spanning_chip(legacy_sigma).forward(x)
+        assert not np.array_equal(a, spanning)
+
+    def test_tiled_redraw_changes_outputs(self, legacy_sigma):
+        model, design = legacy_sigma.model, legacy_sigma.design
+        program = compile_model(model, design, MappingConfig(
+            tile_rows=16, tile_cols=4, sigma_vth_fefet=54e-3, seed=7))
+        chip = Chip(program, design, unit=legacy_sigma.mac_unit)
+        x = np.random.default_rng(8).normal(size=(3, 40))
+        first = chip.forward(x)
+        chip.redraw_variation(1234)
+        assert not np.allclose(first, chip.forward(x))

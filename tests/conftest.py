@@ -2,7 +2,15 @@
 
 The result cache defaults to a per-user directory; tests must never read
 or pollute it, so every test gets a private cache via ``REPRO_CACHE_DIR``.
+
+``legacy_cim`` loads the frozen pre-redesign ``CimExecutor`` copy kept in
+``tests/nn/_legacy_executor.py`` — the reference semantics the
+compile-and-serve equivalence suites compare against.
 """
+
+import importlib.util
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -10,3 +18,17 @@ import pytest
 @pytest.fixture(autouse=True)
 def _isolated_result_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
+@pytest.fixture(scope="session")
+def legacy_cim():
+    """The frozen pre-redesign executor module (reference semantics)."""
+    path = Path(__file__).parent / "nn" / "_legacy_executor.py"
+    spec = importlib.util.spec_from_file_location("legacy_cim_reference",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves string annotations through sys.modules, so the
+    # module must be registered before execution.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module

@@ -34,6 +34,7 @@ FAST_PARAMS = {
     "decode-errors": {"temps_c": (27.0,), "n_vectors": 4},
     "mlc": {"n_levels": 2, "temps_c": (27.0,)},
     "thermal-gradient": {"spans_c": (0.0, 10.0)},
+    "infer": {"n_images": 2, "temps_c": (27.0,)},
 }
 
 

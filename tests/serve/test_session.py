@@ -1,0 +1,176 @@
+"""Tests for the micro-batched InferenceSession."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cells import TwoTOneFeFETCell
+from repro.compiler import Chip, MappingConfig, compile_model
+from repro.nn import Dense, ReLU, Sequential
+from repro.serve import InferenceSession, serving_benchmark
+
+
+@pytest.fixture(scope="module")
+def chip():
+    rng = np.random.default_rng(0)
+    model = Sequential([Dense(24, 12, rng=rng), ReLU(),
+                        Dense(12, 5, rng=rng)])
+    design = TwoTOneFeFETCell()
+    program = compile_model(model, design, MappingConfig(tile_rows=8,
+                                                         tile_cols=4))
+    return Chip(program, design)
+
+
+def requests(n, rng_seed=1, images=1):
+    rng = np.random.default_rng(rng_seed)
+    return [rng.normal(size=(images, 24)) for _ in range(n)]
+
+
+class TestCorrectness:
+    def test_results_match_direct_forward(self, chip):
+        xs = requests(5)
+        with InferenceSession(chip, max_batch_size=4) as session:
+            tickets = [session.submit(x) for x in xs]
+            for ticket, x in zip(tickets, xs):
+                result = ticket.result(timeout=30.0)
+                assert np.array_equal(result.logits, chip.forward(x))
+
+    def test_temp_override_grouped_and_correct(self, chip):
+        xs = requests(4)
+        with InferenceSession(chip, max_batch_size=8,
+                              autostart=False) as session:
+            hot = [session.submit(x, temp_c=85.0) for x in xs[:2]]
+            cold = [session.submit(x, temp_c=0.0) for x in xs[2:]]
+            while session.step():
+                pass
+            for ticket, x in zip(hot, xs[:2]):
+                result = ticket.result(timeout=5.0)
+                assert result.telemetry.temp_c == 85.0
+                # Only same-temperature requests share a batch.
+                assert result.telemetry.batch_images == 2
+                assert np.array_equal(result.logits,
+                                      chip.forward(x, temp_c=85.0))
+            for ticket, x in zip(cold, xs[2:]):
+                assert np.array_equal(ticket.result(timeout=5.0).logits,
+                                      chip.forward(x, temp_c=0.0))
+
+    def test_infer_synchronous(self, chip):
+        x = requests(1)[0]
+        with InferenceSession(chip) as session:
+            result = session.infer(x, temp_c=85.0)
+        assert np.array_equal(result.logits, chip.forward(x, temp_c=85.0))
+
+    def test_concurrent_submitters(self, chip):
+        """Many producer threads, one chip: every thread gets its own
+        request's logits back."""
+        xs = requests(12, rng_seed=3)
+        outcomes = [None] * len(xs)
+
+        def worker(i):
+            outcomes[i] = session.infer(xs[i]).logits
+
+        with InferenceSession(chip, max_batch_size=6) as session:
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(len(xs))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for x, logits in zip(xs, outcomes):
+            assert np.array_equal(logits, chip.forward(x))
+
+
+class TestBatching:
+    def test_step_mode_batches_up_to_budget(self, chip):
+        xs = requests(7)
+        session = InferenceSession(chip, max_batch_size=4,
+                                   autostart=False)
+        tickets = [session.submit(x) for x in xs]
+        assert session.step() == 4
+        assert session.step() == 3
+        assert session.step() == 0
+        sizes = {t.result(timeout=5.0).telemetry.batch_images
+                 for t in tickets}
+        assert sizes == {4, 3}
+        session.close()
+
+    def test_oversized_request_served_whole(self, chip):
+        session = InferenceSession(chip, max_batch_size=2,
+                                   autostart=False)
+        ticket = session.submit(requests(1, images=5)[0])
+        session.step()
+        assert ticket.result(timeout=5.0).telemetry.batch_images == 5
+        session.close()
+
+    def test_telemetry_shares_batch_energy(self, chip):
+        session = InferenceSession(chip, max_batch_size=8,
+                                   autostart=False)
+        a = session.submit(requests(1, rng_seed=4, images=3)[0])
+        b = session.submit(requests(1, rng_seed=5, images=1)[0])
+        while session.step():
+            pass
+        ta = a.result(timeout=5.0).telemetry
+        tb = b.result(timeout=5.0).telemetry
+        assert ta.batch_images == tb.batch_images == 4
+        assert ta.energy_j == pytest.approx(3 * tb.energy_j)
+        assert ta.energy_j + tb.energy_j > 0
+        session.close()
+
+    def test_stats_aggregate(self, chip):
+        with InferenceSession(chip, max_batch_size=4,
+                              autostart=False) as session:
+            tickets = [session.submit(x) for x in requests(6)]
+            while session.step():
+                pass
+            [t.result(timeout=5.0) for t in tickets]
+            stats = session.stats()
+        assert stats["requests"] == 6
+        assert stats["images"] == 6
+        assert stats["batches"] == 2
+        assert stats["mean_batch_images"] == pytest.approx(3.0)
+        assert stats["modeled_energy_j"] > 0
+        assert stats["throughput_img_per_s"] > 0
+
+
+class TestLifecycle:
+    def test_submit_after_close_rejected(self, chip):
+        session = InferenceSession(chip)
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.submit(requests(1)[0])
+
+    def test_close_drains_queue(self, chip):
+        session = InferenceSession(chip, max_batch_size=4,
+                                   autostart=False)
+        tickets = [session.submit(x) for x in requests(3)]
+        session.close()
+        assert all(t.result(timeout=5.0) is not None for t in tickets)
+
+    def test_close_idempotent(self, chip):
+        session = InferenceSession(chip)
+        session.close()
+        session.close()
+
+    def test_rejects_empty_request(self, chip):
+        with InferenceSession(chip, autostart=False) as session:
+            with pytest.raises(ValueError, match="at least one image"):
+                session.submit(np.empty((0, 24)))
+
+    def test_rejects_bad_config(self, chip):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            InferenceSession(chip, max_batch_size=0)
+
+
+class TestServingBenchmark:
+    def test_smoke_doc_shape_and_equivalence(self):
+        doc = serving_benchmark(n_requests=4, images_per_request=1,
+                                max_batch_size=4, width=2, image_size=8,
+                                mapping=MappingConfig(tile_rows=16,
+                                                      tile_cols=8))
+        assert doc["outputs_bit_identical"]
+        assert doc["workload"]["n_requests"] == 4
+        assert doc["per_request_s"] > 0 and doc["batched_s"] > 0
+        assert doc["speedup"] == pytest.approx(
+            doc["per_request_s"] / doc["batched_s"], rel=0.01)
+        assert doc["mean_batch_images"] == pytest.approx(4.0)

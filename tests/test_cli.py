@@ -162,3 +162,75 @@ class TestRunOptions:
                      "--cache-dir", str(tmp_path / "cache")]) == 0
         out = capsys.readouterr().out
         assert "profile:" in out and "fresh" in out
+
+
+class TestChoiceRegistryDerivation:
+    def test_backend_choices_derive_from_registry(self):
+        from repro.array.backend import BACKENDS, backend_names
+        from repro.runtime.context import BACKEND_CHOICES
+
+        assert BACKEND_CHOICES == backend_names() == tuple(sorted(BACKENDS))
+
+    def test_engine_choices_derive_from_row_engines(self):
+        from repro.array.backend import engine_names
+        from repro.array.row import ROW_ENGINES
+        from repro.runtime.context import ENGINE_CHOICES
+
+        assert ENGINE_CHOICES == engine_names() == tuple(sorted(ROW_ENGINES))
+
+    def test_validate_backend_name_lists_choices(self):
+        from repro.array.backend import validate_backend_name
+
+        assert validate_backend_name("fused") == "fused"
+        with pytest.raises(ValueError, match="dense"):
+            validate_backend_name("systolic")
+
+
+class TestInferCommand:
+    def test_infer_runs_and_reports_telemetry(self, tmp_path, capsys):
+        assert main(["infer", "--images", "4", "--temps", "27",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "Compile-and-serve telemetry" in out
+        assert "agreement" in out
+
+    def test_infer_mapping_knobs_fingerprint_cache(self, tmp_path, capsys):
+        """Different tile geometry => different cache entry (a compiled
+        program's configuration is part of the runtime cache key)."""
+        base = ["infer", "--images", "4", "--temps", "27",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(base + ["--tile-rows", "32"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--tile-rows", "32"]) == 0
+        assert "cache hit" in capsys.readouterr().out
+        assert main(base + ["--tile-rows", "64"]) == 0
+        assert "fresh run" in capsys.readouterr().out
+
+    def test_infer_json_document(self, tmp_path, capsys):
+        import json as _json
+
+        assert main(["infer", "--images", "4", "--temps", "27", "--json",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        [doc] = _json.loads(capsys.readouterr().out)
+        assert doc["name"] == "infer"
+        values = doc["values"]
+        assert values["program_fingerprint"]
+        assert values["mapping"]["tile_rows"] == 32
+
+
+class TestServeBenchCommand:
+    def test_smoke_gate_and_document(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        assert main(["serve-bench", "--smoke", "--out", str(out_file)]) == 0
+        printed = capsys.readouterr().out
+        assert "batched session" in printed and "speedup" in printed
+        import json as _json
+
+        doc = _json.loads(out_file.read_text())
+        assert doc["outputs_bit_identical"] is True
+        assert doc["workload"]["n_requests"] == 8
+
+    def test_unreachable_min_speedup_fails(self, capsys):
+        assert main(["serve-bench", "--smoke", "--requests", "2",
+                     "--min-speedup", "1000"]) == 1
+        assert "below required" in capsys.readouterr().err
