@@ -1,6 +1,6 @@
-"""Compile-and-serve walkthrough: tiled mapping + batched sessions.
+"""Compile-and-serve walkthrough: tiled mapping, sessions, and pools.
 
-Demonstrates the three-stage serving stack on a reduced VGG:
+Demonstrates the serving stack on a reduced VGG:
 
 1. ``repro.compiler.compile`` lowers the network onto fixed-geometry
    physical arrays (here 32x16 tiles — every layer becomes a grid of
@@ -8,9 +8,13 @@ Demonstrates the three-stage serving stack on a reduced VGG:
 2. ``Chip`` writes the program onto the array backends (per-tile process
    variation, per-tile energy/latency metering);
 3. ``InferenceSession`` serves a request stream with micro-batching,
-   per-request temperature overrides, and per-request telemetry.
+   per-request temperature overrides, and per-request telemetry;
+4. ``ChipPool`` scales out: N chip replicas of the same program (each an
+   independent variation draw — its own die), temperature-binned
+   work-stealing scheduling, and fleet telemetry including cross-replica
+   logit divergence.
 
-Run:  python examples/serve_inference.py [--requests N]
+Run:  python examples/serve_inference.py [--requests N] [--replicas R]
 """
 
 import argparse
@@ -21,10 +25,48 @@ from repro.analysis.reporting import format_table
 from repro.cells import TwoTOneFeFETCell
 from repro.compiler import Chip, MappingConfig, compile
 from repro.nn import build_vgg_nano
-from repro.serve import InferenceSession
+from repro.serve import ChipPool, InferenceSession
 
 
-def main(n_requests=24):
+def serve_pool(program, design, n_requests, n_replicas):
+    """The fleet variant: same program, N replica dies, binned serving."""
+    rng = np.random.default_rng(11)
+    temps = [0.0, 27.0, 85.0]
+    # Two temperature bins split at 40 degC: cold traffic keeps replicas
+    # 0/2/... warm at low-T levels, hot traffic the others.  An idle
+    # replica steals the oldest waiting batch from a loaded same-bin peer.
+    # (Binning needs one replica per bin, so a 1-replica demo goes unbinned.)
+    temp_bins = (40.0,) if n_replicas >= 2 else None
+    with ChipPool(program, design, n_replicas=n_replicas,
+                  temp_bins=temp_bins, max_batch_size=8) as pool:
+        tickets = [pool.submit(rng.normal(size=(1, 8, 8, 3)),
+                               temp_c=temps[i % len(temps)])
+                   for i in range(n_requests)]
+        [t.result(timeout=120.0) for t in tickets]
+        # Fleet accuracy fluctuation: every replica is its own variation
+        # draw, so the same probe diverges chip to chip (the TReCiM
+        # deployment concern).
+        probe = pool.divergence(rng.normal(size=(4, 8, 8, 3)))
+        stats = pool.stats()
+
+    print(format_table(
+        ["replica", "bin", "requests", "images", "steals", "img/s (wall)"],
+        [(r["index"], r["bin"], r["requests"], r["images"], r["steals"],
+          f"{r['throughput_img_per_s']:.1f}")
+         for r in stats.replicas],
+        title=f"Pool telemetry ({n_replicas} replicas, bins at 40 degC)"))
+    modeled = stats.modeled
+    print(f"\nfleet: {stats.totals['requests']} requests, "
+          f"{stats.totals['steals']} steals, modeled parallel speedup "
+          f"{modeled['parallel_speedup']:.2f}x "
+          f"({modeled['throughput_img_per_s']:.0f} img/s modeled at "
+          f"{modeled['tops_per_watt']:.0f} TOPS/W)")
+    print(f"replica divergence: max deviation "
+          f"{probe['max_deviation']:.3e}, min argmax agreement "
+          f"{probe['min_agreement']:.3f}")
+
+
+def main(n_requests=24, n_replicas=2):
     design = TwoTOneFeFETCell()
     model = build_vgg_nano(width=4, image_size=8,
                            rng=np.random.default_rng(42))
@@ -77,11 +119,16 @@ def main(n_requests=24):
                   key=lambda kv: kv[1]["row_ops"])
     print(f"chip meter: {snapshot['row_ops']} row ops across "
           f"{len(snapshot['tiles'])} tiles; busiest tile {busiest[0]} "
-          f"({busiest[1]['row_ops']} ops)")
+          f"({busiest[1]['row_ops']} ops)\n")
+
+    serve_pool(program, design, n_requests, n_replicas)
 
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser()
     parser.add_argument("--requests", type=int, default=24,
                         help="requests to serve (default 24)")
-    main(parser.parse_args().requests)
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="chip replicas in the pool demo (default 2)")
+    args = parser.parse_args()
+    main(args.requests, args.replicas)

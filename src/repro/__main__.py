@@ -20,6 +20,12 @@ serve-bench [options]
     on the VGG-shaped serving workload (the ``BENCH_infer.json``
     harness); exits nonzero if outputs diverge or the speedup falls
     below ``--min-speedup``.
+serve-pool-bench [options]
+    Serve the same stream through a sharded ChipPool of ``--replicas``
+    chips (the ``BENCH_pool.json`` harness): asserts the single-replica
+    pool is bit-identical to the session, reports wall-clock and modeled
+    fleet throughput, and exits nonzero if outputs diverge or the
+    modeled fleet speedup falls below ``--min-modeled-speedup``.
 
 Options (run / all)
 -------------------
@@ -145,6 +151,13 @@ def _build_parser():
                          help="session micro-batch budget (default 8)")
     infer_p.add_argument("--sigma-vth-fefet", type=float, default=0.0,
                          metavar="V", help="per-cell FeFET V_TH sigma")
+    infer_p.add_argument("--replicas", type=int, default=1,
+                         help="serve through a ChipPool of this many chip "
+                              "replicas (default 1: single session)")
+    infer_p.add_argument("--bin-edges", type=float, nargs="+",
+                         default=None, metavar="T",
+                         help="temperature bin edges (degC) assigning pool "
+                              "replicas to operating-temperature bins")
     add_run_options(infer_p)
 
     bench_p = sub.add_parser(
@@ -169,6 +182,38 @@ def _build_parser():
                          help="write the benchmark document to FILE")
     bench_p.add_argument("--smoke", action="store_true",
                          help="small CI-sized workload")
+
+    pool_p = sub.add_parser(
+        "serve-pool-bench",
+        help="sharded ChipPool vs single session (BENCH_pool harness)")
+    pool_p.add_argument("--requests", type=int, default=None,
+                        help="requests in the stream (default 64, "
+                             "or 8 with --smoke)")
+    pool_p.add_argument("--replicas", type=int, default=None,
+                        help="chip replicas in the pool (default 4, "
+                             "or 2 with --smoke)")
+    pool_p.add_argument("--images-per-request", type=int, default=1)
+    pool_p.add_argument("--max-batch-size", type=int, default=8)
+    pool_p.add_argument("--tile-rows", type=int, default=32)
+    pool_p.add_argument("--tile-cols", type=int, default=16)
+    pool_p.add_argument("--backend", choices=sorted(BACKEND_CHOICES),
+                        default="fused")
+    pool_p.add_argument("--temp-c", type=float, default=None,
+                        help="serve every request at this temperature")
+    pool_p.add_argument("--temp-bins", type=float, nargs="+", default=None,
+                        metavar="T", help="temperature bin edges (degC)")
+    pool_p.add_argument("--sigma-vth-fefet", type=float, default=0.0,
+                        metavar="V",
+                        help="per-cell FeFET V_TH sigma (nonzero makes "
+                             "every replica a distinct variation draw)")
+    pool_p.add_argument("--seed", type=int, default=0)
+    pool_p.add_argument("--min-modeled-speedup", type=float, default=None,
+                        help="exit nonzero if the modeled fleet speedup "
+                             "falls below this")
+    pool_p.add_argument("--out", type=Path, default=None, metavar="FILE",
+                        help="write the benchmark document to FILE")
+    pool_p.add_argument("--smoke", action="store_true",
+                        help="small CI-sized workload")
     return parser
 
 
@@ -258,15 +303,24 @@ def _cmd_run(args, parser, names=None, params=None):
 
 
 def _cmd_infer(args, parser):
-    """Front end over the ``infer`` experiment: the mapping knobs travel
-    through ``RunContext.params`` so the compiled program's configuration
-    is fingerprinted into the result cache like any other run."""
+    """Front end over the ``infer`` experiment: every mapping *and
+    scheduler/pool* knob travels through ``RunContext.params`` so the
+    compiled program's and the serving fleet's configuration are
+    fingerprinted into the result cache like any other run.  (A knob
+    left out of ``params`` would silently serve stale cached results —
+    the seed and backend ride the typed ``RunContext`` fields, which are
+    fingerprinted too.)"""
+    if args.bin_edges and args.replicas < 2:
+        parser.error("--bin-edges requires --replicas >= 2 (temperature "
+                     "bins are a pool placement policy)")
     params = {
         "n_images": args.images,
         "tile_rows": args.tile_rows,
         "tile_cols": args.tile_cols,
         "batch_size": args.batch_size,
         "sigma_vth_fefet": args.sigma_vth_fefet,
+        "n_replicas": args.replicas,
+        "bin_edges": tuple(args.bin_edges) if args.bin_edges else None,
     }
     return _cmd_run(args, parser, names=["infer"], params=params)
 
@@ -290,6 +344,28 @@ def _cmd_serve_bench(args):
                             out=args.out)
 
 
+def _cmd_serve_pool_bench(args):
+    from repro.compiler import MappingConfig
+    from repro.serve import pool_benchmark, report_pool_benchmark
+
+    # --smoke only shrinks the *defaults*; explicit flags always win.
+    requests = args.requests if args.requests is not None \
+        else (8 if args.smoke else 64)
+    replicas = args.replicas if args.replicas is not None \
+        else (2 if args.smoke else 4)
+    mapping = MappingConfig(tile_rows=args.tile_rows,
+                            tile_cols=args.tile_cols,
+                            backend=args.backend, seed=args.seed,
+                            sigma_vth_fefet=args.sigma_vth_fefet)
+    doc = pool_benchmark(
+        requests, args.images_per_request, mapping=mapping,
+        n_replicas=replicas, temp_bins=args.temp_bins,
+        max_batch_size=args.max_batch_size, temp_c=args.temp_c,
+        seed=args.seed)
+    return report_pool_benchmark(
+        doc, min_modeled_speedup=args.min_modeled_speedup, out=args.out)
+
+
 def main(argv=None):
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -299,6 +375,8 @@ def main(argv=None):
         return _cmd_infer(args, parser)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "serve-pool-bench":
+        return _cmd_serve_pool_bench(args)
     return _cmd_run(args, parser)
 
 

@@ -482,9 +482,13 @@ def table2_summary(*, quick=True, seed=0, backend="fused"):
 
     fig8 = fig8_proposed_array()
     macs = count_macs(model, data.image_shape)
+    # The row width comes from the measured energy report, not a literal:
+    # the per-MAC -> per-op conversion embeds it, and a hard-coded 8 here
+    # would silently drift if the array sweep ever changed width.
+    cells_per_row = fig8["energy_report"].cells_per_row
     this_work = {
         "energy_per_mac_j": fig8["avg_energy_fj"] * 1e-15,
-        "cells_per_row": 8,
+        "cells_per_row": cells_per_row,
         "accuracy": cim_acc,
         "macs_per_inference": macs,
         "dataset": "synthetic Cifar-10",
@@ -497,7 +501,8 @@ def table2_summary(*, quick=True, seed=0, backend="fused"):
 
     table1_macs = table1_vgg()["macs_per_inference"]
     vgg_inference_nj = energy_per_inference(
-        fig8["avg_energy_fj"] * 1e-15, table1_macs, cells_per_row=8) * 1e9
+        fig8["avg_energy_fj"] * 1e-15, table1_macs,
+        cells_per_row=cells_per_row) * 1e9
     return {
         "float_accuracy": float_acc,
         "cim_accuracy": cim_acc,

@@ -2,14 +2,20 @@
 
 Registers the ``infer`` experiment behind ``repro infer`` / ``repro run
 infer``: compile a reduced VGG onto tiled arrays, serve a request stream
-through a micro-batched :class:`~repro.serve.InferenceSession`, and report
-per-temperature fidelity plus the session's energy/latency telemetry.
+through a micro-batched :class:`~repro.serve.InferenceSession` — or,
+with ``n_replicas > 1``, through a sharded
+:class:`~repro.serve.ChipPool` — and report per-temperature fidelity
+plus the session's (or fleet's) energy/latency telemetry.
 
-Because it runs under the unified runtime, every mapping knob
-(``tile_rows``, ``tile_cols``, ``batch_size``, sigmas) travels through
-``RunContext.params`` into the content-addressed result cache — the
-compiled program's configuration is fingerprinted into the cache key, and
-the result document records the program fingerprint itself.
+Because it runs under the unified runtime, every mapping *and scheduler*
+knob (``tile_rows``, ``tile_cols``, ``batch_size``, sigmas,
+``n_replicas``, ``bin_edges``) travels through ``RunContext.params``
+into the content-addressed result cache — the compiled program's and the
+serving fleet's configuration are fingerprinted into the cache key, and
+the result document records the program fingerprint itself.  A
+scheduler-relevant knob missing from ``params`` would silently serve
+stale cached results for a different fleet; ``tests/test_cli.py`` pins
+the cache-miss behavior for each CLI-exposed knob.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from repro.analysis.reporting import format_table
 from repro.compiler import Chip, MappingConfig, compile_model
 from repro.constants import REFERENCE_TEMP_C
 from repro.runtime.registry import experiment
-from repro.serve import InferenceSession
+from repro.serve import ChipPool, InferenceSession
 
 #: Serving-experiment temperature corners (paper window extremes + ref).
 SERVE_TEMPS_C = (0.0, REFERENCE_TEMP_C, 85.0)
@@ -33,18 +39,28 @@ def infer_session(n_images=32, temps_c=SERVE_TEMPS_C, seed=0,
                   backend="fused", tile_rows=32, tile_cols=16,
                   batch_size=8, sigma_vth_fefet=0.0,
                   sigma_vth_mosfet=0.0, width=4, image_size=8,
-                  design=None):
-    """Serve a reduced-VGG request stream on a compiled chip.
+                  design=None, n_replicas=1, bin_edges=None):
+    """Serve a reduced-VGG request stream on a compiled chip (or fleet).
 
     Each image arrives as its own request; the session micro-batches up
     to ``batch_size`` images per tiled forward pass.  Fidelity is argmax
     agreement with the float model (the lowering metric of Sec. IV-B);
     telemetry is the chip meter's modeled array energy/latency plus
     measured wall-clock throughput.
+
+    ``n_replicas > 1`` serves through a :class:`~repro.serve.ChipPool`
+    instead: every replica is an independent per-tile variation draw
+    (optionally binned by operating temperature at ``bin_edges``), and
+    the result gains the fleet's :class:`~repro.serve.PoolStats` plus a
+    per-temperature cross-replica logit-divergence probe.
     """
     from repro.cells import TwoTOneFeFETCell
     from repro.nn import build_vgg_nano
 
+    if bin_edges and n_replicas < 2:
+        # Silently ignoring the binning policy would cache a result doc
+        # claiming a binned fleet that never existed.
+        raise ValueError("bin_edges requires a pool (n_replicas > 1)")
     design = design or TwoTOneFeFETCell()
     model = build_vgg_nano(width=width, image_size=image_size,
                            rng=np.random.default_rng(seed + 1))
@@ -57,15 +73,24 @@ def infer_session(n_images=32, temps_c=SERVE_TEMPS_C, seed=0,
         seed=seed, sigma_vth_fefet=sigma_vth_fefet,
         sigma_vth_mosfet=sigma_vth_mosfet)
     program = compile_model(model, design, mapping)
-    chip = Chip(program, design)
+
+    pooled = n_replicas > 1
+    if pooled:
+        surface = ChipPool(program, design, n_replicas=n_replicas,
+                           temp_bins=bin_edges,
+                           max_batch_size=batch_size, autostart=False)
+    else:
+        surface = InferenceSession(Chip(program, design),
+                                   max_batch_size=batch_size,
+                                   autostart=False)
 
     rows, per_temp = [], {}
-    with InferenceSession(chip, max_batch_size=batch_size,
-                          autostart=False) as session:
+    divergence = {}
+    with surface as server:
         for temp in temps_c:
-            tickets = [session.submit(images[i:i + 1], temp_c=float(temp))
+            tickets = [server.submit(images[i:i + 1], temp_c=float(temp))
                        for i in range(n_images)]
-            while session.step():
+            while server.step():
                 pass
             results = [t.result(timeout=60.0) for t in tickets]
             pred = np.argmax(
@@ -78,24 +103,46 @@ def infer_session(n_images=32, temps_c=SERVE_TEMPS_C, seed=0,
                 "energy_j_per_image": energy / n_images,
                 "latency_s_per_image": latency / n_images,
             }
-            rows.append((f"{temp:.0f}", f"{agreement:.3f}",
-                         f"{energy / n_images * 1e9:.3f}",
-                         f"{latency / n_images * 1e6:.2f}"))
-        stats = session.stats()
+            row = (f"{temp:.0f}", f"{agreement:.3f}",
+                   f"{energy / n_images * 1e9:.3f}",
+                   f"{latency / n_images * 1e6:.2f}")
+            if pooled:
+                probe = server.divergence(images[:1], temp_c=float(temp))
+                divergence[float(temp)] = {
+                    "max_deviation": probe["max_deviation"],
+                    "min_agreement": probe.get("min_agreement"),
+                }
+                row += (f"{probe['max_deviation']:.2e}",)
+            rows.append(row)
+        stats = server.stats().as_dict() if pooled else server.stats()
 
-    return {
+    headers = ["T (degC)", "agreement", "nJ/image", "modeled us/image"]
+    if pooled:
+        headers.append("fleet max dev")
+    surface_desc = (f"{n_replicas}-replica pool" if pooled
+                    else f"batch<={batch_size}")
+    doc = {
         "program_fingerprint": program.fingerprint,
         "mapping": mapping.fingerprint_data(),
         "n_tiles": program.n_tiles,
         "n_images": n_images,
+        "n_replicas": n_replicas,
+        "bin_edges": list(bin_edges) if bin_edges else None,
         "per_temp": per_temp,
         "session": stats,
-        "throughput_img_per_s": stats["throughput_img_per_s"],
-        "mean_batch_images": stats["mean_batch_images"],
         "report": format_table(
-            ["T (degC)", "agreement", "nJ/image", "modeled us/image"],
-            rows,
+            headers, rows,
             title=f"Compile-and-serve telemetry "
                   f"({program.n_tiles} tiles, backend={backend}, "
-                  f"batch<={batch_size})"),
+                  f"{surface_desc})"),
     }
+    if pooled:
+        doc["divergence"] = divergence
+        doc["throughput_img_per_s"] = \
+            stats["totals"]["throughput_img_per_s"]
+        doc["modeled_parallel_speedup"] = \
+            stats["modeled"]["parallel_speedup"]
+    else:
+        doc["throughput_img_per_s"] = stats["throughput_img_per_s"]
+        doc["mean_batch_images"] = stats["mean_batch_images"]
+    return doc

@@ -50,9 +50,28 @@ from repro.array.energy import PAPER_AVG_MAC_ENERGY_J
 from repro.array.mac_unit import BehavioralMacConfig, BitSerialMacUnit
 from repro.array.timing import LatencySpec
 from repro.compiler.lowering import layer_matmul_weights
+from repro.metrics.efficiency import tops_per_watt
 from repro.nn import functional as F
 from repro.nn.layers import Conv2D, Dense
 from repro.nn.quantize import quantize_tensor
+
+
+def replica_variation_seed(base_seed, replica_index):
+    """Deterministic, independent variation seed for one fleet replica.
+
+    Every physical chip built from the same program is its own process
+    corner — the chip-to-chip axis the paper (and TReCiM) stress for
+    temperature-resilient deployment.  Replica 0 keeps the mapping's own
+    draw (bit-identical to a plain :class:`Chip`); replicas ``i >= 1``
+    redraw per-tile variation with a seed derived here.  ``SeedSequence``
+    spawn keys give statistically independent streams without the
+    collision risk of ad-hoc ``seed + i`` arithmetic.
+    """
+    if replica_index < 1:
+        raise ValueError("replica 0 keeps the mapping's own draw")
+    seq = np.random.SeedSequence(entropy=base_seed,
+                                 spawn_key=(replica_index,))
+    return int(seq.generate_state(1)[0])
 
 
 @dataclass
@@ -78,13 +97,23 @@ class ChipMeter:
     """
 
     def __init__(self, latency=None, energy_per_mac_j=None,
-                 energy_report=None):
+                 energy_report=None, cells_per_row=None):
         if energy_per_mac_j is None:
             energy_per_mac_j = (energy_report.average_energy_j
                                 if energy_report is not None
                                 else PAPER_AVG_MAC_ENERGY_J)
+        if cells_per_row is None:
+            # A measured report knows the width its per-MAC energy was
+            # taken at; only a report-less meter falls back to the
+            # paper's 8.
+            cells_per_row = (energy_report.cells_per_row
+                             if energy_report is not None else 8)
         self.latency = latency or LatencySpec()
         self.energy_per_mac_j = float(energy_per_mac_j)
+        #: Row width behind every metered row op — the per-MAC ->
+        #: per-primitive-op conversion depends on it, so TOPS/W reported
+        #: here must use the design's actual width, not an assumed 8.
+        self.cells_per_row = int(cells_per_row)
         self._lock = threading.Lock()
         self.reset()
 
@@ -123,6 +152,11 @@ class ChipMeter:
         """Modeled wall time of the serial MAC schedule since reset."""
         return self.bit_cycles * self.latency.mac_latency_s
 
+    @property
+    def tops_per_watt(self):
+        """Efficiency of the metered array at its actual row width."""
+        return tops_per_watt(self.energy_per_mac_j, self.cells_per_row)
+
     def snapshot(self):
         """JSON-safe accounting snapshot (totals + per-tile row ops)."""
         with self._lock:
@@ -133,6 +167,8 @@ class ChipMeter:
                 "energy_j": self.row_ops * self.energy_per_mac_j,
                 "latency_s": self.bit_cycles * self.latency.mac_latency_s,
                 "energy_per_mac_j": self.energy_per_mac_j,
+                "cells_per_row": self.cells_per_row,
+                "tops_per_watt": self.tops_per_watt,
                 "tiles": {
                     f"L{layer}T{r}.{c}": counters.as_dict()
                     for (layer, r, c), counters in sorted(self.tiles.items())
@@ -144,7 +180,8 @@ class Chip:
     """A :class:`CompiledProgram` written onto a physical array backend."""
 
     def __init__(self, program, design, *, mac_config=None, meter=None,
-                 latency=None, energy_report=None, unit=None):
+                 latency=None, energy_report=None, unit=None,
+                 programmed=None):
         self.program = program
         self.design = design
         mapping = program.mapping
@@ -173,14 +210,66 @@ class Chip:
             from repro.array.backend import make_backend
 
             self.backend = make_backend(mapping.backend, self.unit)
-        self.meter = meter or ChipMeter(latency=latency,
-                                        energy_report=energy_report)
-        self._programmed = {}
-        self._write_tiles()
+        # A measured report taken at a different row width would silently
+        # mis-price every op (the per-MAC energy embeds the width); refuse
+        # rather than drift.
+        if (energy_report is not None
+                and energy_report.cells_per_row != mapping.cells_per_row):
+            raise ValueError(
+                f"energy report measured at {energy_report.cells_per_row} "
+                f"cells/row cannot meter a {mapping.cells_per_row} "
+                f"cells/row mapping")
+        self.meter = meter or ChipMeter(
+            latency=latency, energy_report=energy_report,
+            cells_per_row=mapping.cells_per_row)
+        # ``programmed`` adopts tiles already written by a sibling chip
+        # of the same program (see :meth:`build_replicas`): the bit-plane
+        # decomposition is weight-determined, so replicas share it and
+        # only the variation draws differ.
+        self._programmed = dict(programmed) if programmed is not None \
+            else {}
+        if programmed is None:
+            self._write_tiles()
 
     @property
     def mapping(self):
         return self.program.mapping
+
+    @classmethod
+    def build_replicas(cls, program, design, n_replicas, *,
+                       mac_config=None, latency=None, energy_report=None):
+        """``n_replicas`` chips from one program — a serving fleet.
+
+        Replica 0 is exactly ``Chip(program, design)`` (the mapping's own
+        per-tile variation draw); every later replica reprograms its tiles
+        with an independent draw seeded by :func:`replica_variation_seed`
+        — each physical chip is its own die, the chip-to-chip variation
+        axis a deployed fleet must stay accurate across.
+
+        All replicas share replica 0's calibrated MAC unit (circuit-level
+        calibration is the expensive part of bring-up, and per-temperature
+        level/decode caches are idempotent, so concurrent replica workers
+        may share them safely) *and* its tiles' bit-plane decomposition —
+        the decomposition is weight-determined, so later replicas only
+        redraw the per-cell threshold offsets instead of re-programming
+        from scratch.  Each replica gets its *own* meter, so per-replica
+        energy/latency accounting stays separable.
+        """
+        if n_replicas < 1:
+            raise ValueError("a pool needs at least one replica")
+        first = cls(program, design, mac_config=mac_config,
+                    latency=latency, energy_report=energy_report)
+        chips = [first]
+        for index in range(1, n_replicas):
+            rng = np.random.default_rng(
+                replica_variation_seed(program.mapping.seed, index))
+            programmed = {
+                key: first.backend.reprogram_variation(tile, rng=rng)
+                for key, tile in first._programmed.items()}
+            chips.append(cls(program, design, mac_config=mac_config,
+                             latency=latency, energy_report=energy_report,
+                             unit=first.unit, programmed=programmed))
+        return chips
 
     # ------------------------------------------------------------------
     # weight-stationary programming

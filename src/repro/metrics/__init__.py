@@ -9,7 +9,11 @@
   VGG/CIFAR-10 evaluation.
 """
 
-from repro.metrics.fluctuation import fluctuation_profile, max_fluctuation
+from repro.metrics.fluctuation import (
+    fleet_divergence,
+    fluctuation_profile,
+    max_fluctuation,
+)
 from repro.metrics.nmr import MacOutputRange, nmr_min, nmr_values, ranges_overlap
 from repro.metrics.efficiency import (
     OPS_PER_MAC,
@@ -19,6 +23,7 @@ from repro.metrics.efficiency import (
 from repro.metrics.accuracy import classification_accuracy, confusion_matrix
 
 __all__ = [
+    "fleet_divergence",
     "fluctuation_profile",
     "max_fluctuation",
     "MacOutputRange",

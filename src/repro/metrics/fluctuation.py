@@ -46,6 +46,61 @@ def fluctuation_profile(temps_c, outputs, *, temp_ref_c=REFERENCE_TEMP_C):
     return outputs / ref - 1.0
 
 
+def fleet_divergence(outputs, *, ref_index=0):
+    """Chip-to-chip output divergence across a replica fleet.
+
+    The temperature axis above has a sibling: *which physical chip served
+    the request*.  Every replica built from one compiled program is an
+    independent process-variation draw (the deployment concern the paper
+    and its TReCiM follow-up stress), so a serving fleet's accuracy
+    fluctuation is the deviation of each replica's outputs from a
+    reference replica — the fleet analogue of ``output(T)/output(27C)-1``.
+
+    Parameters
+    ----------
+    outputs:
+        Replica-major stack, shape ``(R, ...)`` — e.g. ``(R, N, C)``
+        classification logits from serving one probe batch on every
+        replica.
+    ref_index:
+        Which replica anchors the comparison (default 0: the mapping's
+        own variation draw).
+
+    Returns
+    -------
+    dict with per-replica ``deviation`` (max-abs difference from the
+    reference, normalized by the reference's output scale) and, for
+    stacks with a class axis, per-replica ``argmax_agreement``; plus the
+    fleet-level ``max_deviation`` / ``min_agreement`` summaries.
+    """
+    out = np.asarray(outputs, dtype=float)
+    if out.ndim < 2 or out.shape[0] < 1:
+        raise ValueError("outputs must stack at least one replica's "
+                         "outputs along axis 0")
+    if not 0 <= ref_index < out.shape[0]:
+        raise ValueError(f"ref_index {ref_index} outside fleet of "
+                         f"{out.shape[0]}")
+    ref = out[ref_index]
+    scale = float(np.max(np.abs(ref)))
+    if scale == 0.0:
+        raise ValueError("reference output is identically zero; "
+                         "divergence undefined")
+    axes = tuple(range(1, out.ndim))
+    deviation = np.max(np.abs(out - ref), axis=axes) / scale
+    result = {
+        "ref_index": int(ref_index),
+        "deviation": deviation,
+        "max_deviation": float(deviation.max()),
+    }
+    if out.ndim >= 3:
+        pred = np.argmax(out, axis=-1)
+        agreement = np.mean(pred == pred[ref_index],
+                            axis=tuple(range(1, pred.ndim)))
+        result["argmax_agreement"] = agreement
+        result["min_agreement"] = float(agreement.min())
+    return result
+
+
 def max_fluctuation(temps_c, outputs, *, window_c=None,
                     temp_ref_c=REFERENCE_TEMP_C):
     """Largest |fluctuation| over an optional temperature window.

@@ -1,4 +1,4 @@
-"""Serving surface: batched inference sessions over programmed chips.
+"""Serving surface: batched sessions and sharded chip pools.
 
 The back half of the compile-and-serve split (see :mod:`repro.compiler`):
 
@@ -6,27 +6,43 @@ The back half of the compile-and-serve split (see :mod:`repro.compiler`):
   :class:`~repro.compiler.chip.Chip`, with per-request ``temp_c``
   overrides on the weight-stationary tiles and per-request
   energy/latency/queueing telemetry;
-* :func:`serving_benchmark` — the batched-vs-per-request comparison
-  behind ``repro serve-bench`` and ``BENCH_infer.json``.
+* :class:`ChipPool` — the fleet: N chip replicas of one compiled program
+  (each an independent per-tile variation draw, optionally binned by
+  operating temperature), an async scheduler with work-stealing queues
+  and per-replica micro-batching, graceful drain/shutdown, and
+  :class:`PoolStats` fleet telemetry including cross-replica logit
+  divergence;
+* :func:`serving_benchmark` / :func:`pool_benchmark` — the comparisons
+  behind ``repro serve-bench`` / ``repro serve-pool-bench`` and
+  ``BENCH_infer.json`` / ``BENCH_pool.json``.
 
 Quick tour::
 
-    from repro.compiler import MappingConfig, Chip, compile
-    from repro.serve import InferenceSession
+    from repro.compiler import MappingConfig, compile
+    from repro.serve import ChipPool, InferenceSession
 
-    chip = Chip(compile(model, design, MappingConfig()), design)
-    with InferenceSession(chip, max_batch_size=64) as session:
-        hot = session.submit(images_a, temp_c=85.0)
-        cold = session.submit(images_b, temp_c=0.0)
-        print(hot.result().telemetry.energy_j)
-        print(session.stats()["throughput_img_per_s"])
+    program = compile(model, design, MappingConfig())
+    with ChipPool(program, design, n_replicas=4,
+                  temp_bins=(20.0, 60.0)) as pool:
+        hot = pool.submit(images_a, temp_c=85.0)
+        cold = pool.submit(images_b, temp_c=0.0)
+        print(hot.result().telemetry.replica)
+        print(pool.stats().modeled["throughput_img_per_s"])
+        print(pool.divergence(images_a)["max_deviation"])
 """
 
+from repro.serve.batching import (
+    MicroBatchQueue,
+    canonical_temp,
+)
 from repro.serve.bench import (
     build_serving_workload,
+    pool_benchmark,
     report_benchmark,
+    report_pool_benchmark,
     serving_benchmark,
 )
+from repro.serve.pool import ChipPool, PoolStats
 from repro.serve.session import (
     InferenceResult,
     InferenceSession,
@@ -35,11 +51,17 @@ from repro.serve.session import (
 )
 
 __all__ = [
+    "ChipPool",
     "InferenceResult",
     "InferenceSession",
     "InferenceTicket",
+    "MicroBatchQueue",
+    "PoolStats",
     "RequestTelemetry",
     "build_serving_workload",
+    "canonical_temp",
+    "pool_benchmark",
     "report_benchmark",
+    "report_pool_benchmark",
     "serving_benchmark",
 ]

@@ -1,0 +1,251 @@
+"""Request primitives and micro-batch formation shared by
+:class:`~repro.serve.session.InferenceSession` and
+:class:`~repro.serve.pool.ChipPool`.
+
+The serving surfaces differ in *where* requests queue (one session queue
+vs one work-stealing queue per pool replica) but not in *what* a request
+is or *how* a micro-batch forms and executes, so that logic lives here
+exactly once:
+
+* :class:`InferenceTicket` / :class:`InferenceResult` /
+  :class:`RequestTelemetry` — the request handle, its resolved payload,
+  and the per-request accounting every surface attaches;
+* :func:`canonical_temp` — every operating temperature is normalized to a
+  builtin ``float`` at submit time.  Batch coalescing groups requests by
+  exact temperature equality, and a ``temp_c`` arriving as
+  ``np.float32``/``np.float64`` (or an ``int``) would otherwise compare
+  unequal to the same temperature submitted as a builtin float — silently
+  defeating batching (and leaking non-JSON-safe scalars into telemetry);
+* :class:`MicroBatchQueue` — a FIFO of :class:`PendingRequest` with the
+  coalescing pop: the head-of-line request plus every queued request at
+  the same temperature, up to the image budget;
+* :func:`execute_micro_batch` — run one batch on one chip, meter its
+  energy/latency delta, resolve every ticket with per-request telemetry,
+  and return the batch totals for the caller's aggregate counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def canonical_temp(temp_c):
+    """Normalize an operating temperature to a canonical builtin float.
+
+    Coalescing compares temperatures by exact equality, so every submit
+    path must collapse ``np.float32(27.) / np.float64(27.) / 27 / 27.0``
+    onto one representation before the comparison ever happens.
+    """
+    return float(temp_c)
+
+
+@dataclass(frozen=True)
+class RequestTelemetry:
+    """Accounting for one served request."""
+
+    request_id: int
+    images: int
+    temp_c: float
+    #: Images in the micro-batch this request was served with.
+    batch_images: int
+    #: Time from submit to execution start (batch formation + queueing).
+    queue_s: float
+    #: Wall time of the micro-batch's forward pass.
+    wall_s: float
+    #: This request's share of the batch's modeled array latency/energy.
+    latency_s: float
+    energy_j: float
+    #: Pool replica that served the request (0 for a single session).
+    replica: int = 0
+
+    def as_dict(self):
+        return {
+            "request_id": self.request_id, "images": self.images,
+            "temp_c": self.temp_c, "batch_images": self.batch_images,
+            "queue_s": self.queue_s, "wall_s": self.wall_s,
+            "latency_s": self.latency_s, "energy_j": self.energy_j,
+            "replica": self.replica,
+        }
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Logits plus telemetry for one request."""
+
+    logits: np.ndarray
+    telemetry: RequestTelemetry
+
+
+class InferenceTicket:
+    """Handle for a submitted request; ``result()`` blocks until served."""
+
+    def __init__(self, request_id):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._result = None
+        self._error = None
+
+    def _resolve(self, result=None, error=None):
+        self._result, self._error = result, error
+        self._event.set()
+
+    def done(self):
+        return self._event.is_set()
+
+    def result(self, timeout=None) -> InferenceResult:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not served within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class PendingRequest:
+    """One queued request (internal to the serving surfaces)."""
+
+    __slots__ = ("x", "temp_c", "ticket", "enqueued_at")
+
+    def __init__(self, x, temp_c, ticket, enqueued_at):
+        self.x = x
+        self.temp_c = temp_c
+        self.ticket = ticket
+        self.enqueued_at = enqueued_at
+
+    @property
+    def images(self):
+        return self.x.shape[0]
+
+
+class MicroBatchQueue:
+    """FIFO of pending requests with temperature-coalescing batch pops.
+
+    Not thread-safe — the owning session/worker serializes access under
+    its own lock (one queue may be touched by its owner *and* stealing
+    peers in a pool).
+    """
+
+    def __init__(self, max_batch_size):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        self.max_batch_size = int(max_batch_size)
+        self._queue = deque()
+
+    def push(self, pending):
+        self._queue.append(pending)
+
+    def take_batch(self):
+        """Pop the next micro-batch: head-of-line request plus every queued
+        request at the same temperature, up to ``max_batch_size`` images.
+        (A request larger than the budget still runs whole — requests are
+        never split.)"""
+        if not self._queue:
+            return []
+        head = self._queue.popleft()
+        batch, images = [head], head.images
+        remaining = deque()
+        while self._queue:
+            pending = self._queue.popleft()
+            if (pending.temp_c == head.temp_c
+                    and images + pending.images <= self.max_batch_size):
+                batch.append(pending)
+                images += pending.images
+            else:
+                remaining.append(pending)
+        self._queue = remaining
+        return batch
+
+    def head_temp(self):
+        """Temperature of the oldest queued request (None when empty)."""
+        return self._queue[0].temp_c if self._queue else None
+
+    def images_queued(self):
+        return sum(p.images for p in self._queue)
+
+    def __len__(self):
+        return len(self._queue)
+
+    def __bool__(self):
+        return bool(self._queue)
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Aggregate accounting of one executed micro-batch."""
+
+    requests: int
+    images: int
+    wall_s: float
+    queue_s: float
+    energy_j: float
+    latency_s: float
+    failed: bool = False
+
+
+def execute_micro_batch(chip, batch, *, replica=0, commit=None):
+    """Run one micro-batch on ``chip`` and resolve its tickets.
+
+    Concatenates the request tensors into one tiled forward pass with
+    per-request ``segments`` (dynamic activation quantization stays
+    request-local, so micro-batching never changes any request's logits),
+    meters the chip's modeled energy/latency delta, and hands every
+    request its share.  On failure the error propagates to every waiter.
+
+    ``commit`` (the caller's totals-update hook) runs with the
+    :class:`BatchReport` *before* any ticket resolves: a waiter woken by
+    its result must already see the batch in the surface's aggregate
+    stats, or a concurrent ``stats()`` read could miss served requests.
+
+    Exactly one thread may execute against a given chip at a time (the
+    meter delta is read around the forward pass); both serving surfaces
+    guarantee this by running one executor per chip.
+    """
+    start = time.perf_counter()
+    meter = chip.meter
+    before = meter.snapshot()
+    x = (batch[0].x if len(batch) == 1
+         else np.concatenate([p.x for p in batch], axis=0))
+    segments = [p.images for p in batch]
+    queue_s = sum(start - p.enqueued_at for p in batch)
+    try:
+        logits = chip.forward(x, temp_c=batch[0].temp_c, segments=segments)
+    except Exception as error:            # propagate to every waiter
+        report = BatchReport(requests=len(batch), images=x.shape[0],
+                             wall_s=time.perf_counter() - start,
+                             queue_s=queue_s, energy_j=0.0, latency_s=0.0,
+                             failed=True)
+        if commit is not None:
+            commit(report)
+        for pending in batch:
+            pending.ticket._resolve(error=error)
+        return report
+    wall = time.perf_counter() - start
+    after = meter.snapshot()
+    batch_images = x.shape[0]
+    batch_energy = after["energy_j"] - before["energy_j"]
+    batch_latency = after["latency_s"] - before["latency_s"]
+    report = BatchReport(requests=len(batch), images=batch_images,
+                         wall_s=wall, queue_s=queue_s,
+                         energy_j=batch_energy, latency_s=batch_latency)
+    if commit is not None:
+        commit(report)
+
+    offset = 0
+    for pending in batch:
+        images = pending.images
+        share = images / batch_images
+        telemetry = RequestTelemetry(
+            request_id=pending.ticket.request_id, images=images,
+            temp_c=batch[0].temp_c, batch_images=batch_images,
+            queue_s=start - pending.enqueued_at, wall_s=wall,
+            latency_s=batch_latency * share,
+            energy_j=batch_energy * share, replica=replica)
+        pending.ticket._resolve(InferenceResult(
+            logits=logits[offset:offset + images], telemetry=telemetry))
+        offset += images
+    return report

@@ -1,12 +1,14 @@
-"""Serving benchmark core: batched session vs a naive per-request loop.
+"""Serving benchmark cores: session vs per-request, and pool vs session.
 
-Shared by the ``repro serve-bench`` CLI subcommand and
-``benchmarks/perf_infer.py`` so the gate CI runs and the numbers recorded
-in ``BENCH_infer.json`` come from exactly one implementation.
+Shared by the ``repro serve-bench`` / ``repro serve-pool-bench`` CLI
+subcommands and ``benchmarks/perf_infer.py`` / ``benchmarks/perf_pool.py``
+so the gates CI runs and the numbers recorded in ``BENCH_infer.json`` /
+``BENCH_pool.json`` come from exactly one implementation each.
 
 The workload is the VGG-shaped serving scenario: a reduced VGG on
 synthetic CIFAR-10-sized images, every Conv/Dense matmul lowered onto
-tiled arrays.  Two strategies answer the same request stream:
+tiled arrays.  :func:`serving_benchmark` compares two strategies on one
+chip:
 
 ``per-request``
     Each request runs its own ``chip.forward`` — one tiled forward pass
@@ -15,8 +17,19 @@ tiled arrays.  Two strategies answer the same request stream:
     An :class:`~repro.serve.InferenceSession` micro-batches the stream up
     to ``max_batch_size`` images per chip pass.
 
-Both must produce bit-identical logits per request (asserted), so the
-timing comparison is apples-to-apples.
+:func:`pool_benchmark` then scales out: the same stream through a
+:class:`~repro.serve.ChipPool` of ``n_replicas`` chips.  The simulator
+executes replicas on host threads (wall-clock numbers are reported but
+mean little on a small host); the *modeled* fleet throughput is the
+hardware claim — N physical chips serve micro-batches concurrently, so
+fleet serving time is the slowest replica's modeled busy latency instead
+of the single chip's serial total, and that modeled speedup is what the
+gate enforces.
+
+Every strategy must produce bit-identical logits per request (asserted;
+for the pool this covers the single-replica pool always, and the full
+fleet on nominal zero-sigma mappings where every replica's redraw is a
+no-op), so the comparisons are apples-to-apples.
 """
 
 from __future__ import annotations
@@ -28,6 +41,7 @@ import time
 import numpy as np
 
 from repro.compiler import Chip, MappingConfig, compile_model
+from repro.serve.pool import ChipPool
 from repro.serve.session import InferenceSession
 
 
@@ -115,6 +129,193 @@ def serving_benchmark(n_requests=32, images_per_request=1, *, design=None,
                                         / max(stats["images"], 1)),
         "outputs_bit_identical": identical,
     }
+
+
+def pool_benchmark(n_requests=64, images_per_request=1, *, design=None,
+                   mapping=None, n_replicas=4, temp_bins=None,
+                   max_batch_size=32, temp_c=None, width=4, image_size=8,
+                   seed=0):
+    """Pool-vs-session serving comparison; returns a JSON-safe document.
+
+    Three passes over one deterministic request stream:
+
+    1. a single :class:`InferenceSession` (the ``BENCH_infer`` strategy) —
+       the baseline logits and the single-chip modeled serving latency;
+    2. a **single-replica** :class:`ChipPool` in deterministic sync mode —
+       must be bit-identical to the session (the equivalence gate);
+    3. the full ``n_replicas`` pool in threaded mode — wall-clock plus the
+       modeled fleet view (makespan, parallel speedup, throughput).
+
+    On a nominal (zero-sigma) mapping every replica programs identically,
+    so pass 3 is also asserted bit-identical; with variation enabled only
+    the equivalence gate of pass 2 applies and the fleet's logit
+    divergence is reported instead.
+    """
+    from repro.cells import TwoTOneFeFETCell
+
+    design = design or TwoTOneFeFETCell()
+    mapping = mapping or MappingConfig()
+    model, requests = build_serving_workload(
+        n_requests, images_per_request, width=width,
+        image_size=image_size, seed=seed)
+    nominal = (mapping.sigma_vth_fefet == 0.0
+               and mapping.sigma_vth_mosfet == 0.0)
+
+    start = time.perf_counter()
+    program = compile_model(model, design, mapping)
+    chip = Chip(program, design)
+    compile_s = time.perf_counter() - start
+    chip.forward(requests[0], temp_c=temp_c)   # warm decode caches
+
+    # 1) single-session baseline.
+    chip.meter.reset()
+    session = InferenceSession(chip, max_batch_size=max_batch_size,
+                               autostart=False)
+    start = time.perf_counter()
+    tickets = [session.submit(x, temp_c=temp_c) for x in requests]
+    while session.step():
+        pass
+    session_results = [t.result(timeout=60.0) for t in tickets]
+    session_s = time.perf_counter() - start
+    session.close()
+    session_stats = session.stats()
+    session_logits = [r.logits for r in session_results]
+
+    # 2) single-replica pool: the bit-identity gate (sync mode, so batch
+    # formation is deterministic too).
+    solo = ChipPool(program, design, n_replicas=1,
+                    max_batch_size=max_batch_size, autostart=False,
+                    chips=[chip])
+    tickets = [solo.submit(x, temp_c=temp_c) for x in requests]
+    while solo.step():
+        pass
+    solo_identical = all(
+        np.array_equal(t.result(timeout=60.0).logits, session_logits[i])
+        for i, t in enumerate(tickets))
+    solo.close()
+
+    # 3) the fleet, threaded — replica bring-up is part of the story.
+    start = time.perf_counter()
+    pool = ChipPool(program, design, n_replicas=n_replicas,
+                    temp_bins=temp_bins, max_batch_size=max_batch_size)
+    bringup_s = time.perf_counter() - start
+    for worker in pool.workers:        # warm every replica off the clock
+        worker.chip.forward(requests[0], temp_c=temp_c)
+        worker.chip.meter.reset()
+    start = time.perf_counter()
+    tickets = [pool.submit(x, temp_c=temp_c) for x in requests]
+    pool_results = [t.result(timeout=120.0) for t in tickets]
+    pool_s = time.perf_counter() - start
+    pool_identical = (all(
+        np.array_equal(pool_results[i].logits, session_logits[i])
+        for i in range(n_requests)) if nominal else None)
+    stats = pool.stats()                # stream only — probe comes after
+    divergence = pool.divergence(requests[0], temp_c=temp_c)
+    pool.close()
+
+    total_images = n_requests * images_per_request
+    session_modeled_s = session_stats["modeled_latency_s"]
+    makespan_s = stats.modeled["makespan_s"]
+    return {
+        "workload": {
+            "n_requests": n_requests,
+            "images_per_request": images_per_request,
+            "width": width, "image_size": image_size, "seed": seed,
+            "temp_c": temp_c,
+            "tile_rows": mapping.tile_rows, "tile_cols": mapping.tile_cols,
+            "backend": mapping.backend,
+            "sigma_vth_fefet": mapping.sigma_vth_fefet,
+            "max_batch_size": max_batch_size,
+            "n_replicas": n_replicas,
+            "temp_bins": list(temp_bins) if temp_bins else None,
+            "tiles": program.n_tiles,
+            "program_fingerprint": program.fingerprint,
+        },
+        "compile_s": round(compile_s, 4),
+        "replica_bringup_s": round(bringup_s, 4),
+        "session": {
+            "wall_s": round(session_s, 6),
+            "img_per_s": round(total_images / session_s, 2),
+            "modeled_latency_s": session_modeled_s,
+            "modeled_img_per_s": (total_images / session_modeled_s
+                                  if session_modeled_s > 0 else 0.0),
+        },
+        "pool": {
+            "wall_s": round(pool_s, 6),
+            "img_per_s": round(total_images / pool_s, 2),
+            "modeled_makespan_s": makespan_s,
+            "modeled_img_per_s": stats.modeled["throughput_img_per_s"],
+            "modeled_parallel_speedup": stats.modeled["parallel_speedup"],
+            "tops_per_watt": stats.modeled["tops_per_watt"],
+            "steals": stats.totals["steals"],
+            "load_imbalance": stats.totals["load_imbalance"],
+            "images_per_replica": [r["images"] for r in stats.replicas],
+        },
+        # The hardware claim: N physical chips serve concurrently, so the
+        # fleet's modeled serving time is the slowest replica's, not the
+        # serial sum.  Wall-clock on the (possibly single-core) simulator
+        # host is reported above but not gated.
+        "modeled_throughput_speedup": (
+            round(session_modeled_s / makespan_s, 2)
+            if makespan_s > 0 else None),
+        "wall_speedup": round(session_s / pool_s, 2) if pool_s else None,
+        "single_replica_bit_identical": solo_identical,
+        "fleet_bit_identical_nominal": pool_identical,
+        "divergence": {k: divergence[k]
+                       for k in ("max_deviation", "min_agreement",
+                                 "deviation", "argmax_agreement")
+                       if k in divergence},
+    }
+
+
+def report_pool_benchmark(doc, *, min_modeled_speedup=None, out=None):
+    """Print a pool benchmark document, optionally persist and gate it.
+
+    Returns a process exit code — 1 if the single-replica pool diverged
+    from the session, if a nominal fleet diverged, or if the modeled
+    fleet throughput speedup fell below ``min_modeled_speedup``, else 0.
+    """
+    w = doc["workload"]
+    print(f"workload: {w['n_requests']} requests x "
+          f"{w['images_per_request']} image(s), tiles "
+          f"{w['tile_rows']}x{w['tile_cols']}, backend={w['backend']}, "
+          f"{w['n_replicas']} replicas, micro-batch<="
+          f"{w['max_batch_size']}")
+    print(f"compile {doc['compile_s']:.2f}s, replica bring-up "
+          f"{doc['replica_bringup_s']:.2f}s ({w['tiles']} tiles/replica)")
+    s, p = doc["session"], doc["pool"]
+    print(f"single session: {s['img_per_s']:8.1f} img/s wall | "
+          f"{s['modeled_img_per_s']:10.1f} img/s modeled")
+    print(f"pool:           {p['img_per_s']:8.1f} img/s wall | "
+          f"{p['modeled_img_per_s']:10.1f} img/s modeled "
+          f"(makespan {p['modeled_makespan_s'] * 1e6:.1f} us, "
+          f"{p['steals']} steals, imbalance {p['load_imbalance']:.2f})")
+    print(f"modeled fleet speedup: {doc['modeled_throughput_speedup']:.2f}x"
+          f" | wall {doc['wall_speedup']:.2f}x | single-replica "
+          f"bit-identical: {doc['single_replica_bit_identical']}")
+    div = doc["divergence"]
+    print(f"fleet divergence: max deviation {div['max_deviation']:.3e}"
+          + (f", min argmax agreement {div['min_agreement']:.3f}"
+             if "min_agreement" in div else ""))
+    if out is not None:
+        with open(out, "w") as fh:
+            fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    if not doc["single_replica_bit_identical"]:
+        print("ERROR: single-replica pool diverged from InferenceSession",
+              file=sys.stderr)
+        return 1
+    if doc["fleet_bit_identical_nominal"] is False:
+        print("ERROR: nominal fleet diverged from the session logits",
+              file=sys.stderr)
+        return 1
+    if (min_modeled_speedup
+            and doc["modeled_throughput_speedup"] < min_modeled_speedup):
+        print(f"ERROR: modeled fleet speedup "
+              f"{doc['modeled_throughput_speedup']:.2f}x below required "
+              f"{min_modeled_speedup}x", file=sys.stderr)
+        return 1
+    return 0
 
 
 def report_benchmark(doc, *, min_speedup=None, out=None):

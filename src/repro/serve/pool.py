@@ -1,0 +1,529 @@
+"""``ChipPool`` — sharded multi-chip serving with an async scheduler.
+
+One :class:`~repro.compiler.program.CompiledProgram`, ``N`` physical
+:class:`~repro.compiler.chip.Chip` replicas, one request surface.  This
+is the fleet-scale half of the compile-and-serve split: a single session
+drives one chip from one executor; a pool shards a request stream across
+replicas the way a deployed CiM service would across dies.
+
+* **Replicas are variation draws.**  Each replica reprograms its tiles
+  with an independent per-tile process-variation draw
+  (:meth:`Chip.build_replicas`) — every physical chip is its own die, the
+  chip-to-chip axis the source paper and its TReCiM follow-up stress for
+  temperature-resilient deployment.  :meth:`ChipPool.divergence` probes
+  the fleet's accuracy fluctuation across replicas via
+  :func:`repro.metrics.fluctuation.fleet_divergence`.
+* **Sharded scheduling with work stealing.**  Every replica owns a
+  temperature-coalescing :class:`~repro.serve.batching.MicroBatchQueue`
+  and (in threaded mode) one worker thread.  ``submit`` routes each
+  request to the least-loaded eligible replica; an idle worker steals the
+  oldest waiting batch from a loaded peer — straggler re-dispatch, so one
+  slow or drained replica cannot strand queued requests.
+* **Temperature binning.**  ``temp_bins`` partitions the operating range
+  at the given edges and assigns replicas to bins round-robin; requests
+  route within their bin, and thieves prefer same-bin victims, keeping
+  each replica's per-temperature level/decode caches hot.  Binning is a
+  placement policy, never a correctness (or utilization) constraint —
+  any chip computes any temperature, traffic whose bin has no live
+  replica falls back to the whole fleet, and an otherwise-idle replica
+  steals cross-bin rather than idling beside a deep queue.
+* **Graceful drain/shutdown.**  :meth:`drain` retires one replica: no new
+  requests route to it, its queued work finishes (or is stolen), then its
+  worker parks.  :meth:`close` drains the whole pool.
+* **Fleet telemetry.**  :meth:`stats` returns a :class:`PoolStats`:
+  per-replica throughput/queue depth/steals, fleet totals, and the
+  modeled-hardware view — replicas are physically parallel chips, so the
+  fleet's modeled serving time is the *longest* replica's busy latency
+  (makespan), not the sum, and energy prices through
+  :mod:`repro.metrics.efficiency` at the mapping's actual row width.
+
+Bit-exactness: batching is request-local on every chip (see
+:func:`~repro.serve.batching.execute_micro_batch`) and replica 0 is
+bit-identical to ``Chip(program, design)``, so a single-replica pool
+serves exactly the logits of an :class:`InferenceSession` over the same
+program — enforced by ``tests/serve/test_pool.py``.
+
+Threading model mirrors the session: any number of producers call
+:meth:`submit` / :meth:`infer`; exactly one worker executes each chip
+(meters and decode caches never see concurrent execution on one die).
+``autostart=False`` runs without threads — :meth:`step` pumps one
+micro-batch, round-robin over replica queues, for deterministic tests
+and benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.chip import Chip
+from repro.metrics.fluctuation import fleet_divergence
+from repro.serve.batching import (
+    InferenceResult,
+    InferenceTicket,
+    MicroBatchQueue,
+    PendingRequest,
+    canonical_temp,
+    execute_micro_batch,
+)
+
+_TOTALS_KEYS = ("requests", "images", "batches", "batch_images",
+                "queue_s", "busy_s", "energy_j", "latency_s")
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Aggregate pool telemetry: per-replica, fleet, and modeled views.
+
+    ``replicas`` is one JSON-safe dict per replica (throughput, queue
+    depth, steals, drain state, modeled energy/latency).  ``totals`` is
+    the fleet sum — what the *simulator* did; its
+    ``throughput_img_per_s`` divides fleet images by the **summed**
+    per-replica busy time, i.e. the serial-equivalent rate, a
+    conservative lower bound that ignores whatever thread parallelism
+    the host provided (per-replica dicts carry each replica's own wall
+    throughput).  ``modeled`` is what the *hardware* would do: replicas
+    are physically
+    parallel chips, so fleet serving time is the makespan
+    ``max_r latency_r`` and ``parallel_speedup`` is the serial-equivalent
+    latency over that makespan; ``tops_per_watt`` prices the fleet's
+    metered energy at the mapping's actual row width.
+    """
+
+    replicas: tuple
+    totals: dict
+    modeled: dict
+
+    def as_dict(self):
+        return {"replicas": list(self.replicas), "totals": dict(self.totals),
+                "modeled": dict(self.modeled)}
+
+
+class _ReplicaWorker:
+    """One replica's queue, counters, and (in threaded mode) thread."""
+
+    __slots__ = ("index", "chip", "bin_index", "queue", "totals", "steals",
+                 "draining", "stopped", "thread")
+
+    def __init__(self, index, chip, bin_index, max_batch_size):
+        self.index = index
+        self.chip = chip
+        self.bin_index = bin_index
+        self.queue = MicroBatchQueue(max_batch_size)
+        self.totals = {key: 0 if key in ("requests", "images", "batches",
+                                         "batch_images") else 0.0
+                       for key in _TOTALS_KEYS}
+        self.steals = 0          # batches this worker stole from peers
+        self.draining = False
+        self.stopped = False
+        self.thread = None
+
+    @property
+    def live(self):
+        """Eligible for new dispatch: not retiring, not retired."""
+        return not self.draining and not self.stopped
+
+
+class ChipPool:
+    """Sharded micro-batched serving over N chip replicas of one program."""
+
+    def __init__(self, program, design, n_replicas=2, *, temp_bins=None,
+                 max_batch_size=64, linger_s=0.002, autostart=True,
+                 mac_config=None, latency=None, energy_report=None,
+                 chips=None):
+        # Cheap parameter validation first — replica bring-up programs
+        # whole chips, and an invalid pool should fail before paying it.
+        if chips is not None:
+            if len(chips) < 1:
+                raise ValueError("a pool needs at least one replica")
+            for chip in chips:
+                if chip.program is not program:
+                    raise ValueError(
+                        "every pool replica must be programmed from the "
+                        "pool's own CompiledProgram (routing, default "
+                        "temperature, and telemetry all read its mapping)")
+            n_replicas = len(chips)
+        if linger_s < 0:
+            raise ValueError("linger_s must be non-negative")
+        self.program = program
+        self.max_batch_size = int(max_batch_size)
+        self.linger_s = float(linger_s)
+        self.temp_bins = (tuple(sorted(canonical_temp(t) for t in temp_bins))
+                          if temp_bins else None)
+        n_bins = len(self.temp_bins) + 1 if self.temp_bins else 1
+        if self.temp_bins and n_replicas < n_bins:
+            raise ValueError(
+                f"{n_bins} temperature bins need at least {n_bins} "
+                f"replicas, got {n_replicas}")
+        if chips is None:
+            chips = Chip.build_replicas(
+                program, design, n_replicas, mac_config=mac_config,
+                latency=latency, energy_report=energy_report)
+        self._cond = threading.Condition()
+        self.workers = tuple(
+            _ReplicaWorker(i, chip, i % n_bins if self.temp_bins else 0,
+                           max_batch_size)
+            for i, chip in enumerate(chips))
+        self._closed = False
+        self._next_id = 0
+        self._rr = 0              # round-robin cursors (dispatch ties, step)
+        self._threaded = bool(autostart)
+        if autostart:
+            for worker in self.workers:
+                worker.thread = threading.Thread(
+                    target=self._serve_loop, args=(worker,),
+                    name=f"repro-pool-{worker.index}", daemon=True)
+                worker.thread.start()
+
+    # ------------------------------------------------------------------
+    # request surface
+    # ------------------------------------------------------------------
+    @property
+    def n_replicas(self):
+        return len(self.workers)
+
+    @property
+    def chips(self):
+        return tuple(worker.chip for worker in self.workers)
+
+    @property
+    def mapping(self):
+        return self.program.mapping
+
+    def bin_for(self, temp_c):
+        """Index of the temperature bin ``temp_c`` falls in (0 unbinned)."""
+        if not self.temp_bins:
+            return 0
+        return bisect_right(self.temp_bins, canonical_temp(temp_c))
+
+    def _eligible_workers(self, temp):
+        """Live replicas a request at ``temp`` may route to.
+
+        Binning is a locality policy, not a correctness constraint: when
+        the matching bin has no live replica, traffic falls back to every
+        live replica rather than failing.
+        """
+        live = [w for w in self.workers if w.live]
+        if not live:
+            return []
+        if self.temp_bins:
+            bin_index = self.bin_for(temp)
+            binned = [w for w in live if w.bin_index == bin_index]
+            if binned:
+                return binned
+        return live
+
+    def _pick_worker(self, temp):
+        """Least-loaded eligible replica (queued images; ties round-robin)."""
+        eligible = self._eligible_workers(temp)
+        if not eligible:
+            raise RuntimeError("all pool replicas are drained")
+        load = min(w.queue.images_queued() for w in eligible)
+        tied = [w for w in eligible if w.queue.images_queued() == load]
+        worker = tied[self._rr % len(tied)]
+        self._rr += 1
+        return worker
+
+    def _enqueue(self, x, temp_c, *, worker=None):
+        x = np.asarray(x)
+        if x.shape[0] < 1:
+            raise ValueError("a request needs at least one image")
+        temp = canonical_temp(self.mapping.temp_c if temp_c is None
+                              else temp_c)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            target = worker if worker is not None else \
+                self._pick_worker(temp)
+            if not target.live:
+                raise RuntimeError(
+                    f"replica {target.index} is drained")
+            ticket = InferenceTicket(self._next_id)
+            self._next_id += 1
+            target.queue.push(
+                PendingRequest(x, temp, ticket, time.perf_counter()))
+            self._cond.notify_all()
+        return ticket
+
+    def submit(self, x, temp_c=None) -> InferenceTicket:
+        """Enqueue a request on the least-loaded eligible replica.
+
+        ``x`` is one request's image tensor (N, H, W, C) or feature
+        matrix (N, F); ``temp_c`` overrides the mapping's operating
+        temperature for this request only (normalized to a canonical
+        float, so mixed numeric dtypes coalesce into one batch).
+        """
+        return self._enqueue(x, temp_c)
+
+    def submit_to(self, replica_index, x, temp_c=None) -> InferenceTicket:
+        """Pin a request to one replica (probes, tests, A/B comparisons)."""
+        return self._enqueue(x, temp_c,
+                             worker=self.workers[replica_index])
+
+    def infer(self, x, temp_c=None) -> InferenceResult:
+        """Synchronous request: submit and wait (pumps in sync mode)."""
+        ticket = self.submit(x, temp_c=temp_c)
+        self._pump(ticket)
+        return ticket.result()
+
+    def _pump(self, *tickets):
+        """In ``autostart=False`` mode, step until ``tickets`` resolve."""
+        if not self._threaded:
+            while not all(t.done() for t in tickets):
+                if not self.step():
+                    break
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _steal_batch_locked(self, thief):
+        """Take the oldest eligible batch from the most-loaded peer.
+
+        The straggler re-dispatch path: requests were routed when queue
+        depths looked different, so an idle worker pulls the *head* (the
+        longest-waiting requests) of the deepest peer queue.  Same-bin
+        victims are preferred (stolen work stays on warm level/decode
+        caches), but an otherwise-idle thief falls back to any loaded
+        peer — binning is a locality policy, and locality never
+        justifies an idle chip next to a deep queue.  Draining peers are
+        valid victims: stealing accelerates a drain.
+        """
+        victims = [w for w in self.workers if w is not thief and w.queue]
+        if not victims:
+            return []
+        if self.temp_bins:
+            same_bin = [w for w in victims
+                        if self.bin_for(w.queue.head_temp())
+                        == thief.bin_index]
+            victims = same_bin or victims
+        victim = max(victims, key=lambda w: w.queue.images_queued())
+        return victim.queue.take_batch()
+
+    def _execute(self, worker, batch, *, stolen=False):
+        """Run one batch on a replica; totals commit before tickets
+        resolve, so a waiter woken by its result always finds its batch
+        in :meth:`stats`."""
+
+        def commit(report):
+            with self._cond:
+                if stolen:
+                    worker.steals += 1
+                if not report.failed:
+                    totals = worker.totals
+                    totals["requests"] += report.requests
+                    totals["images"] += report.images
+                    totals["queue_s"] += report.queue_s
+                    totals["energy_j"] += report.energy_j
+                    totals["latency_s"] += report.latency_s
+                    totals["batches"] += 1
+                    totals["batch_images"] += report.images
+                    totals["busy_s"] += report.wall_s
+                # A batch leaving the system can unblock waiting workers'
+                # exit conditions (close/drain with thieves parked).
+                self._cond.notify_all()
+
+        execute_micro_batch(worker.chip, batch, replica=worker.index,
+                            commit=commit)
+
+    def _serve_loop(self, worker):
+        while True:
+            with self._cond:
+                while True:
+                    if worker.queue:
+                        break
+                    if (not worker.draining
+                            and self._steal_available(worker)):
+                        break
+                    if self._closed or worker.draining:
+                        worker.stopped = True
+                        self._cond.notify_all()
+                        return
+                    self._cond.wait()
+            # Linger briefly so a burst of submitters lands in one batch —
+            # but only over the worker's *own* queue: a woken thief holds
+            # nothing to coalesce, and the batch it is about to steal has
+            # already waited at the straggler.
+            if self.linger_s and worker.queue:
+                deadline = time.perf_counter() + self.linger_s
+                with self._cond:
+                    while (time.perf_counter() < deadline
+                           and not self._closed and not worker.draining
+                           and worker.queue.images_queued()
+                           < self.max_batch_size):
+                        remaining = deadline - time.perf_counter()
+                        if remaining > 0:
+                            self._cond.wait(timeout=remaining)
+            with self._cond:
+                batch = worker.queue.take_batch()
+                stolen = False
+                if not batch and not worker.draining:
+                    batch = self._steal_batch_locked(worker)
+                    stolen = bool(batch)
+            if batch:
+                self._execute(worker, batch, stolen=stolen)
+
+    def _steal_available(self, thief):
+        """Any peer queue this worker could steal from (caller holds lock)."""
+        return any(w is not thief and w.queue for w in self.workers)
+
+    def step(self):
+        """Synchronously serve one micro-batch from the next non-empty
+        replica queue (round-robin); returns the number of requests
+        served.  The manual pump for ``autostart=False`` pools."""
+        with self._cond:
+            batch, worker = [], None
+            for offset in range(len(self.workers)):
+                candidate = self.workers[(self._rr + offset)
+                                         % len(self.workers)]
+                if candidate.queue:
+                    worker = candidate
+                    batch = candidate.queue.take_batch()
+                    self._rr = (self._rr + offset + 1) % len(self.workers)
+                    break
+        if not batch:
+            return 0
+        self._execute(worker, batch)
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, replica_index, *, wait=True):
+        """Gracefully retire one replica.
+
+        No new requests route to it; its queued requests finish (served
+        by it, or stolen by same-bin peers), then its worker parks.  With
+        ``wait`` (threaded mode) the call returns once the replica has
+        fully stopped.  In sync mode the caller keeps pumping
+        :meth:`step` until its queue empties.
+        """
+        worker = self.workers[replica_index]
+        with self._cond:
+            worker.draining = True
+            self._cond.notify_all()
+            if not self._threaded:
+                worker.stopped = True   # sync mode has no thread to park
+                return
+            if wait:
+                while not worker.stopped:
+                    self._cond.wait()
+
+    def close(self):
+        """Stop accepting requests; every queued request is still served."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        if self._threaded:
+            for worker in self.workers:
+                if worker.thread is not None:
+                    worker.thread.join()
+        else:
+            while self.step():
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # fleet telemetry
+    # ------------------------------------------------------------------
+    def divergence(self, x, temp_c=None):
+        """Serve one probe batch on *every* live replica and compare.
+
+        The probe rides the normal scheduling path (pinned per replica),
+        so it is safe during active serving — each chip still sees one
+        executor — and it shows up in the pool's request totals like any
+        other traffic.  Returns the fleet accuracy-fluctuation metrics of
+        :func:`repro.metrics.fluctuation.fleet_divergence` plus the probe
+        bookkeeping.
+        """
+        live = [w.index for w in self.workers if w.live]
+        if not live:
+            raise RuntimeError("no live replicas to probe")
+        tickets = [self.submit_to(i, x, temp_c=temp_c) for i in live]
+        self._pump(*tickets)
+        logits = np.stack([t.result().logits for t in tickets])
+        metrics = fleet_divergence(logits)
+        metrics["replicas"] = live
+        metrics["deviation"] = [float(d) for d in metrics["deviation"]]
+        if "argmax_agreement" in metrics:
+            metrics["argmax_agreement"] = [
+                float(a) for a in metrics["argmax_agreement"]]
+        return metrics
+
+    def stats(self) -> PoolStats:
+        """Aggregate fleet telemetry; safe to call during active serving."""
+        with self._cond:
+            per_replica = []
+            for worker in self.workers:
+                totals = dict(worker.totals)
+                totals.update(
+                    index=worker.index, bin=worker.bin_index,
+                    steals=worker.steals, draining=worker.draining,
+                    stopped=worker.stopped,
+                    queue_depth=len(worker.queue),
+                    queued_images=worker.queue.images_queued())
+                per_replica.append(totals)
+        fleet = {key: sum(r[key] for r in per_replica)
+                 for key in _TOTALS_KEYS}
+        for replica in per_replica:
+            batches = max(replica["batches"], 1)
+            replica["mean_batch_images"] = \
+                replica.pop("batch_images") / batches
+            busy = replica["busy_s"]
+            replica["throughput_img_per_s"] = \
+                replica["images"] / busy if busy > 0 else 0.0
+        busy = fleet["busy_s"]
+        images = fleet["images"]
+        served = [r for r in per_replica if r["images"]]
+        imbalance = 0.0
+        if len(served) > 1:
+            counts = [r["images"] for r in served]
+            imbalance = (max(counts) - min(counts)) / np.mean(counts)
+        totals = {
+            "replicas": len(per_replica),
+            "requests": fleet["requests"],
+            "images": images,
+            "batches": fleet["batches"],
+            "mean_queue_s": fleet["queue_s"] / max(fleet["requests"], 1),
+            "busy_s": busy,
+            "throughput_img_per_s": images / busy if busy > 0 else 0.0,
+            "steals": sum(r["steals"] for r in per_replica),
+            "load_imbalance": float(imbalance),
+        }
+        # The hardware view: replicas are physically parallel chips, so
+        # the fleet's modeled serving time is the slowest replica's busy
+        # latency, and the serial-equivalent time is the sum.
+        serial_s = fleet["latency_s"]
+        makespan_s = max((r["latency_s"] for r in per_replica),
+                        default=0.0)
+        modeled = {
+            "energy_j": fleet["energy_j"],
+            "energy_j_per_image": fleet["energy_j"] / max(images, 1),
+            "serial_latency_s": serial_s,
+            "makespan_s": makespan_s,
+            "parallel_speedup": (serial_s / makespan_s
+                                 if makespan_s > 0 else 1.0),
+            "throughput_img_per_s": (images / makespan_s
+                                     if makespan_s > 0 else 0.0),
+            "tops_per_watt": self.workers[0].chip.meter.tops_per_watt,
+        }
+        return PoolStats(replicas=tuple(per_replica), totals=totals,
+                         modeled=modeled)
+
+    def __repr__(self):
+        bins = len(self.temp_bins) + 1 if self.temp_bins else 1
+        return (f"ChipPool({self.program.design_name}, "
+                f"replicas={self.n_replicas}, bins={bins}, "
+                f"max_batch_size={self.max_batch_size}, "
+                f"closed={self._closed})")

@@ -12,7 +12,9 @@ request-oriented service.
 * **Per-request temperature.**  A request may override ``temp_c``; the
   batcher groups only requests at the same operating temperature
   (programmed tiles are weight-stationary — levels drift with the
-  override, the stored weights do not).
+  override, the stored weights do not).  Temperatures are normalized to
+  canonical builtin floats at submit time so mixed numeric dtypes can
+  never split a batch (see :func:`repro.serve.batching.canonical_temp`).
 * **Telemetry.**  Every result carries a :class:`RequestTelemetry`
   (queueing delay, batch wall time, its share of the chip meter's modeled
   array energy/latency, the micro-batch it rode in); the session
@@ -23,87 +25,30 @@ Threading model: any number of producer threads call :meth:`submit` /
 (decode caches, meter) sees no concurrent execution.  ``autostart=False``
 switches to a synchronous mode where the caller pumps micro-batches with
 :meth:`step` — used by the benchmarks for deterministic batch shapes.
+
+Request/batch primitives (:class:`InferenceTicket`,
+:class:`RequestTelemetry`, the coalescing queue, batch execution) are
+shared with the multi-replica :class:`~repro.serve.pool.ChipPool` via
+:mod:`repro.serve.batching`; this module re-exports the request-facing
+names so existing imports keep working.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass
 
 import numpy as np
 
-
-@dataclass(frozen=True)
-class RequestTelemetry:
-    """Accounting for one served request."""
-
-    request_id: int
-    images: int
-    temp_c: float
-    #: Images in the micro-batch this request was served with.
-    batch_images: int
-    #: Time from submit to execution start (batch formation + queueing).
-    queue_s: float
-    #: Wall time of the micro-batch's forward pass.
-    wall_s: float
-    #: This request's share of the batch's modeled array latency/energy.
-    latency_s: float
-    energy_j: float
-
-    def as_dict(self):
-        return {
-            "request_id": self.request_id, "images": self.images,
-            "temp_c": self.temp_c, "batch_images": self.batch_images,
-            "queue_s": self.queue_s, "wall_s": self.wall_s,
-            "latency_s": self.latency_s, "energy_j": self.energy_j,
-        }
-
-
-@dataclass(frozen=True)
-class InferenceResult:
-    """Logits plus telemetry for one request."""
-
-    logits: np.ndarray
-    telemetry: RequestTelemetry
-
-
-class InferenceTicket:
-    """Handle for a submitted request; ``result()`` blocks until served."""
-
-    def __init__(self, request_id):
-        self.request_id = request_id
-        self._event = threading.Event()
-        self._result = None
-        self._error = None
-
-    def _resolve(self, result=None, error=None):
-        self._result, self._error = result, error
-        self._event.set()
-
-    def done(self):
-        return self._event.is_set()
-
-    def result(self, timeout=None) -> InferenceResult:
-        if not self._event.wait(timeout):
-            raise TimeoutError(
-                f"request {self.request_id} not served within {timeout}s")
-        if self._error is not None:
-            raise self._error
-        return self._result
-
-
-class _Pending:
-    """One queued request (internal)."""
-
-    __slots__ = ("x", "temp_c", "ticket", "enqueued_at")
-
-    def __init__(self, x, temp_c, ticket, enqueued_at):
-        self.x = x
-        self.temp_c = temp_c
-        self.ticket = ticket
-        self.enqueued_at = enqueued_at
+from repro.serve.batching import (  # noqa: F401  (re-exported API)
+    InferenceResult,
+    InferenceTicket,
+    MicroBatchQueue,
+    PendingRequest,
+    RequestTelemetry,
+    canonical_temp,
+    execute_micro_batch,
+)
 
 
 class InferenceSession:
@@ -111,15 +56,13 @@ class InferenceSession:
 
     def __init__(self, chip, *, max_batch_size=64, linger_s=0.002,
                  autostart=True):
-        if max_batch_size < 1:
-            raise ValueError("max_batch_size must be at least 1")
         if linger_s < 0:
             raise ValueError("linger_s must be non-negative")
         self.chip = chip
         self.max_batch_size = int(max_batch_size)
         self.linger_s = float(linger_s)
         self._cond = threading.Condition()
-        self._queue = deque()
+        self._queue = MicroBatchQueue(max_batch_size)
         self._closed = False
         self._next_id = 0
         self._totals = {
@@ -146,15 +89,15 @@ class InferenceSession:
         x = np.asarray(x)
         if x.shape[0] < 1:
             raise ValueError("a request needs at least one image")
-        temp = (self.chip.mapping.temp_c if temp_c is None
-                else float(temp_c))
+        temp = canonical_temp(self.chip.mapping.temp_c if temp_c is None
+                              else temp_c)
         with self._cond:
             if self._closed:
                 raise RuntimeError("session is closed")
             ticket = InferenceTicket(self._next_id)
             self._next_id += 1
-            self._queue.append(
-                _Pending(x, temp, ticket, time.perf_counter()))
+            self._queue.push(
+                PendingRequest(x, temp, ticket, time.perf_counter()))
             self._cond.notify_all()
         return ticket
 
@@ -174,82 +117,35 @@ class InferenceSession:
     # ------------------------------------------------------------------
     # batch formation + execution
     # ------------------------------------------------------------------
-    def _take_batch_locked(self):
-        """Pop the next micro-batch: head-of-line request plus every queued
-        request at the same temperature, up to ``max_batch_size`` images.
-        (A request larger than the budget still runs whole — requests are
-        never split.)"""
-        if not self._queue:
-            return []
-        head = self._queue.popleft()
-        batch, images = [head], head.x.shape[0]
-        remaining = deque()
-        while self._queue:
-            pending = self._queue.popleft()
-            if (pending.temp_c == head.temp_c
-                    and images + pending.x.shape[0] <= self.max_batch_size):
-                batch.append(pending)
-                images += pending.x.shape[0]
-            else:
-                remaining.append(pending)
-        self._queue = remaining
-        return batch
-
     def _execute(self, batch):
-        """Run one micro-batch on the chip and resolve its tickets."""
-        start = time.perf_counter()
-        meter = self.chip.meter
-        before = meter.snapshot()
-        x = (batch[0].x if len(batch) == 1
-             else np.concatenate([p.x for p in batch], axis=0))
-        # Per-request segments keep dynamic activation quantization
-        # request-local, so micro-batching never changes any request's
-        # logits (bit-identical to serving it alone).
-        segments = [p.x.shape[0] for p in batch]
-        try:
-            logits = self.chip.forward(x, temp_c=batch[0].temp_c,
-                                       segments=segments)
-        except Exception as error:       # propagate to every waiter
-            for pending in batch:
-                pending.ticket._resolve(error=error)
-            return
-        wall = time.perf_counter() - start
-        after = meter.snapshot()
-        batch_images = x.shape[0]
-        batch_energy = after["energy_j"] - before["energy_j"]
-        batch_latency = after["latency_s"] - before["latency_s"]
+        """Run one micro-batch on the chip and fold it into the totals.
 
-        offset = 0
-        for pending in batch:
-            images = pending.x.shape[0]
-            share = images / batch_images
-            telemetry = RequestTelemetry(
-                request_id=pending.ticket.request_id, images=images,
-                temp_c=batch[0].temp_c, batch_images=batch_images,
-                queue_s=start - pending.enqueued_at, wall_s=wall,
-                latency_s=batch_latency * share,
-                energy_j=batch_energy * share)
-            pending.ticket._resolve(InferenceResult(
-                logits=logits[offset:offset + images],
-                telemetry=telemetry))
-            offset += images
+        Totals commit *before* tickets resolve (see
+        :func:`~repro.serve.batching.execute_micro_batch`), so a waiter
+        woken by its result always finds its batch in :meth:`stats`.
+        """
+
+        def commit(report):
+            if report.failed:
+                return
             with self._cond:
-                self._totals["requests"] += 1
-                self._totals["images"] += images
-                self._totals["queue_s"] += telemetry.queue_s
-                self._totals["energy_j"] += telemetry.energy_j
-                self._totals["latency_s"] += telemetry.latency_s
-        with self._cond:
-            self._totals["batches"] += 1
-            self._totals["batch_images"] += batch_images
-            self._totals["busy_s"] += wall
+                self._totals["requests"] += report.requests
+                self._totals["images"] += report.images
+                self._totals["queue_s"] += report.queue_s
+                self._totals["energy_j"] += report.energy_j
+                self._totals["latency_s"] += report.latency_s
+                self._totals["batches"] += 1
+                self._totals["batch_images"] += report.images
+                self._totals["busy_s"] += report.wall_s
+
+        execute_micro_batch(self.chip, batch, commit=commit)
 
     def step(self):
         """Synchronously serve one micro-batch; returns the number of
         requests served (0 when the queue is empty).  The manual pump for
         ``autostart=False`` sessions."""
         with self._cond:
-            batch = self._take_batch_locked()
+            batch = self._queue.take_batch()
         if not batch:
             return 0
         self._execute(batch)
@@ -268,13 +164,13 @@ class InferenceSession:
                 with self._cond:
                     while (time.perf_counter() < deadline
                            and not self._closed
-                           and sum(p.x.shape[0] for p in self._queue)
+                           and self._queue.images_queued()
                            < self.max_batch_size):
                         remaining = deadline - time.perf_counter()
                         if remaining > 0:
                             self._cond.wait(timeout=remaining)
             with self._cond:
-                batch = self._take_batch_locked()
+                batch = self._queue.take_batch()
             if batch:
                 self._execute(batch)
 

@@ -83,6 +83,54 @@ class TestMeter:
                        energy_report=report)
         assert metered.meter.energy_per_mac_j == pytest.approx(2e-15)
 
+    def test_mismatched_energy_report_row_width_rejected(self, design,
+                                                         chip):
+        """A report measured at one row width cannot silently meter a
+        mapping of another — the per-MAC energy embeds the width."""
+        from repro.array.energy import EnergyReport, OperationEnergy
+
+        report = EnergyReport(
+            tuple(OperationEnergy(k, 2e-15, {}) for k in range(5)),
+            cells_per_row=4)
+        with pytest.raises(ValueError, match="cells/row"):
+            Chip(chip.program, design, unit=chip.unit,
+                 energy_report=report)
+
+    def test_standalone_meter_adopts_report_row_width(self):
+        """A meter built from a measured report prices ops at the
+        report's own row width, not an assumed 8."""
+        from repro.array.energy import EnergyReport, OperationEnergy
+        from repro.compiler.chip import ChipMeter
+
+        report = EnergyReport(
+            tuple(OperationEnergy(k, 2e-15, {}) for k in range(5)),
+            cells_per_row=4)
+        meter = ChipMeter(energy_report=report)
+        assert meter.cells_per_row == 4
+        assert meter.tops_per_watt == pytest.approx(report.tops_per_watt())
+
+    def test_tops_per_watt_follows_mapping_row_width(self, model, design):
+        """Cross-consistency: a non-default row width must change the
+        reported TOPS/W (same per-MAC energy, fewer ops per MAC)."""
+        from repro.metrics.efficiency import tops_per_watt
+
+        narrow = Chip(compile_model(model, design,
+                                    MappingConfig(tile_rows=16, tile_cols=4,
+                                                  cells_per_row=4)),
+                      design)
+        wide_snap = Chip(compile_model(model, design,
+                                       MappingConfig(tile_rows=16,
+                                                     tile_cols=4)),
+                         design).meter.snapshot()
+        narrow_snap = narrow.meter.snapshot()
+        assert wide_snap["cells_per_row"] == 8
+        assert narrow_snap["cells_per_row"] == 4
+        assert narrow_snap["tops_per_watt"] != wide_snap["tops_per_watt"]
+        assert narrow_snap["tops_per_watt"] == pytest.approx(
+            tops_per_watt(narrow.meter.energy_per_mac_j, 4))
+        assert wide_snap["tops_per_watt"] == pytest.approx(
+            tops_per_watt(narrow.meter.energy_per_mac_j, 8))
+
 
 class TestSegmentedForward:
     """segments= batches many requests with request-local quantization."""

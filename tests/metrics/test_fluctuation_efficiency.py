@@ -12,7 +12,11 @@ from repro.metrics.efficiency import (
     primitive_ops_per_mac,
     tops_per_watt,
 )
-from repro.metrics.fluctuation import fluctuation_profile, max_fluctuation
+from repro.metrics.fluctuation import (
+    fleet_divergence,
+    fluctuation_profile,
+    max_fluctuation,
+)
 
 
 class TestFluctuation:
@@ -47,6 +51,51 @@ class TestFluctuation:
         temps = np.array([0.0, 27.0, 85.0])
         with pytest.raises(ValueError):
             max_fluctuation(temps, np.ones(3), window_c=(200, 300))
+
+
+class TestFleetDivergence:
+    def logits(self):
+        rng = np.random.default_rng(0)
+        ref = rng.normal(size=(5, 4))
+        return np.stack([ref, ref + 0.01, ref - 0.05])
+
+    def test_reference_replica_has_zero_deviation(self):
+        result = fleet_divergence(self.logits())
+        assert result["deviation"][0] == 0.0
+        assert result["ref_index"] == 0
+
+    def test_deviation_normalized_by_reference_scale(self):
+        out = self.logits()
+        result = fleet_divergence(out)
+        scale = np.max(np.abs(out[0]))
+        assert result["deviation"][1] == pytest.approx(0.01 / scale)
+        assert result["max_deviation"] == pytest.approx(0.05 / scale)
+
+    def test_argmax_agreement_for_class_axes(self):
+        ref = np.array([[0.0, 1.0], [1.0, 0.0]])
+        flipped = ref[:, ::-1]
+        result = fleet_divergence(np.stack([ref, ref, flipped]))
+        assert list(result["argmax_agreement"]) == [1.0, 1.0, 0.0]
+        assert result["min_agreement"] == 0.0
+
+    def test_identical_fleet_is_silent(self):
+        ref = np.ones((3, 2))
+        result = fleet_divergence(np.stack([ref, ref]))
+        assert result["max_deviation"] == 0.0
+        assert result["min_agreement"] == 1.0
+
+    def test_ref_index_selects_anchor(self):
+        out = self.logits()
+        result = fleet_divergence(out, ref_index=2)
+        assert result["deviation"][2] == 0.0
+        with pytest.raises(ValueError, match="ref_index"):
+            fleet_divergence(out, ref_index=5)
+
+    def test_rejects_degenerate_stacks(self):
+        with pytest.raises(ValueError):
+            fleet_divergence(np.ones(4))            # no replica axis
+        with pytest.raises(ValueError, match="identically zero"):
+            fleet_divergence(np.zeros((2, 3)))
 
 
 class TestEfficiency:

@@ -103,6 +103,37 @@ class TestBatching:
         assert ticket.result(timeout=5.0).telemetry.batch_images == 5
         session.close()
 
+    def test_mixed_dtype_equal_temps_coalesce(self, chip):
+        """Regression: temp_c normalizes to a canonical float at submit,
+        so np.float32 / np.float64 / int / float spellings of one
+        temperature can never split a micro-batch."""
+        session = InferenceSession(chip, max_batch_size=8,
+                                   autostart=False)
+        temps = [np.float32(85.0), np.float64(85.0), 85, 85.0]
+        tickets = [session.submit(x, temp_c=t)
+                   for x, t in zip(requests(4), temps)]
+        served = session.step()
+        assert served == 4              # one batch, not four
+        for ticket in tickets:
+            telemetry = ticket.result(timeout=5.0).telemetry
+            assert telemetry.batch_images == 4
+            assert type(telemetry.temp_c) is float
+        session.close()
+
+    def test_default_temp_coalesces_with_explicit_mapping_temp(self, chip):
+        """A request at the mapping default and one explicitly submitted
+        at that temperature (any dtype) share a batch."""
+        session = InferenceSession(chip, max_batch_size=8,
+                                   autostart=False)
+        default = session.submit(requests(1)[0])
+        explicit = session.submit(
+            requests(1, rng_seed=2)[0],
+            temp_c=np.float64(chip.mapping.temp_c))
+        assert session.step() == 2
+        assert default.result(timeout=5.0).telemetry.batch_images == 2
+        assert explicit.result(timeout=5.0).telemetry.batch_images == 2
+        session.close()
+
     def test_telemetry_shares_batch_energy(self, chip):
         session = InferenceSession(chip, max_batch_size=8,
                                    autostart=False)

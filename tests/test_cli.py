@@ -217,6 +217,47 @@ class TestInferCommand:
         assert values["program_fingerprint"]
         assert values["mapping"]["tile_rows"] == 32
 
+    def test_infer_pool_knobs_fingerprint_cache(self, tmp_path, capsys):
+        """Regression: every scheduler/pool-relevant knob must land in
+        RunContext.params — a knob missing from the fingerprint would
+        silently serve stale cached results for a different fleet."""
+        base = ["infer", "--images", "4", "--temps", "27",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base) == 0
+        assert "cache hit" in capsys.readouterr().out
+        # Replica count changes the fleet -> must miss the cache.
+        assert main(base + ["--replicas", "2"]) == 0
+        assert "fresh run" in capsys.readouterr().out
+        # Binning policy changes scheduling -> must miss the cache.
+        assert main(base + ["--replicas", "2",
+                            "--bin-edges", "40"]) == 0
+        assert "fresh run" in capsys.readouterr().out
+        # Seed is fingerprinted through the typed RunContext field.
+        assert main(base + ["--seed", "5"]) == 0
+        assert "fresh run" in capsys.readouterr().out
+
+    def test_infer_bin_edges_require_pool(self, capsys):
+        """--bin-edges without a pool would silently cache a result doc
+        claiming a binned fleet that never served."""
+        with pytest.raises(SystemExit):
+            main(["infer", "--images", "4", "--temps", "27",
+                  "--bin-edges", "40"])
+
+    def test_infer_pool_reports_divergence(self, tmp_path, capsys):
+        import json as _json
+
+        assert main(["infer", "--images", "4", "--temps", "27", "--json",
+                     "--replicas", "2",
+                     "--sigma-vth-fefet", "0.054",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        [doc] = _json.loads(capsys.readouterr().out)
+        values = doc["values"]
+        assert values["n_replicas"] == 2
+        assert "divergence" in values
+        assert values["session"]["totals"]["requests"] >= 4
+
 
 class TestServeBenchCommand:
     def test_smoke_gate_and_document(self, tmp_path, capsys):
@@ -233,4 +274,26 @@ class TestServeBenchCommand:
     def test_unreachable_min_speedup_fails(self, capsys):
         assert main(["serve-bench", "--smoke", "--requests", "2",
                      "--min-speedup", "1000"]) == 1
+        assert "below required" in capsys.readouterr().err
+
+
+class TestServePoolBenchCommand:
+    def test_smoke_gate_and_document(self, tmp_path, capsys):
+        out_file = tmp_path / "pool.json"
+        assert main(["serve-pool-bench", "--smoke", "--requests", "4",
+                     "--min-modeled-speedup", "1.5",
+                     "--out", str(out_file)]) == 0
+        printed = capsys.readouterr().out
+        assert "modeled fleet speedup" in printed
+        import json as _json
+
+        doc = _json.loads(out_file.read_text())
+        assert doc["single_replica_bit_identical"] is True
+        assert doc["fleet_bit_identical_nominal"] is True
+        assert doc["workload"]["n_replicas"] == 2
+        assert doc["modeled_throughput_speedup"] >= 1.5
+
+    def test_unreachable_modeled_speedup_fails(self, capsys):
+        assert main(["serve-pool-bench", "--smoke", "--requests", "2",
+                     "--min-modeled-speedup", "1000"]) == 1
         assert "below required" in capsys.readouterr().err
