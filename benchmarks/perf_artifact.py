@@ -1,0 +1,230 @@
+"""Artifact round-trip harness: compile+save here, serve from a fresh
+process, assert bit-identical logits.
+
+The compiled-artifact store's whole claim is *cross-process* instant
+bring-up: a chip programmed and calibrated in one process is restored in
+another — no compilation, no circuit transients, no RNG — and serves
+exactly the same logits.  This harness is the CI gate on that claim:
+
+1. (parent) build the VGG-shaped serving workload, compile and program a
+   chip cold (timed), forward the request stream;
+2. save the artifact into a store (``--store``, or a temp dir);
+3. warm-load it back three times in-process (timed; best-of-3 is the
+   steady-state bring-up number) and check bit-identity;
+4. spawn a **fresh interpreter** (``--child`` mode) that knows only the
+   store path and the fingerprint, loads the artifact, regenerates the
+   same deterministic request stream, and writes its logits;
+5. compare child logits to the parent's **bit-exactly**, and gate the
+   warm bring-up speedup with ``--min-warm-speedup``.
+
+Exit is nonzero on any divergence or a missed speedup gate.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_artifact.py              # full
+    PYTHONPATH=src python benchmarks/perf_artifact.py --smoke      # CI
+
+This is a standalone script, not a pytest benchmark; the in-process
+breakdown also rides ``BENCH_pool.json`` via ``benchmarks/perf_pool.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _workload(args):
+    from repro.serve.bench import build_serving_workload
+
+    return build_serving_workload(
+        args.requests, 1, width=args.width, image_size=args.image_size,
+        seed=args.seed)
+
+
+def child(args):
+    """Fresh-process half: load by fingerprint, serve, dump logits."""
+    from repro.artifacts import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    start = time.perf_counter()
+    chip = store.load_chip(args.fingerprint)
+    load_s = time.perf_counter() - start
+    _, requests = _workload(args)
+    logits = np.concatenate([chip.forward(x) for x in requests])
+    np.savez(args.child_out, logits=logits, load_s=np.float64(load_s))
+    return 0
+
+
+def run(args):
+    from repro.artifacts import ArtifactStore
+    from repro.cells import TwoTOneFeFETCell
+    from repro.compiler import Chip, MappingConfig, compile_model
+
+    design = TwoTOneFeFETCell()
+    mapping = MappingConfig(tile_rows=args.tile_rows,
+                            tile_cols=args.tile_cols,
+                            backend=args.backend, seed=args.seed,
+                            sigma_vth_fefet=args.sigma_vth_fefet)
+    model, requests = _workload(args)
+    print(f"reduced VGG (width {args.width}, {args.image_size}x"
+          f"{args.image_size}), {args.requests} requests ...", flush=True)
+
+    start = time.perf_counter()
+    program = compile_model(model, design, mapping)
+    compile_s = time.perf_counter() - start
+    start = time.perf_counter()
+    chip = Chip(program, design)
+    cold_chip_s = time.perf_counter() - start
+    parent_logits = np.concatenate([chip.forward(x) for x in requests])
+
+    with tempfile.TemporaryDirectory() as scratch:
+        store = ArtifactStore(args.store or scratch)
+        start = time.perf_counter()
+        info = store.save(chip)
+        save_s = time.perf_counter() - start
+
+        load_times = []
+        for _ in range(3):
+            start = time.perf_counter()
+            warm = store.load_chip(program.fingerprint)
+            load_times.append(time.perf_counter() - start)
+        load_s = min(load_times)
+        warm_logits = np.concatenate(
+            [warm.forward(x) for x in requests])
+        in_process_identical = bool(
+            np.array_equal(parent_logits, warm_logits))
+
+        # The fresh interpreter knows only the store path + fingerprint.
+        child_out = Path(scratch) / "child_logits.npz"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH")
+            else "")
+        cmd = [sys.executable, str(Path(__file__).resolve()), "--child",
+               "--store", str(store.root),
+               "--fingerprint", program.fingerprint,
+               "--child-out", str(child_out),
+               "--requests", str(args.requests),
+               "--width", str(args.width),
+               "--image-size", str(args.image_size),
+               "--seed", str(args.seed)]
+        start = time.perf_counter()
+        proc = subprocess.run(cmd, env=env, capture_output=True,
+                              text=True)
+        child_wall_s = time.perf_counter() - start
+        if proc.returncode != 0:
+            print(f"ERROR: child process failed\n{proc.stdout}"
+                  f"{proc.stderr}", file=sys.stderr)
+            return 1
+        with np.load(child_out) as npz:
+            child_logits = npz["logits"]
+            child_load_s = float(npz["load_s"][()])
+        cross_process_identical = bool(
+            np.array_equal(parent_logits, child_logits))
+
+    cold_s = compile_s + cold_chip_s
+    warm_speedup = cold_s / load_s if load_s > 0 else None
+    doc = {
+        "workload": {
+            "n_requests": args.requests, "width": args.width,
+            "image_size": args.image_size, "seed": args.seed,
+            "tile_rows": mapping.tile_rows,
+            "tile_cols": mapping.tile_cols,
+            "backend": mapping.backend,
+            "sigma_vth_fefet": mapping.sigma_vth_fefet,
+            "tiles": program.n_tiles,
+            "program_fingerprint": program.fingerprint,
+        },
+        "compile_s": round(compile_s, 6),
+        "cold_chip_s": round(cold_chip_s, 4),
+        "artifact_save_s": round(save_s, 6),
+        "artifact_load_s": round(load_s, 6),
+        "artifact_size_bytes": info.size_bytes,
+        "child_load_s": round(child_load_s, 6),
+        "child_wall_s": round(child_wall_s, 4),
+        "warm_speedup_vs_compile": (round(warm_speedup, 1)
+                                    if warm_speedup else None),
+        "in_process_bit_identical": in_process_identical,
+        "cross_process_bit_identical": cross_process_identical,
+    }
+    print(f"cold bring-up {cold_s:.2f}s (compile {compile_s * 1e3:.1f} ms"
+          f" + program/calibrate {cold_chip_s:.2f}s); artifact "
+          f"{info.size_bytes / 1e3:.0f} kB, save {save_s * 1e3:.1f} ms")
+    print(f"warm load {load_s * 1e3:.1f} ms in-process "
+          f"({warm_speedup:.0f}x vs cold), {child_load_s * 1e3:.1f} ms "
+          f"in a fresh interpreter")
+    print(f"bit-identical logits: in-process {in_process_identical}, "
+          f"cross-process {cross_process_identical} "
+          f"({args.requests} requests)")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    if not in_process_identical:
+        print("ERROR: warm-loaded chip diverged in-process",
+              file=sys.stderr)
+        return 1
+    if not cross_process_identical:
+        print("ERROR: artifact served different logits from a fresh "
+              "process", file=sys.stderr)
+        return 1
+    if args.min_warm_speedup and warm_speedup < args.min_warm_speedup:
+        print(f"ERROR: warm bring-up speedup {warm_speedup:.1f}x below "
+              f"required {args.min_warm_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="compile+save an artifact, serve it from a fresh "
+                    "process, assert bit-identical logits")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests in the stream (default 16, or 4 "
+                             "with --smoke)")
+    parser.add_argument("--width", type=int, default=4,
+                        help="reduced-VGG channel width")
+    parser.add_argument("--image-size", type=int, default=8)
+    parser.add_argument("--tile-rows", type=int, default=32)
+    parser.add_argument("--tile-cols", type=int, default=16)
+    parser.add_argument("--backend", default="fused")
+    parser.add_argument("--sigma-vth-fefet", type=float, default=54e-3,
+                        metavar="V",
+                        help="per-cell FeFET V_TH sigma (default 54 mV: "
+                             "the round trip must preserve frozen "
+                             "variation draws, not just weights)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="artifact store directory (default: temp)")
+    parser.add_argument("--min-warm-speedup", type=float, default=None,
+                        help="exit nonzero if warm load is not at least "
+                             "this many times faster than cold bring-up")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the result document to FILE")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized workload")
+    parser.add_argument("--child", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--fingerprint", help=argparse.SUPPRESS)
+    parser.add_argument("--child-out", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.requests is None:
+        args.requests = 4 if args.smoke else 16
+    if args.child:
+        return child(args)
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,15 @@ busy latency (makespan) instead of the single chip's serial total.
 records >= 2x in ``BENCH_pool.json``, the repo's fleet-serving
 trajectory).
 
+The document also records a **bring-up breakdown**: compilation (ms) vs
+cold chip bring-up (tile programming + MAC-unit circuit calibration,
+seconds) vs saving/loading a compiled artifact
+(:mod:`repro.artifacts`).  ``--min-warm-speedup`` gates the
+instant-serving claim — warm artifact load must be at least that many
+times faster than the cold path (the full run records >= 50x in
+``BENCH_pool.json``), and the restored chip's logits must be
+bit-identical.
+
 Run::
 
     PYTHONPATH=src python benchmarks/perf_pool.py            # full stream
@@ -55,7 +64,8 @@ def run(args):
         max_batch_size=args.max_batch_size, temp_c=args.temp_c,
         width=args.width, image_size=args.image_size, seed=args.seed)
     return report_pool_benchmark(
-        doc, min_modeled_speedup=args.min_modeled_speedup, out=args.out)
+        doc, min_modeled_speedup=args.min_modeled_speedup,
+        min_warm_speedup=args.min_warm_speedup, out=args.out)
 
 
 def main(argv=None):
@@ -86,6 +96,10 @@ def main(argv=None):
     parser.add_argument("--min-modeled-speedup", type=float, default=None,
                         help="exit nonzero if the modeled fleet speedup "
                              "is below this")
+    parser.add_argument("--min-warm-speedup", type=float, default=None,
+                        help="exit nonzero if warm artifact bring-up is "
+                             "not at least this many times faster than "
+                             "cold compile+program+calibrate")
     parser.add_argument("--out", default="BENCH_pool.json")
     parser.add_argument("--smoke", action="store_true",
                         help="small CI-sized workload (only shrinks the "

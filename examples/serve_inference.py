@@ -12,20 +12,32 @@ Demonstrates the serving stack on a reduced VGG:
 4. ``ChipPool`` scales out: N chip replicas of the same program (each an
    independent variation draw — its own die), temperature-binned
    work-stealing scheduling, and fleet telemetry including cross-replica
-   logit divergence.
+   logit divergence;
+5. ``ArtifactStore`` + ``ProgramRegistry`` + ``MultiProgramPool``: the
+   programmed chip is saved as a content-addressed artifact, restored in
+   milliseconds (no circuit calibration, no recompile), and two distinct
+   models are served from one shared work-stealing scheduler.
 
 Run:  python examples/serve_inference.py [--requests N] [--replicas R]
 """
 
 import argparse
+import tempfile
+import time
 
 import numpy as np
 
 from repro.analysis.reporting import format_table
+from repro.artifacts import ArtifactStore
 from repro.cells import TwoTOneFeFETCell
 from repro.compiler import Chip, MappingConfig, compile
 from repro.nn import build_vgg_nano
-from repro.serve import ChipPool, InferenceSession
+from repro.serve import (
+    ChipPool,
+    InferenceSession,
+    MultiProgramPool,
+    ProgramRegistry,
+)
 
 
 def serve_pool(program, design, n_requests, n_replicas):
@@ -64,6 +76,50 @@ def serve_pool(program, design, n_requests, n_replicas):
     print(f"replica divergence: max deviation "
           f"{probe['max_deviation']:.3e}, min argmax agreement "
           f"{probe['min_agreement']:.3f}")
+
+
+def serve_two_programs(chip, design, mapping, n_requests):
+    """The artifact + registry variant: save the programmed chip, restore
+    it warm, and serve two models from one multi-program pool."""
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(tmp)
+        info = store.save(chip)
+        t0 = time.perf_counter()
+        warm = store.load_chip(info.fingerprint)
+        load_s = time.perf_counter() - t0
+        print(f"artifact {info.fingerprint[:12]} "
+              f"({info.size_bytes / 1024:.0f} KiB): warm chip restored in "
+              f"{load_s * 1e3:.1f} ms — no calibration, no recompile")
+
+        # A second, smaller model rides in the same pool.  register_model
+        # goes through the store: a hit restores, a miss compiles + saves.
+        registry = ProgramRegistry(store)
+        registry.register_chip("vgg", warm)
+        entry = registry.register_model(
+            "vgg-slim",
+            build_vgg_nano(width=2, image_size=8,
+                           rng=np.random.default_rng(43)),
+            design, mapping)
+        print(f"registered 'vgg-slim' from {entry.source}")
+
+        rng = np.random.default_rng(13)
+        with MultiProgramPool(registry, replicas=2,
+                              max_batch_size=8) as pool:
+            tickets = [(name, pool.submit(name,
+                                          rng.normal(size=(1, 8, 8, 3))))
+                       for i in range(n_requests)
+                       for name in ("vgg", "vgg-slim")]
+            [t.result(timeout=120.0) for _, t in tickets]
+            stats = pool.stats()
+
+    rows = [(name, r["index"], r["requests"], r["images"], r["steals"],
+             f"{r['throughput_img_per_s']:.1f}")
+            for name in pool.names
+            for r in stats[name].replicas]
+    print(format_table(
+        ["program", "replica", "requests", "images", "steals",
+         "img/s (wall)"],
+        rows, title="Multi-program pool (one scheduler, two models)"))
 
 
 def main(n_requests=24, n_replicas=2):
@@ -122,6 +178,8 @@ def main(n_requests=24, n_replicas=2):
           f"({busiest[1]['row_ops']} ops)\n")
 
     serve_pool(program, design, n_requests, n_replicas)
+    print()
+    serve_two_programs(chip, design, mapping, n_requests // 2)
 
 
 if __name__ == "__main__":

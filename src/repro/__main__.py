@@ -24,8 +24,17 @@ serve-pool-bench [options]
     Serve the same stream through a sharded ChipPool of ``--replicas``
     chips (the ``BENCH_pool.json`` harness): asserts the single-replica
     pool is bit-identical to the session, reports wall-clock and modeled
-    fleet throughput, and exits nonzero if outputs diverge or the
-    modeled fleet speedup falls below ``--min-modeled-speedup``.
+    fleet throughput plus the compile / cold-bring-up / warm-artifact
+    breakdown, and exits nonzero if outputs diverge, the modeled fleet
+    speedup falls below ``--min-modeled-speedup``, or warm artifact
+    bring-up misses ``--min-warm-speedup``.
+artifacts {list,save,load,gc} [options]
+    Manage the content-addressed compiled-artifact store
+    (``$REPRO_ARTIFACT_DIR`` or ``<cache>/artifacts``): ``save``
+    compiles the benchmark workload and snapshots the programmed chip;
+    ``load`` restores a chip by fingerprint (prefix) and optionally
+    probes it; ``list`` shows entries with staleness against the running
+    code version; ``gc`` removes stale entries (``--all`` clears).
 
 Options (run / all)
 -------------------
@@ -210,10 +219,55 @@ def _build_parser():
     pool_p.add_argument("--min-modeled-speedup", type=float, default=None,
                         help="exit nonzero if the modeled fleet speedup "
                              "falls below this")
+    pool_p.add_argument("--min-warm-speedup", type=float, default=None,
+                        help="exit nonzero if warm artifact bring-up is "
+                             "not at least this many times faster than "
+                             "cold compile+program+calibrate")
     pool_p.add_argument("--out", type=Path, default=None, metavar="FILE",
                         help="write the benchmark document to FILE")
     pool_p.add_argument("--smoke", action="store_true",
                         help="small CI-sized workload")
+
+    art_p = sub.add_parser(
+        "artifacts",
+        help="manage the compiled-artifact store (instant bring-up)")
+    art_p.add_argument("--store", type=Path, default=None, metavar="DIR",
+                       help="artifact store directory (default: "
+                            "$REPRO_ARTIFACT_DIR or <cache>/artifacts)")
+    art_sub = art_p.add_subparsers(dest="artifacts_command", required=True)
+
+    art_sub.add_parser("list", help="list stored artifacts")
+
+    save_p = art_sub.add_parser(
+        "save", help="compile the serving workload and store its artifact")
+    save_p.add_argument("--tile-rows", type=int, default=32)
+    save_p.add_argument("--tile-cols", type=int, default=16)
+    save_p.add_argument("--backend", choices=sorted(BACKEND_CHOICES),
+                        default="fused")
+    save_p.add_argument("--width", type=int, default=4,
+                        help="reduced-VGG channel width")
+    save_p.add_argument("--image-size", type=int, default=8)
+    save_p.add_argument("--sigma-vth-fefet", type=float, default=0.0,
+                        metavar="V", help="per-cell FeFET V_TH sigma")
+    save_p.add_argument("--seed", type=int, default=0)
+
+    load_p = art_sub.add_parser(
+        "load", help="restore a chip from a stored artifact")
+    load_p.add_argument("fingerprint",
+                        help="program fingerprint (unique prefix ok)")
+    load_p.add_argument("--probe", type=int, default=0, metavar="N",
+                        help="serve N random probe images through the "
+                             "restored chip")
+    load_p.add_argument("--image-size", type=int, default=8,
+                        help="probe image height/width (conv-input "
+                             "models; default 8)")
+    load_p.add_argument("--no-code-check", action="store_true",
+                        help="skip the code-version compatibility check")
+
+    gc_p = art_sub.add_parser(
+        "gc", help="remove stale artifacts (saved by other code versions)")
+    gc_p.add_argument("--all", action="store_true",
+                      help="remove every artifact, not just stale ones")
     return parser
 
 
@@ -363,7 +417,95 @@ def _cmd_serve_pool_bench(args):
         max_batch_size=args.max_batch_size, temp_c=args.temp_c,
         seed=args.seed)
     return report_pool_benchmark(
-        doc, min_modeled_speedup=args.min_modeled_speedup, out=args.out)
+        doc, min_modeled_speedup=args.min_modeled_speedup,
+        min_warm_speedup=args.min_warm_speedup, out=args.out)
+
+
+def _cmd_artifacts(args):
+    import time
+
+    from repro.artifacts import ArtifactError, ArtifactStore
+
+    store = ArtifactStore(args.store)
+
+    if args.artifacts_command == "list":
+        infos = store.entries()
+        if not infos:
+            print(f"no artifacts under {store.root}")
+            return 0
+        print(f"{len(infos)} artifact(s) under {store.root}:")
+        for info in infos:
+            age_s = max(time.time() - info.created, 0.0)
+            flag = "  STALE" if info.stale else ""
+            print(f"  {info.fingerprint[:16]}  {info.design_name:<20} "
+                  f"{info.backend:<6} {info.n_layers:>2} layers "
+                  f"{info.n_tiles:>4} tiles  {info.size_bytes / 1e3:8.0f} kB"
+                  f"  {age_s / 3600:6.1f} h old{flag}")
+        return 0
+
+    if args.artifacts_command == "save":
+        import numpy as np
+
+        from repro.cells import TwoTOneFeFETCell
+        from repro.compiler import Chip, MappingConfig, compile_model
+        from repro.nn import build_vgg_nano
+
+        design = TwoTOneFeFETCell()
+        model = build_vgg_nano(width=args.width, image_size=args.image_size,
+                               rng=np.random.default_rng(args.seed + 1))
+        mapping = MappingConfig(tile_rows=args.tile_rows,
+                                tile_cols=args.tile_cols,
+                                backend=args.backend, seed=args.seed,
+                                sigma_vth_fefet=args.sigma_vth_fefet)
+        start = time.perf_counter()
+        program = compile_model(model, design, mapping)
+        chip = Chip(program, design)
+        cold_s = time.perf_counter() - start
+        info = store.save(chip)
+        print(f"compiled + programmed in {cold_s:.2f}s; saved "
+              f"{info.size_bytes / 1e3:.0f} kB artifact\n"
+              f"  {info.fingerprint}\n  -> {info.path}")
+        return 0
+
+    if args.artifacts_command == "load":
+        import numpy as np
+
+        try:
+            start = time.perf_counter()
+            chip = store.load_chip(
+                args.fingerprint,
+                check_code_version=not args.no_code_check)
+            load_s = time.perf_counter() - start
+        except ArtifactError as error:
+            print(f"ERROR: {error}", file=sys.stderr)
+            return 1
+        print(f"restored {type(chip.design).__name__} chip "
+              f"({chip.program.n_tiles} tiles) in {load_s * 1e3:.1f} ms: "
+              f"{chip.program.fingerprint[:16]}")
+        if args.probe:
+            from repro.nn import Conv2D
+
+            first = chip.program.model.layers[0]
+            if isinstance(first, Conv2D):
+                shape = (args.image_size, args.image_size, first.c_in)
+            else:
+                shape = (first.params["w"].shape[0],)
+            x = np.random.default_rng(0).normal(
+                size=(args.probe, *shape))
+            logits = chip.forward(x)
+            print(f"probe: {args.probe} image(s) -> logits shape "
+                  f"{logits.shape}, argmax "
+                  f"{np.argmax(logits, axis=1).tolist()}")
+        return 0
+
+    if args.artifacts_command == "gc":
+        removed = store.gc(everything=args.all)
+        label = "artifact(s)" if args.all else "stale artifact(s)"
+        print(f"removed {len(removed)} {label} from {store.root}")
+        for fingerprint in removed:
+            print(f"  {fingerprint[:16]}")
+        return 0
+    return 1
 
 
 def main(argv=None):
@@ -377,6 +519,8 @@ def main(argv=None):
         return _cmd_serve_bench(args)
     if args.command == "serve-pool-bench":
         return _cmd_serve_pool_bench(args)
+    if args.command == "artifacts":
+        return _cmd_artifacts(args)
     return _cmd_run(args, parser)
 
 

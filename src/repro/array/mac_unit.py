@@ -45,6 +45,31 @@ CELL_STATES = ((1, 1), (1, 0), (0, 1), (0, 0))
 
 
 @dataclass(frozen=True)
+class MacCalibration:
+    """The circuit-derived state of a :class:`BitSerialMacUnit`.
+
+    Everything the unit learned from running real transients: the four
+    (weight, input) state levels over the temperature grid and the
+    linearized on-level threshold sensitivities.  The ADC thresholds are
+    *not* carried — they are pure arithmetic over the 27 degC levels and
+    are recomputed on restore, so a restored unit cannot hold thresholds
+    inconsistent with its levels.
+
+    This is what the compiled-artifact store serializes: constructing a
+    unit from a ``MacCalibration`` skips every circuit transient (the
+    dominant cost of chip bring-up) while staying bit-identical, because
+    all downstream math consumes only these float64 values.
+    """
+
+    #: Temperature grid the levels were calibrated over (degC).
+    temp_grid_c: tuple
+    #: (4, T) levels, rows in :data:`CELL_STATES` order.
+    levels: np.ndarray
+    #: ``dV_on/dV_TH`` per device ("fefet_dvth", "m1_dvth", "m2_dvth").
+    von_sensitivity: dict
+
+
+@dataclass(frozen=True)
 class BehavioralMacConfig:
     """Configuration of the behavioral MAC unit."""
 
@@ -63,7 +88,8 @@ class BehavioralMacConfig:
 class BitSerialMacUnit:
     """Executes integer matmuls on the behavioral CiM array model."""
 
-    def __init__(self, design, config: BehavioralMacConfig | None = None):
+    def __init__(self, design, config: BehavioralMacConfig | None = None,
+                 *, calibration: MacCalibration | None = None):
         self.design = design
         self.config = config or BehavioralMacConfig()
         if self.config.sensing.co_farads != design.co_farads:
@@ -77,7 +103,10 @@ class BitSerialMacUnit:
         self._von_sensitivity = None
         self._level_cache = {}     # float(temp_c) -> {state: level}
         self._backend = None       # lazily built from config.backend
-        self._calibrate_levels()
+        if calibration is not None:
+            self._restore_calibration(calibration)
+        else:
+            self._calibrate_levels()
         self._sensor = self._calibrate_sensor()
 
     # ------------------------------------------------------------------
@@ -103,6 +132,49 @@ class BitSerialMacUnit:
                 self.design, REFERENCE_TEMP_C, variation=var).final_voltage("out")
             sens[which] = (shifted - base) / delta
         self._von_sensitivity = sens
+
+    def _restore_calibration(self, calibration: MacCalibration):
+        """Adopt previously-measured levels instead of running transients.
+
+        Bit-exact: every downstream quantity (interpolated levels, ADC
+        thresholds, ``sigma_cell``) is deterministic float math over
+        these values, so a restored unit computes exactly what the unit
+        that produced the calibration computed.
+        """
+        grid = tuple(float(t) for t in self.config.temp_grid_c)
+        cal_grid = tuple(float(t) for t in calibration.temp_grid_c)
+        if cal_grid != grid:
+            raise ValueError(
+                f"calibration covers temperature grid {cal_grid} but the "
+                f"config expects {grid}")
+        levels = np.asarray(calibration.levels, dtype=np.float64)
+        if levels.shape != (len(CELL_STATES), len(grid)):
+            raise ValueError(
+                f"calibration levels must have shape "
+                f"({len(CELL_STATES)}, {len(grid)}), got {levels.shape}")
+        for i, state in enumerate(CELL_STATES):
+            self._levels[state] = levels[i].copy()
+        missing = [k for k in ("fefet_dvth", "m1_dvth", "m2_dvth")
+                   if k not in calibration.von_sensitivity]
+        if missing:
+            raise ValueError(
+                f"calibration is missing sensitivities {missing}")
+        self._von_sensitivity = {
+            k: float(calibration.von_sensitivity[k])
+            for k in ("fefet_dvth", "m1_dvth", "m2_dvth")}
+
+    def calibration(self) -> MacCalibration:
+        """Snapshot this unit's circuit-derived state for serialization.
+
+        Feeding the snapshot back through ``BitSerialMacUnit(design,
+        config, calibration=...)`` rebuilds an equivalent unit with zero
+        circuit transients.
+        """
+        return MacCalibration(
+            temp_grid_c=tuple(float(t) for t in self.config.temp_grid_c),
+            levels=np.stack([np.asarray(self._levels[state], dtype=float)
+                             for state in CELL_STATES]),
+            von_sensitivity=dict(self._von_sensitivity))
 
     def _level_table(self, temp_c):
         """All four state levels at ``temp_c``, interpolated once and cached.

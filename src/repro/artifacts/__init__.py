@@ -1,0 +1,33 @@
+"""Content-addressed compiled-artifact store.
+
+Snapshot a programmed :class:`~repro.compiler.chip.Chip` — program,
+bit-planes, frozen variation draws, MAC calibration — under its
+``CompiledProgram.fingerprint`` and bring bit-identical serving chips
+back up in milliseconds.  See :mod:`repro.artifacts.store`.
+"""
+
+from repro.artifacts.serialization import SerializationError
+from repro.artifacts.store import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    ArtifactInfo,
+    ArtifactMismatch,
+    ArtifactNotFound,
+    ArtifactStore,
+    current_code_version,
+    default_artifact_dir,
+    resolve_design,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactError",
+    "ArtifactInfo",
+    "ArtifactMismatch",
+    "ArtifactNotFound",
+    "ArtifactStore",
+    "SerializationError",
+    "current_code_version",
+    "default_artifact_dir",
+    "resolve_design",
+]

@@ -1,0 +1,338 @@
+"""Codecs between live objects and the artifact's (meta, arrays) form.
+
+An artifact is one ``.npz`` file: a JSON ``meta`` document (schema
+version, fingerprints, mapping/design/model/plan structure) plus
+namespaced numpy arrays (model parameters, tile weight codes, bit-plane
+data, frozen variation draws, the MAC-unit calibration).  This module
+owns the mapping between that flat form and the live objects —
+:class:`~repro.nn.model.Sequential`,
+:class:`~repro.compiler.program.CompiledProgram`,
+:class:`~repro.array.backend.ProgrammedArray`,
+:class:`~repro.array.mac_unit.MacCalibration` — while
+:mod:`repro.artifacts.store` owns file naming, integrity checks, and
+lifecycle.
+
+Bit-exactness rules the choices here:
+
+* tile weight codes keep their exact dtype (their ``tobytes()`` feeds
+  the program fingerprint, which the store recomputes on load);
+* bit planes are stored as uint8 0/1 and cast back to float64 (exact),
+  with conducting-cell counts *recomputed* by the same sum the
+  programming path uses;
+* the per-cell variation draws (``w_dv``) are stored as float64
+  verbatim — the frozen error pattern of the die, reproduced without
+  consuming any RNG;
+* quantization scales and plane schedules round-trip through JSON,
+  which is exact for binary64 floats and Python ints.
+
+Layer reconstruction is explicit (a codec per supported layer type)
+rather than pickled: artifacts must load across processes and code
+versions without arbitrary code execution, so an unsupported layer type
+fails loudly at *save* time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.array.backend import ProgrammedArray
+from repro.array.mac_unit import (
+    CELL_STATES,
+    BehavioralMacConfig,
+    MacCalibration,
+)
+from repro.array.sensing import SensingSpec
+from repro.compiler.mapping import MappingConfig
+from repro.compiler.program import (
+    CompiledProgram,
+    LayerPlan,
+    TileSpec,
+    freeze_array,
+)
+from repro.errors import ReproError
+from repro.nn.extra_layers import AvgPool2D, BatchNorm, GlobalAvgPool
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+)
+from repro.nn.model import Sequential
+
+
+class SerializationError(ReproError):
+    """A model/program cannot be expressed in (or read from) an artifact."""
+
+
+# ----------------------------------------------------------------------
+# model codec: layer type + constructor args + parameter/buffer arrays
+# ----------------------------------------------------------------------
+def _ctor_args(layer):
+    """JSON-safe constructor arguments for a supported layer."""
+    if isinstance(layer, Conv2D):
+        return {"c_in": layer.c_in, "c_out": layer.c_out,
+                "kernel": layer.kernel, "stride": layer.stride,
+                "pad": layer.pad}
+    if isinstance(layer, Dense):
+        return {"n_in": layer.n_in, "n_out": layer.n_out}
+    if isinstance(layer, (MaxPool2D, AvgPool2D)):
+        return {"size": layer.size}
+    if isinstance(layer, Dropout):
+        return {"rate": layer.rate}
+    if isinstance(layer, BatchNorm):
+        return {"channels": layer.channels, "momentum": layer.momentum,
+                "eps": layer.eps}
+    if isinstance(layer, (ReLU, Flatten, GlobalAvgPool)):
+        return {}
+    raise SerializationError(
+        f"layer type {type(layer).__name__!r} has no artifact codec; "
+        f"supported: {sorted(_LAYER_TYPES)}")
+
+
+_LAYER_TYPES = {
+    "Conv2D": Conv2D, "Dense": Dense, "ReLU": ReLU,
+    "MaxPool2D": MaxPool2D, "AvgPool2D": AvgPool2D,
+    "GlobalAvgPool": GlobalAvgPool, "Dropout": Dropout,
+    "Flatten": Flatten, "BatchNorm": BatchNorm,
+}
+
+
+def _layer_buffers(layer):
+    """Non-parameter state arrays a layer carries (name -> array)."""
+    if isinstance(layer, BatchNorm):
+        return {"running_mean": layer.running_mean,
+                "running_var": layer.running_var}
+    return {}
+
+
+def encode_model(model):
+    """``(spec, arrays)`` for a :class:`Sequential` of supported layers.
+
+    ``spec`` is the JSON-safe structure; ``arrays`` maps namespaced keys
+    (``model{i}.p.{name}`` params, ``model{i}.b.{name}`` buffers) to the
+    arrays referenced from it.
+    """
+    spec, arrays = [], {}
+    for i, layer in enumerate(model.layers):
+        entry = {"type": type(layer).__name__, "args": _ctor_args(layer),
+                 "params": sorted(layer.params),
+                 "buffers": sorted(_layer_buffers(layer))}
+        for name, value in layer.params.items():
+            arrays[f"model{i}.p.{name}"] = np.asarray(value)
+        for name, value in _layer_buffers(layer).items():
+            arrays[f"model{i}.b.{name}"] = np.asarray(value)
+        spec.append(entry)
+    return spec, arrays
+
+
+def decode_model(spec, arrays):
+    """Rebuild the :class:`Sequential` encoded by :func:`encode_model`."""
+    layers = []
+    for i, entry in enumerate(spec):
+        cls = _LAYER_TYPES.get(entry["type"])
+        if cls is None:
+            raise SerializationError(
+                f"artifact references unknown layer type "
+                f"{entry['type']!r}; supported: {sorted(_LAYER_TYPES)}")
+        layer = cls(**entry["args"])
+        for name in entry["params"]:
+            value = np.array(arrays[f"model{i}.p.{name}"])
+            if name not in layer.params:
+                raise SerializationError(
+                    f"layer {i} ({entry['type']}) has no parameter "
+                    f"{name!r}")
+            layer.params[name] = value
+            layer.grads[name] = np.zeros_like(value)
+        for name in entry.get("buffers", ()):
+            setattr(layer, name, np.array(arrays[f"model{i}.b.{name}"]))
+        layers.append(layer)
+    return Sequential(layers)
+
+
+# ----------------------------------------------------------------------
+# compiled-program codec
+# ----------------------------------------------------------------------
+def encode_program(program):
+    """``(meta, arrays)`` for a :class:`CompiledProgram` (model included)."""
+    model_spec, arrays = encode_model(program.model)
+    plans = []
+    for j, plan in enumerate(program.layers):
+        plans.append({
+            "index": plan.index, "kind": plan.kind,
+            "k": plan.k, "n": plan.n, "w_scale": plan.w_scale,
+            "planes": [[sign, bit] for sign, bit in plan.planes],
+            "grid": list(plan.grid),
+            "psum_plan": [list(col) for col in plan.psum_plan],
+            "kernel": plan.kernel, "stride": plan.stride,
+            "pad": plan.pad, "c_out": plan.c_out,
+            "tiles": [[t.row_block, t.col_block, t.k0, t.k1, t.n0, t.n1]
+                      for t in plan.tiles],
+        })
+        arrays[f"plan{j}.w_colsum"] = np.asarray(plan.w_colsum)
+        arrays[f"plan{j}.bias"] = np.asarray(plan.bias)
+        for t, tile in enumerate(plan.tiles):
+            arrays[f"plan{j}.tile{t}.w_codes"] = np.asarray(tile.w_codes)
+    meta = {
+        "design_name": program.design_name,
+        "fingerprint": program.fingerprint,
+        "mapping": program.mapping.fingerprint_data(),
+        "model": model_spec,
+        "layers": plans,
+    }
+    return meta, arrays
+
+
+def decode_program(meta, arrays):
+    """Rebuild the :class:`CompiledProgram` encoded by
+    :func:`encode_program` (fingerprint carried verbatim; the store
+    recomputes and checks it against the content)."""
+    model = decode_model(meta["model"], arrays)
+    mapping = MappingConfig(**meta["mapping"])
+    plans = []
+    for j, pm in enumerate(meta["layers"]):
+        tiles = tuple(
+            TileSpec(layer_index=int(pm["index"]), row_block=int(rb),
+                     col_block=int(cb), k0=int(k0), k1=int(k1),
+                     n0=int(n0), n1=int(n1),
+                     w_codes=freeze_array(
+                         np.array(arrays[f"plan{j}.tile{t}.w_codes"])))
+            for t, (rb, cb, k0, k1, n0, n1) in enumerate(pm["tiles"]))
+        plans.append(LayerPlan(
+            index=int(pm["index"]), kind=pm["kind"],
+            k=int(pm["k"]), n=int(pm["n"]), w_scale=float(pm["w_scale"]),
+            w_colsum=freeze_array(np.array(arrays[f"plan{j}.w_colsum"])),
+            bias=freeze_array(np.array(arrays[f"plan{j}.bias"])),
+            planes=tuple((float(sign), int(bit))
+                         for sign, bit in pm["planes"]),
+            grid=tuple(int(g) for g in pm["grid"]),
+            tiles=tiles,
+            psum_plan=tuple(tuple(int(i) for i in col)
+                            for col in pm["psum_plan"]),
+            kernel=None if pm["kernel"] is None else int(pm["kernel"]),
+            stride=None if pm["stride"] is None else int(pm["stride"]),
+            pad=None if pm["pad"] is None else int(pm["pad"]),
+            c_out=None if pm["c_out"] is None else int(pm["c_out"])))
+    return CompiledProgram(
+        model=model, design_name=meta["design_name"], mapping=mapping,
+        layers=tuple(plans), fingerprint=meta["fingerprint"])
+
+
+# ----------------------------------------------------------------------
+# MAC-unit codec (config + circuit calibration)
+# ----------------------------------------------------------------------
+def encode_unit(unit):
+    """``(meta, arrays)`` capturing a calibrated MAC unit."""
+    cfg = unit.config
+    cal = unit.calibration()
+    meta = {
+        "config": {
+            "cells_per_row": cfg.cells_per_row,
+            "bits_x": cfg.bits_x, "bits_w": cfg.bits_w,
+            "temp_grid_c": list(cfg.temp_grid_c),
+            "sigma_vth_fefet": cfg.sigma_vth_fefet,
+            "sigma_vth_mosfet": cfg.sigma_vth_mosfet,
+            "seed": cfg.seed, "backend": cfg.backend,
+            "sensing": {"co_farads": cfg.sensing.co_farads,
+                        "cacc_farads": cfg.sensing.cacc_farads},
+        },
+        "von_sensitivity": dict(cal.von_sensitivity),
+    }
+    return meta, {"cal.levels": cal.levels}
+
+
+def decode_unit(meta, arrays, design):
+    """Rebuild a calibrated :class:`BitSerialMacUnit` — zero transients."""
+    from repro.array.mac_unit import BitSerialMacUnit
+
+    cm = meta["config"]
+    config = BehavioralMacConfig(
+        cells_per_row=int(cm["cells_per_row"]),
+        bits_x=int(cm["bits_x"]), bits_w=int(cm["bits_w"]),
+        temp_grid_c=tuple(float(t) for t in cm["temp_grid_c"]),
+        sigma_vth_fefet=float(cm["sigma_vth_fefet"]),
+        sigma_vth_mosfet=float(cm["sigma_vth_mosfet"]),
+        seed=int(cm["seed"]),
+        sensing=SensingSpec(**cm["sensing"]),
+        backend=cm["backend"])
+    calibration = MacCalibration(
+        temp_grid_c=config.temp_grid_c,
+        levels=np.array(arrays["cal.levels"], dtype=np.float64),
+        von_sensitivity=dict(meta["von_sensitivity"]))
+    return BitSerialMacUnit(design, config, calibration=calibration)
+
+
+# ----------------------------------------------------------------------
+# programmed-tile codec (bit planes + frozen variation draws)
+# ----------------------------------------------------------------------
+def encode_programmed(chip):
+    """Arrays for every programmed tile of ``chip``.
+
+    Planes are exact 0/1, so uint8 storage loses nothing; counts are
+    recomputed on load.  Variation offsets (``w_dv``) are the die's
+    frozen error pattern and ship verbatim as float64.
+    """
+    arrays = {}
+    variation = False
+    for j, plan in enumerate(chip.program.layers):
+        for t, tile in enumerate(plan.tiles):
+            key = (tile.layer_index, tile.row_block, tile.col_block)
+            programmed = chip._programmed[key]
+            arrays[f"prog{j}.{t}.planes"] = \
+                programmed.w_planes.astype(np.uint8)
+            if programmed.w_dv is not None:
+                variation = True
+                arrays[f"prog{j}.{t}.dv"] = \
+                    np.asarray(programmed.w_dv, dtype=np.float64)
+    return arrays, variation
+
+
+def decode_programmed(program, arrays):
+    """Rebuild the ``(layer, row, col) -> ProgrammedArray`` dict.
+
+    Consumes no RNG: the plane decomposition is weight-determined and
+    the variation draws were frozen at programming time.
+    """
+    mapping = program.mapping
+    programmed = {}
+    for j, plan in enumerate(program.layers):
+        signs = np.asarray([sign for sign, _ in plan.planes],
+                           dtype=np.float64)
+        plane_bits = np.asarray([bit for _, bit in plan.planes],
+                                dtype=np.int64)
+        for t, tile in enumerate(plan.tiles):
+            planes_u8 = np.array(arrays[f"prog{j}.{t}.planes"])
+            w_planes = planes_u8.astype(np.float64)
+            if w_planes.shape[0] != len(plan.planes):
+                raise SerializationError(
+                    f"tile plan{j}.{t} stores {w_planes.shape[0]} planes "
+                    f"but the plan schedules {len(plan.planes)}")
+            dv_key = f"prog{j}.{t}.dv"
+            w_dv = (np.array(arrays[dv_key], dtype=np.float64)
+                    if dv_key in arrays else None)
+            key = (tile.layer_index, tile.row_block, tile.col_block)
+            programmed[key] = ProgrammedArray(
+                k=tile.shape[0], n=tile.shape[1],
+                cells=mapping.cells_per_row,
+                chunks=int(w_planes.shape[1]) if w_planes.ndim == 4 else 0,
+                bits_x=mapping.bits,
+                signs=signs, plane_bits=plane_bits,
+                w_planes=w_planes,
+                w_counts=w_planes.sum(axis=2),
+                w_dv=w_dv)
+    return programmed
+
+
+__all__ = [
+    "CELL_STATES",
+    "SerializationError",
+    "decode_model",
+    "decode_program",
+    "decode_programmed",
+    "decode_unit",
+    "encode_model",
+    "encode_program",
+    "encode_programmed",
+    "encode_unit",
+]

@@ -1,0 +1,398 @@
+"""Content-addressed on-disk store for compiled, programmed chips.
+
+Cold chip bring-up is dominated by circuit work — calibrating the
+behavioral MAC unit runs real MNA transients (~seconds), while
+``compile_model`` itself is milliseconds.  An *artifact* snapshots
+everything that circuit work and the programming pass produced — the
+:class:`~repro.compiler.program.CompiledProgram` (model included), the
+per-tile bit-plane data with frozen variation draws, and the MAC-unit
+calibration — so a later process rebuilds a bit-identical serving chip
+in milliseconds.
+
+Addressing mirrors :mod:`repro.runtime.cache`: one file per entry,
+named by content hash.  The key *is* ``CompiledProgram.fingerprint``
+(mapping + design + every tile's weight codes), stored under
+``$REPRO_ARTIFACT_DIR`` or ``<cache_dir>/artifacts``.
+
+Integrity is checked, not assumed, on every load:
+
+* the **content hash** is recomputed from the loaded mapping, design,
+  and tile codes with the compiler's own
+  :func:`~repro.compiler.lowering._fingerprint` and must equal both the
+  stored and the requested fingerprint — a tampered or bit-rotted
+  artifact can never impersonate a program;
+* the **design identity** must match: artifacts resolve their cell
+  design by registered class name and compare full dataclass reprs, so
+  a design whose physics changed misses;
+* the **code version** (:func:`~repro.runtime.registry
+  .package_fingerprint`, a hash of every ``repro`` source file) must
+  match the running package unless explicitly waived — any source edit
+  forces a recompile, exactly like the result cache;
+* unreadable/truncated files are treated as misses and removed, never
+  raised through :meth:`ArtifactStore.load_or_compile`.
+
+Writes are crash-safe via :func:`repro.runtime.storage
+.atomic_write_bytes` — a reader can never observe a partial artifact.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.artifacts.serialization import (
+    SerializationError,
+    decode_program,
+    decode_programmed,
+    decode_unit,
+    encode_program,
+    encode_programmed,
+    encode_unit,
+)
+from repro.compiler.chip import Chip
+from repro.compiler.lowering import _fingerprint, compile_model
+from repro.errors import ReproError
+from repro.runtime.storage import (
+    atomic_write_bytes,
+    default_cache_dir,
+    sweep_temp_files,
+)
+
+#: Bump when the on-disk layout changes incompatibly; readers treat any
+#: other schema as a miss (old artifacts are just stale cache entries).
+SCHEMA_VERSION = 1
+
+
+def default_artifact_dir():
+    """``$REPRO_ARTIFACT_DIR``, else ``<cache_dir>/artifacts``."""
+    import os
+
+    env = os.environ.get("REPRO_ARTIFACT_DIR")
+    if env:
+        return Path(env)
+    return default_cache_dir() / "artifacts"
+
+
+class ArtifactError(ReproError):
+    """Base class for artifact-store failures."""
+
+
+class ArtifactNotFound(ArtifactError):
+    """No (readable) artifact exists under the requested fingerprint."""
+
+
+class ArtifactMismatch(ArtifactError):
+    """An artifact exists but fails an integrity or compatibility check
+    (content hash, design identity, code version, schema)."""
+
+
+def current_code_version():
+    """The running package's source hash (shared with the result cache)."""
+    from repro.runtime.registry import package_fingerprint
+
+    return package_fingerprint()
+
+
+def resolve_design(name):
+    """Instantiate the registered cell design class called ``name``.
+
+    Designs are frozen dataclasses with full-parameter reprs, so a
+    default-constructed instance plus a repr comparison (done by the
+    loader) pins the design identity without pickling code.
+    """
+    import repro.cells as cells
+
+    for attr in cells.__all__:
+        obj = getattr(cells, attr)
+        if (isinstance(obj, type) and issubclass(obj, cells.CiMCellDesign)
+                and obj.__name__ == name):
+            return obj()
+    raise ArtifactMismatch(
+        f"artifact references unknown cell design {name!r}; registered "
+        f"designs: "
+        f"{[getattr(cells, a).__name__ for a in cells.__all__ if isinstance(getattr(cells, a), type) and issubclass(getattr(cells, a), cells.CiMCellDesign) and getattr(cells, a) is not cells.CiMCellDesign]}")
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """One store entry's identity and summary (JSON-safe via as_dict)."""
+
+    fingerprint: str
+    path: Path
+    design_name: str
+    backend: str
+    n_layers: int
+    n_tiles: int
+    variation: bool
+    code_version: str
+    created: float
+    size_bytes: int
+
+    @property
+    def stale(self):
+        """True when the artifact was saved by a different code version."""
+        return self.code_version != current_code_version()
+
+    def as_dict(self):
+        return {
+            "fingerprint": self.fingerprint, "path": str(self.path),
+            "design_name": self.design_name, "backend": self.backend,
+            "n_layers": self.n_layers, "n_tiles": self.n_tiles,
+            "variation": self.variation, "code_version": self.code_version,
+            "stale": self.stale, "created": self.created,
+            "size_bytes": self.size_bytes,
+        }
+
+
+#: Everything that makes a stored file unreadable as an artifact.
+_CORRUPT_ERRORS = (zipfile.BadZipFile, OSError, KeyError, ValueError,
+                   TypeError, json.JSONDecodeError, SerializationError)
+
+
+class ArtifactStore:
+    """Filesystem store of programmed chips, keyed by program fingerprint."""
+
+    def __init__(self, root=None):
+        self.root = Path(root) if root else default_artifact_dir()
+
+    def path_for(self, fingerprint):
+        return self.root / f"{fingerprint}.npz"
+
+    def __contains__(self, fingerprint):
+        return self.path_for(fingerprint).exists()
+
+    # ------------------------------------------------------------------
+    # save
+    # ------------------------------------------------------------------
+    def save(self, chip) -> ArtifactInfo:
+        """Serialize a programmed chip under its program's fingerprint.
+
+        Atomic: concurrent savers of the same program each write a
+        complete temp file and the last rename wins — identical content
+        either way, since the fingerprint pins it.
+        """
+        program = chip.program
+        meta, arrays = encode_program(program)
+        unit_meta, unit_arrays = encode_unit(chip.unit)
+        prog_arrays, variation = encode_programmed(chip)
+        arrays.update(unit_arrays)
+        arrays.update(prog_arrays)
+        meta.update(
+            schema=SCHEMA_VERSION,
+            code_version=current_code_version(),
+            created=time.time(),
+            design_repr=repr(chip.design),
+            unit=unit_meta,
+            variation=variation,
+        )
+        buf = io.BytesIO()
+        # Plain (uncompressed) zip: artifacts exist to make bring-up
+        # fast, and decompression would tax every warm load.
+        np.savez(buf, meta=np.array(json.dumps(meta)), **arrays)
+        path = atomic_write_bytes(self.path_for(program.fingerprint),
+                                  buf.getvalue())
+        return self._info_from_meta(meta, path)
+
+    # ------------------------------------------------------------------
+    # load
+    # ------------------------------------------------------------------
+    def _read(self, fingerprint):
+        """``(meta, arrays)`` for one entry, fully materialized.
+
+        Unreadable entries (truncated writes, bit rot, foreign files)
+        raise :class:`ArtifactNotFound` after removing the file — the
+        miss-and-drop semantics of the result cache.
+        """
+        path = self.path_for(fingerprint)
+        if not path.exists():
+            raise ArtifactNotFound(
+                f"no artifact {fingerprint[:12]} under {self.root}")
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                meta = json.loads(str(npz["meta"][()]))
+                arrays = {name: npz[name] for name in npz.files
+                          if name != "meta"}
+        except _CORRUPT_ERRORS as error:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            raise ArtifactNotFound(
+                f"artifact {fingerprint[:12]} is unreadable and was "
+                f"removed ({type(error).__name__}: {error})") from error
+        if meta.get("schema") != SCHEMA_VERSION:
+            raise ArtifactMismatch(
+                f"artifact {fingerprint[:12]} has schema "
+                f"{meta.get('schema')!r}, this code reads "
+                f"{SCHEMA_VERSION}")
+        return meta, arrays
+
+    def load_chip(self, fingerprint, *, design=None,
+                  check_code_version=True) -> Chip:
+        """Bring a serving-ready chip up from one artifact.
+
+        No circuit transients, no compilation, no RNG: the restored chip
+        is bit-identical to the chip that was saved.  ``design``
+        defaults to a fresh instance resolved by the stored class name;
+        either way its repr must match the stored design exactly.
+        Raises :class:`ArtifactNotFound` / :class:`ArtifactMismatch` on
+        any miss (see module docstring for the checks).
+        """
+        fingerprint = self.resolve(fingerprint)
+        meta, arrays = self._read(fingerprint)
+        if check_code_version:
+            code = current_code_version()
+            if meta["code_version"] != code:
+                raise ArtifactMismatch(
+                    f"artifact {fingerprint[:12]} was saved by code "
+                    f"version {meta['code_version']} but this process "
+                    f"runs {code}; recompile (or pass "
+                    f"check_code_version=False to force)")
+        if design is None:
+            design = resolve_design(meta["design_name"])
+        if repr(design) != meta["design_repr"]:
+            raise ArtifactMismatch(
+                f"artifact {fingerprint[:12]} was programmed for design "
+                f"{meta['design_repr']} but got {design!r}")
+        try:
+            program = decode_program(meta, arrays)
+            recomputed = _fingerprint(design, program.mapping,
+                                      program.layers)
+            if (recomputed != meta["fingerprint"]
+                    or recomputed != fingerprint):
+                raise ArtifactMismatch(
+                    f"artifact {fingerprint[:12]} content hashes to "
+                    f"{recomputed[:12]} — mapping, design, or weights "
+                    f"do not match the stored fingerprint")
+            unit = decode_unit(meta["unit"], arrays, design)
+            programmed = decode_programmed(program, arrays)
+        except _CORRUPT_ERRORS as error:
+            raise ArtifactMismatch(
+                f"artifact {fingerprint[:12]} failed to decode "
+                f"({type(error).__name__}: {error})") from error
+        return Chip(program, design, unit=unit, programmed=programmed)
+
+    def load_or_compile(self, model, design, mapping=None, *,
+                        save_on_miss=True):
+        """``(chip, source)`` where source is ``"artifact"`` or
+        ``"compile"``.
+
+        Compiles first (milliseconds — it only quantizes and tiles) to
+        learn the fingerprint, then loads the artifact if one matches.
+        *Any* mismatch — absent entry, corrupt file, different mapping or
+        design or weights (those change the fingerprint itself), stale
+        code version — falls back to a full cold build, which is saved
+        back (overwriting a stale/corrupt entry) when ``save_on_miss``.
+        """
+        program = compile_model(model, design, mapping)
+        try:
+            return self.load_chip(program.fingerprint,
+                                  design=design), "artifact"
+        except ArtifactError:
+            chip = Chip(program, design)
+            if save_on_miss:
+                self.save(chip)
+            return chip, "compile"
+
+    # ------------------------------------------------------------------
+    # enumeration + lifecycle
+    # ------------------------------------------------------------------
+    def _info_from_meta(self, meta, path):
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        return ArtifactInfo(
+            fingerprint=meta["fingerprint"], path=path,
+            design_name=meta["design_name"],
+            backend=meta["mapping"]["backend"],
+            n_layers=len(meta["layers"]),
+            n_tiles=sum(len(p["tiles"]) for p in meta["layers"]),
+            variation=bool(meta["variation"]),
+            code_version=meta["code_version"],
+            created=float(meta["created"]), size_bytes=size)
+
+    def info(self, fingerprint) -> ArtifactInfo:
+        """Summary of one entry (reads metadata only, checks nothing)."""
+        fingerprint = self.resolve(fingerprint)
+        meta, _ = self._read(fingerprint)
+        return self._info_from_meta(meta, self.path_for(fingerprint))
+
+    def entries(self):
+        """:class:`ArtifactInfo` per readable entry, newest first.
+
+        Unreadable entries are skipped (and dropped), not raised — an
+        enumeration must survive a half-corrupt store.
+        """
+        if not self.root.is_dir():
+            return []
+        infos = []
+        for path in sorted(self.root.glob("*.npz")):
+            try:
+                meta, _ = self._read(path.stem)
+            except ArtifactError:
+                continue
+            infos.append(self._info_from_meta(meta, path))
+        return sorted(infos, key=lambda i: i.created, reverse=True)
+
+    def resolve(self, prefix):
+        """Expand a fingerprint prefix to the unique full fingerprint."""
+        if self.path_for(prefix).exists():
+            return prefix
+        if not self.root.is_dir():
+            raise ArtifactNotFound(
+                f"no artifact {prefix!r} under {self.root}")
+        matches = [p.stem for p in self.root.glob(f"{prefix}*.npz")]
+        if not matches:
+            raise ArtifactNotFound(
+                f"no artifact matches {prefix!r} under {self.root}")
+        if len(matches) > 1:
+            raise ArtifactError(
+                f"fingerprint prefix {prefix!r} is ambiguous: "
+                f"{sorted(m[:12] for m in matches)}")
+        return matches[0]
+
+    def delete(self, fingerprint):
+        """Remove one entry; returns True if a file was deleted."""
+        try:
+            path = self.path_for(self.resolve(fingerprint))
+        except ArtifactNotFound:
+            return False
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    def gc(self, *, everything=False):
+        """Drop stale entries (different code version) — or all of them.
+
+        Also sweeps temp files left by crashed writers.  Returns the
+        removed fingerprints.
+        """
+        removed = []
+        for info in self.entries():
+            if everything or info.stale:
+                if self.delete(info.fingerprint):
+                    removed.append(info.fingerprint)
+        sweep_temp_files(self.root)
+        return removed
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactError",
+    "ArtifactInfo",
+    "ArtifactMismatch",
+    "ArtifactNotFound",
+    "ArtifactStore",
+    "current_code_version",
+    "default_artifact_dir",
+    "resolve_design",
+]

@@ -237,7 +237,8 @@ class Chip:
 
     @classmethod
     def build_replicas(cls, program, design, n_replicas, *,
-                       mac_config=None, latency=None, energy_report=None):
+                       mac_config=None, latency=None, energy_report=None,
+                       first=None):
         """``n_replicas`` chips from one program — a serving fleet.
 
         Replica 0 is exactly ``Chip(program, design)`` (the mapping's own
@@ -254,11 +255,23 @@ class Chip:
         redraw the per-cell threshold offsets instead of re-programming
         from scratch.  Each replica gets its *own* meter, so per-replica
         energy/latency accounting stays separable.
+
+        ``first`` supplies replica 0 pre-built — the warm-start path: a
+        chip restored from the compiled-artifact store (or otherwise
+        already programmed) becomes replica 0 as-is, and only the cheap
+        variation redraws run for replicas 1..n-1.  The replica seeds
+        derive from the program's mapping exactly as in the cold path,
+        so a warm fleet is bit-identical to a cold one.
         """
         if n_replicas < 1:
             raise ValueError("a pool needs at least one replica")
-        first = cls(program, design, mac_config=mac_config,
-                    latency=latency, energy_report=energy_report)
+        if first is not None and first.program is not program:
+            raise ValueError(
+                "`first` must be programmed from the same CompiledProgram "
+                "the fleet is built for")
+        first = first if first is not None else cls(
+            program, design, mac_config=mac_config,
+            latency=latency, energy_report=energy_report)
         chips = [first]
         for index in range(1, n_replicas):
             rng = np.random.default_rng(

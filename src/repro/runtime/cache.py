@@ -21,18 +21,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from pathlib import Path
 
 from repro.runtime.results import ExperimentResult
-
-
-def default_cache_dir():
-    """Resolve the cache directory from the environment or XDG-ish default."""
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro"
+from repro.runtime.storage import (  # noqa: F401  (re-exported API)
+    atomic_write_text,
+    default_cache_dir,
+)
 
 
 def cache_key(spec, ctx):
@@ -64,10 +59,14 @@ class ResultCache:
         if not path.exists():
             return None
         try:
-            with open(path) as fh:
+            with open(path, encoding="utf-8") as fh:
                 data = json.load(fh)
             return ExperimentResult.from_dict(data, cached=True)
-        except (json.JSONDecodeError, KeyError, OSError):
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                TypeError, ValueError, AttributeError, OSError):
+            # Anything unreadable — truncated write, foreign bytes, a
+            # schema this code no longer parses — is a miss, and the
+            # entry is dropped so the next put can replace it.
             try:
                 path.unlink()
             except OSError:
@@ -75,14 +74,15 @@ class ResultCache:
             return None
 
     def put(self, key, result):
-        """Store ``result`` under ``key`` (atomic rename); returns the path."""
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(key)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w") as fh:
-            fh.write(result.to_json())
-        os.replace(tmp, path)
-        return path
+        """Store ``result`` under ``key``; returns the path.
+
+        Crash-safe: the document lands in a uniquely-named temp file and
+        is published by one atomic rename
+        (:func:`repro.runtime.storage.atomic_write_text`), so a reader
+        can never observe a partially-written entry and concurrent
+        writers of the same key cannot interleave.
+        """
+        return atomic_write_text(self.path_for(key), result.to_json())
 
     def __contains__(self, key):
         return self.path_for(key).exists()

@@ -1,0 +1,83 @@
+"""Shared on-disk storage primitives for content-addressed stores.
+
+Two stores address immutable blobs by content hash: the experiment
+result cache (:mod:`repro.runtime.cache`) and the compiled-artifact
+store (:mod:`repro.artifacts.store`).  Both need the same two
+guarantees, so they live here exactly once:
+
+* **One root resolution rule.**  ``$REPRO_CACHE_DIR`` or
+  ``~/.cache/repro`` is the cache root; the artifact store nests under
+  it (or ``$REPRO_ARTIFACT_DIR``) so one environment variable relocates
+  everything.
+* **Crash-safe writes.**  A reader must never observe a half-written
+  entry: every write lands in a uniquely-named temp file in the target
+  directory and is published with one atomic ``os.replace``.  A crash
+  mid-write leaves only a stray ``*.tmp`` (ignored by readers and
+  cleaned opportunistically), never a truncated entry under the real
+  key.  Unique temp names also make concurrent writers of the same key
+  safe: each writes its own temp file and the last complete rename wins.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def default_cache_dir():
+    """Resolve the cache directory from the environment or XDG-ish default."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def atomic_write_bytes(path, data):
+    """Publish ``data`` at ``path`` via temp file + atomic rename.
+
+    Returns ``path``.  The temp file lives in the destination directory
+    (``os.replace`` must not cross filesystems) under a unique name, so
+    concurrent writers never interleave and a crash leaves no partial
+    entry under the real name.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent,
+                               prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path, text):
+    """Text-mode convenience over :func:`atomic_write_bytes` (UTF-8)."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def sweep_temp_files(directory):
+    """Remove stray ``*.tmp`` files left by crashed writers.
+
+    Returns how many were removed.  Safe to call concurrently with
+    writers: an in-flight temp file that disappears under a writer only
+    fails that writer's rename, never corrupts a published entry.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for stray in directory.glob("*.tmp"):
+        try:
+            stray.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

@@ -12,9 +12,17 @@ The back half of the compile-and-serve split (see :mod:`repro.compiler`):
   and per-replica micro-batching, graceful drain/shutdown, and
   :class:`PoolStats` fleet telemetry including cross-replica logit
   divergence;
+* :class:`ProgramRegistry` / :class:`MultiProgramPool` — named compiled
+  programs (registered live, compiled, or restored from the
+  content-addressed artifact store) served together behind one
+  work-stealing scheduler with per-program routing and telemetry;
 * :func:`serving_benchmark` / :func:`pool_benchmark` — the comparisons
   behind ``repro serve-bench`` / ``repro serve-pool-bench`` and
   ``BENCH_infer.json`` / ``BENCH_pool.json``.
+
+Both :class:`InferenceSession` and :class:`ChipPool` also offer
+``from_artifact(store, fingerprint)`` — millisecond warm bring-up from
+a stored compiled artifact (see :mod:`repro.artifacts`).
 
 Quick tour::
 
@@ -43,6 +51,11 @@ from repro.serve.bench import (
     serving_benchmark,
 )
 from repro.serve.pool import ChipPool, PoolStats
+from repro.serve.registry import (
+    MultiProgramPool,
+    ProgramRegistry,
+    RegisteredProgram,
+)
 from repro.serve.session import (
     InferenceResult,
     InferenceSession,
@@ -56,7 +69,10 @@ __all__ = [
     "InferenceSession",
     "InferenceTicket",
     "MicroBatchQueue",
+    "MultiProgramPool",
     "PoolStats",
+    "ProgramRegistry",
+    "RegisteredProgram",
     "RequestTelemetry",
     "build_serving_workload",
     "canonical_temp",

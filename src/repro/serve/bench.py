@@ -131,10 +131,44 @@ def serving_benchmark(n_requests=32, images_per_request=1, *, design=None,
     }
 
 
+def _artifact_bringup(chip, probe, temp_c, artifact_dir=None):
+    """Time the warm-start path: save one artifact, load it back thrice.
+
+    Returns the ``bringup["artifact_*"]`` block: save/load wall times
+    (load is best-of-3 — the claim is steady-state bring-up, not a cold
+    import) plus a bit-identity check of the restored chip's logits
+    against the cold chip's on ``probe``.
+    """
+    import tempfile
+
+    from repro.artifacts import ArtifactStore
+
+    with tempfile.TemporaryDirectory() as scratch:
+        store = ArtifactStore(artifact_dir or scratch)
+        start = time.perf_counter()
+        info = store.save(chip)
+        save_s = time.perf_counter() - start
+        load_times, warm = [], None
+        for _ in range(3):
+            start = time.perf_counter()
+            warm = store.load_chip(chip.program.fingerprint,
+                                   design=chip.design)
+            load_times.append(time.perf_counter() - start)
+        identical = bool(np.array_equal(
+            warm.forward(probe, temp_c=temp_c),
+            chip.forward(probe, temp_c=temp_c)))
+    return {
+        "artifact_save_s": round(save_s, 6),
+        "artifact_load_s": round(min(load_times), 6),
+        "artifact_size_bytes": info.size_bytes,
+        "artifact_bit_identical": identical,
+    }
+
+
 def pool_benchmark(n_requests=64, images_per_request=1, *, design=None,
                    mapping=None, n_replicas=4, temp_bins=None,
                    max_batch_size=32, temp_c=None, width=4, image_size=8,
-                   seed=0):
+                   seed=0, artifact_dir=None):
     """Pool-vs-session serving comparison; returns a JSON-safe document.
 
     Three passes over one deterministic request stream:
@@ -150,6 +184,13 @@ def pool_benchmark(n_requests=64, images_per_request=1, *, design=None,
     so pass 3 is also asserted bit-identical; with variation enabled only
     the equivalence gate of pass 2 applies and the fleet's logit
     divergence is reported instead.
+
+    The document also carries a ``bringup`` breakdown — compilation vs
+    cold chip bring-up (tile programming + MAC-unit circuit calibration)
+    vs artifact save / warm artifact load
+    (:mod:`repro.artifacts`) — with
+    ``warm_speedup_vs_compile`` the headline instant-bring-up ratio:
+    cold (compile + program + calibrate) over warm load.
     """
     from repro.cells import TwoTOneFeFETCell
 
@@ -163,8 +204,14 @@ def pool_benchmark(n_requests=64, images_per_request=1, *, design=None,
 
     start = time.perf_counter()
     program = compile_model(model, design, mapping)
+    compile_only_s = time.perf_counter() - start
+    start = time.perf_counter()
     chip = Chip(program, design)
-    compile_s = time.perf_counter() - start
+    cold_chip_s = time.perf_counter() - start
+    compile_s = compile_only_s + cold_chip_s
+    artifact = _artifact_bringup(chip, requests[0], temp_c,
+                                 artifact_dir=artifact_dir)
+    chip.meter.reset()
     chip.forward(requests[0], temp_c=temp_c)   # warm decode caches
 
     # 1) single-session baseline.
@@ -233,6 +280,14 @@ def pool_benchmark(n_requests=64, images_per_request=1, *, design=None,
         },
         "compile_s": round(compile_s, 4),
         "replica_bringup_s": round(bringup_s, 4),
+        "bringup": dict(artifact, **{
+            "compile_s": round(compile_only_s, 6),
+            "cold_chip_s": round(cold_chip_s, 4),
+            "replica_bringup_s": round(bringup_s, 4),
+            "warm_speedup_vs_compile": (
+                round(compile_s / artifact["artifact_load_s"], 1)
+                if artifact["artifact_load_s"] > 0 else None),
+        }),
         "session": {
             "wall_s": round(session_s, 6),
             "img_per_s": round(total_images / session_s, 2),
@@ -268,12 +323,15 @@ def pool_benchmark(n_requests=64, images_per_request=1, *, design=None,
     }
 
 
-def report_pool_benchmark(doc, *, min_modeled_speedup=None, out=None):
+def report_pool_benchmark(doc, *, min_modeled_speedup=None,
+                          min_warm_speedup=None, out=None):
     """Print a pool benchmark document, optionally persist and gate it.
 
     Returns a process exit code — 1 if the single-replica pool diverged
-    from the session, if a nominal fleet diverged, or if the modeled
-    fleet throughput speedup fell below ``min_modeled_speedup``, else 0.
+    from the session, if a nominal fleet diverged, if the modeled fleet
+    throughput speedup fell below ``min_modeled_speedup``, or if the
+    warm-artifact bring-up speedup fell below ``min_warm_speedup`` (or
+    the restored chip's logits diverged), else 0.
     """
     w = doc["workload"]
     print(f"workload: {w['n_requests']} requests x "
@@ -283,6 +341,15 @@ def report_pool_benchmark(doc, *, min_modeled_speedup=None, out=None):
           f"{w['max_batch_size']}")
     print(f"compile {doc['compile_s']:.2f}s, replica bring-up "
           f"{doc['replica_bringup_s']:.2f}s ({w['tiles']} tiles/replica)")
+    b = doc["bringup"]
+    print(f"bring-up breakdown: compile {b['compile_s'] * 1e3:.1f} ms, "
+          f"cold chip {b['cold_chip_s']:.2f}s "
+          f"(programming + circuit calibration), artifact save "
+          f"{b['artifact_save_s'] * 1e3:.1f} ms "
+          f"({b['artifact_size_bytes'] / 1e3:.0f} kB)")
+    print(f"warm artifact load: {b['artifact_load_s'] * 1e3:.1f} ms -> "
+          f"{b['warm_speedup_vs_compile']:.0f}x faster than cold "
+          f"bring-up, bit-identical: {b['artifact_bit_identical']}")
     s, p = doc["session"], doc["pool"]
     print(f"single session: {s['img_per_s']:8.1f} img/s wall | "
           f"{s['modeled_img_per_s']:10.1f} img/s modeled")
@@ -314,6 +381,17 @@ def report_pool_benchmark(doc, *, min_modeled_speedup=None, out=None):
         print(f"ERROR: modeled fleet speedup "
               f"{doc['modeled_throughput_speedup']:.2f}x below required "
               f"{min_modeled_speedup}x", file=sys.stderr)
+        return 1
+    if not doc["bringup"]["artifact_bit_identical"]:
+        print("ERROR: artifact-restored chip diverged from the cold chip",
+              file=sys.stderr)
+        return 1
+    if (min_warm_speedup
+            and doc["bringup"]["warm_speedup_vs_compile"]
+            < min_warm_speedup):
+        print(f"ERROR: warm artifact bring-up speedup "
+              f"{doc['bringup']['warm_speedup_vs_compile']:.1f}x below "
+              f"required {min_warm_speedup}x", file=sys.stderr)
         return 1
     return 0
 

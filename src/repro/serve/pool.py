@@ -104,15 +104,23 @@ class PoolStats:
 
 
 class _ReplicaWorker:
-    """One replica's queue, counters, and (in threaded mode) thread."""
+    """One replica's queue, counters, and (in threaded mode) thread.
+
+    ``group`` names the program this replica serves — ``""`` in a
+    single-program pool, the registered model name in a
+    :class:`~repro.serve.registry.MultiProgramPool`.  Routing and work
+    stealing never cross groups: a replica is physically programmed with
+    one model's weights.
+    """
 
     __slots__ = ("index", "chip", "bin_index", "queue", "totals", "steals",
-                 "draining", "stopped", "thread")
+                 "draining", "stopped", "thread", "group")
 
-    def __init__(self, index, chip, bin_index, max_batch_size):
+    def __init__(self, index, chip, bin_index, max_batch_size, group=""):
         self.index = index
         self.chip = chip
         self.bin_index = bin_index
+        self.group = group
         self.queue = MicroBatchQueue(max_batch_size)
         self.totals = {key: 0 if key in ("requests", "images", "batches",
                                          "batch_images") else 0.0
@@ -126,6 +134,72 @@ class _ReplicaWorker:
     def live(self):
         """Eligible for new dispatch: not retiring, not retired."""
         return not self.draining and not self.stopped
+
+
+def _replica_snapshot(worker):
+    """JSON-safe counters for one replica (caller holds the pool lock)."""
+    totals = dict(worker.totals)
+    totals.update(
+        index=worker.index, bin=worker.bin_index,
+        program=worker.group or None,
+        steals=worker.steals, draining=worker.draining,
+        stopped=worker.stopped,
+        queue_depth=len(worker.queue),
+        queued_images=worker.queue.images_queued())
+    return totals
+
+
+def _pool_stats(per_replica, tops_per_watt) -> PoolStats:
+    """Aggregate replica snapshots into a :class:`PoolStats`.
+
+    Shared by the single-program pool (all replicas) and the
+    multi-program pool (one group's replicas at a time).
+    """
+    fleet = {key: sum(r[key] for r in per_replica)
+             for key in _TOTALS_KEYS}
+    for replica in per_replica:
+        batches = max(replica["batches"], 1)
+        replica["mean_batch_images"] = \
+            replica.pop("batch_images") / batches
+        busy = replica["busy_s"]
+        replica["throughput_img_per_s"] = \
+            replica["images"] / busy if busy > 0 else 0.0
+    busy = fleet["busy_s"]
+    images = fleet["images"]
+    served = [r for r in per_replica if r["images"]]
+    imbalance = 0.0
+    if len(served) > 1:
+        counts = [r["images"] for r in served]
+        imbalance = (max(counts) - min(counts)) / np.mean(counts)
+    totals = {
+        "replicas": len(per_replica),
+        "requests": fleet["requests"],
+        "images": images,
+        "batches": fleet["batches"],
+        "mean_queue_s": fleet["queue_s"] / max(fleet["requests"], 1),
+        "busy_s": busy,
+        "throughput_img_per_s": images / busy if busy > 0 else 0.0,
+        "steals": sum(r["steals"] for r in per_replica),
+        "load_imbalance": float(imbalance),
+    }
+    # The hardware view: replicas are physically parallel chips, so
+    # the fleet's modeled serving time is the slowest replica's busy
+    # latency, and the serial-equivalent time is the sum.
+    serial_s = fleet["latency_s"]
+    makespan_s = max((r["latency_s"] for r in per_replica), default=0.0)
+    modeled = {
+        "energy_j": fleet["energy_j"],
+        "energy_j_per_image": fleet["energy_j"] / max(images, 1),
+        "serial_latency_s": serial_s,
+        "makespan_s": makespan_s,
+        "parallel_speedup": (serial_s / makespan_s
+                             if makespan_s > 0 else 1.0),
+        "throughput_img_per_s": (images / makespan_s
+                                 if makespan_s > 0 else 0.0),
+        "tops_per_watt": tops_per_watt,
+    }
+    return PoolStats(replicas=tuple(per_replica), totals=totals,
+                     modeled=modeled)
 
 
 class ChipPool:
@@ -150,8 +224,6 @@ class ChipPool:
         if linger_s < 0:
             raise ValueError("linger_s must be non-negative")
         self.program = program
-        self.max_batch_size = int(max_batch_size)
-        self.linger_s = float(linger_s)
         self.temp_bins = (tuple(sorted(canonical_temp(t) for t in temp_bins))
                           if temp_bins else None)
         n_bins = len(self.temp_bins) + 1 if self.temp_bins else 1
@@ -163,11 +235,23 @@ class ChipPool:
             chips = Chip.build_replicas(
                 program, design, n_replicas, mac_config=mac_config,
                 latency=latency, energy_report=energy_report)
-        self._cond = threading.Condition()
-        self.workers = tuple(
+        workers = [
             _ReplicaWorker(i, chip, i % n_bins if self.temp_bins else 0,
                            max_batch_size)
-            for i, chip in enumerate(chips))
+            for i, chip in enumerate(chips)]
+        self._setup(workers, max_batch_size, linger_s, autostart)
+
+    def _setup(self, workers, max_batch_size, linger_s, autostart):
+        """Shared scheduler bring-up: state, then (optionally) threads.
+
+        Factored out so :class:`~repro.serve.registry.MultiProgramPool`
+        can construct heterogeneous worker groups and reuse the whole
+        scheduling/lifecycle machinery unchanged.
+        """
+        self.max_batch_size = int(max_batch_size)
+        self.linger_s = float(linger_s)
+        self._cond = threading.Condition()
+        self.workers = tuple(workers)
         self._closed = False
         self._next_id = 0
         self._rr = 0              # round-robin cursors (dispatch ties, step)
@@ -178,6 +262,25 @@ class ChipPool:
                     target=self._serve_loop, args=(worker,),
                     name=f"repro-pool-{worker.index}", daemon=True)
                 worker.thread.start()
+
+    @classmethod
+    def from_artifact(cls, store, fingerprint, *, design=None,
+                      n_replicas=2, check_code_version=True, **kwargs):
+        """Bring a pool up from a stored artifact — the warm-start path.
+
+        Replica 0 *is* the restored chip (bit-identical to the chip that
+        was saved); replicas 1..n-1 redraw per-tile variation from the
+        mapping's replica seeds exactly as a cold
+        :meth:`Chip.build_replicas` would, so a warm fleet serves the
+        same logits as a cold fleet of the same program.  ``kwargs``
+        pass through to the pool constructor (``temp_bins``,
+        ``max_batch_size``, ``autostart``, ...).
+        """
+        first = store.load_chip(fingerprint, design=design,
+                                check_code_version=check_code_version)
+        chips = Chip.build_replicas(first.program, first.design,
+                                    n_replicas, first=first)
+        return cls(first.program, first.design, chips=chips, **kwargs)
 
     # ------------------------------------------------------------------
     # request surface
@@ -200,14 +303,20 @@ class ChipPool:
             return 0
         return bisect_right(self.temp_bins, canonical_temp(temp_c))
 
-    def _eligible_workers(self, temp):
+    def _default_temp(self, group):
+        """Operating temperature for requests that do not override it."""
+        return self.mapping.temp_c
+
+    def _eligible_workers(self, temp, group=""):
         """Live replicas a request at ``temp`` may route to.
 
         Binning is a locality policy, not a correctness constraint: when
         the matching bin has no live replica, traffic falls back to every
-        live replica rather than failing.
+        live replica of the group rather than failing.  The group bound
+        *is* a correctness constraint — a replica serves only the
+        program its tiles are written with.
         """
-        live = [w for w in self.workers if w.live]
+        live = [w for w in self.workers if w.live and w.group == group]
         if not live:
             return []
         if self.temp_bins:
@@ -217,9 +326,9 @@ class ChipPool:
                 return binned
         return live
 
-    def _pick_worker(self, temp):
+    def _pick_worker(self, temp, group=""):
         """Least-loaded eligible replica (queued images; ties round-robin)."""
-        eligible = self._eligible_workers(temp)
+        eligible = self._eligible_workers(temp, group)
         if not eligible:
             raise RuntimeError("all pool replicas are drained")
         load = min(w.queue.images_queued() for w in eligible)
@@ -228,17 +337,17 @@ class ChipPool:
         self._rr += 1
         return worker
 
-    def _enqueue(self, x, temp_c, *, worker=None):
+    def _enqueue(self, x, temp_c, *, worker=None, group=""):
         x = np.asarray(x)
         if x.shape[0] < 1:
             raise ValueError("a request needs at least one image")
-        temp = canonical_temp(self.mapping.temp_c if temp_c is None
+        temp = canonical_temp(self._default_temp(group) if temp_c is None
                               else temp_c)
         with self._cond:
             if self._closed:
                 raise RuntimeError("pool is closed")
             target = worker if worker is not None else \
-                self._pick_worker(temp)
+                self._pick_worker(temp, group)
             if not target.live:
                 raise RuntimeError(
                     f"replica {target.index} is drained")
@@ -261,8 +370,8 @@ class ChipPool:
 
     def submit_to(self, replica_index, x, temp_c=None) -> InferenceTicket:
         """Pin a request to one replica (probes, tests, A/B comparisons)."""
-        return self._enqueue(x, temp_c,
-                             worker=self.workers[replica_index])
+        worker = self.workers[replica_index]
+        return self._enqueue(x, temp_c, worker=worker, group=worker.group)
 
     def infer(self, x, temp_c=None) -> InferenceResult:
         """Synchronous request: submit and wait (pumps in sync mode)."""
@@ -290,9 +399,13 @@ class ChipPool:
         caches), but an otherwise-idle thief falls back to any loaded
         peer — binning is a locality policy, and locality never
         justifies an idle chip next to a deep queue.  Draining peers are
-        valid victims: stealing accelerates a drain.
+        valid victims: stealing accelerates a drain.  Victims always
+        come from the thief's own group: stolen work must run on a chip
+        programmed with the same model.
         """
-        victims = [w for w in self.workers if w is not thief and w.queue]
+        victims = [w for w in self.workers
+                   if w is not thief and w.group == thief.group
+                   and w.queue]
         if not victims:
             return []
         if self.temp_bins:
@@ -368,7 +481,8 @@ class ChipPool:
 
     def _steal_available(self, thief):
         """Any peer queue this worker could steal from (caller holds lock)."""
-        return any(w is not thief and w.queue for w in self.workers)
+        return any(w is not thief and w.group == thief.group and w.queue
+                   for w in self.workers)
 
     def step(self):
         """Synchronously serve one micro-batch from the next non-empty
@@ -437,7 +551,7 @@ class ChipPool:
     # ------------------------------------------------------------------
     # fleet telemetry
     # ------------------------------------------------------------------
-    def divergence(self, x, temp_c=None):
+    def divergence(self, x, temp_c=None, *, _group=""):
         """Serve one probe batch on *every* live replica and compare.
 
         The probe rides the normal scheduling path (pinned per replica),
@@ -447,7 +561,8 @@ class ChipPool:
         :func:`repro.metrics.fluctuation.fleet_divergence` plus the probe
         bookkeeping.
         """
-        live = [w.index for w in self.workers if w.live]
+        live = [w.index for w in self.workers
+                if w.live and w.group == _group]
         if not live:
             raise RuntimeError("no live replicas to probe")
         tickets = [self.submit_to(i, x, temp_c=temp_c) for i in live]
@@ -464,62 +579,9 @@ class ChipPool:
     def stats(self) -> PoolStats:
         """Aggregate fleet telemetry; safe to call during active serving."""
         with self._cond:
-            per_replica = []
-            for worker in self.workers:
-                totals = dict(worker.totals)
-                totals.update(
-                    index=worker.index, bin=worker.bin_index,
-                    steals=worker.steals, draining=worker.draining,
-                    stopped=worker.stopped,
-                    queue_depth=len(worker.queue),
-                    queued_images=worker.queue.images_queued())
-                per_replica.append(totals)
-        fleet = {key: sum(r[key] for r in per_replica)
-                 for key in _TOTALS_KEYS}
-        for replica in per_replica:
-            batches = max(replica["batches"], 1)
-            replica["mean_batch_images"] = \
-                replica.pop("batch_images") / batches
-            busy = replica["busy_s"]
-            replica["throughput_img_per_s"] = \
-                replica["images"] / busy if busy > 0 else 0.0
-        busy = fleet["busy_s"]
-        images = fleet["images"]
-        served = [r for r in per_replica if r["images"]]
-        imbalance = 0.0
-        if len(served) > 1:
-            counts = [r["images"] for r in served]
-            imbalance = (max(counts) - min(counts)) / np.mean(counts)
-        totals = {
-            "replicas": len(per_replica),
-            "requests": fleet["requests"],
-            "images": images,
-            "batches": fleet["batches"],
-            "mean_queue_s": fleet["queue_s"] / max(fleet["requests"], 1),
-            "busy_s": busy,
-            "throughput_img_per_s": images / busy if busy > 0 else 0.0,
-            "steals": sum(r["steals"] for r in per_replica),
-            "load_imbalance": float(imbalance),
-        }
-        # The hardware view: replicas are physically parallel chips, so
-        # the fleet's modeled serving time is the slowest replica's busy
-        # latency, and the serial-equivalent time is the sum.
-        serial_s = fleet["latency_s"]
-        makespan_s = max((r["latency_s"] for r in per_replica),
-                        default=0.0)
-        modeled = {
-            "energy_j": fleet["energy_j"],
-            "energy_j_per_image": fleet["energy_j"] / max(images, 1),
-            "serial_latency_s": serial_s,
-            "makespan_s": makespan_s,
-            "parallel_speedup": (serial_s / makespan_s
-                                 if makespan_s > 0 else 1.0),
-            "throughput_img_per_s": (images / makespan_s
-                                     if makespan_s > 0 else 0.0),
-            "tops_per_watt": self.workers[0].chip.meter.tops_per_watt,
-        }
-        return PoolStats(replicas=tuple(per_replica), totals=totals,
-                         modeled=modeled)
+            per_replica = [_replica_snapshot(w) for w in self.workers]
+        return _pool_stats(per_replica,
+                           self.workers[0].chip.meter.tops_per_watt)
 
     def __repr__(self):
         bins = len(self.temp_bins) + 1 if self.temp_bins else 1

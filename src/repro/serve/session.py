@@ -76,6 +76,17 @@ class InferenceSession:
                 target=self._serve_loop, name="repro-serve", daemon=True)
             self._worker.start()
 
+    @classmethod
+    def from_artifact(cls, store, fingerprint, *, design=None,
+                      check_code_version=True, **kwargs):
+        """A session over a chip restored from the compiled-artifact
+        store — warm bring-up with no compilation or calibration; the
+        served logits are bit-identical to the chip that was saved.
+        ``kwargs`` pass through to the session constructor."""
+        chip = store.load_chip(fingerprint, design=design,
+                               check_code_version=check_code_version)
+        return cls(chip, **kwargs)
+
     # ------------------------------------------------------------------
     # request surface
     # ------------------------------------------------------------------

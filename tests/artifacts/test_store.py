@@ -1,0 +1,318 @@
+"""Tests for the content-addressed compiled-artifact store.
+
+The contract under test: an artifact round-trips a programmed chip
+**bit-identically** (program, bit-planes, frozen variation draws, MAC
+calibration), any mismatch — corruption, code version, design, content
+hash — is a miss that forces recompilation, and every write is
+crash-safe (no partially-written entry is ever visible).
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    ArtifactError,
+    ArtifactMismatch,
+    ArtifactNotFound,
+    ArtifactStore,
+    current_code_version,
+    default_artifact_dir,
+    resolve_design,
+)
+from repro.cells import FeFET1TCell, TwoTOneFeFETCell
+from repro.compiler import Chip, MappingConfig, compile_model
+from repro.nn import build_vgg_nano
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """One conv+dense model compiled and programmed with variation on.
+
+    Module-scoped: chip bring-up runs circuit calibration (~seconds),
+    and every test here only reads the chip.
+    """
+    design = TwoTOneFeFETCell()
+    model = build_vgg_nano(width=2, image_size=8,
+                           rng=np.random.default_rng(42))
+    mapping = MappingConfig(tile_rows=32, tile_cols=16,
+                            sigma_vth_fefet=54e-3, sigma_vth_mosfet=15e-3,
+                            seed=0)
+    program = compile_model(model, design, mapping)
+    chip = Chip(program, design)
+    x = np.random.default_rng(7).normal(size=(3, 8, 8, 3))
+    return {"design": design, "model": model, "mapping": mapping,
+            "program": program, "chip": chip, "x": x,
+            "logits": chip.forward(x)}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "artifacts")
+
+
+class TestRoundTrip:
+    def test_load_is_bit_identical(self, store, workload):
+        store.save(workload["chip"])
+        warm = store.load_chip(workload["program"].fingerprint)
+        np.testing.assert_array_equal(warm.forward(workload["x"]),
+                                      workload["logits"])
+
+    def test_round_trip_preserves_temperature_behavior(self, store,
+                                                       workload):
+        """Calibration is restored, not recomputed: off-nominal
+        temperatures (interpolated analog levels) must match too."""
+        store.save(workload["chip"])
+        warm = store.load_chip(workload["program"].fingerprint)
+        for temp in (0.0, 61.5, 85.0):
+            np.testing.assert_array_equal(
+                warm.forward(workload["x"], temp_c=temp),
+                workload["chip"].forward(workload["x"], temp_c=temp))
+
+    def test_restored_program_fingerprint_matches(self, store, workload):
+        store.save(workload["chip"])
+        warm = store.load_chip(workload["program"].fingerprint)
+        assert warm.program.fingerprint == \
+            workload["program"].fingerprint
+
+    def test_variation_draws_are_frozen(self, store, workload):
+        """The loaded chip reuses the saved per-cell V_TH offsets
+        verbatim — no RNG runs on load."""
+        store.save(workload["chip"])
+        warm = store.load_chip(workload["program"].fingerprint)
+        for key, tile in workload["chip"]._programmed.items():
+            np.testing.assert_array_equal(warm._programmed[key].w_dv,
+                                          tile.w_dv)
+
+    def test_contains_and_info(self, store, workload):
+        fingerprint = workload["program"].fingerprint
+        assert fingerprint not in store
+        info = store.save(workload["chip"])
+        assert fingerprint in store
+        assert info.fingerprint == fingerprint
+        assert info.design_name == "TwoTOneFeFETCell"
+        assert info.variation is True
+        assert not info.stale
+        assert info.size_bytes > 0
+        listed = store.info(fingerprint)
+        assert listed.fingerprint == fingerprint
+        assert json.dumps(listed.as_dict())   # JSON-safe
+
+    def test_save_is_idempotent(self, store, workload):
+        a = store.save(workload["chip"])
+        b = store.save(workload["chip"])
+        assert a.fingerprint == b.fingerprint
+        assert len(store.entries()) == 1
+
+
+class TestLoadOrCompile:
+    def test_miss_compiles_and_saves(self, store, workload):
+        chip, source = store.load_or_compile(
+            workload["model"], workload["design"], workload["mapping"])
+        assert source == "compile"
+        assert workload["program"].fingerprint in store
+        np.testing.assert_array_equal(chip.forward(workload["x"]),
+                                      workload["logits"])
+
+    def test_hit_loads_bit_identical(self, store, workload):
+        store.save(workload["chip"])
+        chip, source = store.load_or_compile(
+            workload["model"], workload["design"], workload["mapping"])
+        assert source == "artifact"
+        np.testing.assert_array_equal(chip.forward(workload["x"]),
+                                      workload["logits"])
+
+    def test_mapping_change_misses(self, store, workload):
+        """A different mapping fingerprints differently — the artifact
+        of the old mapping can never serve the new one."""
+        store.save(workload["chip"])
+        other = dataclasses.replace(workload["mapping"], temp_c=85.0)
+        chip, source = store.load_or_compile(
+            workload["model"], workload["design"], other)
+        assert source == "compile"
+        assert chip.program.fingerprint != \
+            workload["program"].fingerprint
+
+    def test_save_on_miss_false_does_not_write(self, store, workload):
+        _, source = store.load_or_compile(
+            workload["model"], workload["design"], workload["mapping"],
+            save_on_miss=False)
+        assert source == "compile"
+        assert workload["program"].fingerprint not in store
+
+
+class TestIntegrity:
+    def test_missing_artifact_raises_not_found(self, store):
+        with pytest.raises(ArtifactNotFound):
+            store.load_chip("0" * 64)
+
+    def test_corrupt_file_is_a_miss_and_removed(self, store, workload):
+        fingerprint = workload["program"].fingerprint
+        store.save(workload["chip"])
+        path = store.path_for(fingerprint)
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ArtifactNotFound):
+            store.load_chip(fingerprint)
+        assert not path.exists()
+
+    def test_truncated_file_is_a_miss(self, store, workload):
+        fingerprint = workload["program"].fingerprint
+        store.save(workload["chip"])
+        path = store.path_for(fingerprint)
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(ArtifactNotFound):
+            store.load_chip(fingerprint)
+        assert not path.exists()
+
+    def test_corrupt_entry_forces_recompile(self, store, workload):
+        store.save(workload["chip"])
+        store.path_for(workload["program"].fingerprint).write_bytes(
+            b"garbage")
+        chip, source = store.load_or_compile(
+            workload["model"], workload["design"], workload["mapping"])
+        assert source == "compile"
+        # ... and the slot was repaired with a fresh artifact.
+        _, source = store.load_or_compile(
+            workload["model"], workload["design"], workload["mapping"])
+        assert source == "artifact"
+
+    def test_code_version_mismatch_forces_recompile(self, store,
+                                                    workload,
+                                                    monkeypatch):
+        store.save(workload["chip"])
+        monkeypatch.setattr("repro.artifacts.store.current_code_version",
+                            lambda: "deadbeef0000")
+        with pytest.raises(ArtifactMismatch):
+            store.load_chip(workload["program"].fingerprint)
+        _, source = store.load_or_compile(
+            workload["model"], workload["design"], workload["mapping"])
+        assert source == "compile"
+
+    def test_code_version_check_can_be_waived(self, store, workload,
+                                              monkeypatch):
+        store.save(workload["chip"])
+        monkeypatch.setattr("repro.artifacts.store.current_code_version",
+                            lambda: "deadbeef0000")
+        warm = store.load_chip(workload["program"].fingerprint,
+                               check_code_version=False)
+        np.testing.assert_array_equal(warm.forward(workload["x"]),
+                                      workload["logits"])
+
+    def test_design_mismatch_raises(self, store, workload):
+        store.save(workload["chip"])
+        tweaked = dataclasses.replace(workload["design"], t_read=7.0e-9)
+        with pytest.raises(ArtifactMismatch):
+            store.load_chip(workload["program"].fingerprint,
+                            design=tweaked)
+
+    def test_tampered_weights_fail_content_hash(self, store, workload):
+        """Editing tile codes inside the file must not survive the
+        recomputed-fingerprint check."""
+        import io
+        import zipfile
+
+        fingerprint = workload["program"].fingerprint
+        store.save(workload["chip"])
+        path = store.path_for(fingerprint)
+        with np.load(path, allow_pickle=False) as npz:
+            arrays = {name: npz[name].copy() for name in npz.files}
+        key = next(k for k in arrays if k.endswith(".w_codes"))
+        arrays[key] = arrays[key].copy()
+        arrays[key].flat[0] += 1
+        buf = io.BytesIO()
+        meta = arrays.pop("meta")
+        np.savez(buf, meta=meta, **arrays)
+        path.write_bytes(buf.getvalue())
+        with pytest.raises(ArtifactMismatch):
+            store.load_chip(fingerprint)
+
+    def test_schema_mismatch_raises(self, store, workload):
+        import io
+
+        fingerprint = workload["program"].fingerprint
+        store.save(workload["chip"])
+        path = store.path_for(fingerprint)
+        with np.load(path, allow_pickle=False) as npz:
+            arrays = {name: npz[name].copy() for name in npz.files}
+        meta = json.loads(str(arrays.pop("meta")[()]))
+        meta["schema"] = 999
+        buf = io.BytesIO()
+        np.savez(buf, meta=np.array(json.dumps(meta)), **arrays)
+        path.write_bytes(buf.getvalue())
+        with pytest.raises(ArtifactMismatch):
+            store.load_chip(fingerprint)
+
+
+class TestCrashSafety:
+    def test_save_leaves_no_temp_files(self, store, workload):
+        store.save(workload["chip"])
+        assert list(store.root.glob("*.tmp")) == []
+
+    def test_gc_sweeps_stray_temp_files(self, store, workload):
+        store.save(workload["chip"])
+        stray = store.root / ".abc.npz.12345.tmp"
+        stray.write_bytes(b"half-written")
+        store.gc()
+        assert not stray.exists()
+        # the (current-code) artifact itself survives a default gc
+        assert workload["program"].fingerprint in store
+
+
+class TestEnumeration:
+    def test_entries_skip_unreadable(self, store, workload):
+        store.save(workload["chip"])
+        (store.root / ("f" * 64 + ".npz")).write_bytes(b"junk")
+        infos = store.entries()
+        assert [i.fingerprint for i in infos] == \
+            [workload["program"].fingerprint]
+
+    def test_resolve_prefix(self, store, workload):
+        fingerprint = workload["program"].fingerprint
+        store.save(workload["chip"])
+        assert store.resolve(fingerprint[:10]) == fingerprint
+        with pytest.raises(ArtifactNotFound):
+            store.resolve("zzzz")
+
+    def test_delete(self, store, workload):
+        fingerprint = workload["program"].fingerprint
+        store.save(workload["chip"])
+        assert store.delete(fingerprint[:10]) is True
+        assert fingerprint not in store
+        assert store.delete(fingerprint) is False
+
+    def test_gc_removes_stale_only(self, store, workload, monkeypatch):
+        fingerprint = workload["program"].fingerprint
+        store.save(workload["chip"])
+        assert store.gc() == []          # current code version: kept
+        monkeypatch.setattr("repro.artifacts.store.current_code_version",
+                            lambda: "deadbeef0000")
+        assert store.gc() == [fingerprint]
+        assert fingerprint not in store
+
+    def test_gc_everything(self, store, workload):
+        store.save(workload["chip"])
+        removed = store.gc(everything=True)
+        assert removed == [workload["program"].fingerprint]
+        assert store.entries() == []
+
+
+class TestDesignResolution:
+    def test_resolve_design_by_name(self):
+        assert isinstance(resolve_design("TwoTOneFeFETCell"),
+                          TwoTOneFeFETCell)
+        assert isinstance(resolve_design("FeFET1TCell"), FeFET1TCell)
+
+    def test_unknown_design_raises(self):
+        with pytest.raises(ArtifactMismatch):
+            resolve_design("NoSuchCell")
+
+
+def test_default_artifact_dir_honors_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "arts"))
+    assert default_artifact_dir() == tmp_path / "arts"
+
+
+def test_code_version_is_stable():
+    assert current_code_version() == current_code_version()

@@ -1,0 +1,149 @@
+"""Fingerprint stability tests: the artifact store's addressing contract.
+
+``CompiledProgram.fingerprint`` keys the compiled-artifact store, so two
+properties are load-bearing:
+
+* **Stability** — the same (model, design, mapping) fingerprints
+  identically across recompiles *and across interpreter processes*
+  (SHA-256 over canonical bytes; no ``id()``, no hash randomization, no
+  dict-order dependence).  A drifting fingerprint would orphan every
+  stored artifact.
+* **Sensitivity** — *every* field of the mapping, the cell design's
+  physics, and the model's weights must perturb it.  A field the
+  fingerprint ignores would let an artifact of one configuration serve
+  another's requests.
+"""
+
+import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cells import FeFET1TCell, TwoTOneFeFETCell
+from repro.compiler import MappingConfig, compile_model
+from repro.nn import Dense, ReLU, Sequential
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+BASE_MAPPING = dict(tile_rows=32, tile_cols=16, bits=8, temp_c=27.0,
+                    sigma_vth_fefet=0.0, sigma_vth_mosfet=0.0, seed=0,
+                    min_macs_for_cim=0, backend="fused", cells_per_row=8)
+
+#: One perturbed value per MappingConfig field.  ``fingerprint_data()``
+#: feeds the program fingerprint, so every field here must change it.
+PERTURBATIONS = {
+    "tile_rows": 64,
+    "tile_cols": 8,
+    "bits": 6,
+    "temp_c": 40.0,
+    "sigma_vth_fefet": 0.05,
+    "sigma_vth_mosfet": 0.05,
+    "seed": 1,
+    "min_macs_for_cim": 1,
+    "backend": "dense",
+    "cells_per_row": 4,
+}
+
+
+def build_model(weight_seed=0):
+    rng = np.random.default_rng(weight_seed)
+    return Sequential([Dense(24, 12, rng=rng), ReLU(),
+                       Dense(12, 5, rng=rng)])
+
+
+def fingerprint(mapping_kwargs=None, *, design=None, weight_seed=0):
+    mapping = MappingConfig(**{**BASE_MAPPING, **(mapping_kwargs or {})})
+    design = design or TwoTOneFeFETCell()
+    return compile_model(build_model(weight_seed), design,
+                         mapping).fingerprint
+
+
+def test_recompile_is_stable():
+    assert fingerprint() == fingerprint()
+
+
+def test_stable_across_processes():
+    """Golden cross-process check: a fresh interpreter (fresh hash
+    randomization, fresh import order) must derive the same address."""
+    expected = fingerprint()
+    code = (
+        "import numpy as np\n"
+        "from repro.cells import TwoTOneFeFETCell\n"
+        "from repro.compiler import MappingConfig, compile_model\n"
+        "from repro.nn import Dense, ReLU, Sequential\n"
+        "rng = np.random.default_rng(0)\n"
+        "model = Sequential([Dense(24, 12, rng=rng), ReLU(),\n"
+        "                    Dense(12, 5, rng=rng)])\n"
+        f"mapping = MappingConfig(**{BASE_MAPPING!r})\n"
+        "print(compile_model(model, TwoTOneFeFETCell(),\n"
+        "                    mapping).fingerprint)\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env["PYTHONHASHSEED"] = "random"
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True, check=True)
+    assert proc.stdout.strip() == expected
+
+
+def test_fingerprint_shape():
+    fp = fingerprint()
+    assert len(fp) == 64
+    assert set(fp) <= set("0123456789abcdef")
+
+
+@pytest.mark.parametrize("field", sorted(PERTURBATIONS))
+def test_every_mapping_field_perturbs_fingerprint(field):
+    base = fingerprint()
+    perturbed = {field: PERTURBATIONS[field]}
+    if field == "cells_per_row":
+        # tile_rows must stay divisible into whole chunks.
+        perturbed["tile_rows"] = 32
+    assert fingerprint(perturbed) != base, \
+        f"MappingConfig.{field} does not reach the program fingerprint"
+
+
+def test_perturbation_values_differ_from_base():
+    """Guard the table itself: a perturbation equal to the base value
+    would make its test pass vacuously."""
+    for field, value in PERTURBATIONS.items():
+        assert value != BASE_MAPPING[field]
+
+
+def test_design_class_perturbs_fingerprint():
+    assert fingerprint(design=TwoTOneFeFETCell()) != \
+        fingerprint(design=FeFET1TCell())
+
+
+@pytest.mark.parametrize("field,value", [
+    ("t_read", 7.0e-9),
+    ("v_probe", 0.05),
+    ("co_farads", 3.0e-15),
+])
+def test_design_physics_perturb_fingerprint(field, value):
+    """The design's repr carries every physical parameter, so any
+    physics change re-addresses the artifact."""
+    base = TwoTOneFeFETCell()
+    tweaked = dataclasses.replace(base, **{field: value})
+    assert getattr(base, field) != value
+    assert fingerprint(design=base) != fingerprint(design=tweaked)
+
+
+def test_weights_perturb_fingerprint():
+    assert fingerprint(weight_seed=0) != fingerprint(weight_seed=1)
+
+
+def test_single_weight_code_flip_perturbs_fingerprint():
+    """Sensitivity at the finest grain: one quantized weight code."""
+    design = TwoTOneFeFETCell()
+    mapping = MappingConfig(**BASE_MAPPING)
+    model = build_model()
+    base = compile_model(model, design, mapping).fingerprint
+    # Nudge one weight by a full quantization step so its code flips.
+    plan_scale = compile_model(model, design, mapping).layers[0].w_scale
+    model.layers[0].params["w"][0, 0] += 2.0 * plan_scale
+    assert compile_model(model, design, mapping).fingerprint != base

@@ -18,6 +18,8 @@ import pytest
 @pytest.fixture(autouse=True)
 def _isolated_result_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.setenv("REPRO_ARTIFACT_DIR",
+                       str(tmp_path / "repro-artifacts"))
 
 
 @pytest.fixture(scope="session")

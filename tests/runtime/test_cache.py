@@ -76,6 +76,52 @@ class TestHitMiss:
         assert cache.get(key) is None
         assert not path.exists()
 
+    def test_truncated_entry_is_a_miss_and_removed(self, tmp_path):
+        """A crash mid-read (or a pre-atomic-write partial file) must
+        count as a miss, whatever prefix made it to disk."""
+        ctx = fast_ctx(tmp_path)
+        run_one("fig1", ctx)
+        cache = ResultCache(ctx.cache_dir)
+        [path] = cache.entries()
+        path.write_text(path.read_text()[:40])
+        key = cache_key(get_experiment("fig1"), ctx)
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_wrong_schema_entry_is_a_miss(self, tmp_path):
+        """Valid JSON the result parser no longer understands is still
+        a miss, not a crash."""
+        ctx = fast_ctx(tmp_path)
+        run_one("fig1", ctx)
+        cache = ResultCache(ctx.cache_dir)
+        [path] = cache.entries()
+        path.write_text("[1, 2, 3]")
+        key = cache_key(get_experiment("fig1"), ctx)
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_corrupt_entry_is_replaced_by_rerun(self, tmp_path):
+        ctx = fast_ctx(tmp_path)
+        first = run_one("fig1", ctx)
+        cache = ResultCache(ctx.cache_dir)
+        [path] = cache.entries()
+        path.write_text("\x00\x01 garbage")
+        again = run_one("fig1", ctx)
+        assert not again.cached
+        assert again["ion_ioff_at_read"] == first["ion_ioff_at_read"]
+        assert run_one("fig1", ctx).cached
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        """Writes are temp-file + atomic rename: after any put, only
+        the published entry exists."""
+        ctx = fast_ctx(tmp_path)
+        run_one("fig1", ctx)
+        cache = ResultCache(ctx.cache_dir)
+        assert len(cache.entries()) == 1
+        leftovers = [p for p in cache.cache_dir.iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []
+
     def test_clear(self, tmp_path):
         ctx = fast_ctx(tmp_path)
         run_one("fig1", ctx)

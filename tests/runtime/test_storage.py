@@ -1,0 +1,63 @@
+"""Crash-safe storage primitives shared by the result and artifact
+caches."""
+
+import pytest
+
+from repro.runtime.storage import (
+    atomic_write_bytes,
+    atomic_write_text,
+    sweep_temp_files,
+)
+
+
+class TestAtomicWrite:
+    def test_write_bytes_round_trip(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "a.bin", b"\x00payload\xff")
+        assert path.read_bytes() == b"\x00payload\xff"
+
+    def test_write_text_round_trip(self, tmp_path):
+        path = atomic_write_text(tmp_path / "a.json", '{"x": 1}')
+        assert path.read_text(encoding="utf-8") == '{"x": 1}'
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "deep" / "dir" / "a.bin",
+                                  b"x")
+        assert path.read_bytes() == b"x"
+
+    def test_overwrite_replaces_atomically(self, tmp_path):
+        target = tmp_path / "a.bin"
+        atomic_write_bytes(target, b"old")
+        atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+        assert [p.name for p in tmp_path.iterdir()] == ["a.bin"]
+
+    def test_no_temp_residue_after_write(self, tmp_path):
+        atomic_write_bytes(tmp_path / "a.bin", b"x" * 4096)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_publish_leaves_no_temp_file(self, tmp_path,
+                                                monkeypatch):
+        """If the final rename dies, the temp file is cleaned up and the
+        target never appears."""
+        import repro.runtime.storage as storage
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(storage.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_bytes(tmp_path / "a.bin", b"payload")
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestSweep:
+    def test_removes_only_temp_files(self, tmp_path):
+        (tmp_path / "keep.json").write_text("{}")
+        (tmp_path / ".a.json.123.tmp").write_text("partial")
+        (tmp_path / ".b.npz.456.tmp").write_bytes(b"partial")
+        assert sweep_temp_files(tmp_path) == 2
+        assert [p.name for p in tmp_path.iterdir()] == ["keep.json"]
+
+    def test_missing_directory_is_noop(self, tmp_path):
+        assert sweep_temp_files(tmp_path / "nope") == 0

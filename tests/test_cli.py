@@ -297,3 +297,67 @@ class TestServePoolBenchCommand:
         assert main(["serve-pool-bench", "--smoke", "--requests", "2",
                      "--min-modeled-speedup", "1000"]) == 1
         assert "below required" in capsys.readouterr().err
+
+
+class TestArtifactsCommand:
+    def _save(self, store_dir, capsys):
+        assert main(["artifacts", "--store", str(store_dir), "save",
+                     "--width", "2"]) == 0
+        out = capsys.readouterr().out
+        # the printed fingerprint is the second line, indented
+        return out.splitlines()[1].strip()
+
+    def test_save_list_load_gc_cycle(self, tmp_path, capsys):
+        store_dir = tmp_path / "arts"
+        fingerprint = self._save(store_dir, capsys)
+        assert len(fingerprint) == 64
+
+        assert main(["artifacts", "--store", str(store_dir),
+                     "list"]) == 0
+        listed = capsys.readouterr().out
+        assert fingerprint[:16] in listed
+        assert "STALE" not in listed
+
+        assert main(["artifacts", "--store", str(store_dir), "load",
+                     fingerprint[:12], "--probe", "2"]) == 0
+        loaded = capsys.readouterr().out
+        assert "restored" in loaded and "probe: 2" in loaded
+
+        assert main(["artifacts", "--store", str(store_dir), "gc"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        assert main(["artifacts", "--store", str(store_dir), "gc",
+                     "--all"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["artifacts", "--store", str(store_dir),
+                     "list"]) == 0
+        assert "no artifacts" in capsys.readouterr().out
+
+    def test_load_missing_fingerprint_fails(self, tmp_path, capsys):
+        assert main(["artifacts", "--store", str(tmp_path / "arts"),
+                     "load", "feedface"]) == 1
+        assert "ERROR" in capsys.readouterr().err
+
+    def test_save_is_reproducible(self, tmp_path, capsys):
+        first = self._save(tmp_path / "a1", capsys)
+        second = self._save(tmp_path / "a2", capsys)
+        assert first == second
+
+
+class TestPoolBenchWarmGate:
+    def test_unreachable_warm_speedup_fails(self, capsys):
+        assert main(["serve-pool-bench", "--smoke", "--requests", "2",
+                     "--min-warm-speedup", "1e9"]) == 1
+        assert "warm artifact bring-up" in capsys.readouterr().err
+
+    def test_bringup_breakdown_in_document(self, tmp_path, capsys):
+        import json as _json
+
+        out_file = tmp_path / "pool.json"
+        assert main(["serve-pool-bench", "--smoke", "--requests", "2",
+                     "--min-warm-speedup", "10",
+                     "--out", str(out_file)]) == 0
+        doc = _json.loads(out_file.read_text())
+        bringup = doc["bringup"]
+        assert bringup["artifact_bit_identical"] is True
+        assert bringup["warm_speedup_vs_compile"] >= 10
+        assert bringup["artifact_load_s"] < bringup["cold_chip_s"]
