@@ -13,14 +13,22 @@ matmul lowered onto tiled subthreshold-FeFET arrays) three ways:
     The full fleet: N chip replicas (each its own per-tile variation
     draw), work-stealing scheduler, per-replica micro-batching.
 
-The simulator executes replicas on host threads, so wall-clock numbers
-are recorded but depend on the host's core count; the *modeled* fleet
-throughput is the hardware claim — N physical chips serve micro-batches
-concurrently, so fleet serving time is the slowest replica's modeled
-busy latency (makespan) instead of the single chip's serial total.
-``--min-modeled-speedup`` gates that ratio (the full 4-replica run
-records >= 2x in ``BENCH_pool.json``, the repo's fleet-serving
-trajectory).
+The fleet pass runs once per execution substrate (``--workers
+threads``, ``processes``, or the default ``both``): host threads time-
+slice under the GIL, process workers map the shared-memory program
+state and compute truly in parallel on a multi-core host.  Modeled and
+wall-clock speedups are always reported **side by side** — the modeled
+fleet throughput is the hardware claim (N physical chips serve
+micro-batches concurrently, so fleet serving time is the slowest
+replica's modeled makespan), the wall number is what this host actually
+delivered, and any wall speedup below 1.0x draws a loud warning.
+``--min-modeled-speedup`` gates the modeled ratio (the full 4-replica
+run records >= 2x in ``BENCH_pool.json``); ``--min-wall-speedup`` gates
+the *process* fleet's measured wall speedup, auto-skipping with a
+notice when ``os.cpu_count() < 2`` (a single core cannot overlap
+worker processes).  Replica ``i`` carries the same frozen variation
+draw on both substrates, so the harness also asserts the process fleet
+is bit-identical to the threaded fleet replica-by-replica.
 
 The document also records a **bring-up breakdown**: compilation (ms) vs
 cold chip bring-up (tile programming + MAC-unit circuit calibration,
@@ -62,10 +70,12 @@ def run(args):
         args.requests, args.images_per_request, mapping=mapping,
         n_replicas=args.replicas, temp_bins=args.temp_bins,
         max_batch_size=args.max_batch_size, temp_c=args.temp_c,
-        width=args.width, image_size=args.image_size, seed=args.seed)
+        width=args.width, image_size=args.image_size, seed=args.seed,
+        workers=args.workers)
     return report_pool_benchmark(
         doc, min_modeled_speedup=args.min_modeled_speedup,
-        min_warm_speedup=args.min_warm_speedup, out=args.out)
+        min_warm_speedup=args.min_warm_speedup,
+        min_wall_speedup=args.min_wall_speedup, out=args.out)
 
 
 def main(argv=None):
@@ -93,6 +103,15 @@ def main(argv=None):
                         help="per-cell FeFET V_TH sigma (nonzero makes "
                              "every replica a distinct variation draw)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", default="both",
+                        choices=("threads", "processes", "both"),
+                        help="fleet execution substrate(s) to time "
+                             "(default: both, side by side)")
+    parser.add_argument("--min-wall-speedup", type=float, default=None,
+                        help="exit nonzero if the process fleet's "
+                             "measured wall speedup is below this "
+                             "(auto-skipped with a notice on a "
+                             "single-core host)")
     parser.add_argument("--min-modeled-speedup", type=float, default=None,
                         help="exit nonzero if the modeled fleet speedup "
                              "is below this")

@@ -22,12 +22,17 @@ serve-bench [options]
     below ``--min-speedup``.
 serve-pool-bench [options]
     Serve the same stream through a sharded ChipPool of ``--replicas``
-    chips (the ``BENCH_pool.json`` harness): asserts the single-replica
-    pool is bit-identical to the session, reports wall-clock and modeled
-    fleet throughput plus the compile / cold-bring-up / warm-artifact
+    chips (the ``BENCH_pool.json`` harness), once per execution
+    substrate (``--workers threads|processes|both``): asserts the
+    single-replica pool is bit-identical to the session and the process
+    fleet bit-identical to the threaded fleet replica-by-replica,
+    reports wall-clock and modeled fleet throughput side by side per
+    substrate plus the compile / cold-bring-up / warm-artifact
     breakdown, and exits nonzero if outputs diverge, the modeled fleet
-    speedup falls below ``--min-modeled-speedup``, or warm artifact
-    bring-up misses ``--min-warm-speedup``.
+    speedup falls below ``--min-modeled-speedup``, warm artifact
+    bring-up misses ``--min-warm-speedup``, or the process fleet's wall
+    speedup misses ``--min-wall-speedup`` (gate auto-skipped with a
+    notice on single-core hosts).
 artifacts {list,save,load,gc} [options]
     Manage the content-addressed compiled-artifact store
     (``$REPRO_ARTIFACT_DIR`` or ``<cache>/artifacts``): ``save``
@@ -167,6 +172,11 @@ def _build_parser():
                          default=None, metavar="T",
                          help="temperature bin edges (degC) assigning pool "
                               "replicas to operating-temperature bins")
+    infer_p.add_argument("--workers", default="threads",
+                         choices=("threads", "processes"),
+                         help="pool execution substrate (processes map the "
+                              "compiled program via shared memory; needs "
+                              "--replicas >= 2)")
     add_run_options(infer_p)
 
     bench_p = sub.add_parser(
@@ -216,6 +226,15 @@ def _build_parser():
                         help="per-cell FeFET V_TH sigma (nonzero makes "
                              "every replica a distinct variation draw)")
     pool_p.add_argument("--seed", type=int, default=0)
+    pool_p.add_argument("--workers", default="both",
+                        choices=("threads", "processes", "both"),
+                        help="fleet execution substrate(s) to time "
+                             "(default: both, reported side by side)")
+    pool_p.add_argument("--min-wall-speedup", type=float, default=None,
+                        help="exit nonzero if the process fleet's "
+                             "measured wall speedup falls below this "
+                             "(auto-skipped with a notice on a "
+                             "single-core host)")
     pool_p.add_argument("--min-modeled-speedup", type=float, default=None,
                         help="exit nonzero if the modeled fleet speedup "
                              "falls below this")
@@ -367,6 +386,10 @@ def _cmd_infer(args, parser):
     if args.bin_edges and args.replicas < 2:
         parser.error("--bin-edges requires --replicas >= 2 (temperature "
                      "bins are a pool placement policy)")
+    if args.workers == "processes" and args.replicas < 2:
+        parser.error("--workers processes requires --replicas >= 2 "
+                     "(process workers are a pool substrate; a single "
+                     "replica serves through an in-process session)")
     params = {
         "n_images": args.images,
         "tile_rows": args.tile_rows,
@@ -375,6 +398,7 @@ def _cmd_infer(args, parser):
         "sigma_vth_fefet": args.sigma_vth_fefet,
         "n_replicas": args.replicas,
         "bin_edges": tuple(args.bin_edges) if args.bin_edges else None,
+        "workers": args.workers,
     }
     return _cmd_run(args, parser, names=["infer"], params=params)
 
@@ -415,10 +439,11 @@ def _cmd_serve_pool_bench(args):
         requests, args.images_per_request, mapping=mapping,
         n_replicas=replicas, temp_bins=args.temp_bins,
         max_batch_size=args.max_batch_size, temp_c=args.temp_c,
-        seed=args.seed)
+        seed=args.seed, workers=args.workers)
     return report_pool_benchmark(
         doc, min_modeled_speedup=args.min_modeled_speedup,
-        min_warm_speedup=args.min_warm_speedup, out=args.out)
+        min_warm_speedup=args.min_warm_speedup,
+        min_wall_speedup=args.min_wall_speedup, out=args.out)
 
 
 def _cmd_artifacts(args):

@@ -9,7 +9,8 @@ plus the session's (or fleet's) energy/latency telemetry.
 
 Because it runs under the unified runtime, every mapping *and scheduler*
 knob (``tile_rows``, ``tile_cols``, ``batch_size``, sigmas,
-``n_replicas``, ``bin_edges``) travels through ``RunContext.params``
+``n_replicas``, ``bin_edges``, ``workers``) travels through
+``RunContext.params``
 into the content-addressed result cache — the compiled program's and the
 serving fleet's configuration are fingerprinted into the cache key, and
 the result document records the program fingerprint itself.  A
@@ -39,7 +40,8 @@ def infer_session(n_images=32, temps_c=SERVE_TEMPS_C, seed=0,
                   backend="fused", tile_rows=32, tile_cols=16,
                   batch_size=8, sigma_vth_fefet=0.0,
                   sigma_vth_mosfet=0.0, width=4, image_size=8,
-                  design=None, n_replicas=1, bin_edges=None):
+                  design=None, n_replicas=1, bin_edges=None,
+                  workers="threads"):
     """Serve a reduced-VGG request stream on a compiled chip (or fleet).
 
     Each image arrives as its own request; the session micro-batches up
@@ -53,6 +55,10 @@ def infer_session(n_images=32, temps_c=SERVE_TEMPS_C, seed=0,
     (optionally binned by operating temperature at ``bin_edges``), and
     the result gains the fleet's :class:`~repro.serve.PoolStats` plus a
     per-temperature cross-replica logit-divergence probe.
+    ``workers="processes"`` moves replica execution into worker
+    processes over shared-memory program state — logits are
+    bit-identical to the threaded fleet, so only telemetry wall times
+    (and the cache fingerprint) change.
     """
     from repro.cells import TwoTOneFeFETCell
     from repro.nn import build_vgg_nano
@@ -61,6 +67,10 @@ def infer_session(n_images=32, temps_c=SERVE_TEMPS_C, seed=0,
         # Silently ignoring the binning policy would cache a result doc
         # claiming a binned fleet that never existed.
         raise ValueError("bin_edges requires a pool (n_replicas > 1)")
+    if workers == "processes" and n_replicas < 2:
+        raise ValueError("workers='processes' requires a pool "
+                         "(n_replicas > 1); a single replica serves "
+                         "through an in-process session")
     design = design or TwoTOneFeFETCell()
     model = build_vgg_nano(width=width, image_size=image_size,
                            rng=np.random.default_rng(seed + 1))
@@ -78,7 +88,8 @@ def infer_session(n_images=32, temps_c=SERVE_TEMPS_C, seed=0,
     if pooled:
         surface = ChipPool(program, design, n_replicas=n_replicas,
                            temp_bins=bin_edges,
-                           max_batch_size=batch_size, autostart=False)
+                           max_batch_size=batch_size, autostart=False,
+                           workers=workers)
     else:
         surface = InferenceSession(Chip(program, design),
                                    max_batch_size=batch_size,
@@ -128,6 +139,7 @@ def infer_session(n_images=32, temps_c=SERVE_TEMPS_C, seed=0,
         "n_images": n_images,
         "n_replicas": n_replicas,
         "bin_edges": list(bin_edges) if bin_edges else None,
+        "workers": workers if pooled else None,
         "per_temp": per_temp,
         "session": stats,
         "report": format_table(

@@ -127,7 +127,17 @@ def encode_model(model):
     return spec, arrays
 
 
-def decode_model(spec, arrays):
+def _take(arrays, key, copy):
+    """One stored array, copied (the npz path) or viewed as-is.
+
+    ``copy=False`` is the shared-memory mapping path: the returned view
+    aliases the caller's buffer, which inference never writes (weights,
+    planes, and calibration tables are all read-only at serve time).
+    """
+    return np.array(arrays[key]) if copy else np.asarray(arrays[key])
+
+
+def decode_model(spec, arrays, *, copy=True):
     """Rebuild the :class:`Sequential` encoded by :func:`encode_model`."""
     layers = []
     for i, entry in enumerate(spec):
@@ -138,7 +148,7 @@ def decode_model(spec, arrays):
                 f"{entry['type']!r}; supported: {sorted(_LAYER_TYPES)}")
         layer = cls(**entry["args"])
         for name in entry["params"]:
-            value = np.array(arrays[f"model{i}.p.{name}"])
+            value = _take(arrays, f"model{i}.p.{name}", copy)
             if name not in layer.params:
                 raise SerializationError(
                     f"layer {i} ({entry['type']}) has no parameter "
@@ -146,7 +156,7 @@ def decode_model(spec, arrays):
             layer.params[name] = value
             layer.grads[name] = np.zeros_like(value)
         for name in entry.get("buffers", ()):
-            setattr(layer, name, np.array(arrays[f"model{i}.b.{name}"]))
+            setattr(layer, name, _take(arrays, f"model{i}.b.{name}", copy))
         layers.append(layer)
     return Sequential(layers)
 
@@ -184,11 +194,16 @@ def encode_program(program):
     return meta, arrays
 
 
-def decode_program(meta, arrays):
+def decode_program(meta, arrays, *, copy=True):
     """Rebuild the :class:`CompiledProgram` encoded by
     :func:`encode_program` (fingerprint carried verbatim; the store
-    recomputes and checks it against the content)."""
-    model = decode_model(meta["model"], arrays)
+    recomputes and checks it against the content).
+
+    ``copy=False`` binds the program straight onto the caller's buffers
+    (e.g. shared-memory views) instead of copying them — the zero-copy
+    path worker processes boot through.
+    """
+    model = decode_model(meta["model"], arrays, copy=copy)
     mapping = MappingConfig(**meta["mapping"])
     plans = []
     for j, pm in enumerate(meta["layers"]):
@@ -197,13 +212,13 @@ def decode_program(meta, arrays):
                      col_block=int(cb), k0=int(k0), k1=int(k1),
                      n0=int(n0), n1=int(n1),
                      w_codes=freeze_array(
-                         np.array(arrays[f"plan{j}.tile{t}.w_codes"])))
+                         _take(arrays, f"plan{j}.tile{t}.w_codes", copy)))
             for t, (rb, cb, k0, k1, n0, n1) in enumerate(pm["tiles"]))
         plans.append(LayerPlan(
             index=int(pm["index"]), kind=pm["kind"],
             k=int(pm["k"]), n=int(pm["n"]), w_scale=float(pm["w_scale"]),
-            w_colsum=freeze_array(np.array(arrays[f"plan{j}.w_colsum"])),
-            bias=freeze_array(np.array(arrays[f"plan{j}.bias"])),
+            w_colsum=freeze_array(_take(arrays, f"plan{j}.w_colsum", copy)),
+            bias=freeze_array(_take(arrays, f"plan{j}.bias", copy)),
             planes=tuple((float(sign), int(bit))
                          for sign, bit in pm["planes"]),
             grid=tuple(int(g) for g in pm["grid"]),
@@ -324,13 +339,74 @@ def decode_programmed(program, arrays):
     return programmed
 
 
+def encode_live_planes(chip, *, prefix=""):
+    """Every programmed tile's live float64 buffers, zero-copy.
+
+    Unlike :func:`encode_programmed` (the on-disk codec, which packs
+    planes to uint8 for the ``.npz``), this exposes the chip's *working*
+    arrays by reference — ``w_planes``/``w_counts`` in the float64 form
+    the backends compute with, plus the frozen variation draws.  Shared
+    publication (:mod:`repro.serve.shm`) stores each distinct buffer
+    once, so fleet replicas that share a plane decomposition by object
+    identity keep sharing it across the process boundary.
+    """
+    arrays = {}
+    for j, plan in enumerate(chip.program.layers):
+        for t, tile in enumerate(plan.tiles):
+            key = (tile.layer_index, tile.row_block, tile.col_block)
+            programmed = chip._programmed[key]
+            arrays[f"{prefix}prog{j}.{t}.planes"] = programmed.w_planes
+            arrays[f"{prefix}prog{j}.{t}.counts"] = programmed.w_counts
+            if programmed.w_dv is not None:
+                arrays[f"{prefix}prog{j}.{t}.dv"] = programmed.w_dv
+    return arrays
+
+
+def decode_live_planes(program, arrays, *, prefix=""):
+    """Rebind the programmed-tile dict onto live float64 buffers.
+
+    The inverse of :func:`encode_live_planes`: no dtype cast, no count
+    recomputation, no copy — every :class:`ProgrammedArray` field
+    references the mapped buffer directly.  Consumes no RNG.
+    """
+    mapping = program.mapping
+    programmed = {}
+    for j, plan in enumerate(program.layers):
+        signs = np.asarray([sign for sign, _ in plan.planes],
+                           dtype=np.float64)
+        plane_bits = np.asarray([bit for _, bit in plan.planes],
+                                dtype=np.int64)
+        for t, tile in enumerate(plan.tiles):
+            w_planes = np.asarray(arrays[f"{prefix}prog{j}.{t}.planes"])
+            if w_planes.shape[0] != len(plan.planes):
+                raise SerializationError(
+                    f"tile {prefix}prog{j}.{t} stores "
+                    f"{w_planes.shape[0]} planes but the plan schedules "
+                    f"{len(plan.planes)}")
+            dv_key = f"{prefix}prog{j}.{t}.dv"
+            key = (tile.layer_index, tile.row_block, tile.col_block)
+            programmed[key] = ProgrammedArray(
+                k=tile.shape[0], n=tile.shape[1],
+                cells=mapping.cells_per_row,
+                chunks=int(w_planes.shape[1]) if w_planes.ndim == 4 else 0,
+                bits_x=mapping.bits,
+                signs=signs, plane_bits=plane_bits,
+                w_planes=w_planes,
+                w_counts=np.asarray(arrays[f"{prefix}prog{j}.{t}.counts"]),
+                w_dv=(np.asarray(arrays[dv_key]) if dv_key in arrays
+                      else None))
+    return programmed
+
+
 __all__ = [
     "CELL_STATES",
     "SerializationError",
+    "decode_live_planes",
     "decode_model",
     "decode_program",
     "decode_programmed",
     "decode_unit",
+    "encode_live_planes",
     "encode_model",
     "encode_program",
     "encode_programmed",

@@ -236,6 +236,24 @@ class Chip:
         return self.program.mapping
 
     @classmethod
+    def bind(cls, program, design, *, unit, programmed, meter=None,
+             latency=None, energy_report=None):
+        """A chip over already-materialized state — no writes, no RNG.
+
+        The worker-bootstrap entry point: ``unit`` is a calibrated MAC
+        unit and ``programmed`` the complete ``(layer, row, col) ->
+        ProgrammedArray`` dict, typically rebuilt over buffers mapped
+        from shared memory (:func:`repro.artifacts.serialization.\
+decode_live_planes`) or restored from an artifact.  The bound chip
+        never touches the buffers mutably — programming happened in
+        whatever process materialized them — so N processes may bind
+        the same mapped copy.
+        """
+        return cls(program, design, unit=unit, programmed=programmed,
+                   meter=meter, latency=latency,
+                   energy_report=energy_report)
+
+    @classmethod
     def build_replicas(cls, program, design, n_replicas, *,
                        mac_config=None, latency=None, energy_report=None,
                        first=None):

@@ -21,6 +21,7 @@ and spawn start methods.
 
 from __future__ import annotations
 
+import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, List, Optional
 
@@ -30,6 +31,24 @@ from repro.runtime.cache import ResultCache, cache_key
 from repro.runtime.context import RunContext
 from repro.runtime.registry import get_experiment, load_builtin_experiments
 from repro.runtime.results import ExperimentResult
+
+
+def default_mp_context():
+    """The multiprocessing start-method context every repro worker uses.
+
+    ``fork`` where the platform offers it (Linux): child processes
+    inherit the parent's imported modules, so worker start-up is
+    milliseconds and — for :mod:`repro.serve.shm` — the parent's
+    resource-tracker process, which keeps shared-memory bookkeeping in
+    one place.  Elsewhere (macOS/Windows default to ``spawn``) the
+    platform default stands; everything shipped across the boundary
+    (experiment payloads, :class:`~repro.serve.shm.ReplicaBoot`) is
+    picklable by construction, so both start methods are correct and
+    differ only in start-up latency.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
 
 
 def run_one(name, ctx: Optional[RunContext] = None,
@@ -93,7 +112,8 @@ def run_many(names: Iterable[str], ctx: Optional[RunContext] = None,
         return results
 
     ctx_data = ctx.to_dict()
-    with ProcessPoolExecutor(max_workers=min(parallel, len(pending))) as pool:
+    with ProcessPoolExecutor(max_workers=min(parallel, len(pending)),
+                             mp_context=default_mp_context()) as pool:
         docs = pool.map(_pool_worker, [(name, ctx_data) for _, name in pending])
         for (i, name), doc in zip(pending, docs):
             result = ExperimentResult.from_dict(doc, cached=False)
@@ -112,7 +132,8 @@ def pmap(fn, items, parallel: int = 1):
     items = list(items)
     if parallel <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(parallel, len(items))) as pool:
+    with ProcessPoolExecutor(max_workers=min(parallel, len(items)),
+                             mp_context=default_mp_context()) as pool:
         return list(pool.map(fn, items))
 
 

@@ -11,7 +11,11 @@ The back half of the compile-and-serve split (see :mod:`repro.compiler`):
   operating temperature), an async scheduler with work-stealing queues
   and per-replica micro-batching, graceful drain/shutdown, and
   :class:`PoolStats` fleet telemetry including cross-replica logit
-  divergence;
+  divergence.  ``workers="processes"`` moves replica execution into
+  worker processes over shared-memory program state
+  (:mod:`repro.serve.shm`) — bit-identical logits, true multi-core
+  parallelism; a killed worker surfaces as :class:`WorkerCrash` and its
+  queued work re-dispatches to surviving replicas;
 * :class:`ProgramRegistry` / :class:`MultiProgramPool` — named compiled
   programs (registered live, compiled, or restored from the
   content-addressed artifact store) served together behind one
@@ -51,6 +55,7 @@ from repro.serve.bench import (
     serving_benchmark,
 )
 from repro.serve.pool import ChipPool, PoolStats
+from repro.serve.shm import WorkerCrash
 from repro.serve.registry import (
     MultiProgramPool,
     ProgramRegistry,
@@ -74,6 +79,7 @@ __all__ = [
     "ProgramRegistry",
     "RegisteredProgram",
     "RequestTelemetry",
+    "WorkerCrash",
     "build_serving_workload",
     "canonical_temp",
     "pool_benchmark",

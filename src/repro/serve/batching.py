@@ -22,6 +22,16 @@ exactly once:
 * :func:`execute_micro_batch` — run one batch on one chip, meter its
   energy/latency delta, resolve every ticket with per-request telemetry,
   and return the batch totals for the caller's aggregate counters.
+
+Execution is split into picklable halves so a batch can cross a process
+boundary (the :class:`~repro.serve.pool.ChipPool` ``workers="processes"``
+mode): :func:`make_batch_work` flattens the pending requests into a
+:class:`BatchWork` (activations + temperature + per-request segments —
+no tickets, no locks), :func:`run_batch` executes it on a chip and
+returns a :class:`BatchOutcome` (logits + metered deltas), and
+:func:`settle_batch` / :func:`fail_batch` resolve the tickets back in
+the submitting process.  :func:`execute_micro_batch` is exactly that
+pipeline run locally.
 """
 
 from __future__ import annotations
@@ -107,15 +117,23 @@ class InferenceTicket:
 
 
 class PendingRequest:
-    """One queued request (internal to the serving surfaces)."""
+    """One queued request (internal to the serving surfaces).
 
-    __slots__ = ("x", "temp_c", "ticket", "enqueued_at")
+    ``pinned`` marks a request bound to its queue's replica
+    (``submit_to``): work stealing must not move it — replicas are
+    distinct variation draws, so a stolen probe would silently answer
+    with a different die's logits.  The pin is released only when the
+    pinned replica dies (serving beats failing).
+    """
 
-    def __init__(self, x, temp_c, ticket, enqueued_at):
+    __slots__ = ("x", "temp_c", "ticket", "enqueued_at", "pinned")
+
+    def __init__(self, x, temp_c, ticket, enqueued_at, pinned=False):
         self.x = x
         self.temp_c = temp_c
         self.ticket = ticket
         self.enqueued_at = enqueued_at
+        self.pinned = pinned
 
     @property
     def images(self):
@@ -139,6 +157,15 @@ class MicroBatchQueue:
     def push(self, pending):
         self._queue.append(pending)
 
+    def requeue(self, batch):
+        """Return a taken batch to the *head*, preserving its order.
+
+        The dead-replica re-dispatch path: the batch had already waited
+        to the front of this queue, so it goes back in front of whatever
+        queued behind it (thieves take the head first).
+        """
+        self._queue.extendleft(reversed(batch))
+
     def take_batch(self):
         """Pop the next micro-batch: head-of-line request plus every queued
         request at the same temperature, up to ``max_batch_size`` images.
@@ -160,9 +187,50 @@ class MicroBatchQueue:
         self._queue = remaining
         return batch
 
+    def steal_batch(self):
+        """Pop the next micro-batch of *stealable* requests.
+
+        Like :meth:`take_batch`, but pinned requests (``submit_to``)
+        never leave their replica's queue this way: the batch is the
+        oldest non-pinned request plus every later non-pinned request
+        at its temperature, up to the budget; pinned requests keep
+        their positions.
+        """
+        head = None
+        batch, images = [], 0
+        remaining = deque()
+        while self._queue:
+            pending = self._queue.popleft()
+            if pending.pinned:
+                remaining.append(pending)
+            elif head is None:
+                head = pending
+                batch, images = [pending], pending.images
+            elif (pending.temp_c == head.temp_c
+                    and images + pending.images <= self.max_batch_size):
+                batch.append(pending)
+                images += pending.images
+            else:
+                remaining.append(pending)
+        self._queue = remaining
+        return batch
+
     def head_temp(self):
         """Temperature of the oldest queued request (None when empty)."""
         return self._queue[0].temp_c if self._queue else None
+
+    def stealable_head_temp(self):
+        """Temperature of the oldest *stealable* queued request."""
+        for pending in self._queue:
+            if not pending.pinned:
+                return pending.temp_c
+        return None
+
+    def has_stealable(self):
+        return any(not p.pinned for p in self._queue)
+
+    def stealable_images(self):
+        return sum(p.images for p in self._queue if not p.pinned)
 
     def images_queued(self):
         return sum(p.images for p in self._queue)
@@ -187,6 +255,124 @@ class BatchReport:
     failed: bool = False
 
 
+@dataclass(frozen=True)
+class BatchWork:
+    """Picklable execution frame for one micro-batch.
+
+    Everything a chip needs to serve the batch and nothing the
+    submitting process must keep (tickets, events, enqueue clocks stay
+    behind): the concatenated activation tensor, the coalesced
+    temperature, and the per-request image counts that keep dynamic
+    activation quantization request-local.  This is the only payload
+    shipped *into* a process worker.
+    """
+
+    x: np.ndarray
+    temp_c: float
+    segments: tuple
+
+    @property
+    def images(self):
+        return int(self.x.shape[0])
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Picklable result frame for one executed micro-batch.
+
+    Logits plus the chip's metered modeled deltas and the executing
+    side's own forward wall time — the only payload shipped *out of* a
+    process worker.  Telemetry wall/queue times are finished by the
+    submitting process (:func:`settle_batch`), whose clock started the
+    batch.
+    """
+
+    logits: np.ndarray
+    forward_s: float
+    energy_j: float
+    latency_s: float
+
+
+def make_batch_work(batch) -> BatchWork:
+    """Flatten pending requests into an executable :class:`BatchWork`."""
+    x = (batch[0].x if len(batch) == 1
+         else np.concatenate([p.x for p in batch], axis=0))
+    return BatchWork(x=np.asarray(x), temp_c=batch[0].temp_c,
+                     segments=tuple(p.images for p in batch))
+
+
+def run_batch(chip, work: BatchWork) -> BatchOutcome:
+    """Execute one :class:`BatchWork` on ``chip``; meter the delta.
+
+    Exactly one executor may run against a given chip at a time (the
+    meter delta is read around the forward pass); both serving surfaces
+    guarantee this — one thread per chip, or one chip per worker
+    process.
+    """
+    start = time.perf_counter()
+    before = chip.meter.snapshot()
+    logits = chip.forward(work.x, temp_c=work.temp_c,
+                          segments=list(work.segments))
+    after = chip.meter.snapshot()
+    return BatchOutcome(
+        logits=logits, forward_s=time.perf_counter() - start,
+        energy_j=after["energy_j"] - before["energy_j"],
+        latency_s=after["latency_s"] - before["latency_s"])
+
+
+def fail_batch(batch, error, *, start, commit=None) -> BatchReport:
+    """Resolve every ticket of a failed batch with ``error``."""
+    report = BatchReport(
+        requests=len(batch), images=sum(p.images for p in batch),
+        wall_s=time.perf_counter() - start,
+        queue_s=sum(start - p.enqueued_at for p in batch),
+        energy_j=0.0, latency_s=0.0, failed=True)
+    if commit is not None:
+        commit(report)
+    for pending in batch:
+        pending.ticket._resolve(error=error)
+    return report
+
+
+def settle_batch(batch, outcome, *, start, replica=0,
+                 commit=None) -> BatchReport:
+    """Resolve a served batch's tickets with per-request telemetry.
+
+    ``start`` is the submitting side's execution-start clock, so
+    ``wall_s`` covers the whole round trip (for a process worker:
+    framing + IPC + forward), and ``queue_s`` the time spent waiting
+    before it.  ``commit`` (the caller's totals-update hook) runs with
+    the :class:`BatchReport` *before* any ticket resolves: a waiter
+    woken by its result must already see the batch in the surface's
+    aggregate stats, or a concurrent ``stats()`` read could miss served
+    requests.
+    """
+    wall = time.perf_counter() - start
+    batch_images = sum(p.images for p in batch)
+    report = BatchReport(
+        requests=len(batch), images=batch_images, wall_s=wall,
+        queue_s=sum(start - p.enqueued_at for p in batch),
+        energy_j=outcome.energy_j, latency_s=outcome.latency_s)
+    if commit is not None:
+        commit(report)
+    temp_c = batch[0].temp_c
+    offset = 0
+    for pending in batch:
+        images = pending.images
+        share = images / batch_images
+        telemetry = RequestTelemetry(
+            request_id=pending.ticket.request_id, images=images,
+            temp_c=temp_c, batch_images=batch_images,
+            queue_s=start - pending.enqueued_at, wall_s=wall,
+            latency_s=outcome.latency_s * share,
+            energy_j=outcome.energy_j * share, replica=replica)
+        pending.ticket._resolve(InferenceResult(
+            logits=outcome.logits[offset:offset + images],
+            telemetry=telemetry))
+        offset += images
+    return report
+
+
 def execute_micro_batch(chip, batch, *, replica=0, commit=None):
     """Run one micro-batch on ``chip`` and resolve its tickets.
 
@@ -196,56 +382,16 @@ def execute_micro_batch(chip, batch, *, replica=0, commit=None):
     meters the chip's modeled energy/latency delta, and hands every
     request its share.  On failure the error propagates to every waiter.
 
-    ``commit`` (the caller's totals-update hook) runs with the
-    :class:`BatchReport` *before* any ticket resolves: a waiter woken by
-    its result must already see the batch in the surface's aggregate
-    stats, or a concurrent ``stats()`` read could miss served requests.
-
-    Exactly one thread may execute against a given chip at a time (the
-    meter delta is read around the forward pass); both serving surfaces
-    guarantee this by running one executor per chip.
+    This is the in-process pipeline: :func:`make_batch_work` ->
+    :func:`run_batch` -> :func:`settle_batch`, with the chip living in
+    the calling thread.  A process-mode pool runs the same middle step
+    remotely and settles here.
     """
     start = time.perf_counter()
-    meter = chip.meter
-    before = meter.snapshot()
-    x = (batch[0].x if len(batch) == 1
-         else np.concatenate([p.x for p in batch], axis=0))
-    segments = [p.images for p in batch]
-    queue_s = sum(start - p.enqueued_at for p in batch)
+    work = make_batch_work(batch)
     try:
-        logits = chip.forward(x, temp_c=batch[0].temp_c, segments=segments)
+        outcome = run_batch(chip, work)
     except Exception as error:            # propagate to every waiter
-        report = BatchReport(requests=len(batch), images=x.shape[0],
-                             wall_s=time.perf_counter() - start,
-                             queue_s=queue_s, energy_j=0.0, latency_s=0.0,
-                             failed=True)
-        if commit is not None:
-            commit(report)
-        for pending in batch:
-            pending.ticket._resolve(error=error)
-        return report
-    wall = time.perf_counter() - start
-    after = meter.snapshot()
-    batch_images = x.shape[0]
-    batch_energy = after["energy_j"] - before["energy_j"]
-    batch_latency = after["latency_s"] - before["latency_s"]
-    report = BatchReport(requests=len(batch), images=batch_images,
-                         wall_s=wall, queue_s=queue_s,
-                         energy_j=batch_energy, latency_s=batch_latency)
-    if commit is not None:
-        commit(report)
-
-    offset = 0
-    for pending in batch:
-        images = pending.images
-        share = images / batch_images
-        telemetry = RequestTelemetry(
-            request_id=pending.ticket.request_id, images=images,
-            temp_c=batch[0].temp_c, batch_images=batch_images,
-            queue_s=start - pending.enqueued_at, wall_s=wall,
-            latency_s=batch_latency * share,
-            energy_j=batch_energy * share, replica=replica)
-        pending.ticket._resolve(InferenceResult(
-            logits=logits[offset:offset + images], telemetry=telemetry))
-        offset += images
-    return report
+        return fail_batch(batch, error, start=start, commit=commit)
+    return settle_batch(batch, outcome, start=start, replica=replica,
+                        commit=commit)

@@ -18,23 +18,30 @@ chip:
     to ``max_batch_size`` images per chip pass.
 
 :func:`pool_benchmark` then scales out: the same stream through a
-:class:`~repro.serve.ChipPool` of ``n_replicas`` chips.  The simulator
-executes replicas on host threads (wall-clock numbers are reported but
-mean little on a small host); the *modeled* fleet throughput is the
-hardware claim — N physical chips serve micro-batches concurrently, so
-fleet serving time is the slowest replica's modeled busy latency instead
-of the single chip's serial total, and that modeled speedup is what the
-gate enforces.
+:class:`~repro.serve.ChipPool` of ``n_replicas`` chips, in one or both
+execution substrates (``workers="threads"|"processes"|"both"``).
+Threaded replicas share the GIL, so their wall-clock speedup is a
+host-dependent footnote (often *below* 1.0 — reported side by side
+with the modeled number, and warned about loudly); process replicas
+(:mod:`repro.serve.shm`) execute concurrently for real, and on a
+multi-core host their wall-clock speedup is gated
+(``--min-wall-speedup``, auto-skipped with a notice on single-core
+hosts).  The *modeled* fleet throughput remains the hardware claim —
+N physical chips serve micro-batches concurrently, so fleet serving
+time is the slowest replica's modeled busy latency instead of the
+single chip's serial total.
 
 Every strategy must produce bit-identical logits per request (asserted;
-for the pool this covers the single-replica pool always, and the full
+for the pool this covers the single-replica pool always, the full
 fleet on nominal zero-sigma mappings where every replica's redraw is a
-no-op), so the comparisons are apples-to-apples.
+no-op, and — replica by replica, any sigma — the process fleet against
+the threaded fleet), so the comparisons are apples-to-apples.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 
@@ -165,25 +172,89 @@ def _artifact_bringup(chip, probe, temp_c, artifact_dir=None):
     }
 
 
+def _fleet_pass(mode, *, program, design, chips, requests, temp_c,
+                temp_bins, max_batch_size, session_logits, nominal,
+                session_s, session_modeled_s, total_images):
+    """One full-fleet pass in one execution substrate.
+
+    Warm-up rides the normal scheduling path (one pinned probe per
+    replica) so process workers warm their *own* per-process decode
+    caches — a direct parent-side ``chip.forward`` would warm the wrong
+    process — then the counters reset and the timed stream runs.
+    Returns the doc block, the nominal stream-identity verdict, and one
+    post-stream probe logit per replica (the cross-substrate
+    bit-identity evidence: replica ``i`` is the same variation draw in
+    every mode, so its probe logits must match exactly).
+    """
+    pool = ChipPool(program, design, temp_bins=temp_bins,
+                    max_batch_size=max_batch_size, workers=mode,
+                    chips=chips)
+    probes = [pool.submit_to(i, requests[0], temp_c=temp_c)
+              for i in range(pool.n_replicas)]
+    for ticket in probes:
+        ticket.result(timeout=120.0)
+    pool.reset_stats()
+
+    start = time.perf_counter()
+    tickets = [pool.submit(x, temp_c=temp_c) for x in requests]
+    results = [t.result(timeout=120.0) for t in tickets]
+    pool_s = time.perf_counter() - start
+    identical = (all(
+        np.array_equal(results[i].logits, session_logits[i])
+        for i in range(len(requests))) if nominal else None)
+    stats = pool.stats()                # stream only — probes come after
+    probes = [pool.submit_to(i, requests[0], temp_c=temp_c)
+              for i in range(pool.n_replicas)]
+    probe_logits = [t.result(timeout=120.0).logits for t in probes]
+    divergence = pool.divergence(requests[0], temp_c=temp_c)
+    pool.close()
+
+    block = {
+        "workers": mode,
+        "wall_s": round(pool_s, 6),
+        "img_per_s": round(total_images / pool_s, 2),
+        "wall_speedup": round(session_s / pool_s, 2) if pool_s else None,
+        "modeled_makespan_s": stats.modeled["makespan_s"],
+        "modeled_img_per_s": stats.modeled["throughput_img_per_s"],
+        "modeled_parallel_speedup": stats.modeled["parallel_speedup"],
+        "modeled_throughput_speedup": (
+            round(session_modeled_s / stats.modeled["makespan_s"], 2)
+            if stats.modeled["makespan_s"] > 0 else None),
+        "measured_makespan_s": stats.measured["makespan_s"],
+        "measured_parallel_speedup": round(
+            stats.measured["parallel_speedup"], 2),
+        "tops_per_watt": stats.modeled["tops_per_watt"],
+        "steals": stats.totals["steals"],
+        "load_imbalance": stats.totals["load_imbalance"],
+        "images_per_replica": [r["images"] for r in stats.replicas],
+    }
+    return block, identical, probe_logits, divergence
+
+
 def pool_benchmark(n_requests=64, images_per_request=1, *, design=None,
                    mapping=None, n_replicas=4, temp_bins=None,
                    max_batch_size=32, temp_c=None, width=4, image_size=8,
-                   seed=0, artifact_dir=None):
+                   seed=0, artifact_dir=None, workers="both"):
     """Pool-vs-session serving comparison; returns a JSON-safe document.
 
-    Three passes over one deterministic request stream:
+    Passes over one deterministic request stream:
 
     1. a single :class:`InferenceSession` (the ``BENCH_infer`` strategy) —
        the baseline logits and the single-chip modeled serving latency;
     2. a **single-replica** :class:`ChipPool` in deterministic sync mode —
        must be bit-identical to the session (the equivalence gate);
-    3. the full ``n_replicas`` pool in threaded mode — wall-clock plus the
-       modeled fleet view (makespan, parallel speedup, throughput).
+    3. the full ``n_replicas`` fleet, once per requested substrate
+       (``workers``: ``"threads"``, ``"processes"``, or ``"both"``) over
+       the *same* replica chips — wall-clock plus the modeled fleet view
+       (makespan, parallel speedup, throughput) per substrate, and, when
+       both run, a replica-by-replica probe bit-identity check between
+       them (valid at any sigma: replica ``i`` is the same frozen
+       variation draw on both substrates).
 
     On a nominal (zero-sigma) mapping every replica programs identically,
-    so pass 3 is also asserted bit-identical; with variation enabled only
-    the equivalence gate of pass 2 applies and the fleet's logit
-    divergence is reported instead.
+    so each fleet pass is also asserted bit-identical to the session;
+    with variation enabled only the pass-2 equivalence gate applies and
+    the fleet's logit divergence is reported instead.
 
     The document also carries a ``bringup`` breakdown — compilation vs
     cold chip bring-up (tile programming + MAC-unit circuit calibration)
@@ -194,6 +265,12 @@ def pool_benchmark(n_requests=64, images_per_request=1, *, design=None,
     """
     from repro.cells import TwoTOneFeFETCell
 
+    if workers not in ("threads", "processes", "both"):
+        raise ValueError(
+            f"workers must be 'threads', 'processes' or 'both', "
+            f"got {workers!r}")
+    modes = (("threads", "processes") if workers == "both"
+             else (workers,))
     design = design or TwoTOneFeFETCell()
     mapping = mapping or MappingConfig()
     model, requests = build_serving_workload(
@@ -241,29 +318,33 @@ def pool_benchmark(n_requests=64, images_per_request=1, *, design=None,
         for i, t in enumerate(tickets))
     solo.close()
 
-    # 3) the fleet, threaded — replica bring-up is part of the story.
+    # 3) the fleet — replica bring-up is part of the story, paid once
+    # and shared by every substrate pass (same chips, same draws).
     start = time.perf_counter()
-    pool = ChipPool(program, design, n_replicas=n_replicas,
-                    temp_bins=temp_bins, max_batch_size=max_batch_size)
+    fleet_chips = Chip.build_replicas(program, design, n_replicas)
     bringup_s = time.perf_counter() - start
-    for worker in pool.workers:        # warm every replica off the clock
-        worker.chip.forward(requests[0], temp_c=temp_c)
-        worker.chip.meter.reset()
-    start = time.perf_counter()
-    tickets = [pool.submit(x, temp_c=temp_c) for x in requests]
-    pool_results = [t.result(timeout=120.0) for t in tickets]
-    pool_s = time.perf_counter() - start
-    pool_identical = (all(
-        np.array_equal(pool_results[i].logits, session_logits[i])
-        for i in range(n_requests)) if nominal else None)
-    stats = pool.stats()                # stream only — probe comes after
-    divergence = pool.divergence(requests[0], temp_c=temp_c)
-    pool.close()
-
-    total_images = n_requests * images_per_request
     session_modeled_s = session_stats["modeled_latency_s"]
-    makespan_s = stats.modeled["makespan_s"]
-    return {
+    total_images = n_requests * images_per_request
+    blocks, identicals, mode_probes = {}, {}, {}
+    divergence = None
+    for mode in modes:
+        block, identical, probe_logits, divergence = _fleet_pass(
+            mode, program=program, design=design, chips=fleet_chips,
+            requests=requests, temp_c=temp_c, temp_bins=temp_bins,
+            max_batch_size=max_batch_size, session_logits=session_logits,
+            nominal=nominal, session_s=session_s,
+            session_modeled_s=session_modeled_s,
+            total_images=total_images)
+        blocks[mode] = block
+        identicals[mode] = identical
+        mode_probes[mode] = probe_logits
+    process_identical = (all(
+        np.array_equal(a, b) for a, b in zip(mode_probes["threads"],
+                                             mode_probes["processes"]))
+        if len(modes) == 2 else None)
+
+    primary = blocks.get("threads") or blocks[modes[0]]
+    doc = {
         "workload": {
             "n_requests": n_requests,
             "images_per_request": images_per_request,
@@ -277,6 +358,8 @@ def pool_benchmark(n_requests=64, images_per_request=1, *, design=None,
             "temp_bins": list(temp_bins) if temp_bins else None,
             "tiles": program.n_tiles,
             "program_fingerprint": program.fingerprint,
+            "workers": workers,
+            "host_cpu_count": os.cpu_count(),
         },
         "compile_s": round(compile_s, 4),
         "replica_bringup_s": round(bringup_s, 4),
@@ -295,50 +378,63 @@ def pool_benchmark(n_requests=64, images_per_request=1, *, design=None,
             "modeled_img_per_s": (total_images / session_modeled_s
                                   if session_modeled_s > 0 else 0.0),
         },
-        "pool": {
-            "wall_s": round(pool_s, 6),
-            "img_per_s": round(total_images / pool_s, 2),
-            "modeled_makespan_s": makespan_s,
-            "modeled_img_per_s": stats.modeled["throughput_img_per_s"],
-            "modeled_parallel_speedup": stats.modeled["parallel_speedup"],
-            "tops_per_watt": stats.modeled["tops_per_watt"],
-            "steals": stats.totals["steals"],
-            "load_imbalance": stats.totals["load_imbalance"],
-            "images_per_replica": [r["images"] for r in stats.replicas],
-        },
+        # ``pool`` is the threaded block when threads ran (the historical
+        # shape, and the equivalence reference); the process substrate
+        # reports under ``pool_processes``.
+        "pool": primary,
         # The hardware claim: N physical chips serve concurrently, so the
         # fleet's modeled serving time is the slowest replica's, not the
-        # serial sum.  Wall-clock on the (possibly single-core) simulator
-        # host is reported above but not gated.
-        "modeled_throughput_speedup": (
-            round(session_modeled_s / makespan_s, 2)
-            if makespan_s > 0 else None),
-        "wall_speedup": round(session_s / pool_s, 2) if pool_s else None,
+        # serial sum.  Wall-clock numbers are real measurements of this
+        # host (``workload.host_cpu_count`` cores) and are reported per
+        # substrate; only process mode's is ever gated.
+        "modeled_throughput_speedup": primary["modeled_throughput_speedup"],
+        "wall_speedup": primary["wall_speedup"],
         "single_replica_bit_identical": solo_identical,
-        "fleet_bit_identical_nominal": pool_identical,
+        "fleet_bit_identical_nominal": identicals.get("threads",
+                                                      identicals[modes[0]]),
+        "process_bit_identical": process_identical,
         "divergence": {k: divergence[k]
                        for k in ("max_deviation", "min_agreement",
                                  "deviation", "argmax_agreement")
                        if k in divergence},
     }
+    if "processes" in blocks:
+        doc["pool_processes"] = blocks["processes"]
+        doc["wall_speedup_processes"] = blocks["processes"]["wall_speedup"]
+        doc["fleet_bit_identical_nominal_processes"] = \
+            identicals["processes"]
+    return doc
 
 
 def report_pool_benchmark(doc, *, min_modeled_speedup=None,
-                          min_warm_speedup=None, out=None):
+                          min_warm_speedup=None, min_wall_speedup=None,
+                          out=None):
     """Print a pool benchmark document, optionally persist and gate it.
 
+    Every substrate that ran gets a "modeled | wall" side-by-side line —
+    the modeled number is the hardware claim (N physical chips), the
+    wall number is what this host actually delivered — and any wall
+    speedup below 1.0x draws a loud warning rather than hiding behind
+    the modeled figure.
+
     Returns a process exit code — 1 if the single-replica pool diverged
-    from the session, if a nominal fleet diverged, if the modeled fleet
-    throughput speedup fell below ``min_modeled_speedup``, or if the
+    from the session, if a nominal fleet diverged, if the process fleet's
+    probe logits diverged from the threaded fleet's, if the modeled
+    fleet throughput speedup fell below ``min_modeled_speedup``, if the
     warm-artifact bring-up speedup fell below ``min_warm_speedup`` (or
-    the restored chip's logits diverged), else 0.
+    the restored chip's logits diverged), or if the **process** fleet's
+    wall speedup fell below ``min_wall_speedup`` — that last gate only
+    applies on a multi-core host (``host_cpu_count >= 2``); a single
+    core cannot overlap worker processes, so the gate is skipped with a
+    visible notice instead of failing on hardware that cannot pass.
     """
     w = doc["workload"]
     print(f"workload: {w['n_requests']} requests x "
           f"{w['images_per_request']} image(s), tiles "
           f"{w['tile_rows']}x{w['tile_cols']}, backend={w['backend']}, "
           f"{w['n_replicas']} replicas, micro-batch<="
-          f"{w['max_batch_size']}")
+          f"{w['max_batch_size']}, workers={w.get('workers', 'threads')}, "
+          f"host cpus={w.get('host_cpu_count')}")
     print(f"compile {doc['compile_s']:.2f}s, replica bring-up "
           f"{doc['replica_bringup_s']:.2f}s ({w['tiles']} tiles/replica)")
     b = doc["bringup"]
@@ -350,16 +446,37 @@ def report_pool_benchmark(doc, *, min_modeled_speedup=None,
     print(f"warm artifact load: {b['artifact_load_s'] * 1e3:.1f} ms -> "
           f"{b['warm_speedup_vs_compile']:.0f}x faster than cold "
           f"bring-up, bit-identical: {b['artifact_bit_identical']}")
-    s, p = doc["session"], doc["pool"]
-    print(f"single session: {s['img_per_s']:8.1f} img/s wall | "
+    s = doc["session"]
+    print(f"single session:   {s['img_per_s']:8.1f} img/s wall | "
           f"{s['modeled_img_per_s']:10.1f} img/s modeled")
-    print(f"pool:           {p['img_per_s']:8.1f} img/s wall | "
-          f"{p['modeled_img_per_s']:10.1f} img/s modeled "
-          f"(makespan {p['modeled_makespan_s'] * 1e6:.1f} us, "
-          f"{p['steals']} steals, imbalance {p['load_imbalance']:.2f})")
-    print(f"modeled fleet speedup: {doc['modeled_throughput_speedup']:.2f}x"
-          f" | wall {doc['wall_speedup']:.2f}x | single-replica "
-          f"bit-identical: {doc['single_replica_bit_identical']}")
+    blocks = [doc["pool"]]
+    if "pool_processes" in doc:
+        blocks.append(doc["pool_processes"])
+    slow_walls = []
+    for p in blocks:
+        label = f"pool ({p.get('workers', 'threads')})"
+        print(f"{label + ':':<18}{p['img_per_s']:8.1f} img/s wall | "
+              f"{p['modeled_img_per_s']:10.1f} img/s modeled "
+              f"(makespan {p['modeled_makespan_s'] * 1e6:.1f} us, "
+              f"{p['steals']} steals, imbalance {p['load_imbalance']:.2f})")
+        print(f"  speedup vs session: modeled "
+              f"{p['modeled_throughput_speedup']:.2f}x | wall "
+              f"{p['wall_speedup']:.2f}x | measured replica overlap "
+              f"{p['measured_parallel_speedup']:.2f}x")
+        if p["wall_speedup"] is not None and p["wall_speedup"] < 1.0:
+            slow_walls.append(p)
+    for p in slow_walls:
+        print(f"WARNING: {p.get('workers', 'threads')} pool wall speedup "
+              f"{p['wall_speedup']:.2f}x < 1.0x — the fleet is SLOWER than "
+              f"one session on this host; the modeled "
+              f"{p['modeled_throughput_speedup']:.2f}x is a hardware claim, "
+              f"not a measurement", file=sys.stderr)
+    ident = (f"single-replica bit-identical: "
+             f"{doc['single_replica_bit_identical']}")
+    if doc.get("process_bit_identical") is not None:
+        ident += (f" | processes == threads replica-by-replica: "
+                  f"{doc['process_bit_identical']}")
+    print(ident)
     div = doc["divergence"]
     print(f"fleet divergence: max deviation {div['max_deviation']:.3e}"
           + (f", min argmax agreement {div['min_agreement']:.3f}"
@@ -375,6 +492,14 @@ def report_pool_benchmark(doc, *, min_modeled_speedup=None,
     if doc["fleet_bit_identical_nominal"] is False:
         print("ERROR: nominal fleet diverged from the session logits",
               file=sys.stderr)
+        return 1
+    if doc.get("fleet_bit_identical_nominal_processes") is False:
+        print("ERROR: nominal process fleet diverged from the session "
+              "logits", file=sys.stderr)
+        return 1
+    if doc.get("process_bit_identical") is False:
+        print("ERROR: process fleet probe logits diverged from the "
+              "threaded fleet's", file=sys.stderr)
         return 1
     if (min_modeled_speedup
             and doc["modeled_throughput_speedup"] < min_modeled_speedup):
@@ -393,6 +518,25 @@ def report_pool_benchmark(doc, *, min_modeled_speedup=None,
               f"{doc['bringup']['warm_speedup_vs_compile']:.1f}x below "
               f"required {min_warm_speedup}x", file=sys.stderr)
         return 1
+    if min_wall_speedup:
+        if "pool_processes" not in doc:
+            print(f"NOTICE: --min-wall-speedup {min_wall_speedup}x "
+                  f"requested but the process substrate did not run "
+                  f"(workers={w.get('workers')!r}); gate skipped",
+                  file=sys.stderr)
+        elif (w.get("host_cpu_count") or 0) < 2:
+            print(f"NOTICE: --min-wall-speedup {min_wall_speedup}x gate "
+                  f"SKIPPED — host has "
+                  f"{w.get('host_cpu_count')} cpu core(s); process "
+                  f"replicas cannot overlap on a single core, so a wall "
+                  f"gate would test the host, not the code",
+                  file=sys.stderr)
+        elif doc["wall_speedup_processes"] < min_wall_speedup:
+            print(f"ERROR: process pool wall speedup "
+                  f"{doc['wall_speedup_processes']:.2f}x below required "
+                  f"{min_wall_speedup}x on a "
+                  f"{w['host_cpu_count']}-core host", file=sys.stderr)
+            return 1
     return 0
 
 

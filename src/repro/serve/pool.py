@@ -49,6 +49,23 @@ Threading model mirrors the session: any number of producers call
 ``autostart=False`` runs without threads — :meth:`step` pumps one
 micro-batch, round-robin over replica queues, for deterministic tests
 and benchmarks.
+
+**Execution substrate** (``workers=`` knob): ``"threads"`` (default)
+executes each replica on its scheduler thread — correct everywhere,
+but the GIL serializes the per-batch numpy work, so the modeled fleet
+speedup stays on paper.  ``"processes"`` publishes the fleet's
+immutable program state (bit planes, weights, calibration, frozen
+variation draws) once into shared memory and executes each replica in
+its own worker process bound zero-copy to that segment
+(:mod:`repro.serve.shm`); only activations ship in and
+logits/metering deltas ship out.  Scheduling, work stealing,
+temperature binning, drain/close, and :class:`PoolStats` stay in the
+parent — the scheduler threads dispatch to worker proxies instead of
+executing inline, and a worker process dying mid-batch retires its
+replica and re-dispatches its queued batches through the existing
+work-stealing path.  Logits are bit-identical across both modes (the
+workers bind the very same published buffers), enforced by
+``tests/serve/test_pool_processes.py``.
 """
 
 from __future__ import annotations
@@ -62,6 +79,7 @@ import numpy as np
 
 from repro.compiler.chip import Chip
 from repro.metrics.fluctuation import fleet_divergence
+from repro.serve import shm
 from repro.serve.batching import (
     InferenceResult,
     InferenceTicket,
@@ -69,10 +87,21 @@ from repro.serve.batching import (
     PendingRequest,
     canonical_temp,
     execute_micro_batch,
+    fail_batch,
+    make_batch_work,
+    settle_batch,
 )
 
 _TOTALS_KEYS = ("requests", "images", "batches", "batch_images",
                 "queue_s", "busy_s", "energy_j", "latency_s")
+
+WORKER_MODES = ("threads", "processes")
+
+
+def _fresh_totals():
+    return {key: 0 if key in ("requests", "images", "batches",
+                              "batch_images") else 0.0
+            for key in _TOTALS_KEYS}
 
 
 @dataclass(frozen=True)
@@ -92,15 +121,28 @@ class PoolStats:
     ``max_r latency_r`` and ``parallel_speedup`` is the serial-equivalent
     latency over that makespan; ``tops_per_watt`` prices the fleet's
     metered energy at the mapping's actual row width.
+
+    ``measured`` is the modeled view's wall-clock twin, so the
+    modeled/measured gap is observable without running a benchmark:
+    per-replica *measured* busy time (``busy_s`` — what each executor
+    actually spent, IPC included in process mode), its makespan and
+    parallel speedup, and fleet queue-wait.  Per replica, the same gap
+    is ``replicas[i]["busy_s"]`` (wall) against
+    ``replicas[i]["latency_s"]`` (modeled) plus
+    ``replicas[i]["mean_queue_s"]`` (scheduling wait).  On a threaded
+    pool the measured parallel speedup hugs 1.0 — the GIL's signature —
+    while a process pool on a multi-core host tracks the modeled one.
     """
 
     replicas: tuple
     totals: dict
     modeled: dict
+    measured: dict
 
     def as_dict(self):
         return {"replicas": list(self.replicas), "totals": dict(self.totals),
-                "modeled": dict(self.modeled)}
+                "modeled": dict(self.modeled),
+                "measured": dict(self.measured)}
 
 
 class _ReplicaWorker:
@@ -114,7 +156,7 @@ class _ReplicaWorker:
     """
 
     __slots__ = ("index", "chip", "bin_index", "queue", "totals", "steals",
-                 "draining", "stopped", "thread", "group")
+                 "draining", "stopped", "dead", "thread", "proxy", "group")
 
     def __init__(self, index, chip, bin_index, max_batch_size, group=""):
         self.index = index
@@ -122,13 +164,13 @@ class _ReplicaWorker:
         self.bin_index = bin_index
         self.group = group
         self.queue = MicroBatchQueue(max_batch_size)
-        self.totals = {key: 0 if key in ("requests", "images", "batches",
-                                         "batch_images") else 0.0
-                       for key in _TOTALS_KEYS}
+        self.totals = _fresh_totals()
         self.steals = 0          # batches this worker stole from peers
         self.draining = False
         self.stopped = False
+        self.dead = False        # worker process died (process mode only)
         self.thread = None
+        self.proxy = None        # ReplicaProxy in process mode
 
     @property
     def live(self):
@@ -143,7 +185,7 @@ def _replica_snapshot(worker):
         index=worker.index, bin=worker.bin_index,
         program=worker.group or None,
         steals=worker.steals, draining=worker.draining,
-        stopped=worker.stopped,
+        stopped=worker.stopped, dead=worker.dead,
         queue_depth=len(worker.queue),
         queued_images=worker.queue.images_queued())
     return totals
@@ -164,6 +206,8 @@ def _pool_stats(per_replica, tops_per_watt) -> PoolStats:
         busy = replica["busy_s"]
         replica["throughput_img_per_s"] = \
             replica["images"] / busy if busy > 0 else 0.0
+        replica["mean_queue_s"] = \
+            replica["queue_s"] / max(replica["requests"], 1)
     busy = fleet["busy_s"]
     images = fleet["images"]
     served = [r for r in per_replica if r["images"]]
@@ -198,8 +242,21 @@ def _pool_stats(per_replica, tops_per_watt) -> PoolStats:
                                  if makespan_s > 0 else 0.0),
         "tops_per_watt": tops_per_watt,
     }
+    # The modeled view's wall-clock twin: what the executors actually
+    # spent, so the modeled/measured gap is visible without a benchmark.
+    wall_makespan_s = max((r["busy_s"] for r in per_replica), default=0.0)
+    measured = {
+        "busy_s": busy,
+        "makespan_s": wall_makespan_s,
+        "parallel_speedup": (busy / wall_makespan_s
+                             if wall_makespan_s > 0 else 1.0),
+        "throughput_img_per_s": (images / wall_makespan_s
+                                 if wall_makespan_s > 0 else 0.0),
+        "queue_s": fleet["queue_s"],
+        "mean_queue_s": fleet["queue_s"] / max(fleet["requests"], 1),
+    }
     return PoolStats(replicas=tuple(per_replica), totals=totals,
-                     modeled=modeled)
+                     modeled=modeled, measured=measured)
 
 
 class ChipPool:
@@ -207,10 +264,13 @@ class ChipPool:
 
     def __init__(self, program, design, n_replicas=2, *, temp_bins=None,
                  max_batch_size=64, linger_s=0.002, autostart=True,
-                 mac_config=None, latency=None, energy_report=None,
-                 chips=None):
+                 workers="threads", mac_config=None, latency=None,
+                 energy_report=None, chips=None):
         # Cheap parameter validation first — replica bring-up programs
         # whole chips, and an invalid pool should fail before paying it.
+        if workers not in WORKER_MODES:
+            raise ValueError(
+                f"workers must be one of {WORKER_MODES}, got {workers!r}")
         if chips is not None:
             if len(chips) < 1:
                 raise ValueError("a pool needs at least one replica")
@@ -235,27 +295,44 @@ class ChipPool:
             chips = Chip.build_replicas(
                 program, design, n_replicas, mac_config=mac_config,
                 latency=latency, energy_report=energy_report)
-        workers = [
+        replica_workers = [
             _ReplicaWorker(i, chip, i % n_bins if self.temp_bins else 0,
                            max_batch_size)
             for i, chip in enumerate(chips)]
-        self._setup(workers, max_batch_size, linger_s, autostart)
+        self._setup(replica_workers, max_batch_size, linger_s, autostart,
+                    worker_mode=workers)
 
-    def _setup(self, workers, max_batch_size, linger_s, autostart):
-        """Shared scheduler bring-up: state, then (optionally) threads.
+    def _setup(self, workers, max_batch_size, linger_s, autostart,
+               worker_mode="threads"):
+        """Shared scheduler bring-up: state, processes, then threads.
 
         Factored out so :class:`~repro.serve.registry.MultiProgramPool`
         can construct heterogeneous worker groups and reuse the whole
-        scheduling/lifecycle machinery unchanged.
+        scheduling/lifecycle machinery unchanged.  In process mode the
+        worker processes must fork *before* any scheduler thread starts
+        (forking a multi-threaded parent clones only the forking
+        thread, stranding lock state), so the order here is load-bearing.
         """
+        if worker_mode not in WORKER_MODES:
+            raise ValueError(
+                f"workers must be one of {WORKER_MODES}, "
+                f"got {worker_mode!r}")
         self.max_batch_size = int(max_batch_size)
         self.linger_s = float(linger_s)
+        self.worker_mode = worker_mode
         self._cond = threading.Condition()
         self.workers = tuple(workers)
         self._closed = False
         self._next_id = 0
         self._rr = 0              # round-robin cursors (dispatch ties, step)
         self._threaded = bool(autostart)
+        self._shm_handle = None
+        if worker_mode == "processes":
+            handle, proxies = shm.spawn_replica_workers(
+                [worker.chip for worker in self.workers])
+            self._shm_handle = handle
+            for worker, proxy in zip(self.workers, proxies):
+                worker.proxy = proxy
         if autostart:
             for worker in self.workers:
                 worker.thread = threading.Thread(
@@ -354,7 +431,8 @@ class ChipPool:
             ticket = InferenceTicket(self._next_id)
             self._next_id += 1
             target.queue.push(
-                PendingRequest(x, temp, ticket, time.perf_counter()))
+                PendingRequest(x, temp, ticket, time.perf_counter(),
+                               pinned=worker is not None))
             self._cond.notify_all()
         return ticket
 
@@ -369,7 +447,12 @@ class ChipPool:
         return self._enqueue(x, temp_c)
 
     def submit_to(self, replica_index, x, temp_c=None) -> InferenceTicket:
-        """Pin a request to one replica (probes, tests, A/B comparisons)."""
+        """Pin a request to one replica (probes, tests, A/B comparisons).
+
+        The pin is honored by work stealing — the request is served by
+        this replica's chip (this exact variation draw), or rerouted
+        only if the replica dies.
+        """
         worker = self.workers[replica_index]
         return self._enqueue(x, temp_c, worker=worker, group=worker.group)
 
@@ -401,25 +484,37 @@ class ChipPool:
         justifies an idle chip next to a deep queue.  Draining peers are
         valid victims: stealing accelerates a drain.  Victims always
         come from the thief's own group: stolen work must run on a chip
-        programmed with the same model.
+        programmed with the same model.  Pinned requests (``submit_to``
+        probes — replica A/B comparisons, divergence) are never stolen:
+        replicas are distinct variation draws, and a stolen probe would
+        silently answer with a different die's logits.
         """
         victims = [w for w in self.workers
                    if w is not thief and w.group == thief.group
-                   and w.queue]
+                   and w.queue.has_stealable()]
         if not victims:
             return []
         if self.temp_bins:
             same_bin = [w for w in victims
-                        if self.bin_for(w.queue.head_temp())
+                        if self.bin_for(w.queue.stealable_head_temp())
                         == thief.bin_index]
             victims = same_bin or victims
-        victim = max(victims, key=lambda w: w.queue.images_queued())
-        return victim.queue.take_batch()
+        victim = max(victims, key=lambda w: w.queue.stealable_images())
+        return victim.queue.steal_batch()
 
     def _execute(self, worker, batch, *, stolen=False):
         """Run one batch on a replica; totals commit before tickets
         resolve, so a waiter woken by its result always finds its batch
-        in :meth:`stats`."""
+        in :meth:`stats`.
+
+        In process mode the batch round-trips through the replica's
+        worker proxy — the scheduler thread blocks in pipe I/O (GIL
+        released) while the worker process computes.  A broken pipe
+        means the process died: the replica is retired and the batch
+        re-dispatched (:meth:`_abandon_replica`); a worker-side forward
+        error comes back pickled and fails just this batch, exactly as
+        in threaded mode.
+        """
 
         def commit(report):
             with self._cond:
@@ -439,13 +534,78 @@ class ChipPool:
                 # exit conditions (close/drain with thieves parked).
                 self._cond.notify_all()
 
-        execute_micro_batch(worker.chip, batch, replica=worker.index,
-                            commit=commit)
+        if worker.proxy is None:
+            execute_micro_batch(worker.chip, batch, replica=worker.index,
+                                commit=commit)
+            return
+        start = time.perf_counter()
+        work = make_batch_work(batch)
+        try:
+            outcome = worker.proxy.execute(work)
+        except shm.WorkerCrash as crash:
+            self._abandon_replica(worker, batch, crash)
+        except Exception as error:       # worker-side failure, process OK
+            fail_batch(batch, error, start=start, commit=commit)
+        else:
+            settle_batch(batch, outcome, start=start,
+                         replica=worker.index, commit=commit)
+
+    def _abandon_replica(self, worker, batch, crash):
+        """A replica's worker process died mid-batch: retire and
+        re-dispatch.
+
+        The replica is marked dead (its scheduler thread parks on the
+        next loop iteration, routing already excludes it) and the
+        in-flight batch goes back to the *head* of its queue, where the
+        existing work-stealing path re-dispatches it to live same-group
+        peers.  Only when no live peer remains — or in sync mode, which
+        has no thieves — do the stranded tickets resolve directly:
+        rerouted onto survivors' queues (sync) or failed with the crash
+        (no survivors).
+        """
+        with self._cond:
+            worker.dead = True
+            worker.draining = True
+            survivors = [w for w in self.workers
+                         if w is not worker and w.live
+                         and w.group == worker.group]
+            if not survivors:
+                stranded = list(batch)
+                while worker.queue:
+                    stranded.extend(worker.queue.take_batch())
+                for pending in stranded:
+                    pending.ticket._resolve(error=shm.WorkerCrash(
+                        f"replica {worker.index} died with no live "
+                        f"replica left to serve its queue: {crash}"))
+            elif self._threaded:
+                stranded = list(batch)
+                while worker.queue:
+                    stranded.extend(worker.queue.take_batch())
+                for pending in stranded:
+                    pending.pinned = False   # the pinned target is gone
+                worker.queue.requeue(stranded)
+            else:
+                stranded = list(batch)
+                while worker.queue:
+                    stranded.extend(worker.queue.take_batch())
+                for pending in stranded:
+                    pending.pinned = False   # the pinned target is gone
+                    self._pick_worker(pending.temp_c,
+                                      worker.group).queue.push(pending)
+            self._cond.notify_all()
 
     def _serve_loop(self, worker):
         while True:
             with self._cond:
                 while True:
+                    # A dead replica parks unconditionally — before the
+                    # queue check, or its thread would re-execute its own
+                    # requeued batch on the dead proxy forever.  Peers
+                    # steal whatever its queue still holds.
+                    if worker.dead:
+                        worker.stopped = True
+                        self._cond.notify_all()
+                        return
                     if worker.queue:
                         break
                     if (not worker.draining
@@ -481,8 +641,8 @@ class ChipPool:
 
     def _steal_available(self, thief):
         """Any peer queue this worker could steal from (caller holds lock)."""
-        return any(w is not thief and w.group == thief.group and w.queue
-                   for w in self.workers)
+        return any(w is not thief and w.group == thief.group
+                   and w.queue.has_stealable() for w in self.workers)
 
     def step(self):
         """Synchronously serve one micro-batch from the next non-empty
@@ -521,10 +681,31 @@ class ChipPool:
             self._cond.notify_all()
             if not self._threaded:
                 worker.stopped = True   # sync mode has no thread to park
-                return
+                return                  # its proxy serves until close()
             if wait:
                 while not worker.stopped:
                     self._cond.wait()
+        # A fully-stopped replica executes nothing ever again, so its
+        # worker process can go now instead of lingering until close().
+        # (The shared segment stays — the surviving replicas map it.)
+        if wait and worker.proxy is not None:
+            worker.proxy.shutdown()
+
+    def _shutdown_workers(self):
+        """Stop worker processes and release the shared arena (idempotent).
+
+        Ordering: every scheduler thread has exited (or sync mode has
+        drained) before this runs, so no proxy is mid-batch.  Workers
+        get the sentinel and are joined; only then is the segment
+        unlinked — the name disappears from the registry, and the
+        mapping disappears with the last process that closes it.
+        """
+        for worker in self.workers:
+            if worker.proxy is not None:
+                worker.proxy.shutdown()
+        if self._shm_handle is not None:
+            shm.release(self._shm_handle.name)
+            self._shm_handle = None
 
     def close(self):
         """Stop accepting requests; every queued request is still served."""
@@ -540,6 +721,7 @@ class ChipPool:
         else:
             while self.step():
                 pass
+        self._shutdown_workers()
 
     def __enter__(self):
         return self
@@ -583,9 +765,23 @@ class ChipPool:
         return _pool_stats(per_replica,
                            self.workers[0].chip.meter.tops_per_watt)
 
+    def reset_stats(self):
+        """Zero every replica's counters (benchmarks reset after warm-up).
+
+        Parent-side scheduling totals only; the chips' cumulative
+        :class:`~repro.compiler.chip.ChipMeter` state is untouched —
+        per-batch accounting reads meter *deltas*, so it needs no reset,
+        and in process mode the parent-side chip never meters at all.
+        """
+        with self._cond:
+            for worker in self.workers:
+                worker.totals = _fresh_totals()
+                worker.steals = 0
+
     def __repr__(self):
         bins = len(self.temp_bins) + 1 if self.temp_bins else 1
         return (f"ChipPool({self.program.design_name}, "
                 f"replicas={self.n_replicas}, bins={bins}, "
                 f"max_batch_size={self.max_batch_size}, "
+                f"workers={self.worker_mode!r}, "
                 f"closed={self._closed})")

@@ -186,7 +186,7 @@ class MultiProgramPool(ChipPool):
 
     def __init__(self, registry, names=None, *, replicas=2,
                  max_batch_size=64, linger_s=0.002, autostart=True,
-                 latency=None, energy_report=None):
+                 workers="threads", latency=None, energy_report=None):
         names = tuple(names) if names is not None else registry.names()
         if not names:
             raise ValueError("a multi-program pool needs at least one "
@@ -200,7 +200,7 @@ class MultiProgramPool(ChipPool):
         self.program = None       # no single program; route by name
         self.temp_bins = None     # binning stays a single-program policy
         self._entries = {name: registry.get(name) for name in names}
-        workers = []
+        replica_workers = []
         for name in names:
             entry = self._entries[name]
             n = replicas.get(name, 2) if isinstance(replicas, dict) \
@@ -210,9 +210,14 @@ class MultiProgramPool(ChipPool):
                     f"program {name!r} needs at least one replica")
             for chip in entry.build_chips(n, latency=latency,
                                           energy_report=energy_report):
-                workers.append(_ReplicaWorker(len(workers), chip, 0,
-                                              max_batch_size, group=name))
-        self._setup(workers, max_batch_size, linger_s, autostart)
+                replica_workers.append(
+                    _ReplicaWorker(len(replica_workers), chip, 0,
+                                   max_batch_size, group=name))
+        # Process mode comes along for free: _setup publishes each
+        # program's state once (publication groups by program object)
+        # and binds every replica's worker to the shared arena.
+        self._setup(replica_workers, max_batch_size, linger_s, autostart,
+                    worker_mode=workers)
 
     def _check_program(self, program):
         if program not in self._entries:

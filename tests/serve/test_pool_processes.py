@@ -1,0 +1,245 @@
+"""Tests for ChipPool's process-worker substrate: bit-exactness vs the
+threaded pool, shared-memory hygiene, and crash resilience."""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.cells import TwoTOneFeFETCell
+from repro.compiler import Chip, MappingConfig, compile_model
+from repro.nn import Dense, ReLU, Sequential
+from repro.serve import (
+    ChipPool,
+    InferenceSession,
+    MultiProgramPool,
+    ProgramRegistry,
+    WorkerCrash,
+    shm,
+)
+
+
+def build_program(sigma=0.0, seed=0):
+    rng = np.random.default_rng(0)
+    model = Sequential([Dense(24, 12, rng=rng), ReLU(),
+                        Dense(12, 5, rng=rng)])
+    design = TwoTOneFeFETCell()
+    mapping = MappingConfig(tile_rows=8, tile_cols=4,
+                            sigma_vth_fefet=sigma, seed=seed)
+    return compile_model(model, design, mapping), design
+
+
+@pytest.fixture(scope="module")
+def nominal():
+    return build_program()
+
+
+@pytest.fixture(scope="module")
+def varied():
+    return build_program(sigma=54e-3, seed=3)
+
+
+def requests(n, rng_seed=1, images=1):
+    rng = np.random.default_rng(rng_seed)
+    return [rng.normal(size=(images, 24)) for _ in range(n)]
+
+
+def kill_worker(pool, index):
+    """SIGKILL one replica's worker process and wait for it to die."""
+    proxy = pool.workers[index].proxy
+    os.kill(proxy.process.pid, signal.SIGKILL)
+    proxy.process.join(10.0)
+    assert not proxy.alive
+
+
+class TestBitExactness:
+    def test_nominal_stream_matches_session(self, nominal):
+        """Process replicas serve the session's exact logits."""
+        program, design = nominal
+        xs = requests(8) + requests(2, rng_seed=9, images=3)
+        with InferenceSession(Chip(program, design), max_batch_size=4,
+                              autostart=False) as session:
+            tickets = [session.submit(x) for x in xs]
+            while session.step():
+                pass
+            expected = [t.result(timeout=10.0).logits for t in tickets]
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      workers="processes") as pool:
+            got = [pool.submit(x).result(timeout=30.0).logits for x in xs]
+        for a, b in zip(expected, got):
+            assert np.array_equal(a, b)
+
+    def test_process_pool_matches_threaded_replica_by_replica(self, varied):
+        """With variation enabled, replica ``i`` is the same frozen draw
+        on both substrates — pinned probes must agree bit-for-bit."""
+        program, design = varied
+        xs = requests(3)
+        per_mode = {}
+        for mode in ("threads", "processes"):
+            with ChipPool(program, design, n_replicas=3, max_batch_size=4,
+                          workers=mode) as pool:
+                per_mode[mode] = [
+                    pool.submit_to(i, x).result(timeout=30.0).logits
+                    for i in range(pool.n_replicas) for x in xs]
+        for a, b in zip(per_mode["threads"], per_mode["processes"]):
+            assert np.array_equal(a, b)
+
+    def test_sync_mode_serves_through_proxies(self, varied):
+        program, design = varied
+        x = requests(1)[0]
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      workers="processes", autostart=False) as pool:
+            expected = pool.submit_to(1, x)
+            pool._pump(expected)
+            ticket = pool.submit_to(1, x)
+            pool._pump(ticket)
+            assert np.array_equal(ticket.result().logits,
+                                  expected.result().logits)
+
+
+class TestSegmentHygiene:
+    def test_no_leaked_segments_after_close(self, nominal):
+        program, design = nominal
+        pool = ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                        workers="processes")
+        assert pool._shm_handle.name in shm.active_segments()
+        pool.submit(requests(1)[0]).result(timeout=30.0)
+        pool.close()
+        assert pool._shm_handle is None
+        assert not shm.active_segments()
+        pool.close()   # idempotent
+
+    def test_drain_keeps_segment_until_close(self, nominal):
+        """Draining one replica stops its process; the arena survives
+        for the remaining replicas and is released at close."""
+        program, design = nominal
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      workers="processes") as pool:
+            name = pool._shm_handle.name
+            pool.drain(0)
+            assert not pool.workers[0].proxy.alive
+            assert pool.workers[1].proxy.alive
+            assert name in shm.active_segments()
+            # The survivor still serves after the drain.
+            result = pool.submit(requests(1)[0]).result(timeout=30.0)
+            assert result.telemetry.replica == 1
+        assert not shm.active_segments()
+
+
+class TestCrashResilience:
+    def test_sync_mode_detects_kill_and_reroutes(self, varied):
+        """Deterministic detection: executing on a killed worker raises
+        WorkerCrash, retires the replica, and reroutes its queue to a
+        surviving replica — which serves its own (correct) logits."""
+        program, design = varied
+        x = requests(1)[0]
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      workers="processes", autostart=False) as pool:
+            expected = pool.submit_to(1, x)
+            pool._pump(expected)
+            kill_worker(pool, 0)
+            ticket = pool.submit_to(0, x)
+            pool._pump(ticket)
+            assert pool.workers[0].dead
+            assert not pool.workers[0].live
+            result = ticket.result(timeout=30.0)
+            assert result.telemetry.replica == 1
+            assert np.array_equal(result.logits,
+                                  expected.result().logits)
+
+    def test_threaded_kill_redispatches_queued_batches(self, nominal):
+        """Requests pinned to a killed replica still complete, served by
+        peers — stolen off the dead replica's queue, or requeued by
+        crash detection and then stolen (both ride the work-stealing
+        path)."""
+        program, design = nominal
+        xs = requests(6)
+        with InferenceSession(Chip(program, design), max_batch_size=4,
+                              autostart=False) as session:
+            tickets = [session.submit(x) for x in xs]
+            while session.step():
+                pass
+            expected = [t.result(timeout=10.0).logits for t in tickets]
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      workers="processes") as pool:
+            kill_worker(pool, 0)
+            tickets = [pool.submit_to(0, x) for x in xs]
+            got = [t.result(timeout=30.0).logits for t in tickets]
+        for a, b in zip(expected, got):
+            assert np.array_equal(a, b)
+
+    def test_no_survivor_fails_tickets_with_worker_crash(self, nominal):
+        program, design = nominal
+        pool = ChipPool(program, design, n_replicas=1, max_batch_size=4,
+                        workers="processes", autostart=False)
+        try:
+            kill_worker(pool, 0)
+            ticket = pool.submit(requests(1)[0])
+            pool._pump(ticket)
+            with pytest.raises(WorkerCrash):
+                ticket.result(timeout=10.0)
+        finally:
+            pool.close()
+        assert not shm.active_segments()
+
+    def test_worker_side_error_fails_batch_not_worker(self, nominal):
+        """A bad request's error comes back pickled and fails only that
+        batch; the worker process keeps serving."""
+        program, design = nominal
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      workers="processes", autostart=False) as pool:
+            bad = pool.submit(np.zeros((1, 7)))   # wrong feature width
+            pool._pump(bad)
+            with pytest.raises(Exception) as excinfo:
+                bad.result(timeout=10.0)
+            assert not isinstance(excinfo.value, WorkerCrash)
+            assert all(w.proxy.alive for w in pool.workers)
+            good = pool.submit(requests(1)[0])
+            pool._pump(good)
+            assert good.result(timeout=10.0).logits.shape == (1, 5)
+
+
+class TestStatsAndRegistry:
+    def test_measured_block_tracks_wall_clock(self, nominal):
+        program, design = nominal
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      workers="processes") as pool:
+            for t in [pool.submit(x) for x in requests(6)]:
+                t.result(timeout=30.0)
+            stats = pool.stats()
+        measured = stats.measured
+        assert set(measured) >= {"busy_s", "makespan_s", "parallel_speedup",
+                                 "throughput_img_per_s", "queue_s",
+                                 "mean_queue_s"}
+        assert measured["busy_s"] > 0
+        assert 0 < measured["makespan_s"] <= measured["busy_s"]
+        # Wall-clock busy/queue accounting is also visible per replica.
+        for replica in stats.replicas:
+            assert "busy_s" in replica and "mean_queue_s" in replica
+        assert "measured" in stats.as_dict()
+
+    def test_multi_program_pool_process_mode(self, nominal, varied):
+        """Process substrate under the shared scheduler: each program's
+        replicas serve their own weights, bit-identical to a dedicated
+        threaded pool's pinned replicas."""
+        registry = ProgramRegistry()
+        registry.register_chip("a", Chip(*nominal))
+        registry.register_chip("b", Chip(*varied))
+        xs = requests(2)
+        expected = {}
+        for name, (program, design) in (("a", nominal), ("b", varied)):
+            with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                          workers="threads") as solo:
+                expected[name] = [
+                    solo.submit_to(i, x).result(timeout=30.0).logits
+                    for i in range(2) for x in xs]
+        with MultiProgramPool(registry, replicas=2,
+                              workers="processes") as pool:
+            for name in ("a", "b"):
+                indices = pool.replicas_of(name)
+                got = [pool.submit_to(i, x).result(timeout=30.0).logits
+                       for i in indices for x in xs]
+                for a, b in zip(expected[name], got):
+                    assert np.array_equal(a, b)
+        assert not shm.active_segments()

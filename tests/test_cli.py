@@ -284,14 +284,21 @@ class TestServePoolBenchCommand:
                      "--min-modeled-speedup", "1.5",
                      "--out", str(out_file)]) == 0
         printed = capsys.readouterr().out
-        assert "modeled fleet speedup" in printed
+        assert "speedup vs session: modeled" in printed
+        assert "pool (threads)" in printed
+        assert "pool (processes)" in printed
         import json as _json
 
         doc = _json.loads(out_file.read_text())
         assert doc["single_replica_bit_identical"] is True
         assert doc["fleet_bit_identical_nominal"] is True
+        assert doc["fleet_bit_identical_nominal_processes"] is True
+        assert doc["process_bit_identical"] is True
         assert doc["workload"]["n_replicas"] == 2
+        assert doc["workload"]["workers"] == "both"
+        assert doc["workload"]["host_cpu_count"] >= 1
         assert doc["modeled_throughput_speedup"] >= 1.5
+        assert "wall_speedup_processes" in doc
 
     def test_unreachable_modeled_speedup_fails(self, capsys):
         assert main(["serve-pool-bench", "--smoke", "--requests", "2",
