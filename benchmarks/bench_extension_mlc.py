@@ -1,13 +1,26 @@
-"""Extension — multi-level-cell weights on the 2T-1FeFET cell.
+"""Extension — multi-level-cell weights as a first-class serving path.
 
 The paper's related work ([23]) does multi-bit FeFET MACs; our Preisach
 ferroelectric supports partial-polarization states natively, so the
-proposed cell can store 4-level (2-bit) weights via pulse-width-controlled
-programming.  This bench characterizes the 4-level output transfer across
-temperature.
+proposed cell stores multibit weights via pulse-width-controlled
+programming.  Three benches cover the three layers of the path:
+
+* ``mlc_transfer`` — the measured 4-level output transfer across
+  temperature (the original device characterization, now reporting
+  open-loop INL against the uniform program-verify ladder);
+* ``mlc-temperature`` — the registered fig-7/8-style experiment: level
+  fluctuation, ladder INL, and end-to-end decode fidelity of the
+  behavioral MAC at 2 and 3 bits/cell across corner temperatures;
+* the backend contract — fewer digit planes at higher ``bits_per_cell``
+  with dense and fused backends bit-identical and exact at 27 degC,
+  the invariant the compile-and-serve stack relies on.
 """
 
+import numpy as np
+
 from repro.analysis.experiments import mlc_transfer
+from repro.array import BehavioralMacConfig, BitSerialMacUnit, make_backend
+from repro.cells import TwoTOneFeFETCell
 
 
 def test_extension_mlc_transfer(once):
@@ -23,3 +36,67 @@ def test_extension_mlc_transfer(once):
     # Ordering survives temperature for the outer level pairs.
     for temp in (0.0, 85.0):
         assert levels[(3, temp)] > levels[(2, temp)] > levels[(0, temp)]
+    # Open-loop INL exists (partial-polarization levels are not uniform);
+    # it must stay small enough for a program-verify loop to close.
+    assert 0.0 < result["inl_lsb"][27.0] < 2.0
+
+
+def test_extension_mlc_temperature(once):
+    result = once("mlc-temperature", bits_per_cell=(2,), n_vectors=8)
+    print("\n" + result["report"])
+
+    row = result["results"][2]
+    # The measured ladder stays monotone at every corner temperature and
+    # the behavioral MAC decodes exactly at the calibration reference —
+    # and also at 0 degC (levels spread apart when cold, which the fixed
+    # ladder tolerates).
+    assert row["monotone"]
+    assert row["exact_decode"][0.0] == 1.0
+    assert row["exact_decode"][27.0] == 1.0
+    # The honest high-temperature finding: with 2 bits/cell the decode
+    # gaps are 3x narrower than binary, and at 85 degC the fixed
+    # 27 degC thresholds start misreading (~64% exact in this
+    # configuration, vs 100% for the binary cell).  Multibit trades
+    # some of the paper's temperature margin for density — quantified,
+    # not hidden.
+    assert 0.4 < row["exact_decode"][85.0] < 1.0
+
+
+def test_extension_mlc_backends(once):
+    def characterize():
+        rng = np.random.default_rng(0)
+        w = rng.integers(-127, 128, size=(32, 8))
+        x = rng.integers(0, 256, size=(8, 32))
+        calibration = None
+        out = {"ideal": x @ w}
+        for b in (1, 2, 3):
+            cfg = BehavioralMacConfig(bits_per_cell=b)
+            unit = BitSerialMacUnit(TwoTOneFeFETCell(), cfg,
+                                    calibration=calibration)
+            calibration = calibration or unit.calibration()
+            dense, fused = make_backend("dense", unit), \
+                make_backend("fused", unit)
+            prog_d, prog_f = dense.program(w), fused.program(w)
+            out[b] = {
+                "n_planes": prog_f.n_planes,
+                "dense": {t: dense.matmul(prog_d, x, temp_c=t)
+                          for t in (0.0, 27.0, 85.0)},
+                "fused": {t: fused.matmul(prog_f, x, temp_c=t)
+                          for t in (0.0, 27.0, 85.0)},
+            }
+        return out
+
+    result = once(characterize)
+    ideal = result.pop("ideal")
+    planes = {b: result[b]["n_planes"] for b in result}
+    print(f"\ndigit planes per sign pair at 8-bit weights: {planes}")
+
+    # MLC shrinks the plane set: 14 -> 8 -> 6 for 8-bit weights.
+    assert planes[1] > planes[2] > planes[3]
+    for b, row in result.items():
+        # Dense (reference decode) and fused (stacked BLAS + LUT) agree
+        # bitwise at every temperature — the serving stack's invariant.
+        for t, dense_out in row["dense"].items():
+            assert np.array_equal(dense_out, row["fused"][t]), (b, t)
+        # And at the calibration reference the decode is exact.
+        assert np.array_equal(row["fused"][27.0], ideal), b

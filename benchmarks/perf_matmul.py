@@ -16,7 +16,16 @@ workload shape of one Table-I VGG conv layer lowered via im2col):
 
 All three must produce bit-identical decoded outputs (the harness exits
 nonzero if they do not), so the timing comparison is apples-to-apples.
-Results land in ``BENCH_matmul.json`` — the repo's matmul perf trajectory.
+
+A second sweep times the fused kernel at 1/2/3 magnitude bits per cell
+(MLC weight encoding): the same weights decompose into ``ceil((bits-1)/b)``
+digit planes per sign instead of ``bits - 1`` bit planes, so the stacked
+BLAS pass and the LUT decode shrink proportionally.  The 1-bit row of the
+sweep must stay bit-identical to the binary fused baseline (asserted),
+every multibit row must agree dense-vs-fused bitwise, and
+``--min-mlc-speedup`` gates the 2-bit row's per-batch speedup over the
+single-bit fused kernel.  Results land in ``BENCH_matmul.json`` — the
+repo's matmul perf trajectory.
 
 Run::
 
@@ -42,12 +51,19 @@ from repro.cells import TwoTOneFeFETCell
 
 
 def time_batches(fn, batches):
-    """Wall time of ``fn`` over every batch; returns (seconds, outputs)."""
-    outs = []
-    start = time.perf_counter()
+    """Per-batch wall times of ``fn``; returns (best seconds, outputs).
+
+    The reported figure is the *minimum* over batches — the standard
+    noise-robust estimator for a deterministic kernel (anything above the
+    minimum is scheduler/cache interference, not work), so the speedup
+    gates don't flap on loaded CI hosts.
+    """
+    outs, times = [], []
     for x in batches:
+        start = time.perf_counter()
         outs.append(fn(x))
-    return time.perf_counter() - start, outs
+        times.append(time.perf_counter() - start)
+    return min(times), outs
 
 
 def run(args):
@@ -90,7 +106,7 @@ def run(args):
     for name, fn in variants.items():
         fn(warmup)   # warm level caches / fused plane stacks off the clock
         elapsed, outs = time_batches(fn, batches)
-        per_batch_s[name] = elapsed / len(batches)
+        per_batch_s[name] = elapsed
         outputs[name] = outs
         print(f"{name:>6}: {per_batch_s[name] * 1e3:9.1f} ms/batch",
               flush=True)
@@ -108,6 +124,56 @@ def run(args):
         "fused_vs_legacy": per_batch_s["legacy"] / per_batch_s["fused"],
         "dense_ws_vs_legacy": per_batch_s["legacy"] / per_batch_s["dense"],
     }
+
+    # -- multibit (MLC) sweep: the same workload at 1/2/3 bits/cell.
+    # Units share the binary unit's circuit calibration (the level tables
+    # do not depend on the encoding), so the sweep adds no transients.
+    calibration = unit.calibration()
+    mlc = {}
+    mlc_identity_ok = True
+    for b in args.mlc_bits:
+        cfg = BehavioralMacConfig(bits_x=args.bits, bits_w=args.bits,
+                                  temp_grid_c=(0.0, 27.0, 85.0),
+                                  bits_per_cell=int(b))
+        unit_b = BitSerialMacUnit(TwoTOneFeFETCell(), cfg,
+                                  calibration=calibration)
+        dense_b = make_backend("dense", unit_b)
+        fused_b = make_backend("fused", unit_b)
+        prog_d = dense_b.program(w)
+        prog_f = fused_b.program(w)
+        timings = {}
+        outs_b = {}
+        for name, backend, prog in (("dense", dense_b, prog_d),
+                                    ("fused", fused_b, prog_f)):
+            fn = lambda x: backend.matmul(prog, x, temp_c=args.temp_c)
+            fn(warmup)
+            elapsed, outs = time_batches(fn, batches)
+            timings[name] = elapsed
+            outs_b[name] = outs
+        dense_fused_same = all(
+            np.array_equal(outs_b["dense"][i], outs_b["fused"][i])
+            for i in range(len(batches)))
+        same_as_1bit = all(
+            np.array_equal(outs_b["fused"][i], outputs["fused"][i])
+            for i in range(len(batches))) if b == 1 else None
+        exact = all(np.array_equal(outs_b["fused"][i], ideal[i])
+                    for i in range(len(batches)))
+        mlc[str(b)] = {
+            "n_planes": prog_f.n_planes,
+            "per_batch_s": {k: round(v, 6) for k, v in timings.items()},
+            "speedup_vs_fused_1bit": round(
+                per_batch_s["fused"] / timings["fused"], 2),
+            "dense_fused_identical": dense_fused_same,
+            "exact_at_reference": exact,
+        }
+        if b == 1:
+            mlc[str(b)]["identical_to_binary_fused"] = same_as_1bit
+        mlc_identity_ok &= dense_fused_same and (same_as_1bit is not False)
+        print(f"mlc b={b}: {prog_f.n_planes:2d} planes, "
+              f"{timings['fused'] * 1e3:9.1f} ms/batch fused "
+              f"({per_batch_s['fused'] / timings['fused']:.2f}x vs 1-bit)",
+              flush=True)
+
     doc = {
         "workload": {
             "rows": args.rows, "k": args.k, "cols": args.cols,
@@ -121,6 +187,7 @@ def run(args):
         "speedup": {k: round(v, 2) for k, v in speedup.items()},
         "outputs_bit_identical": identical,
         "fused_exact_at_reference": exact_vs_ideal,
+        "mlc": mlc,
     }
     out_path = Path(args.out)
     out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
@@ -132,10 +199,25 @@ def run(args):
     if not identical:
         print("ERROR: backends disagree on decoded outputs", file=sys.stderr)
         return 1
+    if not mlc_identity_ok:
+        print("ERROR: MLC sweep broke bit-identity (dense vs fused, or "
+              "1-bit vs binary baseline)", file=sys.stderr)
+        return 1
     if args.min_speedup and speedup["fused_vs_dense"] < args.min_speedup:
         print(f"ERROR: fused_vs_dense {speedup['fused_vs_dense']:.2f}x "
               f"below required {args.min_speedup}x", file=sys.stderr)
         return 1
+    if args.min_mlc_speedup:
+        row = mlc.get("2")
+        if row is None:
+            print("ERROR: --min-mlc-speedup needs 2 in --mlc-bits",
+                  file=sys.stderr)
+            return 1
+        if row["speedup_vs_fused_1bit"] < args.min_mlc_speedup:
+            print(f"ERROR: 2-bit MLC speedup "
+                  f"{row['speedup_vs_fused_1bit']:.2f}x below required "
+                  f"{args.min_mlc_speedup}x", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -154,6 +236,14 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit nonzero if fused/dense is below this")
+    parser.add_argument("--mlc-bits", type=int, nargs="+", default=(1, 2, 3),
+                        metavar="B",
+                        help="bits-per-cell values for the MLC sweep "
+                             "(default 1 2 3)")
+    parser.add_argument("--min-mlc-speedup", type=float, default=None,
+                        help="exit nonzero if the 2-bit MLC row's fused "
+                             "speedup over the 1-bit fused kernel is "
+                             "below this")
     parser.add_argument("--out", default="BENCH_matmul.json")
     parser.add_argument("--smoke", action="store_true",
                         help="small CI-sized workload")

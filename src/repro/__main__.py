@@ -165,6 +165,11 @@ def _build_parser():
                          help="session micro-batch budget (default 8)")
     infer_p.add_argument("--sigma-vth-fefet", type=float, default=0.0,
                          metavar="V", help="per-cell FeFET V_TH sigma")
+    infer_p.add_argument("--bits-per-cell", type=int, default=1,
+                         metavar="B",
+                         help="magnitude bits stored per cell (MLC weight "
+                              "encoding; fewer digit planes per matmul, "
+                              "default 1 = binary)")
     infer_p.add_argument("--replicas", type=int, default=1,
                          help="serve through a ChipPool of this many chip "
                               "replicas (default 1: single session)")
@@ -225,6 +230,10 @@ def _build_parser():
                         metavar="V",
                         help="per-cell FeFET V_TH sigma (nonzero makes "
                              "every replica a distinct variation draw)")
+    pool_p.add_argument("--bits-per-cell", type=int, default=1,
+                        metavar="B",
+                        help="magnitude bits stored per cell (MLC weight "
+                             "encoding; default 1 = binary)")
     pool_p.add_argument("--seed", type=int, default=0)
     pool_p.add_argument("--workers", default="both",
                         choices=("threads", "processes", "both"),
@@ -399,6 +408,7 @@ def _cmd_infer(args, parser):
         "n_replicas": args.replicas,
         "bin_edges": tuple(args.bin_edges) if args.bin_edges else None,
         "workers": args.workers,
+        "bits_per_cell": args.bits_per_cell,
     }
     return _cmd_run(args, parser, names=["infer"], params=params)
 
@@ -434,7 +444,8 @@ def _cmd_serve_pool_bench(args):
     mapping = MappingConfig(tile_rows=args.tile_rows,
                             tile_cols=args.tile_cols,
                             backend=args.backend, seed=args.seed,
-                            sigma_vth_fefet=args.sigma_vth_fefet)
+                            sigma_vth_fefet=args.sigma_vth_fefet,
+                            bits_per_cell=args.bits_per_cell)
     doc = pool_benchmark(
         requests, args.images_per_request, mapping=mapping,
         n_replicas=replicas, temp_bins=args.temp_bins,

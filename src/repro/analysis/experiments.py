@@ -362,35 +362,28 @@ def mac_decode_errors(temps_c=(0.0, 27.0, 55.0, 85.0), seed=0, n_vectors=64):
 # Extensions beyond the paper's figures
 # ----------------------------------------------------------------------
 @experiment("mlc", anchor="extension", tags=("cell", "extension"),
-            description="multi-level-cell extension transfer")
+            description="multi-level-cell weight encoding transfer")
 def mlc_transfer(n_levels=4, temps_c=CORNER_TEMPS_C):
-    """Multi-level-cell extension: output level vs stored polarization.
+    """Multi-level-cell path: output level vs stored polarization.
 
     The paper's related work includes multi-bit FeFET MACs [23]; our
-    Preisach model supports partial-polarization states natively, so the
-    proposed cell can store ``n_levels`` weight levels via pulse-width-
-    controlled programming.  This experiment measures the cell output for
-    every stored level across temperature.
+    Preisach model supports partial-polarization states natively, and the
+    compile-and-serve stack runs them first-class through
+    ``MappingConfig.bits_per_cell``.  This experiment measures the cell
+    output for every stored level across temperature via
+    :func:`repro.cells.multibit.multibit_read_level` and, for
+    power-of-two level counts, reports how far the open-loop levels land
+    from the program-verify ladder the array backends assume (worst INL
+    in per-digit LSB units).
     """
-    from repro.cells.base import _build_standalone
-    from repro.circuit import transient_simulation
-    from repro.circuit.elements import Capacitor
-    from repro.devices.variation import CellVariation
+    from repro.cells.multibit import multibit_read_level
 
     design = TwoTOneFeFETCell()
     levels = {}
     for level in range(n_levels):
         for temp in temps_c:
-            circuit = _build_standalone(design, 1, 1,
-                                        CellVariation.nominal(), None)
-            # Reprogram the freshly attached FeFET to the target level.
-            fefet = circuit.element("cell_fe").fefet
-            fefet.program_level(level, n_levels)
-            circuit.add(Capacitor("CO", "out", "0", design.co_farads))
-            res = transient_simulation(circuit, t_stop=design.t_read,
-                                       dt=0.1e-9, temp_c=float(temp),
-                                       initial_conditions={"out": 0.0})
-            levels[(level, temp)] = res.final_voltage("out")
+            levels[(level, temp)] = multibit_read_level(
+                design, level, n_levels, float(temp))
     ref_temp = temps_c[len(temps_c) // 2]
     rows = [(lvl, *[f"{levels[(lvl, t)] * 1e3:.2f}" for t in temps_c])
             for lvl in range(n_levels)]
@@ -398,13 +391,152 @@ def mlc_transfer(n_levels=4, temps_c=CORNER_TEMPS_C):
         levels[(lvl + 1, ref_temp)] > levels[(lvl, ref_temp)]
         for lvl in range(n_levels - 1)
     )
+    # Open-loop INL vs the uniform program-verify ladder (what
+    # BitSerialMacUnit.digit_steps assumes), per temperature.
+    inl_lsb = {}
+    if n_levels >= 3:
+        for temp in temps_c:
+            v = np.array([levels[(lvl, temp)] for lvl in range(n_levels)])
+            step = (v[-1] - v[0]) / (n_levels - 1)
+            targets = v[0] + np.arange(n_levels) * step
+            inl_lsb[temp] = float(np.max(np.abs(v - targets))
+                                  / max(abs(step), 1e-18))
     return {
         "levels": levels,
         "n_levels": n_levels,
         "monotone_at_ref": monotone,
+        "inl_lsb": inl_lsb,
         "report": format_table(
             ["level", *[f"{t} degC (mV)" for t in temps_c]], rows,
-            title=f"MLC extension - {n_levels}-level cell output"),
+            title=f"MLC weight encoding - {n_levels}-level cell output"),
+    }
+
+
+@experiment("mlc-temperature", anchor="Figs. 7/8 at MLC",
+            tags=("cell", "array", "extension"),
+            description="multibit temperature resilience: per-level "
+                        "fluctuation and MAC decode accuracy")
+def mlc_temperature(bits_per_cell=(2, 3), temps_c=CORNER_TEMPS_C, seed=0,
+                    n_vectors=32):
+    """Fig. 7/8-style temperature study at 2-3 magnitude bits per cell.
+
+    Cell level (Fig. 7's metric): measures every partial-polarization
+    level's read voltage across temperature and reports the worst
+    fluctuation relative to 27 degC over the programmed levels (digits
+    >= 1; the erased level's near-zero output makes the ratio
+    meaningless), plus the worst open-loop INL against the
+    program-verify ladder.  Array level (Fig. 8's pass/fail): random
+    signed 8-bit matmuls through the behavioral multibit unit at every
+    temperature, decoded by the fixed 27 degC ADC ladder; reports the
+    exact-decode rate and worst output error in LSB.  With 2**b levels
+    per cell the decode gaps are ``2**b - 1`` times narrower than
+    binary, so this is where the temperature-resilience claim is
+    stress-tested hardest.
+    """
+    from repro.cells.multibit import measure_multibit_cell
+
+    design = TwoTOneFeFETCell()
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 256, size=(n_vectors, 16))
+    w = rng.integers(-127, 128, size=(16, 8))
+    temps = tuple(float(t) for t in temps_c)
+    ref_idx = int(np.argmin(np.abs(np.asarray(temps) - 27.0)))
+    out = {}
+    rows = []
+    for b in bits_per_cell:
+        cal = measure_multibit_cell(design, b, temps)
+        programmed_levels = cal.levels_on[1:]        # digits >= 1, (D, T)
+        ref = programmed_levels[:, ref_idx:ref_idx + 1]
+        fluct = float(np.max(np.abs(programmed_levels / ref - 1.0)))
+        inl = max(cal.inl_lsb_at(t) for t in temps)
+        unit = BitSerialMacUnit(design, BehavioralMacConfig(
+            bits_per_cell=int(b)))
+        programmed = unit.backend.program(w)
+        ideal = unit.ideal_matmul(x, w)
+        exact = {}
+        max_lsb = {}
+        for temp in temps:
+            got = unit.backend.matmul(programmed, x, temp_c=temp)
+            exact[temp] = float(np.mean(got == ideal))
+            max_lsb[temp] = int(np.max(np.abs(got - ideal)))
+        out[b] = {
+            "calibration": cal,
+            "max_fluctuation": fluct,
+            "max_inl_lsb": float(inl),
+            "exact_decode": exact,
+            "max_error_lsb": max_lsb,
+            "monotone": all(cal.monotone_at(t) for t in temps),
+        }
+        rows.append((b, f"{fluct * 100:.1f} %", f"{inl:.2f}",
+                     *[f"{exact[t]:.3f}" for t in temps]))
+    return {
+        "bits_per_cell": tuple(bits_per_cell),
+        "temps": temps,
+        "results": out,
+        "report": format_table(
+            ["bits/cell", "level fluct", "INL (LSB)",
+             *[f"exact @ {t:g} degC" for t in temps]],
+            rows,
+            title="Multibit temperature resilience - levels and decode"),
+    }
+
+
+@experiment("mlc-variation", anchor="Fig. 9 at MLC",
+            tags=("montecarlo", "extension"),
+            description="multibit Monte-Carlo process variation")
+def mlc_process_variation(bits_per_cell=(2, 3), n_samples=25, seed=0,
+                          sigma_vth_fefet=54e-3, sigma_vth_mosfet=15e-3,
+                          n_vectors=16):
+    """Fig. 9-style Monte Carlo at 2-3 bits per cell (27 degC).
+
+    Each sample redraws the per-cell threshold offsets on the programmed
+    digit planes (same stored weights, a new die — the
+    ``reprogram_variation`` shard primitive) and runs a random signed
+    8-bit matmul through the fixed 27 degC ADC.  Reports the worst
+    relative output error across samples and the mean exact-decode rate,
+    per precision.  Variation couples into multibit rows at the
+    level-fraction (``d / digit_max``) of each cell, so the narrower
+    gaps rather than larger offsets dominate the error growth.
+    """
+    design = TwoTOneFeFETCell()
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 256, size=(n_vectors, 16))
+    w = rng.integers(-127, 128, size=(16, 8))
+    out = {}
+    rows = []
+    for b in bits_per_cell:
+        unit = BitSerialMacUnit(design, BehavioralMacConfig(
+            bits_per_cell=int(b),
+            sigma_vth_fefet=sigma_vth_fefet,
+            sigma_vth_mosfet=sigma_vth_mosfet, seed=seed))
+        ideal = unit.ideal_matmul(x, w)
+        scale = float(np.max(np.abs(ideal)))
+        programmed = unit.backend.program(
+            w, rng=np.random.default_rng(seed))
+        errors = []
+        exact = []
+        for sample in range(n_samples):
+            shard = unit.backend.reprogram_variation(
+                programmed, rng=np.random.default_rng((seed, sample)))
+            got = unit.backend.matmul(shard, x, temp_c=REFERENCE_TEMP_C)
+            errors.append(float(np.max(np.abs(got - ideal)) / scale))
+            exact.append(float(np.mean(got == ideal)))
+        out[b] = {
+            "errors": errors,
+            "max_rel_error": max(errors),
+            "mean_exact_decode": float(np.mean(exact)),
+        }
+        rows.append((b, f"{max(errors) * 100:.1f} %",
+                     f"{np.mean(exact):.3f}"))
+    return {
+        "bits_per_cell": tuple(bits_per_cell),
+        "n_samples": n_samples,
+        "results": out,
+        "report": format_table(
+            ["bits/cell", "max rel error", "mean exact decode"], rows,
+            title=f"Multibit MC process variation - "
+                  f"sigma_VT = {sigma_vth_fefet * 1e3:.0f} mV, "
+                  f"{n_samples} samples"),
     }
 
 
@@ -473,10 +605,13 @@ def table2_summary(*, quick=True, seed=0, backend="fused"):
           TrainConfig(epochs=epochs, batch_size=64, seed=seed))
     float_acc = evaluate_accuracy(model, data.x_test, data.y_test)
 
-    executor = CimExecutor(model, TwoTOneFeFETCell(), CimExecutionConfig(
-        temp_c=REFERENCE_TEMP_C, bits=8,
-        sigma_vth_fefet=54e-3, sigma_vth_mosfet=15e-3, seed=seed,
-        backend=backend))
+    def make_executor(bits_per_cell):
+        return CimExecutor(model, TwoTOneFeFETCell(), CimExecutionConfig(
+            temp_c=REFERENCE_TEMP_C, bits=8,
+            sigma_vth_fefet=54e-3, sigma_vth_mosfet=15e-3, seed=seed,
+            backend=backend, bits_per_cell=bits_per_cell))
+
+    executor = make_executor(1)
     cim_acc = classification_accuracy(
         executor.predict(data.x_test), data.y_test)
 
@@ -503,6 +638,48 @@ def table2_summary(*, quick=True, seed=0, backend="fused"):
     vgg_inference_nj = energy_per_inference(
         fig8["avg_energy_fj"] * 1e-15, table1_macs,
         cells_per_row=cells_per_row) * 1e9
+
+    # -- multibit (MLC) sweep: the same trained network at 1/2/3
+    # magnitude bits per cell, under the same Monte-Carlo variation.
+    # Energy is *metered*: the chip counts physical row ops (so the
+    # shorter digit-plane schedule of MLC encoding shows up as fewer
+    # ops), each priced at bits_per_cell binary-row energies from the
+    # measured Fig. 8 report.  b = 1 reuses the baseline executor, so
+    # the baseline row is the baseline accuracy by construction.
+    from repro.metrics.efficiency import (
+        tops_per_watt as tops_per_watt_metric,
+    )
+
+    energy_per_mac_j = fig8["avg_energy_fj"] * 1e-15
+    mlc_rows = []
+    for b in (1, 2, 3):
+        ex_b = executor if b == 1 else make_executor(b)
+        if b == 1:
+            acc_b = cim_acc
+        else:
+            ex_b.chip.meter.reset()
+            acc_b = classification_accuracy(
+                ex_b.predict(data.x_test), data.y_test)
+        row_ops = ex_b.chip.meter.row_ops
+        energy_nj = (row_ops * energy_per_mac_j * b / len(data.x_test)
+                     * 1e9)
+        mlc_rows.append({
+            "bits_per_cell": b,
+            "accuracy": float(acc_b),
+            "row_ops_per_image": row_ops / len(data.x_test),
+            "energy_nj_per_image": float(energy_nj),
+            "tops_per_watt": float(tops_per_watt_metric(
+                energy_per_mac_j * b, cells_per_row, b)),
+        })
+    mlc_table = format_table(
+        ["bits/cell", "accuracy", "row ops/img", "nJ/img", "TOPS/W"],
+        [(r["bits_per_cell"], f"{r['accuracy']:.3f}",
+          f"{r['row_ops_per_image']:.0f}",
+          f"{r['energy_nj_per_image']:.2f}",
+          f"{r['tops_per_watt']:.0f}") for r in mlc_rows],
+        title="Multibit (MLC) weight encoding - VGG-nano, sigma_VT = "
+              "54 mV, 27 degC")
+
     return {
         "float_accuracy": float_acc,
         "cim_accuracy": cim_acc,
@@ -511,6 +688,7 @@ def table2_summary(*, quick=True, seed=0, backend="fused"):
         "tops_per_watt": fig8["tops_per_watt"],
         "macs_per_inference": macs,
         "table1_vgg_inference_nj": float(vgg_inference_nj),
+        "mlc_rows": mlc_rows,
         "rows": rows,
-        "report": table,
+        "report": "\n\n".join([table, mlc_table]),
     }

@@ -9,8 +9,8 @@ plus the session's (or fleet's) energy/latency telemetry.
 
 Because it runs under the unified runtime, every mapping *and scheduler*
 knob (``tile_rows``, ``tile_cols``, ``batch_size``, sigmas,
-``n_replicas``, ``bin_edges``, ``workers``) travels through
-``RunContext.params``
+``n_replicas``, ``bin_edges``, ``workers``, ``bits_per_cell``) travels
+through ``RunContext.params``
 into the content-addressed result cache — the compiled program's and the
 serving fleet's configuration are fingerprinted into the cache key, and
 the result document records the program fingerprint itself.  A
@@ -41,7 +41,7 @@ def infer_session(n_images=32, temps_c=SERVE_TEMPS_C, seed=0,
                   batch_size=8, sigma_vth_fefet=0.0,
                   sigma_vth_mosfet=0.0, width=4, image_size=8,
                   design=None, n_replicas=1, bin_edges=None,
-                  workers="threads"):
+                  workers="threads", bits_per_cell=1):
     """Serve a reduced-VGG request stream on a compiled chip (or fleet).
 
     Each image arrives as its own request; the session micro-batches up
@@ -81,7 +81,7 @@ def infer_session(n_images=32, temps_c=SERVE_TEMPS_C, seed=0,
     mapping = MappingConfig(
         tile_rows=tile_rows, tile_cols=tile_cols, backend=backend,
         seed=seed, sigma_vth_fefet=sigma_vth_fefet,
-        sigma_vth_mosfet=sigma_vth_mosfet)
+        sigma_vth_mosfet=sigma_vth_mosfet, bits_per_cell=bits_per_cell)
     program = compile_model(model, design, mapping)
 
     pooled = n_replicas > 1

@@ -5,11 +5,13 @@ original :class:`~repro.array.mac_unit.BitSerialMacUnit.matmul` fused into
 one call:
 
 *programming* (write path, happens once per weight matrix)
-    Decompose signed weight codes into (sign, bit) binary planes, map each
-    plane onto 8-cell row chunks, and — when process variation is enabled —
-    draw one threshold offset per *physical cell*.  On a nonvolatile FeFET
-    array the weights are written once and stay put, so all of this work is
-    batch-, temperature- and shot-independent.
+    Decompose signed weight codes into (sign, digit) planes — base-2^b
+    digits for ``bits_per_cell = b`` cells, plain binary bits when
+    ``b = 1`` — map each plane onto 8-cell row chunks, and — when process
+    variation is enabled — draw one threshold offset per *physical cell*.
+    On a nonvolatile FeFET array the weights are written once and stay
+    put, so all of this work is batch-, temperature- and
+    shot-independent.
 
 *compute* (read path, happens per activation batch)
     Decompose activations into bit planes, run every (weight-plane,
@@ -41,6 +43,21 @@ implementations ship:
 Both backends share :meth:`ArrayBackend.program`, so identical RNGs yield
 identical per-cell variation draws — the foundation of the dense-vs-fused
 bit-exactness guarantee.
+
+Multibit (MLC) weight encoding
+------------------------------
+With ``bits_per_cell = b > 1`` each cell stores a digit ``d`` in
+``0 .. 2^b - 1`` as a program-verified partial-polarization level (see
+:mod:`repro.cells.multibit`): the cell's read-window output is affine in
+the digit, ``V(d, x=1, T) = V_01 + d * s_on(T)`` and ``V(d, x=0, T) =
+V_00 + d * s_off(T)``, with the endpoints anchored at the binary-cell
+states.  The plane schedule shrinks from ``bits_w - 1`` magnitude bit
+planes to ``ceil((bits_w - 1) / b)`` digit planes — the direct BLAS-pass
+multiplier on the fused backend's hot loop.  Because the digit expression
+reduces *algebraically but not float-bitwise* to the binary expression at
+``b = 1``, the single-bit code paths below are kept literally unchanged
+and the digit paths only run for ``b > 1`` — which is what keeps
+``bits_per_cell=1`` bit-identical to the seed on every backend.
 """
 
 from __future__ import annotations
@@ -88,8 +105,8 @@ def _validate_x_codes(x_codes, bits_x):
             f"{bits_x}-bit range [0, {xmax}]")
 
 
-def plane_schedule(w_codes, bits_w):
-    """The ``(sign, bit)`` plane pairs ``w_codes`` occupies, in write order.
+def plane_schedule(w_codes, bits_w, bits_per_cell=1):
+    """The ``(sign, shift)`` plane pairs ``w_codes`` occupies, in write order.
 
     This is the plane-skip rule of :meth:`ArrayBackend.program` factored
     out so callers that split one weight matrix across several physical
@@ -97,16 +114,41 @@ def plane_schedule(w_codes, bits_w):
     empty in one tile but stored in another must still cycle through every
     tile, because an activation-only pattern on real hardware disturbs the
     accumulation voltage even over a blank row chunk.
+
+    ``bits_per_cell = b`` packs ``b`` magnitude bits per cell: planes are
+    base-2^b digits taken at shifts ``0, b, 2b, ...`` of the magnitude,
+    and the schedule entry records the *shift* (so the digital shift-add
+    weight is ``2**shift`` for every ``b``).  A plane whose digits are all
+    zero across the matrix is skipped, exactly like the single-bit rule.
+    The top plane may be ragged — when ``bits_w - 1`` is not divisible by
+    ``b`` it simply holds the leftover high bits (smaller digit range),
+    which the mask extraction handles with no special casing.
     """
     w_codes = np.asarray(w_codes, dtype=np.int64)
     w_mag = np.abs(w_codes)
+    digit_max = (1 << bits_per_cell) - 1
     schedule = []
     for sign, w_part in ((1.0, np.where(w_codes > 0, w_mag, 0)),
                          (-1.0, np.where(w_codes < 0, w_mag, 0))):
-        for bw in range(bits_w - 1):        # magnitude bits
-            if np.any((w_part >> bw) & 1):
-                schedule.append((sign, bw))
+        for shift in range(0, bits_w - 1, bits_per_cell):  # magnitude bits
+            if np.any((w_part >> shift) & digit_max):
+                schedule.append((sign, shift))
     return tuple(schedule)
+
+
+def _digit_vacc(s11, w_sum, n_x1, cells, gain, z01, z00, s_on, s_off):
+    """Eq. (1) accumulation voltage of one multibit (digit-level) chunk.
+
+    ``s11`` is the input-gated digit sum ``sum_i d_i x_i``, ``w_sum`` the
+    plain digit sum ``sum_i d_i``, ``n_x1`` the high-input count.  Every
+    backend path that handles ``bits_per_cell > 1`` — the dense reference,
+    the fused LUT builder, and the fused variation path — evaluates *this
+    function*, so their float64 expressions are operation-for-operation
+    identical and the dense-vs-fused bit-identity guarantee carries over
+    to multibit arrays.
+    """
+    return gain * (s11 * s_on + (w_sum - s11) * s_off
+                   + n_x1 * z01 + (cells - n_x1) * z00)
 
 
 @dataclass(eq=False)
@@ -115,14 +157,17 @@ class ProgrammedArray:
 
     Produced by :meth:`ArrayBackend.program`; treat as immutable.  All
     arrays are organized per (plane, chunk, cell, column) exactly as the
-    physical array stores them: plane ``p`` holds one (sign, bit) slice of
-    the weights, each chunk is one 8-cell row segment.
+    physical array stores them: plane ``p`` holds one (sign, digit) slice
+    of the weights — binary 0/1 for ``bits_per_cell=1``, base-2^b digits
+    ``0 .. 2^b - 1`` otherwise — each chunk is one 8-cell row segment.
 
     ``w_dv`` carries the *programmed-in* per-cell threshold-variation
-    voltage offsets (already masked by the stored bit: only conducting
-    cells perturb the accumulation voltage).  It is ``None`` for nominal
-    arrays.  ``cache`` is backend-private precompute storage (e.g. the
-    fused backend's transposed float32 plane stack).
+    voltage offsets (already scaled by the stored level: only conducting
+    cells perturb the accumulation voltage, and a partially-programmed
+    multibit cell perturbs in proportion to its level fraction ``d / D``).
+    It is ``None`` for nominal arrays.  ``cache`` is backend-private
+    precompute storage (e.g. the fused backend's transposed float32 plane
+    stack).
     """
 
     k: int                    # logical rows of the weight matrix
@@ -131,20 +176,27 @@ class ProgrammedArray:
     chunks: int               # row chunks after padding k
     bits_x: int               # activation wordlength the array expects
     signs: np.ndarray         # (P,) +/-1.0 per plane
-    plane_bits: np.ndarray    # (P,) magnitude-bit index per plane
-    w_planes: np.ndarray      # (P, chunks, cells, n) 0/1 float64
-    w_counts: np.ndarray      # (P, chunks, n) conducting-cell counts
+    plane_bits: np.ndarray    # (P,) magnitude-bit shift per plane
+    w_planes: np.ndarray      # (P, chunks, cells, n) digit float64
+    w_counts: np.ndarray      # (P, chunks, n) per-chunk digit sums
     w_dv: Optional[np.ndarray] = None   # (P, chunks, cells, n) V offsets
+    bits_per_cell: int = 1    # magnitude bits stored per cell
     cache: Dict[str, object] = field(default_factory=dict, repr=False)
 
     @property
     def n_planes(self):
         return int(self.signs.shape[0])
 
+    @property
+    def digit_max(self):
+        """Largest digit a cell stores: ``2**bits_per_cell - 1``."""
+        return (1 << self.bits_per_cell) - 1
+
     def __repr__(self):  # keep huge arrays out of tracebacks
         return (f"ProgrammedArray(k={self.k}, n={self.n}, "
                 f"planes={self.n_planes}, chunks={self.chunks}, "
                 f"cells={self.cells}, "
+                f"bits_per_cell={self.bits_per_cell}, "
                 f"variation={self.w_dv is not None})")
 
 
@@ -166,15 +218,16 @@ class ArrayBackend:
     def program(self, w_codes, rng=None, keep_planes=None) -> ProgrammedArray:
         """Write signed weight codes onto the array, once.
 
-        Decomposes the magnitudes into (sign, bit) binary planes (only
-        planes holding at least one '1' occupy array area, mirroring the
-        seed's plane-skip rule), pads to whole 8-cell chunks, precomputes
-        per-plane conducting-cell counts, and — for configs with nonzero
-        sigma — draws one threshold offset per physical cell.  The draws
-        happen here and only here, so the array's error pattern is frozen
-        at write time exactly like real nonvolatile hardware.
+        Decomposes the magnitudes into (sign, digit) planes — binary bit
+        planes for ``bits_per_cell=1``, base-2^b digit planes otherwise;
+        only planes holding at least one nonzero digit occupy array area,
+        mirroring the seed's plane-skip rule — pads to whole 8-cell
+        chunks, precomputes per-plane digit sums, and — for configs with
+        nonzero sigma — draws one threshold offset per physical cell.
+        The draws happen here and only here, so the array's error pattern
+        is frozen at write time exactly like real nonvolatile hardware.
 
-        ``keep_planes`` pins the plane set to an explicit ``(sign, bit)``
+        ``keep_planes`` pins the plane set to an explicit ``(sign, shift)``
         sequence (see :func:`plane_schedule`) instead of deriving it from
         ``w_codes``: the compiler uses this to keep every tile of one
         weight matrix on the matrix-wide bit-serial schedule, so a plane
@@ -183,6 +236,8 @@ class ArrayBackend:
         matrix on one spanning array.
         """
         cfg = self.unit.config
+        bits_per_cell = getattr(cfg, "bits_per_cell", 1)
+        digit_max = (1 << bits_per_cell) - 1
         w_codes = np.asarray(w_codes, dtype=np.int64)
         if w_codes.ndim != 2:
             raise ValueError(f"w_codes must be 2-D, got shape {w_codes.shape}")
@@ -196,16 +251,22 @@ class ArrayBackend:
         parts = {1.0: np.where(w_codes > 0, w_mag, 0),
                  -1.0: np.where(w_codes < 0, w_mag, 0)}
         if keep_planes is None:
-            keep_planes = plane_schedule(w_codes, cfg.bits_w)
+            keep_planes = plane_schedule(w_codes, cfg.bits_w, bits_per_cell)
         signs, plane_bits, planes = [], [], []
         for sign, bw in keep_planes:
             if not 0 <= bw < cfg.bits_w - 1:
                 raise ValueError(
-                    f"plane bit {bw} outside the signed {cfg.bits_w}-bit "
+                    f"plane shift {bw} outside the signed {cfg.bits_w}-bit "
                     f"magnitude range [0, {cfg.bits_w - 2}]")
+            if bw % bits_per_cell:
+                # An off-grid shift would double-count magnitude bits
+                # across overlapping digit extractions.
+                raise ValueError(
+                    f"plane shift {bw} is not aligned to the "
+                    f"{bits_per_cell}-bit digit grid")
             signs.append(float(sign))
             plane_bits.append(int(bw))
-            planes.append((parts[float(sign)] >> bw) & 1)
+            planes.append((parts[float(sign)] >> bw) & digit_max)
 
         if planes:
             stacked = np.stack(planes).astype(np.float64)
@@ -221,13 +282,15 @@ class ArrayBackend:
         if sigma_cell > 0 and w_planes.shape[0]:
             rng = rng or np.random.default_rng(cfg.seed)
             dv = rng.normal(0.0, sigma_cell, size=w_planes.shape)
-            w_dv = w_planes * dv
+            w_dv = (w_planes * dv if bits_per_cell == 1
+                    else (w_planes / digit_max) * dv)
 
         return ProgrammedArray(
             k=k, n=n, cells=cells, chunks=chunks, bits_x=cfg.bits_x,
             signs=np.asarray(signs, dtype=np.float64),
             plane_bits=np.asarray(plane_bits, dtype=np.int64),
-            w_planes=w_planes, w_counts=w_counts, w_dv=w_dv)
+            w_planes=w_planes, w_counts=w_counts, w_dv=w_dv,
+            bits_per_cell=bits_per_cell)
 
     def reprogram_variation(self, programmed: ProgrammedArray,
                             rng=None) -> ProgrammedArray:
@@ -242,12 +305,14 @@ class ArrayBackend:
             return programmed
         rng = rng or np.random.default_rng(self.unit.config.seed)
         dv = rng.normal(0.0, sigma_cell, size=programmed.w_planes.shape)
+        w_dv = (programmed.w_planes * dv if programmed.bits_per_cell == 1
+                else (programmed.w_planes / programmed.digit_max) * dv)
         return ProgrammedArray(
             k=programmed.k, n=programmed.n, cells=programmed.cells,
             chunks=programmed.chunks, bits_x=programmed.bits_x,
             signs=programmed.signs, plane_bits=programmed.plane_bits,
             w_planes=programmed.w_planes, w_counts=programmed.w_counts,
-            w_dv=programmed.w_planes * dv,
+            w_dv=w_dv, bits_per_cell=programmed.bits_per_cell,
             # The plane decomposition is shared, so backend precompute
             # derived from it (e.g. the fused plane stack) stays valid.
             cache=programmed.cache)
@@ -329,6 +394,9 @@ class DenseNumpyBackend(ArrayBackend):
         von, z10, z01, z00 = unit.levels_at(temp_c)
         gain = unit.config.sensing.share_gain(cells)
         sensor = unit.sensor
+        multibit = programmed.bits_per_cell > 1
+        if multibit:
+            s_on, s_off = unit.digit_steps(temp_c)
 
         for bx in range(programmed.bits_x):
             if not active_x[bx]:
@@ -340,10 +408,20 @@ class DenseNumpyBackend(ArrayBackend):
                 wr = programmed.w_planes[p]             # (chunks, cells, n)
                 n_w1 = programmed.w_counts[p]           # (chunks, n)
                 n11 = np.einsum("mce,cen->mcn", xr, wr)
-                n10 = n_w1[None, :, :] - n11
-                n01 = n_x1[:, :, None] - n11
-                n00 = cells - n_w1[None, :, :] - n_x1[:, :, None] + n11
-                vacc = gain * (n11 * von + n10 * z10 + n01 * z01 + n00 * z00)
+                if multibit:
+                    # n11 is the input-gated digit sum, n_w1 the plain
+                    # digit sum; evaluated through the shared helper so
+                    # the fused LUT can never disagree bitwise.
+                    vacc = _digit_vacc(
+                        n11, n_w1[None, :, :], n_x1[:, :, None], cells,
+                        gain, z01, z00, s_on, s_off)
+                else:
+                    n10 = n_w1[None, :, :] - n11
+                    n01 = n_x1[:, :, None] - n11
+                    n00 = (cells - n_w1[None, :, :] - n_x1[:, :, None]
+                           + n11)
+                    vacc = gain * (n11 * von + n10 * z10 + n01 * z01
+                                   + n00 * z00)
                 if programmed.w_dv is not None:
                     vacc = vacc + gain * np.einsum(
                         "mce,cen->mcn", xr, programmed.w_dv[p])
@@ -398,46 +476,93 @@ class FusedBitPlaneBackend(ArrayBackend):
 
         Built with the same float expression the dense backend evaluates
         per element, so a LUT lookup and a dense decode can never disagree.
+
+        For multibit units the triple generalizes to ``(S11, W, n_x1)``
+        with ``S11`` the input-gated digit sum and ``W`` the plain digit
+        sum, each spanning ``0 .. cells * digit_max`` — the eq. (1)
+        voltage stays affine in those three integers, so the LUT shortcut
+        survives MLC encoding unchanged (the table just grows from
+        ``(cells+1)^3`` to ``(cells*D+1)^2 * (cells+1)`` entries).
         """
         key = float(temp_c)
         lut = self._lut_cache.get(key)
         if lut is None:
-            cells = self.unit.config.cells_per_row
+            cfg = self.unit.config
+            cells = cfg.cells_per_row
+            bits_per_cell = getattr(cfg, "bits_per_cell", 1)
             von, z10, z01, z00 = self.unit.levels_at(temp_c)
-            gain = self.unit.config.sensing.share_gain(cells)
-            grid = np.arange(cells + 1, dtype=np.float64)
-            n11 = grid[:, None, None]
-            n_w1 = grid[None, :, None]
-            n_x1 = grid[None, None, :]
-            n10 = n_w1 - n11
-            n01 = n_x1 - n11
-            n00 = cells - n_w1 - n_x1 + n11
-            vacc = gain * (n11 * von + n10 * z10 + n01 * z01 + n00 * z00)
+            gain = cfg.sensing.share_gain(cells)
+            if bits_per_cell == 1:
+                grid = np.arange(cells + 1, dtype=np.float64)
+                n11 = grid[:, None, None]
+                n_w1 = grid[None, :, None]
+                n_x1 = grid[None, None, :]
+                n10 = n_w1 - n11
+                n01 = n_x1 - n11
+                n00 = cells - n_w1 - n_x1 + n11
+                vacc = gain * (n11 * von + n10 * z10 + n01 * z01
+                               + n00 * z00)
+            else:
+                digit_max = (1 << bits_per_cell) - 1
+                s_on, s_off = self.unit.digit_steps(temp_c)
+                dgrid = np.arange(cells * digit_max + 1, dtype=np.float64)
+                s11 = dgrid[:, None, None]
+                w_sum = dgrid[None, :, None]
+                n_x1 = np.arange(cells + 1,
+                                 dtype=np.float64)[None, None, :]
+                vacc = _digit_vacc(s11, w_sum, n_x1, cells, gain,
+                                   z01, z00, s_on, s_off)
             lut = self.unit.sensor.decode(vacc).astype(np.int16).ravel()
             self._lut_cache[key] = lut
         return lut
 
     # -- fused plane stacks ----------------------------------------------
     @staticmethod
-    def _index_dtype(cells):
-        """Smallest int dtype holding every LUT address (cells+1)^3 - 1."""
-        return (np.int16 if (cells + 1) ** 3 - 1 <= np.iinfo(np.int16).max
-                else np.int32)
+    def _index_dtype(cells, digit_max=1):
+        """Smallest int dtype holding every LUT address.
+
+        The flat LUT spans ``(cells*digit_max + 1)^2 * (cells + 1)``
+        entries (``(cells+1)^3`` in the single-bit case, identical
+        arithmetic).
+        """
+        top = (cells * digit_max + 1) ** 2 * (cells + 1) - 1
+        return np.int16 if top <= np.iinfo(np.int16).max else np.int32
 
     def _weight_stack(self, programmed):
         """Backend-private precompute on the programmed array (cached)."""
         stack = programmed.cache.get("fused")
         if stack is None:
             p, chunks, cells, n = programmed.w_planes.shape
-            dtype = self._index_dtype(cells)
+            dtype = self._index_dtype(cells, programmed.digit_max)
             # (chunks, cells, P*n) float32 for the chunk-batched matmul.
+            # Digits up to 7 (and their chunk partial sums) are exactly
+            # representable, so float32 BLAS stays exact for every b.
             w32 = np.ascontiguousarray(
                 programmed.w_planes.transpose(1, 2, 0, 3)
                 .reshape(chunks, cells, p * n), dtype=np.float32)
-            # Weight-count index term of the LUT address, premultiplied.
+            # Digit-sum index term of the LUT address, premultiplied by
+            # the W-axis stride (cells + 1 for every bits_per_cell).
             wc9 = (programmed.w_counts.astype(dtype)
                    * dtype(programmed.cells + 1))
             stack = {"w32": w32, "wc9": wc9, "idx_dtype": dtype}
+            if programmed.bits_per_cell > 1:
+                # Multibit fast path: fold the whole flat LUT address
+                # into the BLAS by augmenting the cell axis with two
+                # constant inputs — ``idx = S11 * stride + wc9 + n_x1``
+                # comes straight out of one sgemm.  Exact in float32:
+                # the largest address is (cells*D + 1)^2 * (cells+1) - 1
+                # (29240 at b = 3, cells = 8), far below 2^24.  The
+                # single-bit path keeps the seed's separate integer
+                # index arithmetic, byte for byte.
+                stride = ((cells * programmed.digit_max + 1)
+                          * (cells + 1))
+                w_aug = np.empty((chunks, cells + 2, p * n), np.float32)
+                w_aug[:, :cells] = w32 * np.float32(stride)
+                w_aug[:, cells] = (wc9.transpose(1, 0, 2)
+                                   .reshape(chunks, p * n)
+                                   .astype(np.float32))
+                w_aug[:, cells + 1] = 1.0
+                stack["w_aug"] = w_aug
             programmed.cache["fused"] = stack
         return stack
 
@@ -501,11 +626,14 @@ class FusedBitPlaneBackend(ArrayBackend):
         for m0 in range(0, m, block):
             m1 = min(m0 + block, m)
             x32, n_x1 = self._x_stack(programmed, x_codes[m0:m1])
-            if programmed.w_dv is None:
-                counts = self._decode_nominal(
-                    programmed, stack, x32, n_x1, temp_c)
-            else:
+            if programmed.w_dv is not None:
                 counts = self._decode_variation(
+                    programmed, stack, x32, n_x1, temp_c)
+            elif programmed.bits_per_cell > 1:
+                counts = self._decode_nominal_multibit(
+                    programmed, stack, x32, temp_c)
+            else:
+                counts = self._decode_nominal(
                     programmed, stack, x32, n_x1, temp_c)
             # counts: (Bx, Mb, P, n) exact integers -> shift-add reduction.
             result[m0:m1] = np.tensordot(scale, counts, axes=([0, 1], [0, 2]))
@@ -513,16 +641,52 @@ class FusedBitPlaneBackend(ArrayBackend):
 
     def _decode_nominal(self, programmed, stack, x32_block, n_x1_block,
                         temp_c):
-        """Integer LUT decode: no float arithmetic in the hot path."""
+        """Integer LUT decode: no float arithmetic in the hot path.
+
+        The flat address is ``S11 * s11_stride + W * (cells+1) + n_x1``
+        with ``s11_stride = (cells*digit_max + 1) * (cells + 1)`` — for
+        single-bit arrays that is exactly the seed's
+        ``n11 * (cells+1)^2 + wc9 + n_x1`` arithmetic, value for value.
+        """
         lut = self.decode_lut(temp_c)
         dtype = stack["idx_dtype"]
         n11 = self._pair_counts(programmed, x32_block, stack["w32"])
         idx = n11.astype(dtype)
-        idx *= dtype((programmed.cells + 1) ** 2)
+        idx *= dtype((programmed.cells * programmed.digit_max + 1)
+                     * (programmed.cells + 1))
         idx += stack["wc9"][None, None, :, :, :]
         idx += n_x1_block.astype(dtype)[:, :, None, :, None]
         decoded = lut[idx]
         return decoded.sum(axis=3, dtype=np.int64)
+
+    def _decode_nominal_multibit(self, programmed, stack, x32_block,
+                                 temp_c):
+        """Multibit LUT decode with the address folded into the BLAS.
+
+        The augmented matmul (see ``_weight_stack``) emits the complete
+        flat LUT address ``S11 * stride + W * (cells+1) + n_x1`` per
+        plane pair, so the hot path is one sgemm, one contiguous int
+        cast, one contiguous gather, and one chunk-axis reduction — no
+        strided integer arithmetic over the big intermediate.  Decoded
+        values are identical to :meth:`_decode_nominal` (same LUT, same
+        integer addresses); only the evaluation order of the exact
+        integer sums differs, which float32 cannot observe below 2^24.
+        """
+        lut = self.decode_lut(temp_c)
+        bx, mb, chunks, cells = x32_block.shape
+        p, n = programmed.n_planes, programmed.n
+        xt = np.ascontiguousarray(
+            x32_block.transpose(2, 0, 1, 3)).reshape(chunks, bx * mb,
+                                                     cells)
+        x_aug = np.empty((chunks, bx * mb, cells + 2), np.float32)
+        x_aug[:, :, :cells] = xt
+        x_aug[:, :, cells] = 1.0
+        x_aug[:, :, cells + 1] = xt.sum(axis=2)
+        idx = np.matmul(x_aug, stack["w_aug"]).astype(stack["idx_dtype"])
+        decoded = lut[idx]                      # (chunks, Bx*Mb, P*n)
+        counts = decoded.reshape(chunks, bx * mb, p, n).sum(
+            axis=0, dtype=np.int64)
+        return counts.reshape(bx, mb, p, n)
 
     def _decode_variation(self, programmed, stack, x32_block, n_x1_block,
                           temp_c):
@@ -540,10 +704,15 @@ class FusedBitPlaneBackend(ArrayBackend):
                                 stack["w32"]).astype(np.float64)
         n_w1 = programmed.w_counts[None, None, :, :, :]     # (1,1,P,c,n)
         n_x1 = n_x1_block.astype(np.float64)[:, :, None, :, None]
-        n10 = n_w1 - n11
-        n01 = n_x1 - n11
-        n00 = cells - n_w1 - n_x1 + n11
-        vacc = gain * (n11 * von + n10 * z10 + n01 * z01 + n00 * z00)
+        if programmed.bits_per_cell > 1:
+            s_on, s_off = unit.digit_steps(temp_c)
+            vacc = _digit_vacc(n11, n_w1, n_x1, cells, gain,
+                               z01, z00, s_on, s_off)
+        else:
+            n10 = n_w1 - n11
+            n01 = n_x1 - n11
+            n00 = cells - n_w1 - n_x1 + n11
+            vacc = gain * (n11 * von + n10 * z10 + n01 * z01 + n00 * z00)
         vacc = vacc + gain * np.einsum(
             "xmce,pcen->xmpcn", x32_block.astype(np.float64),
             programmed.w_dv)

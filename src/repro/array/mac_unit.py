@@ -83,6 +83,12 @@ class BehavioralMacConfig:
     sensing: SensingSpec = field(default_factory=SensingSpec)
     #: Array backend executing multi-bit matmuls (see repro.array.backend).
     backend: str = "dense"
+    #: Magnitude bits stored per cell (MLC weight encoding).  ``b > 1``
+    #: programs each cell to one of ``2**b`` partial-polarization levels
+    #: and shrinks the weight-plane schedule to ``ceil((bits_w-1)/b)``
+    #: digit planes; the ADC ladder grows to ``cells_per_row * (2**b - 1)
+    #: + 1`` levels.  ``1`` is the seed's binary cell, bit-identical.
+    bits_per_cell: int = 1
 
 
 class BitSerialMacUnit:
@@ -206,14 +212,59 @@ class BitSerialMacUnit:
         table = self._level_table(temp_c)
         return tuple(table[state] for state in CELL_STATES)
 
+    def digit_steps(self, temp_c):
+        """Per-digit level steps ``(s_on, s_off)`` of the multibit cell.
+
+        The program-verify write loop (:mod:`repro.cells.multibit`) places
+        the ``2**bits_per_cell`` partial-polarization levels on a uniform
+        voltage ladder between the binary-cell endpoints, so a cell
+        storing digit ``d`` reads ``V_01 + d * s_on`` when its input is
+        high and ``V_00 + d * s_off`` when low, with ``d = digit_max``
+        exactly the fully-programmed binary state.  Deterministic float
+        math over the cached level table — every backend path computes
+        identical step values.
+        """
+        digit_max = (1 << self.config.bits_per_cell) - 1
+        von, z10, z01, z00 = self.levels_at(temp_c)
+        return (von - z01) / digit_max, (z10 - z00) / digit_max
+
     def _calibrate_sensor(self):
-        """ADC thresholds from nominal 27 degC prefix-pattern levels."""
+        """ADC thresholds from nominal 27 degC prefix-pattern levels.
+
+        Multibit units calibrate a ``cells * digit_max + 1``-level ladder
+        built from the canonical prefix pattern for MAC value ``k``:
+        ``k // digit_max`` fully-on input-high cells, one input-high cell
+        at partial digit ``k % digit_max`` (when nonzero), and the
+        remaining cells contributing the *midpoint* background ``(V_10 +
+        V_00) / 2`` — a trimmed flash ADC centers its decision windows on
+        the expected background leakage, and with 2^b levels per cell the
+        decode gap is ``digit_max`` times narrower than binary, so the
+        seed's all-``V_10`` background assumption would bias every decode
+        low by most of a gap (measured: 3 bits/cell mis-decodes ~60% of
+        VGG outputs at 27 degC with the biased ladder, 0% with the
+        centered one).  ``bits_per_cell = 1`` keeps the seed ladder
+        untouched.  ``ChargeSharingSensor.calibrate`` raises loudly if
+        temperature or geometry ever makes the ladder non-monotone, so a
+        decodable multibit config is self-verifying.
+        """
         n = self.config.cells_per_row
         gain = self.config.sensing.share_gain(n)
         von = self._level((1, 1), REFERENCE_TEMP_C)
         z10 = self._level((1, 0), REFERENCE_TEMP_C)
-        levels = gain * (np.arange(n + 1) * von
-                         + (n - np.arange(n + 1)) * z10)
+        if self.config.bits_per_cell == 1:
+            levels = gain * (np.arange(n + 1) * von
+                             + (n - np.arange(n + 1)) * z10)
+        else:
+            digit_max = (1 << self.config.bits_per_cell) - 1
+            z01 = self._level((0, 1), REFERENCE_TEMP_C)
+            z00 = self._level((0, 0), REFERENCE_TEMP_C)
+            s_on, _ = self.digit_steps(REFERENCE_TEMP_C)
+            z_bg = (z10 + z00) / 2.0
+            k = np.arange(n * digit_max + 1)
+            q, r = k // digit_max, k % digit_max
+            partial = np.where(r > 0, z01 + r * s_on, 0.0)
+            levels = gain * (q * von + partial
+                             + (n - q - (r > 0)) * z_bg)
         sensor = ChargeSharingSensor(self.config.sensing)
         return sensor.calibrate(levels)
 

@@ -249,6 +249,7 @@ def encode_unit(unit):
             "sigma_vth_fefet": cfg.sigma_vth_fefet,
             "sigma_vth_mosfet": cfg.sigma_vth_mosfet,
             "seed": cfg.seed, "backend": cfg.backend,
+            "bits_per_cell": cfg.bits_per_cell,
             "sensing": {"co_farads": cfg.sensing.co_farads,
                         "cacc_farads": cfg.sensing.cacc_farads},
         },
@@ -270,7 +271,9 @@ def decode_unit(meta, arrays, design):
         sigma_vth_mosfet=float(cm["sigma_vth_mosfet"]),
         seed=int(cm["seed"]),
         sensing=SensingSpec(**cm["sensing"]),
-        backend=cm["backend"])
+        backend=cm["backend"],
+        # Artifacts written before MLC encoding carry no key: binary.
+        bits_per_cell=int(cm.get("bits_per_cell", 1)))
     calibration = MacCalibration(
         temp_grid_c=config.temp_grid_c,
         levels=np.array(arrays["cal.levels"], dtype=np.float64),
@@ -284,8 +287,9 @@ def decode_unit(meta, arrays, design):
 def encode_programmed(chip):
     """Arrays for every programmed tile of ``chip``.
 
-    Planes are exact 0/1, so uint8 storage loses nothing; counts are
-    recomputed on load.  Variation offsets (``w_dv``) are the die's
+    Planes are exact small integers — 0/1 bits, or base-2^b digits up to
+    15 for multibit mappings — so uint8 storage loses nothing; counts
+    are recomputed on load.  Variation offsets (``w_dv``) are the die's
     frozen error pattern and ship verbatim as float64.
     """
     arrays = {}
@@ -335,7 +339,8 @@ def decode_programmed(program, arrays):
                 signs=signs, plane_bits=plane_bits,
                 w_planes=w_planes,
                 w_counts=w_planes.sum(axis=2),
-                w_dv=w_dv)
+                w_dv=w_dv,
+                bits_per_cell=mapping.bits_per_cell)
     return programmed
 
 
@@ -394,7 +399,8 @@ def decode_live_planes(program, arrays, *, prefix=""):
                 w_planes=w_planes,
                 w_counts=np.asarray(arrays[f"{prefix}prog{j}.{t}.counts"]),
                 w_dv=(np.asarray(arrays[dv_key]) if dv_key in arrays
-                      else None))
+                      else None),
+                bits_per_cell=mapping.bits_per_cell)
     return programmed
 
 

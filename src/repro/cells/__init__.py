@@ -10,8 +10,10 @@
   2T-1FeFET cell (Sec. III-B).
 
 Cell-level measurement helpers (DC output current, read transients) live in
-:mod:`repro.cells.base`; fast calibrated behavioral twins for NN-scale
-simulation live in :mod:`repro.cells.behavioral`.
+:mod:`repro.cells.base`; the multibit (MLC) per-level measurement and
+calibration path lives in :mod:`repro.cells.multibit`; fast calibrated
+behavioral twins for NN-scale simulation live in
+:mod:`repro.cells.behavioral`.
 """
 
 from repro.cells.base import (
@@ -24,6 +26,12 @@ from repro.cells.base import (
 )
 from repro.cells.fefet_1r import FeFET1RCell
 from repro.cells.fefet_1t import FeFET1TCell
+from repro.cells.multibit import (
+    MultibitCellCalibration,
+    measure_multibit_cell,
+    multibit_output_current,
+    multibit_read_level,
+)
 from repro.cells.two_t_one_fefet import TwoTOneFeFETCell
 
 __all__ = [
@@ -35,5 +43,9 @@ __all__ = [
     "cell_read_transient_batch",
     "FeFET1RCell",
     "FeFET1TCell",
+    "MultibitCellCalibration",
+    "measure_multibit_cell",
+    "multibit_output_current",
+    "multibit_read_level",
     "TwoTOneFeFETCell",
 ]

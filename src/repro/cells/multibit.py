@@ -1,0 +1,219 @@
+"""Multibit (MLC) cell path: measured per-level outputs and calibration.
+
+The array backends execute multibit MACs on an *affine* per-digit model
+(:meth:`repro.array.mac_unit.BitSerialMacUnit.digit_steps`): a cell
+storing digit ``d`` of ``digit_max = 2**b - 1`` reads ``V_01 + d * s_on``
+when its input is high and ``V_00 + d * s_off`` when low, with the
+endpoints pinned to the binary cell's measured states.  That is the
+behaviour of a *program-verify* write loop — the driver pulses the FeFET
+toward a target output voltage on a uniform ladder and stops when the
+read-back lands inside the verify window — and it is what makes the
+digit-count MAC a single BLAS pass per plane.
+
+This module is the circuit-level side of that contract.  It measures the
+actual per-level output of the cell with the Preisach model's partial
+polarization states (``fefet.program_level``: the open-loop write), both
+as DC output currents (the Fig. 3/7 quantity) and as read-transient
+voltages over temperature, and reports how far the open-loop levels land
+from the program-verify ladder targets (INL, in LSB units).  The
+:class:`MultibitCellCalibration` it produces is the multibit analogue of
+:class:`repro.array.mac_unit.MacCalibration`: per-level tables over the
+temperature grid for cell values ``0 .. 2**b - 1``, for both input
+states.
+
+The experiment ``mlc_transfer`` and the MLC example/benchmark are thin
+wrappers over these helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cells.base import _build_standalone
+from repro.circuit import dc_operating_point, transient_simulation
+from repro.circuit.elements import Capacitor
+from repro.constants import REFERENCE_TEMP_C
+from repro.devices.variation import CellVariation
+
+#: Temperature grid used by default for multibit calibration (matches the
+#: binary unit's corner set: extremes + reference).
+MULTIBIT_TEMPS_C = (0.0, REFERENCE_TEMP_C, 85.0)
+
+
+def _standalone_at_level(design, level, n_levels, input_bit, variation,
+                         v_out_probe):
+    """Single-cell circuit with the FeFET reprogrammed to an MLC level.
+
+    Builds the same standalone circuit as the binary measurement helpers,
+    then overwrites the attach-time binary write with the requested
+    partial-polarization level (level 0 = erased, ``n_levels - 1`` = fully
+    programmed, i.e. the binary '1').
+    """
+    circuit = _build_standalone(design, 1, input_bit,
+                                variation or CellVariation.nominal(),
+                                v_out_probe)
+    circuit.element("cell_fe").fefet.program_level(level, n_levels)
+    return circuit
+
+
+def multibit_output_current(design, level, n_levels, temp_c, *,
+                            input_bit=1, variation=None, v_probe=None):
+    """DC output current of a cell programmed to one of ``n_levels`` states.
+
+    The per-level analogue of :func:`repro.cells.base.cell_output_current`:
+    OUT is clamped at the probe voltage and the current into it is
+    measured.  This is the quantity a program-verify sense amp integrates.
+    """
+    if v_probe is None:
+        v_probe = design.v_probe
+    circuit = _standalone_at_level(design, level, n_levels, input_bit,
+                                   variation, v_probe)
+    op = dc_operating_point(circuit, temp_c=temp_c)
+    return op.branch_current("VPROBE")
+
+
+def multibit_read_level(design, level, n_levels, temp_c, *, input_bit=1,
+                        variation=None, dt=0.1e-9):
+    """Read-transient output voltage of a cell at an MLC level.
+
+    Charges the cell's output capacitor from 0 V for the design's read
+    window, exactly like the binary calibration transients, and returns
+    the final OUT voltage.
+    """
+    circuit = _standalone_at_level(design, level, n_levels, input_bit,
+                                   variation, None)
+    circuit.add(Capacitor("CO", "out", "0", design.co_farads))
+    res = transient_simulation(circuit, t_stop=design.t_read, dt=dt,
+                               temp_c=float(temp_c),
+                               initial_conditions={"out": 0.0})
+    return res.final_voltage("out")
+
+
+@dataclass(frozen=True)
+class MultibitCellCalibration:
+    """Measured per-level state of an MLC cell over a temperature grid.
+
+    The multibit analogue of :class:`repro.array.mac_unit.MacCalibration`:
+    level tables for cell values ``0 .. 2**bits_per_cell - 1`` at both
+    input states, temperature-dependent like the binary four-state table.
+    All derived quantities (ladder targets, INL, step sizes) are pure
+    float math over these arrays, so the object is cheap to interrogate
+    and safe to serialize.
+    """
+
+    #: Magnitude bits stored per cell; ``n_levels = 2**bits_per_cell``.
+    bits_per_cell: int
+    #: Temperature grid the levels were measured over (degC).
+    temp_grid_c: tuple
+    #: (n_levels, T) read-back voltages with the input high.
+    levels_on: np.ndarray
+    #: (n_levels, T) read-back voltages with the input low.
+    levels_off: np.ndarray
+
+    @property
+    def n_levels(self):
+        return 1 << self.bits_per_cell
+
+    @property
+    def digit_max(self):
+        return self.n_levels - 1
+
+    def _interp(self, table, temp_c):
+        return np.array([
+            float(np.interp(float(temp_c), self.temp_grid_c, row))
+            for row in table
+        ])
+
+    def levels_at(self, temp_c, input_bit=1):
+        """Measured per-level voltages at ``temp_c`` (interpolated)."""
+        return self._interp(self.levels_on if input_bit else self.levels_off,
+                            temp_c)
+
+    def digit_steps(self, temp_c):
+        """``(s_on, s_off)`` of the endpoint-pinned affine model.
+
+        Same definition as ``BitSerialMacUnit.digit_steps`` but over the
+        *measured* multibit endpoints: level ``digit_max`` is the binary
+        '1' state, level 0 the erased state.
+        """
+        on = self.levels_at(temp_c, 1)
+        off = self.levels_at(temp_c, 0)
+        return ((on[-1] - on[0]) / self.digit_max,
+                (off[-1] - off[0]) / self.digit_max)
+
+    def ladder_targets_at(self, temp_c, input_bit=1):
+        """Program-verify targets: the uniform ladder between endpoints."""
+        v = self.levels_at(temp_c, input_bit)
+        d = np.arange(self.n_levels)
+        step = (v[-1] - v[0]) / self.digit_max
+        return v[0] + d * step
+
+    def inl_lsb_at(self, temp_c, input_bit=1):
+        """Worst open-loop integral nonlinearity, in per-digit LSB units.
+
+        ``max_d |V_measured(d) - V_ladder(d)| / s`` with ``s`` the ladder
+        step.  This is the error a program-verify write loop removes; it
+        quantifies how much the open-loop Preisach levels deviate from the
+        affine model the backends compute with.
+        """
+        v = self.levels_at(temp_c, input_bit)
+        targets = self.ladder_targets_at(temp_c, input_bit)
+        step = abs(targets[-1] - targets[0]) / self.digit_max
+        if step <= 0:
+            raise ValueError("degenerate ladder: endpoints coincide")
+        return float(np.max(np.abs(v - targets)) / step)
+
+    def monotone_at(self, temp_c, input_bit=1):
+        """Whether the measured levels are strictly increasing with digit."""
+        v = self.levels_at(temp_c, input_bit)
+        return bool(np.all(np.diff(v) > 0))
+
+
+def measure_multibit_cell(design, bits_per_cell, temps_c=MULTIBIT_TEMPS_C,
+                          *, engine="batched", dt=0.1e-9):
+    """Measure the full per-level read table of an MLC cell.
+
+    Runs one read transient per (level, input state, temperature) —
+    ``2**b * 2 * len(temps_c)`` members — and packages the final OUT
+    voltages as a :class:`MultibitCellCalibration`.  ``engine="batched"``
+    solves the whole grid as one stacked transient (the circuits share a
+    topology and differ only in FeFET polarization and temperature);
+    ``"scalar"`` runs the reference per-member loop.
+    """
+    if bits_per_cell < 1:
+        raise ValueError("a cell stores at least one bit")
+    n_levels = 1 << bits_per_cell
+    grid = [(level, input_bit, float(t))
+            for input_bit in (1, 0)
+            for level in range(n_levels)
+            for t in temps_c]
+    if engine == "batched":
+        from repro.circuit.batched import transient_simulation_batched
+
+        circuits = []
+        for level, input_bit, temp in grid:
+            circuit = _standalone_at_level(design, level, n_levels,
+                                           input_bit, None, None)
+            circuit.add(Capacitor("CO", "out", "0", design.co_farads))
+            circuits.append(circuit)
+        ensemble = transient_simulation_batched(
+            circuits, t_stop=design.t_read, dt=dt,
+            temps_c=[t for _, _, t in grid],
+            initial_conditions={"out": 0.0})
+        finals = [ensemble.member(b).final_voltage("out")
+                  for b in range(len(grid))]
+    else:
+        finals = [multibit_read_level(design, level, n_levels, temp,
+                                      input_bit=input_bit, dt=dt)
+                  for level, input_bit, temp in grid]
+    table = {key: v for key, v in zip(grid, finals)}
+    levels_on = np.array([[table[(lvl, 1, float(t))] for t in temps_c]
+                          for lvl in range(n_levels)])
+    levels_off = np.array([[table[(lvl, 0, float(t))] for t in temps_c]
+                           for lvl in range(n_levels)])
+    return MultibitCellCalibration(
+        bits_per_cell=bits_per_cell,
+        temp_grid_c=tuple(float(t) for t in temps_c),
+        levels_on=levels_on, levels_off=levels_off)

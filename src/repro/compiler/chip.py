@@ -97,7 +97,8 @@ class ChipMeter:
     """
 
     def __init__(self, latency=None, energy_per_mac_j=None,
-                 energy_report=None, cells_per_row=None):
+                 energy_report=None, cells_per_row=None,
+                 bits_per_cell=1):
         if energy_per_mac_j is None:
             energy_per_mac_j = (energy_report.average_energy_j
                                 if energy_report is not None
@@ -114,6 +115,13 @@ class ChipMeter:
         #: per-primitive-op conversion depends on it, so TOPS/W reported
         #: here must use the design's actual width, not an assumed 8.
         self.cells_per_row = int(cells_per_row)
+        #: Magnitude bits per cell: a multibit row op is priced at
+        #: ``bits_per_cell`` binary-row energies (each stored level pair
+        #: costs one binary read's worth of sensing — conservative
+        #: per-level accounting) and credited with ``cells * b + 1``
+        #: primitive bit-ops.  The MLC win shows up as *fewer row ops*
+        #: (fewer digit planes), not as cheaper individual ops.
+        self.bits_per_cell = int(bits_per_cell)
         self._lock = threading.Lock()
         self.reset()
 
@@ -143,9 +151,14 @@ class ChipMeter:
 
     # -- derived quantities ---------------------------------------------
     @property
+    def energy_per_row_op_j(self):
+        """Per-level-priced energy of one (possibly multibit) row op."""
+        return self.energy_per_mac_j * self.bits_per_cell
+
+    @property
     def energy_j(self):
         """Modeled array energy spent since the last reset."""
-        return self.row_ops * self.energy_per_mac_j
+        return self.row_ops * self.energy_per_row_op_j
 
     @property
     def latency_s(self):
@@ -155,7 +168,8 @@ class ChipMeter:
     @property
     def tops_per_watt(self):
         """Efficiency of the metered array at its actual row width."""
-        return tops_per_watt(self.energy_per_mac_j, self.cells_per_row)
+        return tops_per_watt(self.energy_per_row_op_j, self.cells_per_row,
+                             self.bits_per_cell)
 
     def snapshot(self):
         """JSON-safe accounting snapshot (totals + per-tile row ops)."""
@@ -164,10 +178,11 @@ class ChipMeter:
                 "row_ops": self.row_ops,
                 "bit_cycles": self.bit_cycles,
                 "matmuls": self.matmuls,
-                "energy_j": self.row_ops * self.energy_per_mac_j,
+                "energy_j": self.row_ops * self.energy_per_row_op_j,
                 "latency_s": self.bit_cycles * self.latency.mac_latency_s,
                 "energy_per_mac_j": self.energy_per_mac_j,
                 "cells_per_row": self.cells_per_row,
+                "bits_per_cell": self.bits_per_cell,
                 "tops_per_watt": self.tops_per_watt,
                 "tiles": {
                     f"L{layer}T{r}.{c}": counters.as_dict()
@@ -199,6 +214,7 @@ class Chip:
             seed=mapping.seed,
             sensing=base.sensing,
             backend=mapping.backend,
+            bits_per_cell=mapping.bits_per_cell,
         ))
         # One backend instance (the unit's own) so per-temperature decode
         # caches are shared with any direct mac_unit callers; a reused
@@ -221,7 +237,8 @@ class Chip:
                 f"cells/row mapping")
         self.meter = meter or ChipMeter(
             latency=latency, energy_report=energy_report,
-            cells_per_row=mapping.cells_per_row)
+            cells_per_row=mapping.cells_per_row,
+            bits_per_cell=mapping.bits_per_cell)
         # ``programmed`` adopts tiles already written by a sibling chip
         # of the same program (see :meth:`build_replicas`): the bit-plane
         # decomposition is weight-determined, so replicas share it and

@@ -59,7 +59,7 @@ def _compile_layer(index, layer, w2d, mapping):
     """One layer's :class:`LayerPlan` (weights already validated 2-D)."""
     wq = quantize_tensor(w2d, bits=mapping.bits, signed=True)
     k, n = w2d.shape
-    planes = plane_schedule(wq.values, mapping.bits)
+    planes = plane_schedule(wq.values, mapping.bits, mapping.bits_per_cell)
     row_blocks = mapping.row_blocks(k)
     col_blocks = mapping.col_blocks(n)
 

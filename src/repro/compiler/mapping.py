@@ -72,6 +72,11 @@ class MappingConfig:
     #: Cells per row chunk (the paper's 8); tile_rows must divide into
     #: whole chunks.
     cells_per_row: int = 8
+    #: Magnitude bits stored per cell (MLC weight encoding): ``b`` packs
+    #: the ``bits - 1`` weight magnitude bits into ``ceil((bits-1)/b)``
+    #: digit planes, a direct BLAS-pass reduction in the fused backend.
+    #: ``1`` is the seed's binary cell, bit-identical on every backend.
+    bits_per_cell: int = 1
 
     def __post_init__(self):
         validate_backend_name(self.backend)
@@ -79,6 +84,12 @@ class MappingConfig:
             raise ValueError(f"unsupported wordlength {self.bits}")
         if self.cells_per_row < 1:
             raise ValueError("cells_per_row must be positive")
+        if not 1 <= self.bits_per_cell <= 4:
+            # The ADC ladder has cells_per_row * (2^b - 1) + 1 levels;
+            # past 4 bits/cell adjacent levels collapse below the
+            # charge-sharing sensor's resolution for any real cell.
+            raise ValueError(
+                f"bits_per_cell must be in [1, 4], got {self.bits_per_cell}")
         for name, value in (("tile_rows", self.tile_rows),
                             ("tile_cols", self.tile_cols)):
             if value is not None and value < 1:
@@ -134,6 +145,7 @@ class MappingConfig:
             "min_macs_for_cim": self.min_macs_for_cim,
             "backend": self.backend,
             "cells_per_row": self.cells_per_row,
+            "bits_per_cell": self.bits_per_cell,
         }
 
     def fingerprint(self):

@@ -19,40 +19,60 @@ import numpy as np
 OPS_PER_MAC = 9
 
 
-def primitive_ops_per_mac(cells_per_row):
-    """Multiplications + 1 accumulation for a row of the given width."""
+def primitive_ops_per_mac(cells_per_row, bits_per_cell=1):
+    """Multiplications + 1 accumulation for a row of the given width.
+
+    Multibit (MLC) cells do ``bits_per_cell`` binary multiplications'
+    worth of work per cell in one row op (bit-ops normalization: a b-bit
+    digit-by-bit product counts as b one-bit products), so a multibit row
+    op carries ``cells * b + 1`` primitive ops.  ``b = 1`` is the paper's
+    9-op accounting exactly.
+    """
     if cells_per_row < 1:
         raise ValueError("a MAC row needs at least one cell")
-    return cells_per_row + 1
+    if bits_per_cell < 1:
+        raise ValueError("a cell stores at least one bit")
+    return cells_per_row * bits_per_cell + 1
 
 
-def energy_per_primitive_op(energy_per_mac_j, cells_per_row=8):
-    """Energy per primitive operation given the per-MAC energy."""
-    return energy_per_mac_j / primitive_ops_per_mac(cells_per_row)
+def energy_per_primitive_op(energy_per_mac_j, cells_per_row=8,
+                            bits_per_cell=1):
+    """Energy per primitive operation given the per-row-op energy."""
+    return energy_per_mac_j / primitive_ops_per_mac(cells_per_row,
+                                                    bits_per_cell)
 
 
-def tops_per_watt(energy_per_mac_j, cells_per_row=8):
-    """Energy efficiency in TOPS/W for the given per-MAC energy.
+def tops_per_watt(energy_per_mac_j, cells_per_row=8, bits_per_cell=1):
+    """Energy efficiency in TOPS/W for the given per-row-op energy.
 
     TOPS/W is ops-per-joule scaled to tera: ``1 / (E_op in J) / 1e12``.
+    For multibit rows pass the *per-level-priced* row-op energy (the
+    binary per-MAC energy times ``bits_per_cell``) so energy and op
+    accounting stay consistent.
     """
-    e_op = energy_per_primitive_op(energy_per_mac_j, cells_per_row)
+    e_op = energy_per_primitive_op(energy_per_mac_j, cells_per_row,
+                                   bits_per_cell)
     if e_op <= 0:
         raise ValueError("energy per op must be positive")
     return 1.0 / e_op / 1e12
 
 
-def energy_per_inference(energy_per_mac_j, total_macs, cells_per_row=8):
+def energy_per_inference(energy_per_mac_j, total_macs, cells_per_row=8,
+                         bits_per_cell=1):
     """Total inference energy given the network's MAC count.
 
     ``total_macs`` counts scalar multiply-accumulates; the array executes
     them ``cells_per_row`` at a time, so the number of row operations is
-    ``ceil(total_macs / cells_per_row)``.
+    ``ceil(total_macs / cells_per_row)``.  ``bits_per_cell`` prices each
+    row op at that many binary-row energies (per-level accounting); the
+    plane-count savings of MLC encoding are a *schedule* effect and show
+    up in metered row-op counts (see ``ChipMeter``), not in this
+    MAC-count-level estimate.
     """
     if total_macs < 0:
         raise ValueError("total_macs must be non-negative")
     row_ops = int(np.ceil(total_macs / cells_per_row))
-    return row_ops * energy_per_mac_j
+    return row_ops * energy_per_mac_j * bits_per_cell
 
 
 def average_power(energy_per_mac_j, latency_s):

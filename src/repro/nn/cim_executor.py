@@ -51,6 +51,8 @@ class CimExecutionConfig:
     #: Array backend executing the programmed matmuls ("fused" is
     #: bit-identical to "dense" and several times faster).
     backend: str = "fused"
+    #: Magnitude bits per cell (MLC weight encoding; 1 = binary seed path).
+    bits_per_cell: int = 1
 
     def to_mapping(self, cells_per_row=8):
         """The spanning :class:`MappingConfig` equivalent to this config."""
@@ -60,7 +62,8 @@ class CimExecutionConfig:
             sigma_vth_fefet=self.sigma_vth_fefet,
             sigma_vth_mosfet=self.sigma_vth_mosfet,
             seed=self.seed, min_macs_for_cim=self.min_macs_for_cim,
-            backend=self.backend, cells_per_row=cells_per_row)
+            backend=self.backend, cells_per_row=cells_per_row,
+            bits_per_cell=self.bits_per_cell)
 
 
 class CimExecutor:

@@ -267,7 +267,7 @@ class TestPinnedSchedules:
 
     def test_keep_planes_rejects_out_of_range_bit(self, unit):
         backend = DenseNumpyBackend(unit)
-        with pytest.raises(ValueError, match="plane bit"):
+        with pytest.raises(ValueError, match="plane shift"):
             backend.program(np.ones((2, 2), dtype=int),
                             keep_planes=((1.0, 3),))   # bits_w=4 -> max 2
 

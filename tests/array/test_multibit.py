@@ -1,0 +1,208 @@
+"""Multibit (MLC) weight encoding at the backend layer.
+
+The load-bearing contracts of ``bits_per_cell``:
+
+* ``bits_per_cell=1`` is the seed's binary path, bit-identical to a
+  default-configured unit on every backend — the knob must be free when
+  off;
+* for ``b > 1`` the dense reference decode and the fused stacked-BLAS +
+  LUT decode agree bitwise at every temperature, nominal and under
+  frozen process variation;
+* the plane decomposition handles the ragged top digit (``bits_w - 1``
+  not divisible by ``b``) and elides all-zero digit planes without
+  changing a single decoded integer;
+* decode is exact (``== x @ w``) at the calibration reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.array import (
+    BehavioralMacConfig,
+    BitSerialMacUnit,
+    make_backend,
+    plane_schedule,
+)
+from repro.cells import TwoTOneFeFETCell
+
+SHAPES = ((3, 24, 5), (2, 7, 1), (5, 40, 9))
+TEMPS = (0.0, 27.0, 63.5, 85.0)
+
+
+def _unit(bits_per_cell, calibration=None, **kwargs):
+    cfg = BehavioralMacConfig(temp_grid_c=(0.0, 27.0, 85.0),
+                              bits_per_cell=bits_per_cell, **kwargs)
+    return BitSerialMacUnit(TwoTOneFeFETCell(), cfg,
+                            calibration=calibration)
+
+
+@pytest.fixture(scope="module")
+def units():
+    """One calibrated unit per bits_per_cell, sharing the circuit
+    calibration (module-scoped: calibration runs transients once)."""
+    base = _unit(1)
+    cal = base.calibration()
+    return {1: base, 2: _unit(2, cal), 3: _unit(3, cal)}
+
+
+def _operands(rng, shape, bits=8):
+    m, k, n = shape
+    x = rng.integers(0, 2 ** bits, size=(m, k))
+    w = rng.integers(-(2 ** (bits - 1) - 1), 2 ** (bits - 1), size=(k, n))
+    return x, w
+
+
+class TestBinaryUnchanged:
+    def test_explicit_1bit_identical_to_default(self, units):
+        """bits_per_cell=1 output == a default-config unit's output,
+        dense and fused, every temperature: the knob is inert when off."""
+        default = BitSerialMacUnit(TwoTOneFeFETCell(), BehavioralMacConfig(
+            temp_grid_c=(0.0, 27.0, 85.0)),
+            calibration=units[1].calibration())
+        rng = np.random.default_rng(0)
+        x, w = _operands(rng, (4, 24, 6))
+        for name in ("dense", "fused"):
+            a_backend = make_backend(name, default)
+            b_backend = make_backend(name, units[1])
+            pa, pb = a_backend.program(w), b_backend.program(w)
+            assert pb.bits_per_cell == 1
+            for temp in TEMPS:
+                assert np.array_equal(
+                    a_backend.matmul(pa, x, temp_c=temp),
+                    b_backend.matmul(pb, x, temp_c=temp)), (name, temp)
+
+    def test_1bit_schedule_is_bit_planes(self):
+        w = np.array([[5], [-3]])
+        sched = plane_schedule(w, bits_w=4, bits_per_cell=1)
+        assert sched == plane_schedule(w, bits_w=4)
+
+
+class TestDenseFusedMultibit:
+    @pytest.mark.parametrize("b", [2, 3])
+    def test_bit_exact_nominal(self, units, b):
+        dense = make_backend("dense", units[b])
+        fused = make_backend("fused", units[b])
+        rng = np.random.default_rng(b)
+        for shape in SHAPES:
+            x, w = _operands(rng, shape)
+            pd, pf = dense.program(w), fused.program(w)
+            for temp in TEMPS:
+                a = dense.matmul(pd, x, temp_c=temp)
+                f = fused.matmul(pf, x, temp_c=temp)
+                assert np.array_equal(a, f), (b, shape, temp)
+
+    @pytest.mark.parametrize("b", [2, 3])
+    def test_bit_exact_with_variation(self, units, b):
+        noisy = _unit(b, units[b].calibration(),
+                      sigma_vth_fefet=54e-3, sigma_vth_mosfet=15e-3,
+                      seed=3)
+        dense = make_backend("dense", noisy)
+        fused = make_backend("fused", noisy)
+        rng = np.random.default_rng(b + 10)
+        x, w = _operands(rng, (3, 24, 5))
+        pd = dense.program(w, rng=np.random.default_rng(7))
+        pf = fused.program(w, rng=np.random.default_rng(7))
+        assert pd.w_dv is not None
+        for temp in TEMPS:
+            assert np.array_equal(dense.matmul(pd, x, temp_c=temp),
+                                  fused.matmul(pf, x, temp_c=temp)), temp
+
+    @pytest.mark.parametrize("b", [2, 3])
+    def test_exact_at_reference(self, units, b):
+        backend = units[b].backend
+        rng = np.random.default_rng(b)
+        for shape in SHAPES:
+            x, w = _operands(rng, shape)
+            programmed = backend.program(w)
+            assert np.array_equal(backend.matmul(programmed, x, temp_c=27.0),
+                                  x @ w), (b, shape)
+
+    @pytest.mark.parametrize("b", [2, 3])
+    def test_reprogram_variation_keeps_identity(self, units, b):
+        """The Monte-Carlo shard primitive: redrawn variation stays
+        dense==fused and preserves the multibit decomposition."""
+        noisy = _unit(b, units[b].calibration(), sigma_vth_fefet=54e-3)
+        dense = make_backend("dense", noisy)
+        fused = make_backend("fused", noisy)
+        rng = np.random.default_rng(0)
+        x, w = _operands(rng, (3, 16, 4))
+        pd = dense.program(w, rng=np.random.default_rng(1))
+        pf = fused.program(w, rng=np.random.default_rng(1))
+        rd = dense.reprogram_variation(pd, rng=np.random.default_rng(2))
+        rf = fused.reprogram_variation(pf, rng=np.random.default_rng(2))
+        assert rd.bits_per_cell == b
+        for temp in TEMPS:
+            assert np.array_equal(dense.matmul(rd, x, temp_c=temp),
+                                  fused.matmul(rf, x, temp_c=temp)), temp
+
+
+class TestPlaneDecomposition:
+    def test_plane_counts_shrink(self, units):
+        """8-bit weights: 14 binary planes -> 8 two-bit -> 6 three-bit
+        (both signs present)."""
+        rng = np.random.default_rng(0)
+        _, w = _operands(rng, (1, 16, 8))
+        counts = {b: units[b].backend.program(w).n_planes for b in (1, 2, 3)}
+        assert counts == {1: 14, 2: 8, 3: 6}
+
+    def test_ragged_top_plane_decodes_exactly(self, units):
+        """bits_w=8, b=2: magnitude bits 0..6 split into digit shifts
+        0/2/4/6 — the shift-6 digit holds a single leftover bit.  Weights
+        that exercise only that top digit must decode exactly."""
+        w = np.array([[64, -64, 127, -127]]).T @ np.ones((1, 3), dtype=int)
+        w = w.astype(np.int64)
+        x = np.random.default_rng(0).integers(0, 256, size=(4, 4))
+        for b in (2, 3):
+            sched = plane_schedule(w, bits_w=8, bits_per_cell=b)
+            top = max(shift for _, shift in sched)
+            assert top == (7 // b) * b  # the ragged top digit's shift
+            for name in ("dense", "fused"):
+                backend = make_backend(name, units[b])
+                programmed = backend.program(w)
+                assert np.array_equal(
+                    backend.matmul(programmed, x, temp_c=27.0), x @ w), \
+                    (b, name)
+
+    def test_ragged_top_is_partial_digit(self):
+        """The b=2 schedule of 8-bit weights tops out at shift 6 with a
+        1-bit digit range, not a full 2-bit one."""
+        w = np.array([[127]])
+        sched = plane_schedule(w, bits_w=8, bits_per_cell=2)
+        assert (1, 6) in sched
+        assert all(shift % 2 == 0 for _, shift in sched)
+
+    def test_all_zero_digit_plane_elided(self, units):
+        """Weights that are multiples of 4 have an all-zero shift-0 digit
+        at b=2; the plane must be dropped from the array and the decode
+        must not change."""
+        w = (np.arange(1, 17).reshape(16, 1) * 4) % 124  # multiples of 4
+        x = np.random.default_rng(1).integers(0, 256, size=(3, 16))
+        sched = plane_schedule(w, bits_w=8, bits_per_cell=2)
+        assert all(shift != 0 for _, shift in sched)
+        for name in ("dense", "fused"):
+            backend = make_backend(name, units[2])
+            programmed = backend.program(w)
+            dense_full = np.array_equal(
+                backend.matmul(programmed, x, temp_c=27.0), x @ w)
+            assert dense_full, name
+        # The elided plane really saves array area vs pinning all shifts.
+        pinned = units[2].backend.program(
+            w, keep_planes=[(1, s) for s in (0, 2, 4, 6)])
+        assert pinned.n_planes > units[2].backend.program(w).n_planes
+        assert np.array_equal(
+            units[2].backend.matmul(pinned, x, temp_c=27.0), x @ w)
+
+    def test_misaligned_keep_planes_rejected(self, units):
+        """A pinned shift off the digit grid would double-count bits."""
+        w = np.array([[5]])
+        with pytest.raises(ValueError, match="digit grid"):
+            units[2].backend.program(w, keep_planes=[(1, 1)])
+
+
+class TestUnitLevel:
+    @pytest.mark.parametrize("b", [2, 3])
+    def test_unit_matmul_exact_at_reference(self, units, b):
+        rng = np.random.default_rng(b)
+        x, w = _operands(rng, (4, 16, 3))
+        got = units[b].matmul(x, w, temp_c=27.0)
+        assert np.array_equal(got, units[b].ideal_matmul(x, w))

@@ -31,7 +31,8 @@ REPO_SRC = Path(__file__).resolve().parents[2] / "src"
 
 BASE_MAPPING = dict(tile_rows=32, tile_cols=16, bits=8, temp_c=27.0,
                     sigma_vth_fefet=0.0, sigma_vth_mosfet=0.0, seed=0,
-                    min_macs_for_cim=0, backend="fused", cells_per_row=8)
+                    min_macs_for_cim=0, backend="fused", cells_per_row=8,
+                    bits_per_cell=1)
 
 #: One perturbed value per MappingConfig field.  ``fingerprint_data()``
 #: feeds the program fingerprint, so every field here must change it.
@@ -46,6 +47,7 @@ PERTURBATIONS = {
     "min_macs_for_cim": 1,
     "backend": "dense",
     "cells_per_row": 4,
+    "bits_per_cell": 2,
 }
 
 

@@ -1,0 +1,111 @@
+"""Multibit mappings through the compiler and Chip.
+
+``bits_per_cell`` rides the mapping, so the contracts here are about the
+compiled-program layer: a 1-bit mapping stays bit-identical to the
+default, tiled multibit chips match spanning ones, dense matches fused
+end to end, and the meter prices multibit row ops per level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells import TwoTOneFeFETCell
+from repro.compiler import Chip, MappingConfig, compile_model
+from repro.nn import Dense, ReLU, Sequential
+
+DESIGN = TwoTOneFeFETCell()
+
+
+def build_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(24, 12, rng=rng), ReLU(),
+                       Dense(12, 5, rng=rng)])
+
+
+def images(n=6, seed=1):
+    return np.random.default_rng(seed).normal(size=(n, 24))
+
+
+def logits(mapping, model=None, x=None, temp_c=None):
+    model = model or build_model()
+    chip = Chip(compile_model(model, DESIGN, mapping), DESIGN)
+    return chip.forward(x if x is not None else images(), temp_c=temp_c)
+
+
+class TestBinaryUnchanged:
+    def test_explicit_1bit_mapping_identical_to_default(self):
+        """bits_per_cell=1 must not change a single logit vs the seed's
+        default mapping, on either backend."""
+        for backend in ("dense", "fused"):
+            base = logits(MappingConfig(tile_rows=8, tile_cols=4,
+                                        backend=backend))
+            explicit = logits(MappingConfig(tile_rows=8, tile_cols=4,
+                                            backend=backend,
+                                            bits_per_cell=1))
+            assert np.array_equal(base, explicit), backend
+
+
+class TestMultibitChips:
+    @pytest.mark.parametrize("b", [2, 3])
+    def test_dense_fused_identical(self, b):
+        x = images()
+        outs = {backend: logits(MappingConfig(tile_rows=8, tile_cols=4,
+                                              backend=backend,
+                                              bits_per_cell=b), x=x)
+                for backend in ("dense", "fused")}
+        assert np.array_equal(outs["dense"], outs["fused"])
+
+    @pytest.mark.parametrize("b", [2, 3])
+    def test_spanning_vs_tiled_identical(self, b):
+        """Chunk-aligned tiling stays bit-exact at multibit precision:
+        the layer-global plane set and activation schedule are forced
+        onto every tile regardless of the digit radix."""
+        x = images()
+        spanning = logits(MappingConfig(tile_rows=None, tile_cols=None,
+                                        bits_per_cell=b), x=x)
+        tiled = logits(MappingConfig(tile_rows=8, tile_cols=4,
+                                     bits_per_cell=b), x=x)
+        assert np.array_equal(spanning, tiled)
+
+    @pytest.mark.parametrize("b", [2, 3])
+    def test_temperature_override_serves(self, b):
+        """Multibit chips serve per-request temperature overrides like
+        binary ones (programmed tiles reused, only decode drifts)."""
+        x = images()
+        mapping = MappingConfig(tile_rows=8, tile_cols=4, bits_per_cell=b)
+        chip = Chip(compile_model(build_model(), DESIGN, mapping), DESIGN)
+        ref = chip.forward(x)
+        hot = chip.forward(x, temp_c=85.0)
+        assert ref.shape == hot.shape
+        # And the override is reproducible.
+        assert np.array_equal(hot, chip.forward(x, temp_c=85.0))
+
+    def test_meter_prices_per_level(self):
+        """A 2-bit chip meters fewer row ops (fewer digit planes) but
+        each op costs bits_per_cell binary-read energies."""
+        x = images()
+        snaps = {}
+        for b in (1, 2):
+            mapping = MappingConfig(tile_rows=8, tile_cols=4,
+                                    bits_per_cell=b)
+            chip = Chip(compile_model(build_model(), DESIGN, mapping),
+                        DESIGN)
+            chip.forward(x)
+            snaps[b] = chip.meter.snapshot()
+        assert snaps[2]["row_ops"] < snaps[1]["row_ops"]
+        assert snaps[2]["bits_per_cell"] == 2
+        per_op_1 = snaps[1]["energy_j"] / snaps[1]["row_ops"]
+        per_op_2 = snaps[2]["energy_j"] / snaps[2]["row_ops"]
+        assert per_op_2 == pytest.approx(2 * per_op_1)
+
+    def test_variation_chip_dense_fused_identical(self):
+        """Frozen per-tile variation draws are backend-independent at
+        multibit precision too."""
+        x = images()
+        outs = {}
+        for backend in ("dense", "fused"):
+            mapping = MappingConfig(tile_rows=8, tile_cols=4,
+                                    backend=backend, bits_per_cell=2,
+                                    sigma_vth_fefet=54e-3, seed=5)
+            outs[backend] = logits(mapping, x=x)
+        assert np.array_equal(outs["dense"], outs["fused"])

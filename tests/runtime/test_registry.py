@@ -17,7 +17,8 @@ from repro.runtime.results import ExperimentResult
 #: The full CLI surface expected from the built-in experiment module.
 EXPECTED_NAMES = [
     "fig1", "fig3", "fig4", "fig7", "fig8", "fig9",
-    "table1", "table2", "decode-errors", "mlc", "thermal-gradient",
+    "table1", "table2", "decode-errors", "mlc", "mlc-temperature",
+    "mlc-variation", "thermal-gradient",
 ]
 
 #: Reduced-size overrides so the round-trip run stays fast; ``None`` marks
@@ -33,6 +34,10 @@ FAST_PARAMS = {
     "table2": None,
     "decode-errors": {"temps_c": (27.0,), "n_vectors": 4},
     "mlc": {"n_levels": 2, "temps_c": (27.0,)},
+    "mlc-temperature": {"bits_per_cell": (2,), "temps_c": (27.0,),
+                        "n_vectors": 4},
+    "mlc-variation": {"bits_per_cell": (2,), "n_samples": 2,
+                      "n_vectors": 4},
     "thermal-gradient": {"spans_c": (0.0, 10.0)},
     "infer": {"n_images": 2, "temps_c": (27.0,)},
 }

@@ -238,6 +238,24 @@ class TestInferCommand:
         assert main(base + ["--seed", "5"]) == 0
         assert "fresh run" in capsys.readouterr().out
 
+    def test_infer_bits_per_cell_fingerprints_cache(self, tmp_path, capsys):
+        """Regression: --bits-per-cell changes the compiled program (digit
+        planes, ADC ladder) and must miss the cache like any mapping knob."""
+        base = ["infer", "--images", "4", "--temps", "27",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base) == 0
+        assert "cache hit" in capsys.readouterr().out
+        assert main(base + ["--bits-per-cell", "2"]) == 0
+        assert "fresh run" in capsys.readouterr().out
+        # And the served mapping actually records the multibit encoding.
+        import json as _json
+
+        assert main(base + ["--bits-per-cell", "2", "--json"]) == 0
+        [doc] = _json.loads(capsys.readouterr().out)
+        assert doc["values"]["mapping"]["bits_per_cell"] == 2
+
     def test_infer_bin_edges_require_pool(self, capsys):
         """--bin-edges without a pool would silently cache a result doc
         claiming a binned fleet that never served."""
