@@ -1,0 +1,162 @@
+"""Design-space autotuner harness: search a grid, gate on beating the
+hand-picked default mapping.
+
+The tuner's claim is simple: searching the mapping/serving knobs finds a
+configuration strictly better than the hand-picked default
+(``MappingConfig()``: 128x128 tiles, 8 cells/row, 1 bit/cell, fused, one
+replica) on at least one Pareto axis — TOPS/W, nJ/image, latency,
+throughput, or allocated cells — at no worse accuracy.  This harness
+runs the search on the real compile-and-serve stack and exits nonzero
+if no candidate clears that bar (``--min-axes`` raises it).
+
+The smoke grid is deliberately tiny but still spans the axes that
+genuinely move: row width (16-cell rows amortize the accumulation op —
+higher TOPS/W, lower energy), cell precision (2 bits/cell halves the
+stored planes — less silicon), tile geometry (right-sized tiles drop
+the ragged-edge padding the default 128x128 wastes on a small model),
+and replica count (modeled fleet throughput).  The default sigma is 0
+so the gate is deterministic; pass ``--sigma-vth-fefet`` to make
+accuracy a real trade axis (then the gate also demands accuracy >=
+default's, which variation can genuinely fail).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_tune.py              # full grid
+    PYTHONPATH=src python benchmarks/perf_tune.py --smoke      # CI
+
+Writes ``BENCH_tune.json`` with the scores, front, chosen config, and
+the gate verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def run(args):
+    from repro.tune.pareto import DEFAULT_AXES
+    from repro.tune.space import TuneSpace
+    from repro.tune.tuner import TuneObjective, TuneWorkload, tune
+
+    if args.smoke:
+        space = TuneSpace(
+            tile_rows=(32,), tile_cols=(16,),
+            cells_per_row=(8, 16), bits_per_cell=(1, 2),
+            backends=("fused",), replicas=(1, 2))
+        n_probe = args.probe or 4
+    else:
+        space = TuneSpace(
+            tile_rows=(32, 64, 128), tile_cols=(16, 64, 128),
+            cells_per_row=(4, 8, 16), bits_per_cell=(1, 2),
+            backends=("fused",), replicas=(1, 2, 4))
+        n_probe = args.probe or 8
+    workload = TuneWorkload(
+        n_probe=n_probe,
+        temps_c=tuple(args.temps) if args.temps else (27.0,),
+        sigma_vth_fefet=args.sigma_vth_fefet, seed=args.seed)
+    objective = TuneObjective(metric="tops_per_watt")
+
+    started = time.perf_counter()
+    result = tune(space, workload, objective, estimator=args.estimator,
+                  parallel=args.parallel, use_cache=not args.no_cache,
+                  progress=print)
+    wall_s = time.perf_counter() - started
+
+    default = result.default
+    # Gate: some candidate must strictly beat the incumbent on
+    # >= --min-axes Pareto axes while giving up no accuracy.
+    challengers = [
+        s for s in result.scores
+        if not s["is_default"]
+        and s["accuracy"] >= default["accuracy"]
+        and len(s["beats_default_on"]) >= args.min_axes
+    ]
+    challengers.sort(key=lambda s: -len(s["beats_default_on"]))
+    gate_passed = bool(challengers)
+
+    print()
+    print(result.report())
+    print()
+    print(f"default: {default['candidate']['label']} — "
+          f"{default['tops_per_watt']:.0f} TOPS/W, "
+          f"{default['energy_nj_per_image']:.3g} nJ/img, "
+          f"{default['area_cells']} cells, "
+          f"acc {default['accuracy']:.3f}")
+    if gate_passed:
+        top = challengers[0]
+        print(f"beats default: {len(challengers)} candidate(s); best "
+              f"{top['candidate']['label']} wins on "
+              f"{','.join(top['beats_default_on'])}")
+    else:
+        print(f"ERROR: no candidate beats the default on >= "
+              f"{args.min_axes} Pareto axes at >= its accuracy",
+              file=sys.stderr)
+
+    doc = {
+        "workload": result.workload.fingerprint_data(),
+        "space": result.space.to_dict(),
+        "objective": result.objective.to_dict(),
+        "estimator": result.estimator,
+        "axes": [a.metric for a in DEFAULT_AXES],
+        "n_candidates": len(result.scores),
+        "n_front": len(result.front),
+        "cache_hits": result.cache_hits,
+        "default": default,
+        "chosen": result.best,
+        "front": [s["candidate"]["fingerprint"] for s in result.front],
+        "scores": result.scores,
+        "gate": {
+            "min_axes": args.min_axes,
+            "challengers": [s["candidate"]["label"] for s in challengers],
+            "passed": gate_passed,
+        },
+        "host_cpu_count": os.cpu_count(),
+        "wall_s": round(wall_s, 2),
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return 0 if gate_passed else 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="design-space autotuner vs the hand-picked default "
+                    "mapping (BENCH_tune harness)")
+    parser.add_argument("--probe", type=int, default=None, metavar="N",
+                        help="probe images per temperature (default 8, "
+                             "or 4 with --smoke)")
+    parser.add_argument("--temps", type=float, nargs="+", default=None,
+                        metavar="T",
+                        help="evaluation temperatures (degC, default 27)")
+    parser.add_argument("--sigma-vth-fefet", type=float, default=0.0,
+                        metavar="V",
+                        help="per-cell FeFET V_TH sigma (default 0: "
+                             "deterministic gate; nonzero makes accuracy "
+                             "a real trade axis)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--estimator", default="table",
+                        choices=("table", "circuit"),
+                        help="component pricing (default: table)")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="calibration groups across N processes")
+    parser.add_argument("--min-axes", type=int, default=1,
+                        help="Pareto axes a challenger must win to pass "
+                             "the gate (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the score cache")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write BENCH_tune.json to FILE")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized grid")
+    args = parser.parse_args(argv)
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,15 @@ serve-pool-bench [options]
     bring-up misses ``--min-warm-speedup``, or the process fleet's wall
     speedup misses ``--min-wall-speedup`` (gate auto-skipped with a
     notice on single-core hosts).
+tune [options]
+    Search the mapping/serving design space (tile geometry, row width,
+    bits per cell, backend, replica count, temperature bins) against an
+    objective with feasibility floors, on the real compile-and-serve
+    stack: one MAC-unit calibration per ``(cells_per_row,
+    bits_per_cell, ...)`` group, groups fanned over ``--parallel``
+    worker processes, candidate scores served from a content-addressed
+    cache.  Prints the Pareto front and the chosen configuration;
+    ``--json`` / ``--out`` / ``--md`` export the full result.
 artifacts {list,save,load,gc} [options]
     Manage the content-addressed compiled-artifact store
     (``$REPRO_ARTIFACT_DIR`` or ``<cache>/artifacts``): ``save``
@@ -256,6 +265,91 @@ def _build_parser():
     pool_p.add_argument("--smoke", action="store_true",
                         help="small CI-sized workload")
 
+    tune_p = sub.add_parser(
+        "tune",
+        help="search the mapping/serving design space (Pareto front + "
+             "chosen config)")
+    grids = tune_p.add_argument_group("search grids")
+    grids.add_argument("--tile-rows", type=int, nargs="+",
+                       default=(64, 128), metavar="R",
+                       help="tile row candidates (K dim; default 64 128)")
+    grids.add_argument("--tile-cols", type=int, nargs="+",
+                       default=(64, 128), metavar="C",
+                       help="tile column candidates (default 64 128)")
+    grids.add_argument("--cells-per-row", type=int, nargs="+",
+                       default=(4, 8, 16), metavar="N",
+                       help="row width candidates (default 4 8 16)")
+    grids.add_argument("--bits-per-cell", type=int, nargs="+",
+                       default=(1, 2), metavar="B",
+                       help="MLC precision candidates (default 1 2)")
+    grids.add_argument("--backends", nargs="+", default=("fused",),
+                       choices=sorted(BACKEND_CHOICES),
+                       help="array backend candidates (default: fused)")
+    grids.add_argument("--replicas", type=int, nargs="+", default=(1, 2),
+                       metavar="N",
+                       help="pool replica-count candidates (default 1 2)")
+    grids.add_argument("--temp-bins", type=float, nargs="+", default=None,
+                       metavar="T",
+                       help="also try this temperature-bin edge set "
+                            "(pool placement policy; unbinned is always "
+                            "searched)")
+    wl = tune_p.add_argument_group("evaluation workload")
+    wl.add_argument("--probe", type=int, default=8, metavar="N",
+                    help="probe images per temperature (default 8)")
+    wl.add_argument("--temps", type=float, nargs="+", default=None,
+                    metavar="T",
+                    help="evaluation temperatures in degC (default: 27; "
+                         "accuracy is the worst corner)")
+    wl.add_argument("--width", type=int, default=4,
+                    help="reduced-VGG channel width (default 4)")
+    wl.add_argument("--image-size", type=int, default=8)
+    wl.add_argument("--sigma-vth-fefet", type=float, default=0.0,
+                    metavar="V", help="per-cell FeFET V_TH sigma "
+                    "(nonzero makes accuracy a real trade axis)")
+    wl.add_argument("--sigma-vth-mosfet", type=float, default=0.0,
+                    metavar="V")
+    wl.add_argument("--seed", type=int, default=0)
+    obj = tune_p.add_argument_group("objective")
+    obj.add_argument("--objective", default="tops_per_watt",
+                     choices=("tops_per_watt", "energy_nj_per_image",
+                              "latency_s_per_image",
+                              "throughput_img_per_s", "accuracy",
+                              "area_cells"),
+                     help="scalar objective ranked within the feasible "
+                          "set (default: tops_per_watt)")
+    obj.add_argument("--minimize", action="store_true",
+                     help="minimize the objective instead of maximizing")
+    obj.add_argument("--min-accuracy", type=float, default=None,
+                     help="feasibility floor: worst-corner argmax "
+                          "agreement with the float model")
+    obj.add_argument("--min-throughput", type=float, default=None,
+                     metavar="IMG_S",
+                     help="feasibility floor: modeled fleet img/s")
+    obj.add_argument("--max-latency-us", type=float, default=None,
+                     metavar="US",
+                     help="feasibility ceiling: modeled per-image "
+                          "latency, microseconds")
+    tune_p.add_argument("--estimator", default="table",
+                        choices=("table", "circuit"),
+                        help="component pricing: paper-calibrated table "
+                             "or circuit-backed MAC-ladder calibration "
+                             "per row-width group (default: table)")
+    tune_p.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="calibration groups evaluated across N "
+                             "worker processes (default: serial)")
+    tune_p.add_argument("--no-cache", action="store_true",
+                        help="bypass the content-addressed score cache")
+    tune_p.add_argument("--cache-dir", type=Path, default=None,
+                        metavar="DIR", help="score cache root (default: "
+                        "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    tune_p.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the full result document as JSON on "
+                             "stdout (status lines go to stderr)")
+    tune_p.add_argument("--out", type=Path, default=None, metavar="FILE",
+                        help="write the result document (JSON) to FILE")
+    tune_p.add_argument("--md", type=Path, default=None, metavar="FILE",
+                        help="write the markdown report to FILE")
+
     art_p = sub.add_parser(
         "artifacts",
         help="manage the compiled-artifact store (instant bring-up)")
@@ -457,6 +551,54 @@ def _cmd_serve_pool_bench(args):
         min_wall_speedup=args.min_wall_speedup, out=args.out)
 
 
+def _cmd_tune(args):
+    from repro.constants import REFERENCE_TEMP_C
+    from repro.runtime.storage import atomic_write_text
+    from repro.tune.tuner import TuneObjective, TuneWorkload, tune
+    from repro.tune.space import TuneSpace
+
+    space = TuneSpace(
+        tile_rows=tuple(args.tile_rows),
+        tile_cols=tuple(args.tile_cols),
+        cells_per_row=tuple(args.cells_per_row),
+        bits_per_cell=tuple(args.bits_per_cell),
+        backends=tuple(args.backends),
+        replicas=tuple(args.replicas),
+        # The unbinned deployment is always in the grid; --temp-bins
+        # adds one binned placement beside it.
+        temp_bins=((None, tuple(args.temp_bins)) if args.temp_bins
+                   else (None,)))
+    workload = TuneWorkload(
+        width=args.width, image_size=args.image_size, n_probe=args.probe,
+        temps_c=tuple(args.temps) if args.temps else (REFERENCE_TEMP_C,),
+        sigma_vth_fefet=args.sigma_vth_fefet,
+        sigma_vth_mosfet=args.sigma_vth_mosfet, seed=args.seed)
+    objective = TuneObjective(
+        metric=args.objective, maximize=not args.minimize,
+        min_accuracy=args.min_accuracy,
+        min_throughput_img_per_s=args.min_throughput,
+        max_latency_s_per_image=(args.max_latency_us * 1e-6
+                                 if args.max_latency_us is not None
+                                 else None))
+    chatter = sys.stderr if args.as_json else sys.stdout
+    result = tune(space, workload, objective,
+                  estimator=args.estimator, parallel=args.parallel,
+                  use_cache=not args.no_cache,
+                  cache_dir=args.cache_dir,
+                  progress=lambda msg: print(msg, file=chatter))
+    if args.as_json:
+        print(result.to_json())
+    else:
+        print(result.report())
+    if args.out is not None:
+        atomic_write_text(args.out, result.to_json())
+        print(f"[tune json -> {args.out}]", file=chatter)
+    if args.md is not None:
+        atomic_write_text(args.md, result.markdown())
+        print(f"[tune markdown -> {args.md}]", file=chatter)
+    return 0 if result.best is not None else 1
+
+
 def _cmd_artifacts(args):
     import time
 
@@ -555,6 +697,8 @@ def main(argv=None):
         return _cmd_serve_bench(args)
     if args.command == "serve-pool-bench":
         return _cmd_serve_pool_bench(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     if args.command == "artifacts":
         return _cmd_artifacts(args)
     return _cmd_run(args, parser)

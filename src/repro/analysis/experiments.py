@@ -35,7 +35,7 @@ import numpy as np
 from repro.analysis.comparisons import build_table2
 from repro.analysis.montecarlo import run_process_variation_mc
 from repro.analysis.reporting import format_ranges, format_series, format_table
-from repro.array import EnergyReport, MacRow
+from repro.array import MacRow
 from repro.array.mac_unit import BehavioralMacConfig, BitSerialMacUnit
 from repro.cells import (
     FeFET1RCell,
@@ -135,30 +135,20 @@ def _array_bands(design, temps_c, n_cells=8, engine="batched"):
     grid as one :class:`~repro.array.row.RowEnsemble` and issues a single
     batched transient; ``"scalar"`` runs the reference per-read loops.
     Returns ``(sweeps, ranges, energy_reports, singular_solves)``.
-    """
-    sweeps = {}
-    energy_reports = {}
-    singular = 0
-    if engine == "batched":
-        from repro.array.row import run_mac_ladders
 
-        ladders = run_mac_ladders(design, temps_c, n_cells=n_cells)
-        for temp, results in zip(temps_c, ladders.values()):
-            singular += sum(r.transient.singular_solves for r in results)
-            sweeps[temp] = np.array([r.vacc for r in results])
-            energy_reports[temp] = EnergyReport.from_sweep(results, n_cells)
-    else:
-        for temp in temps_c:
-            row = MacRow(design, n_cells=n_cells)
-            _, vaccs, results = row.mac_sweep(float(temp), engine="scalar")
-            sweeps[temp] = vaccs
-            singular += sum(r.transient.singular_solves for r in results)
-            energy_reports[temp] = EnergyReport.from_sweep(results, n_cells)
+    Thin wrapper over the circuit-backed component estimator
+    (:class:`repro.tune.estimators.CircuitMacEstimator`) — the figures
+    and the design-space tuner share one calibration path.
+    """
+    from repro.tune.estimators import CircuitMacEstimator
+
+    est = CircuitMacEstimator(design, temps_c, n_cells=n_cells,
+                              engine=engine).calibrate()
     ranges = [
-        MacOutputRange.from_samples(k, [sweeps[t][k] for t in temps_c])
+        MacOutputRange.from_samples(k, [est.sweeps[t][k] for t in temps_c])
         for k in range(n_cells + 1)
     ]
-    return sweeps, ranges, energy_reports, singular
+    return est.sweeps, ranges, est.reports, est.singular_solves
 
 
 @experiment("fig4", anchor="Fig. 4", tags=("array", "baseline"),

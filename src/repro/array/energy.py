@@ -4,6 +4,12 @@ The circuit-level row already integrates per-source energy during its
 transient; this module aggregates those raw joules into the quantities the
 paper reports: energy per MAC operation (averaged over MAC values 0..8),
 energy per primitive op, TOPS/W, and energy per network inference.
+
+The derived metrics delegate to a per-component estimator
+(:class:`repro.tune.estimators.TableMacEstimator`) so that figure
+pipelines, chip telemetry, and the design-space tuner all price actions
+through one interface; the delegation is bit-identical to the original
+inline formulas (pinned by ``tests/tune/test_estimator_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -11,12 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-
-from repro.metrics.efficiency import (
-    energy_per_inference,
-    energy_per_primitive_op,
-    tops_per_watt,
-)
 
 #: The paper's measured average energy of one 8-cell row MAC operation
 #: (3.14 fJ, Fig. 8(b) / Table II).  Default per-row-op energy for chip
@@ -43,15 +43,29 @@ class EnergyReport:
 
     operations: tuple
     cells_per_row: int = 8
+    bits_per_cell: int = 1
+
+    def __post_init__(self):
+        if self.cells_per_row < 1:
+            raise ValueError("a MAC row needs at least one cell")
+        if self.bits_per_cell < 1:
+            raise ValueError("a cell stores at least one bit")
+        by_mac = {}
+        for op in self.operations:
+            if op.mac_value in by_mac:
+                raise ValueError(
+                    f"duplicate MAC value {op.mac_value} in energy report")
+            by_mac[op.mac_value] = op.energy_j
+        object.__setattr__(self, "_by_mac", by_mac)
 
     @classmethod
-    def from_sweep(cls, results, cells_per_row=8):
+    def from_sweep(cls, results, cells_per_row=8, bits_per_cell=1):
         """Build from :meth:`repro.array.row.MacRow.mac_sweep` results."""
         ops = tuple(
             OperationEnergy(res.mac_true, res.energy_j, res.energy_by_source)
             for res in results
         )
-        return cls(ops, cells_per_row)
+        return cls(ops, cells_per_row, bits_per_cell)
 
     @property
     def average_energy_j(self):
@@ -64,22 +78,30 @@ class EnergyReport:
 
     def energy_at(self, mac_value):
         """Energy at a specific MAC value."""
-        for op in self.operations:
-            if op.mac_value == mac_value:
-                return op.energy_j
-        raise KeyError(f"no operation with MAC={mac_value}")
+        try:
+            return self._by_mac[mac_value]
+        except KeyError:
+            raise KeyError(f"no operation with MAC={mac_value}") from None
+
+    def estimator(self, *, latency=None, writer=None):
+        """This report wrapped as a per-component table estimator."""
+        # Lazy import: repro.tune.estimators imports array modules at
+        # module level; importing it here at import time would cycle.
+        from repro.tune.estimators import TableMacEstimator
+        return TableMacEstimator.from_report(self, latency=latency,
+                                             writer=writer)
 
     def tops_per_watt(self):
-        """Efficiency using the paper's 9-ops-per-MAC accounting."""
-        return tops_per_watt(self.average_energy_j, self.cells_per_row)
+        """Efficiency using the paper's ops-per-MAC accounting (the
+        factor of 9 at 8 binary cells; per-level priced for MLC rows)."""
+        return self.estimator().tops_per_watt()
 
     def energy_per_op_j(self):
-        return energy_per_primitive_op(self.average_energy_j, self.cells_per_row)
+        return self.estimator().energy_per_op_j()
 
     def inference_energy_j(self, total_macs):
         """Energy for a full network inference of ``total_macs`` MACs."""
-        return energy_per_inference(self.average_energy_j, total_macs,
-                                    self.cells_per_row)
+        return self.estimator().inference_energy_j(total_macs)
 
     def rows(self):
         """(mac_value, energy_fJ) pairs, the Fig. 8(b) series."""

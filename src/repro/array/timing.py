@@ -27,6 +27,16 @@ class LatencySpec:
         """End-to-end latency of one MAC operation (the paper's 6.9 ns)."""
         return self.t_read_s + self.t_share_s + self.t_decode_s
 
+    def action_latency(self, action):
+        """Latency of one named estimator action (``repro.tune`` phase
+        names); the three read-path phases sum to :attr:`mac_latency_s`."""
+        try:
+            return {"row_read": self.t_read_s,
+                    "accumulate": self.t_share_s,
+                    "adc_convert": self.t_decode_s}[action]
+        except KeyError:
+            raise ValueError(f"no timed phase named {action!r}") from None
+
     @property
     def mac_throughput_per_s(self):
         """Back-to-back MAC operations per second for one row."""

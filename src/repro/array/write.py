@@ -78,6 +78,15 @@ class RowWriter:
         """Energy of one program pulse on one cell."""
         return self.spec.pulse_energy_j(PROGRAM_PULSE[0])
 
+    def write_estimate(self, bit):
+        """Energy + pulse width of writing one bit on one cell, as a
+        ``repro.tune`` :class:`~repro.tune.estimators.Estimate` (the
+        ``program_write`` estimator action)."""
+        from repro.tune.estimators import Estimate
+        if bit:
+            return Estimate(self.program_energy_j(), PROGRAM_PULSE[1])
+        return Estimate(self.erase_energy_j(), ERASE_PULSE[1])
+
     def write_row(self, weights):
         """Block-erase + selective-program cost for a weight vector."""
         weights = [int(bool(w)) for w in weights]

@@ -46,11 +46,9 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.array.energy import PAPER_AVG_MAC_ENERGY_J
 from repro.array.mac_unit import BehavioralMacConfig, BitSerialMacUnit
 from repro.array.timing import LatencySpec
 from repro.compiler.lowering import layer_matmul_weights
-from repro.metrics.efficiency import tops_per_watt
 from repro.nn import functional as F
 from repro.nn.layers import Conv2D, Dense
 from repro.nn.quantize import quantize_tensor
@@ -90,38 +88,74 @@ class ChipMeter:
 
     Counts are *physical*: one row op is one 8-cell analog MAC (one
     (activation-bit, weight-plane, chunk, column) firing for one
-    activation row).  Energy prices row ops at ``energy_per_mac_j``;
-    latency prices the serial bit cycles at
-    ``latency.mac_latency_s``.  Thread-safe — sessions meter concurrent
-    requests against one chip.
+    activation row).  Pricing goes through a per-component estimator
+    (:mod:`repro.tune.estimators`): energy prices row ops at the
+    estimator's ``row_read`` action, latency prices the serial bit
+    cycles at its summed read/share/decode phases — bit-identical to
+    the original ``energy_per_mac_j`` / ``latency.mac_latency_s``
+    formulas.  Thread-safe — sessions meter concurrent requests against
+    one chip.
     """
 
     def __init__(self, latency=None, energy_per_mac_j=None,
                  energy_report=None, cells_per_row=None,
-                 bits_per_cell=1):
-        if energy_per_mac_j is None:
-            energy_per_mac_j = (energy_report.average_energy_j
-                                if energy_report is not None
-                                else PAPER_AVG_MAC_ENERGY_J)
-        if cells_per_row is None:
-            # A measured report knows the width its per-MAC energy was
-            # taken at; only a report-less meter falls back to the
-            # paper's 8.
-            cells_per_row = (energy_report.cells_per_row
-                             if energy_report is not None else 8)
-        self.latency = latency or LatencySpec()
-        self.energy_per_mac_j = float(energy_per_mac_j)
-        #: Row width behind every metered row op — the per-MAC ->
-        #: per-primitive-op conversion depends on it, so TOPS/W reported
-        #: here must use the design's actual width, not an assumed 8.
-        self.cells_per_row = int(cells_per_row)
-        #: Magnitude bits per cell: a multibit row op is priced at
-        #: ``bits_per_cell`` binary-row energies (each stored level pair
-        #: costs one binary read's worth of sensing — conservative
-        #: per-level accounting) and credited with ``cells * b + 1``
-        #: primitive bit-ops.  The MLC win shows up as *fewer row ops*
-        #: (fewer digit planes), not as cheaper individual ops.
-        self.bits_per_cell = int(bits_per_cell)
+                 bits_per_cell=1, estimator=None):
+        from repro.tune.estimators import TableMacEstimator
+
+        if estimator is not None:
+            # The estimator carries the complete pricing model; mixing
+            # it with loose overrides would let the two drift apart.
+            if (energy_per_mac_j is not None or energy_report is not None
+                    or latency is not None):
+                raise ValueError(
+                    "an estimator carries its own energy/latency model; "
+                    "pass either estimator= or the loose knobs, not both")
+            self.estimator = estimator
+            self.latency = estimator.latency
+            self.energy_per_mac_j = float(estimator.per_mac_energy_j())
+            self.cells_per_row = int(estimator.cells_per_row)
+            self.bits_per_cell = int(estimator.bits_per_cell)
+            if (cells_per_row is not None
+                    and int(cells_per_row) != self.cells_per_row):
+                raise ValueError(
+                    f"estimator is a {self.cells_per_row} cells/row "
+                    f"component; cannot meter {cells_per_row} cells/row")
+        else:
+            if energy_per_mac_j is None:
+                energy_per_mac_j = (energy_report.average_energy_j
+                                    if energy_report is not None
+                                    else None)
+            if cells_per_row is None:
+                # A measured report knows the width its per-MAC energy
+                # was taken at; only a report-less meter falls back to
+                # the paper's 8.
+                cells_per_row = (energy_report.cells_per_row
+                                 if energy_report is not None else 8)
+            self.latency = latency or LatencySpec()
+            #: Magnitude bits per cell: a multibit row op is priced at
+            #: ``bits_per_cell`` binary-row energies (each stored level
+            #: pair costs one binary read's worth of sensing —
+            #: conservative per-level accounting) and credited with
+            #: ``cells * b + 1`` primitive bit-ops.  The MLC win shows
+            #: up as *fewer row ops* (fewer digit planes), not as
+            #: cheaper individual ops.  The table estimator implements
+            #: exactly this accounting.
+            self.estimator = TableMacEstimator(
+                energy_per_mac_j,  # None -> the paper's 3.14 fJ
+                cells_per_row=cells_per_row,
+                bits_per_cell=bits_per_cell,
+                latency=self.latency,
+                energy_table=(
+                    {op.mac_value: op.energy_j
+                     for op in energy_report.operations}
+                    if energy_report is not None else None))
+            self.energy_per_mac_j = self.estimator.energy_per_mac_j
+            #: Row width behind every metered row op — the per-MAC ->
+            #: per-primitive-op conversion depends on it, so TOPS/W
+            #: reported here must use the design's actual width, not an
+            #: assumed 8.
+            self.cells_per_row = int(cells_per_row)
+            self.bits_per_cell = int(bits_per_cell)
         self._lock = threading.Lock()
         self.reset()
 
@@ -149,11 +183,16 @@ class ChipMeter:
         with self._lock:
             self.bit_cycles += rows * active_bits
 
-    # -- derived quantities ---------------------------------------------
+    # -- derived quantities (all priced through the estimator) ----------
     @property
     def energy_per_row_op_j(self):
         """Per-level-priced energy of one (possibly multibit) row op."""
-        return self.energy_per_mac_j * self.bits_per_cell
+        return self.estimator.row_op_energy_j()
+
+    @property
+    def mac_latency_s(self):
+        """Latency of one serial bit cycle (read + share + decode)."""
+        return self.estimator.mac_latency_s()
 
     @property
     def energy_j(self):
@@ -163,13 +202,12 @@ class ChipMeter:
     @property
     def latency_s(self):
         """Modeled wall time of the serial MAC schedule since reset."""
-        return self.bit_cycles * self.latency.mac_latency_s
+        return self.bit_cycles * self.mac_latency_s
 
     @property
     def tops_per_watt(self):
         """Efficiency of the metered array at its actual row width."""
-        return tops_per_watt(self.energy_per_row_op_j, self.cells_per_row,
-                             self.bits_per_cell)
+        return self.estimator.tops_per_watt()
 
     def snapshot(self):
         """JSON-safe accounting snapshot (totals + per-tile row ops)."""
@@ -179,7 +217,7 @@ class ChipMeter:
                 "bit_cycles": self.bit_cycles,
                 "matmuls": self.matmuls,
                 "energy_j": self.row_ops * self.energy_per_row_op_j,
-                "latency_s": self.bit_cycles * self.latency.mac_latency_s,
+                "latency_s": self.bit_cycles * self.mac_latency_s,
                 "energy_per_mac_j": self.energy_per_mac_j,
                 "cells_per_row": self.cells_per_row,
                 "bits_per_cell": self.bits_per_cell,
@@ -195,8 +233,8 @@ class Chip:
     """A :class:`CompiledProgram` written onto a physical array backend."""
 
     def __init__(self, program, design, *, mac_config=None, meter=None,
-                 latency=None, energy_report=None, unit=None,
-                 programmed=None):
+                 latency=None, energy_report=None, estimator=None,
+                 unit=None, programmed=None):
         self.program = program
         self.design = design
         mapping = program.mapping
@@ -235,10 +273,25 @@ class Chip:
                 f"energy report measured at {energy_report.cells_per_row} "
                 f"cells/row cannot meter a {mapping.cells_per_row} "
                 f"cells/row mapping")
-        self.meter = meter or ChipMeter(
-            latency=latency, energy_report=energy_report,
-            cells_per_row=mapping.cells_per_row,
-            bits_per_cell=mapping.bits_per_cell)
+        # Same drift guard for a full estimator: its component geometry
+        # must be the mapping's.
+        if estimator is not None:
+            if estimator.cells_per_row != mapping.cells_per_row:
+                raise ValueError(
+                    f"estimator models {estimator.cells_per_row} cells/row;"
+                    f" cannot meter a {mapping.cells_per_row} cells/row "
+                    f"mapping")
+            if estimator.bits_per_cell != mapping.bits_per_cell:
+                raise ValueError(
+                    f"estimator models {estimator.bits_per_cell} bits/cell;"
+                    f" cannot meter a {mapping.bits_per_cell} bits/cell "
+                    f"mapping")
+            self.meter = meter or ChipMeter(estimator=estimator)
+        else:
+            self.meter = meter or ChipMeter(
+                latency=latency, energy_report=energy_report,
+                cells_per_row=mapping.cells_per_row,
+                bits_per_cell=mapping.bits_per_cell)
         # ``programmed`` adopts tiles already written by a sibling chip
         # of the same program (see :meth:`build_replicas`): the bit-plane
         # decomposition is weight-determined, so replicas share it and

@@ -131,6 +131,20 @@ class MappingConfig:
         """A copy with ``changes`` applied (dataclasses.replace wrapper)."""
         return replace(self, **changes)
 
+    def candidate(self, **changes):
+        """``(mapping, None)`` or ``(None, reason)`` for an override set.
+
+        The design-space tuner enumerates raw knob grids; combinations
+        the constructor rejects (tile_rows not a whole number of row
+        chunks, out-of-range ``bits_per_cell``, ...) are pruned with the
+        constructor's own message instead of duplicating the validation
+        rules in the search layer.
+        """
+        try:
+            return self.with_overrides(**changes), None
+        except ValueError as error:
+            return None, str(error)
+
     # -- fingerprinting --------------------------------------------------
     def fingerprint_data(self):
         """Result-affecting fields in canonical JSON-ready form."""

@@ -69,6 +69,11 @@ def energy_per_inference(energy_per_mac_j, total_macs, cells_per_row=8,
     up in metered row-op counts (see ``ChipMeter``), not in this
     MAC-count-level estimate.
     """
+    if bits_per_cell < 1:
+        raise ValueError("a cell stores at least one bit")
+    if not float(total_macs).is_integer():
+        raise ValueError(
+            f"total_macs must be a whole number of MACs, got {total_macs!r}")
     if total_macs < 0:
         raise ValueError("total_macs must be non-negative")
     row_ops = int(np.ceil(total_macs / cells_per_row))

@@ -1,0 +1,76 @@
+"""Design-space tuning: component estimators + parallel autotuner.
+
+Layer 1 (:mod:`repro.tune.estimators`) is the Accelergy-style uniform
+per-component cost interface — ``estimate(action, **attrs) ->
+Estimate(energy_j, latency_s, area)`` — with a paper-calibrated table
+implementation and a circuit-backed one over the batched ensemble
+engine.  ``EnergyReport``, ``ChipMeter``, and the figure pipelines are
+thin consumers of it.
+
+Layer 2 (:mod:`repro.tune.tuner` and friends) is ``repro tune``: a
+search over mapping geometry, row width, cell precision, backend,
+replica count, and temperature binning, evaluated on the real
+compile-and-serve stack with calibration sharing, process-parallel
+groups, and content-addressed score caching, reported as a Pareto
+front + chosen configuration.
+
+The estimator layer is imported eagerly (it is light and other array
+modules lazily call into it); the tuner layer loads on first attribute
+access so ``import repro.tune`` stays cheap.
+"""
+
+from repro.tune.estimators import (
+    CircuitMacEstimator,
+    Estimate,
+    Estimator,
+    MacArrayEstimator,
+    TableMacEstimator,
+)
+
+__all__ = [
+    "CircuitMacEstimator",
+    "Estimate",
+    "Estimator",
+    "MacArrayEstimator",
+    "TableMacEstimator",
+    # lazy (tuner layer):
+    "Axis",
+    "DEFAULT_AXES",
+    "Candidate",
+    "ScoreCache",
+    "TuneObjective",
+    "TuneResult",
+    "TuneSpace",
+    "TuneWorkload",
+    "better_axes",
+    "dominates",
+    "evaluate_candidate",
+    "pareto_front",
+    "tune",
+]
+
+_LAZY = {
+    "Axis": "repro.tune.pareto",
+    "DEFAULT_AXES": "repro.tune.pareto",
+    "dominates": "repro.tune.pareto",
+    "pareto_front": "repro.tune.pareto",
+    "better_axes": "repro.tune.pareto",
+    "Candidate": "repro.tune.space",
+    "TuneSpace": "repro.tune.space",
+    "ScoreCache": "repro.tune.cache",
+    "TuneObjective": "repro.tune.tuner",
+    "TuneResult": "repro.tune.tuner",
+    "TuneWorkload": "repro.tune.tuner",
+    "evaluate_candidate": "repro.tune.tuner",
+    "tune": "repro.tune.tuner",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.tune' has no attribute "
+                             f"{name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

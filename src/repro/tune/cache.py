@@ -1,0 +1,97 @@
+"""Content-addressed cache of candidate scores.
+
+Tuner evaluations are deterministic functions of (candidate knobs,
+workload, estimator choice, code version), so scores are cacheable by
+content hash exactly like experiment results
+(:mod:`repro.runtime.cache`): re-running ``repro tune`` with an enlarged
+grid re-evaluates only the new points, and an interrupted search loses
+nothing.  ``package_fingerprint()`` in the key makes any source change
+a clean miss — stale pricing can never leak into a new front.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.runtime.registry import package_fingerprint
+from repro.runtime.storage import (
+    atomic_write_text,
+    default_cache_dir,
+    sweep_temp_files,
+)
+
+#: Bump when the score-document schema changes shape.
+SCORE_SCHEMA = 1
+
+
+def score_key(candidate, workload_data, estimator):
+    """Stable content hash for one candidate evaluation."""
+    payload = json.dumps(
+        {
+            "schema": SCORE_SCHEMA,
+            "candidate": candidate.fingerprint_data(),
+            "workload": workload_data,
+            "estimator": estimator,
+            "code": package_fingerprint(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ScoreCache:
+    """Flat directory of ``<key>.json`` score documents."""
+
+    def __init__(self, cache_dir=None):
+        root = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.dir = root / "tune"
+
+    def _path(self, key):
+        return self.dir / f"{key}.json"
+
+    def get(self, key):
+        """The stored score dict, or ``None`` on miss/corruption.
+
+        A corrupt entry (interrupted writer on a non-atomic filesystem,
+        manual tampering) is unlinked and treated as a miss — the
+        evaluation is repeatable, the corruption is not.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != SCORE_SCHEMA:
+            return None
+        return doc["score"]
+
+    def put(self, key, score):
+        """Publish one score document (atomic, crash-safe)."""
+        atomic_write_text(self._path(key),
+                          json.dumps({"schema": SCORE_SCHEMA,
+                                      "score": score}, sort_keys=True))
+
+    def sweep(self):
+        """Clean stray temp files from crashed writers."""
+        return sweep_temp_files(self.dir)
+
+    def clear(self):
+        """Drop every cached score; returns how many were removed."""
+        removed = 0
+        if self.dir.is_dir():
+            for path in self.dir.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

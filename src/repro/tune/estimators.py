@@ -1,0 +1,359 @@
+"""Accelergy-style per-component estimators (the ``superloop`` pattern).
+
+Every physical component answers one question — *what does this action
+cost?* — through a uniform interface::
+
+    estimator.estimate(action, **attrs) -> Estimate(energy_j, latency_s, area)
+
+with named actions (``row_read``, ``accumulate``, ``adc_convert``,
+``program_write``).  A mapper can then search a design space without
+knowing where the numbers come from, and the repo's two sources of truth
+plug in behind the same interface:
+
+* :class:`TableMacEstimator` — the paper-calibrated lookup: 3.14 fJ per
+  8-cell row MAC (Fig. 8(b) / Table II), the 6 + 0.9 ns two-phase read
+  (:class:`~repro.array.timing.LatencySpec`), and the Sec. III write
+  pulses (:class:`~repro.array.write.RowWriter`).  Cheap and exact with
+  respect to the published numbers; the default pricing behind
+  :class:`~repro.compiler.chip.ChipMeter` and
+  :class:`~repro.array.energy.EnergyReport`.
+* :class:`CircuitMacEstimator` — circuit-backed: runs the batched
+  ensemble MAC ladder (one stacked transient over the full
+  temperature x MAC-level grid, :func:`repro.array.row.run_mac_ladders`)
+  and serves *measured* energies.  A search over row width prices each
+  width at its own simulated energy instead of assuming the 8-cell
+  number — exactly where a tuner needs a component estimator rather
+  than a constant.
+
+Energy accounting: the measured per-MAC energy integrates the *whole*
+two-phase operation (charge + share), so ``row_read`` carries the full
+energy and ``accumulate`` / ``adc_convert`` are latency-only phases —
+their estimates add the 0.9 ns share window and the decode overhead
+without double-counting joules.  Multibit rows price ``row_read`` at
+``bits_per_cell`` binary-row energies (the conservative per-level
+accounting shared with ``ChipMeter``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.array.energy import PAPER_AVG_MAC_ENERGY_J
+from repro.array.timing import LatencySpec
+from repro.array.write import RowWriter
+from repro.constants import REFERENCE_TEMP_C
+from repro.metrics.efficiency import (
+    energy_per_inference,
+    energy_per_primitive_op,
+    tops_per_watt,
+)
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Cost of one component action: energy, latency, optional area."""
+
+    energy_j: float
+    latency_s: float
+    area_um2: Optional[float] = None
+
+    def scaled(self, count):
+        """Energy/latency of ``count`` serial repetitions of this action.
+
+        Area does not scale with invocation count — it is a property of
+        the component, not of the action stream.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return Estimate(self.energy_j * count, self.latency_s * count,
+                        self.area_um2)
+
+    def __add__(self, other):
+        if not isinstance(other, Estimate):
+            return NotImplemented
+        areas = [a for a in (self.area_um2, other.area_um2) if a is not None]
+        return Estimate(self.energy_j + other.energy_j,
+                        self.latency_s + other.latency_s,
+                        sum(areas) if areas else None)
+
+    @property
+    def energy_fj(self):
+        return self.energy_j * 1e15
+
+
+class Estimator:
+    """Uniform per-component cost interface.
+
+    Subclasses declare their ``ACTIONS`` tuple and implement one
+    ``_estimate_<action>(**attrs)`` method per action; :meth:`estimate`
+    dispatches and rejects unknown actions loudly (a mapper iterating a
+    component list must not silently price a typo at zero).
+    """
+
+    component = "component"
+    ACTIONS: tuple = ()
+
+    def actions(self):
+        """The action names this component can price."""
+        return self.ACTIONS
+
+    def estimate(self, action, **attrs) -> Estimate:
+        """Price one named action; raises ``ValueError`` on unknown ones."""
+        if action not in self.ACTIONS:
+            raise ValueError(
+                f"{self.component!r} does not support action {action!r}; "
+                f"choices: {self.ACTIONS}")
+        return getattr(self, f"_estimate_{action}")(**attrs)
+
+    def energy_j(self, action, **attrs):
+        return self.estimate(action, **attrs).energy_j
+
+    def latency_s(self, action, **attrs):
+        return self.estimate(action, **attrs).latency_s
+
+
+class MacArrayEstimator(Estimator):
+    """Shared accounting for one CiM MAC row/array component.
+
+    Subclasses supply :meth:`per_mac_energy_j` (the binary-equivalent
+    energy of one row MAC) plus ``cells_per_row`` / ``bits_per_cell`` /
+    ``latency`` / ``writer`` attributes; everything else — the action
+    estimates and the derived TOPS/W / per-op / per-inference metrics —
+    derives here, so the table and circuit estimators cannot drift
+    apart on accounting.
+    """
+
+    component = "mac_array"
+    ACTIONS = ("row_read", "accumulate", "adc_convert", "program_write")
+
+    # -- to be provided by subclasses -----------------------------------
+    def per_mac_energy_j(self, temp_c=None, mac_value=None):
+        """Binary-equivalent energy of one row MAC operation."""
+        raise NotImplementedError
+
+    # -- action estimates -----------------------------------------------
+    def _estimate_row_read(self, mac_value=None, temp_c=None):
+        """One physical row operation, priced per stored level.
+
+        A multibit row op costs ``bits_per_cell`` binary-row energies
+        (each level pair costs one binary read's worth of sensing) —
+        the same conservative per-level accounting ``ChipMeter`` uses.
+        """
+        return Estimate(
+            self.per_mac_energy_j(temp_c=temp_c, mac_value=mac_value)
+            * self.bits_per_cell,
+            self.latency.action_latency("row_read"))
+
+    def _estimate_accumulate(self, **_attrs):
+        """The EN charge-sharing phase (eq. 1): latency-only — the
+        measured per-MAC energy already integrates it."""
+        return Estimate(0.0, self.latency.action_latency("accumulate"))
+
+    def _estimate_adc_convert(self, **_attrs):
+        """Decode against the calibrated ladder: latency-only."""
+        return Estimate(0.0, self.latency.action_latency("adc_convert"))
+
+    def _estimate_program_write(self, bit=1):
+        """One programming pulse on one cell (Sec. III pulse scheme)."""
+        return self.writer.write_estimate(bit)
+
+    # -- derived metrics (the quantities the paper reports) -------------
+    def row_op_energy_j(self, temp_c=None):
+        """Per-level-priced energy of one (possibly multibit) row op."""
+        return self.estimate("row_read", temp_c=temp_c).energy_j
+
+    def mac_latency_s(self):
+        """End-to-end row MAC latency: read + share + decode phases."""
+        return (self.estimate("row_read").latency_s
+                + self.estimate("accumulate").latency_s
+                + self.estimate("adc_convert").latency_s)
+
+    def tops_per_watt(self, temp_c=None):
+        """Efficiency at this component's row width and cell precision."""
+        return tops_per_watt(self.row_op_energy_j(temp_c),
+                             self.cells_per_row, self.bits_per_cell)
+
+    def energy_per_op_j(self, temp_c=None):
+        """Energy per primitive operation (the factor-of-9 accounting)."""
+        return energy_per_primitive_op(self.row_op_energy_j(temp_c),
+                                       self.cells_per_row,
+                                       self.bits_per_cell)
+
+    def inference_energy_j(self, total_macs, temp_c=None):
+        """Energy of a ``total_macs``-MAC network inference."""
+        return energy_per_inference(self.per_mac_energy_j(temp_c),
+                                    total_macs, self.cells_per_row,
+                                    self.bits_per_cell)
+
+    def write_row(self, weights):
+        """Block-erase + selective-program cost of one weight row."""
+        report = self.writer.write_row(weights)
+        return Estimate(report.energy_j, report.latency_s)
+
+
+class TableMacEstimator(MacArrayEstimator):
+    """Paper-calibrated table estimator: published numbers, no circuits.
+
+    ``energy_table`` optionally maps MAC value -> joules (the Fig. 8(b)
+    series) for per-level queries; the average prices everything else.
+    """
+
+    component = "mac_array.table"
+
+    def __init__(self, energy_per_mac_j=None, *, cells_per_row=8,
+                 bits_per_cell=1, latency=None, writer=None,
+                 energy_table=None):
+        if cells_per_row < 1:
+            raise ValueError("a MAC row needs at least one cell")
+        if bits_per_cell < 1:
+            raise ValueError("a cell stores at least one bit")
+        if energy_per_mac_j is None:
+            energy_per_mac_j = PAPER_AVG_MAC_ENERGY_J
+        self.energy_per_mac_j = float(energy_per_mac_j)
+        self.cells_per_row = int(cells_per_row)
+        self.bits_per_cell = int(bits_per_cell)
+        self.latency = latency or LatencySpec()
+        self.writer = writer or RowWriter()
+        self.energy_table = dict(energy_table) if energy_table else None
+
+    @classmethod
+    def from_report(cls, report, *, latency=None, writer=None):
+        """Wrap a measured :class:`~repro.array.energy.EnergyReport`.
+
+        The report's own (already-computed) average is passed through
+        verbatim rather than re-averaged, so report-derived metrics stay
+        bit-identical to the pre-estimator formulas.
+        """
+        return cls(report.average_energy_j,
+                   cells_per_row=report.cells_per_row,
+                   bits_per_cell=report.bits_per_cell,
+                   latency=latency, writer=writer,
+                   energy_table={op.mac_value: op.energy_j
+                                 for op in report.operations})
+
+    def per_mac_energy_j(self, temp_c=None, mac_value=None):
+        if mac_value is None:
+            return self.energy_per_mac_j
+        if self.energy_table is None:
+            raise KeyError(
+                "this table estimator has no per-MAC-value series; "
+                "build it with energy_table= or from_report()")
+        if mac_value not in self.energy_table:
+            raise KeyError(f"no operation with MAC={mac_value}")
+        return self.energy_table[mac_value]
+
+    def __repr__(self):
+        return (f"TableMacEstimator({self.energy_per_mac_j * 1e15:.2f} fJ, "
+                f"cells={self.cells_per_row}, b={self.bits_per_cell})")
+
+
+class CircuitMacEstimator(MacArrayEstimator):
+    """Circuit-backed estimator over the batched ensemble MAC ladder.
+
+    Calibration runs the full temperature x MAC-level grid once —
+    ``engine="batched"`` as a single stacked transient
+    (:func:`repro.array.row.run_mac_ladders`), ``"scalar"`` as the
+    reference per-read loop — and caches one measured
+    :class:`~repro.array.energy.EnergyReport` per temperature plus the
+    accumulated output ladder (``sweeps``), which is exactly what the
+    Fig. 4 / Fig. 8 band analyses consume
+    (:func:`repro.analysis.experiments._array_bands` is a thin wrapper
+    over this class).
+    """
+
+    component = "mac_array.circuit"
+
+    def __init__(self, design, temps_c=(REFERENCE_TEMP_C,), *, n_cells=8,
+                 bits_per_cell=1, engine="batched", latency=None,
+                 writer=None):
+        if n_cells < 1:
+            raise ValueError("a MAC row needs at least one cell")
+        if bits_per_cell < 1:
+            raise ValueError("a cell stores at least one bit")
+        if engine not in ("batched", "scalar"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.design = design
+        self.temps_c = tuple(temps_c)
+        if not self.temps_c:
+            raise ValueError("need at least one calibration temperature")
+        self.cells_per_row = int(n_cells)
+        self.bits_per_cell = int(bits_per_cell)
+        self.engine = engine
+        self.latency = latency or LatencySpec()
+        self.writer = writer or RowWriter()
+        self.sweeps = None          # temp -> ladder of accumulated volts
+        self.reports = None         # temp -> EnergyReport
+        self.singular_solves = 0
+
+    @property
+    def calibrated(self):
+        return self.reports is not None
+
+    def calibrate(self):
+        """Run the MAC ladders once (idempotent); returns ``self``.
+
+        The loop structure and temperature keying mirror the original
+        ``_array_bands`` implementation exactly, so figures produced
+        through this estimator are bit-identical to the pre-refactor
+        values (pinned by ``tests/tune/test_estimator_equivalence.py``).
+        """
+        if self.calibrated:
+            return self
+        from repro.array.energy import EnergyReport
+        from repro.array.row import MacRow, run_mac_ladders
+
+        import numpy as np
+
+        sweeps, reports, singular = {}, {}, 0
+        if self.engine == "batched":
+            ladders = run_mac_ladders(self.design, self.temps_c,
+                                      n_cells=self.cells_per_row)
+            for temp, results in zip(self.temps_c, ladders.values()):
+                singular += sum(r.transient.singular_solves
+                                for r in results)
+                sweeps[temp] = np.array([r.vacc for r in results])
+                reports[temp] = EnergyReport.from_sweep(
+                    results, self.cells_per_row,
+                    bits_per_cell=self.bits_per_cell)
+        else:
+            for temp in self.temps_c:
+                row = MacRow(self.design, n_cells=self.cells_per_row)
+                _, vaccs, results = row.mac_sweep(float(temp),
+                                                  engine="scalar")
+                sweeps[temp] = vaccs
+                singular += sum(r.transient.singular_solves
+                                for r in results)
+                reports[temp] = EnergyReport.from_sweep(
+                    results, self.cells_per_row,
+                    bits_per_cell=self.bits_per_cell)
+        self.sweeps = sweeps
+        self.reports = reports
+        self.singular_solves = singular
+        return self
+
+    def energy_report(self, temp_c=None):
+        """The measured report at ``temp_c`` (default: the reference
+        temperature when calibrated there, else the grid's midpoint —
+        the same selection Fig. 8 uses)."""
+        self.calibrate()
+        if temp_c is None:
+            temp_c = (REFERENCE_TEMP_C if REFERENCE_TEMP_C in self.reports
+                      else self.temps_c[len(self.temps_c) // 2])
+        if temp_c not in self.reports:
+            raise KeyError(
+                f"no calibration at {temp_c} degC; calibrated grid: "
+                f"{self.temps_c}")
+        return self.reports[temp_c]
+
+    def per_mac_energy_j(self, temp_c=None, mac_value=None):
+        report = self.energy_report(temp_c)
+        if mac_value is None:
+            return report.average_energy_j
+        return report.energy_at(mac_value)
+
+    def __repr__(self):
+        state = "calibrated" if self.calibrated else "uncalibrated"
+        return (f"CircuitMacEstimator({type(self.design).__name__}, "
+                f"cells={self.cells_per_row}, b={self.bits_per_cell}, "
+                f"temps={self.temps_c}, {state})")

@@ -1,0 +1,82 @@
+"""Pareto dominance over candidate score dicts.
+
+A tuner that collapses everything into one scalar silently hides the
+trade-offs the paper is *about* (energy vs. accuracy vs. density vs.
+temperature margin).  The front keeps every candidate that is not
+strictly worse than another on all axes; the scalar objective
+(:class:`repro.tune.tuner.TuneObjective`) then picks *within* the
+feasible set, and the report shows both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One Pareto axis: a score-dict metric and its preferred direction."""
+
+    metric: str
+    maximize: bool = True
+    label: str = ""
+
+    def better(self, a, b):
+        """Is value ``a`` strictly better than ``b`` on this axis?"""
+        return a > b if self.maximize else a < b
+
+    def display(self):
+        return self.label or self.metric
+
+
+#: The axes the design space genuinely trades: efficiency, energy and
+#: latency per image, fleet throughput, accuracy, and silicon (allocated
+#: physical cells — geometry's axis: oversized tiles pad ragged edges).
+DEFAULT_AXES = (
+    Axis("tops_per_watt", True, "TOPS/W"),
+    Axis("energy_nj_per_image", False, "nJ/img"),
+    Axis("latency_s_per_image", False, "s/img"),
+    Axis("throughput_img_per_s", True, "img/s"),
+    Axis("accuracy", True, "acc"),
+    Axis("area_cells", False, "cells"),
+)
+
+
+def dominates(a, b, axes=DEFAULT_AXES):
+    """True when score ``a`` Pareto-dominates score ``b``.
+
+    ``a`` dominates ``b`` iff it is no worse on every axis and strictly
+    better on at least one.  Scores missing an axis metric raise
+    ``KeyError`` — a silent default would quietly rig the front.
+    """
+    strictly_better = False
+    for axis in axes:
+        va, vb = a[axis.metric], b[axis.metric]
+        if axis.better(vb, va):
+            return False
+        if axis.better(va, vb):
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_front(scores, axes=DEFAULT_AXES):
+    """The non-dominated subset of ``scores``, in input order.
+
+    Ties (equal on every axis) all survive — neither dominates the
+    other, and dropping one arbitrarily would hide a design choice.
+    """
+    scores = list(scores)
+    return [s for s in scores
+            if not any(dominates(other, s, axes)
+                       for other in scores if other is not s)]
+
+
+def better_axes(challenger, incumbent, axes=DEFAULT_AXES):
+    """Metric names where ``challenger`` strictly beats ``incumbent``."""
+    return [axis.metric for axis in axes
+            if axis.better(challenger[axis.metric],
+                           incumbent[axis.metric])]
+
+
+def axes_by_metric(axes=DEFAULT_AXES):
+    return {axis.metric: axis for axis in axes}

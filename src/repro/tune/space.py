@@ -1,0 +1,178 @@
+"""The design space: candidate enumeration over mapping + serving knobs.
+
+A candidate is one complete deployable configuration: a
+:class:`~repro.compiler.mapping.MappingConfig` (geometry, row width,
+cell precision, backend) plus the serving-side knobs the compiler does
+not see (replica count, temperature binning).  The space enumerates the
+cross product, prunes combinations the mapping constructor itself
+rejects (chunk alignment, precision bounds — validation lives in one
+place), and groups survivors by the expensive shared resource: MAC-unit
+calibration, which depends only on ``(cells_per_row, bits_per_cell,
+sigmas, wordlength)`` and dominates cold-start cost, so the tuner
+calibrates once per group and prices every member against it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from itertools import product
+from typing import Optional, Tuple
+
+from repro.compiler.mapping import MappingConfig
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point in the design space: mapping + serving configuration."""
+
+    mapping: MappingConfig
+    n_replicas: int = 1
+    temp_bins: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self):
+        if self.n_replicas < 1:
+            raise ValueError("a deployment needs at least one replica")
+        if self.temp_bins is not None:
+            object.__setattr__(self, "temp_bins",
+                               tuple(float(t) for t in self.temp_bins))
+            if self.n_replicas < len(self.temp_bins) + 1:
+                raise ValueError(
+                    f"{len(self.temp_bins)} bin edges make "
+                    f"{len(self.temp_bins) + 1} bins; need at least that "
+                    f"many replicas, got {self.n_replicas}")
+
+    def fingerprint_data(self):
+        """Result-affecting fields, canonical JSON-ready form."""
+        return {
+            "mapping": self.mapping.fingerprint_data(),
+            "n_replicas": self.n_replicas,
+            "temp_bins": (list(self.temp_bins)
+                          if self.temp_bins is not None else None),
+        }
+
+    def fingerprint(self):
+        payload = json.dumps(self.fingerprint_data(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def group_key(self):
+        """Candidates sharing a key share one MAC-unit calibration."""
+        m = self.mapping
+        return (m.cells_per_row, m.bits_per_cell, m.bits,
+                m.sigma_vth_fefet, m.sigma_vth_mosfet, m.seed)
+
+    def label(self):
+        """Compact human-readable knob summary for tables/logs."""
+        m = self.mapping
+        geo = (f"{m.tile_rows or 'span'}x{m.tile_cols or 'span'}")
+        parts = [geo, f"cpr{m.cells_per_row}", f"b{m.bits_per_cell}",
+                 m.backend, f"r{self.n_replicas}"]
+        if self.temp_bins is not None:
+            parts.append("bins" + ",".join(f"{t:g}" for t in self.temp_bins))
+        return "/".join(parts)
+
+    def knobs(self):
+        """The searched knobs as a flat JSON-safe dict (for reports)."""
+        m = self.mapping
+        return {
+            "tile_rows": m.tile_rows,
+            "tile_cols": m.tile_cols,
+            "cells_per_row": m.cells_per_row,
+            "bits_per_cell": m.bits_per_cell,
+            "backend": m.backend,
+            "n_replicas": self.n_replicas,
+            "temp_bins": (list(self.temp_bins)
+                          if self.temp_bins is not None else None),
+        }
+
+
+@dataclass(frozen=True)
+class TuneSpace:
+    """Knob grids to search; the cross product is the candidate set.
+
+    The default grid is deliberately moderate (a few dozen candidates):
+    tile geometry around the paper's 128x128 system arrays, the row
+    widths of the Fig. 8 ablation, 1-2 bits/cell (3 is where table2
+    shows variation eating the margin), and small replica fleets.
+    """
+
+    tile_rows: tuple = (64, 128)
+    tile_cols: tuple = (64, 128)
+    cells_per_row: tuple = (4, 8, 16)
+    bits_per_cell: tuple = (1, 2)
+    backends: tuple = ("fused",)
+    replicas: tuple = (1, 2)
+    temp_bins: tuple = (None,)
+
+    def __post_init__(self):
+        for name in ("tile_rows", "tile_cols", "cells_per_row",
+                     "bits_per_cell", "backends", "replicas", "temp_bins"):
+            values = getattr(self, name)
+            object.__setattr__(self, name, tuple(values))
+            if not getattr(self, name):
+                raise ValueError(f"empty grid for {name}")
+
+    def to_dict(self):
+        return {
+            "tile_rows": list(self.tile_rows),
+            "tile_cols": list(self.tile_cols),
+            "cells_per_row": list(self.cells_per_row),
+            "bits_per_cell": list(self.bits_per_cell),
+            "backends": list(self.backends),
+            "replicas": list(self.replicas),
+            "temp_bins": [list(b) if b is not None else None
+                          for b in self.temp_bins],
+        }
+
+    def expand(self, base: MappingConfig):
+        """``(candidates, dropped)`` for this grid over a base mapping.
+
+        ``base`` supplies everything the grid does not search (sigmas,
+        seed, wordlength, operating temperature).  ``dropped`` records
+        ``(knobs, reason)`` for pruned combinations so a report can say
+        what was *not* evaluated and why — silent pruning reads as
+        coverage that never happened.
+        """
+        candidates, dropped, seen = [], [], set()
+        for cpr, b, backend, rows, cols in product(
+                self.cells_per_row, self.bits_per_cell, self.backends,
+                self.tile_rows, self.tile_cols):
+            mapping, reason = base.candidate(
+                tile_rows=rows, tile_cols=cols, cells_per_row=cpr,
+                bits_per_cell=b, backend=backend)
+            knobs = {"tile_rows": rows, "tile_cols": cols,
+                     "cells_per_row": cpr, "bits_per_cell": b,
+                     "backend": backend}
+            if mapping is None:
+                dropped.append((knobs, reason))
+                continue
+            for n_replicas, bins in product(self.replicas, self.temp_bins):
+                try:
+                    cand = Candidate(mapping, n_replicas, bins)
+                except ValueError as error:
+                    dropped.append(({**knobs, "n_replicas": n_replicas,
+                                     "temp_bins": bins}, str(error)))
+                    continue
+                key = cand.fingerprint()
+                if key in seen:
+                    continue
+                seen.add(key)
+                candidates.append(cand)
+        return candidates, dropped
+
+    def candidates(self, base: MappingConfig):
+        """Just the valid candidates (see :meth:`expand`)."""
+        return self.expand(base)[0]
+
+
+def group_candidates(candidates):
+    """Candidates bucketed by shared calibration, insertion-ordered.
+
+    Returns ``{group_key: [candidates]}``; each bucket is one MAC-unit
+    calibration the evaluator pays once.
+    """
+    groups = {}
+    for cand in candidates:
+        groups.setdefault(cand.group_key(), []).append(cand)
+    return groups

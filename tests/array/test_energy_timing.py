@@ -49,6 +49,24 @@ class TestEnergyReport:
         op = OperationEnergy(2, 3.14e-15, {})
         assert op.energy_fj == pytest.approx(3.14)
 
+    def test_duplicate_mac_value_rejected(self):
+        ops = (OperationEnergy(1, 1e-15, {}), OperationEnergy(1, 2e-15, {}))
+        with pytest.raises(ValueError, match="duplicate MAC value 1"):
+            EnergyReport(ops, cells_per_row=8)
+
+    def test_geometry_validated_at_construction(self):
+        ops = (OperationEnergy(0, 1e-15, {}),)
+        with pytest.raises(ValueError):
+            EnergyReport(ops, cells_per_row=0)
+        with pytest.raises(ValueError):
+            EnergyReport(ops, cells_per_row=8, bits_per_cell=0)
+
+    def test_estimator_wraps_report(self):
+        est = make_report().estimator()
+        assert est.energy_per_mac_j == make_report().average_energy_j
+        assert est.cells_per_row == 8
+        assert est.per_mac_energy_j(mac_value=3) == pytest.approx(0.8e-15)
+
 
 class TestLatency:
     def test_paper_mac_latency(self):
@@ -75,3 +93,11 @@ class TestLatency:
     def test_decode_overhead_adds(self):
         spec = LatencySpec(t_decode_s=0.1e-9)
         assert spec.mac_latency_s == pytest.approx(7.0e-9)
+
+    def test_action_latency_names_the_phases(self):
+        spec = LatencySpec(t_decode_s=0.1e-9)
+        assert spec.action_latency("row_read") == spec.t_read_s
+        assert spec.action_latency("accumulate") == spec.t_share_s
+        assert spec.action_latency("adc_convert") == spec.t_decode_s
+        with pytest.raises(ValueError, match="no timed phase"):
+            spec.action_latency("teleport")

@@ -126,6 +126,25 @@ class TestEfficiency:
         with pytest.raises(ValueError):
             average_power(1e-15, 0.0)
 
+    def test_inference_rejects_fractional_macs(self):
+        """A MAC count is a count; 100.5 MACs is always a caller bug."""
+        with pytest.raises(ValueError, match="whole number"):
+            energy_per_inference(1e-15, total_macs=100.5)
+
+    def test_inference_accepts_integral_float_macs(self):
+        # np.prod and friends hand back float64 counts; 100.0 is fine.
+        assert energy_per_inference(1e-15, total_macs=100.0) \
+            == energy_per_inference(1e-15, total_macs=100)
+
+    def test_inference_rejects_zero_bits_per_cell(self):
+        with pytest.raises(ValueError, match="at least one bit"):
+            energy_per_inference(1e-15, total_macs=8, bits_per_cell=0)
+
+    def test_inference_multibit_prices_per_level(self):
+        # 2 bits/cell prices each row op at two binary-row energies.
+        assert energy_per_inference(1e-15, 10, 8, bits_per_cell=2) \
+            == pytest.approx(4e-15)
+
 
 class TestAccuracy:
     def test_from_indices(self):

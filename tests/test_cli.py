@@ -386,3 +386,39 @@ class TestPoolBenchWarmGate:
         assert bringup["artifact_bit_identical"] is True
         assert bringup["warm_speedup_vs_compile"] >= 10
         assert bringup["artifact_load_s"] < bringup["cold_chip_s"]
+
+
+class TestTuneCli:
+    def test_rejects_bad_choices(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--estimator", "vibes"])
+        with pytest.raises(SystemExit):
+            main(["tune", "--objective", "vibes"])
+        with pytest.raises(SystemExit):
+            main(["tune", "--backends", "vibes"])
+
+    def test_tiny_search_end_to_end(self, tmp_path, capsys):
+        import json as _json
+
+        out_file = tmp_path / "tune.json"
+        md_file = tmp_path / "tune.md"
+        argv = ["tune", "--tile-rows", "32", "--tile-cols", "16",
+                "--cells-per-row", "8", "--bits-per-cell", "1",
+                "--replicas", "1", "--probe", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--json", "--out", str(out_file), "--md", str(md_file)]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        # stdout is exactly one JSON document; status lines go to stderr.
+        doc = _json.loads(captured.out)
+        assert "tune:" in captured.err
+        # The 32x16 point plus the always-inserted 128x128 incumbent.
+        assert doc["n_candidates"] == 2
+        assert doc["best"] is not None
+        assert _json.loads(out_file.read_text()) == doc
+        assert "## Pareto front" in md_file.read_text()
+
+        # Same search again: every score comes from the cache.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert _json.loads(captured.out)["cache_hits"] == 2

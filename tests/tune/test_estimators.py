@@ -1,0 +1,152 @@
+"""The per-component estimator interface: actions, dispatch, pricing."""
+
+import pytest
+
+from repro.array.energy import PAPER_AVG_MAC_ENERGY_J, EnergyReport, OperationEnergy
+from repro.array.timing import LatencySpec
+from repro.array.write import RowWriter
+from repro.devices.fefet import ERASE_PULSE, PROGRAM_PULSE
+from repro.tune.estimators import (
+    CircuitMacEstimator,
+    Estimate,
+    Estimator,
+    TableMacEstimator,
+)
+
+
+class TestEstimate:
+    def test_scaled_multiplies_energy_and_latency(self):
+        est = Estimate(2e-15, 3e-9, area_um2=5.0)
+        scaled = est.scaled(4)
+        assert scaled.energy_j == pytest.approx(8e-15)
+        assert scaled.latency_s == pytest.approx(12e-9)
+        # Area is a component property, not an action-stream one.
+        assert scaled.area_um2 == 5.0
+
+    def test_scaled_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            Estimate(1e-15, 1e-9).scaled(-1)
+
+    def test_add_sums_componentwise(self):
+        total = Estimate(1e-15, 2e-9, 3.0) + Estimate(2e-15, 1e-9)
+        assert total.energy_j == pytest.approx(3e-15)
+        assert total.latency_s == pytest.approx(3e-9)
+        assert total.area_um2 == 3.0
+        assert (Estimate(1e-15, 0.0) + Estimate(1e-15, 0.0)).area_um2 is None
+
+    def test_energy_fj(self):
+        assert Estimate(3.14e-15, 0.0).energy_fj == pytest.approx(3.14)
+
+
+class TestDispatch:
+    def test_unknown_action_raises(self):
+        est = TableMacEstimator()
+        with pytest.raises(ValueError, match="does not support action"):
+            est.estimate("dram_refresh")
+
+    def test_base_class_has_no_actions(self):
+        est = Estimator()
+        assert est.actions() == ()
+        with pytest.raises(ValueError):
+            est.estimate("row_read")
+
+    def test_actions_listed(self):
+        assert set(TableMacEstimator().actions()) == {
+            "row_read", "accumulate", "adc_convert", "program_write"}
+
+
+class TestTableEstimator:
+    def test_defaults_to_paper_numbers(self):
+        est = TableMacEstimator()
+        assert est.energy_j("row_read") == PAPER_AVG_MAC_ENERGY_J
+        # 3.14 fJ / 9 ops -> the published 2866 TOPS/W.
+        assert est.tops_per_watt() == pytest.approx(2866, rel=0.01)
+        # 6 ns charge + 0.9 ns share = the paper's 6.9 ns.
+        assert est.mac_latency_s() == pytest.approx(6.9e-9)
+
+    def test_phase_latencies(self):
+        est = TableMacEstimator(latency=LatencySpec(t_decode_s=0.2e-9))
+        spec = est.latency
+        assert est.latency_s("row_read") == spec.t_read_s
+        assert est.latency_s("accumulate") == spec.t_share_s
+        assert est.latency_s("adc_convert") == spec.t_decode_s
+        assert est.mac_latency_s() == pytest.approx(
+            spec.t_read_s + spec.t_share_s + spec.t_decode_s)
+
+    def test_share_and_decode_are_latency_only(self):
+        """The measured per-MAC energy integrates the whole two-phase op;
+        pricing joules on accumulate/decode would double-count."""
+        est = TableMacEstimator()
+        assert est.energy_j("accumulate") == 0.0
+        assert est.energy_j("adc_convert") == 0.0
+
+    def test_multibit_row_read_priced_per_level(self):
+        b1 = TableMacEstimator(2e-15, bits_per_cell=1)
+        b2 = TableMacEstimator(2e-15, bits_per_cell=2)
+        assert b2.energy_j("row_read") == pytest.approx(
+            2 * b1.energy_j("row_read"))
+        assert b2.row_op_energy_j() == pytest.approx(4e-15)
+
+    def test_program_write_follows_pulses(self):
+        est = TableMacEstimator()
+        writer = RowWriter()
+        program = est.estimate("program_write", bit=1)
+        erase = est.estimate("program_write", bit=0)
+        assert program.energy_j == writer.program_energy_j()
+        assert program.latency_s == PROGRAM_PULSE[1]
+        assert erase.energy_j == writer.erase_energy_j()
+        assert erase.latency_s == ERASE_PULSE[1]
+
+    def test_write_row_matches_writer(self):
+        est = TableMacEstimator()
+        report = RowWriter().write_row([1, 0, 1, 1])
+        cost = est.write_row([1, 0, 1, 1])
+        assert cost.energy_j == report.energy_j
+        assert cost.latency_s == report.latency_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableMacEstimator(cells_per_row=0)
+        with pytest.raises(ValueError):
+            TableMacEstimator(bits_per_cell=0)
+
+    def test_per_mac_value_requires_table(self):
+        with pytest.raises(KeyError, match="no per-MAC-value series"):
+            TableMacEstimator().per_mac_energy_j(mac_value=3)
+        est = TableMacEstimator(energy_table={0: 1e-15, 1: 2e-15})
+        assert est.per_mac_energy_j(mac_value=1) == 2e-15
+        with pytest.raises(KeyError, match="MAC=9"):
+            est.per_mac_energy_j(mac_value=9)
+
+    def test_from_report_adopts_geometry_and_series(self):
+        ops = tuple(OperationEnergy(k, (1 + k) * 1e-15, {}) for k in range(5))
+        report = EnergyReport(ops, cells_per_row=4, bits_per_cell=2)
+        est = TableMacEstimator.from_report(report)
+        assert est.cells_per_row == 4
+        assert est.bits_per_cell == 2
+        assert est.energy_per_mac_j == report.average_energy_j
+        assert est.per_mac_energy_j(mac_value=2) == report.energy_at(2)
+
+
+class TestCircuitEstimator:
+    def test_validation(self):
+        design = object()
+        with pytest.raises(ValueError, match="unknown engine"):
+            CircuitMacEstimator(design, engine="hamster")
+        with pytest.raises(ValueError):
+            CircuitMacEstimator(design, n_cells=0)
+        with pytest.raises(ValueError):
+            CircuitMacEstimator(design, temps_c=())
+
+    def test_uncalibrated_state(self):
+        est = CircuitMacEstimator(object(), (27.0,), n_cells=2)
+        assert not est.calibrated
+        assert "uncalibrated" in repr(est)
+
+    def test_energy_report_rejects_uncalibrated_temperature(self):
+        from repro.cells import TwoTOneFeFETCell
+
+        est = CircuitMacEstimator(TwoTOneFeFETCell(), (27.0,), n_cells=2)
+        est.calibrate()
+        with pytest.raises(KeyError, match="no calibration at 85.0"):
+            est.energy_report(85.0)

@@ -1,0 +1,76 @@
+"""Pareto dominance over score dicts."""
+
+import pytest
+
+from repro.tune.pareto import (
+    Axis,
+    axes_by_metric,
+    better_axes,
+    dominates,
+    pareto_front,
+)
+
+AXES = (Axis("speed", True), Axis("cost", False))
+
+
+def score(speed, cost):
+    return {"speed": speed, "cost": cost}
+
+
+class TestAxis:
+    def test_direction(self):
+        assert Axis("x", maximize=True).better(2, 1)
+        assert Axis("x", maximize=False).better(1, 2)
+        assert not Axis("x").better(1, 1)
+
+    def test_display_prefers_label(self):
+        assert Axis("tops_per_watt", label="TOPS/W").display() == "TOPS/W"
+        assert Axis("tops_per_watt").display() == "tops_per_watt"
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates(score(2, 1), score(1, 2), AXES)
+
+    def test_better_on_one_no_worse_on_rest(self):
+        assert dominates(score(2, 1), score(1, 1), AXES)
+
+    def test_equal_scores_do_not_dominate(self):
+        assert not dominates(score(1, 1), score(1, 1), AXES)
+
+    def test_tradeoff_is_incomparable(self):
+        a, b = score(2, 2), score(1, 1)
+        assert not dominates(a, b, AXES)
+        assert not dominates(b, a, AXES)
+
+    def test_missing_metric_is_loud(self):
+        with pytest.raises(KeyError):
+            dominates({"speed": 1}, score(1, 1), AXES)
+
+
+class TestFront:
+    def test_dominated_points_drop(self):
+        scores = [score(1, 1), score(2, 1), score(2, 3)]
+        assert pareto_front(scores, AXES) == [score(2, 1)]
+
+    def test_ties_all_survive(self):
+        twins = [score(2, 1), score(2, 1), score(3, 3)]
+        front = pareto_front(twins, AXES)
+        assert len(front) == 3
+
+    def test_input_order_preserved(self):
+        scores = [score(1, 1), score(2, 2), score(3, 3)]
+        assert pareto_front(scores, AXES) == scores
+
+    def test_empty(self):
+        assert pareto_front([], AXES) == []
+
+
+class TestBetterAxes:
+    def test_names_the_wins(self):
+        assert better_axes(score(2, 1), score(1, 2), AXES) == ["speed", "cost"]
+        assert better_axes(score(2, 1), score(1, 1), AXES) == ["speed"]
+        assert better_axes(score(1, 1), score(2, 1), AXES) == []
+
+    def test_axes_by_metric(self):
+        assert axes_by_metric(AXES)["cost"].maximize is False

@@ -1,0 +1,59 @@
+"""Content-addressed score cache: round trips, corruption, keying."""
+
+import json
+
+from repro.compiler.mapping import MappingConfig
+from repro.tune.cache import SCORE_SCHEMA, ScoreCache, score_key
+from repro.tune.space import Candidate
+
+WORKLOAD = {"n_probe": 4, "temps_c": [27.0], "seed": 0}
+
+
+def make_key(**knobs):
+    return score_key(Candidate(MappingConfig(**knobs)), WORKLOAD, "table")
+
+
+class TestScoreKey:
+    def test_stable(self):
+        assert make_key() == make_key()
+
+    def test_tracks_candidate_workload_and_estimator(self):
+        cand = Candidate(MappingConfig())
+        assert make_key() != make_key(cells_per_row=16)
+        assert score_key(cand, WORKLOAD, "table") \
+            != score_key(cand, WORKLOAD, "circuit")
+        assert score_key(cand, WORKLOAD, "table") \
+            != score_key(cand, {**WORKLOAD, "n_probe": 8}, "table")
+
+
+class TestScoreCache:
+    def test_round_trip(self, tmp_path):
+        cache = ScoreCache(tmp_path)
+        key = make_key()
+        assert cache.get(key) is None
+        cache.put(key, {"tops_per_watt": 2866.0})
+        assert cache.get(key) == {"tops_per_watt": 2866.0}
+
+    def test_corrupt_entry_unlinked_and_missed(self, tmp_path):
+        cache = ScoreCache(tmp_path)
+        key = make_key()
+        cache.put(key, {"ok": 1})
+        path = cache._path(key)
+        path.write_text("{truncated")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = ScoreCache(tmp_path)
+        key = make_key()
+        cache._path(key).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(key).write_text(json.dumps(
+            {"schema": SCORE_SCHEMA + 1, "score": {"stale": True}}))
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ScoreCache(tmp_path)
+        cache.put(make_key(), {"a": 1})
+        cache.put(make_key(cells_per_row=16), {"b": 2})
+        assert cache.clear() == 2
+        assert cache.get(make_key()) is None

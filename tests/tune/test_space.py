@@ -1,0 +1,112 @@
+"""Candidate enumeration: validation, pruning, dedup, grouping."""
+
+import pytest
+
+from repro.compiler.mapping import MappingConfig
+from repro.tune.space import Candidate, TuneSpace, group_candidates
+
+
+class TestCandidate:
+    def test_defaults(self):
+        cand = Candidate(MappingConfig())
+        assert cand.n_replicas == 1
+        assert cand.temp_bins is None
+
+    def test_replica_floor(self):
+        with pytest.raises(ValueError, match="at least one replica"):
+            Candidate(MappingConfig(), n_replicas=0)
+
+    def test_temp_bins_need_enough_replicas(self):
+        # Two bin edges make three bins: one replica per bin minimum.
+        with pytest.raises(ValueError, match="need at least"):
+            Candidate(MappingConfig(), n_replicas=2, temp_bins=(20.0, 60.0))
+        cand = Candidate(MappingConfig(), n_replicas=3,
+                         temp_bins=(20, 60))
+        assert cand.temp_bins == (20.0, 60.0)
+
+    def test_fingerprint_tracks_every_knob(self):
+        base = Candidate(MappingConfig())
+        assert base.fingerprint() == Candidate(MappingConfig()).fingerprint()
+        assert base.fingerprint() \
+            != Candidate(MappingConfig(), n_replicas=2).fingerprint()
+        assert base.fingerprint() \
+            != Candidate(MappingConfig(cells_per_row=16)).fingerprint()
+
+    def test_group_key_ignores_geometry(self):
+        """Calibration depends on the row, not on how rows are tiled."""
+        a = Candidate(MappingConfig(tile_rows=32, tile_cols=16))
+        b = Candidate(MappingConfig(tile_rows=128, tile_cols=128),
+                      n_replicas=2)
+        c = Candidate(MappingConfig(cells_per_row=16, tile_rows=32))
+        assert a.group_key() == b.group_key()
+        assert a.group_key() != c.group_key()
+
+    def test_label_and_knobs(self):
+        cand = Candidate(MappingConfig(tile_rows=32, tile_cols=16,
+                                       cells_per_row=16, bits_per_cell=2),
+                         n_replicas=2)
+        assert cand.label() == "32x16/cpr16/b2/fused/r2"
+        assert cand.knobs()["tile_rows"] == 32
+        assert Candidate(
+            MappingConfig(tile_rows=None, tile_cols=None)).label() \
+            .startswith("spanxspan")
+
+
+class TestTuneSpace:
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError, match="empty grid for replicas"):
+            TuneSpace(replicas=())
+
+    def test_expand_counts_cross_product(self):
+        space = TuneSpace(tile_rows=(32,), tile_cols=(16,),
+                          cells_per_row=(8, 16), bits_per_cell=(1,),
+                          replicas=(1, 2))
+        candidates, dropped = space.expand(MappingConfig())
+        assert len(candidates) == 4
+        assert dropped == []
+
+    def test_invalid_combinations_pruned_with_reason(self):
+        # 20 word lines is not a whole number of 8-cell chunks.
+        space = TuneSpace(tile_rows=(20, 32), tile_cols=(16,),
+                          cells_per_row=(8,), bits_per_cell=(1,),
+                          replicas=(1,))
+        candidates, dropped = space.expand(MappingConfig())
+        assert len(candidates) == 1
+        assert len(dropped) == 1
+        knobs, reason = dropped[0]
+        assert knobs["tile_rows"] == 20
+        assert "whole number" in reason
+
+    def test_infeasible_serving_knobs_pruned(self):
+        space = TuneSpace(tile_rows=(32,), tile_cols=(16,),
+                          cells_per_row=(8,), bits_per_cell=(1,),
+                          replicas=(1,), temp_bins=((20.0, 60.0),))
+        candidates, dropped = space.expand(MappingConfig())
+        assert candidates == []
+        assert "replica" in dropped[0][1]
+
+    def test_duplicate_candidates_deduped(self):
+        # temp_bins=None twice collapses to one candidate per point.
+        space = TuneSpace(tile_rows=(32,), tile_cols=(16,),
+                          cells_per_row=(8,), bits_per_cell=(1,),
+                          replicas=(1,), temp_bins=(None, None))
+        assert len(space.candidates(MappingConfig())) == 1
+
+    def test_base_mapping_knobs_ride_along(self):
+        base = MappingConfig(sigma_vth_fefet=54e-3, seed=7)
+        for cand in TuneSpace().candidates(base):
+            assert cand.mapping.sigma_vth_fefet == 54e-3
+            assert cand.mapping.seed == 7
+
+
+class TestGrouping:
+    def test_groups_share_calibration_key(self):
+        space = TuneSpace(tile_rows=(32, 64), tile_cols=(16,),
+                          cells_per_row=(8, 16), bits_per_cell=(1,),
+                          replicas=(1,))
+        candidates = space.candidates(MappingConfig())
+        groups = group_candidates(candidates)
+        assert len(groups) == 2            # one per row width
+        assert sum(len(v) for v in groups.values()) == len(candidates)
+        for key, members in groups.items():
+            assert all(c.group_key() == key for c in members)

@@ -1,0 +1,195 @@
+"""The autotuner end to end: a tiny real search, caching, objectives.
+
+One module-scoped search (four grid points + the always-inserted default,
+two calibration groups, replica fleets included) runs the full
+compile-program-serve evaluation twice against one score cache; every
+test reads those two results.  A third ``tune()`` call with an impossible
+floor exercises the no-feasible-choice path entirely from cache.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.compiler.mapping import MappingConfig
+from repro.tune.pareto import DEFAULT_AXES
+from repro.tune.space import TuneSpace
+from repro.tune.tuner import (
+    TuneObjective,
+    TuneWorkload,
+    program_area_cells,
+    tune,
+)
+
+SPACE = TuneSpace(tile_rows=(32,), tile_cols=(16,), cells_per_row=(8,),
+                  bits_per_cell=(1, 2), backends=("fused",),
+                  replicas=(1, 2))
+WORKLOAD = TuneWorkload(n_probe=2)
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("tune-cache")
+    first = tune(SPACE, WORKLOAD, TuneObjective(), cache_dir=cache_dir)
+    second = tune(SPACE, WORKLOAD, TuneObjective(), cache_dir=cache_dir)
+    return first, second, cache_dir
+
+
+class TestSearch:
+    def test_default_always_evaluated(self, runs):
+        first, _, _ = runs
+        # 4 grid points + the inserted 128x128 incumbent.
+        assert len(first.scores) == 5
+        defaults = [s for s in first.scores if s["is_default"]]
+        assert len(defaults) == 1
+        assert defaults[0] is first.default
+        assert first.default["candidate"]["tile_rows"] == 128
+
+    def test_scores_fully_annotated(self, runs):
+        first, _, _ = runs
+        for score in first.scores:
+            for key in ("violations", "feasible", "on_front",
+                        "objective_value", "beats_default_on",
+                        "worse_than_default_on", "is_default"):
+                assert key in score
+            for axis in DEFAULT_AXES:
+                assert axis.metric in score
+
+    def test_front_is_the_nondominated_subset(self, runs):
+        first, _, _ = runs
+        assert first.front
+        assert all(s["on_front"] for s in first.front)
+        assert {s["candidate"]["fingerprint"] for s in first.front} \
+            <= {s["candidate"]["fingerprint"] for s in first.scores}
+
+    def test_chosen_beats_the_default(self, runs):
+        """The tuner's claim: right-sized tiles win at equal accuracy."""
+        first, _, _ = runs
+        best = first.best
+        assert best is not None and best["feasible"]
+        assert not best["is_default"]
+        assert best["accuracy"] >= first.default["accuracy"]
+        assert "area_cells" in best["beats_default_on"]
+        assert best["area_cells"] < first.default["area_cells"]
+
+    def test_replica_fleet_scores_modeled_throughput(self, runs):
+        first, _, _ = runs
+        by_replicas = {}
+        for s in first.scores:
+            knobs = s["candidate"]
+            if knobs["tile_rows"] == 32 and knobs["bits_per_cell"] == 1:
+                by_replicas[knobs["n_replicas"]] = s
+        assert by_replicas[2]["modeled_parallel_speedup"] > 1.0
+        assert by_replicas[2]["throughput_img_per_s"] \
+            > by_replicas[1]["throughput_img_per_s"]
+        # Same silicon per replica, same serial energy model.
+        assert by_replicas[2]["energy_nj_per_image"] \
+            == pytest.approx(by_replicas[1]["energy_nj_per_image"])
+
+    def test_multibit_halves_row_traffic(self, runs):
+        first, _, _ = runs
+        by_bits = {s["candidate"]["bits_per_cell"]: s
+                   for s in first.scores
+                   if s["candidate"]["tile_rows"] == 32
+                   and s["candidate"]["n_replicas"] == 1}
+        # 8-bit weights: 7 magnitude planes at b=1 vs 4 at b=2.
+        assert by_bits[2]["row_ops"] < by_bits[1]["row_ops"]
+
+    def test_second_run_is_fully_cached(self, runs):
+        first, second, _ = runs
+        assert first.cache_hits == 0
+        assert second.cache_hits == len(first.scores)
+        assert second.best["candidate"]["fingerprint"] \
+            == first.best["candidate"]["fingerprint"]
+        assert [s["candidate"]["fingerprint"] for s in second.scores] \
+            == [s["candidate"]["fingerprint"] for s in first.scores]
+
+    def test_impossible_floor_leaves_no_feasible_choice(self, runs):
+        _, _, cache_dir = runs
+        result = tune(SPACE, WORKLOAD, TuneObjective(min_accuracy=2.0),
+                      cache_dir=cache_dir)
+        assert result.cache_hits == len(result.scores)
+        assert result.best is None
+        assert all(s["violations"] for s in result.scores)
+        assert "No feasible configuration" in result.markdown()
+        assert "none feasible" in result.report()
+
+
+class TestReporting:
+    def test_report_table(self, runs):
+        first, _, _ = runs
+        text = first.report()
+        assert "chosen:" in text
+        assert first.best["candidate"]["label"] in text
+
+    def test_markdown_document(self, runs):
+        first, _, _ = runs
+        md = first.markdown()
+        assert "## Pareto front" in md
+        assert "## Chosen configuration" in md
+        assert first.best["candidate"]["label"] in md
+
+    def test_json_round_trip(self, runs):
+        first, _, _ = runs
+        doc = json.loads(first.to_json())
+        assert doc["n_candidates"] == len(first.scores)
+        assert doc["best"]["candidate"]["fingerprint"] \
+            == first.best["candidate"]["fingerprint"]
+
+
+class TestValidation:
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ValueError, match="estimator"):
+            tune(SPACE, WORKLOAD, estimator="vibes")
+
+    def test_workload_floors(self):
+        with pytest.raises(ValueError):
+            TuneWorkload(n_probe=0)
+        with pytest.raises(ValueError):
+            TuneWorkload(temps_c=())
+
+
+class TestObjective:
+    SCORE = {"tops_per_watt": 2866.0, "accuracy": 0.9,
+             "throughput_img_per_s": 100.0, "latency_s_per_image": 1e-3}
+
+    def test_no_floors_no_violations(self):
+        assert TuneObjective().violations(self.SCORE) == []
+
+    def test_each_floor_reports(self):
+        obj = TuneObjective(min_accuracy=0.95,
+                            min_throughput_img_per_s=200.0,
+                            max_latency_s_per_image=1e-4)
+        violations = obj.violations(self.SCORE)
+        assert len(violations) == 3
+        assert any("accuracy" in v for v in violations)
+
+    def test_key_sign_normalizes(self):
+        maximize = TuneObjective(metric="tops_per_watt")
+        minimize = TuneObjective(metric="latency_s_per_image",
+                                 maximize=False)
+        assert maximize.key(self.SCORE) == 2866.0
+        assert minimize.key(self.SCORE) == -1e-3
+
+
+class TestAreaModel:
+    @staticmethod
+    def program(shapes, planes=2):
+        layers = [SimpleNamespace(
+            planes=list(range(planes)),
+            tiles=[SimpleNamespace(shape=s) for s in shapes])]
+        return SimpleNamespace(layers=layers)
+
+    def test_ragged_tiles_pad_to_physical_geometry(self):
+        mapping = MappingConfig(tile_rows=16, tile_cols=8)
+        alloc, used = program_area_cells(
+            self.program([(16, 8), (10, 5)]), mapping)
+        assert used == (16 * 8 + 10 * 5) * 2
+        assert alloc == (16 * 8) * 2 * 2
+        assert alloc > used
+
+    def test_spanning_mapping_wastes_nothing(self):
+        mapping = MappingConfig(tile_rows=None, tile_cols=None)
+        alloc, used = program_area_cells(self.program([(10, 5)]), mapping)
+        assert alloc == used == 10 * 5 * 2
