@@ -1,0 +1,140 @@
+"""Fleet-maintenance perf harness: drift degradation vs the policy.
+
+Runs the ``fleet-sim`` experiment (:func:`repro.analysis.fleet.
+fleet_sim`) — the same mixed hot/cold request stream served by two
+temperature-binned ``ChipPool`` fleets under an intentionally
+accelerated retention model — and gates the *management claim*:
+
+* the **unmanaged** fleet's cross-replica argmax agreement must
+  actually degrade over the simulated horizon (if it does not, the
+  harness measured a vacuously stable fleet and exits nonzero: the
+  drift model is mis-calibrated for the horizon);
+* the **managed** fleet (divergence-probe-triggered re-programming via
+  the RowWriter pulse scheme) must hold final agreement at or above
+  ``--min-managed-agreement`` *and* strictly above the unmanaged
+  fleet's;
+* maintenance must stay affordable: fleet availability at or above
+  ``--min-availability`` (time serving vs time drained for rewrites).
+
+The document records both agreement-vs-device-time series, the
+maintenance log (which replica, which trigger, what rewrite energy),
+and the managed fleet's bill: reprogram count, total write energy,
+effective TOPS/W after write amortization, availability.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_fleet.py           # full horizon
+    PYTHONPATH=src python benchmarks/perf_fleet.py --smoke   # CI-sized
+
+The simulation is deterministic (seeded variation draws, sync pools,
+pinned probes), so the smoke run is bit-for-bit the first rounds of
+the full one.  This is a standalone script, not a pytest benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.fleet import fleet_sim
+
+
+def run(args):
+    print(f"fleet-sim: {args.replicas} replicas, {args.rounds} rounds, "
+          f"tau0={args.tau0:g}s Ea={args.activation_ev:g}eV, "
+          f"measuring ...", flush=True)
+    doc = fleet_sim(
+        n_replicas=args.replicas, n_rounds=args.rounds,
+        time_per_image_s=args.time_per_image, tau0_s=args.tau0,
+        activation_ev=args.activation_ev,
+        max_deviation=args.max_deviation,
+        retention_floor=args.retention_floor, seed=args.seed)
+    print(doc["report"])
+    final = doc["final_agreement"]
+    availability = doc["availability"]
+    print(f"final agreement: unmanaged {final['unmanaged']:.3f}, "
+          f"managed {final['managed']:.3f}")
+    print(f"maintenance bill: {doc['reprograms']} reprograms, "
+          f"{doc['write_energy_j']:.3e} J written, "
+          f"availability {availability:.4%}, "
+          f"effective {doc['tops_per_watt_effective']:.0f} TOPS/W")
+
+    failures = []
+    if final["unmanaged"] >= args.max_unmanaged_agreement:
+        failures.append(
+            f"unmanaged fleet did not degrade (final agreement "
+            f"{final['unmanaged']:.3f} >= {args.max_unmanaged_agreement}); "
+            f"drift model is mis-calibrated for this horizon")
+    if final["managed"] < args.min_managed_agreement:
+        failures.append(
+            f"managed agreement {final['managed']:.3f} below gate "
+            f"{args.min_managed_agreement}")
+    if final["managed"] <= final["unmanaged"]:
+        failures.append(
+            f"maintenance bought nothing: managed {final['managed']:.3f} "
+            f"<= unmanaged {final['unmanaged']:.3f}")
+    if availability < args.min_availability:
+        failures.append(
+            f"availability {availability:.4f} below gate "
+            f"{args.min_availability}")
+
+    doc["gates"] = {
+        "max_unmanaged_agreement": args.max_unmanaged_agreement,
+        "min_managed_agreement": args.min_managed_agreement,
+        "min_availability": args.min_availability,
+        "failures": failures,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+    print(f"[written {args.out}]")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="retention-drift fleet maintenance gate")
+    parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="serving rounds (default 16, or 8 with "
+                             "--smoke)")
+    parser.add_argument("--time-per-image", type=float, default=600.0,
+                        metavar="S",
+                        help="compressed device-seconds per served image")
+    parser.add_argument("--tau0", type=float, default=7e-3, metavar="S",
+                        help="accelerated retention attempt time")
+    parser.add_argument("--activation-ev", type=float, default=0.5,
+                        metavar="EV", help="depolarization barrier")
+    parser.add_argument("--max-deviation", type=float, default=0.25,
+                        help="maintenance trigger: probe deviation "
+                             "ceiling")
+    parser.add_argument("--retention-floor", type=float, default=0.7,
+                        help="maintenance trigger: remaining-"
+                             "polarization floor")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-unmanaged-agreement", type=float,
+                        default=0.75,
+                        help="exit nonzero unless the unmanaged fleet's "
+                             "final agreement falls below this "
+                             "(degradation must be real)")
+    parser.add_argument("--min-managed-agreement", type=float,
+                        default=0.99,
+                        help="exit nonzero if the managed fleet's final "
+                             "agreement is below this")
+    parser.add_argument("--min-availability", type=float, default=0.99,
+                        help="exit nonzero if maintenance drains cost "
+                             "more than this fraction of serving time")
+    parser.add_argument("--out", default="BENCH_fleet.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized horizon (only shrinks the "
+                             "defaults; explicit flags win)")
+    args = parser.parse_args(argv)
+    if args.rounds is None:
+        args.rounds = 8 if args.smoke else 16
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

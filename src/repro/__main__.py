@@ -15,6 +15,14 @@ infer [options]
     fidelity and energy/latency telemetry.  A front end over the
     ``infer`` experiment, so mapping knobs are fingerprinted into the
     result cache like any other run.
+fleet-sim [options]
+    Long-horizon serving under retention drift: replay a mixed hot/cold
+    request stream through two temperature-binned ChipPool fleets —
+    one unmanaged, one re-programmed whenever the divergence health
+    probe flags a replica — and report agreement decay vs the managed
+    fleet's rewrite-energy/availability bill.  A front end over the
+    ``fleet-sim`` experiment; every drift and policy knob is
+    fingerprinted into the result cache.
 serve-bench [options]
     Time the batched InferenceSession against a naive per-request loop
     on the VGG-shaped serving workload (the ``BENCH_infer.json``
@@ -192,6 +200,56 @@ def _build_parser():
                               "compiled program via shared memory; needs "
                               "--replicas >= 2)")
     add_run_options(infer_p)
+
+    fleet_p = sub.add_parser(
+        "fleet-sim",
+        help="long-horizon retention drift vs divergence-triggered "
+             "fleet maintenance")
+    fleet_p.add_argument("--replicas", type=int, default=3,
+                         help="fleet size (default 3; needs >= 2)")
+    fleet_p.add_argument("--rounds", type=int, default=16,
+                         help="serving rounds to simulate (default 16)")
+    fleet_p.add_argument("--requests-per-round", type=int, default=6,
+                         help="alternating hot/cold requests per round "
+                              "(default 6)")
+    fleet_p.add_argument("--time-per-image", type=float, default=600.0,
+                         metavar="S",
+                         help="compressed device-seconds of field aging "
+                              "each served image stands for (default 600)")
+    fleet_p.add_argument("--tau0", type=float, default=7e-3, metavar="S",
+                         help="retention attempt time tau0 (default 7e-3; "
+                              "intentionally far below the paper's "
+                              "6.3e-11 s film so drift shows within the "
+                              "simulated horizon)")
+    fleet_p.add_argument("--activation-ev", type=float, default=0.5,
+                         metavar="EV",
+                         help="depolarization barrier E_a (default 0.5)")
+    fleet_p.add_argument("--retention-beta", type=float, default=0.4,
+                         metavar="B",
+                         help="stretched-exponential exponent "
+                              "(default 0.4, the paper-class film)")
+    fleet_p.add_argument("--hot-temp", type=float, default=85.0,
+                         metavar="T", help="hot-stream temp degC")
+    fleet_p.add_argument("--cold-temp", type=float, default=None,
+                         metavar="T",
+                         help="cold-stream temp degC (default 27)")
+    fleet_p.add_argument("--min-agreement", type=float, default=0.995,
+                         help="maintenance trigger: probe argmax "
+                              "agreement floor (default 0.995)")
+    fleet_p.add_argument("--max-deviation", type=float, default=0.25,
+                         help="maintenance trigger: normalized logit "
+                              "deviation ceiling (default 0.25)")
+    fleet_p.add_argument("--retention-floor", type=float, default=0.7,
+                         help="maintenance trigger: remaining-"
+                              "polarization floor, catches the reference "
+                              "replica too (default 0.7)")
+    fleet_p.add_argument("--probe-images", type=int, default=4,
+                         help="images per health probe (default 4)")
+    fleet_p.add_argument("--sigma-vth-fefet", type=float, default=0.054,
+                         metavar="V", help="per-cell FeFET V_TH sigma")
+    fleet_p.add_argument("--bits-per-cell", type=int, default=1,
+                         metavar="B", help="magnitude bits per cell")
+    add_run_options(fleet_p)
 
     bench_p = sub.add_parser(
         "serve-bench",
@@ -507,6 +565,35 @@ def _cmd_infer(args, parser):
     return _cmd_run(args, parser, names=["infer"], params=params)
 
 
+def _cmd_fleet_sim(args, parser):
+    """Front end over the ``fleet-sim`` experiment.  As with ``infer``,
+    every drift-model, policy, and workload knob rides
+    ``RunContext.params`` into the cache fingerprint — a retention
+    curve cached under one tau0/E_a must never answer for another."""
+    if args.replicas < 2:
+        parser.error("--replicas must be >= 2 (fleet divergence compares "
+                     "replicas against each other)")
+    params = {
+        "n_replicas": args.replicas,
+        "n_rounds": args.rounds,
+        "requests_per_round": args.requests_per_round,
+        "time_per_image_s": args.time_per_image,
+        "tau0_s": args.tau0,
+        "activation_ev": args.activation_ev,
+        "retention_beta": args.retention_beta,
+        "hot_temp_c": args.hot_temp,
+        "min_agreement": args.min_agreement,
+        "max_deviation": args.max_deviation,
+        "retention_floor": args.retention_floor,
+        "probe_images": args.probe_images,
+        "sigma_vth_fefet": args.sigma_vth_fefet,
+        "bits_per_cell": args.bits_per_cell,
+    }
+    if args.cold_temp is not None:
+        params["cold_temp_c"] = args.cold_temp
+    return _cmd_run(args, parser, names=["fleet-sim"], params=params)
+
+
 def _cmd_serve_bench(args):
     from repro.compiler import MappingConfig
     from repro.serve import report_benchmark, serving_benchmark
@@ -693,6 +780,8 @@ def main(argv=None):
         return _cmd_list(args)
     if args.command == "infer":
         return _cmd_infer(args, parser)
+    if args.command == "fleet-sim":
+        return _cmd_fleet_sim(args, parser)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
     if args.command == "serve-pool-bench":

@@ -1,0 +1,213 @@
+"""Long-horizon fleet simulation: retention drift vs maintenance.
+
+Registers the ``fleet-sim`` experiment behind ``repro fleet-sim`` /
+``repro run fleet-sim``: serve a mixed hot/cold request stream through a
+drift-aware :class:`~repro.serve.ChipPool` for many compressed-time
+rounds, and compare two fleets over the *same* workload:
+
+* **unmanaged** — thermally activated depolarization
+  (:class:`~repro.devices.retention.RetentionModel`) slowly shifts every
+  replica's stored levels while the ADC keeps its fresh calibration, so
+  cross-replica argmax agreement decays — fastest on the hot-bin
+  replicas (Arrhenius);
+* **managed** — the same fleet under a
+  :class:`~repro.serve.MaintenancePolicy`: each round a divergence probe
+  (:meth:`ChipPool.check_health`) flags degraded replicas, which are
+  drained, re-programmed via the :class:`~repro.array.write.RowWriter`
+  pulse scheme (write energy priced into
+  :class:`~repro.serve.PoolStats`), and returned to rotation.
+
+The result document carries both agreement-vs-device-time series (the
+figure recorded in ``BENCH_fleet.json``) and the managed fleet's
+accuracy/rewrite-energy/availability trade-off.  Device time is
+compressed through :class:`~repro.serve.DriftSpec.time_per_image_s` —
+months of field aging in a few hundred requests — with an intentionally
+aggressive retention model (small attempt time, sub-eV barrier) so the
+paper-grade 1.47 eV film's decade-scale stability does not make the
+simulation vacuously flat.
+
+Every knob travels through ``RunContext.params`` into the
+content-addressed result cache; ``tests/test_cli.py`` pins the
+cache-miss behavior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.compiler import MappingConfig, compile_model
+from repro.constants import REFERENCE_TEMP_C
+from repro.devices.retention import RetentionModel
+from repro.runtime.registry import experiment
+from repro.serve import ChipPool, DriftSpec, MaintenancePolicy
+
+
+def _drive_round(pool, images, requests_per_round, hot_temp_c,
+                 cold_temp_c, rng_idx, round_index):
+    """Submit one round's mixed-temperature traffic and pump it dry.
+
+    Requests alternate hot/cold so the temperature-binned pool routes
+    them to different replicas — the hot bin ages Arrhenius-fast, which
+    is the differential wear the divergence probe attributes.
+    """
+    tickets = []
+    for r in range(requests_per_round):
+        temp = hot_temp_c if r % 2 == 0 else cold_temp_c
+        image = images[rng_idx[(round_index * requests_per_round + r)
+                               % len(rng_idx)]]
+        tickets.append(pool.submit(image[None], temp_c=temp))
+    while pool.step():
+        pass
+    for ticket in tickets:
+        ticket.result(timeout=60.0)
+
+
+@experiment("fleet-sim", anchor="Sec. IV-B",
+            tags=("nn", "serve", "drift", "slow"),
+            description="long-horizon retention drift vs divergence-"
+                        "triggered fleet maintenance")
+def fleet_sim(n_replicas=3, n_rounds=16, requests_per_round=6,
+              time_per_image_s=600.0, tau0_s=7e-3, activation_ev=0.5,
+              retention_beta=0.4, hot_temp_c=85.0,
+              cold_temp_c=REFERENCE_TEMP_C, min_agreement=0.995,
+              max_deviation=0.25, retention_floor=0.7, probe_images=4,
+              seed=0, backend="fused", tile_rows=32, tile_cols=16,
+              batch_size=8, sigma_vth_fefet=0.054, width=4,
+              image_size=8, bits_per_cell=1, design=None):
+    """Drift-degraded fleet serving, with and without maintenance.
+
+    Two identical temperature-binned pools replay the same mixed
+    hot/cold request stream round by round.  After each round both
+    fleets are probed at the reference temperature
+    (:meth:`ChipPool.divergence` — pinned, so every replica answers with
+    its own die and its own drift state); the managed fleet additionally
+    re-programs every replica its :class:`~repro.serve.MaintenancePolicy`
+    flags.  Returns the agreement/retention series for both fleets plus
+    the managed fleet's maintenance bill (reprograms, write energy,
+    effective TOPS/W, availability).
+    """
+    from repro.cells import TwoTOneFeFETCell
+    from repro.nn import build_vgg_nano
+
+    if n_replicas < 2:
+        raise ValueError("fleet-sim compares replicas against each "
+                         "other; need n_replicas >= 2")
+    design = design or TwoTOneFeFETCell()
+    model = build_vgg_nano(width=width, image_size=image_size,
+                           rng=np.random.default_rng(seed + 1))
+    rng = np.random.default_rng(seed)
+    images = rng.normal(size=(max(probe_images, 8),
+                              image_size, image_size, 3))
+    probe = images[:probe_images]
+    rng_idx = rng.permutation(len(images))
+
+    mapping = MappingConfig(
+        tile_rows=tile_rows, tile_cols=tile_cols, backend=backend,
+        seed=seed, sigma_vth_fefet=sigma_vth_fefet,
+        bits_per_cell=bits_per_cell)
+    program = compile_model(model, design, mapping)
+
+    retention_model = RetentionModel(tau0_s=tau0_s,
+                                     activation_ev=activation_ev,
+                                     beta=retention_beta)
+    drift = DriftSpec(time_per_image_s=time_per_image_s,
+                      model=retention_model)
+    policy = MaintenancePolicy(min_agreement=min_agreement,
+                               max_deviation=max_deviation,
+                               retention_floor=retention_floor)
+    # One bin edge between the two traffic temperatures: hot traffic
+    # routes to the hot-bin replicas, cold to the cold bin.
+    bin_edge = (hot_temp_c + cold_temp_c) / 2.0
+
+    def build_pool():
+        return ChipPool(program, design, n_replicas=n_replicas,
+                        temp_bins=(bin_edge,), max_batch_size=batch_size,
+                        autostart=False, drift=drift)
+
+    series = {"unmanaged": [], "managed": []}
+    maintenance_log = []
+    pools = {"unmanaged": build_pool(), "managed": build_pool()}
+    try:
+        for round_index in range(n_rounds):
+            for name, pool in pools.items():
+                _drive_round(pool, images, requests_per_round,
+                             hot_temp_c, cold_temp_c, rng_idx,
+                             round_index)
+                health = pool.check_health(probe, policy,
+                                           temp_c=REFERENCE_TEMP_C)
+                point = {
+                    "round": round_index,
+                    "device_time_s": (round_index + 1)
+                    * requests_per_round * time_per_image_s,
+                    "min_agreement": health.get("min_agreement"),
+                    "max_deviation": health["max_deviation"],
+                    "retention": health.get("retention"),
+                }
+                if name == "managed" and health["flagged"]:
+                    for flag in health["flagged"]:
+                        result = pool.maintain(flag["replica"])
+                        maintenance_log.append({
+                            "round": round_index,
+                            "replica": flag["replica"],
+                            "reasons": flag["reasons"],
+                            "retention": flag["retention"],
+                            "write_energy_j": result["write_energy_j"],
+                        })
+                    # Post-maintenance probe: the figure shows the
+                    # policy *restoring* agreement within the round.
+                    post = pool.divergence(probe,
+                                           temp_c=REFERENCE_TEMP_C)
+                    point["min_agreement_after"] = post.get(
+                        "min_agreement")
+                    point["max_deviation_after"] = post["max_deviation"]
+                series[name].append(point)
+        stats = {name: pool.stats().as_dict()
+                 for name, pool in pools.items()}
+    finally:
+        for pool in pools.values():
+            pool.close()
+
+    unmanaged_final = series["unmanaged"][-1]["min_agreement"]
+    managed_final = series["managed"][-1].get(
+        "min_agreement_after", series["managed"][-1]["min_agreement"])
+    managed = stats["managed"]
+    rows = [
+        (f"{p['round']}", f"{p['device_time_s'] / 3600.0:.1f}",
+         f"{series['unmanaged'][i]['min_agreement']:.3f}",
+         f"{series['unmanaged'][i]['max_deviation']:.3f}",
+         f"{p['max_deviation']:.3f}",
+         f"{p.get('max_deviation_after', p['max_deviation']):.3f}",
+         f"{p.get('min_agreement_after', p['min_agreement']):.3f}")
+        for i, p in enumerate(series["managed"])]
+    report = format_table(
+        ["round", "device h", "unmgd agr", "unmgd dev",
+         "mgd dev (pre)", "mgd dev (post)", "mgd agr"], rows,
+        title=f"Fleet divergence under retention drift "
+              f"({n_replicas} replicas, tau0={tau0_s:g}s, "
+              f"Ea={activation_ev:g}eV)")
+    return {
+        "program_fingerprint": program.fingerprint,
+        "mapping": mapping.fingerprint_data(),
+        "n_replicas": n_replicas,
+        "n_rounds": n_rounds,
+        "requests_per_round": requests_per_round,
+        "time_per_image_s": time_per_image_s,
+        "retention_model": {"tau0_s": tau0_s,
+                            "activation_ev": activation_ev,
+                            "beta": retention_beta},
+        "policy": {"min_agreement": min_agreement,
+                   "max_deviation": max_deviation,
+                   "retention_floor": retention_floor},
+        "series": series,
+        "maintenance": maintenance_log,
+        "stats": stats,
+        "final_agreement": {"unmanaged": unmanaged_final,
+                            "managed": managed_final},
+        "write_energy_j": managed["totals"]["write_energy_j"],
+        "reprograms": managed["totals"]["reprograms"],
+        "availability": managed["measured"]["availability"],
+        "tops_per_watt_effective":
+            managed["modeled"]["tops_per_watt_effective"],
+        "report": report,
+    }

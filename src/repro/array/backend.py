@@ -77,8 +77,29 @@ __all__ = [
     "engine_names",
     "make_backend",
     "plane_schedule",
+    "retention_fraction",
     "validate_backend_name",
 ]
+
+
+def retention_fraction(retention):
+    """Normalize a retention argument for the decode paths.
+
+    ``None`` *and* exactly ``1.0`` map to ``None`` — the literal
+    undrifted code path.  ``z01 + 1.0 * (von - z01)`` is not bitwise
+    ``von``, so a fresh drift clock must skip the drift arithmetic
+    entirely rather than multiply through by one; this helper is the
+    single place that gate lives.  Anything else must be a physical
+    remaining-polarization fraction in ``(0, 1]``.
+    """
+    if retention is None:
+        return None
+    f = float(retention)
+    if not 0.0 < f <= 1.0:
+        raise ValueError(
+            f"retention must be a remaining-polarization fraction in "
+            f"(0, 1], got {f}")
+    return None if f == 1.0 else f
 
 
 def _validate_w_codes(w_codes, bits_w):
@@ -359,12 +380,18 @@ class ArrayBackend:
 
     # -- compute ---------------------------------------------------------
     def matmul(self, programmed: ProgrammedArray, x_codes, *, temp_c,
-               active_bits=None):
+               active_bits=None, retention=None):
         """Bit-serial matmul of unsigned activation codes against the
         programmed array at ``temp_c``; decoded through the 27 degC ADC.
 
         ``active_bits`` optionally pins the activation-bit schedule (see
-        :meth:`_active_x_bits`)."""
+        :meth:`_active_x_bits`).  ``retention`` ages the stored state: a
+        remaining-polarization fraction in ``(0, 1]`` shifts every
+        programmed level toward its erased anchor
+        (:meth:`~repro.array.mac_unit.BitSerialMacUnit.drifted_levels`)
+        while the ADC keeps its fresh calibration — the decode-error
+        mechanism of retention loss.  ``None`` (or exactly ``1.0``) runs
+        the literal undrifted path, bit for bit."""
         raise NotImplementedError
 
 
@@ -380,7 +407,8 @@ class DenseNumpyBackend(ArrayBackend):
 
     name = "dense"
 
-    def matmul(self, programmed, x_codes, *, temp_c, active_bits=None):
+    def matmul(self, programmed, x_codes, *, temp_c, active_bits=None,
+               retention=None):
         x_codes = self._x_padded(programmed, x_codes)
         m = x_codes.shape[0]
         chunks, cells, n = (programmed.chunks, programmed.cells,
@@ -391,12 +419,13 @@ class DenseNumpyBackend(ArrayBackend):
         active_x = self._active_x_bits(programmed, x_codes, active_bits)
 
         unit = self.unit
-        von, z10, z01, z00 = unit.levels_at(temp_c)
+        f = retention_fraction(retention)
+        von, z10, z01, z00 = unit.drifted_levels(temp_c, f)
         gain = unit.config.sensing.share_gain(cells)
         sensor = unit.sensor
         multibit = programmed.bits_per_cell > 1
         if multibit:
-            s_on, s_off = unit.digit_steps(temp_c)
+            s_on, s_off = unit.drifted_digit_steps(temp_c, f)
 
         for bx in range(programmed.bits_x):
             if not active_x[bx]:
@@ -423,8 +452,12 @@ class DenseNumpyBackend(ArrayBackend):
                     vacc = gain * (n11 * von + n10 * z10 + n01 * z01
                                    + n00 * z00)
                 if programmed.w_dv is not None:
+                    # A drifting cell's variation offset rides on its
+                    # stored level, so it shrinks by the same fraction.
+                    w_dv_p = (programmed.w_dv[p] if f is None
+                              else f * programmed.w_dv[p])
                     vacc = vacc + gain * np.einsum(
-                        "mce,cen->mcn", xr, programmed.w_dv[p])
+                        "mce,cen->mcn", xr, w_dv_p)
                 counts = sensor.decode(vacc).sum(axis=1)
                 result += (programmed.signs[p] * counts.astype(np.float64)
                            * 2.0 ** (bx + programmed.plane_bits[p]))
@@ -468,10 +501,14 @@ class FusedBitPlaneBackend(ArrayBackend):
 
     def __init__(self, unit):
         super().__init__(unit)
-        self._lut_cache = {}     # float(temp_c) -> flat (cells+1)^3 int16
+        #: float(temp_c) -> flat LUT for the undrifted decode;
+        #: (float(temp_c), retention) -> the drift-aged twin.  Keeping
+        #: the undrifted key shape unchanged means pre-drift cache users
+        #: (temperature sweeps) hit exactly the entries they always did.
+        self._lut_cache = {}
 
     # -- cached per-temperature decode table -----------------------------
-    def decode_lut(self, temp_c):
+    def decode_lut(self, temp_c, retention=None):
         """Decoded MAC count for every ``(n11, n_w1, n_x1)`` triple.
 
         Built with the same float expression the dense backend evaluates
@@ -483,14 +520,20 @@ class FusedBitPlaneBackend(ArrayBackend):
         voltage stays affine in those three integers, so the LUT shortcut
         survives MLC encoding unchanged (the table just grows from
         ``(cells+1)^3`` to ``(cells*D+1)^2 * (cells+1)`` entries).
+
+        ``retention`` stays affine too — drift shifts the *level
+        constants*, not the count structure — so an aged array keeps the
+        whole LUT fast path; each distinct ``(temp_c, retention)`` pair
+        caches its own table.
         """
-        key = float(temp_c)
+        f = retention_fraction(retention)
+        key = float(temp_c) if f is None else (float(temp_c), f)
         lut = self._lut_cache.get(key)
         if lut is None:
             cfg = self.unit.config
             cells = cfg.cells_per_row
             bits_per_cell = getattr(cfg, "bits_per_cell", 1)
-            von, z10, z01, z00 = self.unit.levels_at(temp_c)
+            von, z10, z01, z00 = self.unit.drifted_levels(temp_c, f)
             gain = cfg.sensing.share_gain(cells)
             if bits_per_cell == 1:
                 grid = np.arange(cells + 1, dtype=np.float64)
@@ -504,7 +547,7 @@ class FusedBitPlaneBackend(ArrayBackend):
                                + n00 * z00)
             else:
                 digit_max = (1 << bits_per_cell) - 1
-                s_on, s_off = self.unit.digit_steps(temp_c)
+                s_on, s_off = self.unit.drifted_digit_steps(temp_c, f)
                 dgrid = np.arange(cells * digit_max + 1, dtype=np.float64)
                 s11 = dgrid[:, None, None]
                 w_sum = dgrid[None, :, None]
@@ -599,7 +642,9 @@ class FusedBitPlaneBackend(ArrayBackend):
                 .transpose(1, 2, 3, 0, 4))
 
     # -- compute ---------------------------------------------------------
-    def matmul(self, programmed, x_codes, *, temp_c, active_bits=None):
+    def matmul(self, programmed, x_codes, *, temp_c, active_bits=None,
+               retention=None):
+        f = retention_fraction(retention)
         x_codes = self._x_padded(programmed, x_codes)
         m = x_codes.shape[0]
         result = np.zeros((m, programmed.n))
@@ -628,27 +673,28 @@ class FusedBitPlaneBackend(ArrayBackend):
             x32, n_x1 = self._x_stack(programmed, x_codes[m0:m1])
             if programmed.w_dv is not None:
                 counts = self._decode_variation(
-                    programmed, stack, x32, n_x1, temp_c)
+                    programmed, stack, x32, n_x1, temp_c, f)
             elif programmed.bits_per_cell > 1:
                 counts = self._decode_nominal_multibit(
-                    programmed, stack, x32, temp_c)
+                    programmed, stack, x32, temp_c, f)
             else:
                 counts = self._decode_nominal(
-                    programmed, stack, x32, n_x1, temp_c)
+                    programmed, stack, x32, n_x1, temp_c, f)
             # counts: (Bx, Mb, P, n) exact integers -> shift-add reduction.
             result[m0:m1] = np.tensordot(scale, counts, axes=([0, 1], [0, 2]))
         return result
 
     def _decode_nominal(self, programmed, stack, x32_block, n_x1_block,
-                        temp_c):
+                        temp_c, retention=None):
         """Integer LUT decode: no float arithmetic in the hot path.
 
         The flat address is ``S11 * s11_stride + W * (cells+1) + n_x1``
         with ``s11_stride = (cells*digit_max + 1) * (cells + 1)`` — for
         single-bit arrays that is exactly the seed's
         ``n11 * (cells+1)^2 + wc9 + n_x1`` arithmetic, value for value.
+        Drift only swaps the LUT (the addresses are pure counts).
         """
-        lut = self.decode_lut(temp_c)
+        lut = self.decode_lut(temp_c, retention)
         dtype = stack["idx_dtype"]
         n11 = self._pair_counts(programmed, x32_block, stack["w32"])
         idx = n11.astype(dtype)
@@ -660,7 +706,7 @@ class FusedBitPlaneBackend(ArrayBackend):
         return decoded.sum(axis=3, dtype=np.int64)
 
     def _decode_nominal_multibit(self, programmed, stack, x32_block,
-                                 temp_c):
+                                 temp_c, retention=None):
         """Multibit LUT decode with the address folded into the BLAS.
 
         The augmented matmul (see ``_weight_stack``) emits the complete
@@ -672,7 +718,7 @@ class FusedBitPlaneBackend(ArrayBackend):
         integer addresses); only the evaluation order of the exact
         integer sums differs, which float32 cannot observe below 2^24.
         """
-        lut = self.decode_lut(temp_c)
+        lut = self.decode_lut(temp_c, retention)
         bx, mb, chunks, cells = x32_block.shape
         p, n = programmed.n_planes, programmed.n
         xt = np.ascontiguousarray(
@@ -689,14 +735,14 @@ class FusedBitPlaneBackend(ArrayBackend):
         return counts.reshape(bx, mb, p, n)
 
     def _decode_variation(self, programmed, stack, x32_block, n_x1_block,
-                          temp_c):
+                          temp_c, retention=None):
         """Explicit-voltage decode for arrays with programmed-in variation.
 
         Operation-for-operation the dense backend's expression, evaluated
         over the full plane-pair stack at once.
         """
         unit = self.unit
-        von, z10, z01, z00 = unit.levels_at(temp_c)
+        von, z10, z01, z00 = unit.drifted_levels(temp_c, retention)
         cells = programmed.cells
         gain = unit.config.sensing.share_gain(cells)
 
@@ -705,7 +751,7 @@ class FusedBitPlaneBackend(ArrayBackend):
         n_w1 = programmed.w_counts[None, None, :, :, :]     # (1,1,P,c,n)
         n_x1 = n_x1_block.astype(np.float64)[:, :, None, :, None]
         if programmed.bits_per_cell > 1:
-            s_on, s_off = unit.digit_steps(temp_c)
+            s_on, s_off = unit.drifted_digit_steps(temp_c, retention)
             vacc = _digit_vacc(n11, n_w1, n_x1, cells, gain,
                                z01, z00, s_on, s_off)
         else:
@@ -713,9 +759,12 @@ class FusedBitPlaneBackend(ArrayBackend):
             n01 = n_x1 - n11
             n00 = cells - n_w1 - n_x1 + n11
             vacc = gain * (n11 * von + n10 * z10 + n01 * z01 + n00 * z00)
+        # Variation offsets shrink with the stored level they perturb —
+        # same per-element scaling the dense backend applies.
+        w_dv = (programmed.w_dv if retention is None
+                else retention * programmed.w_dv)
         vacc = vacc + gain * np.einsum(
-            "xmce,pcen->xmpcn", x32_block.astype(np.float64),
-            programmed.w_dv)
+            "xmce,pcen->xmpcn", x32_block.astype(np.float64), w_dv)
         return unit.sensor.decode(vacc).sum(axis=3, dtype=np.int64)
 
 

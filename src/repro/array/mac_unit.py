@@ -212,6 +212,44 @@ class BitSerialMacUnit:
         table = self._level_table(temp_c)
         return tuple(table[state] for state in CELL_STATES)
 
+    def drifted_levels(self, temp_c, retention=None):
+        """Level tuple with retention loss folded into the stored states.
+
+        Depolarization relaxes a *programmed* (weight-1) cell toward the
+        erased state while leaving erased cells where they are — the
+        read window collapses from the top.  With remaining polarization
+        fraction ``f`` the conducting levels shift affinely onto their
+        erased anchors::
+
+            V_11 -> V_01 + f * (V_11 - V_01)      (input high)
+            V_10 -> V_00 + f * (V_10 - V_00)      (input low)
+
+        ``retention=None`` returns :meth:`levels_at` verbatim (no float
+        ops), which is what keeps drift-free serving bit-identical to
+        the seed.  Every backend decode path evaluates *this* expression,
+        so dense and fused kernels cannot disagree under drift.
+        """
+        von, z10, z01, z00 = self.levels_at(temp_c)
+        if retention is None:
+            return von, z10, z01, z00
+        return (z01 + retention * (von - z01),
+                z00 + retention * (z10 - z00), z01, z00)
+
+    def drifted_digit_steps(self, temp_c, retention=None):
+        """Multibit per-digit steps under retention loss.
+
+        The partial-polarization ladder shrinks proportionally — digit
+        ``d`` reads ``V_01 + d * f * s_on`` — which is exactly the
+        binary-cell shift of :meth:`drifted_levels` evaluated per level
+        (the endpoints agree because ``d = digit_max`` is the binary
+        programmed state).  ``retention=None`` is :meth:`digit_steps`
+        verbatim.
+        """
+        s_on, s_off = self.digit_steps(temp_c)
+        if retention is None:
+            return s_on, s_off
+        return retention * s_on, retention * s_off
+
     def digit_steps(self, temp_c):
         """Per-digit level steps ``(s_on, s_off)`` of the multibit cell.
 

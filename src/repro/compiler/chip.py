@@ -49,6 +49,7 @@ import numpy as np
 from repro.array.mac_unit import BehavioralMacConfig, BitSerialMacUnit
 from repro.array.timing import LatencySpec
 from repro.compiler.lowering import layer_matmul_weights
+from repro.devices.retention import DriftState, RetentionModel
 from repro.nn import functional as F
 from repro.nn.layers import Conv2D, Dense
 from repro.nn.quantize import quantize_tensor
@@ -165,6 +166,10 @@ class ChipMeter:
             self.row_ops = 0
             self.bit_cycles = 0
             self.matmuls = 0
+            self.writes = 0
+            self.write_energy_j = 0.0
+            self.write_latency_s = 0.0
+            self.reprograms = 0
 
     def record(self, tile_key, *, rows, active_bits, n_planes, chunks,
                cols):
@@ -182,6 +187,32 @@ class ChipMeter:
         a layer fire in parallel, so cycles accrue once per layer)."""
         with self._lock:
             self.bit_cycles += rows * active_bits
+
+    def record_write(self, *, erase_cells, program_pulses, serial_depth,
+                     reprogram=False):
+        """Account one chip (re)write, priced at the estimator's
+        ``program_write`` action.
+
+        Follows the :class:`~repro.array.write.RowWriter` pulse scheme:
+        every cell takes one block-parallel erase pulse, every stored
+        level one word-line-serial program pulse.  ``serial_depth`` is
+        the longest program-pulse chain on any physical row — rows (and
+        tiles) write in parallel, so it sets the wall-clock latency.
+        Returns ``(energy_j, latency_s)`` of this write.
+        """
+        erase = self.estimator.estimate("program_write", bit=0)
+        program = self.estimator.estimate("program_write", bit=1)
+        energy = (erase_cells * erase.energy_j
+                  + program_pulses * program.energy_j)
+        latency = ((erase.latency_s if erase_cells else 0.0)
+                   + serial_depth * program.latency_s)
+        with self._lock:
+            self.writes += 1
+            self.write_energy_j += energy
+            self.write_latency_s += latency
+            if reprogram:
+                self.reprograms += 1
+        return energy, latency
 
     # -- derived quantities (all priced through the estimator) ----------
     @property
@@ -222,6 +253,10 @@ class ChipMeter:
                 "cells_per_row": self.cells_per_row,
                 "bits_per_cell": self.bits_per_cell,
                 "tops_per_watt": self.tops_per_watt,
+                "writes": self.writes,
+                "write_energy_j": self.write_energy_j,
+                "write_latency_s": self.write_latency_s,
+                "reprograms": self.reprograms,
                 "tiles": {
                     f"L{layer}T{r}.{c}": counters.as_dict()
                     for (layer, r, c), counters in sorted(self.tiles.items())
@@ -300,6 +335,11 @@ class Chip:
             else {}
         if programmed is None:
             self._write_tiles()
+        #: Optional per-chip retention clock (:class:`DriftState`).
+        #: ``None`` — the default — means stored state is treated as
+        #: frozen, exactly the pre-drift behavior; sessions and pools
+        #: opt in via :meth:`enable_drift`.
+        self.drift = None
 
     @property
     def mapping(self):
@@ -407,6 +447,77 @@ decode_live_planes`) or restored from an artifact.  The bound chip
         return self._programmed[(layer_index, row_block, col_block)]
 
     # ------------------------------------------------------------------
+    # time-dependent device state
+    # ------------------------------------------------------------------
+    def enable_drift(self, model=None, state=None):
+        """Attach a retention clock: stored levels now age with time.
+
+        ``state`` adopts an existing :class:`DriftState` (e.g. one
+        restored from a :meth:`DriftState.as_dict` snapshot in a worker
+        process); otherwise a fresh clock over ``model`` (default
+        :class:`RetentionModel`) starts at full polarization.  A fresh
+        clock reports retention exactly ``1.0``, so enabling drift
+        without advancing it changes nothing bit-for-bit.
+        """
+        if state is not None:
+            self.drift = state
+        else:
+            self.drift = DriftState(model=model or RetentionModel())
+        return self.drift
+
+    def advance_drift(self, duration_s, temp_c, ops=0):
+        """Age the chip ``duration_s`` seconds at ``temp_c``.
+
+        No-op (returns ``None``) while drift is disabled; otherwise
+        returns the updated remaining-polarization fraction.
+        """
+        if self.drift is None:
+            return None
+        self.drift.advance(duration_s, temp_c, ops=ops)
+        return self.drift.retention()
+
+    def reprogram(self):
+        """Rewrite every tile's stored state in place: fleet maintenance.
+
+        The digital weights are unchanged — same planes, same per-cell
+        variation draw (the die does not change when rewritten) — so the
+        only effects are (a) restoring full polarization (the drift
+        clock resets, the wear odometer survives) and (b) paying the
+        physical write: one block-parallel erase pulse per cell plus one
+        word-line-serial program pulse per stored level, priced through
+        the meter's ``program_write`` action.  Returns a JSON-safe
+        summary of the rewrite.
+        """
+        erase_cells = 0
+        program_pulses = 0
+        serial_depth = 0
+        for programmed in self._programmed.values():
+            planes = programmed.w_planes
+            erase_cells += int(planes.size)
+            nonzero = planes != 0
+            pulses = int(nonzero.sum()) * programmed.bits_per_cell
+            program_pulses += pulses
+            if nonzero.size:
+                # Cells on one word line program serially; rows, chunks,
+                # planes, and tiles each have their own driver.
+                depth = (int(nonzero.sum(axis=2).max())
+                         * programmed.bits_per_cell)
+                serial_depth = max(serial_depth, depth)
+        energy, latency = self.meter.record_write(
+            erase_cells=erase_cells, program_pulses=program_pulses,
+            serial_depth=serial_depth, reprogram=True)
+        if self.drift is not None:
+            self.drift.reset()
+        return {
+            "erase_cells": erase_cells,
+            "program_pulses": program_pulses,
+            "write_energy_j": energy,
+            "write_latency_s": latency,
+            "retention": (None if self.drift is None
+                          else self.drift.retention()),
+        }
+
+    # ------------------------------------------------------------------
     # tiled matmul with partial-sum accumulation
     # ------------------------------------------------------------------
     def matmul_codes(self, plan, x_codes, *, temp_c):
@@ -432,6 +543,11 @@ decode_live_planes`) or restored from an artifact.  The bound chip
         n_active = int(active.sum())
         self.meter.record_cycles(rows=m, active_bits=n_active)
 
+        # One retention read per layer matmul: every tile of the chip has
+        # aged identically (one die, one thermal history).  A fresh or
+        # absent clock yields ``None``/``1.0``, which the backends gate
+        # back to the literal undrifted code path.
+        retention = None if self.drift is None else self.drift.retention()
         out = np.zeros((m, plan.n))
         for tile_ids in plan.psum_plan:
             for t in tile_ids:
@@ -440,7 +556,8 @@ decode_live_planes`) or restored from an artifact.  The bound chip
                 programmed = self._programmed[key]
                 counts = self.backend.matmul(
                     programmed, x_codes[:, tile.k0:tile.k1],
-                    temp_c=temp_c, active_bits=active)
+                    temp_c=temp_c, active_bits=active,
+                    retention=retention)
                 out[:, tile.n0:tile.n1] += counts
                 self.meter.record(
                     key, rows=m, active_bits=n_active,

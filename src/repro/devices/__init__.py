@@ -16,6 +16,12 @@ from repro.devices.ferroelectric import PreisachFerroelectric, FerroelectricPara
 from repro.devices.switching import SwitchingDynamics, merz_switching_time
 from repro.devices.fefet import FeFET, FeFETParams, FeFETState
 from repro.devices.resistor import ResistorModel
+from repro.devices.retention import (
+    TEN_YEARS_S,
+    DriftState,
+    RetentionModel,
+    age_fefet,
+)
 from repro.devices.variation import CellVariation, MonteCarloSampler, VariationSpec
 
 __all__ = [
@@ -32,6 +38,10 @@ __all__ = [
     "FeFETParams",
     "FeFETState",
     "ResistorModel",
+    "RetentionModel",
+    "DriftState",
+    "age_fefet",
+    "TEN_YEARS_S",
     "VariationSpec",
     "CellVariation",
     "MonteCarloSampler",

@@ -18,7 +18,7 @@ state" regimes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -66,6 +66,120 @@ class RetentionModel:
             return 1.0
         tau = self.time_constant(temp_c)
         return float(np.exp(-((duration_s / tau) ** self.beta)))
+
+
+@dataclass
+class DriftState:
+    """Per-device clock of thermally activated retention loss.
+
+    A :class:`RetentionModel` answers "how much polarization survives one
+    bake at one temperature"; a deployed chip instead lives through a
+    *history* — hours at 27 degC, a burst at 85 degC, back to room.  For
+    the stretched exponential with an Arrhenius time constant, a
+    piecewise-constant temperature history reduces to one accumulated
+    *reduced time*
+
+        xi = sum_i dt_i / tau(T_i)
+
+    with the remaining polarization fraction ``exp(-xi**beta)`` — each
+    segment contributes its duration in units of that temperature's time
+    constant, so a hot hour ages the film like years of room temperature
+    (the usual thermal-history / Palumbo-style reduction).  For a
+    single-temperature history this is *bit-identical* to
+    :meth:`RetentionModel.remaining_fraction` — same divisions, same
+    power, same ``exp``.
+
+    The state is deliberately mutable and cheap to pickle
+    (:meth:`as_dict` / :meth:`from_dict`): serving replicas carry one
+    each, worker processes advance their local copy per batch, and the
+    summary rides home in a
+    :class:`~repro.serve.batching.BatchOutcome`.  A fresh (or freshly
+    re-programmed) state reports ``retention() == 1.0`` *exactly* — the
+    gate the array backends use to keep the undrifted code path
+    literally unchanged.
+    """
+
+    model: RetentionModel = field(default_factory=RetentionModel)
+    #: Total device time accumulated, seconds.
+    elapsed_s: float = 0.0
+    #: Operations (served images) accumulated — wear bookkeeping only;
+    #: retention is field-driven, so ops do not enter ``xi``.
+    ops: int = 0
+    #: Reduced thermal history ``sum_i dt_i / tau(T_i)``.
+    xi: float = 0.0
+    #: Seconds spent per temperature (canonical float keys).
+    temp_history_s: dict = field(default_factory=dict)
+
+    def advance(self, duration_s, temp_c, ops=0):
+        """Age the device ``duration_s`` seconds at ``temp_c``.
+
+        Zero-duration advances only count ``ops`` — they cannot move
+        ``xi``, so a pool configured with drift disabled stays exactly
+        fresh.
+        """
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        self.ops += int(ops)
+        if duration_s == 0.0:
+            return self
+        temp = float(temp_c)
+        self.elapsed_s += float(duration_s)
+        self.xi += float(duration_s) / self.model.time_constant(temp)
+        self.temp_history_s[temp] = (self.temp_history_s.get(temp, 0.0)
+                                     + float(duration_s))
+        return self
+
+    def retention(self):
+        """Remaining polarization fraction for the accumulated history.
+
+        Exactly ``1.0`` while ``xi == 0`` (no float ops run), so
+        downstream consumers can gate on it for bit-identity with the
+        drift-free path.
+        """
+        if self.xi == 0.0:
+            return 1.0
+        return float(np.exp(-(self.xi ** self.model.beta)))
+
+    def reset(self):
+        """Re-program: restore full polarization, keep the wear odometer.
+
+        ``ops`` survives — a refreshed chip is not a new chip — while the
+        thermal history and clock restart from the fresh programmed
+        state.
+        """
+        self.elapsed_s = 0.0
+        self.xi = 0.0
+        self.temp_history_s = {}
+        return self
+
+    def summary(self):
+        """JSON-safe snapshot for telemetry (no model parameters)."""
+        return {
+            "retention": self.retention(),
+            "elapsed_s": self.elapsed_s,
+            "ops": self.ops,
+            "xi": self.xi,
+        }
+
+    def as_dict(self):
+        """Complete picklable/JSON-safe encoding (see :meth:`from_dict`)."""
+        return {
+            "model": {"tau0_s": self.model.tau0_s,
+                      "activation_ev": self.model.activation_ev,
+                      "beta": self.model.beta},
+            "elapsed_s": self.elapsed_s,
+            "ops": self.ops,
+            "xi": self.xi,
+            "temp_history_s": dict(self.temp_history_s),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(model=RetentionModel(**data["model"]),
+                   elapsed_s=float(data["elapsed_s"]),
+                   ops=int(data["ops"]), xi=float(data["xi"]),
+                   temp_history_s={float(t): float(s) for t, s
+                                   in data["temp_history_s"].items()})
 
 
 def age_fefet(fefet, duration_s, temp_c, model=None):

@@ -59,9 +59,10 @@ def fleet_divergence(outputs, *, ref_index=0):
     Parameters
     ----------
     outputs:
-        Replica-major stack, shape ``(R, ...)`` — e.g. ``(R, N, C)``
-        classification logits from serving one probe batch on every
-        replica.
+        Replica-major stack, shape ``(R, ...)`` with ``R >= 2`` — e.g.
+        ``(R, N, C)`` classification logits from serving one probe batch
+        on every replica (a one-chip "fleet" has nothing to compare, so
+        it raises rather than reporting a vacuous zero divergence).
     ref_index:
         Which replica anchors the comparison (default 0: the mapping's
         own variation draw).
@@ -74,9 +75,13 @@ def fleet_divergence(outputs, *, ref_index=0):
     fleet-level ``max_deviation`` / ``min_agreement`` summaries.
     """
     out = np.asarray(outputs, dtype=float)
-    if out.ndim < 2 or out.shape[0] < 1:
-        raise ValueError("outputs must stack at least one replica's "
-                         "outputs along axis 0")
+    if out.ndim < 2:
+        raise ValueError("outputs must stack replica outputs along "
+                         "axis 0 (got a scalar or 1-D input)")
+    if out.shape[0] < 2:
+        raise ValueError(
+            f"fleet divergence compares replicas against a reference; "
+            f"need outputs from at least 2 replicas, got {out.shape[0]}")
     if not 0 <= ref_index < out.shape[0]:
         raise ValueError(f"ref_index {ref_index} outside fleet of "
                          f"{out.shape[0]}")

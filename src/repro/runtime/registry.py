@@ -135,6 +135,7 @@ def load_builtin_experiments():
     global _BUILTIN_LOADED
     if not _BUILTIN_LOADED:
         import repro.analysis.experiments  # noqa: F401  (registers on import)
+        import repro.analysis.fleet        # noqa: F401  (registers on import)
         import repro.analysis.serving      # noqa: F401  (registers on import)
         _BUILTIN_LOADED = True
     return list(_REGISTRY)

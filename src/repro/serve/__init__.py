@@ -54,7 +54,12 @@ from repro.serve.bench import (
     report_pool_benchmark,
     serving_benchmark,
 )
-from repro.serve.pool import ChipPool, PoolStats
+from repro.serve.pool import (
+    ChipPool,
+    DriftSpec,
+    MaintenancePolicy,
+    PoolStats,
+)
 from repro.serve.shm import WorkerCrash
 from repro.serve.registry import (
     MultiProgramPool,
@@ -70,9 +75,11 @@ from repro.serve.session import (
 
 __all__ = [
     "ChipPool",
+    "DriftSpec",
     "InferenceResult",
     "InferenceSession",
     "InferenceTicket",
+    "MaintenancePolicy",
     "MicroBatchQueue",
     "MultiProgramPool",
     "PoolStats",

@@ -124,16 +124,23 @@ class PendingRequest:
     distinct variation draws, so a stolen probe would silently answer
     with a different die's logits.  The pin is released only when the
     pinned replica dies (serving beats failing).
+
+    ``age`` marks whether the request advances the replica's compressed
+    device-time clock (:class:`~repro.serve.pool.DriftSpec`).  Health
+    probes clear it: a probe takes milliseconds of wall time, not the
+    field interval one image of real traffic stands for.
     """
 
-    __slots__ = ("x", "temp_c", "ticket", "enqueued_at", "pinned")
+    __slots__ = ("x", "temp_c", "ticket", "enqueued_at", "pinned", "age")
 
-    def __init__(self, x, temp_c, ticket, enqueued_at, pinned=False):
+    def __init__(self, x, temp_c, ticket, enqueued_at, pinned=False,
+                 age=True):
         self.x = x
         self.temp_c = temp_c
         self.ticket = ticket
         self.enqueued_at = enqueued_at
         self.pinned = pinned
+        self.age = age
 
     @property
     def images(self):
@@ -270,6 +277,12 @@ class BatchWork:
     x: np.ndarray
     temp_c: float
     segments: tuple
+    #: Device time this batch represents, seconds — how long the chip's
+    #: retention clock advances *after* serving it (zero when the
+    #: serving surface has no drift model).  Ships with the work frame
+    #: so a process worker ages its local :class:`DriftState` in
+    #: lockstep with a thread worker serving the same trace.
+    advance_s: float = 0.0
 
     @property
     def images(self):
@@ -291,14 +304,20 @@ class BatchOutcome:
     forward_s: float
     energy_j: float
     latency_s: float
+    #: :meth:`~repro.devices.retention.DriftState.summary` of the chip's
+    #: retention clock after this batch aged it; ``None`` when drift is
+    #: disabled.  For a process worker this is the only channel the
+    #: worker-local drift state reports home through.
+    drift: dict | None = None
 
 
-def make_batch_work(batch) -> BatchWork:
+def make_batch_work(batch, advance_s=0.0) -> BatchWork:
     """Flatten pending requests into an executable :class:`BatchWork`."""
     x = (batch[0].x if len(batch) == 1
          else np.concatenate([p.x for p in batch], axis=0))
     return BatchWork(x=np.asarray(x), temp_c=batch[0].temp_c,
-                     segments=tuple(p.images for p in batch))
+                     segments=tuple(p.images for p in batch),
+                     advance_s=float(advance_s))
 
 
 def run_batch(chip, work: BatchWork) -> BatchOutcome:
@@ -308,16 +327,29 @@ def run_batch(chip, work: BatchWork) -> BatchOutcome:
     meter delta is read around the forward pass); both serving surfaces
     guarantee this — one thread per chip, or one chip per worker
     process.
+
+    Serve-then-age: the batch is decoded against the chip's *current*
+    retention, and only then does the clock advance by ``advance_s`` at
+    the batch temperature.  The ordering is load-bearing — it makes a
+    thread fleet and a process fleet replaying the same trace
+    bit-identical (both serve batch ``i`` at the state left by batch
+    ``i-1``), and it keeps the first batch of a fresh chip exactly
+    drift-free.
     """
     start = time.perf_counter()
     before = chip.meter.snapshot()
     logits = chip.forward(work.x, temp_c=work.temp_c,
                           segments=list(work.segments))
     after = chip.meter.snapshot()
+    drift = None
+    if chip.drift is not None:
+        chip.advance_drift(work.advance_s, work.temp_c, ops=work.images)
+        drift = chip.drift.summary()
     return BatchOutcome(
         logits=logits, forward_s=time.perf_counter() - start,
         energy_j=after["energy_j"] - before["energy_j"],
-        latency_s=after["latency_s"] - before["latency_s"])
+        latency_s=after["latency_s"] - before["latency_s"],
+        drift=drift)
 
 
 def fail_batch(batch, error, *, start, commit=None) -> BatchReport:
@@ -373,7 +405,8 @@ def settle_batch(batch, outcome, *, start, replica=0,
     return report
 
 
-def execute_micro_batch(chip, batch, *, replica=0, commit=None):
+def execute_micro_batch(chip, batch, *, replica=0, commit=None,
+                        advance_s=0.0):
     """Run one micro-batch on ``chip`` and resolve its tickets.
 
     Concatenates the request tensors into one tiled forward pass with
@@ -388,7 +421,7 @@ def execute_micro_batch(chip, batch, *, replica=0, commit=None):
     remotely and settles here.
     """
     start = time.perf_counter()
-    work = make_batch_work(batch)
+    work = make_batch_work(batch, advance_s=advance_s)
     try:
         outcome = run_batch(chip, work)
     except Exception as error:            # propagate to every waiter

@@ -78,6 +78,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compiler.chip import Chip
+from repro.devices.retention import RetentionModel
 from repro.metrics.fluctuation import fleet_divergence
 from repro.serve import shm
 from repro.serve.batching import (
@@ -102,6 +103,59 @@ def _fresh_totals():
     return {key: 0 if key in ("requests", "images", "batches",
                               "batch_images") else 0.0
             for key in _TOTALS_KEYS}
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Retention-drift configuration for a serving pool.
+
+    ``time_per_image_s`` maps served traffic onto device time: after a
+    replica serves a batch of ``n`` images at temperature ``T``, its
+    retention clock advances ``n * time_per_image_s`` seconds at ``T``
+    (serve-then-age, see :func:`~repro.serve.batching.run_batch`).  The
+    scale is deliberately decoupled from the modeled MAC latency so a
+    short experiment can compress months of field time into a few
+    thousand requests.  Zero keeps every chip exactly fresh — the clock
+    ticks ops only — which is the bit-identity configuration.
+
+    ``model`` is the :class:`~repro.devices.retention.RetentionModel`
+    every replica ages under.  Replicas still diverge because they see
+    different traffic (their thermal histories differ), which is what
+    the divergence probe attributes maintenance on.
+    """
+
+    time_per_image_s: float = 0.0
+    model: RetentionModel = None
+
+    def __post_init__(self):
+        if self.time_per_image_s < 0:
+            raise ValueError("time_per_image_s must be non-negative")
+        if self.model is None:
+            object.__setattr__(self, "model", RetentionModel())
+
+
+@dataclass(frozen=True)
+class MaintenancePolicy:
+    """Thresholds that flag a replica for re-programming.
+
+    A replica is flagged when its argmax agreement with the probe
+    reference falls below ``min_agreement``, its mean logit deviation
+    exceeds ``max_deviation``, or its reported retention falls below
+    ``retention_floor``.  The defaults flag on agreement only — the
+    signal the paper's accuracy story is written in.
+    """
+
+    min_agreement: float = 0.99
+    max_deviation: float = float("inf")
+    retention_floor: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.min_agreement <= 1.0:
+            raise ValueError("min_agreement must be in [0, 1]")
+        if self.max_deviation < 0:
+            raise ValueError("max_deviation must be non-negative")
+        if not 0.0 <= self.retention_floor <= 1.0:
+            raise ValueError("retention_floor must be in [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -156,7 +210,9 @@ class _ReplicaWorker:
     """
 
     __slots__ = ("index", "chip", "bin_index", "queue", "totals", "steals",
-                 "draining", "stopped", "dead", "thread", "proxy", "group")
+                 "draining", "stopped", "dead", "thread", "proxy", "group",
+                 "maintaining", "in_flight", "drift_info", "reprograms",
+                 "write_energy_j", "write_latency_s", "maintenance_s")
 
     def __init__(self, index, chip, bin_index, max_batch_size, group=""):
         self.index = index
@@ -171,11 +227,22 @@ class _ReplicaWorker:
         self.dead = False        # worker process died (process mode only)
         self.thread = None
         self.proxy = None        # ReplicaProxy in process mode
+        # -- maintenance state (drift-aware pools) ----------------------
+        self.maintaining = False  # parked for re-programming, will return
+        self.in_flight = 0        # batches taken but not yet settled
+        self.drift_info = None    # latest DriftState.summary() (or None)
+        self.reprograms = 0
+        self.write_energy_j = 0.0
+        self.write_latency_s = 0.0
+        self.maintenance_s = 0.0  # wall time spent under maintenance
 
     @property
     def live(self):
-        """Eligible for new dispatch: not retiring, not retired."""
-        return not self.draining and not self.stopped
+        """Eligible for new dispatch: not retiring, not retired, not
+        parked for maintenance (a maintaining replica comes back; a
+        draining one does not)."""
+        return (not self.draining and not self.stopped
+                and not self.maintaining)
 
 
 def _replica_snapshot(worker):
@@ -186,8 +253,15 @@ def _replica_snapshot(worker):
         program=worker.group or None,
         steals=worker.steals, draining=worker.draining,
         stopped=worker.stopped, dead=worker.dead,
+        maintaining=worker.maintaining,
         queue_depth=len(worker.queue),
-        queued_images=worker.queue.images_queued())
+        queued_images=worker.queue.images_queued(),
+        drift=(dict(worker.drift_info)
+               if worker.drift_info is not None else None),
+        reprograms=worker.reprograms,
+        write_energy_j=worker.write_energy_j,
+        write_latency_s=worker.write_latency_s,
+        maintenance_s=worker.maintenance_s)
     return totals
 
 
@@ -215,6 +289,13 @@ def _pool_stats(per_replica, tops_per_watt) -> PoolStats:
     if len(served) > 1:
         counts = [r["images"] for r in served]
         imbalance = (max(counts) - min(counts)) / np.mean(counts)
+    # Maintenance accounting rides outside _TOTALS_KEYS (those are the
+    # per-batch commit counters); summed explicitly here.
+    write_energy_j = sum(r.get("write_energy_j", 0.0) for r in per_replica)
+    write_latency_s = sum(r.get("write_latency_s", 0.0)
+                          for r in per_replica)
+    reprograms = sum(r.get("reprograms", 0) for r in per_replica)
+    maintenance_s = sum(r.get("maintenance_s", 0.0) for r in per_replica)
     totals = {
         "replicas": len(per_replica),
         "requests": fleet["requests"],
@@ -225,12 +306,20 @@ def _pool_stats(per_replica, tops_per_watt) -> PoolStats:
         "throughput_img_per_s": images / busy if busy > 0 else 0.0,
         "steals": sum(r["steals"] for r in per_replica),
         "load_imbalance": float(imbalance),
+        "reprograms": reprograms,
+        "write_energy_j": write_energy_j,
+        "write_latency_s": write_latency_s,
+        "maintenance_s": maintenance_s,
     }
     # The hardware view: replicas are physically parallel chips, so
     # the fleet's modeled serving time is the slowest replica's busy
     # latency, and the serial-equivalent time is the sum.
     serial_s = fleet["latency_s"]
     makespan_s = max((r["latency_s"] for r in per_replica), default=0.0)
+    # Maintenance rewrites cost real energy the read-path TOPS/W never
+    # sees: the *effective* efficiency derates serving efficiency by the
+    # fraction of fleet energy that went into reads rather than rewrites.
+    total_energy = fleet["energy_j"] + write_energy_j
     modeled = {
         "energy_j": fleet["energy_j"],
         "energy_j_per_image": fleet["energy_j"] / max(images, 1),
@@ -241,6 +330,10 @@ def _pool_stats(per_replica, tops_per_watt) -> PoolStats:
         "throughput_img_per_s": (images / makespan_s
                                  if makespan_s > 0 else 0.0),
         "tops_per_watt": tops_per_watt,
+        "write_energy_j": write_energy_j,
+        "tops_per_watt_effective": (
+            tops_per_watt * fleet["energy_j"] / total_energy
+            if total_energy > 0 else tops_per_watt),
     }
     # The modeled view's wall-clock twin: what the executors actually
     # spent, so the modeled/measured gap is visible without a benchmark.
@@ -254,6 +347,11 @@ def _pool_stats(per_replica, tops_per_watt) -> PoolStats:
                                  if wall_makespan_s > 0 else 0.0),
         "queue_s": fleet["queue_s"],
         "mean_queue_s": fleet["queue_s"] / max(fleet["requests"], 1),
+        "maintenance_s": maintenance_s,
+        # Fraction of executor time spent serving rather than parked in
+        # maintenance — the availability cost of the rewrite policy.
+        "availability": (busy / (busy + maintenance_s)
+                         if busy + maintenance_s > 0 else 1.0),
     }
     return PoolStats(replicas=tuple(per_replica), totals=totals,
                      modeled=modeled, measured=measured)
@@ -265,7 +363,7 @@ class ChipPool:
     def __init__(self, program, design, n_replicas=2, *, temp_bins=None,
                  max_batch_size=64, linger_s=0.002, autostart=True,
                  workers="threads", mac_config=None, latency=None,
-                 energy_report=None, chips=None):
+                 energy_report=None, chips=None, drift=None):
         # Cheap parameter validation first — replica bring-up programs
         # whole chips, and an invalid pool should fail before paying it.
         if workers not in WORKER_MODES:
@@ -295,6 +393,12 @@ class ChipPool:
             chips = Chip.build_replicas(
                 program, design, n_replicas, mac_config=mac_config,
                 latency=latency, energy_report=energy_report)
+        # Drift must attach before _setup: process mode publishes the
+        # fleet there, and the boot payloads carry each chip's model.
+        self.drift_spec = drift
+        if drift is not None:
+            for chip in chips:
+                chip.enable_drift(model=drift.model)
         replica_workers = [
             _ReplicaWorker(i, chip, i % n_bins if self.temp_bins else 0,
                            max_batch_size)
@@ -320,6 +424,9 @@ class ChipPool:
         self.max_batch_size = int(max_batch_size)
         self.linger_s = float(linger_s)
         self.worker_mode = worker_mode
+        # Subclasses reaching _setup directly (MultiProgramPool) run a
+        # drift-free fleet unless they set the spec themselves.
+        self.drift_spec = getattr(self, "drift_spec", None)
         self._cond = threading.Condition()
         self.workers = tuple(workers)
         self._closed = False
@@ -414,7 +521,7 @@ class ChipPool:
         self._rr += 1
         return worker
 
-    def _enqueue(self, x, temp_c, *, worker=None, group=""):
+    def _enqueue(self, x, temp_c, *, worker=None, group="", age=True):
         x = np.asarray(x)
         if x.shape[0] < 1:
             raise ValueError("a request needs at least one image")
@@ -432,7 +539,7 @@ class ChipPool:
             self._next_id += 1
             target.queue.push(
                 PendingRequest(x, temp, ticket, time.perf_counter(),
-                               pinned=worker is not None))
+                               pinned=worker is not None, age=age))
             self._cond.notify_all()
         return ticket
 
@@ -446,15 +553,19 @@ class ChipPool:
         """
         return self._enqueue(x, temp_c)
 
-    def submit_to(self, replica_index, x, temp_c=None) -> InferenceTicket:
+    def submit_to(self, replica_index, x, temp_c=None, *,
+                  age=True) -> InferenceTicket:
         """Pin a request to one replica (probes, tests, A/B comparisons).
 
         The pin is honored by work stealing — the request is served by
         this replica's chip (this exact variation draw), or rerouted
-        only if the replica dies.
+        only if the replica dies.  ``age=False`` keeps the request off
+        the replica's compressed device-time clock (health probes
+        measure drift; they should not cause it).
         """
         worker = self.workers[replica_index]
-        return self._enqueue(x, temp_c, worker=worker, group=worker.group)
+        return self._enqueue(x, temp_c, worker=worker, group=worker.group,
+                             age=age)
 
     def infer(self, x, temp_c=None) -> InferenceResult:
         """Synchronous request: submit and wait (pumps in sync mode)."""
@@ -534,21 +645,40 @@ class ChipPool:
                 # exit conditions (close/drain with thieves parked).
                 self._cond.notify_all()
 
-        if worker.proxy is None:
-            execute_micro_batch(worker.chip, batch, replica=worker.index,
-                                commit=commit)
-            return
-        start = time.perf_counter()
-        work = make_batch_work(batch)
+        spec = self.drift_spec
+        advance_s = (spec.time_per_image_s
+                     * sum(p.images for p in batch if p.age)
+                     if spec is not None else 0.0)
+        with self._cond:
+            worker.in_flight += 1
         try:
-            outcome = worker.proxy.execute(work)
-        except shm.WorkerCrash as crash:
-            self._abandon_replica(worker, batch, crash)
-        except Exception as error:       # worker-side failure, process OK
-            fail_batch(batch, error, start=start, commit=commit)
-        else:
-            settle_batch(batch, outcome, start=start,
-                         replica=worker.index, commit=commit)
+            if worker.proxy is None:
+                execute_micro_batch(worker.chip, batch,
+                                    replica=worker.index, commit=commit,
+                                    advance_s=advance_s)
+                if worker.chip.drift is not None:
+                    with self._cond:
+                        worker.drift_info = worker.chip.drift.summary()
+                return
+            start = time.perf_counter()
+            work = make_batch_work(batch, advance_s=advance_s)
+            try:
+                outcome = worker.proxy.execute(work)
+            except shm.WorkerCrash as crash:
+                self._abandon_replica(worker, batch, crash)
+            except Exception as error:   # worker-side failure, process OK
+                fail_batch(batch, error, start=start, commit=commit)
+            else:
+                if outcome.drift is not None:
+                    with self._cond:
+                        worker.drift_info = dict(outcome.drift)
+                settle_batch(batch, outcome, start=start,
+                             replica=worker.index, commit=commit)
+        finally:
+            with self._cond:
+                worker.in_flight -= 1
+                # Maintenance waits on queue-empty *and* in-flight zero.
+                self._cond.notify_all()
 
     def _abandon_replica(self, worker, batch, crash):
         """A replica's worker process died mid-batch: retire and
@@ -608,13 +738,16 @@ class ChipPool:
                         return
                     if worker.queue:
                         break
-                    if (not worker.draining
+                    if (not worker.draining and not worker.maintaining
                             and self._steal_available(worker)):
                         break
                     if self._closed or worker.draining:
                         worker.stopped = True
                         self._cond.notify_all()
                         return
+                    # A maintaining worker parks here (queue empty, no
+                    # stealing) but does NOT exit — maintenance hands the
+                    # replica back by clearing the flag and notifying.
                     self._cond.wait()
             # Linger briefly so a burst of submitters lands in one batch —
             # but only over the worker's *own* queue: a woken thief holds
@@ -633,7 +766,8 @@ class ChipPool:
             with self._cond:
                 batch = worker.queue.take_batch()
                 stolen = False
-                if not batch and not worker.draining:
+                if (not batch and not worker.draining
+                        and not worker.maintaining):
                     batch = self._steal_batch_locked(worker)
                     stolen = bool(batch)
             if batch:
@@ -691,6 +825,82 @@ class ChipPool:
         if wait and worker.proxy is not None:
             worker.proxy.shutdown()
 
+    def maintain(self, replica_index):
+        """Drain one replica, re-program it in place, return it to
+        rotation.
+
+        The maintenance path of a drift-aware fleet: the replica stops
+        taking new work (``maintaining`` excludes it from routing and
+        stealing, but — unlike :meth:`drain` — its thread parks instead
+        of exiting), every request already queued on it is served first
+        (pinned probes included: serving beats failing), then the chip
+        rewrites its tiles (:meth:`Chip.reprogram
+        <repro.compiler.chip.Chip.reprogram>` — locally, or via a
+        :class:`~repro.serve.shm.MaintenanceWork` pipe frame in process
+        mode), its drift clock resets, and the replica rejoins the
+        fleet.  Write energy/latency and the maintenance wall time land
+        in :class:`PoolStats`.  A worker crash mid-rewrite retires the
+        replica through the normal crash path and re-raises.
+
+        Returns the rewrite summary dict.
+        """
+        worker = self.workers[replica_index]
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            if worker.dead or worker.stopped or worker.draining:
+                raise RuntimeError(
+                    f"replica {replica_index} is not serving "
+                    f"(dead/drained replicas cannot be maintained)")
+            if worker.maintaining:
+                raise RuntimeError(
+                    f"replica {replica_index} is already under "
+                    f"maintenance")
+            worker.maintaining = True
+            self._cond.notify_all()
+        start = time.perf_counter()
+        try:
+            # Quiesce: everything already queued on this replica is
+            # served by it (its own thread keeps draining its queue;
+            # peers may steal the non-pinned tail) before the rewrite.
+            if self._threaded:
+                with self._cond:
+                    while ((worker.queue or worker.in_flight)
+                           and not worker.dead):
+                        self._cond.wait()
+            else:
+                while worker.queue:
+                    if not self.step():
+                        break
+            if worker.dead:
+                raise shm.WorkerCrash(
+                    f"replica {replica_index} died before maintenance")
+            if worker.proxy is not None:
+                try:
+                    result = worker.proxy.execute(shm.MaintenanceWork())
+                except shm.WorkerCrash as crash:
+                    self._abandon_replica(worker, [], crash)
+                    raise
+            else:
+                result = worker.chip.reprogram()
+            wall = time.perf_counter() - start
+            with self._cond:
+                worker.reprograms += 1
+                worker.write_energy_j += result["write_energy_j"]
+                worker.write_latency_s += result["write_latency_s"]
+                worker.maintenance_s += wall
+                if worker.drift_info is not None:
+                    info = dict(worker.drift_info)
+                    info["retention"] = 1.0
+                    info["elapsed_s"] = 0.0
+                    info["xi"] = 0.0
+                    worker.drift_info = info
+            return result
+        finally:
+            with self._cond:
+                worker.maintaining = False
+                self._cond.notify_all()
+
     def _shutdown_workers(self):
         """Stop worker processes and release the shared arena (idempotent).
 
@@ -739,7 +949,10 @@ class ChipPool:
         The probe rides the normal scheduling path (pinned per replica),
         so it is safe during active serving — each chip still sees one
         executor — and it shows up in the pool's request totals like any
-        other traffic.  Returns the fleet accuracy-fluctuation metrics of
+        other traffic.  Unlike traffic it does not advance the replicas'
+        compressed device-time clocks (``age=False``): probing for drift
+        must not itself cause drift.  Returns the fleet
+        accuracy-fluctuation metrics of
         :func:`repro.metrics.fluctuation.fleet_divergence` plus the probe
         bookkeeping.
         """
@@ -747,7 +960,8 @@ class ChipPool:
                 if w.live and w.group == _group]
         if not live:
             raise RuntimeError("no live replicas to probe")
-        tickets = [self.submit_to(i, x, temp_c=temp_c) for i in live]
+        tickets = [self.submit_to(i, x, temp_c=temp_c, age=False)
+                   for i in live]
         self._pump(*tickets)
         logits = np.stack([t.result().logits for t in tickets])
         metrics = fleet_divergence(logits)
@@ -756,6 +970,45 @@ class ChipPool:
         if "argmax_agreement" in metrics:
             metrics["argmax_agreement"] = [
                 float(a) for a in metrics["argmax_agreement"]]
+        if self.drift_spec is not None:
+            # Drift attribution: each probed replica's last reported
+            # remaining-polarization fraction, aligned with "replicas".
+            with self._cond:
+                metrics["retention"] = [
+                    (self.workers[i].drift_info or {}).get("retention")
+                    for i in live]
+        return metrics
+
+    def check_health(self, x, policy, temp_c=None, *, _group=""):
+        """Online health probe: divergence metrics plus flagged replicas.
+
+        Runs :meth:`divergence` and applies a
+        :class:`MaintenancePolicy`: every probed replica violating a
+        threshold lands in ``metrics["flagged"]`` with its index, the
+        reasons, and its drift attribution — ready to feed
+        :meth:`maintain`.  The reference replica (first probed) is never
+        flagged on agreement with itself; it can still be flagged on its
+        own retention floor.
+        """
+        metrics = self.divergence(x, temp_c=temp_c, _group=_group)
+        agreements = metrics.get("argmax_agreement")
+        deviations = metrics["deviation"]
+        retention = metrics.get("retention")
+        flagged = []
+        for pos, index in enumerate(metrics["replicas"]):
+            reasons = []
+            if (agreements is not None and pos != 0
+                    and agreements[pos] < policy.min_agreement):
+                reasons.append("argmax_agreement")
+            if pos != 0 and deviations[pos] > policy.max_deviation:
+                reasons.append("deviation")
+            r = retention[pos] if retention is not None else None
+            if r is not None and r < policy.retention_floor:
+                reasons.append("retention")
+            if reasons:
+                flagged.append({"replica": index, "reasons": reasons,
+                                "retention": r})
+        metrics["flagged"] = flagged
         return metrics
 
     def stats(self) -> PoolStats:
@@ -777,6 +1030,10 @@ class ChipPool:
             for worker in self.workers:
                 worker.totals = _fresh_totals()
                 worker.steals = 0
+                worker.reprograms = 0
+                worker.write_energy_j = 0.0
+                worker.write_latency_s = 0.0
+                worker.maintenance_s = 0.0
 
     def __repr__(self):
         bins = len(self.temp_bins) + 1 if self.temp_bins else 1

@@ -179,6 +179,12 @@ class ReplicaBoot:
     energy_per_mac_j: float
     cells_per_row: int
     latency: object
+    #: :class:`~repro.devices.retention.RetentionModel` of the parent
+    #: chip's drift clock, or ``None`` for a drift-free fleet.  Only the
+    #: (frozen, tiny) model crosses the boundary — the mutable
+    #: :class:`~repro.devices.retention.DriftState` itself is
+    #: worker-local and reports home in ``BatchOutcome.drift``.
+    drift_model: object = None
 
 
 def publish_fleet(chips):
@@ -218,7 +224,9 @@ def publish_fleet(chips):
             design=chip.design, group_prefix=prefix,
             planes_prefix=planes_prefix,
             energy_per_mac_j=meter.energy_per_mac_j,
-            cells_per_row=meter.cells_per_row, latency=meter.latency))
+            cells_per_row=meter.cells_per_row, latency=meter.latency,
+            drift_model=(chip.drift.model if chip.drift is not None
+                         else None)))
     handle = publish(arrays)
     return handle, [replace(boot, handle=handle) for boot in boots]
 
@@ -253,6 +261,8 @@ def bootstrap_chip(boot: ReplicaBoot):
                       cells_per_row=boot.cells_per_row)
     chip = Chip.bind(program, boot.design, unit=unit,
                      programmed=programmed, meter=meter)
+    if boot.drift_model is not None:
+        chip.enable_drift(model=boot.drift_model)
     return chip, segment
 
 
@@ -261,6 +271,18 @@ def bootstrap_chip(boot: ReplicaBoot):
 # ----------------------------------------------------------------------
 class WorkerCrash(RuntimeError):
     """The worker process died mid-conversation (pipe broke)."""
+
+
+@dataclass(frozen=True)
+class MaintenanceWork:
+    """Pipe frame asking a worker to re-program its replica in place.
+
+    Answered like a batch — ``("ok", summary_dict)`` from
+    :meth:`Chip.reprogram <repro.compiler.chip.Chip.reprogram>` or
+    ``("error", exception)`` — so the parent's maintenance call rides
+    the same request/reply protocol as serving (and the same
+    :class:`WorkerCrash` path if the worker dies mid-rewrite).
+    """
 
 
 def _replica_worker_main(conn, boot):
@@ -292,6 +314,14 @@ def _replica_worker_main(conn, boot):
                 break
             if work is None:
                 break
+            if isinstance(work, MaintenanceWork):
+                try:
+                    result = chip.reprogram()
+                except Exception as error:
+                    conn.send(("error", error))
+                else:
+                    conn.send(("ok", result))
+                continue
             try:
                 outcome = run_batch(chip, work)
             except Exception as error:   # per-batch failure, keep serving
@@ -382,6 +412,7 @@ def spawn_replica_workers(chips, *, mp_context=None):
 
 
 __all__ = [
+    "MaintenanceWork",
     "ReplicaBoot",
     "ReplicaProxy",
     "ShmEntry",

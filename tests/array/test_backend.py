@@ -320,3 +320,93 @@ class TestPinnedSchedules:
         with pytest.raises(ValueError, match="active_bits"):
             backend.matmul(programmed, x, temp_c=27.0,
                            active_bits=np.ones(7, dtype=bool))
+
+
+class TestDriftedDecode:
+    """Retention drift in the decode path (time-dependent device state).
+
+    Contracts: ``retention=None`` and ``retention=1.0`` are the same
+    literal code path (bit-identical to the pre-drift backends); any
+    ``retention < 1`` keeps dense and fused bit-identical to each other
+    (the drift transform is applied to the level tables, not
+    per-backend); and enough drift must actually move decoded counts —
+    a drift model that never changes an output is untestable.
+    """
+
+    def test_none_and_exact_one_bit_identical(self, unit):
+        dense = DenseNumpyBackend(unit)
+        rng = np.random.default_rng(21)
+        x, w = _operands(rng, (3, 24, 5))
+        programmed = dense.program(w)
+        for temp in TEMPS:
+            base = dense.matmul(programmed, x, temp_c=temp)
+            assert np.array_equal(
+                base, dense.matmul(programmed, x, temp_c=temp,
+                                   retention=None))
+            assert np.array_equal(
+                base, dense.matmul(programmed, x, temp_c=temp,
+                                   retention=1.0))
+
+    @pytest.mark.parametrize("retention", [0.95, 0.8, 0.5])
+    def test_dense_fused_bit_identical_under_drift(self, unit, retention):
+        dense, fused = DenseNumpyBackend(unit), FusedBitPlaneBackend(unit)
+        rng = np.random.default_rng(22)
+        for shape in SHAPES[:3]:
+            x, w = _operands(rng, shape)
+            pd, pf = dense.program(w), fused.program(w)
+            for temp in (27.0, 85.0):
+                assert np.array_equal(
+                    dense.matmul(pd, x, temp_c=temp, retention=retention),
+                    fused.matmul(pf, x, temp_c=temp, retention=retention)
+                ), (shape, temp, retention)
+
+    def test_dense_fused_bit_identical_under_drift_with_variation(
+            self, noisy_unit):
+        dense = DenseNumpyBackend(noisy_unit)
+        fused = FusedBitPlaneBackend(noisy_unit)
+        rng = np.random.default_rng(23)
+        x, w = _operands(rng, (4, 40, 9))
+        pd = dense.program(w, rng=np.random.default_rng(7))
+        pf = fused.program(w, rng=np.random.default_rng(7))
+        for temp in (27.0, 85.0):
+            for retention in (0.9, 0.6):
+                assert np.array_equal(
+                    dense.matmul(pd, x, temp_c=temp, retention=retention),
+                    fused.matmul(pf, x, temp_c=temp, retention=retention))
+
+    def test_drift_eventually_moves_decodes(self, unit):
+        dense = DenseNumpyBackend(unit)
+        rng = np.random.default_rng(24)
+        x, w = _operands(rng, (5, 40, 9))
+        programmed = dense.program(w)
+        base = dense.matmul(programmed, x, temp_c=27.0)
+        drifted = dense.matmul(programmed, x, temp_c=27.0, retention=0.5)
+        assert not np.array_equal(base, drifted)
+
+    def test_multibit_drift_keeps_backends_identical(self):
+        from repro.array import BehavioralMacConfig, BitSerialMacUnit
+
+        unit = BitSerialMacUnit(TwoTOneFeFETCell(), BehavioralMacConfig(
+            bits_x=4, bits_w=4, temp_grid_c=(0.0, 27.0, 85.0),
+            bits_per_cell=2))
+        dense, fused = DenseNumpyBackend(unit), FusedBitPlaneBackend(unit)
+        rng = np.random.default_rng(25)
+        x, w = _operands(rng, (3, 24, 5))
+        pd, pf = dense.program(w), fused.program(w)
+        base = dense.matmul(pd, x, temp_c=27.0)
+        for retention in (1.0, 0.9, 0.6):
+            got_d = dense.matmul(pd, x, temp_c=27.0, retention=retention)
+            got_f = fused.matmul(pf, x, temp_c=27.0, retention=retention)
+            assert np.array_equal(got_d, got_f), retention
+            if retention == 1.0:
+                assert np.array_equal(got_d, base)
+
+    def test_retention_fraction_gate(self):
+        from repro.array.backend import retention_fraction
+
+        assert retention_fraction(None) is None
+        assert retention_fraction(1.0) is None
+        assert retention_fraction(0.7) == 0.7
+        for bad in (0.0, -0.1, 1.0001, 2.0):
+            with pytest.raises(ValueError, match="retention"):
+                retention_fraction(bad)

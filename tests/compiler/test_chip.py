@@ -196,3 +196,82 @@ class TestBinding:
         with pytest.raises(ValueError, match="x_codes"):
             chip.matmul_codes(plan, np.zeros((2, 7), dtype=np.int64),
                               temp_c=27.0)
+
+
+class TestDrift:
+    """Time-dependent device state at chip level.
+
+    With the drift clock at zero the chip must stay bit-identical to a
+    chip that never heard of drift; an aged clock must move logits; and
+    ``reprogram()`` must restore bit-identity while pricing the rewrite
+    exactly as the RowWriter pulse scheme does.
+    """
+
+    def _fresh(self, model, design):
+        program = compile_model(model, design,
+                                MappingConfig(tile_rows=16, tile_cols=4))
+        return Chip(program, design)
+
+    def test_zero_clock_bit_identical_to_no_drift(self, model, design):
+        plain = self._fresh(model, design)
+        drifted = self._fresh(model, design)
+        drifted.enable_drift()
+        x = np.random.default_rng(5).normal(size=(3, 40))
+        for temp in (27.0, 85.0):
+            assert np.array_equal(plain.forward(x, temp_c=temp),
+                                  drifted.forward(x, temp_c=temp))
+
+    def test_aging_moves_logits_and_reprogram_restores(self, model,
+                                                       design):
+        from repro.devices import RetentionModel
+
+        chip = self._fresh(model, design)
+        x = np.random.default_rng(6).normal(size=(3, 40))
+        fresh = chip.forward(x, temp_c=27.0)
+        chip.enable_drift(model=RetentionModel(tau0_s=1e-3,
+                                               activation_ev=0.5))
+        # Severe bake: retention low enough to move decoded counts.
+        chip.advance_drift(3e5, 85.0)
+        assert chip.drift.retention() < 0.8
+        assert not np.array_equal(fresh, chip.forward(x, temp_c=27.0))
+        summary = chip.reprogram()
+        assert chip.drift.retention() == 1.0
+        assert summary["retention"] == 1.0
+        assert np.array_equal(fresh, chip.forward(x, temp_c=27.0))
+
+    def test_advance_without_drift_is_noop(self, model, design):
+        chip = self._fresh(model, design)
+        chip.advance_drift(1e6, 85.0)     # drift never enabled
+        assert chip.drift is None
+
+    def test_reprogram_priced_like_row_writer(self, model, design):
+        """The maintenance bill must equal the RowWriter pulse scheme:
+        one block-parallel erase over every cell plus one WL-serial
+        program pulse per stored nonzero digit level."""
+        chip = self._fresh(model, design)
+        chip.meter.reset()
+        summary = chip.reprogram()
+
+        erase = chip.meter.estimator.estimate("program_write", bit=0)
+        program = chip.meter.estimator.estimate("program_write", bit=1)
+        erase_cells = 0
+        pulses = 0
+        depth = 0
+        for programmed in chip._programmed.values():
+            planes = programmed.w_planes
+            erase_cells += planes.size
+            nonzero = planes != 0
+            pulses += int(nonzero.sum()) * programmed.bits_per_cell
+            depth = max(depth, int(nonzero.sum(axis=2).max())
+                        * programmed.bits_per_cell)
+        assert summary["erase_cells"] == erase_cells
+        assert summary["program_pulses"] == pulses
+        assert summary["write_energy_j"] == pytest.approx(
+            erase_cells * erase.energy_j + pulses * program.energy_j)
+        assert summary["write_latency_s"] == pytest.approx(
+            erase.latency_s + depth * program.latency_s)
+        snap = chip.meter.snapshot()
+        assert snap["writes"] == 1
+        assert snap["reprograms"] == 1
+        assert snap["write_energy_j"] == pytest.approx(
+            summary["write_energy_j"])

@@ -97,6 +97,23 @@ class TestFleetDivergence:
         with pytest.raises(ValueError, match="identically zero"):
             fleet_divergence(np.zeros((2, 3)))
 
+    def test_rejects_single_replica_fleet(self):
+        """A one-chip 'fleet' has nothing to compare against — raising
+        beats reporting a vacuous zero divergence as healthy."""
+        with pytest.raises(ValueError, match="at least 2 replicas"):
+            fleet_divergence(np.ones((1, 3, 4)))
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError, match="scalar or 1-D"):
+            fleet_divergence(3.0)
+
+    def test_ref_index_validated_before_compare(self):
+        out = np.ones((3, 2, 4))
+        with pytest.raises(ValueError, match="ref_index"):
+            fleet_divergence(out, ref_index=-1)
+        with pytest.raises(ValueError, match="ref_index"):
+            fleet_divergence(out, ref_index=3)
+
 
 class TestEfficiency:
     def test_paper_ops_accounting(self):

@@ -40,6 +40,8 @@ FAST_PARAMS = {
                       "n_vectors": 4},
     "thermal-gradient": {"spans_c": (0.0, 10.0)},
     "infer": {"n_images": 2, "temps_c": (27.0,)},
+    "fleet-sim": {"n_replicas": 2, "n_rounds": 1, "requests_per_round": 2,
+                  "probe_images": 2},
 }
 
 

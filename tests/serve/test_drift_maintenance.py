@@ -1,0 +1,269 @@
+"""Tests for retention drift in the serving fleet and pool maintenance.
+
+The tentpole contracts of time-dependent device state:
+
+* a pool with a drift spec but zero device-time-per-image is
+  **bit-identical** to a pool that never heard of drift;
+* served traffic ages replicas (per-batch, at the batch temperature),
+  health probes do not;
+* ``maintain()`` quiesces a replica (its queued/pinned requests are
+  served first, by that replica), re-programs it through the RowWriter
+  pulse scheme, prices the rewrite into the pool's stats, and returns
+  the replica to rotation with a fresh drift clock;
+* the same drift story holds bit-for-bit across execution substrates
+  for deterministic (pinned) traces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells import TwoTOneFeFETCell
+from repro.compiler import MappingConfig, compile_model
+from repro.devices import RetentionModel
+from repro.nn import Dense, ReLU, Sequential
+from repro.serve import ChipPool, DriftSpec, MaintenancePolicy
+
+#: Accelerated film: milli-second attempt time, sub-eV barrier, so a few
+#: simulated hours of device time visibly move retention.
+FAST_MODEL = RetentionModel(tau0_s=1e-3, activation_ev=0.5)
+
+
+def build_program(sigma=0.0, seed=0):
+    rng = np.random.default_rng(0)
+    model = Sequential([Dense(24, 12, rng=rng), ReLU(),
+                        Dense(12, 5, rng=rng)])
+    design = TwoTOneFeFETCell()
+    mapping = MappingConfig(tile_rows=8, tile_cols=4,
+                            sigma_vth_fefet=sigma, seed=seed)
+    return compile_model(model, design, mapping), design
+
+
+@pytest.fixture(scope="module")
+def nominal():
+    return build_program()
+
+
+@pytest.fixture(scope="module")
+def varied():
+    return build_program(sigma=54e-3, seed=3)
+
+
+def requests(n, rng_seed=1, images=1):
+    rng = np.random.default_rng(rng_seed)
+    return [rng.normal(size=(images, 24)) for _ in range(n)]
+
+
+class TestSpecValidation:
+    def test_drift_spec_defaults_paper_model(self):
+        spec = DriftSpec()
+        assert spec.model == RetentionModel()
+        assert spec.time_per_image_s == 0.0
+
+    def test_drift_spec_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            DriftSpec(time_per_image_s=-1.0)
+
+    def test_policy_validates_thresholds(self):
+        MaintenancePolicy()  # defaults are valid
+        with pytest.raises(ValueError):
+            MaintenancePolicy(min_agreement=1.5)
+        with pytest.raises(ValueError):
+            MaintenancePolicy(retention_floor=-0.1)
+        with pytest.raises(ValueError):
+            MaintenancePolicy(max_deviation=-1.0)
+
+
+class TestZeroClockBitIdentity:
+    def test_drift_pool_with_zero_time_matches_plain_pool(self, varied):
+        """DriftSpec(time_per_image_s=0) never moves xi, so every logit
+        is bit-identical to the drift-free pool."""
+        program, design = varied
+        xs = requests(6)
+        temps = [85.0, 27.0, None, 0.0, 85.0, 27.0]
+
+        def serve(drift):
+            with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                          autostart=False, drift=drift) as pool:
+                tickets = [pool.submit_to(i % 2, x, temp_c=t)
+                           for i, (x, t) in enumerate(zip(xs, temps))]
+                while pool.step():
+                    pass
+                return [t.result(timeout=10.0).logits for t in tickets]
+
+        plain = serve(None)
+        frozen = serve(DriftSpec(time_per_image_s=0.0, model=FAST_MODEL))
+        for a, b in zip(plain, frozen):
+            assert np.array_equal(a, b)
+
+
+class TestAging:
+    def test_traffic_ages_replicas_probes_do_not(self, varied):
+        program, design = varied
+        drift = DriftSpec(time_per_image_s=3600.0, model=FAST_MODEL)
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      autostart=False, drift=drift) as pool:
+            probe = requests(1)[0]
+            # Probes are age=False: divergence alone must not move xi.
+            pool.divergence(probe)
+            assert all((w.drift_info or {}).get("retention", 1.0) == 1.0
+                       for w in pool.workers)
+            ticket = pool.submit_to(0, probe, temp_c=85.0)
+            pool._pump(ticket)
+            ticket.result(timeout=10.0)
+            r0 = pool.workers[0].drift_info["retention"]
+            assert r0 < 1.0
+            # Replica 1 served nothing: still fresh.
+            info1 = pool.workers[1].drift_info
+            assert info1 is None or info1["retention"] == 1.0
+            # Divergence reports the drift attribution.
+            metrics = pool.divergence(probe)
+            assert metrics["retention"][0] == r0
+
+    def test_hot_traffic_ages_faster_than_cold(self, varied):
+        program, design = varied
+        drift = DriftSpec(time_per_image_s=3600.0, model=FAST_MODEL)
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      autostart=False, drift=drift) as pool:
+            x = requests(1)[0]
+            hot = pool.submit_to(0, x, temp_c=85.0)
+            cold = pool.submit_to(1, x, temp_c=27.0)
+            pool._pump(hot, cold)
+            hot.result(timeout=10.0), cold.result(timeout=10.0)
+            assert (pool.workers[0].drift_info["retention"]
+                    < pool.workers[1].drift_info["retention"])
+
+
+class TestMaintain:
+    def test_maintain_restores_fresh_logits_and_prices_write(self, varied):
+        program, design = varied
+        drift = DriftSpec(time_per_image_s=3.0e5, model=FAST_MODEL)
+        x = requests(1)[0]
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      autostart=False, drift=drift) as pool:
+            fresh = pool.divergence(x)  # pinned probe, no aging
+            t = pool.submit_to(0, x, temp_c=85.0)
+            pool._pump(t)
+            t.result(timeout=10.0)
+            aged = pool.submit_to(0, x, age=False)
+            pool._pump(aged)
+            aged_logits = aged.result(timeout=10.0).logits
+
+            result = pool.maintain(0)
+            assert result["retention"] == 1.0
+            assert result["write_energy_j"] > 0.0
+            assert pool.workers[0].drift_info["retention"] == 1.0
+
+            again = pool.submit_to(0, x, age=False)
+            pool._pump(again)
+            restored = again.result(timeout=10.0).logits
+            # Maintenance is a rewrite of the same die: exact restore.
+            ref = fresh["replicas"].index(0)
+            assert not np.array_equal(aged_logits, restored)
+
+            stats = pool.stats()
+            assert stats.totals["reprograms"] == 1
+            assert stats.totals["write_energy_j"] == pytest.approx(
+                result["write_energy_j"])
+            assert stats.totals["maintenance_s"] > 0.0
+            assert 0.0 < stats.measured["availability"] < 1.0
+            assert (stats.modeled["tops_per_watt_effective"]
+                    < stats.modeled["tops_per_watt"])
+
+    def test_sync_maintain_serves_pinned_queue_first(self, varied):
+        """Requests already pinned to the replica are served — by that
+        replica — before the rewrite takes it out of rotation."""
+        program, design = varied
+        drift = DriftSpec(time_per_image_s=3600.0, model=FAST_MODEL)
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      autostart=False, drift=drift) as pool:
+            xs = requests(3)
+            tickets = [pool.submit_to(0, x) for x in xs]
+            pool.maintain(0)
+            for ticket in tickets:
+                result = ticket.result(timeout=10.0)
+                assert result.telemetry.replica == 0
+
+    def test_threaded_maintain_quiesces_and_returns_to_rotation(
+            self, varied):
+        program, design = varied
+        drift = DriftSpec(time_per_image_s=3600.0, model=FAST_MODEL)
+        with ChipPool(program, design, n_replicas=2,
+                      max_batch_size=4, drift=drift) as pool:
+            xs = requests(4)
+            tickets = [pool.submit_to(0, x) for x in xs]
+            pool.maintain(0)
+            for ticket in tickets:
+                assert ticket.result(timeout=10.0).telemetry.replica == 0
+            # Back in rotation: a new pinned request is served normally.
+            after = pool.submit_to(0, xs[0])
+            assert after.result(timeout=10.0).telemetry.replica == 0
+            assert pool.stats().totals["reprograms"] == 1
+
+    def test_single_replica_pool_maintain(self, varied):
+        """A one-chip fleet can still be refreshed: its queue drains
+        (there is nobody to steal it), then the rewrite runs."""
+        program, design = varied
+        drift = DriftSpec(time_per_image_s=3600.0, model=FAST_MODEL)
+        with ChipPool(program, design, n_replicas=1, max_batch_size=4,
+                      autostart=False, drift=drift) as pool:
+            x = requests(1)[0]
+            t = pool.submit(x, temp_c=85.0)
+            pool._pump(t)
+            t.result(timeout=10.0)
+            assert pool.workers[0].drift_info["retention"] < 1.0
+            pool.maintain(0)
+            assert pool.workers[0].drift_info["retention"] == 1.0
+            # Still serving afterwards.
+            t2 = pool.submit(x)
+            pool._pump(t2)
+            t2.result(timeout=10.0)
+
+    def test_maintain_rejects_bad_states(self, varied):
+        program, design = varied
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      autostart=False) as pool:
+            pool.drain(0)
+            with pytest.raises(RuntimeError):
+                pool.maintain(0)
+        with pytest.raises(RuntimeError):
+            pool.maintain(1)  # pool closed
+
+
+class TestCheckHealth:
+    def test_flags_drifted_replica_and_maintenance_clears_it(self, varied):
+        program, design = varied
+        drift = DriftSpec(time_per_image_s=3.0e5, model=FAST_MODEL)
+        # On this tiny 5-class model two *fresh* dies already disagree
+        # on 1 of 4 probe images (agreement 0.75) — the agreement bar
+        # must sit below the variation baseline so only drift trips it.
+        policy = MaintenancePolicy(min_agreement=0.7, max_deviation=0.3)
+        x = np.random.default_rng(2).normal(size=(4, 24))
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      autostart=False, drift=drift) as pool:
+            health = pool.check_health(x, policy)
+            assert health["flagged"] == []
+            t = pool.submit_to(1, x, temp_c=85.0)
+            pool._pump(t)
+            t.result(timeout=10.0)
+            health = pool.check_health(x, policy)
+            [flag] = health["flagged"]
+            assert flag["replica"] == 1
+            assert "deviation" in flag["reasons"]
+            assert flag["retention"] < 1.0
+            pool.maintain(flag["replica"])
+            assert pool.check_health(x, policy)["flagged"] == []
+
+    def test_retention_floor_flags_even_the_reference(self, varied):
+        program, design = varied
+        drift = DriftSpec(time_per_image_s=3600.0, model=FAST_MODEL)
+        policy = MaintenancePolicy(retention_floor=0.9999)
+        x = np.random.default_rng(2).normal(size=(2, 24))
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      autostart=False, drift=drift) as pool:
+            for index in (0, 1):
+                t = pool.submit_to(index, x, temp_c=85.0)
+                pool._pump(t)
+                t.result(timeout=10.0)
+            flagged = {f["replica"]
+                       for f in pool.check_health(x, policy)["flagged"]}
+            assert flagged == {0, 1}

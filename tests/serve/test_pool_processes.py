@@ -243,3 +243,110 @@ class TestStatsAndRegistry:
                 for a, b in zip(expected[name], got):
                     assert np.array_equal(a, b)
         assert not shm.active_segments()
+
+
+class TestDriftProcesses:
+    """Time-dependent device state on the process substrate.
+
+    Drift state lives worker-local (the shm arena stays read-only);
+    summaries ride home in BatchOutcome, and maintenance round-trips a
+    MaintenanceWork frame.  Pinned traces must stay bit-identical to
+    the threaded fleet, drifted or not.
+    """
+
+    def _drift(self, time_per_image_s=3.0e5):
+        from repro.devices import RetentionModel
+        from repro.serve import DriftSpec
+
+        return DriftSpec(time_per_image_s=time_per_image_s,
+                         model=RetentionModel(tau0_s=1e-3,
+                                              activation_ev=0.5))
+
+    def _pinned_trace(self, pool, xs, temps):
+        tickets = [pool.submit_to(i % 2, x, temp_c=t)
+                   for i, (x, t) in enumerate(zip(xs, temps))]
+        return [t.result(timeout=30.0).logits for t in tickets]
+
+    def test_drifted_pinned_trace_matches_threaded(self, varied):
+        """Replica i ages through the identical pinned history on both
+        substrates, so every drifted logit matches exactly."""
+        program, design = varied
+        xs = requests(6)
+        temps = [85.0, 27.0, 85.0, None, 85.0, 27.0]
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      drift=self._drift()) as pool:
+            expected = self._pinned_trace(pool, xs, temps)
+            threaded_drift = [dict(w.drift_info) for w in pool.workers]
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      workers="processes", drift=self._drift()) as pool:
+            got = self._pinned_trace(pool, xs, temps)
+            process_drift = [dict(w.drift_info) for w in pool.workers]
+        for a, b in zip(expected, got):
+            assert np.array_equal(a, b)
+        for a, b in zip(threaded_drift, process_drift):
+            assert a["retention"] == b["retention"]
+            assert a["xi"] == b["xi"]
+
+    def test_process_maintain_round_trip(self, varied):
+        """MaintenanceWork reprograms in the worker process; the parent
+        books the rewrite and the replica serves fresh logits again."""
+        program, design = varied
+        x = requests(1)[0]
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      workers="processes", autostart=False,
+                      drift=self._drift()) as pool:
+            fresh = pool.submit_to(0, x, age=False)
+            pool._pump(fresh)
+            fresh_logits = fresh.result(timeout=30.0).logits
+            aged = pool.submit_to(0, x, temp_c=85.0)
+            pool._pump(aged)
+            aged.result(timeout=30.0)
+            assert pool.workers[0].drift_info["retention"] < 1.0
+            result = pool.maintain(0)
+            assert result["retention"] == 1.0
+            assert result["write_energy_j"] > 0.0
+            assert pool.workers[0].drift_info["retention"] == 1.0
+            after = pool.submit_to(0, x, age=False)
+            pool._pump(after)
+            assert np.array_equal(after.result(timeout=30.0).logits,
+                                  fresh_logits)
+            stats = pool.stats()
+            assert stats.totals["reprograms"] == 1
+            assert stats.totals["write_energy_j"] == pytest.approx(
+                result["write_energy_j"])
+        assert not shm.active_segments()
+
+    def test_crash_mid_maintenance_retires_replica(self, varied):
+        """A worker killed before the rewrite surfaces as WorkerCrash
+        from maintain(); the replica is retired, survivors keep
+        serving."""
+        program, design = varied
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      workers="processes", autostart=False,
+                      drift=self._drift()) as pool:
+            kill_worker(pool, 0)
+            with pytest.raises(WorkerCrash):
+                pool.maintain(0)
+            assert pool.workers[0].dead
+            survivor = pool.submit(requests(1)[0])
+            pool._pump(survivor)
+            assert survivor.result(timeout=30.0).telemetry.replica == 1
+        assert not shm.active_segments()
+
+    def test_boot_carries_drift_model_to_workers(self, varied):
+        """The DriftSpec's retention model crosses the fork in
+        ReplicaBoot: worker-side aging follows the custom model, not
+        the paper default (which would barely move in 3e5 s)."""
+        program, design = varied
+        x = requests(1)[0]
+        with ChipPool(program, design, n_replicas=2, max_batch_size=4,
+                      workers="processes", autostart=False,
+                      drift=self._drift()) as pool:
+            t = pool.submit_to(0, x, temp_c=85.0)
+            pool._pump(t)
+            t.result(timeout=30.0)
+            info = pool.workers[0].drift_info
+            # Paper film (tau0 6.3e-11 s, Ea 1.47 eV) would keep
+            # retention ~1.0 here; the accelerated film collapses it.
+            assert info["retention"] < 0.1
+            assert info["elapsed_s"] == pytest.approx(3.0e5)

@@ -277,6 +277,57 @@ class TestInferCommand:
         assert values["session"]["totals"]["requests"] >= 4
 
 
+class TestFleetSimCommand:
+    BASE = ["fleet-sim", "--replicas", "2", "--rounds", "1",
+            "--requests-per-round", "2", "--probe-images", "2"]
+
+    def test_runs_and_reports(self, tmp_path, capsys):
+        assert main(self.BASE
+                    + ["--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet divergence under retention drift" in out
+        assert "unmgd" in out
+
+    def test_rejects_single_replica(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet-sim", "--replicas", "1"])
+
+    def test_drift_knobs_fingerprint_cache(self, tmp_path, capsys):
+        """Regression: every drift-model and policy knob must land in
+        RunContext.params — a retention curve cached under one
+        tau0/E_a/horizon must never answer for another."""
+        base = self.BASE + ["--cache-dir", str(tmp_path / "cache")]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base) == 0
+        assert "cache hit" in capsys.readouterr().out
+        for knob in (["--tau0", "1e-4"],
+                     ["--activation-ev", "0.9"],
+                     ["--retention-beta", "1.0"],
+                     ["--time-per-image", "60"],
+                     ["--max-deviation", "0.5"],
+                     ["--retention-floor", "0.95"],
+                     ["--hot-temp", "70"]):
+            assert main(base + knob) == 0, knob
+            assert "fresh run" in capsys.readouterr().out, knob
+
+    def test_json_document(self, tmp_path, capsys):
+        import json as _json
+
+        assert main(self.BASE
+                    + ["--json", "--tau0", "1e-2",
+                       "--cache-dir", str(tmp_path / "cache")]) == 0
+        [doc] = _json.loads(capsys.readouterr().out)
+        assert doc["name"] == "fleet-sim"
+        values = doc["values"]
+        assert values["retention_model"]["tau0_s"] == 1e-2
+        assert values["program_fingerprint"]
+        assert set(values["final_agreement"]) == {"unmanaged", "managed"}
+        assert len(values["series"]["unmanaged"]) == 1
+        assert values["stats"]["managed"]["totals"]["reprograms"] \
+            == values["reprograms"]
+
+
 class TestServeBenchCommand:
     def test_smoke_gate_and_document(self, tmp_path, capsys):
         out_file = tmp_path / "bench.json"

@@ -150,3 +150,48 @@ class TestCircuitEstimator:
         est.calibrate()
         with pytest.raises(KeyError, match="no calibration at 85.0"):
             est.energy_report(85.0)
+
+
+class TestProgramWriteCrossConsistency:
+    """``program_write`` is the maintenance price: both estimator
+    families must delegate it to the *same* RowWriter pulse scheme, so
+    a fleet's rewrite bill cannot depend on which estimator priced it.
+    """
+
+    def test_table_and_circuit_agree_per_bit(self):
+        from repro.cells import TwoTOneFeFETCell
+
+        table = TableMacEstimator()
+        circuit = CircuitMacEstimator(TwoTOneFeFETCell(), (27.0,))
+        writer = RowWriter()
+        for bit in (0, 1):
+            t = table.estimate("program_write", bit=bit)
+            c = circuit.estimate("program_write", bit=bit)
+            w = writer.write_estimate(bit)
+            assert t.energy_j == c.energy_j == w.energy_j
+            assert t.latency_s == c.latency_s == w.latency_s
+
+    def test_program_write_needs_no_circuit_calibration(self):
+        """Write pricing is pulse-scheme arithmetic — it must work on
+        an uncalibrated circuit estimator (maintenance planning should
+        not require transient sweeps)."""
+        est = CircuitMacEstimator(object(), (27.0,))
+        assert not est.calibrated
+        assert est.estimate("program_write", bit=1).energy_j > 0.0
+
+    def test_custom_writer_flows_through_both(self):
+        from repro.array.write import WriteDriverSpec
+
+        writer = RowWriter(WriteDriverSpec(gate_capacitance_f=0.45e-15,
+                                           driver_efficiency=0.5))
+        table = TableMacEstimator(writer=writer)
+        circuit = CircuitMacEstimator(object(), (27.0,), writer=writer)
+        for bit in (0, 1):
+            want = writer.write_estimate(bit)
+            assert table.estimate("program_write",
+                                  bit=bit).energy_j == want.energy_j
+            assert circuit.estimate("program_write",
+                                    bit=bit).latency_s == want.latency_s
+        # And the custom pulses actually differ from the defaults.
+        assert (writer.write_estimate(1).energy_j
+                != RowWriter().write_estimate(1).energy_j)
